@@ -1,0 +1,52 @@
+//! Benchmark E9f: footprint composition and natural-partition solving.
+//!
+//! Every scheme evaluation calls the bisection solver
+//! (`natural_window`); the sweep calls it thousands of times, so its
+//! latency bounds the whole-study evaluation cost alongside the DP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cps_hotl::{CoRunModel, SoloProfile};
+use cps_trace::WorkloadSpec;
+
+fn profile(ws: u64, rate: f64, len: usize) -> SoloProfile {
+    let t = WorkloadSpec::Mixture {
+        parts: vec![
+            (0.9, WorkloadSpec::SequentialLoop { working_set: ws }),
+            (
+                0.1,
+                WorkloadSpec::Zipfian {
+                    region: ws * 4,
+                    alpha: 0.7,
+                },
+            ),
+        ],
+    }
+    .generate(len, ws);
+    SoloProfile::from_trace(format!("ws{ws}"), &t.blocks, rate, 1024)
+}
+
+fn bench_composition(c: &mut Criterion) {
+    let ps: Vec<SoloProfile> = [120u64, 300, 700, 1500]
+        .iter()
+        .map(|&ws| profile(ws, 1.0 + ws as f64 / 1000.0, 200_000))
+        .collect();
+    let members: Vec<&SoloProfile> = ps.iter().collect();
+    let model = CoRunModel::new(members);
+
+    let mut group = c.benchmark_group("composition");
+    group.bench_function("natural_window_4prog", |b| {
+        b.iter(|| model.natural_window(black_box(1024.0)))
+    });
+    group.bench_function("natural_partition_4prog", |b| {
+        b.iter(|| model.natural_partition(black_box(1024.0)))
+    });
+    group.bench_function("member_miss_ratios_4prog", |b| {
+        b.iter(|| model.member_shared_miss_ratios(black_box(1024.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_composition);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benchmark E9a: the optimal-partitioning DP at the paper's scale.
+//!
+//! The paper reports ~0.21 s per 4-program group for its C++ DP at
+//! C = 1024 (Section VII-A, 2013-era laptop). This bench measures the
+//! same `P = 4, C = 1024` instance, plus scaling in C and P to exhibit
+//! the `O(P·C²)` law.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cps_core::{optimal_partition, CacheConfig, Combine, CostCurve};
+use cps_hotl::MissRatioCurve;
+
+/// Synthetic miss-ratio curve with a working-set knee — the realistic
+/// non-convex input the DP is designed for.
+fn knee_curve(knee: usize, tail: f64, max_blocks: usize) -> MissRatioCurve {
+    MissRatioCurve::from_samples(
+        (0..=max_blocks)
+            .map(|c| if c < knee { 0.8 } else { tail })
+            .collect(),
+    )
+}
+
+fn costs_for(p: usize, units: usize) -> Vec<CostCurve> {
+    let cfg = CacheConfig::new(units, 1);
+    (0..p)
+        .map(|i| {
+            let knee = (i + 1) * units / (p + 1);
+            let mrc = knee_curve(knee, 0.01 * (i + 1) as f64, units);
+            CostCurve::from_miss_ratio(&mrc, &cfg, 1.0 / p as f64)
+        })
+        .collect()
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_optimal_partition");
+    // The paper's configuration: 4 programs, 1024 units.
+    group.bench_function("paper_P4_C1024", |b| {
+        let costs = costs_for(4, 1024);
+        b.iter(|| optimal_partition(black_box(&costs), 1024, Combine::Sum))
+    });
+    // Scaling in C at fixed P=4 (expected quadratic).
+    for units in [128usize, 256, 512, 1024, 2048] {
+        group.bench_with_input(BenchmarkId::new("scaling_C", units), &units, |b, &u| {
+            let costs = costs_for(4, u);
+            b.iter(|| optimal_partition(black_box(&costs), u, Combine::Sum))
+        });
+    }
+    // Scaling in P at fixed C=512 (expected linear).
+    for p in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("scaling_P", p), &p, |b, &p| {
+            let costs = costs_for(p, 512);
+            b.iter(|| optimal_partition(black_box(&costs), 512, Combine::Sum))
+        });
+    }
+    // Max-combine costs the same asymptotics.
+    group.bench_function("maxmin_P4_C512", |b| {
+        let costs = costs_for(4, 512);
+        b.iter(|| optimal_partition(black_box(&costs), 512, Combine::Max))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

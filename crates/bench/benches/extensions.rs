@@ -1,0 +1,92 @@
+//! Benchmark E9h: the extension modules — elastic guarantees,
+//! phase-aware planning, sampled and online profiling.
+//!
+//! These all sit on the same DP/footprint machinery, so their costs
+//! should be predictable multiples of the core benches: an elastic
+//! sweep is `steps` DPs, a phase plan is `segments` DPs plus segment
+//! profiling, and the online profiler's per-access cost bounds its use
+//! as a live monitor.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cps_core::elastic::elastic_sweep;
+use cps_core::phased::{phase_aware_partition, PhasedProfile};
+use cps_core::CacheConfig;
+use cps_hotl::online::OnlineProfiler;
+use cps_hotl::{sample_footprint, BurstConfig, SoloProfile};
+use cps_trace::WorkloadSpec;
+
+fn profiles(blocks: usize) -> Vec<SoloProfile> {
+    [60u64, 150, 300, 90]
+        .iter()
+        .map(|&ws| {
+            let t = WorkloadSpec::Mixture {
+                parts: vec![
+                    (0.9, WorkloadSpec::SequentialLoop { working_set: ws }),
+                    (
+                        0.1,
+                        WorkloadSpec::Zipfian {
+                            region: ws * 3,
+                            alpha: 0.7,
+                        },
+                    ),
+                ],
+            }
+            .generate(80_000, ws);
+            SoloProfile::from_trace(format!("p{ws}"), &t.blocks, 1.0, blocks)
+        })
+        .collect()
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let blocks = 512usize;
+    let cfg = CacheConfig::new(blocks, 1);
+    let ps = profiles(blocks);
+    let members: Vec<&SoloProfile> = ps.iter().collect();
+
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.bench_function("elastic_sweep_11pts_P4_C512", |b| {
+        b.iter(|| elastic_sweep(black_box(&members), black_box(&cfg), 10))
+    });
+
+    // Phase-aware planning over pre-built segment profiles.
+    let trace = WorkloadSpec::Phased {
+        phases: vec![
+            (WorkloadSpec::SequentialLoop { working_set: 60 }, 10_000),
+            (WorkloadSpec::SequentialLoop { working_set: 300 }, 10_000),
+        ],
+    }
+    .generate(80_000, 3);
+    let phased: Vec<PhasedProfile> = (0..4)
+        .map(|i| PhasedProfile::from_trace(format!("q{i}"), &trace.blocks, 1.0, blocks, 8))
+        .collect();
+    let phased_refs: Vec<&PhasedProfile> = phased.iter().collect();
+    group.bench_function("phase_plan_8seg_P4_C512", |b| {
+        b.iter(|| phase_aware_partition(black_box(&phased_refs), black_box(&cfg), 0.02))
+    });
+
+    // Profiling paths.
+    let long = WorkloadSpec::Zipfian {
+        region: 2_000,
+        alpha: 0.8,
+    }
+    .generate(200_000, 9);
+    group.throughput(Throughput::Elements(long.len() as u64));
+    group.bench_function("online_observe_200k", |b| {
+        b.iter(|| {
+            let mut p = OnlineProfiler::new();
+            p.observe_all(black_box(&long.blocks));
+            p.accesses()
+        })
+    });
+    group.bench_function("sampled_footprint_10pct_200k", |b| {
+        let cfg = BurstConfig::with_ratio(8_192, 10);
+        b.iter(|| sample_footprint(black_box(&long.blocks), cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

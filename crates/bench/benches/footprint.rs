@@ -1,0 +1,43 @@
+//! Benchmark E9c: full-trace footprint profiling.
+//!
+//! Xiang et al. report ~23× slowdown for full-trace footprint analysis;
+//! the linear-time closed form here should process hundreds of millions
+//! of accesses per second, making the "assume data can be collected in
+//! real time" practicality argument (Section VIII) concrete.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cps_hotl::{Footprint, ReuseProfile};
+use cps_trace::WorkloadSpec;
+
+fn bench_footprint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("footprint");
+    for len in [10_000usize, 100_000, 400_000] {
+        let trace = WorkloadSpec::Mixture {
+            parts: vec![
+                (0.9, WorkloadSpec::SequentialLoop { working_set: 64 }),
+                (
+                    0.1,
+                    WorkloadSpec::Zipfian {
+                        region: 2_000,
+                        alpha: 0.8,
+                    },
+                ),
+            ],
+        }
+        .generate(len, 7);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("reuse_profile", len), &trace, |b, t| {
+            b.iter(|| ReuseProfile::from_trace(black_box(&t.blocks)))
+        });
+        let profile = ReuseProfile::from_trace(&trace.blocks);
+        group.bench_with_input(BenchmarkId::new("fp_from_reuse", len), &profile, |b, p| {
+            b.iter(|| Footprint::from_reuse(black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_footprint);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Benchmark E9g: one whole co-run group, all six schemes — the unit of
+//! work the 1820-group sweep parallelizes.
+//!
+//! The paper reports < 0.21 s per group end-to-end for its C++ DP; this
+//! bench is the direct comparison point (same P = 4, C = 1024).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cps_core::{evaluate_group, CacheConfig};
+use cps_hotl::SoloProfile;
+use cps_trace::spec_like::study_programs_scaled;
+
+fn bench_group_eval(c: &mut Criterion) {
+    let specs = study_programs_scaled(100_000);
+    let config = CacheConfig::paper_default();
+    let profiles: Vec<SoloProfile> = specs[..4]
+        .iter()
+        .map(|s| {
+            let t = s.trace();
+            SoloProfile::from_trace(s.name, &t.blocks, s.access_rate, config.blocks())
+        })
+        .collect();
+    let members: Vec<&SoloProfile> = profiles.iter().collect();
+
+    let mut group = c.benchmark_group("group_eval");
+    group.sample_size(20);
+    group.bench_function("six_schemes_P4_C1024", |b| {
+        b.iter(|| evaluate_group(black_box(&members), black_box(&config)))
+    });
+    let coarse = CacheConfig::new(256, 4);
+    group.bench_function("six_schemes_P4_C256", |b| {
+        b.iter(|| evaluate_group(black_box(&members), black_box(&coarse)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_eval);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Benchmark E9d: LRU simulator throughput.
+//!
+//! Section VII-C argues against whole-system simulation partly because
+//! "simulation is slow"; this bench quantifies our oracle's speed so the
+//! validation experiments' cost is predictable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cps_cachesim::{simulate_solo, SetAssocCache};
+use cps_trace::WorkloadSpec;
+
+fn bench_lru(c: &mut Criterion) {
+    let len = 200_000usize;
+    let trace = WorkloadSpec::Zipfian {
+        region: 4_096,
+        alpha: 0.7,
+    }
+    .generate(len, 3);
+
+    let mut group = c.benchmark_group("lru_simulation");
+    group.throughput(Throughput::Elements(len as u64));
+    for cap in [256usize, 1024, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("fully_associative", cap),
+            &cap,
+            |b, &cap| b.iter(|| simulate_solo(black_box(&trace.blocks), cap)),
+        );
+    }
+    for ways in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::new("set_assoc_1024", ways), &ways, |b, &w| {
+            b.iter(|| {
+                let mut cache = SetAssocCache::with_capacity(1024, w);
+                cache.simulate(black_box(&trace.blocks))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lru);
+criterion_main!(benches);

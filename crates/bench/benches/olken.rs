@@ -1,0 +1,43 @@
+//! Benchmark E9e: exact reuse-distance (Olken) analysis.
+//!
+//! The `O(n log n)` Fenwick-backed stack-distance pass produces the
+//! entire ground-truth MRC in one sweep — the cost of "simulating every
+//! cache size at once", which the HOTL-based pipeline avoids paying for
+//! every co-run group.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cps_dstruct::ReuseDistances;
+use cps_trace::WorkloadSpec;
+
+fn bench_olken(c: &mut Criterion) {
+    let mut group = c.benchmark_group("olken_reuse_distance");
+    for len in [50_000usize, 200_000] {
+        for (label, spec) in [
+            (
+                "zipf4k",
+                WorkloadSpec::Zipfian {
+                    region: 4_096,
+                    alpha: 0.8,
+                },
+            ),
+            (
+                "loop1k",
+                WorkloadSpec::SequentialLoop { working_set: 1_024 },
+            ),
+        ] {
+            let trace = spec.generate(len, 9);
+            group.throughput(Throughput::Elements(len as u64));
+            group.bench_with_input(
+                BenchmarkId::new(label, len),
+                &trace,
+                |b, t| b.iter(|| ReuseDistances::from_trace(black_box(&t.blocks))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_olken);
+criterion_main!(benches);

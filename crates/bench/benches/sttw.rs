@@ -1,0 +1,48 @@
+//! Benchmark E9b: STTW greedy vs the DP.
+//!
+//! The paper reports STTW at 0.11 s/group vs 0.21 s/group for the DP;
+//! here the greedy's `O(C log P)` inner loop (plus the one-time convex
+//! envelope) should beat the `O(P·C²)` DP by orders of magnitude, which
+//! is STTW's remaining selling point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cps_core::{sttw_partition, CacheConfig, CostCurve};
+use cps_hotl::MissRatioCurve;
+
+fn smooth_curve(scale: f64, max_blocks: usize) -> MissRatioCurve {
+    MissRatioCurve::from_samples(
+        (0..=max_blocks)
+            .map(|c| (scale / (1.0 + c as f64 / 50.0)).min(1.0))
+            .collect(),
+    )
+}
+
+fn costs_for(p: usize, units: usize) -> Vec<CostCurve> {
+    let cfg = CacheConfig::new(units, 1);
+    (0..p)
+        .map(|i| {
+            let mrc = smooth_curve(0.2 + 0.1 * i as f64, units);
+            CostCurve::from_miss_ratio(&mrc, &cfg, 1.0 / p as f64)
+        })
+        .collect()
+}
+
+fn bench_sttw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sttw_greedy");
+    group.bench_function("paper_P4_C1024", |b| {
+        let costs = costs_for(4, 1024);
+        b.iter(|| sttw_partition(black_box(&costs), 1024))
+    });
+    for units in [256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("scaling_C", units), &units, |b, &u| {
+            let costs = costs_for(4, u);
+            b.iter(|| sttw_partition(black_box(&costs), u))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sttw);
+criterion_main!(benches);

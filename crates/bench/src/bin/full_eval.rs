@@ -1,0 +1,80 @@
+//! Runs every experiment end-to-end. This is the "reproduce the paper"
+//! entry point:
+//!
+//! ```text
+//! cargo run --release -p cps-bench --bin full_eval
+//! ```
+//!
+//! Set `CPS_QUICK=1` for a reduced-size smoke run, and `CPS_ABLATIONS=1`
+//! to also run the four (slower) design-choice ablations A1–A4.
+
+use std::process::Command;
+use std::time::Instant;
+
+/// The experiment binaries, in DESIGN.md's E-index order.
+const EXPERIMENTS: &[&str] = &[
+    "search_space", // E1
+    "figure1",      // E2
+    "fig5",         // E3
+    "fig6",         // E4
+    "fig7",         // E5
+    "table1",       // E6 + E10
+    "validate_npa", // E7
+    "reduction",    // E8
+    "multicache",   // E11
+    "phase_aware",  // E12
+    "elastic",      // E13
+    "correlation",  // E14
+    "stress_study", // E15
+    "hypothesis",   // E16
+    "table1_exact", // E17
+];
+
+/// The design-choice ablations (run with `CPS_ABLATIONS=1`).
+const ABLATIONS: &[&str] = &[
+    "ablation_granularity", // A1
+    "ablation_groupsize",   // A2
+    "ablation_sampling",    // A3
+    "assoc_check",          // A4
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let with_ablations = std::env::var("CPS_ABLATIONS").map(|v| v == "1").unwrap_or(false);
+    let all: Vec<&str> = EXPERIMENTS
+        .iter()
+        .chain(if with_ablations { ABLATIONS } else { &[] }.iter())
+        .copied()
+        .collect();
+    let t0 = Instant::now();
+    let mut failed = Vec::new();
+    for exp in &all {
+        println!("\n=== {exp} {}", "=".repeat(60_usize.saturating_sub(exp.len())));
+        let t = Instant::now();
+        let status = Command::new(exe_dir.join(exp)).status();
+        match status {
+            Ok(s) if s.success() => {
+                println!("--- {exp} finished in {:.1?}", t.elapsed());
+            }
+            Ok(s) => {
+                eprintln!("--- {exp} FAILED with {s}");
+                failed.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("--- {exp} could not start: {e}");
+                failed.push(*exp);
+            }
+        }
+    }
+    println!("\n=== full evaluation done in {:.1?} ===", t0.elapsed());
+    if failed.is_empty() {
+        println!("all {} experiments completed; CSVs in results/", all.len());
+    } else {
+        eprintln!("failed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

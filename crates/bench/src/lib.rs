@@ -1,0 +1,133 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every binary in this crate regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index). They share the same study
+//! construction — the 16 spec-like programs profiled against the
+//! 1024-unit cache — and the same plain-CSV output conventions
+//! (`results/*.csv`, one file per figure, headers in row one).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use cps_core::{CacheConfig, Study};
+use cps_trace::spec_like::study_programs_scaled;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Default trace length per program for full experiments.
+pub const FULL_TRACE_LEN: usize = 400_000;
+
+/// Reduced trace length for quick runs (`CPS_QUICK=1`).
+pub const QUICK_TRACE_LEN: usize = 60_000;
+
+/// True when the environment asks for a reduced-size run.
+pub fn quick_mode() -> bool {
+    std::env::var("CPS_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The paper-scale cache geometry: 1024 partition units.
+///
+/// In quick mode the unit count drops to 256 to keep the three DPs per
+/// group cheap.
+pub fn default_config() -> CacheConfig {
+    if quick_mode() {
+        CacheConfig::new(256, 4)
+    } else {
+        CacheConfig::paper_default()
+    }
+}
+
+/// Builds the default 16-program study (honoring `CPS_QUICK`).
+pub fn default_study() -> Study {
+    let len = if quick_mode() {
+        QUICK_TRACE_LEN
+    } else {
+        FULL_TRACE_LEN
+    };
+    Study::build(&study_programs_scaled(len), default_config())
+}
+
+/// Where result CSVs go (`results/` next to the workspace root, or
+/// `$CPS_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CPS_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // Walk up from the crate dir to the workspace root.
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    here.ancestors()
+        .nth(2)
+        .unwrap_or(here)
+        .join("results")
+}
+
+/// A minimal CSV writer (quotes nothing; callers keep fields clean).
+#[derive(Debug, Default)]
+pub struct Csv {
+    buf: String,
+}
+
+impl Csv {
+    /// Starts a CSV with a header row.
+    pub fn with_header(columns: &[&str]) -> Self {
+        let mut csv = Csv::default();
+        csv.row(columns);
+        csv
+    }
+
+    /// Appends one row of string fields.
+    pub fn row(&mut self, fields: &[&str]) {
+        let _ = writeln!(self.buf, "{}", fields.join(","));
+    }
+
+    /// Appends one row of float fields with 6 significant digits,
+    /// prefixed by string fields.
+    pub fn row_mixed(&mut self, strings: &[&str], floats: &[f64]) {
+        let mut fields: Vec<String> = strings.iter().map(|s| s.to_string()).collect();
+        fields.extend(floats.iter().map(|f| format!("{f:.6}")));
+        let _ = writeln!(self.buf, "{}", fields.join(","));
+    }
+
+    /// Writes the CSV under `results_dir()/name` and returns the path.
+    pub fn save(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(name);
+        std::fs::write(&path, &self.buf)?;
+        Ok(path)
+    }
+
+    /// The accumulated contents.
+    pub fn contents(&self) -> &str {
+        &self.buf
+    }
+}
+
+/// Formats a percentage with the paper's two-decimal style.
+pub fn pct(v: f64) -> String {
+    format!("{v:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_builds_rows() {
+        let mut c = Csv::with_header(&["a", "b"]);
+        c.row(&["x", "y"]);
+        c.row_mixed(&["z"], &[1.5, 0.25]);
+        assert_eq!(c.contents(), "a,b\nx,y\nz,1.500000,0.250000\n");
+    }
+
+    #[test]
+    fn results_dir_is_workspace_results() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(26.351), "26.35%");
+    }
+}

@@ -1,0 +1,72 @@
+//! Hit/miss accounting shared by all simulators.
+
+/// Access and miss counters for one program (or one whole cache).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessCounts {
+    /// Number of accesses observed.
+    pub accesses: u64,
+    /// Number of misses among them.
+    pub misses: u64,
+}
+
+impl AccessCounts {
+    /// Records one access.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        self.accesses += 1;
+        self.misses += u64::from(!hit);
+    }
+
+    /// Miss ratio; 0.0 when no accesses were observed.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &AccessCounts) {
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_counts() {
+        let c = AccessCounts::default();
+        assert_eq!(c.miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn record_and_ratio() {
+        let mut c = AccessCounts::default();
+        c.record(true);
+        c.record(false);
+        c.record(false);
+        c.record(true);
+        assert_eq!(c.accesses, 4);
+        assert_eq!(c.misses, 2);
+        assert_eq!(c.miss_ratio(), 0.5);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = AccessCounts {
+            accesses: 10,
+            misses: 3,
+        };
+        let b = AccessCounts {
+            accesses: 5,
+            misses: 5,
+        };
+        a.merge(&b);
+        assert_eq!(a.accesses, 15);
+        assert_eq!(a.misses, 8);
+    }
+}

@@ -1,0 +1,126 @@
+//! Free-for-all shared-cache co-run simulation.
+//!
+//! This is the measured counterpart of the composition prediction in
+//! `cps-hotl::compose`: run the interleaved trace through one LRU cache
+//! and account hits/misses per program. The paper's Natural Partition
+//! Assumption says the per-program miss ratios measured here match the
+//! solo miss ratios at the natural occupancies — the `validate_npa`
+//! experiment checks exactly that.
+
+use crate::lru::LruCache;
+use crate::metrics::AccessCounts;
+use cps_trace::CoTrace;
+
+/// Per-program and total results of one co-run simulation.
+#[derive(Clone, Debug)]
+pub struct SharedSimResult {
+    /// Counters per program index.
+    pub per_program: Vec<AccessCounts>,
+    /// Whole-cache counters.
+    pub total: AccessCounts,
+}
+
+impl SharedSimResult {
+    /// Access-weighted group miss ratio.
+    pub fn group_miss_ratio(&self) -> f64 {
+        self.total.miss_ratio()
+    }
+}
+
+/// Simulates a merged co-run trace in one shared LRU cache of
+/// `capacity` blocks, counting from a cold cache.
+pub fn simulate_shared(co: &CoTrace, capacity: usize, num_programs: usize) -> SharedSimResult {
+    simulate_shared_warm(co, capacity, num_programs, 0)
+}
+
+/// Like [`simulate_shared`] but the first `warmup` accesses update the
+/// cache without being counted — the steady-state measurement the theory
+/// predicts.
+pub fn simulate_shared_warm(
+    co: &CoTrace,
+    capacity: usize,
+    num_programs: usize,
+    warmup: usize,
+) -> SharedSimResult {
+    let mut cache = LruCache::new(capacity);
+    let mut per_program = vec![AccessCounts::default(); num_programs];
+    let mut total = AccessCounts::default();
+    for (i, acc) in co.accesses.iter().enumerate() {
+        let hit = cache.access(acc.block);
+        if i >= warmup {
+            per_program[acc.program as usize].record(hit);
+            total.record(hit);
+        }
+    }
+    SharedSimResult { per_program, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_trace::{interleave_proportional, Trace, WorkloadSpec};
+
+    fn co_run(specs: &[(u64, f64)], len: usize) -> (CoTrace, usize) {
+        let traces: Vec<Trace> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (ws, _))| {
+                WorkloadSpec::SequentialLoop { working_set: *ws }.generate(len, i as u64)
+            })
+            .collect();
+        let refs: Vec<&Trace> = traces.iter().collect();
+        let rates: Vec<f64> = specs.iter().map(|(_, r)| *r).collect();
+        let co = interleave_proportional(&refs, &rates, len * specs.len());
+        (co, specs.len())
+    }
+
+    #[test]
+    fn per_program_counts_sum_to_total() {
+        let (co, k) = co_run(&[(50, 1.0), (80, 2.0), (20, 0.5)], 5_000);
+        let res = simulate_shared(&co, 100, k);
+        let acc: u64 = res.per_program.iter().map(|c| c.accesses).sum();
+        let mis: u64 = res.per_program.iter().map(|c| c.misses).sum();
+        assert_eq!(acc, res.total.accesses);
+        assert_eq!(mis, res.total.misses);
+        assert_eq!(acc, co.len() as u64);
+    }
+
+    #[test]
+    fn big_cache_leaves_only_cold_misses() {
+        let (co, k) = co_run(&[(30, 1.0), (40, 1.0)], 3_000);
+        let res = simulate_shared(&co, 100, k);
+        assert_eq!(res.total.misses, 70, "30 + 40 cold misses only");
+    }
+
+    #[test]
+    fn warmup_excludes_cold_misses() {
+        let (co, k) = co_run(&[(30, 1.0), (40, 1.0)], 3_000);
+        let res = simulate_shared_warm(&co, 100, k, 1_000);
+        assert_eq!(res.total.misses, 0, "steady state: everything fits");
+        assert_eq!(res.total.accesses, co.len() as u64 - 1_000);
+    }
+
+    #[test]
+    fn aggressive_peer_hurts_small_program() {
+        // A 60-block loop co-run with a 500-block streaming loop in a
+        // 100-block cache: the stream flushes the small loop's data.
+        let (co, k) = co_run(&[(60, 1.0), (500, 1.0)], 20_000);
+        let shared = simulate_shared_warm(&co, 100, k, 5_000);
+        let small_shared_mr = shared.per_program[0].miss_ratio();
+        // Alone in half the cache (50 < 60) the small loop thrashes too,
+        // but alone in the full cache it would be perfect; the point
+        // here is the stream keeps it from ever holding its loop.
+        assert!(
+            small_shared_mr > 0.5,
+            "streaming peer should trash the loop: mr = {small_shared_mr}"
+        );
+    }
+
+    #[test]
+    fn empty_cotrace() {
+        let co = CoTrace::default();
+        let res = simulate_shared(&co, 10, 2);
+        assert_eq!(res.total.accesses, 0);
+        assert_eq!(res.per_program.len(), 2);
+    }
+}

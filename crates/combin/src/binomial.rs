@@ -1,0 +1,118 @@
+//! Binomial coefficients, exact (`u128`, overflow-checked) and in
+//! log-space.
+
+/// `C(n, k)` exactly, or `None` on `u128` overflow.
+///
+/// Uses the multiplicative formula with interleaved division, so
+/// intermediate values stay within one factor of the result.
+pub fn binomial(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        // result *= (n - i); result /= (i + 1)  — with exact division
+        // guaranteed because result holds C(n, i) * remaining factors.
+        result = result.checked_mul((n - i) as u128)?;
+        result /= (i + 1) as u128;
+    }
+    Some(result)
+}
+
+/// `ln C(n, k)` via `ln Γ`, accurate to ~1e-10 relative — for sizes past
+/// `u128`.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln n!` using Stirling's series (exact table below 32).
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 32 {
+        let mut acc = 0.0f64;
+        for i in 2..=n {
+            acc += (i as f64).ln();
+        }
+        return acc;
+    }
+    // Stirling series: ln n! ≈ n ln n − n + ½ ln(2πn) + 1/(12n) − 1/(360n³)
+    let x = n as f64;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x.powi(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(binomial(0, 0), Some(1));
+        assert_eq!(binomial(5, 0), Some(1));
+        assert_eq!(binomial(5, 5), Some(1));
+        assert_eq!(binomial(5, 2), Some(10));
+        assert_eq!(binomial(10, 3), Some(120));
+        assert_eq!(binomial(3, 5), Some(0));
+    }
+
+    #[test]
+    fn pascal_identity() {
+        for n in 1..40u64 {
+            for k in 1..n {
+                assert_eq!(
+                    binomial(n, k).unwrap(),
+                    binomial(n - 1, k - 1).unwrap() + binomial(n - 1, k).unwrap(),
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_section2_binomial() {
+        // C(131072 + 4 − 1, 4 − 1) = C(131075, 3) = 375,317,149,057,025.
+        assert_eq!(binomial(131_075, 3), Some(375_317_149_057_025));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        // C(1000, 500) far exceeds u128.
+        assert_eq!(binomial(1000, 500), None);
+        // But a large computable one is fine (C(100, 30) ≈ 2.9e25).
+        assert_eq!(binomial(100, 30), Some(29_372_339_821_610_944_823_963_760));
+    }
+
+    #[test]
+    fn ln_binomial_matches_exact() {
+        for (n, k) in [(10u64, 3u64), (52, 5), (100, 50), (131_075, 3)] {
+            let exact = binomial(n, k).unwrap() as f64;
+            let approx = ln_binomial(n, k).exp();
+            assert!(
+                (approx / exact - 1.0).abs() < 1e-8,
+                "C({n},{k}): {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_factorial_exact_region_matches() {
+        let mut acc = 1.0f64;
+        for n in 1..=30u64 {
+            acc *= n as f64;
+            assert!((ln_factorial(n) - acc.ln()).abs() < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ln_binomial_edge_cases() {
+        assert_eq!(ln_binomial(5, 0), 0.0);
+        assert_eq!(ln_binomial(5, 5), 0.0);
+        assert_eq!(ln_binomial(3, 7), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,20 @@
+//! Combinatorics substrate: the search-space arithmetic of Section II.
+//!
+//! The paper sizes three allocation problems — sharing across multiple
+//! caches (Stirling numbers, Eq. 1), partition-sharing of a single cache
+//! (Eq. 2), and partitioning only (stars-and-bars, Eq. 3) — and uses the
+//! worked example `npr = 4, C = 131072` to show partitioning-only covers
+//! 99.99% of the partition-sharing space. This crate reproduces that
+//! arithmetic exactly in `u128` (with overflow detection) and in
+//! log-space `f64` for sizes past `u128`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod binomial;
+pub mod search_space;
+pub mod stirling;
+
+pub use binomial::{binomial, ln_binomial};
+pub use search_space::{s1_sharing_multi_cache, s2_partition_sharing, s3_partitioning_only};
+pub use stirling::{ln_stirling2, stirling2};

@@ -1,0 +1,87 @@
+//! Search-space sizes of the three allocation problems (Section II).
+//!
+//! * **S1** (Eq. 1): sharing only, multiple caches — ways to split `npr`
+//!   programs into `nc` non-empty cache populations: `S(npr, nc)`.
+//! * **S2** (Eq. 2): partition-sharing a single cache — for each
+//!   partition count `npa`, group the programs (`S(npr, npa)`) and place
+//!   the walls (`C(C + npa − 1, npa − 1)` ways to deal `C` units to
+//!   `npa` bins), summed over `npa`.
+//! * **S3** (Eq. 3): partitioning only — `C(C + npr − 1, npr − 1)`.
+//!
+//! The paper's worked example (`npr = 4`, `C = 131072` 64-byte units of
+//! an 8 MB cache) gives `S2 = 375,368,690,761,743` and
+//! `S3 = 375,317,149,057,025` — partitioning-only covers 99.99% of
+//! partition-sharing, the back-of-envelope justification for reducing
+//! the search to partitioning.
+
+use crate::binomial::binomial;
+use crate::stirling::stirling2;
+
+/// Eq. 1: `S1 = S(npr, nc)` — sharing only, `nc` caches.
+pub fn s1_sharing_multi_cache(npr: u64, nc: u64) -> Option<u128> {
+    stirling2(npr, nc)
+}
+
+/// Eq. 2: `S2 = Σ_{npa=1..npr} S(npr, npa) · C(C + npa − 1, npa − 1)`.
+pub fn s2_partition_sharing(npr: u64, cache_units: u64) -> Option<u128> {
+    let mut total: u128 = 0;
+    for npa in 1..=npr {
+        let groups = stirling2(npr, npa)?;
+        let walls = binomial(cache_units + npa - 1, npa - 1)?;
+        total = total.checked_add(groups.checked_mul(walls)?)?;
+    }
+    Some(total)
+}
+
+/// Eq. 3: `S3 = C(C + npr − 1, npr − 1)` — partitioning only.
+pub fn s3_partitioning_only(npr: u64, cache_units: u64) -> Option<u128> {
+    binomial(cache_units + npr - 1, npr - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // npr = 4, C = 8 MB / 64 B = 131072.
+        let c = 131_072u64;
+        assert_eq!(s3_partitioning_only(4, c), Some(375_317_149_057_025));
+        assert_eq!(s2_partition_sharing(4, c), Some(375_368_690_761_743));
+        // Coverage ratio quoted as 99.99%.
+        let s2 = s2_partition_sharing(4, c).unwrap() as f64;
+        let s3 = s3_partitioning_only(4, c).unwrap() as f64;
+        assert!(s3 / s2 > 0.9998, "coverage {}", s3 / s2);
+    }
+
+    #[test]
+    fn evaluation_scale_s3() {
+        // Section VII-A: 4 programs, 1024 units → C(1027, 3) ≈ 180 M
+        // (the paper says "nearly 180 million ways").
+        let s3 = s3_partitioning_only(4, 1024).unwrap();
+        assert_eq!(s3, 180_007_425); // C(1027, 3)
+    }
+
+    #[test]
+    fn s2_exhaustive_check_tiny() {
+        // npr = 2, C = 3: npa=1 → S(2,1)·C(3,0)=1; npa=2 → S(2,2)·C(4,1)=4.
+        assert_eq!(s2_partition_sharing(2, 3), Some(5));
+        // npr = 3, C = 2:
+        //   npa=1: S(3,1)·C(2,0) = 1
+        //   npa=2: S(3,2)·C(3,1) = 3·3 = 9
+        //   npa=3: S(3,3)·C(4,2) = 1·6 = 6
+        assert_eq!(s2_partition_sharing(3, 2), Some(16));
+    }
+
+    #[test]
+    fn s1_is_stirling() {
+        assert_eq!(s1_sharing_multi_cache(4, 2), Some(7));
+        assert_eq!(s1_sharing_multi_cache(20, 2), stirling2(20, 2));
+    }
+
+    #[test]
+    fn single_program_degenerates() {
+        assert_eq!(s3_partitioning_only(1, 1000), Some(1));
+        assert_eq!(s2_partition_sharing(1, 1000), Some(1));
+    }
+}

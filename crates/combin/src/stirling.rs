@@ -1,0 +1,126 @@
+//! Stirling numbers of the second kind.
+//!
+//! `S(n, k)` counts the ways to partition `n` labelled programs into `k`
+//! non-empty groups — the grouping factor in the paper's Eq. 1 and 2.
+
+/// `S(n, k)` exactly via the triangular recurrence
+/// `S(n, k) = k·S(n−1, k) + S(n−1, k−1)`, or `None` on `u128` overflow.
+pub fn stirling2(n: u64, k: u64) -> Option<u128> {
+    if n == 0 && k == 0 {
+        return Some(1);
+    }
+    if k == 0 || k > n {
+        return Some(0);
+    }
+    let n = n as usize;
+    let k = k as usize;
+    // Row-by-row DP over k columns.
+    let mut row: Vec<u128> = vec![0; k + 1];
+    row[0] = 1; // S(0, 0)
+    for _ in 1..=n {
+        // Iterate columns right-to-left so row holds the previous n.
+        let mut next = vec![0u128; k + 1];
+        for j in 1..=k {
+            let term = (j as u128).checked_mul(row[j])?;
+            next[j] = term.checked_add(row[j - 1])?;
+        }
+        row = next;
+    }
+    Some(row[k])
+}
+
+/// `ln S(n, k)` by summing the explicit inclusion–exclusion formula in
+/// shifted log-space; usable when the exact value overflows.
+pub fn ln_stirling2(n: u64, k: u64) -> f64 {
+    match stirling2(n, k) {
+        Some(0) => f64::NEG_INFINITY,
+        Some(v) if v < (1u128 << 100) => (v as f64).ln(),
+        _ => {
+            // S(n,k) = (1/k!) Σ_{j=0..k} (−1)^(k−j) C(k,j) j^n.
+            // Sum alternating terms in shifted log space.
+            let kf = super::binomial::ln_factorial(k);
+            let mut max_ln = f64::NEG_INFINITY;
+            let terms: Vec<(f64, f64)> = (0..=k)
+                .map(|j| {
+                    let sign = if (k - j).is_multiple_of(2) { 1.0 } else { -1.0 };
+                    let ln_t = if j == 0 {
+                        if n == 0 {
+                            0.0
+                        } else {
+                            f64::NEG_INFINITY
+                        }
+                    } else {
+                        super::binomial::ln_binomial(k, j) + n as f64 * (j as f64).ln()
+                    };
+                    max_ln = max_ln.max(ln_t);
+                    (sign, ln_t)
+                })
+                .collect();
+            let sum: f64 = terms
+                .iter()
+                .map(|(s, ln_t)| s * (ln_t - max_ln).exp())
+                .sum();
+            max_ln + sum.ln() - kf
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_small_values() {
+        assert_eq!(stirling2(0, 0), Some(1));
+        assert_eq!(stirling2(3, 0), Some(0));
+        assert_eq!(stirling2(0, 1), Some(0));
+        assert_eq!(stirling2(4, 1), Some(1));
+        assert_eq!(stirling2(4, 2), Some(7));
+        assert_eq!(stirling2(4, 3), Some(6));
+        assert_eq!(stirling2(4, 4), Some(1));
+        assert_eq!(stirling2(5, 2), Some(15));
+        assert_eq!(stirling2(5, 3), Some(25));
+        assert_eq!(stirling2(10, 5), Some(42_525));
+    }
+
+    #[test]
+    fn row_sums_are_bell_numbers() {
+        // Bell numbers: 1, 1, 2, 5, 15, 52, 203, 877, 4140.
+        let bell = [1u128, 1, 2, 5, 15, 52, 203, 877, 4140];
+        for (n, &b) in bell.iter().enumerate() {
+            let sum: u128 = (0..=n as u64)
+                .map(|k| stirling2(n as u64, k).unwrap())
+                .sum();
+            assert_eq!(sum, b, "Bell({n})");
+        }
+    }
+
+    #[test]
+    fn k_bigger_than_n_is_zero() {
+        assert_eq!(stirling2(3, 5), Some(0));
+        assert_eq!(ln_stirling2(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ln_matches_exact_in_range() {
+        for (n, k) in [(10u64, 4u64), (20, 7), (30, 3), (40, 6)] {
+            let exact = stirling2(n, k).unwrap() as f64;
+            let approx = ln_stirling2(n, k).exp();
+            assert!(
+                (approx / exact - 1.0).abs() < 1e-6,
+                "S({n},{k}): {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_values_via_log_space() {
+        // S(300, 20) overflows u128; ln value must still be finite and
+        // bounded by ln(20^300 / 20!) from above.
+        let v = ln_stirling2(300, 20);
+        assert!(v.is_finite());
+        let upper = 300.0 * 20f64.ln();
+        assert!(v < upper);
+        assert!(v > 0.9 * upper - 50.0);
+    }
+}

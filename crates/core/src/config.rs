@@ -1,0 +1,92 @@
+//! Cache geometry: partition units over blocks.
+//!
+//! The paper partitions an 8 MB cache in units of 8 KB — 1024 units of
+//! 128 64-byte lines — purely to keep the `O(P·C²)` dynamic program
+//! cheap (Section VII-A). [`CacheConfig`] captures that two-level
+//! geometry; all optimizer allocations are in units, all locality curves
+//! in blocks.
+
+/// Cache geometry for partitioning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of partition units (the DP's `C`).
+    pub units: usize,
+    /// Blocks per unit (the partition granularity).
+    pub blocks_per_unit: usize,
+}
+
+impl CacheConfig {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    /// Panics if either field is zero.
+    pub fn new(units: usize, blocks_per_unit: usize) -> Self {
+        assert!(units > 0, "need at least one unit");
+        assert!(blocks_per_unit > 0, "unit must hold at least one block");
+        CacheConfig {
+            units,
+            blocks_per_unit,
+        }
+    }
+
+    /// The paper's evaluation geometry mapped to this repo's default
+    /// scale: 1024 units of 1 block over a 1024-block cache (the unit
+    /// count — which is what the DP cost depends on — matches the
+    /// paper's 1024 × 8 KB).
+    pub fn paper_default() -> Self {
+        CacheConfig::new(1024, 1)
+    }
+
+    /// Total capacity in blocks.
+    pub fn blocks(&self) -> usize {
+        self.units * self.blocks_per_unit
+    }
+
+    /// Converts an allocation in units to blocks.
+    pub fn to_blocks(&self, units: usize) -> usize {
+        units * self.blocks_per_unit
+    }
+
+    /// Equal split of the cache among `k` programs, in units; the first
+    /// `units % k` programs receive one extra unit.
+    pub fn equal_split(&self, k: usize) -> Vec<usize> {
+        assert!(k > 0, "need at least one program");
+        let base = self.units / k;
+        let extra = self.units % k;
+        (0..k).map(|i| base + usize::from(i < extra)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_arithmetic() {
+        let c = CacheConfig::new(1024, 8);
+        assert_eq!(c.blocks(), 8192);
+        assert_eq!(c.to_blocks(3), 24);
+    }
+
+    #[test]
+    fn paper_default_matches_unit_count() {
+        let c = CacheConfig::paper_default();
+        assert_eq!(c.units, 1024);
+        assert_eq!(c.blocks(), 1024);
+    }
+
+    #[test]
+    fn equal_split_exact_and_remainder() {
+        let c = CacheConfig::new(1024, 1);
+        assert_eq!(c.equal_split(4), vec![256; 4]);
+        let c = CacheConfig::new(10, 1);
+        assert_eq!(c.equal_split(3), vec![4, 3, 3]);
+        assert_eq!(c.equal_split(3).iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn zero_units_panics() {
+        let _ = CacheConfig::new(0, 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-program allocation cost curves.
+//!
+//! The dynamic program minimizes an accumulated cost `Σ_i cost_i(c_i)`
+//! (or `max_i`, for QoS). For throughput the natural cost is the
+//! program's contribution to the group miss ratio: its access share
+//! times its miss ratio at the allocation (Eq. 12/14's `f_i · mr_i(c_i)`).
+//! Section VI's *baseline optimization* adds a per-program fairness cap:
+//! any allocation at which the program would miss more than its baseline
+//! is **forbidden** (`+∞` cost), and the DP simply never picks it.
+
+use crate::config::CacheConfig;
+use cps_hotl::MissRatioCurve;
+
+/// Cost forbidden by a baseline constraint.
+pub const FORBIDDEN: f64 = f64::INFINITY;
+
+/// Cost of giving a program `0..=units` partition units.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostCurve {
+    costs: Vec<f64>,
+}
+
+impl CostCurve {
+    /// Wraps raw per-unit costs (`costs[u]` = cost at `u` units).
+    ///
+    /// # Panics
+    /// Panics if empty or if any value is NaN (infinities are allowed —
+    /// they encode forbidden allocations).
+    pub fn from_raw(costs: Vec<f64>) -> Self {
+        assert!(!costs.is_empty(), "cost curve needs at least one entry");
+        assert!(costs.iter().all(|c| !c.is_nan()), "costs must not be NaN");
+        CostCurve { costs }
+    }
+
+    /// Throughput cost: `weight · mr(u · blocks_per_unit)` for
+    /// `u ∈ 0..=config.units`. `weight` is the program's access share
+    /// `f_i` so that summed costs equal the group miss ratio.
+    pub fn from_miss_ratio(mrc: &MissRatioCurve, config: &CacheConfig, weight: f64) -> Self {
+        assert!(weight >= 0.0, "weight must be non-negative");
+        let costs = (0..=config.units)
+            .map(|u| weight * mrc.at(config.to_blocks(u)))
+            .collect();
+        CostCurve { costs }
+    }
+
+    /// Like [`CostCurve::from_miss_ratio`] but with a baseline cap:
+    /// allocations where the program's own miss ratio exceeds
+    /// `cap_miss_ratio` (plus numerical slack) become [`FORBIDDEN`].
+    pub fn with_baseline_cap(
+        mrc: &MissRatioCurve,
+        config: &CacheConfig,
+        weight: f64,
+        cap_miss_ratio: f64,
+    ) -> Self {
+        assert!(weight >= 0.0, "weight must be non-negative");
+        let slack = 1e-9 + cap_miss_ratio * 1e-9;
+        let costs = (0..=config.units)
+            .map(|u| {
+                let mr = mrc.at(config.to_blocks(u));
+                if mr > cap_miss_ratio + slack {
+                    FORBIDDEN
+                } else {
+                    weight * mr
+                }
+            })
+            .collect();
+        CostCurve { costs }
+    }
+
+    /// Cost at `u` units (clamped to the last entry).
+    #[inline]
+    pub fn at(&self, u: usize) -> f64 {
+        self.costs[u.min(self.costs.len() - 1)]
+    }
+
+    /// Largest representable allocation.
+    pub fn max_units(&self) -> usize {
+        self.costs.len() - 1
+    }
+
+    /// The raw values.
+    pub fn raw(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// Smallest allocation with finite cost, or `None` if all are
+    /// forbidden.
+    pub fn min_feasible(&self) -> Option<usize> {
+        self.costs.iter().position(|c| c.is_finite())
+    }
+
+    /// Replaces the curve with its lower convex envelope (finite part) —
+    /// what the convexity-assuming STTW solution effectively optimizes.
+    ///
+    /// # Panics
+    /// Panics if any entry is infinite (STTW has no constraint support,
+    /// which is one of the paper's criticisms of it).
+    pub fn convex_envelope(&self) -> CostCurve {
+        assert!(
+            self.costs.iter().all(|c| c.is_finite()),
+            "convex envelope undefined with forbidden allocations"
+        );
+        let curve = cps_dstruct::MonotoneCurve::from_samples(self.costs.clone());
+        CostCurve {
+            costs: curve.lower_convex_envelope().samples().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_hotl::Footprint;
+
+    fn loop_mrc(ws: u64, len: usize, max_blocks: usize) -> MissRatioCurve {
+        let trace: Vec<u64> = (0..len as u64).map(|i| i % ws).collect();
+        MissRatioCurve::from_footprint(&Footprint::from_trace(&trace), max_blocks)
+    }
+
+    #[test]
+    fn throughput_cost_is_weighted_mrc() {
+        let mrc = loop_mrc(16, 2000, 32);
+        let cfg = CacheConfig::new(16, 2);
+        let cost = CostCurve::from_miss_ratio(&mrc, &cfg, 0.25);
+        for u in 0..=16 {
+            assert!((cost.at(u) - 0.25 * mrc.at(2 * u)).abs() < 1e-12);
+        }
+        assert_eq!(cost.max_units(), 16);
+    }
+
+    #[test]
+    fn baseline_cap_forbids_high_miss_allocations() {
+        let mrc = loop_mrc(16, 2000, 32);
+        let cfg = CacheConfig::new(32, 1);
+        let cap = mrc.at(16); // baseline: the working set fits
+        let cost = CostCurve::with_baseline_cap(&mrc, &cfg, 1.0, cap);
+        // Below the cliff the loop thrashes (mr ≈ 1 > cap) → forbidden.
+        assert_eq!(cost.at(4), FORBIDDEN);
+        assert!(cost.at(16).is_finite());
+        assert_eq!(cost.min_feasible(), Some(16));
+    }
+
+    #[test]
+    fn permissive_cap_forbids_nothing() {
+        let mrc = loop_mrc(8, 500, 16);
+        let cfg = CacheConfig::new(16, 1);
+        let cost = CostCurve::with_baseline_cap(&mrc, &cfg, 1.0, 1.0);
+        assert_eq!(cost.min_feasible(), Some(0));
+    }
+
+    #[test]
+    fn envelope_is_convex_lower_bound() {
+        let cost = CostCurve::from_raw(vec![1.0, 1.0, 0.9, 0.2, 0.2, 0.1]);
+        let env = cost.convex_envelope();
+        for u in 0..=5 {
+            assert!(env.at(u) <= cost.at(u) + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "forbidden allocations")]
+    fn envelope_rejects_constraints() {
+        let cost = CostCurve::from_raw(vec![FORBIDDEN, 0.5, 0.1]);
+        let _ = cost.convex_envelope();
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_cost_rejected() {
+        let _ = CostCurve::from_raw(vec![0.0, f64::NAN]);
+    }
+
+    #[test]
+    fn clamping_past_end() {
+        let cost = CostCurve::from_raw(vec![0.5, 0.2]);
+        assert_eq!(cost.at(10), 0.2);
+    }
+}

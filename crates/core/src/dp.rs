@@ -1,0 +1,335 @@
+//! The optimal cache-partitioning dynamic program (Section V-B).
+//!
+//! Given per-program cost curves `cost_i(c)` over `0..=C` units, find the
+//! allocation `(c_1, …, c_P)` with `Σ c_i = C` minimizing the accumulated
+//! cost (Eq. 15). The recurrence (Eq. 16) adds one program at a time:
+//!
+//! ```text
+//! dp_i[k] = min_{c ≤ k}  dp_{i−1}[k − c] ⊕ cost_i(c)
+//! ```
+//!
+//! where `⊕` is `+` for throughput objectives or `max` for max-min /
+//! QoS objectives. Unlike STTW this examines the entire solution space,
+//! so the miss-ratio curves may be **any** function — cliffs, plateaus,
+//! even non-monotone — and baseline constraints are just `+∞` entries.
+//! Complexity `O(P·C²)` time, `O(P·C)` space (the paper's numbers; the
+//! choice table for backtracking is the `O(P·C)` part).
+
+use crate::cost::CostCurve;
+
+/// How per-program costs accumulate into the group objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Combine {
+    /// Throughput: minimize the sum (access-share-weighted group miss
+    /// ratio, Eq. 12).
+    Sum,
+    /// QoS: minimize the worst member cost (max-min fairness).
+    Max,
+}
+
+impl Combine {
+    #[inline]
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            Combine::Sum => a + b,
+            Combine::Max => a.max(b),
+        }
+    }
+
+    /// Identity element of the accumulation.
+    #[inline]
+    fn identity(self) -> f64 {
+        match self {
+            Combine::Sum => 0.0,
+            Combine::Max => f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// An optimal (or heuristic) partition and its accumulated cost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionResult {
+    /// Units allocated to each program; sums to the cache size.
+    pub allocation: Vec<usize>,
+    /// Accumulated group cost of the allocation.
+    pub cost: f64,
+}
+
+/// Runs the DP. Returns `None` when no allocation satisfies every
+/// program's constraints (some cost curve forbids everything reachable),
+/// or when `costs` is empty.
+///
+/// Exact-sum semantics: all `total_units` are distributed. Because cost
+/// curves are non-increasing in practice, using the whole cache is never
+/// worse; forbidden (infinite) regions only ever exclude *small*
+/// allocations, so exactness does not affect feasibility.
+///
+/// # Examples
+///
+/// A cliff curve next to a smooth one — the case greedy allocation gets
+/// wrong and the DP gets right:
+///
+/// ```
+/// use cps_core::{optimal_partition, Combine, CostCurve};
+/// let cliff = CostCurve::from_raw(vec![1.0, 1.0, 1.0, 0.0]); // all-or-nothing at 3 units
+/// let smooth = CostCurve::from_raw(vec![0.3, 0.2, 0.1, 0.05]);
+/// let best = optimal_partition(&[cliff, smooth], 3, Combine::Sum).unwrap();
+/// assert_eq!(best.allocation, vec![3, 0]); // feed the cliff
+/// assert!((best.cost - 0.3).abs() < 1e-12);
+/// ```
+pub fn optimal_partition(
+    costs: &[CostCurve],
+    total_units: usize,
+    combine: Combine,
+) -> Option<PartitionResult> {
+    if costs.is_empty() {
+        return None;
+    }
+    let p = costs.len();
+    let c = total_units;
+    // dp[k]: best accumulated cost allocating exactly k units to the
+    // programs processed so far. choice[i][k]: units given to program i
+    // in that best solution.
+    let mut dp: Vec<f64> = (0..=c).map(|k| costs[0].at(k)).collect();
+    let mut choice: Vec<Vec<u32>> = Vec::with_capacity(p);
+    choice.push((0..=c as u32).collect());
+    let mut next = vec![f64::INFINITY; c + 1];
+    for cost_i in &costs[1..] {
+        let mut row = vec![0u32; c + 1];
+        for (k, slot) in next.iter_mut().enumerate() {
+            let mut best = f64::INFINITY;
+            let mut best_c = 0u32;
+            for ci in 0..=k {
+                let prev = dp[k - ci];
+                if prev.is_infinite() {
+                    continue;
+                }
+                let own = cost_i.at(ci);
+                if own.is_infinite() {
+                    continue;
+                }
+                let total = combine.apply(prev, own);
+                if total < best {
+                    best = total;
+                    best_c = ci as u32;
+                }
+            }
+            *slot = best;
+            row[k] = best_c;
+        }
+        std::mem::swap(&mut dp, &mut next);
+        choice.push(row);
+    }
+    if dp[c].is_infinite() {
+        return None;
+    }
+    // For Combine::Max with all-identity costs dp[c] can be -inf only if
+    // identity() leaked; costs are finite here, so dp[c] is a real cost.
+    let mut allocation = vec![0usize; p];
+    let mut k = c;
+    for i in (0..p).rev() {
+        let ci = choice[i][k] as usize;
+        allocation[i] = ci;
+        k -= ci;
+    }
+    debug_assert_eq!(k, 0, "backtrack must consume the whole cache");
+    // Recompute the cost from the allocation as a self-check (and to
+    // normalize Max-combine identity handling).
+    let mut acc = combine.identity();
+    for (i, &ci) in allocation.iter().enumerate() {
+        acc = combine.apply(acc, costs[i].at(ci));
+    }
+    Some(PartitionResult {
+        allocation,
+        cost: acc,
+    })
+}
+
+/// Exhaustive reference optimizer (`O(C^(P−1))`) — the oracle the tests
+/// compare the DP against. Only sensible for tiny instances.
+pub fn brute_force_partition(
+    costs: &[CostCurve],
+    total_units: usize,
+    combine: Combine,
+) -> Option<PartitionResult> {
+    // Iterative odometer over all compositions of total_units into p
+    // parts: enumerate the first p−1 digits, the last is the remainder.
+    if costs.is_empty() {
+        return None;
+    }
+    let p = costs.len();
+    let mut alloc = vec![0usize; p];
+    let mut best: Option<PartitionResult> = None;
+    loop {
+        let head: usize = alloc[..p - 1].iter().sum();
+        if head <= total_units {
+            alloc[p - 1] = total_units - head;
+            let mut acc = combine.identity();
+            let mut feasible = true;
+            for (cc, &a) in costs.iter().zip(&alloc) {
+                let v = cc.at(a);
+                if v.is_infinite() {
+                    feasible = false;
+                    break;
+                }
+                acc = combine.apply(acc, v);
+            }
+            if feasible && best.as_ref().is_none_or(|b| acc < b.cost) {
+                best = Some(PartitionResult {
+                    allocation: alloc.clone(),
+                    cost: acc,
+                });
+            }
+        }
+        // Advance the odometer over the first p−1 digits.
+        let mut i = 0;
+        loop {
+            if i == p - 1 {
+                return best;
+            }
+            alloc[i] += 1;
+            if alloc[..p - 1].iter().sum::<usize>() <= total_units {
+                break;
+            }
+            alloc[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::FORBIDDEN;
+
+    fn curve(v: Vec<f64>) -> CostCurve {
+        CostCurve::from_raw(v)
+    }
+
+    #[test]
+    fn single_program_takes_everything() {
+        let c = curve(vec![1.0, 0.5, 0.2, 0.1]);
+        let r = optimal_partition(&[c], 3, Combine::Sum).unwrap();
+        assert_eq!(r.allocation, vec![3]);
+        assert!((r.cost - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_programs_split_optimally() {
+        // Program A gains a lot from 2 units; program B from 1.
+        let a = curve(vec![1.0, 0.9, 0.1, 0.05]);
+        let b = curve(vec![1.0, 0.2, 0.15, 0.1]);
+        let r = optimal_partition(&[a, b], 3, Combine::Sum).unwrap();
+        assert_eq!(r.allocation, vec![2, 1]);
+        assert!((r.cost - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_cliff_curves_where_greedy_fails() {
+        // A: huge drop only at 3 units. B: small steady gains.
+        // Greedy-by-next-unit would feed B; optimal gives A its cliff.
+        let a = curve(vec![1.0, 1.0, 1.0, 0.0]);
+        let b = curve(vec![0.3, 0.2, 0.1, 0.05]);
+        let r = optimal_partition(&[a, b], 3, Combine::Sum).unwrap();
+        assert_eq!(r.allocation, vec![3, 0]);
+        assert!((r.cost - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_curves() {
+        let mut x = 42u64;
+        let mut rnd = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 33) as f64) / (u32::MAX as f64)
+        };
+        for _ in 0..20 {
+            let p = 3;
+            let c = 12;
+            let costs: Vec<CostCurve> = (0..p)
+                .map(|_| {
+                    // Random non-increasing curve.
+                    let mut v: Vec<f64> = (0..=c).map(|_| rnd()).collect();
+                    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                    curve(v)
+                })
+                .collect();
+            let dp = optimal_partition(&costs, c, Combine::Sum).unwrap();
+            let bf = brute_force_partition(&costs, c, Combine::Sum).unwrap();
+            assert!(
+                (dp.cost - bf.cost).abs() < 1e-9,
+                "dp {} vs brute force {}",
+                dp.cost,
+                bf.cost
+            );
+            assert_eq!(dp.allocation.iter().sum::<usize>(), c);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_with_non_monotone_curves() {
+        // "Any function" support: costs that go *up* with more cache.
+        let a = curve(vec![0.5, 0.1, 0.9, 0.2]);
+        let b = curve(vec![0.3, 0.6, 0.0, 0.4]);
+        let dp = optimal_partition(&[a.clone(), b.clone()], 3, Combine::Sum).unwrap();
+        let bf = brute_force_partition(&[a, b], 3, Combine::Sum).unwrap();
+        assert_eq!(dp.cost, bf.cost);
+        assert_eq!(dp.allocation, vec![1, 2]);
+    }
+
+    #[test]
+    fn max_combine_minimizes_worst_member() {
+        // Sum-optimal would starve B (give everything to A); max-combine
+        // balances.
+        let a = curve(vec![0.9, 0.5, 0.3, 0.1]);
+        let b = curve(vec![0.8, 0.4, 0.2, 0.05]);
+        let sum = optimal_partition(&[a.clone(), b.clone()], 3, Combine::Sum).unwrap();
+        let max = optimal_partition(&[a.clone(), b.clone()], 3, Combine::Max).unwrap();
+        let worst =
+            |r: &PartitionResult| (0..2).map(|i| [&a, &b][i].at(r.allocation[i])).fold(0.0, f64::max);
+        assert!(worst(&max) <= worst(&sum) + 1e-12);
+        let bf = brute_force_partition(&[a, b], 3, Combine::Max).unwrap();
+        assert!((max.cost - bf.cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constraints_are_respected() {
+        // A needs at least 2 units; B at least 1; cache of 4.
+        let a = curve(vec![FORBIDDEN, FORBIDDEN, 0.5, 0.4, 0.3]);
+        let b = curve(vec![FORBIDDEN, 0.6, 0.5, 0.45, 0.44]);
+        let r = optimal_partition(&[a, b], 4, Combine::Sum).unwrap();
+        assert!(r.allocation[0] >= 2);
+        assert!(r.allocation[1] >= 1);
+        assert_eq!(r.allocation.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        // Together they need 5 units; only 4 exist.
+        let a = curve(vec![FORBIDDEN, FORBIDDEN, FORBIDDEN, 0.1, 0.1]);
+        let b = curve(vec![FORBIDDEN, FORBIDDEN, 0.2, 0.2, 0.2]);
+        assert_eq!(optimal_partition(&[a, b], 4, Combine::Sum), None);
+    }
+
+    #[test]
+    fn empty_input_returns_none() {
+        assert_eq!(optimal_partition(&[], 4, Combine::Sum), None);
+    }
+
+    #[test]
+    fn zero_cache_allocates_zeros() {
+        let a = curve(vec![0.5]);
+        let b = curve(vec![0.25]);
+        let r = optimal_partition(&[a, b], 0, Combine::Sum).unwrap();
+        assert_eq!(r.allocation, vec![0, 0]);
+        assert!((r.cost - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_cost_curves_clamp() {
+        // A curve shorter than the cache behaves as flat past its end.
+        let a = curve(vec![1.0, 0.0]); // flat 0 beyond 1 unit
+        let b = curve(vec![1.0, 0.4, 0.3, 0.2, 0.15]);
+        let r = optimal_partition(&[a, b], 4, Combine::Sum).unwrap();
+        assert_eq!(r.allocation, vec![1, 3]);
+    }
+}

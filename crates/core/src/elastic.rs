@@ -1,0 +1,188 @@
+//! Elastic cache utility — the θ-parameterized fairness guarantee
+//! (the paper's citation \[18\], Ye et al.'s RECU).
+//!
+//! Section VI's two baselines are all-or-nothing: a program is entitled
+//! to exactly its Equal-partition or Natural-partition performance. The
+//! elastic generalization scales the entitlement: each program is
+//! guaranteed the miss ratio it would have with a `θ`-fraction of its
+//! equal share (`θ·C/P` units), for `θ ∈ [0, 1]`:
+//!
+//! * `θ = 1` is the Equal baseline (full guarantee, least headroom);
+//! * `θ = 0` is unconstrained Optimal (no guarantee, full headroom);
+//! * intermediate θ traces the **fairness–throughput Pareto frontier**,
+//!   which the `elastic` experiment sweeps.
+
+use crate::config::CacheConfig;
+use crate::cost::CostCurve;
+use crate::dp::{optimal_partition, Combine, PartitionResult};
+use cps_hotl::SoloProfile;
+
+/// One point of the elastic trade-off.
+#[derive(Clone, Debug)]
+pub struct ElasticResult {
+    /// The guarantee strength used.
+    pub theta: f64,
+    /// The optimal allocation under the guarantee.
+    pub result: PartitionResult,
+    /// Per-program miss ratios at that allocation.
+    pub member_miss_ratios: Vec<f64>,
+    /// The per-program miss-ratio caps that were enforced.
+    pub caps: Vec<f64>,
+}
+
+/// The miss-ratio caps for guarantee strength `theta`: each program's
+/// solo miss ratio at `θ · C/P` units (rounded down, minimum 0).
+pub fn elastic_caps(members: &[&SoloProfile], config: &CacheConfig, theta: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&theta), "theta must be in [0, 1]");
+    let equal = config.equal_split(members.len());
+    members
+        .iter()
+        .zip(&equal)
+        .map(|(m, &u)| {
+            let scaled_units = (theta * u as f64).floor() as usize;
+            m.mrc.at(config.to_blocks(scaled_units))
+        })
+        .collect()
+}
+
+/// Group-optimal partitioning subject to the θ-guarantee. Always
+/// feasible: the scaled-equal allocation itself satisfies every cap and
+/// fits in the cache.
+pub fn elastic_partition(
+    members: &[&SoloProfile],
+    config: &CacheConfig,
+    theta: f64,
+) -> ElasticResult {
+    assert!(!members.is_empty(), "group needs members");
+    let caps = elastic_caps(members, config, theta);
+    let total_rate: f64 = members.iter().map(|m| m.access_rate).sum();
+    let costs: Vec<CostCurve> = members
+        .iter()
+        .zip(&caps)
+        .map(|(m, &cap)| {
+            CostCurve::with_baseline_cap(&m.mrc, config, m.access_rate / total_rate, cap)
+        })
+        .collect();
+    let result = optimal_partition(&costs, config.units, Combine::Sum)
+        .expect("theta-scaled equal allocation is always feasible");
+    let member_miss_ratios = members
+        .iter()
+        .zip(&result.allocation)
+        .map(|(m, &u)| m.mrc.at(config.to_blocks(u)))
+        .collect();
+    ElasticResult {
+        theta,
+        result,
+        member_miss_ratios,
+        caps,
+    }
+}
+
+/// Sweeps θ over `steps + 1` evenly spaced points in `[0, 1]` and
+/// returns the trade-off curve (θ ascending).
+pub fn elastic_sweep(
+    members: &[&SoloProfile],
+    config: &CacheConfig,
+    steps: usize,
+) -> Vec<ElasticResult> {
+    assert!(steps >= 1, "need at least two sweep points");
+    (0..=steps)
+        .map(|i| elastic_partition(members, config, i as f64 / steps as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_trace::WorkloadSpec;
+
+    fn profile(name: &str, ws: u64, rate: f64, blocks: usize) -> SoloProfile {
+        let t = WorkloadSpec::SequentialLoop { working_set: ws }.generate(30_000, ws);
+        SoloProfile::from_trace(name, &t.blocks, rate, blocks)
+    }
+
+    fn group(blocks: usize) -> Vec<SoloProfile> {
+        vec![
+            profile("hungry", 150, 1.2, blocks),
+            profile("mid", 70, 1.0, blocks),
+            profile("small", 30, 0.9, blocks),
+        ]
+    }
+
+    #[test]
+    fn theta_zero_is_unconstrained_optimal() {
+        let blocks = 240;
+        let ps = group(blocks);
+        let members: Vec<&SoloProfile> = ps.iter().collect();
+        let cfg = CacheConfig::new(blocks, 1);
+        let elastic = elastic_partition(&members, &cfg, 0.0);
+        let total_rate: f64 = members.iter().map(|m| m.access_rate).sum();
+        let costs: Vec<CostCurve> = members
+            .iter()
+            .map(|m| CostCurve::from_miss_ratio(&m.mrc, &cfg, m.access_rate / total_rate))
+            .collect();
+        let unconstrained = optimal_partition(&costs, cfg.units, Combine::Sum).unwrap();
+        assert!((elastic.result.cost - unconstrained.cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_one_matches_equal_baseline_caps() {
+        let blocks = 240;
+        let ps = group(blocks);
+        let members: Vec<&SoloProfile> = ps.iter().collect();
+        let cfg = CacheConfig::new(blocks, 1);
+        let caps = elastic_caps(&members, &cfg, 1.0);
+        let equal = cfg.equal_split(3);
+        for ((m, &u), &cap) in members.iter().zip(&equal).zip(&caps) {
+            assert_eq!(cap, m.mrc.at(cfg.to_blocks(u)));
+        }
+        // And the constrained optimum respects every cap.
+        let e = elastic_partition(&members, &cfg, 1.0);
+        for (mr, cap) in e.member_miss_ratios.iter().zip(&e.caps) {
+            assert!(mr <= &(cap + 1e-6), "member {mr} above cap {cap}");
+        }
+    }
+
+    #[test]
+    fn group_cost_is_monotone_in_theta() {
+        // Tighter guarantees can only hurt the group objective.
+        let blocks = 240;
+        let ps = group(blocks);
+        let members: Vec<&SoloProfile> = ps.iter().collect();
+        let cfg = CacheConfig::new(blocks, 1);
+        let sweep = elastic_sweep(&members, &cfg, 10);
+        assert_eq!(sweep.len(), 11);
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[0].result.cost <= pair[1].result.cost + 1e-9,
+                "θ={} cost {} > θ={} cost {}",
+                pair[0].theta,
+                pair[0].result.cost,
+                pair[1].theta,
+                pair[1].result.cost
+            );
+        }
+    }
+
+    #[test]
+    fn caps_loosen_as_theta_shrinks() {
+        let blocks = 240;
+        let ps = group(blocks);
+        let members: Vec<&SoloProfile> = ps.iter().collect();
+        let cfg = CacheConfig::new(blocks, 1);
+        let tight = elastic_caps(&members, &cfg, 1.0);
+        let loose = elastic_caps(&members, &cfg, 0.3);
+        for (t, l) in tight.iter().zip(&loose) {
+            assert!(l >= t, "smaller theta must not tighten caps");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn theta_out_of_range_panics() {
+        let blocks = 120;
+        let ps = group(blocks);
+        let members: Vec<&SoloProfile> = ps.iter().collect();
+        let _ = elastic_caps(&members, &CacheConfig::new(blocks, 1), 1.5);
+    }
+}

@@ -1,0 +1,365 @@
+//! Sharing across multiple caches (Section II, sub-problem 1).
+//!
+//! With `nc` separate caches and `npr` programs, the only decision is the
+//! *grouping* — which programs co-run on which cache — and the search
+//! space is the Stirling number `S(npr, nc)` (Eq. 1). Each cache then
+//! behaves like one free-for-all group, predicted by footprint
+//! composition; or, if the hardware supports it, each cache can also be
+//! partitioned optimally among its tenants.
+//!
+//! This module evaluates a grouping under both policies and searches the
+//! grouping space exhaustively (fine for the paper-scale `S(8, 2) = 127`
+//! or `S(16, 4) = 171,798,901`-style problems only when `npr` is small;
+//! a greedy fallback handles bigger instances).
+
+use crate::config::CacheConfig;
+use crate::cost::CostCurve;
+use crate::dp::{optimal_partition, Combine};
+use cps_hotl::{CoRunModel, SoloProfile};
+
+/// How each cache's space is managed among its tenants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Free-for-all sharing within each cache (the paper's problem 1).
+    Shared,
+    /// Optimal partitioning within each cache (problem 1 upgraded with
+    /// the paper's DP).
+    Partitioned,
+}
+
+/// A program-to-cache assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheAssignment {
+    /// `groups[c]` lists program indices placed on cache `c`. Groups may
+    /// not be empty (every cache is used).
+    pub groups: Vec<Vec<usize>>,
+}
+
+/// Result of evaluating one assignment.
+#[derive(Clone, Debug)]
+pub struct AssignmentEval {
+    /// Per-program miss ratios.
+    pub member_miss_ratios: Vec<f64>,
+    /// Access-share-weighted overall miss ratio (shares computed over
+    /// **all** programs, so assignments are comparable).
+    pub overall_miss_ratio: f64,
+}
+
+/// Evaluates an assignment of `members` onto equal caches of
+/// `config.blocks()` each.
+pub fn evaluate_assignment(
+    members: &[&SoloProfile],
+    config: &CacheConfig,
+    assignment: &CacheAssignment,
+    policy: CachePolicy,
+) -> AssignmentEval {
+    let total_rate: f64 = members.iter().map(|m| m.access_rate).sum();
+    let mut member_miss_ratios = vec![0.0; members.len()];
+    for group in &assignment.groups {
+        let tenants: Vec<&SoloProfile> = group.iter().map(|&i| members[i]).collect();
+        match policy {
+            CachePolicy::Shared => {
+                let model = CoRunModel::new(tenants);
+                let mrs = model.member_shared_miss_ratios(config.blocks() as f64);
+                for (&i, mr) in group.iter().zip(mrs) {
+                    member_miss_ratios[i] = mr;
+                }
+            }
+            CachePolicy::Partitioned => {
+                let group_rate: f64 = tenants.iter().map(|m| m.access_rate).sum();
+                let costs: Vec<CostCurve> = tenants
+                    .iter()
+                    .map(|m| {
+                        CostCurve::from_miss_ratio(&m.mrc, config, m.access_rate / group_rate)
+                    })
+                    .collect();
+                let result = optimal_partition(&costs, config.units, Combine::Sum)
+                    .expect("unconstrained DP is feasible");
+                for ((&i, t), &units) in
+                    group.iter().zip(&tenants).zip(&result.allocation)
+                {
+                    member_miss_ratios[i] = t.mrc.at(config.to_blocks(units));
+                }
+            }
+        }
+    }
+    let overall = members
+        .iter()
+        .zip(&member_miss_ratios)
+        .map(|(m, mr)| m.access_rate / total_rate * mr)
+        .sum();
+    AssignmentEval {
+        member_miss_ratios,
+        overall_miss_ratio: overall,
+    }
+}
+
+/// Enumerates every way to split `n` programs into exactly `caches`
+/// non-empty groups (`S(n, caches)` of them).
+pub fn enumerate_assignments(n: usize, caches: usize) -> Vec<CacheAssignment> {
+    let mut out = Vec::new();
+    if caches == 0 || caches > n {
+        return out;
+    }
+    let mut current: Vec<Vec<usize>> = Vec::new();
+    fn recurse(
+        i: usize,
+        n: usize,
+        caches: usize,
+        current: &mut Vec<Vec<usize>>,
+        out: &mut Vec<CacheAssignment>,
+    ) {
+        // Prune: remaining elements must be able to fill the remaining
+        // new groups.
+        let remaining = n - i;
+        let missing = caches.saturating_sub(current.len());
+        if remaining < missing {
+            return;
+        }
+        if i == n {
+            if current.len() == caches {
+                out.push(CacheAssignment {
+                    groups: current.clone(),
+                });
+            }
+            return;
+        }
+        for g in 0..current.len() {
+            current[g].push(i);
+            recurse(i + 1, n, caches, current, out);
+            current[g].pop();
+        }
+        if current.len() < caches {
+            current.push(vec![i]);
+            recurse(i + 1, n, caches, current, out);
+            current.pop();
+        }
+    }
+    recurse(0, n, caches, &mut current, &mut out);
+    out
+}
+
+/// The best assignment found and its evaluation.
+#[derive(Clone, Debug)]
+pub struct AssignmentSearchResult {
+    /// The winning assignment.
+    pub assignment: CacheAssignment,
+    /// Its evaluation.
+    pub eval: AssignmentEval,
+    /// Number of assignments examined (`S(npr, nc)` for the exhaustive
+    /// search).
+    pub examined: u64,
+}
+
+/// Exhaustive search over all `S(npr, nc)` groupings. Use only when the
+/// Stirling number is small; see [`greedy_assignment`] otherwise.
+pub fn best_assignment(
+    members: &[&SoloProfile],
+    config: &CacheConfig,
+    caches: usize,
+    policy: CachePolicy,
+) -> Option<AssignmentSearchResult> {
+    let mut best: Option<AssignmentSearchResult> = None;
+    let mut examined = 0u64;
+    for assignment in enumerate_assignments(members.len(), caches) {
+        let eval = evaluate_assignment(members, config, &assignment, policy);
+        examined += 1;
+        if best
+            .as_ref()
+            .is_none_or(|b| eval.overall_miss_ratio < b.eval.overall_miss_ratio)
+        {
+            best = Some(AssignmentSearchResult {
+                assignment,
+                eval,
+                examined,
+            });
+        }
+    }
+    best.map(|mut b| {
+        b.examined = examined;
+        b
+    })
+}
+
+/// Greedy assignment for large `npr`: programs are placed one at a time
+/// (largest footprint first) onto the cache where they currently raise
+/// the overall miss ratio least. `O(npr² · nc)` evaluations.
+pub fn greedy_assignment(
+    members: &[&SoloProfile],
+    config: &CacheConfig,
+    caches: usize,
+    policy: CachePolicy,
+) -> Option<AssignmentSearchResult> {
+    if caches == 0 || members.len() < caches {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..members.len()).collect();
+    order.sort_by(|&a, &b| {
+        members[b]
+            .footprint
+            .distinct
+            .cmp(&members[a].footprint.distinct)
+    });
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); caches];
+    let mut examined = 0u64;
+    for &prog in &order {
+        let mut best_cache = 0;
+        let mut best_mr = f64::INFINITY;
+        for c in 0..caches {
+            // A cache must not be left empty if the remaining programs
+            // can't fill the other empties — simple rule: prefer empty
+            // caches first.
+            groups[c].push(prog);
+            let placed: Vec<usize> = groups.iter().flatten().copied().collect();
+            let assignment = CacheAssignment {
+                groups: groups
+                    .iter()
+                    .filter(|g| !g.is_empty())
+                    .cloned()
+                    .collect(),
+            };
+            let sub: Vec<&SoloProfile> = placed.iter().map(|&i| members[i]).collect();
+            // Re-index the assignment onto the placed subset.
+            let index_of = |p: usize| placed.iter().position(|&x| x == p).unwrap();
+            let sub_assignment = CacheAssignment {
+                groups: assignment
+                    .groups
+                    .iter()
+                    .map(|g| g.iter().map(|&p| index_of(p)).collect())
+                    .collect(),
+            };
+            let eval = evaluate_assignment(&sub, config, &sub_assignment, policy);
+            examined += 1;
+            let empties = groups.iter().filter(|g| g.is_empty()).count();
+            // Strongly prefer filling empty caches (free space).
+            let score = eval.overall_miss_ratio + empties as f64;
+            if score < best_mr {
+                best_mr = score;
+                best_cache = c;
+            }
+            groups[c].pop();
+        }
+        groups[best_cache].push(prog);
+    }
+    let assignment = CacheAssignment { groups };
+    let eval = evaluate_assignment(members, config, &assignment, policy);
+    Some(AssignmentSearchResult {
+        assignment,
+        eval,
+        examined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_trace::WorkloadSpec;
+
+    fn profile(name: &str, ws: u64, rate: f64, blocks: usize) -> SoloProfile {
+        let t = WorkloadSpec::SequentialLoop { working_set: ws }.generate(30_000, ws + 7);
+        SoloProfile::from_trace(name, &t.blocks, rate, blocks)
+    }
+
+    #[test]
+    fn enumeration_counts_are_stirling_numbers() {
+        assert_eq!(enumerate_assignments(4, 2).len(), 7); // S(4,2)
+        assert_eq!(enumerate_assignments(4, 3).len(), 6); // S(4,3)
+        assert_eq!(enumerate_assignments(5, 2).len(), 15); // S(5,2)
+        assert_eq!(enumerate_assignments(3, 4).len(), 0);
+        assert_eq!(enumerate_assignments(3, 0).len(), 0);
+    }
+
+    #[test]
+    fn every_assignment_covers_all_programs() {
+        for a in enumerate_assignments(5, 3) {
+            let mut all: Vec<usize> = a.groups.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3, 4]);
+            assert!(a.groups.iter().all(|g| !g.is_empty()));
+        }
+    }
+
+    #[test]
+    fn antagonists_get_separated() {
+        // Two cache-hungry loops (90 each) and two tiny ones, two caches
+        // of 128: the best grouping must not co-locate the two big loops
+        // (together they thrash one cache while the other idles).
+        let blocks = 128;
+        let cfg = CacheConfig::new(blocks, 1);
+        let ps = [profile("big-a", 90, 1.0, blocks),
+            profile("big-b", 90, 1.0, blocks),
+            profile("tiny-a", 10, 1.0, blocks),
+            profile("tiny-b", 10, 1.0, blocks)];
+        let members: Vec<&SoloProfile> = ps.iter().collect();
+        let best = best_assignment(&members, &cfg, 2, CachePolicy::Shared).unwrap();
+        assert_eq!(best.examined, 7);
+        let together = best
+            .assignment
+            .groups
+            .iter()
+            .any(|g| g.contains(&0) && g.contains(&1));
+        assert!(
+            !together,
+            "the two 90-block loops must be split: {:?}",
+            best.assignment.groups
+        );
+        assert!(best.eval.overall_miss_ratio < 0.1);
+    }
+
+    #[test]
+    fn partitioned_policy_never_loses_to_shared() {
+        let blocks = 96;
+        let cfg = CacheConfig::new(blocks, 1);
+        let ps = [profile("a", 70, 1.0, blocks),
+            profile("b", 40, 1.3, blocks),
+            profile("c", 25, 0.9, blocks)];
+        let members: Vec<&SoloProfile> = ps.iter().collect();
+        for assignment in enumerate_assignments(3, 2) {
+            let shared = evaluate_assignment(&members, &cfg, &assignment, CachePolicy::Shared);
+            let parted =
+                evaluate_assignment(&members, &cfg, &assignment, CachePolicy::Partitioned);
+            assert!(
+                parted.overall_miss_ratio <= shared.overall_miss_ratio + 1e-6,
+                "{:?}: partitioned {} vs shared {}",
+                assignment.groups,
+                parted.overall_miss_ratio,
+                shared.overall_miss_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_is_reasonable_vs_exhaustive() {
+        let blocks = 128;
+        let cfg = CacheConfig::new(blocks, 1);
+        let ps = [profile("p0", 90, 1.0, blocks),
+            profile("p1", 60, 1.5, blocks),
+            profile("p2", 35, 0.8, blocks),
+            profile("p3", 20, 1.2, blocks),
+            profile("p4", 110, 1.0, blocks)];
+        let members: Vec<&SoloProfile> = ps.iter().collect();
+        let exact = best_assignment(&members, &cfg, 2, CachePolicy::Shared).unwrap();
+        let greedy = greedy_assignment(&members, &cfg, 2, CachePolicy::Shared).unwrap();
+        assert!(
+            greedy.eval.overall_miss_ratio <= exact.eval.overall_miss_ratio * 1.5 + 1e-6,
+            "greedy {} too far from exact {}",
+            greedy.eval.overall_miss_ratio,
+            exact.eval.overall_miss_ratio
+        );
+        // Greedy fills every cache.
+        assert!(greedy.assignment.groups.iter().all(|g| !g.is_empty()));
+    }
+
+    #[test]
+    fn single_cache_assignment_is_free_for_all() {
+        let blocks = 64;
+        let cfg = CacheConfig::new(blocks, 1);
+        let ps = [profile("x", 30, 1.0, blocks), profile("y", 50, 1.0, blocks)];
+        let members: Vec<&SoloProfile> = ps.iter().collect();
+        let best = best_assignment(&members, &cfg, 1, CachePolicy::Shared).unwrap();
+        assert_eq!(best.examined, 1);
+        let model = CoRunModel::new(members.clone());
+        let expect = model.shared_group_miss_ratio(blocks as f64);
+        assert!((best.eval.overall_miss_ratio - expect).abs() < 1e-9);
+    }
+}

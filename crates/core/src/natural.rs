@@ -1,0 +1,120 @@
+//! Integer-unit Natural Cache Partitions.
+//!
+//! `cps-hotl::compose` computes the natural partition as fractional block
+//! occupancies; the schemes and baseline constraints need it as an
+//! integer *unit* allocation summing exactly to the cache. This module
+//! does the conversion with largest-remainder rounding (deterministic,
+//! exact-sum, and never more than one unit from the real occupancy).
+
+use crate::config::CacheConfig;
+use cps_hotl::CoRunModel;
+
+/// Rounds fractional unit targets to integers summing to `total`.
+///
+/// Largest-remainder method: floor everything, then hand the leftover
+/// units to the largest fractional parts (ties broken by index for
+/// determinism).
+///
+/// # Panics
+/// Panics if `targets` is empty, contains negatives/non-finite values,
+/// or sums to more than `total + 1e-6` (callers pass occupancies that
+/// sum to at most the cache).
+pub fn round_to_units(targets: &[f64], total: usize) -> Vec<usize> {
+    assert!(!targets.is_empty(), "nothing to round");
+    assert!(
+        targets.iter().all(|t| t.is_finite() && *t >= 0.0),
+        "targets must be finite and non-negative"
+    );
+    let sum: f64 = targets.iter().sum();
+    assert!(
+        sum <= total as f64 + 1e-6,
+        "targets sum {sum} exceeds total {total}"
+    );
+    let mut alloc: Vec<usize> = targets.iter().map(|t| t.floor() as usize).collect();
+    let mut leftover = total - alloc.iter().sum::<usize>();
+    // Hand out by descending fractional part.
+    let mut order: Vec<usize> = (0..targets.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = targets[a] - targets[a].floor();
+        let fb = targets[b] - targets[b].floor();
+        fb.partial_cmp(&fa).expect("finite").then(a.cmp(&b))
+    });
+    // One unit per program by fractional priority; if slack remains
+    // (occupancies summed below the cache), keep round-robining it —
+    // slack is free space and affects no miss ratio.
+    let mut cursor = 0usize;
+    while leftover > 0 {
+        alloc[order[cursor % order.len()]] += 1;
+        leftover -= 1;
+        cursor += 1;
+    }
+    debug_assert_eq!(alloc.iter().sum::<usize>(), total);
+    alloc
+}
+
+/// The Natural Cache Partition in integer units for a co-run group.
+///
+/// Occupancies are computed in blocks by the composition model, scaled
+/// to units, and rounded to sum exactly to `config.units` (when the
+/// cache does not fill, the slack is distributed round-robin — it is
+/// free space and affects no miss ratio).
+pub fn natural_partition_units(model: &CoRunModel<'_>, config: &CacheConfig) -> Vec<usize> {
+    let np = model.natural_partition(config.blocks() as f64);
+    let targets: Vec<f64> = np
+        .occupancy
+        .iter()
+        .map(|blocks| blocks / config.blocks_per_unit as f64)
+        .collect();
+    round_to_units(&targets, config.units)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_hotl::SoloProfile;
+    use cps_trace::WorkloadSpec;
+
+    #[test]
+    fn rounding_preserves_total_and_proximity() {
+        let targets = [2.7, 3.3, 4.0];
+        let out = round_to_units(&targets, 10);
+        assert_eq!(out.iter().sum::<usize>(), 10);
+        for (o, t) in out.iter().zip(&targets) {
+            assert!((*o as f64 - t).abs() <= 1.0 + 1e-9);
+        }
+        // Largest remainder (.7) gets the spare unit.
+        assert_eq!(out, vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn slack_is_distributed() {
+        let out = round_to_units(&[1.0, 2.0], 10);
+        assert_eq!(out.iter().sum::<usize>(), 10);
+        assert!(out[0] >= 1 && out[1] >= 2);
+    }
+
+    #[test]
+    fn exact_targets_round_trip() {
+        assert_eq!(round_to_units(&[4.0, 6.0], 10), vec![4, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds total")]
+    fn oversum_panics() {
+        let _ = round_to_units(&[5.0, 6.0], 10);
+    }
+
+    #[test]
+    fn natural_units_for_identical_loops() {
+        let mk = |seed: u64| {
+            let t = WorkloadSpec::SequentialLoop { working_set: 100 }.generate(30_000, seed);
+            SoloProfile::from_trace(format!("p{seed}"), &t.blocks, 1.0, 128)
+        };
+        let (a, b) = (mk(1), mk(2));
+        let model = CoRunModel::new(vec![&a, &b]);
+        let cfg = CacheConfig::new(64, 2); // 128 blocks
+        let units = natural_partition_units(&model, &cfg);
+        assert_eq!(units.iter().sum::<usize>(), 64);
+        assert!((units[0] as i64 - units[1] as i64).abs() <= 1);
+    }
+}

@@ -1,0 +1,339 @@
+//! Phase-aware (time-varying) cache partitioning — the extension the
+//! paper's Figure 1 begs for.
+//!
+//! Static partitioning is optimal under the random-phase assumption;
+//! when co-runners have *synchronized* phases, "no cache partition can
+//! give the performance of cache sharing" (Section VIII). But a
+//! partition that is re-drawn per phase can: profile each program per
+//! time segment, run the optimal-partitioning DP per segment, and
+//! repartition at segment boundaries. On anti-phase workloads this
+//! recovers what partition-sharing gains while keeping the protection of
+//! fences — at the cost of profiling per segment and paying
+//! repartitioning transients (evictions on shrink), which the simulator
+//! in `cps-cachesim` measures faithfully via `LruCache::resize`.
+//!
+//! A hysteresis knob suppresses repartitioning when the predicted gain
+//! is below a threshold, so stationary groups degenerate to one static
+//! partition.
+
+use crate::config::CacheConfig;
+use crate::cost::CostCurve;
+use crate::dp::{optimal_partition, Combine};
+use cps_hotl::SoloProfile;
+use cps_trace::Block;
+
+/// A program profiled per time segment.
+#[derive(Clone, Debug)]
+pub struct PhasedProfile {
+    /// Program name.
+    pub name: String,
+    /// Relative access rate.
+    pub access_rate: f64,
+    /// One solo profile per segment, all of equal trace length
+    /// (the final segment may be shorter).
+    pub segments: Vec<SoloProfile>,
+    /// Accesses per segment.
+    pub segment_len: usize,
+}
+
+impl PhasedProfile {
+    /// Splits `trace` into `num_segments` equal slices and profiles each.
+    ///
+    /// # Panics
+    /// Panics if `num_segments` is 0 or the trace is shorter than the
+    /// segment count.
+    pub fn from_trace(
+        name: impl Into<String>,
+        trace: &[Block],
+        access_rate: f64,
+        max_cache_blocks: usize,
+        num_segments: usize,
+    ) -> Self {
+        assert!(num_segments > 0, "need at least one segment");
+        assert!(
+            trace.len() >= num_segments,
+            "trace shorter than segment count"
+        );
+        let name = name.into();
+        let segment_len = trace.len().div_ceil(num_segments);
+        let segments = trace
+            .chunks(segment_len)
+            .enumerate()
+            .map(|(i, chunk)| {
+                SoloProfile::from_trace(
+                    format!("{name}[{i}]"),
+                    chunk,
+                    access_rate,
+                    max_cache_blocks,
+                )
+            })
+            .collect();
+        PhasedProfile {
+            name,
+            access_rate,
+            segments,
+            segment_len,
+        }
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+/// A per-segment partition plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhasedPlan {
+    /// `allocations[s][p]` = units for program `p` during segment `s`.
+    pub allocations: Vec<Vec<usize>>,
+}
+
+impl PhasedPlan {
+    /// Number of repartitioning events (segment transitions where any
+    /// allocation changes).
+    pub fn reconfigurations(&self) -> usize {
+        self.allocations
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count()
+    }
+}
+
+/// Computes the phase-aware plan: an optimal-partitioning DP per
+/// segment, with hysteresis — a segment keeps the previous segment's
+/// partition unless its own optimum is more than `switch_threshold`
+/// (relative) better.
+///
+/// `switch_threshold = 0.0` repartitions eagerly every segment;
+/// `f64::INFINITY` degenerates to the first segment's static partition.
+///
+/// # Panics
+/// Panics if profiles is empty or segment counts differ.
+pub fn phase_aware_partition(
+    profiles: &[&PhasedProfile],
+    config: &CacheConfig,
+    switch_threshold: f64,
+) -> PhasedPlan {
+    assert!(!profiles.is_empty(), "need programs");
+    let segments = profiles[0].num_segments();
+    assert!(
+        profiles.iter().all(|p| p.num_segments() == segments),
+        "segment counts must match across programs"
+    );
+    let total_rate: f64 = profiles.iter().map(|p| p.access_rate).sum();
+    let mut allocations: Vec<Vec<usize>> = Vec::with_capacity(segments);
+    let mut previous: Option<Vec<usize>> = None;
+    for s in 0..segments {
+        let costs: Vec<CostCurve> = profiles
+            .iter()
+            .map(|p| {
+                CostCurve::from_miss_ratio(
+                    &p.segments[s].mrc,
+                    config,
+                    p.access_rate / total_rate,
+                )
+            })
+            .collect();
+        let optimal = optimal_partition(&costs, config.units, Combine::Sum)
+            .expect("unconstrained DP feasible");
+        let chosen = match &previous {
+            Some(prev) => {
+                let prev_cost: f64 = costs
+                    .iter()
+                    .zip(prev)
+                    .map(|(c, &u)| c.at(u))
+                    .sum();
+                if prev_cost > optimal.cost * (1.0 + switch_threshold) {
+                    optimal.allocation
+                } else {
+                    prev.clone()
+                }
+            }
+            None => optimal.allocation,
+        };
+        previous = Some(chosen.clone());
+        allocations.push(chosen);
+    }
+    PhasedPlan { allocations }
+}
+
+/// Model-predicted group miss ratio of a plan (share-weighted across
+/// programs and segments; ignores repartitioning transients, which the
+/// simulator accounts for).
+pub fn predicted_plan_miss_ratio(
+    profiles: &[&PhasedProfile],
+    config: &CacheConfig,
+    plan: &PhasedPlan,
+) -> f64 {
+    let total_rate: f64 = profiles.iter().map(|p| p.access_rate).sum();
+    let segments = profiles[0].num_segments();
+    let mut acc = 0.0;
+    for s in 0..segments {
+        for (p, profile) in profiles.iter().enumerate() {
+            let units = plan.allocations[s][p];
+            acc += profile.access_rate / total_rate
+                * profile.segments[s].mrc.at(config.to_blocks(units));
+        }
+    }
+    acc / segments as f64
+}
+
+/// Simulates one program through its per-segment capacity schedule
+/// (partitions are private, so programs simulate independently), and
+/// returns `(accesses, misses)` including repartitioning transients.
+pub fn simulate_phase_partitioned_program(
+    trace: &[Block],
+    segment_len: usize,
+    capacities_blocks: &[usize],
+) -> (u64, u64) {
+    use cps_cachesim::LruCache;
+    assert!(segment_len > 0, "segment length must be positive");
+    let mut cache = LruCache::new(capacities_blocks.first().copied().unwrap_or(0));
+    let mut misses = 0u64;
+    for (i, &b) in trace.iter().enumerate() {
+        if i % segment_len == 0 {
+            let seg = i / segment_len;
+            let cap = capacities_blocks
+                .get(seg)
+                .or(capacities_blocks.last())
+                .copied()
+                .unwrap_or(0);
+            cache.resize(cap);
+        }
+        if !cache.access(b) {
+            misses += 1;
+        }
+    }
+    (trace.len() as u64, misses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_trace::WorkloadSpec;
+
+    fn anti_phase_pair(
+        blocks: usize,
+        segment: usize,
+        segments: usize,
+    ) -> (Vec<Block>, Vec<Block>, PhasedProfile, PhasedProfile) {
+        let len = segment * segments;
+        let big = WorkloadSpec::SequentialLoop { working_set: 100 };
+        let small = WorkloadSpec::SequentialLoop { working_set: 4 };
+        let a_spec = WorkloadSpec::Phased {
+            phases: vec![(big.clone(), segment as u64), (small.clone(), segment as u64)],
+        };
+        let b_spec = WorkloadSpec::Phased {
+            phases: vec![(small, segment as u64), (big, segment as u64)],
+        };
+        let ta = a_spec.generate(len, 1).blocks;
+        let tb = b_spec.generate(len, 2).blocks;
+        let pa = PhasedProfile::from_trace("a", &ta, 1.0, blocks, segments);
+        let pb = PhasedProfile::from_trace("b", &tb, 1.0, blocks, segments);
+        (ta, tb, pa, pb)
+    }
+
+    #[test]
+    fn segmentation_counts_and_names() {
+        let trace: Vec<Block> = (0..1000).map(|i| i % 7).collect();
+        let p = PhasedProfile::from_trace("x", &trace, 1.5, 64, 4);
+        assert_eq!(p.num_segments(), 4);
+        assert_eq!(p.segment_len, 250);
+        assert_eq!(p.segments[2].name, "x[2]");
+        assert_eq!(p.segments[0].accesses, 250);
+    }
+
+    #[test]
+    fn plan_tracks_alternating_phases() {
+        let blocks = 128;
+        let (_, _, pa, pb) = anti_phase_pair(blocks, 4_000, 6);
+        let cfg = CacheConfig::new(blocks, 1);
+        let plan = phase_aware_partition(&[&pa, &pb], &cfg, 0.0);
+        assert_eq!(plan.allocations.len(), 6);
+        // In segments where A runs its big loop, A gets ≥ 100 blocks.
+        for (s, alloc) in plan.allocations.iter().enumerate() {
+            let (big_ix, _small_ix) = if s % 2 == 0 { (0, 1) } else { (1, 0) };
+            assert!(
+                alloc[big_ix] >= 100,
+                "segment {s}: big-phase program got {alloc:?}"
+            );
+        }
+        assert!(plan.reconfigurations() >= 4, "plan must actually switch");
+    }
+
+    #[test]
+    fn hysteresis_suppresses_switching_on_stationary_workloads() {
+        let blocks = 96;
+        let spec = WorkloadSpec::Zipfian {
+            region: 200,
+            alpha: 0.8,
+        };
+        let ta = spec.generate(24_000, 3).blocks;
+        let tb = WorkloadSpec::SequentialLoop { working_set: 40 }
+            .generate(24_000, 4)
+            .blocks;
+        let pa = PhasedProfile::from_trace("a", &ta, 1.0, blocks, 6);
+        let pb = PhasedProfile::from_trace("b", &tb, 1.0, blocks, 6);
+        let cfg = CacheConfig::new(blocks, 1);
+        let plan = phase_aware_partition(&[&pa, &pb], &cfg, 0.05);
+        assert_eq!(
+            plan.reconfigurations(),
+            0,
+            "stationary group should keep one partition: {:?}",
+            plan.allocations
+        );
+    }
+
+    #[test]
+    fn infinite_threshold_is_static() {
+        let blocks = 64;
+        let (_, _, pa, pb) = anti_phase_pair(blocks, 2_000, 4);
+        let cfg = CacheConfig::new(blocks, 1);
+        let plan = phase_aware_partition(&[&pa, &pb], &cfg, f64::INFINITY);
+        assert_eq!(plan.reconfigurations(), 0);
+    }
+
+    #[test]
+    fn phase_aware_beats_static_on_anti_phase_pair_in_simulation() {
+        let blocks = 128usize;
+        let segment = 4_000usize;
+        let segments = 6usize;
+        let (ta, tb, pa, pb) = anti_phase_pair(blocks, segment, segments);
+        let cfg = CacheConfig::new(blocks, 1);
+        let plan = phase_aware_partition(&[&pa, &pb], &cfg, 0.0);
+        // Simulate the plan (partitions are private → independent sims).
+        let caps_a: Vec<usize> = plan.allocations.iter().map(|a| a[0]).collect();
+        let caps_b: Vec<usize> = plan.allocations.iter().map(|a| a[1]).collect();
+        let (acc_a, miss_a) = simulate_phase_partitioned_program(&ta, segment, &caps_a);
+        let (acc_b, miss_b) = simulate_phase_partitioned_program(&tb, segment, &caps_b);
+        let phase_mr = (miss_a + miss_b) as f64 / (acc_a + acc_b) as f64;
+        // Static half-split simulation.
+        let (sa, sm) = simulate_phase_partitioned_program(&ta, segment, &[blocks / 2]);
+        let (sb, sn) = simulate_phase_partitioned_program(&tb, segment, &[blocks / 2]);
+        let static_mr = (sm + sn) as f64 / (sa + sb) as f64;
+        assert!(
+            phase_mr < static_mr - 0.2,
+            "phase-aware {phase_mr} should clearly beat static {static_mr}"
+        );
+    }
+
+    #[test]
+    fn predicted_ratio_matches_simulation_roughly() {
+        let blocks = 128usize;
+        let segment = 4_000usize;
+        let (ta, tb, pa, pb) = anti_phase_pair(blocks, segment, 6);
+        let cfg = CacheConfig::new(blocks, 1);
+        let plan = phase_aware_partition(&[&pa, &pb], &cfg, 0.0);
+        let predicted = predicted_plan_miss_ratio(&[&pa, &pb], &cfg, &plan);
+        let caps_a: Vec<usize> = plan.allocations.iter().map(|a| a[0]).collect();
+        let caps_b: Vec<usize> = plan.allocations.iter().map(|a| a[1]).collect();
+        let (aa, ma) = simulate_phase_partitioned_program(&ta, segment, &caps_a);
+        let (ab, mb) = simulate_phase_partitioned_program(&tb, segment, &caps_b);
+        let measured = (ma + mb) as f64 / (aa + ab) as f64;
+        assert!(
+            (predicted - measured).abs() < 0.1,
+            "predicted {predicted} vs measured {measured}"
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Stall scheduling — the introduction's motivating application.
+//!
+//! Section IV: "another possible application … is to monitor performance
+//! on-line, and stall individual programs based on the predicted benefit
+//! of doing so. For example, if two programs are traversing different
+//! 60 MB arrays while sharing a 64 MB cache, stalling one of them will
+//! prevent thrashing, and they may both finish sooner."
+//!
+//! This module turns that observation into a small scheduler: given solo
+//! profiles, it evaluates *round schedules* — partitions of the group
+//! into batches that co-run internally and execute one after another —
+//! using the composition theory for each batch's miss ratios and the
+//! linear CPI model for time. A batch's makespan is its slowest member;
+//! total time is the sum over batches. Running everything in one batch
+//! is ordinary co-run; singleton batches are fully serial.
+
+use crate::config::CacheConfig;
+use crate::perf::PerfModel;
+use crate::sharing::enumerate_set_partitions;
+use cps_hotl::{CoRunModel, SoloProfile};
+
+/// One evaluated schedule.
+#[derive(Clone, Debug)]
+pub struct ScheduleEval {
+    /// The batches, in execution order (order does not affect the
+    /// model's total time).
+    pub batches: Vec<Vec<usize>>,
+    /// Estimated time of each batch (max over members, model cycles).
+    pub batch_times: Vec<f64>,
+    /// Total estimated time.
+    pub total_time: f64,
+}
+
+/// Estimated solo execution time of one program (model cycles):
+/// `accesses × CPI(mr_solo(cache)) / accesses_per_instr`.
+fn member_time(profile: &SoloProfile, miss_ratio: f64, model: &PerfModel) -> f64 {
+    profile.accesses as f64 * model.cpi(miss_ratio) / model.accesses_per_instr
+}
+
+/// Evaluates one batch schedule.
+pub fn evaluate_schedule(
+    members: &[&SoloProfile],
+    config: &CacheConfig,
+    model: &PerfModel,
+    batches: &[Vec<usize>],
+) -> ScheduleEval {
+    let mut batch_times = Vec::with_capacity(batches.len());
+    for batch in batches {
+        let tenants: Vec<&SoloProfile> = batch.iter().map(|&i| members[i]).collect();
+        let corun = CoRunModel::new(tenants.clone());
+        let mrs = corun.member_shared_miss_ratios(config.blocks() as f64);
+        let time = tenants
+            .iter()
+            .zip(&mrs)
+            .map(|(t, &mr)| member_time(t, mr, model))
+            .fold(0.0f64, f64::max);
+        batch_times.push(time);
+    }
+    ScheduleEval {
+        batches: batches.to_vec(),
+        total_time: batch_times.iter().sum(),
+        batch_times,
+    }
+}
+
+/// The all-co-run baseline (one batch).
+pub fn corun_schedule(
+    members: &[&SoloProfile],
+    config: &CacheConfig,
+    model: &PerfModel,
+) -> ScheduleEval {
+    let all: Vec<usize> = (0..members.len()).collect();
+    evaluate_schedule(members, config, model, &[all])
+}
+
+/// Searches every batch partition (Bell(n) of them) for the minimum
+/// total time. Practical for the scheduling-window sizes the intro has
+/// in mind (a handful of programs).
+pub fn best_schedule(
+    members: &[&SoloProfile],
+    config: &CacheConfig,
+    model: &PerfModel,
+) -> ScheduleEval {
+    assert!(!members.is_empty(), "schedule needs members");
+    let mut best: Option<ScheduleEval> = None;
+    for batches in enumerate_set_partitions(members.len()) {
+        let eval = evaluate_schedule(members, config, model, &batches);
+        if best
+            .as_ref()
+            .is_none_or(|b| eval.total_time < b.total_time)
+        {
+            best = Some(eval);
+        }
+    }
+    best.expect("at least the co-run schedule exists")
+}
+
+/// Convenience verdict: does stalling (any serialization) beat plain
+/// co-run, and by how much? Returns `(best, corun, gain_fraction)`.
+pub fn stall_advice(
+    members: &[&SoloProfile],
+    config: &CacheConfig,
+    model: &PerfModel,
+) -> (ScheduleEval, ScheduleEval, f64) {
+    let corun = corun_schedule(members, config, model);
+    let best = best_schedule(members, config, model);
+    let gain = 1.0 - best.total_time / corun.total_time;
+    (best, corun, gain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_trace::WorkloadSpec;
+
+    fn profile(name: &str, ws: u64, len: usize, blocks: usize) -> SoloProfile {
+        let t = WorkloadSpec::SequentialLoop { working_set: ws }.generate(len, ws);
+        SoloProfile::from_trace(name, &t.blocks, 1.0, blocks)
+    }
+
+    /// The paper's 60 MB/64 MB example, scaled: two 60-block arrays and
+    /// a 64-block cache.
+    #[test]
+    fn thrashing_pair_prefers_serial_execution() {
+        let blocks = 64;
+        let cfg = CacheConfig::new(blocks, 1);
+        let a = profile("array-a", 60, 30_000, blocks);
+        let b = profile("array-b", 60, 30_000, blocks);
+        let members = vec![&a, &b];
+        let model = PerfModel::default();
+        let (best, corun, gain) = stall_advice(&members, &cfg, &model);
+        assert_eq!(
+            best.batches.len(),
+            2,
+            "should serialize: {:?}",
+            best.batches
+        );
+        assert!(
+            gain > 0.3,
+            "serializing thrashers should save a lot: gain {gain}, \
+             best {} vs corun {}",
+            best.total_time,
+            corun.total_time
+        );
+    }
+
+    #[test]
+    fn friendly_pair_prefers_corun() {
+        // Two tiny programs in a big cache: co-running is free, serial
+        // wastes time.
+        let blocks = 128;
+        let cfg = CacheConfig::new(blocks, 1);
+        let a = profile("small-a", 20, 30_000, blocks);
+        let b = profile("small-b", 30, 30_000, blocks);
+        let members = vec![&a, &b];
+        let model = PerfModel::default();
+        let (best, _corun, _gain) = stall_advice(&members, &cfg, &model);
+        assert_eq!(best.batches.len(), 1, "co-run: {:?}", best.batches);
+    }
+
+    #[test]
+    fn mixed_group_stalls_only_the_antagonists() {
+        // Two thrashing arrays + one tiny program: the tiny one should
+        // ride along with one of the arrays, the arrays split.
+        let blocks = 64;
+        let cfg = CacheConfig::new(blocks, 1);
+        let a = profile("array-a", 58, 30_000, blocks);
+        let b = profile("array-b", 58, 30_000, blocks);
+        let c = profile("tiny", 4, 30_000, blocks);
+        let members = vec![&a, &b, &c];
+        let model = PerfModel::default();
+        let best = best_schedule(&members, &cfg, &model);
+        // The arrays must not share a batch.
+        for batch in &best.batches {
+            assert!(
+                !(batch.contains(&0) && batch.contains(&1)),
+                "arrays co-scheduled: {:?}",
+                best.batches
+            );
+        }
+        // And the schedule should use at most 2 batches (tiny rides
+        // along for free rather than getting its own round).
+        assert!(
+            best.batches.len() <= 2,
+            "tiny program should not get its own round: {:?}",
+            best.batches
+        );
+    }
+
+    #[test]
+    fn schedule_times_are_consistent() {
+        let blocks = 96;
+        let cfg = CacheConfig::new(blocks, 1);
+        let a = profile("x", 40, 20_000, blocks);
+        let b = profile("y", 80, 20_000, blocks);
+        let members = vec![&a, &b];
+        let model = PerfModel::default();
+        let eval = evaluate_schedule(&members, &cfg, &model, &[vec![0], vec![1]]);
+        assert_eq!(eval.batch_times.len(), 2);
+        assert!((eval.total_time - eval.batch_times.iter().sum::<f64>()).abs() < 1e-9);
+        // Serial batches run each program at its solo miss ratio.
+        let expect_a = a.accesses as f64 * model.cpi(a.mrc.at(blocks)) / model.accesses_per_instr;
+        assert!((eval.batch_times[0] - expect_a).abs() < 1e-6 * expect_a);
+    }
+}

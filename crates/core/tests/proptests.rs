@@ -1,0 +1,106 @@
+//! Property-based tests for the optimizer-layer helpers.
+
+use cps_core::config::CacheConfig;
+use cps_core::natural::round_to_units;
+use cps_core::sharing::{enumerate_set_partitions, for_each_composition};
+use cps_core::sweep::all_k_subsets;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn rounding_is_exact_and_close(
+        raw in prop::collection::vec(0.0f64..20.0, 1..8),
+        slack in 0usize..10,
+    ) {
+        let total = raw.iter().sum::<f64>().ceil() as usize + slack;
+        let out = round_to_units(&raw, total);
+        prop_assert_eq!(out.iter().sum::<usize>(), total);
+        for (o, t) in out.iter().zip(&raw) {
+            // Never rounds below floor(target).
+            prop_assert!(*o >= t.floor() as usize);
+        }
+        // Without slack, each entry is within 1 of its target.
+        if slack == 0 && (total as f64 - raw.iter().sum::<f64>()).abs() < 1.0 {
+            for (o, t) in out.iter().zip(&raw) {
+                prop_assert!((*o as f64 - t).abs() <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn set_partitions_are_partitions(n in 1usize..7) {
+        let parts = enumerate_set_partitions(n);
+        // Bell numbers for n = 1..6.
+        let bell = [1usize, 2, 5, 15, 52, 203];
+        prop_assert_eq!(parts.len(), bell[n - 1]);
+        for p in &parts {
+            let mut seen = vec![false; n];
+            for group in p {
+                prop_assert!(!group.is_empty());
+                for &e in group {
+                    prop_assert!(!seen[e], "element {e} duplicated");
+                    seen[e] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "missing element");
+        }
+        // All partitions distinct.
+        let mut canon: Vec<String> = parts.iter().map(|p| {
+            let mut gs: Vec<String> = p.iter().map(|g| format!("{g:?}")).collect();
+            gs.sort();
+            gs.join("|")
+        }).collect();
+        canon.sort();
+        canon.dedup();
+        prop_assert_eq!(canon.len(), parts.len());
+    }
+
+    #[test]
+    fn compositions_count_stars_and_bars(total in 1usize..15, parts in 1usize..5) {
+        let mut all: Vec<Vec<usize>> = Vec::new();
+        for_each_composition(total, parts, &mut |c| all.push(c.to_vec()));
+        for c in &all {
+            prop_assert_eq!(c.iter().sum::<usize>(), total);
+            prop_assert!(c.iter().all(|&v| v >= 1));
+        }
+        let count = all.len();
+        let expect = cps_combin::binomial(total as u64 - 1, parts as u64 - 1).unwrap();
+        if total >= parts {
+            prop_assert_eq!(count as u128, expect);
+        } else {
+            prop_assert_eq!(count, 0);
+        }
+        all.sort();
+        all.dedup();
+        prop_assert_eq!(all.len(), count, "compositions must be unique");
+    }
+
+    #[test]
+    fn equal_split_sums_and_balances(units in 1usize..200, k in 1usize..10) {
+        let cfg = CacheConfig::new(units, 1);
+        let split = cfg.equal_split(k);
+        prop_assert_eq!(split.len(), k);
+        prop_assert_eq!(split.iter().sum::<usize>(), units);
+        let max = split.iter().max().unwrap();
+        let min = split.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "split {split:?} unbalanced");
+    }
+
+    #[test]
+    fn subsets_strictly_increasing_and_unique(n in 1usize..10, k in 1usize..6) {
+        let subs = all_k_subsets(n, k);
+        if k > n {
+            prop_assert!(subs.is_empty());
+        } else {
+            prop_assert_eq!(subs.len() as u128, cps_combin::binomial(n as u64, k as u64).unwrap());
+            for s in &subs {
+                prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(s.iter().all(|&e| e < n));
+            }
+            let mut sorted = subs.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), subs.len());
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Fenwick (binary indexed) trees.
+//!
+//! The reuse-distance engine in [`crate::olken`] maintains a 0/1 marker per
+//! trace position ("is this the most recent access to some datum?") and
+//! needs `O(log n)` point updates and prefix sums. A Fenwick tree is the
+//! standard structure for this; we keep the implementation small, safe, and
+//! branch-light.
+
+/// A Fenwick tree (binary indexed tree) over `i64` values.
+///
+/// Indices are 0-based in the public API. Supports point update and prefix
+/// sum in `O(log n)`, and a `O(log n)` "find smallest prefix with sum ≥ k"
+/// search used for order-statistics queries.
+///
+/// # Examples
+///
+/// ```
+/// use cps_dstruct::Fenwick;
+/// let mut f = Fenwick::new(8);
+/// f.add(2, 5);
+/// f.add(5, 7);
+/// assert_eq!(f.prefix_sum(1), 0);
+/// assert_eq!(f.prefix_sum(2), 5);
+/// assert_eq!(f.prefix_sum(7), 12);
+/// assert_eq!(f.range_sum(3, 7), 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fenwick {
+    /// 1-based internal array; `tree[0]` is unused.
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    /// Creates a tree over `n` zero-initialized positions.
+    pub fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    /// Number of positions the tree covers.
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Returns `true` if the tree covers zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `delta` to position `i` (0-based).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn add(&mut self, i: usize, delta: i64) {
+        assert!(i < self.len(), "Fenwick::add index {i} out of bounds");
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i` (0-based, inclusive).
+    ///
+    /// Returns 0 when the tree is empty. If `i >= len`, the total sum is
+    /// returned (the prefix is clamped).
+    pub fn prefix_sum(&self, i: usize) -> i64 {
+        let mut i = (i + 1).min(self.tree.len() - 1);
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum of positions `lo..=hi` (inclusive on both ends).
+    ///
+    /// Returns 0 if `lo > hi`.
+    pub fn range_sum(&self, lo: usize, hi: usize) -> i64 {
+        if lo > hi {
+            return 0;
+        }
+        let upper = self.prefix_sum(hi);
+        if lo == 0 {
+            upper
+        } else {
+            upper - self.prefix_sum(lo - 1)
+        }
+    }
+
+    /// Total sum over all positions.
+    pub fn total(&self) -> i64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.prefix_sum(self.len() - 1)
+        }
+    }
+
+    /// Smallest index `i` such that `prefix_sum(i) >= k`, or `None` if the
+    /// total is smaller than `k`.
+    ///
+    /// Requires all stored values to be non-negative for the result to be
+    /// meaningful (the structure does not verify this).
+    pub fn lower_bound(&self, k: i64) -> Option<usize> {
+        if k <= 0 {
+            return if self.is_empty() { None } else { Some(0) };
+        }
+        if self.total() < k {
+            return None;
+        }
+        let mut pos = 0usize; // 1-based position of the last tree node taken
+        let mut remaining = k;
+        let mut step = self.tree.len().next_power_of_two() >> 1;
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] < remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        Some(pos) // pos is 1-based index of predecessor; 0-based answer == pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: plain vector with linear prefix sums.
+    struct Naive(Vec<i64>);
+    impl Naive {
+        fn prefix(&self, i: usize) -> i64 {
+            self.0.iter().take(i + 1).sum()
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let f = Fenwick::new(0);
+        assert!(f.is_empty());
+        assert_eq!(f.total(), 0);
+        assert_eq!(f.lower_bound(1), None);
+    }
+
+    #[test]
+    fn single_element() {
+        let mut f = Fenwick::new(1);
+        f.add(0, 42);
+        assert_eq!(f.prefix_sum(0), 42);
+        assert_eq!(f.total(), 42);
+        assert_eq!(f.lower_bound(42), Some(0));
+        assert_eq!(f.lower_bound(43), None);
+    }
+
+    #[test]
+    fn matches_naive_on_fixed_sequence() {
+        let n = 37;
+        let mut f = Fenwick::new(n);
+        let mut naive = Naive(vec![0; n]);
+        // Deterministic pseudo-random updates.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = (x >> 33) as usize % n;
+            let delta = ((x & 0xFF) as i64) - 128;
+            f.add(i, delta);
+            naive.0[i] += delta;
+        }
+        for i in 0..n {
+            assert_eq!(f.prefix_sum(i), naive.prefix(i), "prefix at {i}");
+        }
+        for lo in 0..n {
+            for hi in lo..n {
+                let expect: i64 = naive.0[lo..=hi].iter().sum();
+                assert_eq!(f.range_sum(lo, hi), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn range_sum_degenerate() {
+        let mut f = Fenwick::new(4);
+        f.add(1, 3);
+        assert_eq!(f.range_sum(2, 1), 0);
+        assert_eq!(f.range_sum(1, 1), 3);
+        assert_eq!(f.range_sum(0, 0), 0);
+    }
+
+    #[test]
+    fn lower_bound_basics() {
+        let mut f = Fenwick::new(10);
+        for (i, v) in [(1usize, 2i64), (4, 1), (7, 5)] {
+            f.add(i, v);
+        }
+        // Cumulative: idx1:2, idx4:3, idx7:8
+        assert_eq!(f.lower_bound(1), Some(1));
+        assert_eq!(f.lower_bound(2), Some(1));
+        assert_eq!(f.lower_bound(3), Some(4));
+        assert_eq!(f.lower_bound(4), Some(7));
+        assert_eq!(f.lower_bound(8), Some(7));
+        assert_eq!(f.lower_bound(9), None);
+    }
+
+    #[test]
+    fn prefix_clamps_out_of_range() {
+        let mut f = Fenwick::new(3);
+        f.add(0, 1);
+        f.add(2, 1);
+        assert_eq!(f.prefix_sum(100), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_out_of_bounds_panics() {
+        let mut f = Fenwick::new(3);
+        f.add(3, 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! Intrusive doubly-linked recency list over slab indices.
+//!
+//! Every LRU simulator in the workspace needs to (1) move an entry to the
+//! MRU position on a hit, (2) evict the LRU entry on a capacity miss, and
+//! (3) insert a new entry at the MRU position — all in `O(1)` and without
+//! allocating per access. [`LruList`] implements exactly that: nodes live in
+//! a `Vec` slab, links are indices, and a free list recycles evicted slots.
+//!
+//! The list stores no payload itself; callers keep payload in a parallel
+//! structure keyed by the slot index returned from [`LruList::push_front`].
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    prev: u32,
+    next: u32,
+    /// Slot liveness marker; dead slots are on the free list.
+    live: bool,
+}
+
+/// An intrusive LRU-order list on a slab of `u32` slot indices.
+///
+/// Front = most recently used, back = least recently used.
+///
+/// # Examples
+///
+/// ```
+/// use cps_dstruct::LruList;
+/// let mut l = LruList::new();
+/// let a = l.push_front();
+/// let b = l.push_front();
+/// assert_eq!(l.back(), Some(a));
+/// l.move_to_front(a);
+/// assert_eq!(l.back(), Some(b));
+/// assert_eq!(l.pop_back(), Some(b));
+/// assert_eq!(l.pop_back(), Some(a));
+/// assert!(l.is_empty());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LruList {
+    nodes: Vec<Node>,
+    head: u32,
+    tail: u32,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl LruList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        LruList {
+            nodes: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty list with slab capacity reserved for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        LruList {
+            nodes: Vec::with_capacity(cap),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slot index of the most recently used entry.
+    pub fn front(&self) -> Option<u32> {
+        (self.head != NIL).then_some(self.head)
+    }
+
+    /// Slot index of the least recently used entry.
+    pub fn back(&self) -> Option<u32> {
+        (self.tail != NIL).then_some(self.tail)
+    }
+
+    /// Inserts a new entry at the MRU position and returns its slot index.
+    ///
+    /// Slot indices of evicted/removed entries are recycled, so indices are
+    /// stable only while an entry is live.
+    pub fn push_front(&mut self) -> u32 {
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Node {
+                    prev: NIL,
+                    next: self.head,
+                    live: true,
+                };
+                i
+            }
+            None => {
+                let i = self.nodes.len() as u32;
+                assert!(i != NIL, "LruList slab overflow");
+                self.nodes.push(Node {
+                    prev: NIL,
+                    next: self.head,
+                    live: true,
+                });
+                i
+            }
+        };
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+        self.len += 1;
+        idx
+    }
+
+    /// Unlinks `idx` from its current position (internal helper).
+    fn unlink(&mut self, idx: u32) {
+        let node = self.nodes[idx as usize];
+        debug_assert!(node.live, "unlink of dead slot {idx}");
+        if node.prev != NIL {
+            self.nodes[node.prev as usize].next = node.next;
+        } else {
+            self.head = node.next;
+        }
+        if node.next != NIL {
+            self.nodes[node.next as usize].prev = node.prev;
+        } else {
+            self.tail = node.prev;
+        }
+    }
+
+    /// Moves a live entry to the MRU position.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `idx` is not a live slot.
+    pub fn move_to_front(&mut self, idx: u32) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Removes and returns the LRU entry's slot index.
+    pub fn pop_back(&mut self) -> Option<u32> {
+        let idx = self.back()?;
+        self.remove(idx);
+        Some(idx)
+    }
+
+    /// Removes a live entry, freeing its slot for reuse.
+    pub fn remove(&mut self, idx: u32) {
+        self.unlink(idx);
+        self.nodes[idx as usize].live = false;
+        self.free.push(idx);
+        self.len -= 1;
+    }
+
+    /// Iterates slot indices from MRU to LRU. `O(len)`.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                None
+            } else {
+                let out = cur;
+                cur = self.nodes[cur as usize].next;
+                Some(out)
+            }
+        })
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
+    }
+
+    /// Internal consistency check used by tests: forward and backward
+    /// traversals agree and match `len`.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let fwd: Vec<u32> = self.iter().collect();
+        assert_eq!(fwd.len(), self.len, "len mismatch");
+        // Backward traversal.
+        let mut back = Vec::new();
+        let mut cur = self.tail;
+        while cur != NIL {
+            back.push(cur);
+            cur = self.nodes[cur as usize].prev;
+        }
+        back.reverse();
+        assert_eq!(fwd, back, "forward/backward traversal mismatch");
+        for &i in &fwd {
+            assert!(self.nodes[i as usize].live, "dead slot {i} in list");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_order() {
+        let mut l = LruList::new();
+        let a = l.push_front();
+        let b = l.push_front();
+        let c = l.push_front();
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![c, b, a]);
+        assert_eq!(l.front(), Some(c));
+        assert_eq!(l.back(), Some(a));
+        l.check_invariants();
+    }
+
+    #[test]
+    fn move_to_front_middle_and_tail() {
+        let mut l = LruList::new();
+        let a = l.push_front();
+        let b = l.push_front();
+        let c = l.push_front();
+        l.move_to_front(b); // middle
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![b, c, a]);
+        l.move_to_front(a); // tail
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![a, b, c]);
+        l.move_to_front(a); // already front: no-op
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![a, b, c]);
+        l.check_invariants();
+    }
+
+    #[test]
+    fn pop_back_until_empty() {
+        let mut l = LruList::new();
+        let a = l.push_front();
+        let b = l.push_front();
+        assert_eq!(l.pop_back(), Some(a));
+        l.check_invariants();
+        assert_eq!(l.pop_back(), Some(b));
+        assert_eq!(l.pop_back(), None);
+        assert!(l.is_empty());
+        assert_eq!(l.front(), None);
+        assert_eq!(l.back(), None);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut l = LruList::new();
+        let a = l.push_front();
+        let _b = l.push_front();
+        l.remove(a);
+        let c = l.push_front();
+        assert_eq!(c, a, "freed slot should be reused");
+        l.check_invariants();
+    }
+
+    #[test]
+    fn remove_head() {
+        let mut l = LruList::new();
+        let a = l.push_front();
+        let b = l.push_front();
+        l.remove(b);
+        assert_eq!(l.front(), Some(a));
+        assert_eq!(l.back(), Some(a));
+        l.check_invariants();
+    }
+
+    #[test]
+    fn single_element_move() {
+        let mut l = LruList::new();
+        let a = l.push_front();
+        l.move_to_front(a);
+        assert_eq!(l.front(), Some(a));
+        assert_eq!(l.back(), Some(a));
+        l.check_invariants();
+    }
+
+    #[test]
+    fn stress_against_vecdeque() {
+        use std::collections::VecDeque;
+        let mut l = LruList::new();
+        let mut model: VecDeque<u32> = VecDeque::new(); // front = MRU
+        let mut x: u64 = 12345;
+        for step in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match x % 4 {
+                0 | 1 => {
+                    let idx = l.push_front();
+                    model.push_front(idx);
+                }
+                2 => {
+                    if let Some(idx) = model.back().copied() {
+                        assert_eq!(l.pop_back(), Some(idx), "step {step}");
+                        model.pop_back();
+                    } else {
+                        assert_eq!(l.pop_back(), None);
+                    }
+                }
+                _ => {
+                    if !model.is_empty() {
+                        let pick = (x >> 32) as usize % model.len();
+                        let idx = model[pick];
+                        l.move_to_front(idx);
+                        model.remove(pick);
+                        model.push_front(idx);
+                    }
+                }
+            }
+            assert_eq!(l.len(), model.len());
+        }
+        l.check_invariants();
+        assert_eq!(l.iter().collect::<Vec<_>>(), Vec::from(model));
+    }
+}

@@ -1,0 +1,198 @@
+//! Summary statistics for the experiment tables.
+//!
+//! Table I of the paper reports, for each competing scheme, the maximum,
+//! average, and median improvement of Optimal over that scheme, plus the
+//! fraction of co-run groups improved by at least 10% and 20%. [`Summary`]
+//! computes exactly these aggregates (and a few more) from a sample slice.
+
+/// Aggregate statistics over a sample of `f64` values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (midpoint average for even counts).
+    pub median: f64,
+    /// Sample standard deviation (0 for < 2 samples).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Computes a summary; returns `None` for an empty slice.
+    ///
+    /// Non-finite samples are rejected with `None` as well — upstream code
+    /// treats them as evaluation bugs, never as data.
+    pub fn from_samples(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() || samples.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let count = samples.len();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let min = sorted[0];
+        let max = sorted[count - 1];
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            0.5 * (sorted[count / 2 - 1] + sorted[count / 2])
+        };
+        let stddev = if count < 2 {
+            0.0
+        } else {
+            let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+                / (count - 1) as f64;
+            var.sqrt()
+        };
+        Some(Summary {
+            count,
+            min,
+            max,
+            mean,
+            median,
+            stddev,
+        })
+    }
+}
+
+/// Fraction of samples `≥ threshold` (0.0 for an empty slice).
+pub fn fraction_at_least(samples: &[f64], threshold: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|&&v| v >= threshold).count() as f64 / samples.len() as f64
+}
+
+/// Pearson correlation coefficient between two equal-length samples, or
+/// `None` when undefined (mismatched/short lengths or zero variance).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation of the sorted
+/// sample, or `None` for an empty slice.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    if i + 1 < sorted.len() {
+        Some(sorted[i] + frac * (sorted[i + 1] - sorted[i]))
+    } else {
+        Some(sorted[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_yields_none() {
+        assert!(Summary::from_samples(&[]).is_none());
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(fraction_at_least(&[], 0.0), 0.0);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert!(Summary::from_samples(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::from_samples(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_samples(&[4.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.median, 4.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn odd_and_even_medians() {
+        let odd = Summary::from_samples(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(odd.median, 2.0);
+        let even = Summary::from_samples(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(even.median, 2.5);
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set is ~2.138.
+        assert!((s.stddev - 2.13808993).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fraction_thresholds() {
+        let xs = [0.05, 0.10, 0.15, 0.25];
+        assert!((fraction_at_least(&xs, 0.10) - 0.75).abs() < 1e-12);
+        assert!((fraction_at_least(&xs, 0.20) - 0.25).abs() < 1e-12);
+        assert_eq!(fraction_at_least(&xs, 1.0), 0.0);
+        assert_eq!(fraction_at_least(&xs, 0.0), 1.0);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        // Perfect positive / negative correlation.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down).unwrap() + 1.0).abs() < 1e-12);
+        // Uncorrelated-by-construction symmetric case.
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&xs, &flat), None, "zero variance undefined");
+        assert_eq!(pearson(&xs, &xs[..3]), None, "length mismatch");
+        assert_eq!(pearson(&[1.0], &[2.0]), None, "too short");
+    }
+
+    #[test]
+    fn pearson_invariant_to_affine_transforms() {
+        let xs = [0.1, 0.5, 0.2, 0.9, 0.3];
+        let ys = [1.0, 3.1, 1.4, 5.2, 2.0];
+        let r = pearson(&xs, &ys).unwrap();
+        let scaled: Vec<f64> = ys.iter().map(|y| 100.0 * y - 7.0).collect();
+        let r2 = pearson(&xs, &scaled).unwrap();
+        assert!((r - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0), Some(10.0));
+        assert_eq!(quantile(&xs, 1.0), Some(40.0));
+        assert_eq!(quantile(&xs, 0.5), Some(25.0));
+        assert_eq!(quantile(&xs, 1.5), None);
+    }
+}

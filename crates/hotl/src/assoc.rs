@@ -1,0 +1,193 @@
+//! Statistical associativity modeling (Section VIII, via Smith 1976).
+//!
+//! The theory models a fully-associative LRU cache, but "the HOTL theory
+//! can derive the reuse distance, which can be used to statistically
+//! estimate the effect of associativity \[Smith\]". Both halves live here:
+//!
+//! 1. **Reuse-distance distribution from the MRC.** An access misses a
+//!    fully-associative LRU cache of size `c` iff its stack distance
+//!    exceeds `c`, so the CCDF of the stack distance *is* the miss-ratio
+//!    curve: `P(d > c) = mr(c)`, and `P(d = c) = mr(c−1) − mr(c)`.
+//!
+//! 2. **Smith's set-associative estimate.** In a cache with `s` sets of
+//!    `a` ways, an access at stack distance `d` hits iff fewer than `a`
+//!    of its `d − 1` intervening distinct blocks land in its own set.
+//!    With uniform set mapping the conflict count is
+//!    `Binomial(d − 1, 1/s)`, so
+//!    `P(hit | d) = P(Binomial(d − 1, 1/s) ≤ a − 1)`, and the
+//!    set-associative miss ratio is the distance-weighted complement
+//!    plus the compulsory tail.
+//!
+//! The `assoc_check` ablation and the tests below validate the estimate
+//! against the exact set-associative simulator.
+
+use crate::metrics::MissRatioCurve;
+
+/// The stack-distance probability mass `P(d = c)` for `c ∈ 1..=max`,
+/// derived from a (fully-associative) miss-ratio curve; index 0 holds
+/// `P(d > max)` — the tail mass including compulsory misses.
+///
+/// The first returned element is the tail, the rest the per-distance
+/// masses; they sum to `mr(0) = 1`.
+pub fn distance_distribution(mrc: &MissRatioCurve) -> (f64, Vec<f64>) {
+    let max = mrc.max_blocks();
+    let mut mass = Vec::with_capacity(max);
+    for c in 1..=max {
+        mass.push((mrc.at(c - 1) - mrc.at(c)).max(0.0));
+    }
+    (mrc.at(max), mass)
+}
+
+/// Smith's estimate of the miss ratio of an `s`-set, `a`-way LRU cache,
+/// given the fully-associative miss-ratio curve of the same program.
+///
+/// # Panics
+/// Panics if `sets` or `ways` is zero.
+pub fn smith_set_assoc_miss_ratio(mrc: &MissRatioCurve, sets: usize, ways: usize) -> f64 {
+    assert!(sets > 0, "need at least one set");
+    assert!(ways > 0, "need at least one way");
+    let (tail, mass) = distance_distribution(mrc);
+    if sets == 1 {
+        // Degenerates to fully associative at capacity = ways.
+        return mrc.at(ways);
+    }
+    let p = 1.0 / sets as f64;
+    let q = 1.0 - p;
+    // Walk distances d = 1, 2, …; maintain the Binomial(d−1, p) pmf over
+    // conflict counts 0..ways (everything ≥ ways is an assured miss).
+    // pmf[k] = P(exactly k conflicts among the d−1 intervening blocks).
+    let mut pmf = vec![0.0f64; ways + 1];
+    pmf[0] = 1.0; // d = 1: zero intervening blocks
+    let mut overflow = 0.0f64; // P(conflicts ≥ ways)
+    let mut miss = tail; // distances beyond the curve: assume miss
+    for (d_minus_1, &m) in mass.iter().enumerate() {
+        let _ = d_minus_1;
+        // P(hit | d) = P(conflicts ≤ ways − 1) = 1 − overflow − pmf[ways].
+        let hit = 1.0 - overflow - pmf[ways];
+        miss += m * (1.0 - hit.clamp(0.0, 1.0));
+        // Advance the binomial: one more intervening block.
+        let top = pmf[ways];
+        for k in (1..=ways).rev() {
+            pmf[k] = pmf[k] * q + pmf[k - 1] * p;
+        }
+        pmf[0] *= q;
+        overflow += top * p;
+    }
+    miss.clamp(0.0, 1.0)
+}
+
+/// Convenience: Smith estimate for a cache of (at least) `capacity`
+/// blocks at the given associativity, rounding the set count up (the
+/// same convention as `cps_cachesim::SetAssocCache::with_capacity`).
+pub fn smith_for_capacity(mrc: &MissRatioCurve, capacity: usize, ways: usize) -> f64 {
+    let sets = capacity.div_ceil(ways).max(1);
+    smith_set_assoc_miss_ratio(mrc, sets, ways)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::Footprint;
+    use cps_trace::WorkloadSpec;
+
+    fn mrc_of(spec: WorkloadSpec, len: usize, max_blocks: usize) -> MissRatioCurve {
+        let t = spec.generate(len, 11);
+        MissRatioCurve::from_footprint(&Footprint::from_trace(&t.blocks), max_blocks)
+    }
+
+    #[test]
+    fn distance_distribution_sums_to_one() {
+        let mrc = mrc_of(
+            WorkloadSpec::Zipfian {
+                region: 100,
+                alpha: 0.8,
+            },
+            20_000,
+            128,
+        );
+        let (tail, mass) = distance_distribution(&mrc);
+        let total: f64 = tail + mass.iter().sum::<f64>();
+        assert!((total - mrc.at(0)).abs() < 1e-9, "total {total}");
+        assert!(mass.iter().all(|&m| m >= 0.0));
+    }
+
+    #[test]
+    fn single_set_degenerates_to_fully_associative() {
+        let mrc = mrc_of(
+            WorkloadSpec::SequentialLoop { working_set: 50 },
+            10_000,
+            128,
+        );
+        for ways in [4usize, 16, 64] {
+            let smith = smith_set_assoc_miss_ratio(&mrc, 1, ways);
+            assert!(
+                (smith - mrc.at(ways)).abs() < 1e-9,
+                "ways {ways}: {smith} vs {}",
+                mrc.at(ways)
+            );
+        }
+    }
+
+    #[test]
+    fn infinite_associativity_limit() {
+        // With ways = capacity (one set), Smith equals FA by the
+        // degenerate rule; with very many sets of high ways the estimate
+        // approaches the FA value at the same capacity.
+        let mrc = mrc_of(
+            WorkloadSpec::Zipfian {
+                region: 300,
+                alpha: 0.7,
+            },
+            40_000,
+            512,
+        );
+        let fa = mrc.at(256);
+        let smith16 = smith_for_capacity(&mrc, 256, 16);
+        assert!(
+            (smith16 - fa).abs() < 0.05,
+            "16-way estimate {smith16} vs FA {fa}"
+        );
+        // Lower associativity can only miss more (conflicts).
+        let smith2 = smith_for_capacity(&mrc, 256, 2);
+        assert!(smith2 >= smith16 - 1e-9);
+    }
+
+    #[test]
+    fn estimate_tracks_simulator() {
+        // The headline validation: Smith estimate vs the exact
+        // set-associative simulator, at several associativities.
+        let spec = WorkloadSpec::Mixture {
+            parts: vec![
+                (0.8, WorkloadSpec::SequentialLoop { working_set: 60 }),
+                (
+                    0.2,
+                    WorkloadSpec::Zipfian {
+                        region: 400,
+                        alpha: 0.6,
+                    },
+                ),
+            ],
+        };
+        let t = spec.generate(60_000, 5);
+        let mrc = MissRatioCurve::from_footprint(&Footprint::from_trace(&t.blocks), 512);
+        // Smith's independence assumption over-counts conflicts for
+        // strongly structured traces, so the estimate is pessimistic at
+        // low associativity; tolerance reflects that known behaviour.
+        for (ways, tol) in [(2usize, 0.12), (4, 0.06), (8, 0.04), (16, 0.04)] {
+            let mut sim = cps_cachesim::SetAssocCache::with_capacity(256, ways);
+            let measured = sim.simulate(&t.blocks).miss_ratio();
+            let estimated = smith_for_capacity(&mrc, 256, ways);
+            assert!(
+                (measured - estimated).abs() < tol,
+                "{ways}-way: estimated {estimated} vs measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn zero_sets_panics() {
+        let mrc = MissRatioCurve::from_samples(vec![1.0, 0.0]);
+        let _ = smith_set_assoc_miss_ratio(&mrc, 0, 1);
+    }
+}

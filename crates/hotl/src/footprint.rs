@@ -1,0 +1,382 @@
+//! The average footprint `fp(w)` in linear time (paper Eq. 5).
+//!
+//! `fp(w)` is the mean number of distinct blocks over *all* `n − w + 1`
+//! windows of length `w`. Computing it by sliding a window is `O(n·w)`;
+//! Xiang et al.'s closed form turns it into counting, for every datum,
+//! the windows the datum is *absent* from. A datum is absent from a
+//! window exactly when the window falls inside one of its access gaps or
+//! outside its first/last access:
+//!
+//! ```text
+//! fp(w) = m − [ Σ_pairs max(gap − w, 0)
+//!             + Σ_k max(f_k − w, 0)
+//!             + Σ_k max(l̄_k − w, 0) ] / (n − w + 1)
+//! ```
+//!
+//! with `gap = j − i` per reuse pair, `f_k` the 1-indexed first access of
+//! datum `k`, and `l̄_k = n − l_k + 1` its reversed last access. The three
+//! excess sums come from [`cps_dstruct::DenseHistogram::excess_sums`] in
+//! one backward pass each, so the entire curve costs `O(n)`.
+
+use crate::reuse::ReuseProfile;
+use cps_dstruct::MonotoneCurve;
+use cps_trace::Block;
+
+/// The average footprint curve of one trace.
+///
+/// # Examples
+///
+/// A cyclic loop over `k` blocks has `fp(w) ≈ min(w, k)` and a cliff
+/// miss-ratio curve at `k`:
+///
+/// ```
+/// use cps_hotl::Footprint;
+/// let trace: Vec<u64> = (0..5_000).map(|i| i % 40).collect();
+/// let fp = Footprint::from_trace(&trace);
+/// assert!((fp.at(20) - 20.0).abs() < 0.5);
+/// assert!((fp.at(200) - 40.0).abs() < 0.5);
+/// assert!(fp.miss_ratio(30.0) > 0.9); // thrashes below the working set
+/// assert!(fp.miss_ratio(45.0) < 0.1); // fits above it
+/// ```
+#[derive(Clone, Debug)]
+pub struct Footprint {
+    /// `fp[w]` for `w ∈ 0..=n`, monotone non-decreasing,
+    /// `fp[0] = 0`, `fp[n] = m`.
+    curve: MonotoneCurve,
+    /// Trace length `n`.
+    pub accesses: u64,
+    /// Distinct blocks `m`.
+    pub distinct: u64,
+}
+
+impl Footprint {
+    /// Builds the footprint curve from a reuse profile in `O(n)`.
+    pub fn from_reuse(profile: &ReuseProfile) -> Self {
+        let n = profile.accesses as usize;
+        let m = profile.distinct as f64;
+        let gap_excess = profile.gaps.excess_sums();
+        let first_excess = profile.first_times.excess_sums();
+        let last_excess = profile.last_times_rev.excess_sums();
+        let at = |arr: &[u64], w: usize| arr.get(w).copied().unwrap_or(0);
+        let mut ys = Vec::with_capacity(n + 1);
+        let mut prev = 0.0f64;
+        for w in 0..=n {
+            let absent = (at(&gap_excess, w) + at(&first_excess, w) + at(&last_excess, w)) as f64;
+            let windows = (n - w + 1) as f64;
+            let fp = (m - absent / windows).max(prev); // enforce monotone
+            ys.push(fp);
+            prev = fp;
+        }
+        if ys.is_empty() {
+            ys.push(0.0);
+        }
+        Footprint {
+            curve: MonotoneCurve::from_samples(ys),
+            accesses: profile.accesses,
+            distinct: profile.distinct,
+        }
+    }
+
+    /// Convenience: profile + footprint in one call.
+    pub fn from_trace(trace: &[Block]) -> Self {
+        Self::from_reuse(&ReuseProfile::from_trace(trace))
+    }
+
+    /// Assembles a footprint from an existing curve and its trace
+    /// statistics — used by sampled profiling and profile persistence.
+    ///
+    /// # Panics
+    /// Panics if the curve is not non-decreasing or does not start at 0.
+    pub fn from_parts(curve: MonotoneCurve, accesses: u64, distinct: u64) -> Self {
+        assert!(curve.is_non_decreasing(), "footprint must be monotone");
+        assert!(curve.at(0).abs() < 1e-9, "footprint must start at 0");
+        Footprint {
+            curve,
+            accesses,
+            distinct,
+        }
+    }
+
+    /// `fp(w)` at real-valued window length `w` (linear interpolation,
+    /// clamped to `[0, n]`).
+    pub fn eval(&self, w: f64) -> f64 {
+        self.curve.eval(w)
+    }
+
+    /// `fp(w)` at integer `w` (clamped).
+    pub fn at(&self, w: usize) -> f64 {
+        self.curve.at(w)
+    }
+
+    /// The underlying monotone curve.
+    pub fn curve(&self) -> &MonotoneCurve {
+        &self.curve
+    }
+
+    /// The *fill time* `ft(c) = fp⁻¹(c)` (paper Eq. 6): the expected
+    /// window length needed to touch `c` distinct blocks. `None` when
+    /// `c` exceeds the total footprint `m`.
+    pub fn fill_time(&self, c: f64) -> Option<f64> {
+        self.curve.inverse(c)
+    }
+
+    /// The *inter-miss time* at cache size `c` (paper Eq. 7):
+    /// `im(c) = ft(c+1) − ft(c)`. `None` when a cache of `c + 1` blocks
+    /// can never be filled (`c + 1 > m`) — the program stops missing.
+    pub fn inter_miss_time(&self, c: f64) -> Option<f64> {
+        let ft_c = self.fill_time(c)?;
+        let ft_c1 = self.fill_time(c + 1.0)?;
+        Some(ft_c1 - ft_c)
+    }
+
+    /// Miss ratio at cache size `c` blocks (paper Eq. 8/10):
+    /// `mr(c) = fp(w + 1) − c` where `fp(w) = c`; equivalently
+    /// `1 / im(c)`. Programs whose footprint fits (`c ≥ m`) return 0.
+    pub fn miss_ratio(&self, c: f64) -> f64 {
+        match self.fill_time(c) {
+            None => 0.0,
+            Some(w) => (self.eval(w + 1.0) - c).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Extends the curve past its sampled range by linear extrapolation
+    /// of the tail slope, until the footprint reaches `target_value` or
+    /// the curve reaches `max_len` samples.
+    ///
+    /// Burst-sampled footprints are truncated at one burst length; for
+    /// window lengths beyond that the steady tail slope (the program's
+    /// end-of-burst miss rate) is the natural estimate. Without
+    /// extrapolation, a cache larger than the observed footprint looks
+    /// like a perfect fit (miss ratio 0), which badly misleads the
+    /// optimizer — see the `ablation_sampling` experiment.
+    ///
+    /// The tail slope is measured over the last 10% of the curve
+    /// (at least 2 samples). A flat tail (slope ≤ 0) leaves the curve
+    /// unchanged.
+    pub fn extrapolate_to(&self, target_value: f64, max_len: usize) -> Footprint {
+        let ys = self.curve.samples();
+        let n = ys.len();
+        let last = ys[n - 1];
+        if last >= target_value || n < 2 {
+            return self.clone();
+        }
+        let window = (n / 10).max(2).min(n);
+        let slope = (ys[n - 1] - ys[n - window]) / (window - 1) as f64;
+        if slope <= 1e-12 {
+            return self.clone();
+        }
+        let needed = ((target_value - last) / slope).ceil() as usize;
+        let extra = needed.min(max_len.saturating_sub(n));
+        let mut extended = ys.to_vec();
+        extended.reserve(extra);
+        for i in 1..=extra {
+            extended.push(last + slope * i as f64);
+        }
+        Footprint {
+            curve: MonotoneCurve::from_samples(extended),
+            accesses: self.accesses,
+            distinct: self.distinct.max(target_value.ceil() as u64),
+        }
+    }
+
+    /// Brute-force `fp(w)` by enumerating all windows — the `O(n·w)`
+    /// oracle used by tests to validate the closed form.
+    pub fn brute_force(trace: &[Block], w: usize) -> f64 {
+        let n = trace.len();
+        if w == 0 || n == 0 || w > n {
+            if w == 0 {
+                return 0.0;
+            }
+            // Window longer than trace: single clamped window (matches
+            // fp(n)).
+            let t = cps_trace::Trace::new(trace.to_vec());
+            return t.distinct() as f64;
+        }
+        let t = cps_trace::Trace::new(trace.to_vec());
+        let mut sum = 0.0;
+        for start in 0..=(n - w) {
+            sum += t.window_wss(start, w) as f64;
+        }
+        sum / (n - w + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp_all(trace: &[Block]) -> Footprint {
+        Footprint::from_trace(trace)
+    }
+
+    #[test]
+    fn boundary_values() {
+        let trace = [0u64, 1, 0, 2, 1, 0];
+        let fp = fp_all(&trace);
+        assert_eq!(fp.at(0), 0.0);
+        assert_eq!(fp.at(6), 3.0); // whole trace: 3 distinct
+        assert_eq!(fp.at(1), 1.0); // every single access touches 1 block
+    }
+
+    #[test]
+    fn matches_brute_force_small() {
+        let traces: Vec<Vec<u64>> = vec![
+            vec![0, 0, 1, 2, 2, 3, 0, 0, 1, 2, 2, 3], // paper Figure 3
+            vec![5],
+            vec![1, 1, 1, 1],
+            vec![0, 1, 2, 3, 4, 5],
+            (0..64).map(|i| (i * 7) % 13).collect(),
+        ];
+        for trace in traces {
+            let fp = fp_all(&trace);
+            for w in 0..=trace.len() {
+                let oracle = Footprint::brute_force(&trace, w);
+                assert!(
+                    (fp.at(w) - oracle).abs() < 1e-9,
+                    "trace {trace:?} w={w}: {} vs oracle {oracle}",
+                    fp.at(w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_random() {
+        let mut x = 123456789u64;
+        for round in 0..4 {
+            let mut trace = Vec::new();
+            for _ in 0..200 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(round);
+                trace.push((x >> 45) % 17);
+            }
+            let fp = fp_all(&trace);
+            for w in [0, 1, 2, 3, 5, 10, 50, 100, 199, 200] {
+                let oracle = Footprint::brute_force(&trace, w);
+                assert!(
+                    (fp.at(w) - oracle).abs() < 1e-9,
+                    "w={w}: {} vs {oracle}",
+                    fp.at(w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn curve_is_monotone_and_concave_for_loop() {
+        // fp of a cyclic loop over k blocks is min(w, k) — piecewise
+        // linear and concave.
+        let k = 10u64;
+        let trace: Vec<u64> = (0..200).map(|i| i % k).collect();
+        let fp = fp_all(&trace);
+        assert!(fp.curve().is_non_decreasing());
+        for w in 0..=(k as usize) {
+            assert!(
+                (fp.at(w) - w as f64).abs() < 0.2,
+                "fp({w}) = {} should be ≈ {w}",
+                fp.at(w)
+            );
+        }
+        // Beyond the working set the curve is flat at k (modulo edge
+        // windows near the trace end).
+        assert!((fp.at(50) - k as f64).abs() < 0.1);
+    }
+
+    #[test]
+    fn fill_time_inverts_footprint() {
+        let trace: Vec<u64> = (0..300).map(|i| (i * 11) % 23).collect();
+        let fp = fp_all(&trace);
+        for c in [0.5, 1.0, 5.0, 10.0, 20.0] {
+            let w = fp.fill_time(c).expect("reachable footprint");
+            assert!((fp.eval(w) - c).abs() < 1e-9, "ft({c}) round trip");
+        }
+        assert_eq!(fp.fill_time(24.0), None, "beyond total footprint");
+    }
+
+    #[test]
+    fn miss_ratio_of_cyclic_loop_is_cliff() {
+        let trace: Vec<u64> = (0..4000).map(|i| i % 40).collect();
+        let fp = fp_all(&trace);
+        // Below the working set: every access misses (mr ≈ 1).
+        assert!(fp.miss_ratio(20.0) > 0.95, "mr(20) = {}", fp.miss_ratio(20.0));
+        // At/above the working set: no capacity misses.
+        assert!(fp.miss_ratio(40.0) < 0.05, "mr(40) = {}", fp.miss_ratio(40.0));
+        assert_eq!(fp.miss_ratio(100.0), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio_bounded() {
+        let trace: Vec<u64> = (0..500).map(|i| (i * i) % 97).collect();
+        let fp = fp_all(&trace);
+        for c in 0..=97 {
+            let mr = fp.miss_ratio(c as f64);
+            assert!((0.0..=1.0).contains(&mr), "mr({c}) = {mr}");
+        }
+    }
+
+    #[test]
+    fn inter_miss_is_reciprocal_of_miss_ratio() {
+        let trace: Vec<u64> = (0..600).map(|i| (i * 13 + 5) % 53).collect();
+        let fp = fp_all(&trace);
+        for c in [5.0, 10.0, 25.0, 40.0] {
+            let mr = fp.miss_ratio(c);
+            if mr > 1e-6 {
+                let im = fp.inter_miss_time(c).unwrap();
+                // mr(c) = fp(w+1) − fp(w) is a one-step slope while
+                // im(c) = ft(c+1) − ft(c) is the reciprocal slope in the
+                // other axis; they agree where the curve is smooth.
+                assert!(
+                    (1.0 / im - mr).abs() < 0.1 * mr.max(1.0 / im),
+                    "c={c}: 1/im = {} vs mr = {mr}",
+                    1.0 / im
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_footprint() {
+        let fp = fp_all(&[]);
+        assert_eq!(fp.at(0), 0.0);
+        assert_eq!(fp.miss_ratio(1.0), 0.0);
+    }
+
+    #[test]
+    fn extrapolation_extends_at_tail_slope() {
+        // A steadily-growing footprint: uniform accesses over a huge
+        // region grow ~linearly; truncate then extrapolate.
+        let trace: Vec<u64> = (0..2000u64).map(|i| (i * 2654435761) % 100_000).collect();
+        let full = fp_all(&trace);
+        let truncated = Footprint::from_parts(
+            MonotoneCurve::from_samples(full.curve().samples()[..500].to_vec()),
+            full.accesses,
+            full.distinct,
+        );
+        let target = full.at(1500);
+        let ext = truncated.extrapolate_to(target, 4000);
+        assert!(ext.eval(ext.curve().max_x()) >= target - 1e-6);
+        // The extrapolated value at w=1500 tracks the true curve within
+        // a few percent (the workload is stationary).
+        let err = (ext.eval(1500.0) - full.at(1500)).abs() / full.at(1500);
+        assert!(err < 0.05, "extrapolation error {err}");
+    }
+
+    #[test]
+    fn extrapolation_is_identity_when_saturated() {
+        let trace: Vec<u64> = (0..1000).map(|i| i % 20).collect();
+        let fp = fp_all(&trace);
+        let ext = fp.extrapolate_to(10.0, 10_000); // already above target
+        assert_eq!(ext.curve().samples(), fp.curve().samples());
+        // Flat tail: target above m but slope ~ 0 → unchanged.
+        let ext2 = fp.extrapolate_to(100.0, 10_000);
+        assert_eq!(ext2.curve().len(), fp.curve().len());
+    }
+
+    #[test]
+    fn extrapolation_respects_max_len() {
+        let trace: Vec<u64> = (0..500u64).map(|i| (i * 7919) % 50_000).collect();
+        let fp = fp_all(&trace);
+        let ext = fp.extrapolate_to(1e9, 600);
+        assert!(ext.curve().len() <= 600);
+        assert!(ext.curve().is_non_decreasing());
+    }
+}

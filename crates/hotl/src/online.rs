@@ -1,0 +1,199 @@
+//! Online (streaming) locality profiling.
+//!
+//! Section VIII's practicality assumption is that footprint data "can be
+//! collected in real time" — an *online* monitor watches the access
+//! stream and periodically re-optimizes the partition. This module
+//! provides that monitor: [`OnlineProfiler`] consumes one access at a
+//! time in `O(1)` amortized, and can snapshot a full [`Footprint`] (and
+//! hence a miss-ratio curve) at any moment, covering everything seen so
+//! far.
+//!
+//! A snapshot is exactly equal to the batch [`ReuseProfile`] of the
+//! prefix consumed so far — the histograms are maintained incrementally,
+//! and the boundary terms (first/last access times) are reconstructed
+//! from the live last-seen table at snapshot time. Tests pin down that
+//! equality.
+
+use crate::footprint::Footprint;
+use crate::reuse::ReuseProfile;
+use cps_dstruct::DenseHistogram;
+use cps_trace::Block;
+use std::collections::HashMap;
+
+/// Incremental reuse/footprint profiler.
+///
+/// # Examples
+///
+/// ```
+/// use cps_hotl::online::OnlineProfiler;
+/// let mut p = OnlineProfiler::new();
+/// for i in 0..10_000u64 {
+///     p.observe(i % 50);
+/// }
+/// let fp = p.snapshot_footprint();
+/// assert_eq!(fp.distinct, 50);
+/// assert!(fp.miss_ratio(40.0) > 0.9); // the loop thrashes below 50
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OnlineProfiler {
+    /// Accesses seen so far (`n`).
+    time: usize,
+    /// Gap histogram over completed reuse pairs.
+    gaps: DenseHistogram,
+    /// First-access times, 1-indexed (fixed once a datum appears).
+    first_times: DenseHistogram,
+    /// Most recent access position per live datum.
+    last_seen: HashMap<Block, usize>,
+}
+
+impl OnlineProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one access. `O(1)` amortized.
+    #[inline]
+    pub fn observe(&mut self, block: Block) {
+        match self.last_seen.insert(block, self.time) {
+            None => self.first_times.add(self.time + 1, 1),
+            Some(p) => self.gaps.add(self.time - p, 1),
+        }
+        self.time += 1;
+    }
+
+    /// Consumes a slice of accesses.
+    pub fn observe_all(&mut self, blocks: &[Block]) {
+        for &b in blocks {
+            self.observe(b);
+        }
+    }
+
+    /// Accesses consumed so far.
+    pub fn accesses(&self) -> usize {
+        self.time
+    }
+
+    /// Distinct blocks seen so far.
+    pub fn distinct(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// Snapshots the reuse statistics of everything consumed so far —
+    /// identical to `ReuseProfile::from_trace` over the same prefix.
+    /// `O(m)` for the boundary reconstruction.
+    pub fn snapshot_reuse(&self) -> ReuseProfile {
+        let n = self.time;
+        let mut last_times_rev = DenseHistogram::new();
+        for (_, &p) in self.last_seen.iter() {
+            last_times_rev.add(n - p, 1);
+        }
+        ReuseProfile {
+            accesses: n as u64,
+            distinct: self.last_seen.len() as u64,
+            gaps: self.gaps.clone(),
+            first_times: self.first_times.clone(),
+            last_times_rev,
+        }
+    }
+
+    /// Snapshots the average footprint of the consumed prefix.
+    /// `O(n)` (the footprint closed form).
+    pub fn snapshot_footprint(&self) -> Footprint {
+        Footprint::from_reuse(&self.snapshot_reuse())
+    }
+
+    /// Resets to the empty state (e.g. at a phase boundary).
+    pub fn reset(&mut self) {
+        self.time = 0;
+        self.gaps = DenseHistogram::new();
+        self.first_times = DenseHistogram::new();
+        self.last_seen.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_trace::WorkloadSpec;
+
+    #[test]
+    fn snapshot_equals_batch_profile_at_any_prefix() {
+        let trace = WorkloadSpec::Zipfian {
+            region: 80,
+            alpha: 0.7,
+        }
+        .generate(3_000, 9);
+        let mut online = OnlineProfiler::new();
+        let mut consumed = 0;
+        for cut in [1usize, 7, 100, 999, 3_000] {
+            online.observe_all(&trace.blocks[consumed..cut]);
+            consumed = cut;
+            let snap = online.snapshot_reuse();
+            let batch = ReuseProfile::from_trace(&trace.blocks[..cut]);
+            assert_eq!(snap.accesses, batch.accesses, "cut {cut}");
+            assert_eq!(snap.distinct, batch.distinct, "cut {cut}");
+            assert_eq!(snap.gaps.buckets(), batch.gaps.buckets(), "cut {cut}");
+            assert_eq!(
+                snap.first_times.buckets(),
+                batch.first_times.buckets(),
+                "cut {cut}"
+            );
+            assert_eq!(
+                snap.last_times_rev.buckets(),
+                batch.last_times_rev.buckets(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_footprint_matches_batch() {
+        let trace = WorkloadSpec::SequentialLoop { working_set: 30 }.generate(2_000, 1);
+        let mut online = OnlineProfiler::new();
+        online.observe_all(&trace.blocks);
+        let snap = online.snapshot_footprint();
+        let batch = Footprint::from_trace(&trace.blocks);
+        assert_eq!(snap.curve().samples(), batch.curve().samples());
+    }
+
+    #[test]
+    fn empty_profiler_snapshots_cleanly() {
+        let p = OnlineProfiler::new();
+        assert_eq!(p.accesses(), 0);
+        assert_eq!(p.distinct(), 0);
+        let fp = p.snapshot_footprint();
+        assert_eq!(fp.at(0), 0.0);
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let mut p = OnlineProfiler::new();
+        p.observe_all(&[1, 2, 3, 1]);
+        assert_eq!(p.accesses(), 4);
+        p.reset();
+        assert_eq!(p.accesses(), 0);
+        assert_eq!(p.distinct(), 0);
+        p.observe(5);
+        let snap = p.snapshot_reuse();
+        assert_eq!(snap.accesses, 1);
+        assert_eq!(snap.first_times.count(1), 1);
+    }
+
+    #[test]
+    fn online_repartitioning_scenario() {
+        // The intended use: watch a program change phase and see the
+        // snapshot MRC move. Phase 1: 20-block loop; phase 2: 120-block
+        // loop. A monitor with reset-at-boundary sees the change.
+        let p1 = WorkloadSpec::SequentialLoop { working_set: 20 }.generate(5_000, 1);
+        let p2 = WorkloadSpec::SequentialLoop { working_set: 120 }.generate(5_000, 2);
+        let mut monitor = OnlineProfiler::new();
+        monitor.observe_all(&p1.blocks);
+        let before = monitor.snapshot_footprint();
+        assert!(before.miss_ratio(64.0) < 0.05, "phase 1 fits in 64");
+        monitor.reset();
+        monitor.observe_all(&p2.blocks);
+        let after = monitor.snapshot_footprint();
+        assert!(after.miss_ratio(64.0) > 0.9, "phase 2 thrashes 64");
+    }
+}

@@ -1,0 +1,192 @@
+//! Co-run trace interleaving.
+//!
+//! Shared-cache simulation needs a single merged access stream from the
+//! co-run programs. The paper's composition theory assumes accesses
+//! interleave in proportion to each program's *access rate* (Section IV);
+//! [`interleave_proportional`] implements exactly that with a
+//! largest-deficit (Bresenham-style) scheduler, which is deterministic
+//! and keeps every prefix of the merged trace rate-proportional to within
+//! one access. Programs' address spaces are disjoint by construction
+//! (each program's blocks are namespaced by its index).
+
+use crate::model::{Block, Trace};
+
+/// One access of a merged co-run trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoAccess {
+    /// Index of the program that issued the access.
+    pub program: u8,
+    /// The (namespaced) block address.
+    pub block: Block,
+}
+
+/// A merged co-run trace.
+#[derive(Clone, Debug, Default)]
+pub struct CoTrace {
+    /// Accesses in interleaved order.
+    pub accesses: Vec<CoAccess>,
+    /// Per-program access counts actually emitted.
+    pub per_program: Vec<u64>,
+}
+
+impl CoTrace {
+    /// Total number of merged accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True if no accesses were merged.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+}
+
+/// Bits reserved for namespacing program addresses in a merged trace.
+pub const PROGRAM_SHIFT: u32 = 48;
+
+/// Namespaces a program-local block into the merged address space.
+pub fn namespaced(program: usize, block: Block) -> Block {
+    ((program as u64) << PROGRAM_SHIFT) | block
+}
+
+/// Merges per-program traces proportionally to `rates`.
+///
+/// At every step the program with the largest *deficit* — expected
+/// accesses so far minus emitted accesses — issues next. A program whose
+/// trace is exhausted simply stops (the others continue), matching how a
+/// short co-runner finishes early on real hardware.
+///
+/// The merged trace ends when `total_len` accesses have been emitted or
+/// every trace is exhausted, whichever is first.
+///
+/// # Panics
+/// Panics if `traces` and `rates` have different lengths, if any rate is
+/// not positive, or if more than 256 programs are given.
+pub fn interleave_proportional(traces: &[&Trace], rates: &[f64], total_len: usize) -> CoTrace {
+    assert_eq!(traces.len(), rates.len(), "one rate per trace");
+    assert!(traces.len() <= 256, "at most 256 co-run programs");
+    assert!(
+        rates.iter().all(|&r| r > 0.0 && r.is_finite()),
+        "rates must be positive and finite"
+    );
+    let k = traces.len();
+    let rate_sum: f64 = rates.iter().sum();
+    let mut emitted = vec![0usize; k];
+    let mut accesses = Vec::with_capacity(total_len.min(1 << 24));
+    for step in 0..total_len {
+        // Largest deficit among programs with accesses left.
+        let mut best: Option<(f64, usize)> = None;
+        for i in 0..k {
+            if emitted[i] >= traces[i].len() {
+                continue;
+            }
+            let expected = (step + 1) as f64 * rates[i] / rate_sum;
+            let deficit = expected - emitted[i] as f64;
+            match best {
+                Some((d, _)) if d >= deficit => {}
+                _ => best = Some((deficit, i)),
+            }
+        }
+        let Some((_, i)) = best else {
+            break; // all traces exhausted
+        };
+        let block = traces[i].blocks[emitted[i]];
+        accesses.push(CoAccess {
+            program: i as u8,
+            block: namespaced(i, block),
+        });
+        emitted[i] += 1;
+    }
+    CoTrace {
+        per_program: emitted.iter().map(|&e| e as u64).collect(),
+        accesses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(blocks: Vec<Block>) -> Trace {
+        Trace::new(blocks)
+    }
+
+    #[test]
+    fn equal_rates_round_robin_like() {
+        let a = t(vec![1, 2, 3]);
+        let b = t(vec![10, 20, 30]);
+        let co = interleave_proportional(&[&a, &b], &[1.0, 1.0], 6);
+        assert_eq!(co.len(), 6);
+        assert_eq!(co.per_program, vec![3, 3]);
+        // Each prefix of length 2k has k from each.
+        for k in 1..=3 {
+            let cnt = co.accesses[..2 * k]
+                .iter()
+                .filter(|x| x.program == 0)
+                .count();
+            assert_eq!(cnt, k);
+        }
+    }
+
+    #[test]
+    fn rates_respected_in_prefixes() {
+        let a = t((0..300).collect());
+        let b = t((0..300).collect());
+        let co = interleave_proportional(&[&a, &b], &[3.0, 1.0], 400);
+        let a_count = co.accesses.iter().filter(|x| x.program == 0).count();
+        assert_eq!(a_count, 300);
+        // The 3:1 ratio holds in every prefix within one access.
+        let mut seen0 = 0.0;
+        for (i, acc) in co.accesses.iter().enumerate().take(399) {
+            if acc.program == 0 {
+                seen0 += 1.0;
+            }
+            let expected = (i + 1) as f64 * 0.75;
+            assert!(
+                (seen0 - expected).abs() <= 1.0 + 1e-9,
+                "prefix {i}: {seen0} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_trace_lets_others_continue() {
+        let a = t(vec![1]);
+        let b = t(vec![10, 20, 30, 40]);
+        let co = interleave_proportional(&[&a, &b], &[10.0, 1.0], 10);
+        assert_eq!(co.per_program, vec![1, 4]);
+        assert_eq!(co.len(), 5);
+    }
+
+    #[test]
+    fn namespacing_keeps_programs_disjoint() {
+        let a = t(vec![5]);
+        let b = t(vec![5]);
+        let co = interleave_proportional(&[&a, &b], &[1.0, 1.0], 2);
+        assert_ne!(co.accesses[0].block, co.accesses[1].block);
+        assert_eq!(co.accesses[0].block & 0xFFFF, 5);
+        assert_eq!(co.accesses[1].block & 0xFFFF, 5);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_cotrace() {
+        let a = t(vec![]);
+        let co = interleave_proportional(&[&a], &[1.0], 5);
+        assert!(co.is_empty());
+        assert_eq!(co.per_program, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one rate per trace")]
+    fn mismatched_rates_panic() {
+        let a = t(vec![1]);
+        let _ = interleave_proportional(&[&a], &[1.0, 2.0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let a = t(vec![1]);
+        let _ = interleave_proportional(&[&a], &[0.0], 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Cyclic sequential sweep — the canonical LRU-adversarial workload.
+//!
+//! A loop over `ws` blocks gives LRU zero hits for any capacity below
+//! `ws` and (after warm-up) a perfect hit rate at or above it. Its
+//! miss-ratio curve is a cliff, the textbook violation of the convexity
+//! assumption behind STTW partitioning — which is exactly why the paper's
+//! DP is needed.
+
+use super::AccessStream;
+use crate::model::Block;
+
+/// Stream for [`super::WorkloadSpec::SequentialLoop`].
+#[derive(Clone, Debug)]
+pub struct SequentialStream {
+    working_set: u64,
+    next: u64,
+}
+
+impl SequentialStream {
+    /// Creates a sweep over `working_set` blocks (minimum 1).
+    pub fn new(working_set: u64) -> Self {
+        SequentialStream {
+            working_set: working_set.max(1),
+            next: 0,
+        }
+    }
+}
+
+impl AccessStream for SequentialStream {
+    fn next_block(&mut self) -> Block {
+        let out = self.next;
+        self.next = (self.next + 1) % self.working_set;
+        out
+    }
+}
+
+/// Stream for [`super::WorkloadSpec::Strided`]: blocks
+/// `0, s, 2s, …` modulo `region`, wrapping to an offset lane when a
+/// full pass ends (so the whole region is eventually covered even when
+/// `stride` divides `region`).
+///
+/// Temporally this is another cyclic loop (same MRC cliff), but
+/// *spatially* the addresses are `stride` apart — the pattern that
+/// breaks set-mapping uniformity in set-associative caches and thereby
+/// stresses Smith's statistical associativity model.
+#[derive(Clone, Debug)]
+pub struct StridedStream {
+    region: u64,
+    stride: u64,
+    lane: u64,
+    pos: u64,
+}
+
+impl StridedStream {
+    /// Creates a strided sweep (both parameters clamped to ≥ 1; `stride`
+    /// clamped to ≤ `region`).
+    pub fn new(region: u64, stride: u64) -> Self {
+        let region = region.max(1);
+        StridedStream {
+            region,
+            stride: stride.clamp(1, region),
+            lane: 0,
+            pos: 0,
+        }
+    }
+}
+
+impl AccessStream for StridedStream {
+    fn next_block(&mut self) -> Block {
+        let out = (self.pos + self.lane) % self.region;
+        self.pos += self.stride;
+        if self.pos >= self.region {
+            self.pos = 0;
+            // Next lane covers the blocks this pass skipped.
+            self.lane = (self.lane + 1) % self.stride;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_at_working_set() {
+        let mut s = SequentialStream::new(3);
+        let got: Vec<u64> = (0..7).map(|_| s.next_block()).collect();
+        assert_eq!(got, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn zero_working_set_clamped_to_one() {
+        let mut s = SequentialStream::new(0);
+        assert_eq!(s.next_block(), 0);
+        assert_eq!(s.next_block(), 0);
+    }
+
+    #[test]
+    fn strided_visits_lane_by_lane() {
+        let mut s = StridedStream::new(8, 4);
+        let got: Vec<u64> = (0..8).map(|_| s.next_block()).collect();
+        // Lane 0: 0, 4; lane 1: 1, 5; lane 2: 2, 6; lane 3: 3, 7.
+        assert_eq!(got, vec![0, 4, 1, 5, 2, 6, 3, 7]);
+        // Then it cycles.
+        assert_eq!(s.next_block(), 0);
+    }
+
+    #[test]
+    fn strided_covers_whole_region() {
+        let mut s = StridedStream::new(12, 5);
+        let mut seen = vec![false; 12];
+        for _ in 0..240 {
+            seen[s.next_block() as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "coverage: {seen:?}");
+    }
+
+    #[test]
+    fn strided_stride_one_is_sequential() {
+        let mut a = StridedStream::new(5, 1);
+        let mut b = SequentialStream::new(5);
+        for _ in 0..12 {
+            assert_eq!(a.next_block(), b.next_block());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the workload generators and interleaver.
+
+use cps_trace::{interleave_proportional, Trace, WorkloadSpec};
+use proptest::prelude::*;
+
+/// Strategy over leaf workload specs with small parameters.
+fn leaf_workload() -> impl Strategy<Value = WorkloadSpec> {
+    prop_oneof![
+        (1u64..100).prop_map(|working_set| WorkloadSpec::SequentialLoop { working_set }),
+        (1u64..100).prop_map(|region| WorkloadSpec::UniformRandom { region }),
+        ((1u64..100), (0.0f64..2.0))
+            .prop_map(|(region, alpha)| WorkloadSpec::Zipfian { region, alpha }),
+        (1u64..100).prop_map(|region| WorkloadSpec::PointerChase { region }),
+        ((1u64..12), (1u64..12)).prop_map(|(rows, cols)| WorkloadSpec::Stencil { rows, cols }),
+        ((2u64..100), (1u64..50), (1u64..200)).prop_map(|(region, window, dwell)| {
+            WorkloadSpec::WorkingSetWalk {
+                region,
+                window,
+                dwell,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn generation_is_deterministic_and_sized(
+        spec in leaf_workload(),
+        len in 1usize..500,
+        seed in 0u64..1000,
+    ) {
+        let a = spec.generate(len, seed);
+        let b = spec.generate(len, seed);
+        prop_assert_eq!(&a, &b, "same seed, same trace");
+        prop_assert_eq!(a.len(), len);
+    }
+
+    #[test]
+    fn footprint_hint_upper_bounds_distinct(
+        spec in leaf_workload(),
+        len in 1usize..500,
+        seed in 0u64..100,
+    ) {
+        let t = spec.generate(len, seed);
+        prop_assert!(
+            t.distinct() as u64 <= spec.footprint_hint(),
+            "{spec:?}: distinct {} > hint {}",
+            t.distinct(),
+            spec.footprint_hint()
+        );
+    }
+
+    #[test]
+    fn phased_composition_determinism(
+        a in leaf_workload(),
+        b in leaf_workload(),
+        la in 1u64..50,
+        lb in 1u64..50,
+        len in 1usize..300,
+    ) {
+        let spec = WorkloadSpec::Phased { phases: vec![(a, la), (b, lb)] };
+        prop_assert_eq!(spec.generate(len, 5), spec.generate(len, 5));
+    }
+
+    #[test]
+    fn mixture_stays_in_disjoint_subspaces(
+        a in leaf_workload(),
+        b in leaf_workload(),
+        len in 10usize..300,
+    ) {
+        let spec = WorkloadSpec::Mixture { parts: vec![(1.0, a), (1.0, b)] };
+        let t = spec.generate(len, 9);
+        // Component 0 lives below 1<<40, component 1 above.
+        for &blk in t.iter() {
+            let hi = blk >> 40;
+            prop_assert!(hi == 0 || hi == 1, "unexpected namespace {hi}");
+        }
+    }
+
+    #[test]
+    fn interleave_preserves_order_and_counts(
+        la in 1usize..100,
+        lb in 1usize..100,
+        ra in 1u32..10,
+        rb in 1u32..10,
+    ) {
+        let a = Trace::new((0..la as u64).collect());
+        let b = Trace::new((1000..1000 + lb as u64).collect());
+        let co = interleave_proportional(&[&a, &b], &[ra as f64, rb as f64], la + lb);
+        prop_assert_eq!(co.len(), la + lb, "everything gets emitted");
+        // Per-program subsequences preserve original order.
+        let sub_a: Vec<u64> = co.accesses.iter()
+            .filter(|x| x.program == 0)
+            .map(|x| x.block & 0xFFFF_FFFF)
+            .collect();
+        prop_assert_eq!(sub_a, a.blocks.clone());
+        let sub_b: Vec<u64> = co.accesses.iter()
+            .filter(|x| x.program == 1)
+            .map(|x| x.block & 0xFFFF_FFFF)
+            .collect();
+        prop_assert_eq!(sub_b, b.blocks.clone());
+    }
+
+    #[test]
+    fn interleave_rate_proportionality(
+        ra in 1u32..8,
+        rb in 1u32..8,
+        prefix in 10usize..200,
+    ) {
+        // With long enough traces, every prefix is rate-proportional to
+        // within one access per program.
+        let a = Trace::new(vec![1; 4000]);
+        let b = Trace::new(vec![2; 4000]);
+        let rates = [ra as f64, rb as f64];
+        let co = interleave_proportional(&[&a, &b], &rates, prefix);
+        let count_a = co.accesses.iter().filter(|x| x.program == 0).count() as f64;
+        let expect_a = prefix as f64 * rates[0] / (rates[0] + rates[1]);
+        prop_assert!(
+            (count_a - expect_a).abs() <= 1.0 + 1e-9,
+            "prefix {prefix}: {count_a} vs {expect_a}"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 1, end to end: the one workload pattern where partition-sharing
+//! genuinely beats both strict partitioning and free-for-all sharing.
+//!
+//! Two streaming cores need fencing off; two cores with *anti-phase*
+//! working sets (one large while the other is small) want to share a
+//! partition so each can use the space when the other does not.
+//! Synchronized phases violate the theory's random-phase assumption, so
+//! this is measured with the exact LRU simulator rather than predicted.
+//!
+//! ```text
+//! cargo run --release --example figure1_demo
+//! ```
+
+use cache_partition_sharing::prelude::*;
+
+fn main() {
+    let cache = 160usize;
+    let len = 60_000usize;
+    let phase = 2_000u64;
+
+    // Cores 1–2: streaming sweeps far larger than the cache.
+    let stream = WorkloadSpec::SequentialLoop { working_set: 4000 };
+    // Cores 3–4: alternate between a 120-block and a 4-block working
+    // set, in opposite phase.
+    let big = WorkloadSpec::SequentialLoop { working_set: 120 };
+    let small = WorkloadSpec::SequentialLoop { working_set: 4 };
+    let core3 = WorkloadSpec::Phased {
+        phases: vec![(big.clone(), phase), (small.clone(), phase)],
+    };
+    let core4 = WorkloadSpec::Phased {
+        phases: vec![(small, phase), (big, phase)],
+    };
+
+    let traces: Vec<Trace> = [stream.clone(), stream, core3, core4]
+        .iter()
+        .enumerate()
+        .map(|(i, w)| w.generate(len, i as u64 + 1))
+        .collect();
+    let refs: Vec<&Trace> = traces.iter().collect();
+    let co = interleave_proportional(&refs, &[1.0; 4], len * 4);
+    let warm = len;
+
+    println!("four cores, {cache}-block cache, phases of {phase} accesses\n");
+
+    let schemes: Vec<(&str, PartitionSharingScheme)> = vec![
+        (
+            "free-for-all",
+            PartitionSharingScheme::free_for_all(4, cache),
+        ),
+        (
+            "strict partitioning",
+            PartitionSharingScheme::partitioning(vec![1, 1, 79, 79]),
+        ),
+        (
+            "partition-sharing",
+            PartitionSharingScheme {
+                groups: vec![vec![0], vec![1], vec![2, 3]],
+                sizes: vec![1, 1, 158],
+            },
+        ),
+    ];
+
+    let mut best = ("", f64::MAX);
+    for (name, scheme) in &schemes {
+        let res = simulate_partition_sharing(&co, scheme, 4, warm);
+        let mrs: Vec<String> = res
+            .per_program
+            .iter()
+            .map(|c| format!("{:.3}", c.miss_ratio()))
+            .collect();
+        println!(
+            "{:<22} group mr {:.4}   cores [{}]",
+            name,
+            res.group_miss_ratio(),
+            mrs.join(", ")
+        );
+        if res.group_miss_ratio() < best.1 {
+            best = (name, res.group_miss_ratio());
+        }
+    }
+
+    println!("\nwinner: {} (group miss ratio {:.4})", best.0, best.1);
+    println!("\nWhy: cores 3 and 4 need 120 blocks *alternately*; any static");
+    println!("partition gives each at most ~79 — below the cliff — while a");
+    println!("shared 158-block partition holds whichever working set is live.");
+    println!("The streamers would flush it, so they stay fenced off: that is");
+    println!("partition-sharing, the paper's general case.");
+}

@@ -1,0 +1,115 @@
+//! MRC explorer: print a program's footprint and miss-ratio curves as
+//! ASCII charts, with the HOTL-derived curve next to the exact
+//! (Olken/simulator) curve.
+//!
+//! A handy way to *see* what the theory does: the footprint rises and
+//! flattens at working-set plateaus; each plateau becomes a cliff in the
+//! miss-ratio curve; cliffs are what break convexity (and STTW).
+//!
+//! ```text
+//! cargo run --release --example mrc_explorer           # default workload
+//! cargo run --release --example mrc_explorer -- zipf   # pick one: loop,
+//!                                                      # zipf, phased, stencil, mix
+//! ```
+
+use cache_partition_sharing::prelude::*;
+
+fn chart(title: &str, xs_label: &str, series: &[(&str, Vec<f64>)], height: usize) {
+    let width = series[0].1.len();
+    let max = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter())
+        .fold(0.0f64, |a, &b| a.max(b))
+        .max(1e-12);
+    println!("\n{title}  (y max = {max:.4})");
+    let marks = ["*", "o", "+"];
+    for row in (0..height).rev() {
+        let lo = max * row as f64 / height as f64;
+        let hi = max * (row + 1) as f64 / height as f64;
+        let mut line: Vec<&str> = vec![" "; width];
+        for (si, (_, ys)) in series.iter().enumerate() {
+            for (x, &y) in ys.iter().enumerate() {
+                if y > lo && y <= hi && line[x] == " " {
+                    line[x] = marks[si % marks.len()];
+                }
+            }
+        }
+        println!("  |{}", line.join(""));
+    }
+    println!("  +{}", "-".repeat(width));
+    println!("   {xs_label}");
+    for (si, (name, _)) in series.iter().enumerate() {
+        println!("   {} = {}", marks[si % marks.len()], name);
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "mix".into());
+    let workload = match which.as_str() {
+        "loop" => WorkloadSpec::SequentialLoop { working_set: 80 },
+        "zipf" => WorkloadSpec::Zipfian {
+            region: 300,
+            alpha: 0.9,
+        },
+        "phased" => WorkloadSpec::Phased {
+            phases: vec![
+                (WorkloadSpec::SequentialLoop { working_set: 40 }, 5_000),
+                (WorkloadSpec::SequentialLoop { working_set: 120 }, 5_000),
+            ],
+        },
+        "stencil" => WorkloadSpec::Stencil { rows: 16, cols: 10 },
+        _ => WorkloadSpec::Mixture {
+            parts: vec![
+                (0.8, WorkloadSpec::SequentialLoop { working_set: 50 }),
+                (0.2, WorkloadSpec::Zipfian {
+                    region: 250,
+                    alpha: 0.7,
+                }),
+            ],
+        },
+    };
+    println!("workload: {which} → {workload:?}");
+    let trace = workload.generate(150_000, 7);
+    let max_blocks = 160usize;
+    let profile = SoloProfile::from_trace(&which, &trace.blocks, 1.0, max_blocks);
+    let exact = exact_miss_ratio_curve(&trace.blocks, max_blocks);
+
+    // Footprint over window lengths (log-ish sweep rescaled to 72 cols).
+    let cols = 72usize;
+    let max_w = (max_blocks * 40).min(trace.len());
+    let fp_series: Vec<f64> = (0..cols)
+        .map(|i| {
+            let w = ((i + 1) as f64 / cols as f64).powi(2) * max_w as f64;
+            profile.footprint.eval(w)
+        })
+        .collect();
+    chart(
+        "average footprint fp(w)",
+        "window length w (quadratic sweep →)",
+        &[("fp(w)", fp_series)],
+        12,
+    );
+
+    // Miss ratio curves, HOTL vs exact.
+    let hotl: Vec<f64> = (0..cols)
+        .map(|i| profile.mrc.at(i * max_blocks / cols))
+        .collect();
+    let sim: Vec<f64> = (0..cols).map(|i| exact[i * max_blocks / cols]).collect();
+    chart(
+        "miss ratio mr(c): HOTL model vs exact LRU",
+        &format!("cache size 0..{max_blocks} blocks →"),
+        &[("HOTL", hotl), ("exact LRU (Olken)", sim)],
+        12,
+    );
+
+    let curve = profile.mrc.to_curve();
+    println!(
+        "\nconvex? {}   (violation {:.5}; non-convex MRCs are where STTW fails)",
+        curve.is_convex(1e-4),
+        curve.convexity_violation()
+    );
+    println!(
+        "distinct blocks: {}, accesses: {}",
+        profile.footprint.distinct, profile.accesses
+    );
+}

@@ -1,0 +1,511 @@
+//! `cps` — command-line front end for cache partition-sharing.
+//!
+//! The workflow mirrors the paper's tooling: profile each program once
+//! (producing a binary footprint file), then compose, predict, and
+//! optimize any co-run group from the profiles alone.
+//!
+//! ```text
+//! cps gen      --workload loop:80 --len 100000 --out a.trace [--seed 1]
+//! cps profile  a.trace --out a.cpsp [--rate 1.0] [--max-blocks 1024] [--name A]
+//! cps show     a.cpsp [--points 16]
+//! cps predict  a.cpsp b.cpsp ... --cache 1024
+//! cps optimize a.cpsp b.cpsp ... --units 1024 [--bpu 1]
+//!              [--objective throughput|maxmin] [--baseline none|equal|natural]
+//! ```
+//!
+//! Trace files are plain text: one block id (u64, decimal or 0x-hex) per
+//! line; `#` comments and blank lines are ignored.
+
+use cache_partition_sharing::core::natural::natural_partition_units;
+use cache_partition_sharing::hotl::persist;
+use cache_partition_sharing::prelude::*;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "gen" => cmd_gen(rest),
+        "profile" => cmd_profile(rest),
+        "show" => cmd_show(rest),
+        "predict" => cmd_predict(rest),
+        "optimize" => cmd_optimize(rest),
+        "stall" => cmd_stall(rest),
+        "phase-plan" => cmd_phase_plan(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("cps: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+cps — optimal cache partition-sharing toolkit
+
+USAGE:
+  cps gen      --workload SPEC --len N --out FILE [--seed S]
+  cps profile  TRACE --out FILE [--rate R] [--max-blocks C] [--name NAME]
+               [--burst N --ratio K]   (bursty sampled profiling)
+  cps show     PROFILE [--points K]
+  cps predict  PROFILE... --cache BLOCKS
+  cps optimize PROFILE... --units U [--bpu B]
+               [--objective throughput|maxmin] [--baseline none|equal|natural]
+  cps stall    PROFILE... --cache BLOCKS   (co-run or take turns?)
+  cps phase-plan TRACE... --units U [--segments S] [--threshold T]
+               (per-phase optimal partitions from raw traces)
+
+WORKLOAD SPECS (for `gen`):
+  loop:WS            sequential loop over WS blocks
+  strided:REGION:S   strided sweep, stride S over REGION blocks
+  uniform:REGION     uniform random over REGION blocks
+  zipf:REGION:ALPHA  Zipfian over REGION blocks, exponent ALPHA
+  chase:REGION       pointer chase over REGION blocks
+  stencil:ROWSxCOLS  3-point vertical stencil sweep
+  walk:REGION:WIN:DWELL  drifting working set";
+
+/// Tiny flag parser: positionals plus `--key value` options.
+struct Args {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                options.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Args {
+            positional,
+            options,
+        })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+        }
+    }
+}
+
+fn parse_workload(spec: &str) -> Result<WorkloadSpec, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<u64, String> {
+        s.parse().map_err(|_| format!("bad number in workload: {s}"))
+    };
+    match parts.as_slice() {
+        ["loop", ws] => Ok(WorkloadSpec::SequentialLoop { working_set: num(ws)? }),
+        ["strided", r, s] => Ok(WorkloadSpec::Strided {
+            region: num(r)?,
+            stride: num(s)?,
+        }),
+        ["uniform", r] => Ok(WorkloadSpec::UniformRandom { region: num(r)? }),
+        ["zipf", r, a] => Ok(WorkloadSpec::Zipfian {
+            region: num(r)?,
+            alpha: a.parse().map_err(|_| format!("bad alpha: {a}"))?,
+        }),
+        ["chase", r] => Ok(WorkloadSpec::PointerChase { region: num(r)? }),
+        ["stencil", dims] => {
+            let (r, c) = dims
+                .split_once('x')
+                .ok_or_else(|| format!("stencil wants ROWSxCOLS, got {dims}"))?;
+            Ok(WorkloadSpec::Stencil {
+                rows: num(r)?,
+                cols: num(c)?,
+            })
+        }
+        ["walk", r, w, d] => Ok(WorkloadSpec::WorkingSetWalk {
+            region: num(r)?,
+            window: num(w)?,
+            dwell: num(d)?,
+        }),
+        _ => Err(format!("unrecognized workload spec `{spec}` (see `cps help`)")),
+    }
+}
+
+fn cmd_gen(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let workload = parse_workload(args.require("workload")?)?;
+    let len: usize = args.require("len")?.parse().map_err(|_| "bad --len".to_string())?;
+    let seed: u64 = args.get_parse("seed", 0)?;
+    let out = args.require("out")?;
+    let trace = workload.generate(len, seed);
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# generated by cps gen: {workload:?}, len {len}, seed {seed}")
+        .map_err(|e| e.to_string())?;
+    for b in &trace.blocks {
+        writeln!(w, "{b}").map_err(|e| e.to_string())?;
+    }
+    println!(
+        "wrote {len} accesses ({} distinct blocks) to {out}",
+        trace.distinct()
+    );
+    Ok(())
+}
+
+fn read_trace(path: &str) -> Result<Vec<Block>, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut blocks = Vec::new();
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let v = if let Some(hex) = t.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16)
+        } else {
+            t.parse()
+        }
+        .map_err(|_| format!("{path}:{}: bad block id `{t}`", lineno + 1))?;
+        blocks.push(v);
+    }
+    if blocks.is_empty() {
+        return Err(format!("{path}: no accesses"));
+    }
+    Ok(blocks)
+}
+
+fn cmd_profile(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let [trace_path] = args.positional.as_slice() else {
+        return Err("profile wants exactly one TRACE file".into());
+    };
+    let out = args.require("out")?;
+    let rate: f64 = args.get_parse("rate", 1.0)?;
+    let max_blocks: usize = args.get_parse("max-blocks", 1024)?;
+    let default_name = trace_path
+        .rsplit('/')
+        .next()
+        .unwrap_or(trace_path)
+        .trim_end_matches(".trace")
+        .to_string();
+    let name = args.get("name").unwrap_or(&default_name);
+    let blocks = read_trace(trace_path)?;
+    let profile = match args.get("burst") {
+        None => SoloProfile::from_trace(name, &blocks, rate, max_blocks),
+        Some(burst) => {
+            // Bursty sampled profiling with tail extrapolation, so the
+            // MRC is usable up to max_blocks even for short bursts.
+            let burst: usize = burst.parse().map_err(|_| "bad --burst".to_string())?;
+            let ratio: usize = args.get_parse("ratio", 10)?;
+            let cfg = cache_partition_sharing::hotl::BurstConfig::with_ratio(burst, ratio);
+            let fp = cache_partition_sharing::hotl::sample_footprint(&blocks, cfg)
+                .extrapolate_to(max_blocks as f64 + 1.0, blocks.len() + 1);
+            let mrc = MissRatioCurve::from_footprint(&fp, max_blocks);
+            eprintln!(
+                "sampled profiling: burst {burst}, coverage {:.1}%",
+                cfg.coverage() * 100.0
+            );
+            SoloProfile {
+                name: name.to_string(),
+                access_rate: rate,
+                accesses: fp.accesses,
+                footprint: fp,
+                mrc,
+            }
+        }
+    };
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    persist::write_profile(&mut w, &profile).map_err(|e| e.to_string())?;
+    w.flush().map_err(|e| e.to_string())?;
+    println!(
+        "profiled `{name}`: {} accesses, {} distinct blocks, mr({max_blocks}) = {:.4} -> {out}",
+        profile.accesses,
+        profile.footprint.distinct,
+        profile.mrc.at(max_blocks)
+    );
+    Ok(())
+}
+
+fn cmd_stall(raw: &[String]) -> Result<(), String> {
+    use cache_partition_sharing::core::perf::PerfModel;
+    use cache_partition_sharing::core::stall::stall_advice;
+    let args = Args::parse(raw)?;
+    let profiles = load_profiles(&args.positional)?;
+    let cache: usize = args
+        .require("cache")?
+        .parse()
+        .map_err(|_| "bad --cache".to_string())?;
+    if profiles.len() > 10 {
+        return Err("stall search is exhaustive over batch partitions; use <= 10 programs".into());
+    }
+    let members: Vec<&SoloProfile> = profiles.iter().collect();
+    let model = PerfModel::default();
+    let (best, corun, gain) = stall_advice(&members, &CacheConfig::new(cache, 1), &model);
+    println!("co-run everything : {:.3e} model cycles", corun.total_time);
+    let batches: Vec<String> = best
+        .batches
+        .iter()
+        .map(|b| {
+            b.iter()
+                .map(|&i| members[i].name.as_str())
+                .collect::<Vec<_>>()
+                .join("+")
+        })
+        .collect();
+    println!(
+        "best schedule     : {:.3e} model cycles  [{}]",
+        best.total_time,
+        batches.join(" ; then ")
+    );
+    if gain > 0.01 {
+        println!("advice: STALL — run the batches serially, saving {:.1}%", gain * 100.0);
+    } else {
+        println!("advice: co-run freely");
+    }
+    Ok(())
+}
+
+fn load_profiles(paths: &[String]) -> Result<Vec<SoloProfile>, String> {
+    if paths.is_empty() {
+        return Err("need at least one PROFILE file".into());
+    }
+    paths
+        .iter()
+        .map(|p| {
+            let file = File::open(p).map_err(|e| format!("open {p}: {e}"))?;
+            persist::read_profile(&mut BufReader::new(file)).map_err(|e| format!("{p}: {e}"))
+        })
+        .collect()
+}
+
+fn cmd_show(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let profiles = load_profiles(&args.positional)?;
+    let points: usize = args.get_parse("points", 16)?;
+    for p in &profiles {
+        println!(
+            "{}: accesses {}, distinct {}, access rate {}",
+            p.name, p.accesses, p.footprint.distinct, p.access_rate
+        );
+        let max = p.mrc.max_blocks();
+        println!("  cache     miss ratio");
+        for i in 0..=points {
+            let c = i * max / points;
+            println!("  {c:>7}   {:.5}", p.mrc.at(c));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_predict(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let profiles = load_profiles(&args.positional)?;
+    let cache: usize = args.require("cache")?.parse().map_err(|_| "bad --cache".to_string())?;
+    let members: Vec<&SoloProfile> = profiles.iter().collect();
+    let model = CoRunModel::new(members);
+    let np = model.natural_partition(cache as f64);
+    let mrs = model.member_shared_miss_ratios(cache as f64);
+    println!("free-for-all sharing of a {cache}-block cache (natural partition):");
+    println!("{:<20} {:>12} {:>12} {:>12}", "program", "occupancy", "shared mr", "solo mr");
+    for (i, p) in profiles.iter().enumerate() {
+        println!(
+            "{:<20} {:>12.1} {:>12.4} {:>12.4}",
+            p.name,
+            np.occupancy[i],
+            mrs[i],
+            p.mrc.at(cache)
+        );
+    }
+    println!(
+        "group miss ratio: {:.4}{}",
+        model.shared_group_miss_ratio(cache as f64),
+        if np.window.is_none() {
+            "  (total footprint fits; the cache never fills)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+fn cmd_phase_plan(raw: &[String]) -> Result<(), String> {
+    use cache_partition_sharing::core::phased::{
+        phase_aware_partition, predicted_plan_miss_ratio, PhasedProfile,
+    };
+    let args = Args::parse(raw)?;
+    if args.positional.is_empty() {
+        return Err("phase-plan wants at least one TRACE file".into());
+    }
+    let units: usize = args
+        .require("units")?
+        .parse()
+        .map_err(|_| "bad --units".to_string())?;
+    let segments: usize = args.get_parse("segments", 8)?;
+    let threshold: f64 = args.get_parse("threshold", 0.02)?;
+    let config = CacheConfig::new(units, 1);
+    let mut profiles = Vec::new();
+    for path in &args.positional {
+        let blocks = read_trace(path)?;
+        if blocks.len() < segments {
+            return Err(format!("{path}: trace shorter than {segments} segments"));
+        }
+        let name = path
+            .rsplit('/')
+            .next()
+            .unwrap_or(path)
+            .trim_end_matches(".trace")
+            .to_string();
+        profiles.push(PhasedProfile::from_trace(
+            name,
+            &blocks,
+            1.0,
+            config.blocks(),
+            segments,
+        ));
+    }
+    let refs: Vec<&PhasedProfile> = profiles.iter().collect();
+    let plan = phase_aware_partition(&refs, &config, threshold);
+    println!(
+        "phase-aware plan: {units} units, {segments} segments, switch threshold {threshold}"
+    );
+    print!("{:<10}", "segment");
+    for p in &profiles {
+        print!("{:>14}", p.name);
+    }
+    println!();
+    for (s, alloc) in plan.allocations.iter().enumerate() {
+        print!("{s:<10}");
+        for &u in alloc {
+            print!("{u:>14}");
+        }
+        println!();
+    }
+    println!(
+        "\n{} repartitionings; predicted group miss ratio {:.4}",
+        plan.reconfigurations(),
+        predicted_plan_miss_ratio(&refs, &config, &plan)
+    );
+    Ok(())
+}
+
+fn cmd_optimize(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let profiles = load_profiles(&args.positional)?;
+    let units: usize = args.require("units")?.parse().map_err(|_| "bad --units".to_string())?;
+    let bpu: usize = args.get_parse("bpu", 1)?;
+    let config = CacheConfig::new(units, bpu);
+    for p in &profiles {
+        if p.mrc.max_blocks() < config.blocks() {
+            return Err(format!(
+                "{}: profiled only to {} blocks but cache is {}; re-profile with --max-blocks {}",
+                p.name,
+                p.mrc.max_blocks(),
+                config.blocks(),
+                config.blocks()
+            ));
+        }
+    }
+    let members: Vec<&SoloProfile> = profiles.iter().collect();
+    let objective = args.get("objective").unwrap_or("throughput");
+    let baseline = args.get("baseline").unwrap_or("none");
+
+    let total_rate: f64 = members.iter().map(|m| m.access_rate).sum();
+    let shares: Vec<f64> = members.iter().map(|m| m.access_rate / total_rate).collect();
+
+    // Baseline caps, if requested.
+    let caps: Option<Vec<f64>> = match baseline {
+        "none" => None,
+        "equal" => {
+            let alloc = config.equal_split(members.len());
+            Some(
+                members
+                    .iter()
+                    .zip(&alloc)
+                    .map(|(m, &u)| m.mrc.at(config.to_blocks(u)))
+                    .collect(),
+            )
+        }
+        "natural" => {
+            let model = CoRunModel::new(members.clone());
+            let alloc = natural_partition_units(&model, &config);
+            Some(
+                members
+                    .iter()
+                    .zip(&alloc)
+                    .map(|(m, &u)| m.mrc.at(config.to_blocks(u)))
+                    .collect(),
+            )
+        }
+        other => return Err(format!("unknown --baseline {other} (none|equal|natural)")),
+    };
+
+    let costs: Vec<CostCurve> = members
+        .iter()
+        .zip(&shares)
+        .enumerate()
+        .map(|(i, (m, &s))| {
+            let weight = if objective == "maxmin" { 1.0 } else { s };
+            match &caps {
+                Some(caps) => CostCurve::with_baseline_cap(&m.mrc, &config, weight, caps[i]),
+                None => CostCurve::from_miss_ratio(&m.mrc, &config, weight),
+            }
+        })
+        .collect();
+    let combine = match objective {
+        "throughput" => Combine::Sum,
+        "maxmin" => Combine::Max,
+        other => return Err(format!("unknown --objective {other} (throughput|maxmin)")),
+    };
+    let result = optimal_partition(&costs, units, combine)
+        .ok_or("no feasible allocation under the requested baseline")?;
+
+    println!(
+        "optimal partition of {units} x {bpu}-block units ({} blocks), objective {objective}, baseline {baseline}:",
+        config.blocks()
+    );
+    println!("{:<20} {:>8} {:>10} {:>12}", "program", "units", "blocks", "miss ratio");
+    let mut group = 0.0;
+    for (i, p) in profiles.iter().enumerate() {
+        let u = result.allocation[i];
+        let mr = p.mrc.at(config.to_blocks(u));
+        group += shares[i] * mr;
+        println!(
+            "{:<20} {:>8} {:>10} {:>12.4}",
+            p.name,
+            u,
+            config.to_blocks(u),
+            mr
+        );
+    }
+    println!("group miss ratio: {group:.4}");
+    Ok(())
+}

@@ -1,0 +1,215 @@
+//! End-to-end tests of the `cps` command-line tool: generate → profile →
+//! predict → optimize, exercising the real binary and the on-disk
+//! formats.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn cps(args: &[&str], dir: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cps"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn cps")
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cps-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "command failed: {}\n{}",
+        String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn full_workflow_gen_profile_predict_optimize() {
+    let dir = tempdir("workflow");
+    let s = stdout(&cps(
+        &["gen", "--workload", "loop:60", "--len", "30000", "--out", "a.trace", "--seed", "3"],
+        &dir,
+    ));
+    assert!(s.contains("60 distinct blocks"), "{s}");
+    stdout(&cps(
+        &["gen", "--workload", "zipf:300:0.8", "--len", "30000", "--out", "b.trace"],
+        &dir,
+    ));
+    let s = stdout(&cps(
+        &["profile", "a.trace", "--out", "a.cpsp", "--max-blocks", "128", "--name", "loop60"],
+        &dir,
+    ));
+    assert!(s.contains("profiled `loop60`"), "{s}");
+    stdout(&cps(
+        &["profile", "b.trace", "--out", "b.cpsp", "--max-blocks", "128"],
+        &dir,
+    ));
+
+    let s = stdout(&cps(&["show", "a.cpsp"], &dir));
+    assert!(s.contains("loop60"), "{s}");
+    assert!(s.contains("miss ratio"), "{s}");
+
+    let s = stdout(&cps(&["predict", "a.cpsp", "b.cpsp", "--cache", "128"], &dir));
+    assert!(s.contains("natural partition"), "{s}");
+    assert!(s.contains("group miss ratio"), "{s}");
+
+    let s = stdout(&cps(&["optimize", "a.cpsp", "b.cpsp", "--units", "128"], &dir));
+    assert!(s.contains("optimal partition"), "{s}");
+    // The loop's working set (60) must be covered by its allocation.
+    let loop_line = s.lines().find(|l| l.starts_with("loop60")).expect("row");
+    let units: usize = loop_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+    assert!(units >= 60, "loop60 should get its working set, got {units}");
+
+    // Baseline and maxmin variants run too.
+    stdout(&cps(
+        &["optimize", "a.cpsp", "b.cpsp", "--units", "128", "--baseline", "natural"],
+        &dir,
+    ));
+    stdout(&cps(
+        &["optimize", "a.cpsp", "b.cpsp", "--units", "64", "--bpu", "2", "--objective", "maxmin"],
+        &dir,
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let dir = tempdir("errors");
+    // Unknown command.
+    let out = cps(&["frobnicate"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+    // Missing file.
+    let out = cps(&["show", "missing.cpsp"], &dir);
+    assert!(!out.status.success());
+    // Bad workload spec.
+    let out = cps(
+        &["gen", "--workload", "nonsense:1", "--len", "10", "--out", "x"],
+        &dir,
+    );
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unrecognized workload"));
+    // Garbage profile file.
+    std::fs::write(dir.join("junk.cpsp"), b"not a profile").unwrap();
+    let out = cps(&["predict", "junk.cpsp", "--cache", "64"], &dir);
+    assert!(!out.status.success());
+    // Cache bigger than the profile's sampled range.
+    stdout(&cps(
+        &["gen", "--workload", "loop:10", "--len", "1000", "--out", "t.trace"],
+        &dir,
+    ));
+    stdout(&cps(
+        &["profile", "t.trace", "--out", "t.cpsp", "--max-blocks", "32"],
+        &dir,
+    ));
+    let out = cps(&["optimize", "t.cpsp", "--units", "64"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("re-profile"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sampled_profiling_and_stall_advice() {
+    let dir = tempdir("sampled");
+    stdout(&cps(
+        &["gen", "--workload", "loop:60", "--len", "40000", "--out", "a.trace", "--seed", "1"],
+        &dir,
+    ));
+    stdout(&cps(
+        &["gen", "--workload", "loop:60", "--len", "40000", "--out", "b.trace", "--seed", "2"],
+        &dir,
+    ));
+    // Burst-sampled profile still sees the 60-block working set.
+    let s = stdout(&cps(
+        &[
+            "profile", "a.trace", "--out", "a.cpsp", "--max-blocks", "128",
+            "--burst", "2000", "--ratio", "5", "--name", "A",
+        ],
+        &dir,
+    ));
+    assert!(s.contains("60 distinct blocks"), "{s}");
+    stdout(&cps(
+        &["profile", "b.trace", "--out", "b.cpsp", "--max-blocks", "128", "--name", "B"],
+        &dir,
+    ));
+    // Two 60-block loops in 100 blocks: the advisor must serialize.
+    let s = stdout(&cps(&["stall", "a.cpsp", "b.cpsp", "--cache", "100"], &dir));
+    assert!(s.contains("STALL"), "{s}");
+    assert!(s.contains("; then "), "{s}");
+    // In 200 blocks they co-run happily.
+    let s = stdout(&cps(&["stall", "a.cpsp", "b.cpsp", "--cache", "200"], &dir));
+    assert!(s.contains("co-run freely"), "{s}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn phase_plan_tracks_alternating_working_sets() {
+    let dir = tempdir("phaseplan");
+    // Build two anti-phase traces by concatenating generated phases.
+    let gen = |ws: u64, seed: u64| {
+        stdout(&cps(
+            &[
+                "gen",
+                "--workload",
+                &format!("loop:{ws}"),
+                "--len",
+                "8000",
+                "--out",
+                "tmp.trace",
+                "--seed",
+                &seed.to_string(),
+            ],
+            &dir,
+        ));
+        std::fs::read_to_string(dir.join("tmp.trace")).unwrap()
+    };
+    let strip = |s: String| {
+        s.lines()
+            .filter(|l| !l.starts_with('#'))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let big = strip(gen(100, 1));
+    let small = strip(gen(4, 2));
+    std::fs::write(dir.join("a.trace"), format!("{big}\n{small}\n")).unwrap();
+    std::fs::write(dir.join("b.trace"), format!("{small}\n{big}\n")).unwrap();
+    let s = stdout(&cps(
+        &["phase-plan", "a.trace", "b.trace", "--units", "120", "--segments", "2"],
+        &dir,
+    ));
+    assert!(s.contains("repartitionings"), "{s}");
+    // Segment 0: program a runs the 100-loop and must get >= 100 units.
+    let seg0: Vec<usize> = s
+        .lines()
+        .find(|l| l.starts_with("0 "))
+        .expect("segment 0 row")
+        .split_whitespace()
+        .skip(1)
+        .map(|v| v.parse().unwrap())
+        .collect();
+    assert!(seg0[0] >= 100, "segment 0 gives a its working set: {s}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_parser_accepts_hex_and_comments() {
+    let dir = tempdir("parser");
+    std::fs::write(
+        dir.join("hex.trace"),
+        "# comment\n0x10\n16\n\n0xFF\n255\n",
+    )
+    .unwrap();
+    let s = stdout(&cps(
+        &["profile", "hex.trace", "--out", "hex.cpsp", "--max-blocks", "16"],
+        &dir,
+    ));
+    // 0x10 == 16 and 0xFF == 255: only 2 distinct blocks.
+    assert!(s.contains("2 distinct blocks"), "{s}");
+    std::fs::remove_dir_all(&dir).ok();
+}

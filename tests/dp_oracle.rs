@@ -1,0 +1,118 @@
+//! Property-based validation of the optimizer stack: the DP against the
+//! exhaustive oracle, with and without constraints, under both
+//! accumulation operators; and STTW's convex-optimality contract.
+
+use cache_partition_sharing::core::dp::brute_force_partition;
+use cache_partition_sharing::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a non-increasing cost curve of `len + 1` entries in [0, 1].
+fn monotone_curve(len: usize) -> impl Strategy<Value = CostCurve> {
+    prop::collection::vec(0.0f64..1.0, len + 1).prop_map(|mut v| {
+        v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        CostCurve::from_raw(v)
+    })
+}
+
+/// Strategy: arbitrary (possibly non-monotone) curve.
+fn arbitrary_curve(len: usize) -> impl Strategy<Value = CostCurve> {
+    prop::collection::vec(0.0f64..1.0, len + 1).prop_map(CostCurve::from_raw)
+}
+
+/// Strategy: monotone curve with a forbidden prefix (baseline cap).
+fn constrained_curve(len: usize) -> impl Strategy<Value = CostCurve> {
+    (prop::collection::vec(0.0f64..1.0, len + 1), 0usize..=len / 2).prop_map(
+        |(mut v, forbidden)| {
+            v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            for entry in v.iter_mut().take(forbidden) {
+                *entry = f64::INFINITY;
+            }
+            CostCurve::from_raw(v)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dp_matches_oracle_sum(curves in prop::collection::vec(monotone_curve(10), 2..4)) {
+        let total = 10;
+        let dp = optimal_partition(&curves, total, Combine::Sum);
+        let oracle = brute_force_partition(&curves, total, Combine::Sum);
+        match (dp, oracle) {
+            (Some(d), Some(o)) => {
+                prop_assert!((d.cost - o.cost).abs() < 1e-9, "dp {} vs oracle {}", d.cost, o.cost);
+                prop_assert_eq!(d.allocation.iter().sum::<usize>(), total);
+            }
+            (None, None) => {}
+            (d, o) => prop_assert!(false, "feasibility mismatch: {d:?} vs {o:?}"),
+        }
+    }
+
+    #[test]
+    fn dp_matches_oracle_on_arbitrary_curves(curves in prop::collection::vec(arbitrary_curve(8), 2..4)) {
+        // "The miss ratio curve … can be any function."
+        let total = 8;
+        let dp = optimal_partition(&curves, total, Combine::Sum).unwrap();
+        let oracle = brute_force_partition(&curves, total, Combine::Sum).unwrap();
+        prop_assert!((dp.cost - oracle.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp_matches_oracle_max_combine(curves in prop::collection::vec(monotone_curve(8), 2..4)) {
+        let total = 8;
+        let dp = optimal_partition(&curves, total, Combine::Max).unwrap();
+        let oracle = brute_force_partition(&curves, total, Combine::Max).unwrap();
+        prop_assert!((dp.cost - oracle.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp_respects_constraints(curves in prop::collection::vec(constrained_curve(10), 2..4)) {
+        let total = 10;
+        match (optimal_partition(&curves, total, Combine::Sum),
+               brute_force_partition(&curves, total, Combine::Sum)) {
+            (Some(d), Some(o)) => {
+                prop_assert!((d.cost - o.cost).abs() < 1e-9);
+                // No program sits in its forbidden region.
+                for (curve, &alloc) in curves.iter().zip(&d.allocation) {
+                    prop_assert!(curve.at(alloc).is_finite(), "allocation in forbidden region");
+                }
+            }
+            (None, None) => {}
+            (d, o) => prop_assert!(false, "feasibility mismatch: {d:?} vs {o:?}"),
+        }
+    }
+
+    #[test]
+    fn dp_cost_never_increases_with_more_cache(curves in prop::collection::vec(monotone_curve(12), 2..4)) {
+        // More total cache can only help when curves are non-increasing.
+        let a = optimal_partition(&curves, 8, Combine::Sum).unwrap();
+        let b = optimal_partition(&curves, 12, Combine::Sum).unwrap();
+        prop_assert!(b.cost <= a.cost + 1e-9, "12 units {} vs 8 units {}", b.cost, a.cost);
+    }
+
+    #[test]
+    fn sttw_is_optimal_on_its_own_envelope(curves in prop::collection::vec(monotone_curve(10), 2..4)) {
+        // STTW evaluated on envelope costs must equal the DP on envelope
+        // costs (greedy is exactly optimal for convex curves).
+        let envelopes: Vec<CostCurve> = curves.iter().map(|c| c.convex_envelope()).collect();
+        let total = 10;
+        let greedy = sttw_partition(&envelopes, total);
+        let dp = optimal_partition(&envelopes, total, Combine::Sum).unwrap();
+        prop_assert!(
+            (greedy.cost - dp.cost).abs() < 1e-9,
+            "greedy {} vs dp {} on convex envelopes",
+            greedy.cost,
+            dp.cost
+        );
+    }
+
+    #[test]
+    fn sttw_never_beats_dp(curves in prop::collection::vec(monotone_curve(10), 2..4)) {
+        let total = 10;
+        let greedy = sttw_partition(&curves, total);
+        let dp = optimal_partition(&curves, total, Combine::Sum).unwrap();
+        prop_assert!(dp.cost <= greedy.cost + 1e-9);
+    }
+}

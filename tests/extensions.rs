@@ -1,0 +1,128 @@
+//! The extension modules driven end-to-end through the public facade:
+//! elastic guarantees, phase-aware planning, multi-cache grouping, the
+//! stall scheduler, Smith's associativity estimate, and the online
+//! profiler — each checked against a first-principles expectation.
+
+use cache_partition_sharing::core::multicache::{
+    best_assignment, CachePolicy,
+};
+use cache_partition_sharing::core::perf::jains_index;
+use cache_partition_sharing::core::stall::stall_advice;
+use cache_partition_sharing::hotl::assoc::smith_for_capacity;
+use cache_partition_sharing::prelude::*;
+
+fn loop_profile(name: &str, ws: u64, blocks: usize, seed: u64) -> SoloProfile {
+    let t = WorkloadSpec::SequentialLoop { working_set: ws }.generate(40_000, seed);
+    SoloProfile::from_trace(name, &t.blocks, 1.0, blocks)
+}
+
+#[test]
+fn elastic_interpolates_between_optimal_and_equal_baseline() {
+    let blocks = 240;
+    let cfg = CacheConfig::new(blocks, 1);
+    let ps = vec![
+        loop_profile("a", 150, blocks, 1),
+        loop_profile("b", 70, blocks, 2),
+        loop_profile("c", 30, blocks, 3),
+    ];
+    let members: Vec<&SoloProfile> = ps.iter().collect();
+    let sweep = elastic_sweep(&members, &cfg, 4);
+    let eval = evaluate_group(&members, &cfg);
+    // Endpoints bracket the six-scheme results.
+    let opt = eval.get(Scheme::Optimal).group_miss_ratio;
+    let eqb = eval.get(Scheme::EqualBaseline).group_miss_ratio;
+    assert!((sweep[0].result.cost - opt).abs() < 1e-9, "θ=0 is Optimal");
+    assert!(
+        (sweep.last().unwrap().result.cost - eqb).abs() < 1e-9,
+        "θ=1 is the Equal baseline"
+    );
+}
+
+#[test]
+fn phase_aware_plan_beats_static_on_the_facade_types() {
+    let blocks = 128usize;
+    let seg = 4_000usize;
+    let mk = |first_big: bool, seed: u64| {
+        let big = WorkloadSpec::SequentialLoop { working_set: 100 };
+        let small = WorkloadSpec::SequentialLoop { working_set: 4 };
+        let phases = if first_big {
+            vec![(big, seg as u64), (small, seg as u64)]
+        } else {
+            vec![(small, seg as u64), (big, seg as u64)]
+        };
+        WorkloadSpec::Phased { phases }.generate(seg * 4, seed)
+    };
+    let (ta, tb) = (mk(true, 1), mk(false, 2));
+    let pa = PhasedProfile::from_trace("a", &ta.blocks, 1.0, blocks, 4);
+    let pb = PhasedProfile::from_trace("b", &tb.blocks, 1.0, blocks, 4);
+    let cfg = CacheConfig::new(blocks, 1);
+    let plan = phase_aware_partition(&[&pa, &pb], &cfg, 0.0);
+    assert!(plan.reconfigurations() >= 2);
+    // Every segment gives the big-phase program its working set.
+    for alloc in &plan.allocations {
+        assert!(alloc.iter().max().unwrap() >= &100, "{alloc:?}");
+    }
+}
+
+#[test]
+fn multicache_placement_beats_worst_case_half_split() {
+    let blocks = 128;
+    let cfg = CacheConfig::new(blocks, 1);
+    let ps = vec![
+        loop_profile("big-a", 100, blocks, 1),
+        loop_profile("big-b", 100, blocks, 2),
+        loop_profile("small-a", 15, blocks, 3),
+        loop_profile("small-b", 15, blocks, 4),
+    ];
+    let members: Vec<&SoloProfile> = ps.iter().collect();
+    let best = best_assignment(&members, &cfg, 2, CachePolicy::Shared).unwrap();
+    // Pairing each big loop with a small one fits both caches
+    // (100 + 15 < 128): near-zero misses.
+    assert!(best.eval.overall_miss_ratio < 0.02, "{:?}", best.assignment);
+}
+
+#[test]
+fn stall_scheduler_and_perf_metrics_cohere() {
+    let blocks = 64;
+    let cfg = CacheConfig::new(blocks, 1);
+    let a = loop_profile("a", 60, blocks, 1);
+    let b = loop_profile("b", 60, blocks, 2);
+    let model = PerfModel::default();
+    let (best, corun, gain) = stall_advice(&[&a, &b], &cfg, &model);
+    assert!(gain > 0.0, "thrashers must benefit from serialization");
+    assert!(best.total_time < corun.total_time);
+    // Jain's index on an equal allocation is 1.
+    assert!((jains_index(&[2.0, 2.0, 2.0, 2.0]) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn smith_estimate_available_from_facade() {
+    let p = loop_profile("s", 50, 256, 7);
+    let est16 = smith_for_capacity(&p.mrc, 256, 16);
+    let fa = p.mrc.at(256);
+    assert!((est16 - fa).abs() < 0.05, "16-way {est16} vs FA {fa}");
+}
+
+#[test]
+fn online_profiler_feeds_the_optimizer() {
+    let cfg = CacheConfig::new(96, 1);
+    let mut mon = OnlineProfiler::new();
+    let t = WorkloadSpec::SequentialLoop { working_set: 40 }.generate(20_000, 5);
+    mon.observe_all(&t.blocks);
+    let fp = mon.snapshot_footprint();
+    let mrc = MissRatioCurve::from_footprint(&fp, cfg.blocks());
+    let other = loop_profile("other", 70, cfg.blocks(), 6);
+    let costs = [
+        CostCurve::from_miss_ratio(&mrc, &cfg, 0.5),
+        CostCurve::from_miss_ratio(&other.mrc, &cfg, 0.5),
+    ];
+    // 40 + 70 > 96: the DP must give one loop its full set and starve
+    // the other (cliff economics), never split uselessly down the middle.
+    let best = optimal_partition(&costs, cfg.units, Combine::Sum).unwrap();
+    let covered = (best.allocation[0] >= 40) ^ (best.allocation[1] >= 70);
+    assert!(
+        covered,
+        "exactly one loop can be satisfied: {:?}",
+        best.allocation
+    );
+}

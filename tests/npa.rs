@@ -1,0 +1,220 @@
+//! The Natural Partition Assumption, measured (Section VII-C in
+//! miniature): co-run miss ratios predicted by footprint composition vs
+//! the exact shared-cache LRU simulator.
+
+use cache_partition_sharing::prelude::*;
+
+fn profile_and_trace(
+    name: &str,
+    spec: WorkloadSpec,
+    rate: f64,
+    len: usize,
+    max_blocks: usize,
+    seed: u64,
+) -> (SoloProfile, Trace) {
+    let t = spec.generate(len, seed);
+    let p = SoloProfile::from_trace(name, &t.blocks, rate, max_blocks);
+    (p, t)
+}
+
+/// Runs one pair co-run and returns (predicted, measured) member miss
+/// ratios.
+///
+/// The merged length is capped so neither trace exhausts mid-run — an
+/// exhausted co-runner would leave the other alone in the cache and
+/// change the mix the prediction assumes.
+fn pair_prediction(
+    a: (SoloProfile, Trace),
+    b: (SoloProfile, Trace),
+    cache: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let rates = [a.0.access_rate, b.0.access_rate];
+    let share_sum = rates[0] + rates[1];
+    let limit = f64::min(
+        a.1.len() as f64 * share_sum / rates[0],
+        b.1.len() as f64 * share_sum / rates[1],
+    ) as usize;
+    let co = interleave_proportional(&[&a.1, &b.1], &rates, limit);
+    let warm = co.len() / 3;
+    let sim = simulate_shared_warm(&co, cache, 2, warm);
+    let model = CoRunModel::new(vec![&a.0, &b.0]);
+    let predicted = model.member_shared_miss_ratios(cache as f64);
+    let measured = sim.per_program.iter().map(|c| c.miss_ratio()).collect();
+    (predicted, measured)
+}
+
+#[test]
+fn composition_predicts_zipf_pair_corun() {
+    let len = 150_000;
+    let cache = 200;
+    let a = profile_and_trace(
+        "zipf-a",
+        WorkloadSpec::Zipfian {
+            region: 400,
+            alpha: 0.9,
+        },
+        1.0,
+        len,
+        cache,
+        1,
+    );
+    let b = profile_and_trace(
+        "zipf-b",
+        WorkloadSpec::Zipfian {
+            region: 250,
+            alpha: 0.7,
+        },
+        1.5,
+        len,
+        cache,
+        2,
+    );
+    let (pred, meas) = pair_prediction(a, b, cache);
+    for i in 0..2 {
+        assert!(
+            (pred[i] - meas[i]).abs() < 0.02,
+            "member {i}: predicted {} vs measured {}",
+            pred[i],
+            meas[i]
+        );
+    }
+}
+
+#[test]
+fn composition_predicts_asymmetric_rate_corun() {
+    let len = 150_000;
+    let cache = 120;
+    let a = profile_and_trace(
+        "fast-uniform",
+        WorkloadSpec::UniformRandom { region: 150 },
+        3.0,
+        len,
+        cache,
+        3,
+    );
+    let b = profile_and_trace(
+        "slow-uniform",
+        WorkloadSpec::UniformRandom { region: 150 },
+        1.0,
+        len,
+        cache,
+        4,
+    );
+    let (pred, meas) = pair_prediction(a, b, cache);
+    for i in 0..2 {
+        assert!(
+            (pred[i] - meas[i]).abs() < 0.03,
+            "member {i}: predicted {} vs measured {}",
+            pred[i],
+            meas[i]
+        );
+    }
+    // The fast program misses more per access? No — same region, so the
+    // fast one holds more of the cache and misses *less* per access.
+    assert!(meas[0] < meas[1] + 0.01, "measured {meas:?}");
+}
+
+#[test]
+fn natural_occupancies_match_simulated_residency() {
+    // Steady-state residency in the simulator should match the natural
+    // partition prediction. Two same-rate uniform programs over
+    // different regions: the bigger region holds more of the cache.
+    let len = 200_000;
+    let cache = 150usize;
+    let a = profile_and_trace(
+        "uni-300",
+        WorkloadSpec::UniformRandom { region: 300 },
+        1.0,
+        len,
+        cache,
+        5,
+    );
+    let b = profile_and_trace(
+        "uni-100",
+        WorkloadSpec::UniformRandom { region: 100 },
+        1.0,
+        len,
+        cache,
+        6,
+    );
+    let model = CoRunModel::new(vec![&a.0, &b.0]);
+    let np = model.natural_partition(cache as f64);
+    // Run the shared simulation and measure final residency per program.
+    let co = interleave_proportional(&[&a.1, &b.1], &[1.0, 1.0], len * 2);
+    let mut cache_sim = LruCache::new(cache);
+    for acc in &co.accesses {
+        cache_sim.access(acc.block);
+    }
+    let resident = cache_sim.resident_mru_order();
+    let a_res = resident
+        .iter()
+        .filter(|&&blk| blk >> 48 == 0)
+        .count() as f64;
+    let b_res = resident.len() as f64 - a_res;
+    assert!(
+        (np.occupancy[0] - a_res).abs() < 0.12 * cache as f64,
+        "program A: predicted occupancy {} vs simulated {a_res}",
+        np.occupancy[0]
+    );
+    assert!(
+        (np.occupancy[1] - b_res).abs() < 0.12 * cache as f64,
+        "program B: predicted occupancy {} vs simulated {b_res}",
+        np.occupancy[1]
+    );
+    assert!(np.occupancy[0] > np.occupancy[1], "bigger region holds more");
+}
+
+#[test]
+fn synchronized_phases_have_no_equivalent_static_partition() {
+    // The documented failure mode (Section VIII, "Random Phase
+    // Interaction"): with anti-phase working sets, "the natural
+    // partition does not exist since no cache partition can give the
+    // performance of cache sharing". Concretely: simulate sharing and
+    // simulate the static natural partition — sharing wins big, because
+    // each program borrows the space while the other's working set is
+    // small.
+    let len = 60_000;
+    let cache = 150usize;
+    let phase = 2_000u64;
+    let big = WorkloadSpec::SequentialLoop { working_set: 120 };
+    let small = WorkloadSpec::SequentialLoop { working_set: 4 };
+    let a = profile_and_trace(
+        "phase-a",
+        WorkloadSpec::Phased {
+            phases: vec![(big.clone(), phase), (small.clone(), phase)],
+        },
+        1.0,
+        len,
+        cache,
+        7,
+    );
+    let b = profile_and_trace(
+        "phase-b",
+        WorkloadSpec::Phased {
+            phases: vec![(small, phase), (big, phase)],
+        },
+        1.0,
+        len,
+        cache,
+        8,
+    );
+    // Shared-cache simulation.
+    let co = interleave_proportional(&[&a.1, &b.1], &[1.0, 1.0], len * 2);
+    let shared = simulate_shared_warm(&co, cache, 2, len / 2);
+    // Static partition at the model's natural occupancies.
+    let model = CoRunModel::new(vec![&a.0, &b.0]);
+    let np = model.natural_partition(cache as f64);
+    let sizes = [np.occupancy[0] as usize, cache - np.occupancy[0] as usize];
+    let part_a = cache_partition_sharing::cachesim::simulate_solo(&a.1.blocks, sizes[0]);
+    let part_b = cache_partition_sharing::cachesim::simulate_solo(&b.1.blocks, sizes[1]);
+    let partitioned_mr =
+        (part_a.misses + part_b.misses) as f64 / (part_a.accesses + part_b.accesses) as f64;
+    assert!(
+        shared.group_miss_ratio() < partitioned_mr - 0.05,
+        "sharing {} should clearly beat the static natural partition {} \
+         (occupancies {:?})",
+        shared.group_miss_ratio(),
+        partitioned_mr,
+        np.occupancy
+    );
+}

@@ -1,0 +1,107 @@
+//! The profile-once / optimize-many workflow through the persistence
+//! layer: results computed from reloaded profiles must match results
+//! from the originals.
+
+use cache_partition_sharing::hotl::persist::{read_profile, write_profile};
+use cache_partition_sharing::prelude::*;
+
+fn build_profiles(blocks: usize) -> Vec<SoloProfile> {
+    let specs = [
+        WorkloadSpec::SequentialLoop { working_set: 70 },
+        WorkloadSpec::Zipfian {
+            region: 250,
+            alpha: 0.8,
+        },
+        WorkloadSpec::Mixture {
+            parts: vec![
+                (0.95, WorkloadSpec::SequentialLoop { working_set: 40 }),
+                (0.05, WorkloadSpec::UniformRandom { region: 500 }),
+            ],
+        },
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let t = w.generate(40_000, i as u64 + 1);
+            SoloProfile::from_trace(format!("p{i}"), &t.blocks, 1.0 + i as f64 / 2.0, blocks)
+        })
+        .collect()
+}
+
+fn round_trip(p: &SoloProfile) -> SoloProfile {
+    let mut buf = Vec::new();
+    write_profile(&mut buf, p).expect("write");
+    read_profile(&mut buf.as_slice()).expect("read")
+}
+
+#[test]
+fn evaluation_is_identical_after_round_trip() {
+    let cfg = CacheConfig::new(128, 2);
+    let originals = build_profiles(cfg.blocks());
+    let reloaded: Vec<SoloProfile> = originals.iter().map(round_trip).collect();
+
+    let orig_refs: Vec<&SoloProfile> = originals.iter().collect();
+    let rel_refs: Vec<&SoloProfile> = reloaded.iter().collect();
+    let a = evaluate_group(&orig_refs, &cfg);
+    let b = evaluate_group(&rel_refs, &cfg);
+    for s in Scheme::ALL {
+        assert_eq!(
+            a.get(s).allocation,
+            b.get(s).allocation,
+            "{}: allocation changed across persistence",
+            s.name()
+        );
+        assert_eq!(
+            a.get(s).group_miss_ratio,
+            b.get(s).group_miss_ratio,
+            "{}: miss ratio changed across persistence",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn natural_partition_identical_after_round_trip() {
+    let cfg = CacheConfig::new(200, 1);
+    let originals = build_profiles(cfg.blocks());
+    let reloaded: Vec<SoloProfile> = originals.iter().map(round_trip).collect();
+    let a = CoRunModel::new(originals.iter().collect());
+    let b = CoRunModel::new(reloaded.iter().collect());
+    let (na, nb) = (
+        a.natural_partition(cfg.blocks() as f64),
+        b.natural_partition(cfg.blocks() as f64),
+    );
+    // 40k-access traces exceed MAX_FP_SAMPLES, so the stored footprint
+    // is strided (stride 2) and re-interpolated on load — occupancies
+    // agree to interpolation accuracy, not bit-exactly.
+    for (x, y) in na.occupancy.iter().zip(&nb.occupancy) {
+        assert!((x - y).abs() < 1e-2, "occupancy {x} vs {y}");
+    }
+}
+
+#[test]
+fn study_build_is_deterministic() {
+    use cache_partition_sharing::core::sweep::sweep_groups;
+    use cache_partition_sharing::trace::spec_like::study_programs_scaled;
+    let cfg = CacheConfig::new(64, 4);
+    let a = Study::build(&study_programs_scaled(20_000), cfg);
+    let b = Study::build(&study_programs_scaled(20_000), cfg);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.profiles.iter().zip(&b.profiles) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.mrc.samples(), y.mrc.samples());
+    }
+    // And two independent sweeps agree bit-for-bit.
+    let ra = sweep_groups(&a, 2);
+    let rb = sweep_groups(&b, 2);
+    for (x, y) in ra.iter().zip(&rb) {
+        assert_eq!(x.indices, y.indices);
+        for s in Scheme::ALL {
+            assert_eq!(
+                x.evaluation.get(s).group_miss_ratio,
+                y.evaluation.get(s).group_miss_ratio
+            );
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The reduction theorem (Section V-A) as an executable property: under
+//! block-quantized NPA evaluation, no partition-sharing configuration
+//! beats the DP's optimal pure partition.
+
+use cache_partition_sharing::core::sharing::{
+    best_partition_sharing, best_partition_sharing_quantized, evaluate_sharing_quantized,
+    SharingConfig,
+};
+use cache_partition_sharing::prelude::*;
+
+fn profile(name: &str, spec: WorkloadSpec, rate: f64, blocks: usize, seed: u64) -> SoloProfile {
+    let t = spec.generate(40_000, seed);
+    SoloProfile::from_trace(name, &t.blocks, rate, blocks)
+}
+
+fn group(blocks: usize) -> Vec<SoloProfile> {
+    vec![
+        profile(
+            "loop-a",
+            WorkloadSpec::SequentialLoop { working_set: 40 },
+            1.0,
+            blocks,
+            1,
+        ),
+        profile(
+            "loop-b",
+            WorkloadSpec::SequentialLoop { working_set: 25 },
+            1.4,
+            blocks,
+            2,
+        ),
+        profile(
+            "zipf-c",
+            WorkloadSpec::Zipfian {
+                region: 120,
+                alpha: 0.8,
+            },
+            0.8,
+            blocks,
+            3,
+        ),
+    ]
+}
+
+#[test]
+fn optimal_partitioning_upper_bounds_quantized_sharing() {
+    let cfg = CacheConfig::new(16, 4); // 64 blocks, coarse walls
+    let fine = CacheConfig::new(64, 1);
+    let profiles = group(64);
+    let members: Vec<&SoloProfile> = profiles.iter().collect();
+    let search = best_partition_sharing_quantized(&members, &cfg);
+    let total: f64 = members.iter().map(|m| m.access_rate).sum();
+    let costs: Vec<CostCurve> = members
+        .iter()
+        .map(|m| CostCurve::from_miss_ratio(&m.mrc, &fine, m.access_rate / total))
+        .collect();
+    let dp = optimal_partition(&costs, fine.units, Combine::Sum).unwrap();
+    assert!(
+        dp.cost <= search.group_miss_ratio + 1e-9,
+        "DP {} must be <= best quantized sharing {}",
+        dp.cost,
+        search.group_miss_ratio
+    );
+}
+
+#[test]
+fn continuous_sharing_never_beats_dp_by_more_than_quantization() {
+    // The continuous composition model can realize fractional blocks;
+    // the gap to the block-granular DP is bounded by one block's worth
+    // of miss-ratio change per program (loose bound: 5% relative here).
+    let cfg = CacheConfig::new(16, 4);
+    let fine = CacheConfig::new(64, 1);
+    let profiles = group(64);
+    let members: Vec<&SoloProfile> = profiles.iter().collect();
+    let search = best_partition_sharing(&members, &cfg);
+    let total: f64 = members.iter().map(|m| m.access_rate).sum();
+    let costs: Vec<CostCurve> = members
+        .iter()
+        .map(|m| CostCurve::from_miss_ratio(&m.mrc, &fine, m.access_rate / total))
+        .collect();
+    let dp = optimal_partition(&costs, fine.units, Combine::Sum).unwrap();
+    assert!(
+        dp.cost <= search.group_miss_ratio * 1.05 + 1e-6,
+        "DP {} vs continuous sharing {}",
+        dp.cost,
+        search.group_miss_ratio
+    );
+}
+
+#[test]
+fn quantized_singleton_groups_equal_pure_partition_costs() {
+    // A partitioning-shaped SharingConfig must evaluate exactly like the
+    // per-program MRC lookups the DP uses.
+    let cfg = CacheConfig::new(16, 4);
+    let profiles = group(64);
+    let members: Vec<&SoloProfile> = profiles.iter().collect();
+    let sizes = vec![6usize, 5, 5];
+    let sharing = SharingConfig::partitioning(sizes.clone());
+    let (mrs, group_mr) = evaluate_sharing_quantized(&members, &cfg, &sharing);
+    let total: f64 = members.iter().map(|m| m.access_rate).sum();
+    let mut expect_group = 0.0;
+    for (i, m) in members.iter().enumerate() {
+        let expect = m.mrc.at(cfg.to_blocks(sizes[i]));
+        assert!(
+            (mrs[i] - expect).abs() < 1e-9,
+            "member {i}: {} vs {expect}",
+            mrs[i]
+        );
+        expect_group += m.access_rate / total * expect;
+    }
+    assert!((group_mr - expect_group).abs() < 1e-9);
+}
+
+#[test]
+fn free_for_all_is_in_the_search_space() {
+    let cfg = CacheConfig::new(12, 4);
+    let profiles = group(48);
+    let members: Vec<&SoloProfile> = profiles.iter().collect();
+    let search = best_partition_sharing_quantized(&members, &cfg);
+    let ffa = evaluate_sharing_quantized(
+        &members,
+        &cfg,
+        &SharingConfig::free_for_all(3, cfg.units),
+    )
+    .1;
+    assert!(
+        search.group_miss_ratio <= ffa + 1e-9,
+        "best {} must be <= free-for-all {}",
+        search.group_miss_ratio,
+        ffa
+    );
+}

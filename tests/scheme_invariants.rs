@@ -1,0 +1,165 @@
+//! Cross-scheme invariants over randomized studies: the ordering and
+//! fairness guarantees that must hold for *every* co-run group, not just
+//! the curated study set.
+
+use cache_partition_sharing::core::sweep::{all_k_subsets, sweep_groups};
+use cache_partition_sharing::prelude::*;
+use cache_partition_sharing::trace::ProgramSpec;
+
+fn random_specs(seed: u64, n: usize) -> Vec<ProgramSpec> {
+    // Deterministic variety from a seed: loops, zipfs, mixtures.
+    let names: &[&'static str] = &[
+        "w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7", "w8", "w9",
+    ];
+    (0..n)
+        .map(|i| {
+            let x = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64 * 1442695040888963407);
+            let ws = 20 + (x >> 32) % 200;
+            let workload = match x % 3 {
+                0 => WorkloadSpec::SequentialLoop { working_set: ws },
+                1 => WorkloadSpec::Zipfian {
+                    region: ws * 3,
+                    alpha: 0.5 + (x % 5) as f64 / 10.0,
+                },
+                _ => WorkloadSpec::Mixture {
+                    parts: vec![
+                        (0.9, WorkloadSpec::SequentialLoop { working_set: ws / 2 }),
+                        (0.1, WorkloadSpec::UniformRandom { region: ws * 4 }),
+                    ],
+                },
+            };
+            ProgramSpec {
+                name: names[i],
+                workload,
+                access_rate: 0.5 + (x % 7) as f64 / 4.0,
+                trace_len: 25_000,
+                seed: x,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn optimal_dominates_every_scheme_on_random_studies() {
+    for seed in [11u64, 22, 33] {
+        let study = Study::build(&random_specs(seed, 6), CacheConfig::new(64, 2));
+        for rec in sweep_groups(&study, 3) {
+            let opt = rec.evaluation.get(Scheme::Optimal).group_miss_ratio;
+            for s in Scheme::ALL {
+                assert!(
+                    opt <= rec.evaluation.get(s).group_miss_ratio + 1e-9,
+                    "seed {seed}, group {:?}: Optimal {opt} loses to {} {}",
+                    rec.indices,
+                    s.name(),
+                    rec.evaluation.get(s).group_miss_ratio
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn baselines_protect_every_member_on_random_studies() {
+    for seed in [44u64, 55] {
+        let study = Study::build(&random_specs(seed, 5), CacheConfig::new(48, 2));
+        for rec in sweep_groups(&study, 3) {
+            let e = &rec.evaluation;
+            for (constrained, base) in [
+                (Scheme::EqualBaseline, Scheme::Equal),
+                (Scheme::NaturalBaseline, Scheme::Natural),
+            ] {
+                let c = e.get(constrained);
+                let b = e.get(base);
+                for i in 0..3 {
+                    assert!(
+                        c.member_miss_ratios[i] <= b.member_miss_ratios[i] + 1e-6,
+                        "seed {seed} group {:?}: {} member {i} {} > {} {}",
+                        rec.indices,
+                        constrained.name(),
+                        c.member_miss_ratios[i],
+                        base.name(),
+                        b.member_miss_ratios[i]
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_allocation_uses_exactly_the_whole_cache() {
+    let study = Study::build(&random_specs(66, 5), CacheConfig::new(40, 3));
+    for rec in sweep_groups(&study, 4) {
+        for r in &rec.evaluation.results {
+            assert_eq!(
+                r.allocation.iter().sum::<usize>(),
+                40,
+                "{} in group {:?}",
+                r.scheme.name(),
+                rec.indices
+            );
+        }
+    }
+}
+
+#[test]
+fn sttw_matches_optimal_when_all_curves_are_convex() {
+    // Zipf workloads have smooth convex MRCs; STTW should equal the DP.
+    let specs: Vec<ProgramSpec> = (0..4)
+        .map(|i| ProgramSpec {
+            name: ["z0", "z1", "z2", "z3"][i],
+            workload: WorkloadSpec::Zipfian {
+                region: 150 + 80 * i as u64,
+                alpha: 0.9,
+            },
+            access_rate: 1.0 + i as f64 / 4.0,
+            trace_len: 60_000,
+            seed: 100 + i as u64,
+        })
+        .collect();
+    let study = Study::build(&specs, CacheConfig::new(128, 1));
+    let members: Vec<&SoloProfile> = study.profiles.iter().collect();
+    let eval = evaluate_group(&members, &study.config);
+    let sttw = eval.get(Scheme::Sttw).group_miss_ratio;
+    let opt = eval.get(Scheme::Optimal).group_miss_ratio;
+    assert!(
+        (sttw - opt) / opt.max(1e-9) < 0.02,
+        "convex group: STTW {sttw} vs Optimal {opt}"
+    );
+}
+
+#[test]
+fn group_miss_ratio_is_share_weighted_member_mean() {
+    let study = Study::build(&random_specs(77, 4), CacheConfig::new(32, 2));
+    let members: Vec<&SoloProfile> = study.profiles.iter().collect();
+    let eval = evaluate_group(&members, &study.config);
+    for r in &eval.results {
+        let weighted: f64 = eval
+            .shares
+            .iter()
+            .zip(&r.member_miss_ratios)
+            .map(|(s, m)| s * m)
+            .sum();
+        assert!(
+            (weighted - r.group_miss_ratio).abs() < 1e-6,
+            "{}: weighted {weighted} vs reported {}",
+            r.scheme.name(),
+            r.group_miss_ratio
+        );
+    }
+}
+
+#[test]
+fn subset_enumeration_matches_search_space_formula() {
+    // Cross-crate consistency: the sweep's subset count equals the
+    // binomial from cps-combin.
+    use cache_partition_sharing::combin::binomial;
+    for (n, k) in [(16usize, 4usize), (10, 3), (6, 6)] {
+        assert_eq!(
+            all_k_subsets(n, k).len() as u128,
+            binomial(n as u64, k as u64).unwrap()
+        );
+    }
+}
