@@ -29,11 +29,9 @@ fn bench_olken(c: &mut Criterion) {
         ] {
             let trace = spec.generate(len, 9);
             group.throughput(Throughput::Elements(len as u64));
-            group.bench_with_input(
-                BenchmarkId::new(label, len),
-                &trace,
-                |b, t| b.iter(|| ReuseDistances::from_trace(black_box(&t.blocks))),
-            );
+            group.bench_with_input(BenchmarkId::new(label, len), &trace, |b, t| {
+                b.iter(|| ReuseDistances::from_trace(black_box(&t.blocks)))
+            });
         }
     }
     group.finish();

@@ -53,8 +53,7 @@ fn main() {
         let mut losses = Vec::new();
         let t0 = Instant::now();
         for (indices, &exact_mr) in sample.iter().zip(&exact) {
-            let members: Vec<&SoloProfile> =
-                indices.iter().map(|&i| &study.profiles[i]).collect();
+            let members: Vec<&SoloProfile> = indices.iter().map(|&i| &study.profiles[i]).collect();
             let mr = run_dp(&members, &cfg);
             mrs.push(mr);
             losses.push((mr / exact_mr.max(1e-9) - 1.0) * 100.0);
@@ -65,12 +64,7 @@ fn main() {
         let max_loss = losses.iter().fold(0.0f64, |a, &b| a.max(b));
         println!(
             "{:>6} {:>7} {:>14.5} {:>11.2}% {:>11.2}% {:>12.0}",
-            bpu,
-            cfg.units,
-            mean_mr,
-            mean_loss,
-            max_loss,
-            micros
+            bpu, cfg.units, mean_mr, mean_loss, max_loss, micros
         );
         csv.row_mixed(
             &[&bpu.to_string(), &cfg.units.to_string()],

@@ -12,7 +12,11 @@ use cps_core::Scheme;
 
 fn main() {
     let study = default_study();
-    let sizes: &[usize] = if quick_mode() { &[2, 3] } else { &[2, 3, 4, 5, 6] };
+    let sizes: &[usize] = if quick_mode() {
+        &[2, 3]
+    } else {
+        &[2, 3, 4, 5, 6]
+    };
     let mut csv = Csv::with_header(&[
         "group_size",
         "groups",
@@ -21,7 +25,11 @@ fn main() {
         "avg_impr_vs_natural_pct",
         "avg_impr_vs_equal_pct",
     ]);
-    println!("Group-size ablation ({} programs, {} units):", study.len(), study.config.units);
+    println!(
+        "Group-size ablation ({} programs, {} units):",
+        study.len(),
+        study.config.units
+    );
     println!(
         "{:>3} {:>8} {:>14} {:>12} {:>14} {:>14}",
         "k", "groups", "vs STTW avg", "STTW >=10%", "vs Natural", "vs Equal"

@@ -61,7 +61,14 @@ fn main() {
     );
     println!(
         "{:>8} {:>9} {:>6} {:>14} {:>13} {:>14} {:>13} {:>12}",
-        "burst", "coverage", "extrap", "mean MRC err", "max MRC err", "sampled alloc", "full alloc", "regret"
+        "burst",
+        "coverage",
+        "extrap",
+        "mean MRC err",
+        "max MRC err",
+        "sampled alloc",
+        "full alloc",
+        "regret"
     );
     for &(burst, ratio, extrapolate) in &cases {
         let cfg = BurstConfig::with_ratio(burst, ratio);
@@ -109,14 +116,9 @@ fn main() {
             let alloc_s = optimal_partition(&costs_s, config.units, Combine::Sum)
                 .expect("feasible")
                 .allocation;
-            let best_f = optimal_partition(&costs_f, config.units, Combine::Sum)
-                .expect("feasible");
+            let best_f = optimal_partition(&costs_f, config.units, Combine::Sum).expect("feasible");
             // Cost of the sampled-data allocation under the true curves.
-            let achieved: f64 = costs_f
-                .iter()
-                .zip(&alloc_s)
-                .map(|(c, &u)| c.at(u))
-                .sum();
+            let achieved: f64 = costs_f.iter().zip(&alloc_s).map(|(c, &u)| c.at(u)).sum();
             mr_sampled += achieved;
             mr_full += best_f.cost;
             regret += (achieved / best_f.cost.max(1e-9) - 1.0) * 100.0;

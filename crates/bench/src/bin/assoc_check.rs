@@ -26,8 +26,7 @@ fn main() {
         .par_iter()
         .flat_map(|spec| {
             let trace = spec.trace();
-            let profile =
-                SoloProfile::from_trace(spec.name, &trace.blocks, spec.access_rate, 1024);
+            let profile = SoloProfile::from_trace(spec.name, &trace.blocks, spec.access_rate, 1024);
             sizes
                 .iter()
                 .map(|&cap| {
@@ -84,7 +83,10 @@ fn main() {
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let max = |v: &[f64]| v.iter().fold(0.0f64, |a, &b| a.max(b));
-    println!("Machine-model check over {} (program, size) points:", rows.len());
+    println!(
+        "Machine-model check over {} (program, size) points:",
+        rows.len()
+    );
     println!(
         "  |8-way  − fully-assoc|: mean {:.5}, max {:.5}",
         mean(&err8),

@@ -94,7 +94,10 @@ fn main() {
         csv.row_mixed(&[label], &[*p, *m, *t]);
     }
 
-    println!("\nLocality-performance correlation over {} co-run groups:", rows.len());
+    println!(
+        "\nLocality-performance correlation over {} co-run groups:",
+        rows.len()
+    );
     println!("  Pearson r (predicted mr vs measured mr):   {r_mr:.3}");
     println!("  Pearson r (predicted mr vs measured time): {r_time:.3}");
     println!("  mean |predicted − measured| miss ratio:    {mean_abs:.5}");

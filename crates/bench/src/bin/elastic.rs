@@ -28,8 +28,7 @@ fn main() {
     let per_group: Vec<Vec<f64>> = sample
         .par_iter()
         .map(|indices| {
-            let members: Vec<&SoloProfile> =
-                indices.iter().map(|&i| &study.profiles[i]).collect();
+            let members: Vec<&SoloProfile> = indices.iter().map(|&i| &study.profiles[i]).collect();
             elastic_sweep(&members, &study.config, steps)
                 .into_iter()
                 .map(|e| e.result.cost)
@@ -38,10 +37,15 @@ fn main() {
         .collect();
 
     let mut csv = Csv::with_header(&["theta", "mean_group_mr", "mean_loss_vs_optimal_pct"]);
-    println!("\nElastic guarantee sweep (mean over {} groups):", sample.len());
-    println!("{:>6} {:>15} {:>18}", "theta", "mean group mr", "loss vs optimal");
-    let optimal_mean: f64 =
-        per_group.iter().map(|g| g[0]).sum::<f64>() / per_group.len() as f64;
+    println!(
+        "\nElastic guarantee sweep (mean over {} groups):",
+        sample.len()
+    );
+    println!(
+        "{:>6} {:>15} {:>18}",
+        "theta", "mean group mr", "loss vs optimal"
+    );
+    let optimal_mean: f64 = per_group.iter().map(|g| g[0]).sum::<f64>() / per_group.len() as f64;
     for i in 0..=steps {
         let theta = i as f64 / steps as f64;
         let mean: f64 = per_group.iter().map(|g| g[i]).sum::<f64>() / per_group.len() as f64;

@@ -17,9 +17,7 @@ fn main() {
     let cache = 160usize;
     let phase_len = 2_000u64;
     let len = 60_000usize;
-    let stream = |seed: u64| {
-        WorkloadSpec::SequentialLoop { working_set: 4000 }.generate(len, seed)
-    };
+    let stream = |seed: u64| WorkloadSpec::SequentialLoop { working_set: 4000 }.generate(len, seed);
     let phased = |first_big: bool, seed: u64| {
         let big = WorkloadSpec::SequentialLoop { working_set: 120 };
         let small = WorkloadSpec::SequentialLoop { working_set: 4 };
@@ -36,7 +34,14 @@ fn main() {
     let warm = len / 2;
 
     println!("Figure 1 (scaled): 2 streaming cores + 2 anti-phase cores, cache = {cache} blocks\n");
-    let mut csv = Csv::with_header(&["scheme", "group_miss_ratio", "core1", "core2", "core3", "core4"]);
+    let mut csv = Csv::with_header(&[
+        "scheme",
+        "group_miss_ratio",
+        "core1",
+        "core2",
+        "core3",
+        "core4",
+    ]);
 
     let mut report = |name: &str, res: cps_cachesim::SharedSimResult| {
         let members: Vec<f64> = res.per_program.iter().map(|c| c.miss_ratio()).collect();
@@ -55,10 +60,7 @@ fn main() {
     };
 
     // Free-for-all sharing.
-    let ffa = report(
-        "free-for-all",
-        simulate_shared_warm(&co, cache, 4, warm),
-    );
+    let ffa = report("free-for-all", simulate_shared_warm(&co, cache, 4, warm));
 
     // Best static partitioning (streamers get 1 each; phase cores split).
     let half = (cache - 2) / 2;
@@ -80,7 +82,12 @@ fn main() {
 
     println!();
     if ps < pp && ps < ffa {
-        println!("partition-sharing wins: {:.4} < partitioning {:.4} < free-for-all {:.4}", ps, pp, ffa.max(pp));
+        println!(
+            "partition-sharing wins: {:.4} < partitioning {:.4} < free-for-all {:.4}",
+            ps,
+            pp,
+            ffa.max(pp)
+        );
         println!("(synchronized phases violate NPA, so the reduction to pure");
         println!(" partitioning does not hold for this adversarial trace)");
     } else {

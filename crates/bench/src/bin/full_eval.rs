@@ -44,7 +44,9 @@ fn main() {
         .parent()
         .expect("bin dir")
         .to_path_buf();
-    let with_ablations = std::env::var("CPS_ABLATIONS").map(|v| v == "1").unwrap_or(false);
+    let with_ablations = std::env::var("CPS_ABLATIONS")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let all: Vec<&str> = EXPERIMENTS
         .iter()
         .chain(if with_ablations { ABLATIONS } else { &[] }.iter())
@@ -53,7 +55,10 @@ fn main() {
     let t0 = Instant::now();
     let mut failed = Vec::new();
     for exp in &all {
-        println!("\n=== {exp} {}", "=".repeat(60_usize.saturating_sub(exp.len())));
+        println!(
+            "\n=== {exp} {}",
+            "=".repeat(60_usize.saturating_sub(exp.len()))
+        );
         let t = Instant::now();
         let status = Command::new(exe_dir.join(exp)).status();
         match status {

@@ -39,7 +39,10 @@ fn main() {
         "max_abs_err_w64plus",
         "buckets",
     ]);
-    println!("Reuse-window hypothesis check ({} accesses/program):\n", trace_len);
+    println!(
+        "Reuse-window hypothesis check ({} accesses/program):\n",
+        trace_len
+    );
     println!(
         "{:<18} {:>18} {:>20} {:>9}",
         "program", "weighted mean err", "max err (w >= 64)", "buckets"
@@ -54,9 +57,7 @@ fn main() {
         csv.row_mixed(&[name, &buckets.to_string()], &[*mean_err, *max_err]);
     }
     let overall = rows.iter().map(|r| r.1).sum::<f64>() / rows.len() as f64;
-    println!(
-        "\nmean weighted divergence across programs: {overall:.4}"
-    );
+    println!("\nmean weighted divergence across programs: {overall:.4}");
     println!("(Near zero = the hypothesis holds and the mr(c) derivation is");
     println!(" unbiased. The phased program at the top of the max-err column —");
     println!(" h264ref-like — is exactly the one that produces the NPA outliers");

@@ -9,8 +9,7 @@
 
 use cps_bench::{default_study, Csv};
 use cps_core::multicache::{
-    best_assignment, enumerate_assignments, evaluate_assignment, greedy_assignment,
-    CachePolicy,
+    best_assignment, enumerate_assignments, evaluate_assignment, greedy_assignment, CachePolicy,
 };
 use cps_hotl::SoloProfile;
 
@@ -79,12 +78,14 @@ fn main() {
         println!("policy: {label}");
         println!("  best grouping   : {:.5}  [{}]", all[0].0, all[0].1);
         println!("  median grouping : {median:.5}");
-        println!("  worst grouping  : {:.5}  [{}]", all[all.len() - 1].0, all[all.len() - 1].1);
+        println!(
+            "  worst grouping  : {:.5}  [{}]",
+            all[all.len() - 1].0,
+            all[all.len() - 1].1
+        );
         println!(
             "  greedy heuristic: {:.5}  ({}x examined vs {} exhaustive)",
-            greedy.eval.overall_miss_ratio,
-            greedy.examined,
-            best.examined
+            greedy.eval.overall_miss_ratio, greedy.examined, best.examined
         );
         println!(
             "  best/worst spread: {:.1}%\n",
@@ -92,7 +93,10 @@ fn main() {
         );
         csv.row_mixed(&[label, "best", &all[0].1], &[all[0].0]);
         csv.row_mixed(&[label, "median", ""], &[median]);
-        csv.row_mixed(&[label, "worst", &all[all.len() - 1].1], &[all[all.len() - 1].0]);
+        csv.row_mixed(
+            &[label, "worst", &all[all.len() - 1].1],
+            &[all[all.len() - 1].0],
+        );
         csv.row_mixed(&[label, "greedy", ""], &[greedy.eval.overall_miss_ratio]);
     }
     println!("(within-cache partitioning should dominate free-for-all for every");

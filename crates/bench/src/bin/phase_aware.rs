@@ -10,9 +10,7 @@
 
 use cps_bench::Csv;
 use cps_cachesim::{simulate_partition_sharing, simulate_shared_warm, PartitionSharingScheme};
-use cps_core::phased::{
-    phase_aware_partition, simulate_phase_partitioned_program, PhasedProfile,
-};
+use cps_core::phased::{phase_aware_partition, simulate_phase_partitioned_program, PhasedProfile};
 use cps_core::{optimal_partition, CacheConfig, Combine, CostCurve};
 use cps_hotl::SoloProfile;
 use cps_trace::{interleave_proportional, Trace, WorkloadSpec};
@@ -28,7 +26,10 @@ fn main() {
     let big = WorkloadSpec::SequentialLoop { working_set: 120 };
     let small = WorkloadSpec::SequentialLoop { working_set: 4 };
     let core3 = WorkloadSpec::Phased {
-        phases: vec![(big.clone(), segment as u64), (small.clone(), segment as u64)],
+        phases: vec![
+            (big.clone(), segment as u64),
+            (small.clone(), segment as u64),
+        ],
     };
     let core4 = WorkloadSpec::Phased {
         phases: vec![(small, segment as u64), (big, segment as u64)],

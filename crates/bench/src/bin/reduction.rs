@@ -42,8 +42,7 @@ fn main() {
     let rows: Vec<(String, f64, f64, f64, f64, u64)> = sample
         .par_iter()
         .map(|indices| {
-            let members: Vec<&SoloProfile> =
-                indices.iter().map(|&i| &study.profiles[i]).collect();
+            let members: Vec<&SoloProfile> = indices.iter().map(|&i| &study.profiles[i]).collect();
             let label = indices
                 .iter()
                 .map(|i| study.profiles[*i].name.clone())
@@ -53,12 +52,9 @@ fn main() {
             let total_rate: f64 = members.iter().map(|m| m.access_rate).sum();
             let costs: Vec<CostCurve> = members
                 .iter()
-                .map(|m| {
-                    CostCurve::from_miss_ratio(&m.mrc, &fine, m.access_rate / total_rate)
-                })
+                .map(|m| CostCurve::from_miss_ratio(&m.mrc, &fine, m.access_rate / total_rate))
                 .collect();
-            let dp = optimal_partition(&costs, fine.units, Combine::Sum)
-                .expect("feasible");
+            let dp = optimal_partition(&costs, fine.units, Combine::Sum).expect("feasible");
             // Exhaustive search over all coarse-walled sharing configs,
             // both under the block-quantized NPA evaluation (the
             // theorem's terms) and the continuous composition model
@@ -101,9 +97,7 @@ fn main() {
     );
     let mut violations = 0;
     for (label, dp, psq, psc, ffa, examined) in &rows {
-        println!(
-            "{label:<52} {dp:>10.5} {psq:>10.5} {psc:>10.5} {ffa:>10.5} {examined:>9}"
-        );
+        println!("{label:<52} {dp:>10.5} {psq:>10.5} {psc:>10.5} {ffa:>10.5} {examined:>9}");
         csv.row_mixed(&[label, &examined.to_string()], &[*dp, *psq, *psc, *ffa]);
         if *dp > psq + 1e-9 {
             violations += 1;

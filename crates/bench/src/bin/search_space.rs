@@ -23,7 +23,13 @@ fn fmt_u128(v: u128) -> String {
 
 fn main() {
     println!("Search-space sizes (Section II)\n");
-    let mut csv = Csv::with_header(&["npr", "cache_units", "s2_partition_sharing", "s3_partitioning_only", "coverage"]);
+    let mut csv = Csv::with_header(&[
+        "npr",
+        "cache_units",
+        "s2_partition_sharing",
+        "s3_partitioning_only",
+        "coverage",
+    ]);
 
     for (label, npr, c) in [
         ("paper worked example (64B units)", 4u64, 131_072u64),
@@ -38,7 +44,12 @@ fn main() {
                 println!("  S3 (partitioning only)  = {}", fmt_u128(s3));
                 println!("  coverage S3/S2          = {:.6}%", coverage * 100.0);
                 csv.row_mixed(
-                    &[&npr.to_string(), &c.to_string(), &s2.to_string(), &s3.to_string()],
+                    &[
+                        &npr.to_string(),
+                        &c.to_string(),
+                        &s2.to_string(),
+                        &s3.to_string(),
+                    ],
                     &[coverage],
                 );
             }

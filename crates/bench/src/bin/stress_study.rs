@@ -17,9 +17,7 @@
 
 use cps_bench::{quick_mode, Csv};
 use cps_cachesim::simulate_shared_warm;
-use cps_core::phased::{
-    phase_aware_partition, simulate_phase_partitioned_program, PhasedProfile,
-};
+use cps_core::phased::{phase_aware_partition, simulate_phase_partitioned_program, PhasedProfile};
 use cps_core::sweep::all_k_subsets;
 use cps_core::{optimal_partition, CacheConfig, Combine, CostCurve};
 use cps_hotl::{CoRunModel, SoloProfile};
@@ -62,8 +60,14 @@ fn main() {
         .collect();
     let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
     let max_err = errors.iter().fold(0.0f64, |a, &b| a.max(b));
-    println!("Phase-stress study ({} accesses/program, {cache}-block cache)\n", trace_len);
-    println!("1. NPA error over {} per-program miss ratios:", errors.len());
+    println!(
+        "Phase-stress study ({} accesses/program, {cache}-block cache)\n",
+        trace_len
+    );
+    println!(
+        "1. NPA error over {} per-program miss ratios:",
+        errors.len()
+    );
     println!("   mean |predicted - measured| = {mean_err:.4}");
     println!("   max  |predicted - measured| = {max_err:.4}");
     println!("   (the stationary base study, E7, measures mean ~0.001 —");
@@ -132,8 +136,7 @@ fn main() {
             let mut mis2 = 0u64;
             for (slot, &i) in indices.iter().enumerate() {
                 let caps: Vec<usize> = plan.allocations.iter().map(|a| a[slot]).collect();
-                let (a, m) =
-                    simulate_phase_partitioned_program(&traces[i].blocks, segment, &caps);
+                let (a, m) = simulate_phase_partitioned_program(&traces[i].blocks, segment, &caps);
                 acc2 += a;
                 mis2 += m;
             }
@@ -146,7 +149,10 @@ fn main() {
         rows.iter().map(f).sum::<f64>() / rows.len() as f64
     };
     let (m_ffa, m_static, m_phase) = (mean(|r| r.1), mean(|r| r.2), mean(|r| r.3));
-    println!("\n2. {} phase-heavy 4-groups, simulator-measured group miss ratio:", rows.len());
+    println!(
+        "\n2. {} phase-heavy 4-groups, simulator-measured group miss ratio:",
+        rows.len()
+    );
     println!("   free-for-all sharing        mean {m_ffa:.4}");
     println!("   static optimal partitioning mean {m_static:.4}");
     println!("   phase-aware partitioning    mean {m_phase:.4}");
@@ -155,9 +161,7 @@ fn main() {
     } else {
         0.0
     };
-    println!(
-        "   phase-aware cuts the static optimum's miss ratio by {recovered:.1}%"
-    );
+    println!("   phase-aware cuts the static optimum's miss ratio by {recovered:.1}%");
 
     let mut csv = Csv::with_header(&["group", "free_for_all", "static_optimal", "phase_aware"]);
     for (label, a, b, c) in &rows {

@@ -20,11 +20,7 @@ use std::time::Instant;
 fn main() {
     let t0 = Instant::now();
     let study = default_study();
-    eprintln!(
-        "profiled {} programs in {:.1?}",
-        study.len(),
-        t0.elapsed()
-    );
+    eprintln!("profiled {} programs in {:.1?}", study.len(), t0.elapsed());
 
     let t1 = Instant::now();
     let records = sweep_groups(&study, 4);

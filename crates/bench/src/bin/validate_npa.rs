@@ -43,16 +43,14 @@ fn main() {
             let sim = simulate_shared_warm(&co, cache_blocks, 2, warm);
             let model = CoRunModel::new(vec![&study.profiles[i], &study.profiles[j]]);
             let predicted = model.member_shared_miss_ratios(cache_blocks as f64);
-            vec![
-                (
-                    specs[i].name.to_string(),
-                    specs[j].name.to_string(),
-                    predicted[0],
-                    sim.per_program[0].miss_ratio(),
-                    predicted[1],
-                    sim.per_program[1].miss_ratio(),
-                ),
-            ]
+            vec![(
+                specs[i].name.to_string(),
+                specs[j].name.to_string(),
+                predicted[0],
+                sim.per_program[0].miss_ratio(),
+                predicted[1],
+                sim.per_program[1].miss_ratio(),
+            )]
         })
         .collect();
 

@@ -22,7 +22,9 @@ pub const QUICK_TRACE_LEN: usize = 60_000;
 
 /// True when the environment asks for a reduced-size run.
 pub fn quick_mode() -> bool {
-    std::env::var("CPS_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("CPS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The paper-scale cache geometry: 1024 partition units.
@@ -55,10 +57,7 @@ pub fn results_dir() -> PathBuf {
     }
     // Walk up from the crate dir to the workspace root.
     let here = Path::new(env!("CARGO_MANIFEST_DIR"));
-    here.ancestors()
-        .nth(2)
-        .unwrap_or(here)
-        .join("results")
+    here.ancestors().nth(2).unwrap_or(here).join("results")
 }
 
 /// A minimal CSV writer (quotes nothing; callers keep fields clean).

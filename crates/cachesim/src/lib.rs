@@ -13,7 +13,9 @@
 //!   approximation, for the replacement-policy caveat of Section VIII.
 //! * [`shared`] — co-run simulation of an interleaved trace through one
 //!   shared cache, with per-program miss accounting and optional warm-up.
-//! * [`partitioned`] — per-program private partitions.
+//! * [`partitioned`] — per-program private partitions, both as a batch
+//!   replay and as a live [`PartitionedCache`] whose allocation can be
+//!   changed gracefully between accesses (the repartitioning substrate).
 //! * [`sharing`] — general partition-sharing: groups of programs mapped
 //!   to shared partitions (the paper's Figure 2, case 2).
 
@@ -31,7 +33,7 @@ pub mod sharing;
 pub use clock::ClockCache;
 pub use lru::{exact_miss_ratio_curve, simulate_solo, LruCache};
 pub use metrics::AccessCounts;
-pub use partitioned::simulate_partitioned;
+pub use partitioned::{simulate_partitioned, PartitionedCache};
 pub use set_assoc::{SetAssocCache, SetIndexing};
 pub use shared::{simulate_shared, simulate_shared_warm, SharedSimResult};
 pub use sharing::{simulate_partition_sharing, PartitionSharingScheme};

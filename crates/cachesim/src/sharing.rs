@@ -221,12 +221,18 @@ mod tests {
         let core3 = WorkloadSpec::Phased {
             phases: vec![
                 (WorkloadSpec::SequentialLoop { working_set: big }, phase_len),
-                (WorkloadSpec::SequentialLoop { working_set: small }, phase_len),
+                (
+                    WorkloadSpec::SequentialLoop { working_set: small },
+                    phase_len,
+                ),
             ],
         };
         let core4 = WorkloadSpec::Phased {
             phases: vec![
-                (WorkloadSpec::SequentialLoop { working_set: small }, phase_len),
+                (
+                    WorkloadSpec::SequentialLoop { working_set: small },
+                    phase_len,
+                ),
                 (WorkloadSpec::SequentialLoop { working_set: big }, phase_len),
             ],
         };

@@ -1,8 +1,8 @@
 //! Property-based tests for the cache simulators.
 
 use cps_cachesim::{
-    exact_miss_ratio_curve, simulate_partition_sharing, simulate_shared, simulate_solo,
-    LruCache, PartitionSharingScheme, SetAssocCache,
+    exact_miss_ratio_curve, simulate_partition_sharing, simulate_shared, simulate_solo, LruCache,
+    PartitionSharingScheme, SetAssocCache,
 };
 use cps_trace::{interleave_proportional, Trace};
 use proptest::prelude::*;

@@ -55,14 +55,130 @@ pub struct PartitionResult {
     pub cost: f64,
 }
 
-/// Runs the DP. Returns `None` when no allocation satisfies every
-/// program's constraints (some cost curve forbids everything reachable),
-/// or when `costs` is empty.
+/// A reusable DP solver holding the `O(P·C)` scratch tables.
 ///
-/// Exact-sum semantics: all `total_units` are distributed. Because cost
-/// curves are non-increasing in practice, using the whole cache is never
-/// worse; forbidden (infinite) regions only ever exclude *small*
-/// allocations, so exactness does not affect feasibility.
+/// One-shot callers can use [`optimal_partition`]; repeated callers (an
+/// epoch-driven repartitioning controller re-solving every epoch) keep a
+/// `DpSolver` alive so the `dp` / `next` rows and the backtracking table
+/// are allocated once and reused, leaving the hot loop allocation-free
+/// after the first solve at a given problem size.
+///
+/// # Examples
+///
+/// ```
+/// use cps_core::{Combine, CostCurve, DpSolver};
+/// let mut solver = DpSolver::new();
+/// let a = CostCurve::from_raw(vec![1.0, 0.9, 0.1, 0.05]);
+/// let b = CostCurve::from_raw(vec![1.0, 0.2, 0.15, 0.1]);
+/// let r = solver.solve(&[a, b], 3, Combine::Sum).unwrap();
+/// assert_eq!(r.allocation, vec![2, 1]);
+/// // The same solver can be reused for any later instance.
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DpSolver {
+    dp: Vec<f64>,
+    next: Vec<f64>,
+    choice: Vec<Vec<u32>>,
+}
+
+impl DpSolver {
+    /// Creates a solver with empty scratch tables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the DP. Returns `None` when no allocation satisfies every
+    /// program's constraints (some cost curve forbids everything
+    /// reachable), or when `costs` is empty.
+    ///
+    /// Exact-sum semantics: all `total_units` are distributed. Because
+    /// cost curves are non-increasing in practice, using the whole cache
+    /// is never worse; forbidden (infinite) regions only ever exclude
+    /// *small* allocations, so exactness does not affect feasibility.
+    pub fn solve(
+        &mut self,
+        costs: &[CostCurve],
+        total_units: usize,
+        combine: Combine,
+    ) -> Option<PartitionResult> {
+        if costs.is_empty() {
+            return None;
+        }
+        let p = costs.len();
+        let c = total_units;
+        // dp[k]: best accumulated cost allocating exactly k units to the
+        // programs processed so far. choice[i][k]: units given to
+        // program i in that best solution.
+        let dp = &mut self.dp;
+        let next = &mut self.next;
+        let choice = &mut self.choice;
+        dp.clear();
+        dp.extend((0..=c).map(|k| costs[0].at(k)));
+        next.clear();
+        next.resize(c + 1, f64::INFINITY);
+        if choice.len() < p {
+            choice.resize_with(p, Vec::new);
+        }
+        {
+            let row = &mut choice[0];
+            row.clear();
+            row.extend(0..=c as u32);
+        }
+        for (i, cost_i) in costs.iter().enumerate().skip(1) {
+            let row = &mut choice[i];
+            row.clear();
+            row.resize(c + 1, 0);
+            for (k, slot) in next.iter_mut().enumerate() {
+                let mut best = f64::INFINITY;
+                let mut best_c = 0u32;
+                for ci in 0..=k {
+                    let prev = dp[k - ci];
+                    if prev.is_infinite() {
+                        continue;
+                    }
+                    let own = cost_i.at(ci);
+                    if own.is_infinite() {
+                        continue;
+                    }
+                    let total = combine.apply(prev, own);
+                    if total < best {
+                        best = total;
+                        best_c = ci as u32;
+                    }
+                }
+                *slot = best;
+                row[k] = best_c;
+            }
+            std::mem::swap(dp, next);
+        }
+        if dp[c].is_infinite() {
+            return None;
+        }
+        // For Combine::Max with all-identity costs dp[c] can be -inf only
+        // if identity() leaked; costs are finite here, so dp[c] is a real
+        // cost.
+        let mut allocation = vec![0usize; p];
+        let mut k = c;
+        for i in (0..p).rev() {
+            let ci = choice[i][k] as usize;
+            allocation[i] = ci;
+            k -= ci;
+        }
+        debug_assert_eq!(k, 0, "backtrack must consume the whole cache");
+        // Recompute the cost from the allocation as a self-check (and to
+        // normalize Max-combine identity handling).
+        let mut acc = combine.identity();
+        for (i, &ci) in allocation.iter().enumerate() {
+            acc = combine.apply(acc, costs[i].at(ci));
+        }
+        Some(PartitionResult {
+            allocation,
+            cost: acc,
+        })
+    }
+}
+
+/// Runs the DP with one-shot scratch tables. See [`DpSolver::solve`].
 ///
 /// # Examples
 ///
@@ -82,67 +198,7 @@ pub fn optimal_partition(
     total_units: usize,
     combine: Combine,
 ) -> Option<PartitionResult> {
-    if costs.is_empty() {
-        return None;
-    }
-    let p = costs.len();
-    let c = total_units;
-    // dp[k]: best accumulated cost allocating exactly k units to the
-    // programs processed so far. choice[i][k]: units given to program i
-    // in that best solution.
-    let mut dp: Vec<f64> = (0..=c).map(|k| costs[0].at(k)).collect();
-    let mut choice: Vec<Vec<u32>> = Vec::with_capacity(p);
-    choice.push((0..=c as u32).collect());
-    let mut next = vec![f64::INFINITY; c + 1];
-    for cost_i in &costs[1..] {
-        let mut row = vec![0u32; c + 1];
-        for (k, slot) in next.iter_mut().enumerate() {
-            let mut best = f64::INFINITY;
-            let mut best_c = 0u32;
-            for ci in 0..=k {
-                let prev = dp[k - ci];
-                if prev.is_infinite() {
-                    continue;
-                }
-                let own = cost_i.at(ci);
-                if own.is_infinite() {
-                    continue;
-                }
-                let total = combine.apply(prev, own);
-                if total < best {
-                    best = total;
-                    best_c = ci as u32;
-                }
-            }
-            *slot = best;
-            row[k] = best_c;
-        }
-        std::mem::swap(&mut dp, &mut next);
-        choice.push(row);
-    }
-    if dp[c].is_infinite() {
-        return None;
-    }
-    // For Combine::Max with all-identity costs dp[c] can be -inf only if
-    // identity() leaked; costs are finite here, so dp[c] is a real cost.
-    let mut allocation = vec![0usize; p];
-    let mut k = c;
-    for i in (0..p).rev() {
-        let ci = choice[i][k] as usize;
-        allocation[i] = ci;
-        k -= ci;
-    }
-    debug_assert_eq!(k, 0, "backtrack must consume the whole cache");
-    // Recompute the cost from the allocation as a self-check (and to
-    // normalize Max-combine identity handling).
-    let mut acc = combine.identity();
-    for (i, &ci) in allocation.iter().enumerate() {
-        acc = combine.apply(acc, costs[i].at(ci));
-    }
-    Some(PartitionResult {
-        allocation,
-        cost: acc,
-    })
+    DpSolver::new().solve(costs, total_units, combine)
 }
 
 /// Exhaustive reference optimizer (`O(C^(P−1))`) — the oracle the tests
@@ -239,7 +295,9 @@ mod tests {
     fn matches_brute_force_on_random_curves() {
         let mut x = 42u64;
         let mut rnd = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 33) as f64) / (u32::MAX as f64)
         };
         for _ in 0..20 {
@@ -284,8 +342,11 @@ mod tests {
         let b = curve(vec![0.8, 0.4, 0.2, 0.05]);
         let sum = optimal_partition(&[a.clone(), b.clone()], 3, Combine::Sum).unwrap();
         let max = optimal_partition(&[a.clone(), b.clone()], 3, Combine::Max).unwrap();
-        let worst =
-            |r: &PartitionResult| (0..2).map(|i| [&a, &b][i].at(r.allocation[i])).fold(0.0, f64::max);
+        let worst = |r: &PartitionResult| {
+            (0..2)
+                .map(|i| [&a, &b][i].at(r.allocation[i]))
+                .fold(0.0, f64::max)
+        };
         assert!(worst(&max) <= worst(&sum) + 1e-12);
         let bf = brute_force_partition(&[a, b], 3, Combine::Max).unwrap();
         assert!((max.cost - bf.cost).abs() < 1e-12);
@@ -322,6 +383,58 @@ mod tests {
         let r = optimal_partition(&[a, b], 0, Combine::Sum).unwrap();
         assert_eq!(r.allocation, vec![0, 0]);
         assert!((r.cost - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reused_solver_matches_fresh_solves() {
+        // Shrinking and growing the instance between solves must not let
+        // stale scratch data leak into results.
+        let mut solver = DpSolver::new();
+        let instances: Vec<(Vec<CostCurve>, usize)> = vec![
+            (
+                vec![
+                    curve(vec![1.0, 0.5, 0.2, 0.1, 0.05]),
+                    curve(vec![1.0, 0.8, 0.3, 0.2, 0.15]),
+                    curve(vec![0.9, 0.6, 0.55, 0.5, 0.5]),
+                ],
+                4,
+            ),
+            (vec![curve(vec![1.0, 0.0])], 1),
+            (
+                vec![
+                    curve(vec![1.0, 1.0, 1.0, 0.0]),
+                    curve(vec![0.3, 0.2, 0.1, 0.05]),
+                ],
+                3,
+            ),
+            (
+                vec![
+                    curve(vec![FORBIDDEN, FORBIDDEN, 0.5, 0.4, 0.3]),
+                    curve(vec![FORBIDDEN, 0.6, 0.5, 0.45, 0.44]),
+                ],
+                4,
+            ),
+        ];
+        for combine in [Combine::Sum, Combine::Max] {
+            for (costs, c) in &instances {
+                assert_eq!(
+                    solver.solve(costs, *c, combine),
+                    optimal_partition(costs, *c, combine),
+                    "combine {combine:?}, cache {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reused_solver_reports_infeasible_then_recovers() {
+        let mut solver = DpSolver::new();
+        let a = curve(vec![FORBIDDEN, FORBIDDEN, FORBIDDEN, 0.1, 0.1]);
+        let b = curve(vec![FORBIDDEN, FORBIDDEN, 0.2, 0.2, 0.2]);
+        assert_eq!(solver.solve(&[a, b], 4, Combine::Sum), None);
+        let c = curve(vec![1.0, 0.5]);
+        let r = solver.solve(&[c], 1, Combine::Sum).unwrap();
+        assert_eq!(r.allocation, vec![1]);
     }
 
     #[test]

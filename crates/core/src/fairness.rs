@@ -57,7 +57,10 @@ impl FairnessReport {
 
     /// Number of members Optimal treats unfairly vs the Natural baseline.
     pub fn unfair_vs_natural(&self) -> usize {
-        self.optimal_worse_than_natural.iter().filter(|&&b| b).count()
+        self.optimal_worse_than_natural
+            .iter()
+            .filter(|&&b| b)
+            .count()
     }
 }
 
@@ -80,8 +83,7 @@ impl ProgramFairnessTally {
     pub fn add(&mut self, report: &FairnessReport, member_index: usize) {
         self.groups += 1;
         self.gains_from_sharing += usize::from(report.gainer_from_sharing[member_index]);
-        self.hurt_by_optimal_vs_equal +=
-            usize::from(report.optimal_worse_than_equal[member_index]);
+        self.hurt_by_optimal_vs_equal += usize::from(report.optimal_worse_than_equal[member_index]);
         self.hurt_by_optimal_vs_natural +=
             usize::from(report.optimal_worse_than_natural[member_index]);
     }
@@ -150,7 +152,10 @@ mod tests {
         );
         assert_eq!(
             rep.unfair_vs_natural(),
-            rep.optimal_worse_than_natural.iter().filter(|&&x| x).count()
+            rep.optimal_worse_than_natural
+                .iter()
+                .filter(|&&x| x)
+                .count()
         );
     }
 

@@ -59,7 +59,7 @@ pub mod sweep;
 
 pub use config::CacheConfig;
 pub use cost::CostCurve;
-pub use dp::{optimal_partition, Combine, PartitionResult};
+pub use dp::{optimal_partition, Combine, DpSolver, PartitionResult};
 pub use schemes::{evaluate_group, GroupEvaluation, Scheme, SchemeResult};
 pub use sttw::sttw_partition;
 pub use sweep::{all_k_subsets, sweep_groups, GroupRecord, ImprovementStats, Study};

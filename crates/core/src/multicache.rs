@@ -69,15 +69,11 @@ pub fn evaluate_assignment(
                 let group_rate: f64 = tenants.iter().map(|m| m.access_rate).sum();
                 let costs: Vec<CostCurve> = tenants
                     .iter()
-                    .map(|m| {
-                        CostCurve::from_miss_ratio(&m.mrc, config, m.access_rate / group_rate)
-                    })
+                    .map(|m| CostCurve::from_miss_ratio(&m.mrc, config, m.access_rate / group_rate))
                     .collect();
                 let result = optimal_partition(&costs, config.units, Combine::Sum)
                     .expect("unconstrained DP is feasible");
-                for ((&i, t), &units) in
-                    group.iter().zip(&tenants).zip(&result.allocation)
-                {
+                for ((&i, t), &units) in group.iter().zip(&tenants).zip(&result.allocation) {
                     member_miss_ratios[i] = t.mrc.at(config.to_blocks(units));
                 }
             }
@@ -212,11 +208,7 @@ pub fn greedy_assignment(
             groups[c].push(prog);
             let placed: Vec<usize> = groups.iter().flatten().copied().collect();
             let assignment = CacheAssignment {
-                groups: groups
-                    .iter()
-                    .filter(|g| !g.is_empty())
-                    .cloned()
-                    .collect(),
+                groups: groups.iter().filter(|g| !g.is_empty()).cloned().collect(),
             };
             let sub: Vec<&SoloProfile> = placed.iter().map(|&i| members[i]).collect();
             // Re-index the assignment onto the placed subset.
@@ -286,10 +278,12 @@ mod tests {
         // (together they thrash one cache while the other idles).
         let blocks = 128;
         let cfg = CacheConfig::new(blocks, 1);
-        let ps = [profile("big-a", 90, 1.0, blocks),
+        let ps = [
+            profile("big-a", 90, 1.0, blocks),
             profile("big-b", 90, 1.0, blocks),
             profile("tiny-a", 10, 1.0, blocks),
-            profile("tiny-b", 10, 1.0, blocks)];
+            profile("tiny-b", 10, 1.0, blocks),
+        ];
         let members: Vec<&SoloProfile> = ps.iter().collect();
         let best = best_assignment(&members, &cfg, 2, CachePolicy::Shared).unwrap();
         assert_eq!(best.examined, 7);
@@ -310,14 +304,15 @@ mod tests {
     fn partitioned_policy_never_loses_to_shared() {
         let blocks = 96;
         let cfg = CacheConfig::new(blocks, 1);
-        let ps = [profile("a", 70, 1.0, blocks),
+        let ps = [
+            profile("a", 70, 1.0, blocks),
             profile("b", 40, 1.3, blocks),
-            profile("c", 25, 0.9, blocks)];
+            profile("c", 25, 0.9, blocks),
+        ];
         let members: Vec<&SoloProfile> = ps.iter().collect();
         for assignment in enumerate_assignments(3, 2) {
             let shared = evaluate_assignment(&members, &cfg, &assignment, CachePolicy::Shared);
-            let parted =
-                evaluate_assignment(&members, &cfg, &assignment, CachePolicy::Partitioned);
+            let parted = evaluate_assignment(&members, &cfg, &assignment, CachePolicy::Partitioned);
             assert!(
                 parted.overall_miss_ratio <= shared.overall_miss_ratio + 1e-6,
                 "{:?}: partitioned {} vs shared {}",
@@ -332,11 +327,13 @@ mod tests {
     fn greedy_is_reasonable_vs_exhaustive() {
         let blocks = 128;
         let cfg = CacheConfig::new(blocks, 1);
-        let ps = [profile("p0", 90, 1.0, blocks),
+        let ps = [
+            profile("p0", 90, 1.0, blocks),
             profile("p1", 60, 1.5, blocks),
             profile("p2", 35, 0.8, blocks),
             profile("p3", 20, 1.2, blocks),
-            profile("p4", 110, 1.0, blocks)];
+            profile("p4", 110, 1.0, blocks),
+        ];
         let members: Vec<&SoloProfile> = ps.iter().collect();
         let exact = best_assignment(&members, &cfg, 2, CachePolicy::Shared).unwrap();
         let greedy = greedy_assignment(&members, &cfg, 2, CachePolicy::Shared).unwrap();

@@ -56,12 +56,7 @@ impl PerfModel {
 
     /// Per-program speedups of `scheme` relative to `reference` for an
     /// evaluated group (`> 1` = faster under `scheme`).
-    pub fn speedups(
-        &self,
-        eval: &GroupEvaluation,
-        scheme: Scheme,
-        reference: Scheme,
-    ) -> Vec<f64> {
+    pub fn speedups(&self, eval: &GroupEvaluation, scheme: Scheme, reference: Scheme) -> Vec<f64> {
         let s = &eval.get(scheme).member_miss_ratios;
         let r = &eval.get(reference).member_miss_ratios;
         s.iter()

@@ -93,10 +93,7 @@ impl PhasedPlan {
     /// Number of repartitioning events (segment transitions where any
     /// allocation changes).
     pub fn reconfigurations(&self) -> usize {
-        self.allocations
-            .windows(2)
-            .filter(|w| w[0] != w[1])
-            .count()
+        self.allocations.windows(2).filter(|w| w[0] != w[1]).count()
     }
 }
 
@@ -128,22 +125,14 @@ pub fn phase_aware_partition(
         let costs: Vec<CostCurve> = profiles
             .iter()
             .map(|p| {
-                CostCurve::from_miss_ratio(
-                    &p.segments[s].mrc,
-                    config,
-                    p.access_rate / total_rate,
-                )
+                CostCurve::from_miss_ratio(&p.segments[s].mrc, config, p.access_rate / total_rate)
             })
             .collect();
         let optimal = optimal_partition(&costs, config.units, Combine::Sum)
             .expect("unconstrained DP feasible");
         let chosen = match &previous {
             Some(prev) => {
-                let prev_cost: f64 = costs
-                    .iter()
-                    .zip(prev)
-                    .map(|(c, &u)| c.at(u))
-                    .sum();
+                let prev_cost: f64 = costs.iter().zip(prev).map(|(c, &u)| c.at(u)).sum();
                 if prev_cost > optimal.cost * (1.0 + switch_threshold) {
                     optimal.allocation
                 } else {
@@ -222,7 +211,10 @@ mod tests {
         let big = WorkloadSpec::SequentialLoop { working_set: 100 };
         let small = WorkloadSpec::SequentialLoop { working_set: 4 };
         let a_spec = WorkloadSpec::Phased {
-            phases: vec![(big.clone(), segment as u64), (small.clone(), segment as u64)],
+            phases: vec![
+                (big.clone(), segment as u64),
+                (small.clone(), segment as u64),
+            ],
         };
         let b_spec = WorkloadSpec::Phased {
             phases: vec![(small, segment as u64), (big, segment as u64)],

@@ -118,18 +118,10 @@ impl GroupEvaluation {
 }
 
 fn weighted_group(shares: &[f64], member_mrs: &[f64]) -> f64 {
-    shares
-        .iter()
-        .zip(member_mrs)
-        .map(|(s, m)| s * m)
-        .sum()
+    shares.iter().zip(member_mrs).map(|(s, m)| s * m).sum()
 }
 
-fn members_at(
-    members: &[&SoloProfile],
-    config: &CacheConfig,
-    allocation: &[usize],
-) -> Vec<f64> {
+fn members_at(members: &[&SoloProfile], config: &CacheConfig, allocation: &[usize]) -> Vec<f64> {
     members
         .iter()
         .zip(allocation)
@@ -233,7 +225,14 @@ pub fn evaluate_group(members: &[&SoloProfile], config: &CacheConfig) -> GroupEv
     GroupEvaluation {
         names: members.iter().map(|m| m.name.clone()).collect(),
         shares,
-        results: vec![equal, natural, equal_baseline, natural_baseline, optimal, sttw],
+        results: vec![
+            equal,
+            natural,
+            equal_baseline,
+            natural_baseline,
+            optimal,
+            sttw,
+        ],
     }
 }
 
@@ -360,7 +359,8 @@ mod tests {
 
     #[test]
     fn improvement_metric_guards_zero() {
-        let ps = [profile(
+        let ps = [
+            profile(
                 "tiny-a",
                 WorkloadSpec::SequentialLoop { working_set: 4 },
                 1.0,
@@ -371,7 +371,8 @@ mod tests {
                 WorkloadSpec::SequentialLoop { working_set: 4 },
                 1.0,
                 64,
-            )];
+            ),
+        ];
         let refs: Vec<&SoloProfile> = ps.iter().collect();
         let cfg = CacheConfig::new(64, 1);
         let eval = evaluate_group(&refs, &cfg);

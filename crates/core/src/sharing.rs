@@ -142,12 +142,7 @@ pub fn for_each_composition(total: usize, parts: usize, f: &mut impl FnMut(&[usi
         return;
     }
     let mut buf = vec![0usize; parts];
-    fn recurse(
-        idx: usize,
-        remaining: usize,
-        buf: &mut Vec<usize>,
-        f: &mut impl FnMut(&[usize]),
-    ) {
+    fn recurse(idx: usize, remaining: usize, buf: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
         let parts_left = buf.len() - idx;
         if parts_left == 1 {
             buf[idx] = remaining;
@@ -245,8 +240,8 @@ pub fn classify(config: &SharingConfig, num_programs: usize) -> Option<Scheme> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dp::{optimal_partition, Combine};
     use crate::cost::CostCurve;
+    use crate::dp::{optimal_partition, Combine};
     use cps_trace::WorkloadSpec;
 
     fn profile(name: &str, ws: u64, rate: f64, max_blocks: usize) -> SoloProfile {

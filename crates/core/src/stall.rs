@@ -85,10 +85,7 @@ pub fn best_schedule(
     let mut best: Option<ScheduleEval> = None;
     for batches in enumerate_set_partitions(members.len()) {
         let eval = evaluate_schedule(members, config, model, &batches);
-        if best
-            .as_ref()
-            .is_none_or(|b| eval.total_time < b.total_time)
-        {
+        if best.as_ref().is_none_or(|b| eval.total_time < b.total_time) {
             best = Some(eval);
         }
     }

@@ -101,11 +101,7 @@ pub fn sttw_partition(costs: &[CostCurve], total_units: usize) -> PartitionResul
     // refill above, but kept for safety) go to program 0.
     let used: usize = alloc.iter().sum();
     alloc[0] += total_units - used;
-    let cost = costs
-        .iter()
-        .zip(&alloc)
-        .map(|(c, &a)| c.at(a))
-        .sum::<f64>();
+    let cost = costs.iter().zip(&alloc).map(|(c, &a)| c.at(a)).sum::<f64>();
     PartitionResult {
         allocation: alloc,
         cost,

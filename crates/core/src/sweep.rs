@@ -31,12 +31,7 @@ impl Study {
             .par_iter()
             .map(|spec| {
                 let trace = spec.trace();
-                SoloProfile::from_trace(
-                    spec.name,
-                    &trace.blocks,
-                    spec.access_rate,
-                    config.blocks(),
-                )
+                SoloProfile::from_trace(spec.name, &trace.blocks, spec.access_rate, config.blocks())
             })
             .collect();
         Study { profiles, config }
@@ -103,8 +98,7 @@ pub fn sweep_groups(study: &Study, k: usize) -> Vec<GroupRecord> {
     subsets
         .into_par_iter()
         .map(|indices| {
-            let members: Vec<&SoloProfile> =
-                indices.iter().map(|&i| &study.profiles[i]).collect();
+            let members: Vec<&SoloProfile> = indices.iter().map(|&i| &study.profiles[i]).collect();
             GroupRecord {
                 evaluation: evaluate_group(&members, &study.config),
                 indices,

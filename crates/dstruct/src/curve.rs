@@ -206,9 +206,7 @@ impl MonotoneCurve {
     /// Pointwise sum of two curves; the result has the shorter length.
     pub fn add(&self, other: &MonotoneCurve) -> MonotoneCurve {
         let n = self.ys.len().min(other.ys.len());
-        MonotoneCurve::from_samples(
-            (0..n).map(|i| self.ys[i] + other.ys[i]).collect(),
-        )
+        MonotoneCurve::from_samples((0..n).map(|i| self.ys[i] + other.ys[i]).collect())
     }
 
     /// Pointwise scale.

@@ -164,7 +164,9 @@ mod tests {
         // Deterministic pseudo-random updates.
         let mut x: u64 = 0x9E3779B97F4A7C15;
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let i = (x >> 33) as usize % n;
             let delta = ((x & 0xFF) as i64) - 128;
             f.add(i, delta);

@@ -303,7 +303,9 @@ mod tests {
         let mut model: VecDeque<u32> = VecDeque::new(); // front = MRU
         let mut x: u64 = 12345;
         for step in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             match x % 4 {
                 0 | 1 => {
                     let idx = l.push_front();

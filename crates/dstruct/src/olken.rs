@@ -83,12 +83,7 @@ impl ReuseDistances {
             return self.accesses;
         }
         // Misses = cold + accesses with finite distance > c.
-        let tail: u64 = self
-            .histogram
-            .buckets()
-            .iter()
-            .skip(c + 1)
-            .sum();
+        let tail: u64 = self.histogram.buckets().iter().skip(c + 1).sum();
         self.cold + tail
     }
 

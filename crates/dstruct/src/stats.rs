@@ -45,8 +45,7 @@ impl Summary {
         let stddev = if count < 2 {
             0.0
         } else {
-            let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-                / (count - 1) as f64;
+            let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64;
             var.sqrt()
         };
         Some(Summary {

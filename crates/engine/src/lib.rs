@@ -1,0 +1,667 @@
+//! Online cache repartitioning: the paper's optimizer in a control loop.
+//!
+//! Sections VII–VIII of the paper argue that optimal partition-sharing is
+//! practical online: footprints "can be collected in real time" and the
+//! `O(P·C²)` dynamic program is cheap enough to re-run periodically. This
+//! crate closes that loop. A [`RepartitionEngine`] ingests one
+//! interleaved multi-tenant access stream and, every *epoch*:
+//!
+//! 1. **profiles** — each tenant's accesses feed a private
+//!    [`WindowedProfiler`] (exact within the epoch, exponentially decayed
+//!    across epochs);
+//! 2. **re-solves** — the blended per-tenant miss-ratio curves become DP
+//!    cost curves (optionally capped by an equal-split or natural-
+//!    partition fairness baseline, Section VI) and a reusable
+//!    [`DpSolver`] finds the optimal allocation;
+//! 3. **repartitions** — if the new allocation moves at least the
+//!    hysteresis threshold of units, it is applied to the live
+//!    [`PartitionedCache`] *gracefully*: growing partitions just gain
+//!    headroom, shrinking ones evict only their LRU tail, so hot data
+//!    survives reconfiguration.
+//!
+//! Every epoch is recorded — realized per-tenant hit/miss counts under
+//! the allocation that was actually in force, the DP's predicted cost,
+//! solve latency, and how many units moved — in an [`EngineReport`],
+//! making controller behaviour auditable after the fact.
+//!
+//! The access stream is any `(tenant, block)` iterator;
+//! `cps_trace::InterleavedStream` produces one lazily from live
+//! workload streams, and `CoTrace::tenant_accesses` adapts a
+//! materialized co-run trace.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::Instant;
+
+use cps_cachesim::{AccessCounts, PartitionedCache};
+use cps_core::natural::natural_partition_units;
+use cps_core::{CacheConfig, Combine, CostCurve, DpSolver};
+use cps_hotl::windowed::{ProfilerMode, WindowedProfiler};
+use cps_hotl::{CoRunModel, Footprint, MissRatioCurve, SoloProfile};
+use cps_trace::Block;
+
+/// Tenant index into the engine's partitions and profilers.
+pub type TenantId = usize;
+
+/// Which allocation policy the epoch re-solve applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Unconstrained optimal partitioning (Eq. 15).
+    Optimal,
+    /// Optimal subject to the equal-split baseline: no tenant may miss
+    /// more than it would with `1/P` of the cache (Section VI).
+    EqualBaseline,
+    /// Optimal subject to the natural-partition baseline: no tenant may
+    /// miss more than under free-for-all sharing (Section VI).
+    NaturalBaseline,
+}
+
+/// Engine knobs.
+///
+/// # Examples
+///
+/// ```
+/// use cps_core::CacheConfig;
+/// use cps_engine::EngineConfig;
+/// let cfg = EngineConfig::new(CacheConfig::new(64, 2), 10_000)
+///     .decay(0.3)
+///     .hysteresis(4);
+/// assert_eq!(cfg.epoch_length, 10_000);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Cache geometry shared by all tenants.
+    pub cache: CacheConfig,
+    /// Accesses (across all tenants) per epoch.
+    pub epoch_length: usize,
+    /// Allocation policy applied at each re-solve.
+    pub policy: Policy,
+    /// How per-tenant costs accumulate (throughput vs max-min QoS).
+    pub objective: Combine,
+    /// Per-tenant profiler mode (cumulative or windowed with decay).
+    pub profiler: ProfilerMode,
+    /// Minimum units that must move before a new allocation is applied;
+    /// `1` applies every change, larger values add hysteresis.
+    pub min_repartition_units: usize,
+}
+
+impl EngineConfig {
+    /// A throughput-optimal engine with windowed profiling (decay 0.5)
+    /// and no hysteresis.
+    ///
+    /// # Panics
+    /// Panics if `epoch_length` is zero.
+    pub fn new(cache: CacheConfig, epoch_length: usize) -> Self {
+        assert!(epoch_length > 0, "epochs need at least one access");
+        EngineConfig {
+            cache,
+            epoch_length,
+            policy: Policy::Optimal,
+            objective: Combine::Sum,
+            profiler: ProfilerMode::Windowed { decay: 0.5 },
+            min_repartition_units: 1,
+        }
+    }
+
+    /// Sets the allocation policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the accumulation objective.
+    pub fn objective(mut self, objective: Combine) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Uses windowed profiling with the given decay (see
+    /// [`ProfilerMode::Windowed`]).
+    pub fn decay(mut self, decay: f64) -> Self {
+        self.profiler = ProfilerMode::Windowed { decay };
+        self
+    }
+
+    /// Uses cumulative (never-reset) profiling.
+    pub fn cumulative(mut self) -> Self {
+        self.profiler = ProfilerMode::Cumulative;
+        self
+    }
+
+    /// Sets the hysteresis threshold in units.
+    pub fn hysteresis(mut self, min_units: usize) -> Self {
+        self.min_repartition_units = min_units;
+        self
+    }
+}
+
+/// What happened in one epoch.
+#[derive(Clone, Debug)]
+pub struct EpochRecord {
+    /// Epoch index, from 0.
+    pub epoch: usize,
+    /// Allocation (units) in force *during* this epoch.
+    pub allocation: Vec<usize>,
+    /// Realized per-tenant counts under that allocation.
+    pub per_tenant: Vec<AccessCounts>,
+    /// DP-predicted cost of the allocation chosen *at the end* of this
+    /// epoch; `None` if the solve was skipped or infeasible.
+    pub predicted_cost: Option<f64>,
+    /// Wall-clock nanoseconds spent in the DP solve (0 if skipped).
+    pub solve_nanos: u64,
+    /// Whether a new allocation was applied at this epoch's boundary.
+    pub repartitioned: bool,
+    /// Units that moved between tenants at the boundary (half the L1
+    /// distance between old and new allocations).
+    pub units_moved: usize,
+}
+
+impl EpochRecord {
+    /// Realized access-weighted group miss ratio of this epoch.
+    pub fn miss_ratio(&self) -> f64 {
+        weighted_miss_ratio(&self.per_tenant)
+    }
+
+    /// Total accesses served this epoch.
+    pub fn accesses(&self) -> u64 {
+        self.per_tenant.iter().map(|c| c.accesses).sum()
+    }
+}
+
+/// The engine's structured run record.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Cache geometry the run used.
+    pub cache: CacheConfig,
+    /// Per-epoch records, in order (including a final partial epoch if
+    /// the stream ended mid-epoch).
+    pub epochs: Vec<EpochRecord>,
+    /// Lifetime per-tenant counts.
+    pub totals: Vec<AccessCounts>,
+}
+
+impl EngineReport {
+    /// Cumulative access-weighted group miss ratio over the whole run.
+    pub fn cumulative_miss_ratio(&self) -> f64 {
+        weighted_miss_ratio(&self.totals)
+    }
+
+    /// Cumulative miss ratio of one tenant.
+    ///
+    /// # Panics
+    /// Panics if `tenant` is out of range.
+    pub fn tenant_miss_ratio(&self, tenant: TenantId) -> f64 {
+        self.totals[tenant].miss_ratio()
+    }
+
+    /// Number of epoch boundaries at which the allocation changed.
+    pub fn repartition_count(&self) -> usize {
+        self.epochs.iter().filter(|e| e.repartitioned).count()
+    }
+
+    /// Total nanoseconds spent in DP solves.
+    pub fn total_solve_nanos(&self) -> u64 {
+        self.epochs.iter().map(|e| e.solve_nanos).sum()
+    }
+
+    /// Mean nanoseconds per performed DP solve (`None` if none ran).
+    pub fn mean_solve_nanos(&self) -> Option<u64> {
+        let solved: Vec<u64> = self
+            .epochs
+            .iter()
+            .filter(|e| e.solve_nanos > 0)
+            .map(|e| e.solve_nanos)
+            .collect();
+        if solved.is_empty() {
+            None
+        } else {
+            Some(solved.iter().sum::<u64>() / solved.len() as u64)
+        }
+    }
+}
+
+fn weighted_miss_ratio(counts: &[AccessCounts]) -> f64 {
+    let acc: u64 = counts.iter().map(|c| c.accesses).sum();
+    let mis: u64 = counts.iter().map(|c| c.misses).sum();
+    if acc == 0 {
+        0.0
+    } else {
+        mis as f64 / acc as f64
+    }
+}
+
+/// The epoch-driven online repartitioning controller.
+///
+/// # Examples
+///
+/// ```
+/// use cps_core::CacheConfig;
+/// use cps_engine::{EngineConfig, RepartitionEngine};
+/// use cps_trace::{InterleavedStream, WorkloadSpec};
+///
+/// let streams = vec![
+///     WorkloadSpec::SequentialLoop { working_set: 20 }.stream(1),
+///     WorkloadSpec::UniformRandom { region: 200 }.stream(2),
+/// ];
+/// let feed = InterleavedStream::new(streams, vec![1.0, 1.0]);
+/// let cfg = EngineConfig::new(CacheConfig::new(64, 1), 2_000);
+/// let mut engine = RepartitionEngine::new(cfg, 2);
+/// engine.run(feed.take(20_000));
+/// let report = engine.finish();
+/// assert_eq!(report.epochs.len(), 10);
+/// // The loop tenant ends up with its working set covered.
+/// assert!(report.epochs.last().unwrap().allocation[0] >= 20);
+/// ```
+pub struct RepartitionEngine {
+    config: EngineConfig,
+    cache: PartitionedCache,
+    profilers: Vec<WindowedProfiler>,
+    solver: DpSolver,
+    current_units: Vec<usize>,
+    epoch: usize,
+    epoch_accesses: usize,
+    records: Vec<EpochRecord>,
+    totals: Vec<AccessCounts>,
+}
+
+impl RepartitionEngine {
+    /// Creates an engine for `tenants` tenants, starting from an equal
+    /// split of the cache.
+    ///
+    /// # Panics
+    /// Panics if `tenants` is zero.
+    pub fn new(config: EngineConfig, tenants: usize) -> Self {
+        assert!(tenants > 0, "need at least one tenant");
+        let current_units = config.cache.equal_split(tenants);
+        let sizes: Vec<usize> = current_units
+            .iter()
+            .map(|&u| config.cache.to_blocks(u))
+            .collect();
+        let blocks = config.cache.blocks();
+        RepartitionEngine {
+            cache: PartitionedCache::new(&sizes),
+            profilers: (0..tenants)
+                .map(|_| WindowedProfiler::new(blocks, config.profiler))
+                .collect(),
+            solver: DpSolver::new(),
+            current_units,
+            epoch: 0,
+            epoch_accesses: 0,
+            records: Vec::new(),
+            totals: vec![AccessCounts::default(); tenants],
+            config,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.profilers.len()
+    }
+
+    /// Current allocation in units.
+    pub fn allocation_units(&self) -> &[usize] {
+        &self.current_units
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs_completed(&self) -> usize {
+        self.epoch
+    }
+
+    /// Serves one access; returns `true` on a hit. Crossing the epoch
+    /// boundary triggers the snapshot → re-solve → repartition step.
+    ///
+    /// # Panics
+    /// Panics if `tenant` is out of range.
+    pub fn record_access(&mut self, tenant: TenantId, block: Block) -> bool {
+        self.profilers[tenant].observe(block);
+        let hit = self.cache.access(tenant, block);
+        self.epoch_accesses += 1;
+        if self.epoch_accesses == self.config.epoch_length {
+            self.end_epoch();
+        }
+        hit
+    }
+
+    /// Drains an interleaved stream through the engine. Bound infinite
+    /// streams with `Iterator::take`.
+    pub fn run(&mut self, accesses: impl IntoIterator<Item = (TenantId, Block)>) {
+        for (tenant, block) in accesses {
+            self.record_access(tenant, block);
+        }
+    }
+
+    /// Finishes the run, flushing any partial final epoch, and returns
+    /// the report.
+    pub fn finish(mut self) -> EngineReport {
+        if self.epoch_accesses > 0 {
+            // Partial epoch: account for it without a re-solve (there is
+            // no next epoch for a new allocation to serve).
+            let per_tenant = self.cache.all_counts().to_vec();
+            self.accumulate_totals(&per_tenant);
+            self.records.push(EpochRecord {
+                epoch: self.epoch,
+                allocation: self.current_units.clone(),
+                per_tenant,
+                predicted_cost: None,
+                solve_nanos: 0,
+                repartitioned: false,
+                units_moved: 0,
+            });
+        }
+        EngineReport {
+            tenants: self.profilers.len(),
+            cache: self.config.cache,
+            epochs: self.records,
+            totals: self.totals,
+        }
+    }
+
+    fn accumulate_totals(&mut self, per_tenant: &[AccessCounts]) {
+        for (t, c) in self.totals.iter_mut().zip(per_tenant) {
+            t.merge(c);
+        }
+    }
+
+    fn end_epoch(&mut self) {
+        let served_allocation = self.current_units.clone();
+        let per_tenant = self.cache.all_counts().to_vec();
+        self.accumulate_totals(&per_tenant);
+        self.cache.reset_counts();
+        self.epoch_accesses = 0;
+
+        // Natural-baseline inputs need the exact epoch windows, captured
+        // before `end_window` folds and resets them.
+        let window_profiles = if self.config.policy == Policy::NaturalBaseline {
+            Some(self.window_solo_profiles(&per_tenant))
+        } else {
+            None
+        };
+        let mrcs: Vec<Option<MissRatioCurve>> =
+            self.profilers.iter_mut().map(|p| p.end_window()).collect();
+
+        let decision = if mrcs.iter().all(|m| m.is_some()) {
+            let mrcs: Vec<MissRatioCurve> = mrcs.into_iter().map(|m| m.unwrap()).collect();
+            Some(self.solve(&mrcs, &per_tenant, window_profiles.as_deref()))
+        } else {
+            // Some tenant has never been seen; keep the allocation until
+            // every curve exists.
+            None
+        };
+
+        let (predicted_cost, solve_nanos, new_units) = match decision {
+            Some((cost, nanos, units)) => (cost, nanos, units),
+            None => (None, 0, None),
+        };
+
+        let (repartitioned, units_moved) = match new_units {
+            Some(units) => {
+                let moved: usize = units
+                    .iter()
+                    .zip(&self.current_units)
+                    .map(|(&n, &o)| n.abs_diff(o))
+                    .sum::<usize>()
+                    / 2;
+                if moved >= self.config.min_repartition_units && moved > 0 {
+                    let sizes: Vec<usize> = units
+                        .iter()
+                        .map(|&u| self.config.cache.to_blocks(u))
+                        .collect();
+                    self.cache.set_allocation(&sizes);
+                    self.current_units = units;
+                    (true, moved)
+                } else {
+                    (false, moved)
+                }
+            }
+            None => (false, 0),
+        };
+
+        self.records.push(EpochRecord {
+            epoch: self.epoch,
+            allocation: served_allocation,
+            per_tenant,
+            predicted_cost,
+            solve_nanos,
+            repartitioned,
+            units_moved,
+        });
+        self.epoch += 1;
+    }
+
+    fn window_solo_profiles(&self, per_tenant: &[AccessCounts]) -> Vec<SoloProfile> {
+        let blocks = self.config.cache.blocks();
+        self.profilers
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let reuse = p.window_reuse();
+                let footprint = Footprint::from_reuse(&reuse);
+                let mrc = MissRatioCurve::from_footprint(&footprint, blocks);
+                SoloProfile {
+                    name: format!("tenant{i}"),
+                    access_rate: (per_tenant[i].accesses.max(1)) as f64,
+                    accesses: reuse.accesses,
+                    footprint,
+                    mrc,
+                }
+            })
+            .collect()
+    }
+
+    /// Builds cost curves and runs the DP. Returns `(predicted cost,
+    /// solve nanos, new allocation if feasible)`.
+    fn solve(
+        &mut self,
+        mrcs: &[MissRatioCurve],
+        per_tenant: &[AccessCounts],
+        window_profiles: Option<&[SoloProfile]>,
+    ) -> (Option<f64>, u64, Option<Vec<usize>>) {
+        let config = &self.config.cache;
+        let total: u64 = per_tenant.iter().map(|c| c.accesses).sum();
+        let shares: Vec<f64> = per_tenant
+            .iter()
+            .map(|c| {
+                if total == 0 {
+                    1.0 / per_tenant.len() as f64
+                } else {
+                    c.accesses as f64 / total as f64
+                }
+            })
+            .collect();
+
+        let caps: Option<Vec<f64>> = match self.config.policy {
+            Policy::Optimal => None,
+            Policy::EqualBaseline => {
+                let alloc = config.equal_split(mrcs.len());
+                Some(
+                    mrcs.iter()
+                        .zip(&alloc)
+                        .map(|(m, &u)| m.at(config.to_blocks(u)))
+                        .collect(),
+                )
+            }
+            Policy::NaturalBaseline => {
+                let profiles = window_profiles.expect("captured before end_window");
+                let members: Vec<&SoloProfile> = profiles.iter().collect();
+                let model = CoRunModel::new(members);
+                let alloc = natural_partition_units(&model, config);
+                Some(
+                    mrcs.iter()
+                        .zip(&alloc)
+                        .map(|(m, &u)| m.at(config.to_blocks(u)))
+                        .collect(),
+                )
+            }
+        };
+
+        let costs: Vec<CostCurve> = mrcs
+            .iter()
+            .zip(&shares)
+            .enumerate()
+            .map(|(i, (m, &share))| {
+                let weight = match self.config.objective {
+                    Combine::Sum => share,
+                    Combine::Max => 1.0,
+                };
+                match &caps {
+                    Some(caps) => CostCurve::with_baseline_cap(m, config, weight, caps[i]),
+                    None => CostCurve::from_miss_ratio(m, config, weight),
+                }
+            })
+            .collect();
+
+        let started = Instant::now();
+        let result = self
+            .solver
+            .solve(&costs, config.units, self.config.objective);
+        let solve_nanos = started.elapsed().as_nanos() as u64;
+        match result {
+            Some(r) => (Some(r.cost), solve_nanos, Some(r.allocation)),
+            None => (None, solve_nanos, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_trace::{interleave_proportional, Trace, WorkloadSpec};
+
+    fn feed(engine: &mut RepartitionEngine, traces: &[Trace], rates: &[f64], total: usize) {
+        let refs: Vec<&Trace> = traces.iter().collect();
+        let co = interleave_proportional(&refs, rates, total);
+        engine.run(co.tenant_accesses());
+    }
+
+    #[test]
+    fn engine_learns_a_cliff_and_feeds_it() {
+        // Tenant 0: 24-block loop (cliff at 24). Tenant 1: uniform over
+        // 200 (shallow ramp). Optimal gives the loop its working set.
+        let t0 = WorkloadSpec::SequentialLoop { working_set: 24 }.generate(40_000, 1);
+        let t1 = WorkloadSpec::UniformRandom { region: 200 }.generate(40_000, 2);
+        let cfg = EngineConfig::new(CacheConfig::new(64, 1), 4_000);
+        let mut engine = RepartitionEngine::new(cfg, 2);
+        feed(&mut engine, &[t0, t1], &[1.0, 1.0], 40_000);
+        let report = engine.finish();
+        assert_eq!(report.epochs.len(), 10);
+        let last = report.epochs.last().unwrap();
+        assert!(
+            last.allocation[0] >= 24,
+            "loop tenant got {} < 24 units",
+            last.allocation[0]
+        );
+        // Once converged the loop tenant stops missing.
+        assert!(last.per_tenant[0].miss_ratio() < 0.05);
+        assert!(report.repartition_count() >= 1);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_small_moves() {
+        let t0 = WorkloadSpec::UniformRandom { region: 100 }.generate(30_000, 3);
+        let t1 = WorkloadSpec::UniformRandom { region: 100 }.generate(30_000, 4);
+        let loose = EngineConfig::new(CacheConfig::new(64, 1), 3_000);
+        let tight = loose.hysteresis(64); // can never move 64 of 64 units
+        let mut a = RepartitionEngine::new(loose, 2);
+        let mut b = RepartitionEngine::new(tight, 2);
+        feed(&mut a, &[t0.clone(), t1.clone()], &[1.0, 1.0], 30_000);
+        feed(&mut b, &[t0, t1], &[1.0, 1.0], 30_000);
+        let ra = a.finish();
+        let rb = b.finish();
+        assert_eq!(rb.repartition_count(), 0, "threshold 64 blocks all moves");
+        // Same stream, same solves — only the application differs, so the
+        // suppressed engine still *records* the moves it declined.
+        assert_eq!(ra.epochs.len(), rb.epochs.len());
+        assert!(rb.epochs.iter().all(|e| !e.repartitioned));
+        assert!(
+            rb.epochs.iter().all(|e| e.allocation == vec![32, 32]),
+            "suppressed engine keeps the equal split"
+        );
+    }
+
+    #[test]
+    fn partial_final_epoch_is_flushed() {
+        let t0 = WorkloadSpec::SequentialLoop { working_set: 8 }.generate(2_500, 1);
+        let cfg = EngineConfig::new(CacheConfig::new(16, 1), 1_000);
+        let mut engine = RepartitionEngine::new(cfg, 1);
+        engine.run(t0.blocks.iter().map(|&b| (0usize, b)));
+        let report = engine.finish();
+        assert_eq!(report.epochs.len(), 3, "2 full + 1 partial epoch");
+        assert_eq!(report.epochs[2].accesses(), 500);
+        let total: u64 = report.epochs.iter().map(|e| e.accesses()).sum();
+        assert_eq!(total, 2_500);
+        assert_eq!(report.totals[0].accesses, 2_500);
+    }
+
+    #[test]
+    fn baseline_policies_stay_feasible_and_run() {
+        let t0 = WorkloadSpec::SequentialLoop { working_set: 20 }.generate(24_000, 1);
+        let t1 = WorkloadSpec::Zipfian {
+            region: 80,
+            alpha: 0.9,
+        }
+        .generate(24_000, 2);
+        for policy in [Policy::EqualBaseline, Policy::NaturalBaseline] {
+            let cfg = EngineConfig::new(CacheConfig::new(64, 1), 4_000).policy(policy);
+            let mut engine = RepartitionEngine::new(cfg, 2);
+            feed(&mut engine, &[t0.clone(), t1.clone()], &[1.0, 1.0], 24_000);
+            let report = engine.finish();
+            assert_eq!(report.epochs.len(), 6, "{policy:?}");
+            // Every boundary with all curves present must have solved.
+            assert!(
+                report.epochs.iter().any(|e| e.solve_nanos > 0),
+                "{policy:?} never solved"
+            );
+        }
+    }
+
+    #[test]
+    fn totals_are_sum_of_epochs() {
+        let t0 = WorkloadSpec::UniformRandom { region: 60 }.generate(12_000, 7);
+        let t1 = WorkloadSpec::SequentialLoop { working_set: 12 }.generate(12_000, 8);
+        let cfg = EngineConfig::new(CacheConfig::new(32, 1), 2_000);
+        let mut engine = RepartitionEngine::new(cfg, 2);
+        feed(&mut engine, &[t0, t1], &[2.0, 1.0], 18_000);
+        let report = engine.finish();
+        for t in 0..2 {
+            let acc: u64 = report.epochs.iter().map(|e| e.per_tenant[t].accesses).sum();
+            let mis: u64 = report.epochs.iter().map(|e| e.per_tenant[t].misses).sum();
+            assert_eq!(acc, report.totals[t].accesses);
+            assert_eq!(mis, report.totals[t].misses);
+        }
+        let ratio = report.cumulative_miss_ratio();
+        assert!((0.0..=1.0).contains(&ratio));
+    }
+
+    #[test]
+    fn allocation_always_sums_to_cache() {
+        let t0 = WorkloadSpec::WorkingSetWalk {
+            region: 300,
+            window: 30,
+            dwell: 500,
+        }
+        .generate(20_000, 5);
+        let t1 = WorkloadSpec::SequentialLoop { working_set: 40 }.generate(20_000, 6);
+        let cfg = EngineConfig::new(CacheConfig::new(96, 1), 2_500).decay(0.2);
+        let mut engine = RepartitionEngine::new(cfg, 2);
+        feed(&mut engine, &[t0, t1], &[1.0, 1.0], 40_000);
+        let report = engine.finish();
+        for e in &report.epochs {
+            assert_eq!(e.allocation.iter().sum::<usize>(), 96, "epoch {}", e.epoch);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn zero_tenants_panics() {
+        let _ = RepartitionEngine::new(EngineConfig::new(CacheConfig::new(8, 1), 100), 0);
+    }
+}

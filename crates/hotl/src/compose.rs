@@ -99,7 +99,10 @@ impl<'a> CoRunModel<'a> {
 
     /// Total distinct data across the group.
     pub fn total_distinct(&self) -> f64 {
-        self.members.iter().map(|p| p.footprint.distinct as f64).sum()
+        self.members
+            .iter()
+            .map(|p| p.footprint.distinct as f64)
+            .sum()
     }
 
     /// Upper bound of the meaningful window range: past this point every
@@ -242,11 +245,7 @@ mod tests {
         let model = CoRunModel::new(vec![&a, &b]);
         let cache = 120.0;
         let members = model.member_shared_miss_ratios(cache);
-        let weighted: f64 = members
-            .iter()
-            .zip(model.shares())
-            .map(|(m, s)| m * s)
-            .sum();
+        let weighted: f64 = members.iter().zip(model.shares()).map(|(m, s)| m * s).sum();
         let group = model.shared_group_miss_ratio(cache);
         assert!(
             (weighted - group).abs() < 1e-6,

@@ -297,9 +297,17 @@ mod tests {
         let trace: Vec<u64> = (0..4000).map(|i| i % 40).collect();
         let fp = fp_all(&trace);
         // Below the working set: every access misses (mr ≈ 1).
-        assert!(fp.miss_ratio(20.0) > 0.95, "mr(20) = {}", fp.miss_ratio(20.0));
+        assert!(
+            fp.miss_ratio(20.0) > 0.95,
+            "mr(20) = {}",
+            fp.miss_ratio(20.0)
+        );
         // At/above the working set: no capacity misses.
-        assert!(fp.miss_ratio(40.0) < 0.05, "mr(40) = {}", fp.miss_ratio(40.0));
+        assert!(
+            fp.miss_ratio(40.0) < 0.05,
+            "mr(40) = {}",
+            fp.miss_ratio(40.0)
+        );
         assert_eq!(fp.miss_ratio(100.0), 0.0);
     }
 

@@ -104,7 +104,10 @@ pub fn check_reuse_window_hypothesis(
     samples_per_bucket: usize,
     seed: u64,
 ) -> HypothesisReport {
-    assert!(samples_per_bucket > 0, "need at least one sample per bucket");
+    assert!(
+        samples_per_bucket > 0,
+        "need at least one sample per bucket"
+    );
     let fp = Footprint::from_trace(&trace.blocks);
     // Collect reuse pairs as (start, window_length).
     let mut last_seen: HashMap<Block, usize> = HashMap::new();

@@ -23,6 +23,8 @@
 //! * [`sampling`] / [`online`] / [`persist`] — bursty sampled profiling,
 //!   streaming profiling, and binary footprint files (the practicality
 //!   assumptions of Sections VII-A and VIII).
+//! * [`windowed`] — epoch-windowed profiling with exponential decay, the
+//!   per-tenant monitor used by the online repartitioning engine.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,9 +38,11 @@ pub mod online;
 pub mod persist;
 pub mod reuse;
 pub mod sampling;
+pub mod windowed;
 
 pub use compose::{CoRunModel, NaturalPartition};
 pub use footprint::Footprint;
 pub use metrics::{MissRatioCurve, SoloProfile};
 pub use reuse::ReuseProfile;
 pub use sampling::{sample_footprint, sample_reuse, BurstConfig};
+pub use windowed::{ProfilerMode, WindowedProfiler};

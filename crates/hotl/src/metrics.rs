@@ -26,9 +26,7 @@ impl MissRatioCurve {
     /// guard, not a model change — footprint concavity already implies
     /// monotonicity up to interpolation error.
     pub fn from_footprint(fp: &Footprint, max_blocks: usize) -> Self {
-        let mut ratios: Vec<f64> = (0..=max_blocks)
-            .map(|c| fp.miss_ratio(c as f64))
-            .collect();
+        let mut ratios: Vec<f64> = (0..=max_blocks).map(|c| fp.miss_ratio(c as f64)).collect();
         for c in (0..max_blocks).rev() {
             ratios[c] = ratios[c].max(ratios[c + 1]);
         }
@@ -76,9 +74,7 @@ impl MissRatioCurve {
     /// the DP; the same trade-off is exposed here.
     pub fn in_units(&self, blocks_per_unit: usize, units: usize) -> MissRatioCurve {
         assert!(blocks_per_unit > 0, "unit must be at least one block");
-        let ratios = (0..=units)
-            .map(|u| self.at(u * blocks_per_unit))
-            .collect();
+        let ratios = (0..=units).map(|u| self.at(u * blocks_per_unit)).collect();
         MissRatioCurve { ratios }
     }
 

@@ -155,11 +155,7 @@ pub fn read_profile(r: &mut impl Read) -> io::Result<SoloProfile> {
             .map(|w| strided.eval(w as f64 / stride as f64))
             .collect()
     };
-    let footprint = Footprint::from_parts(
-        MonotoneCurve::from_samples(full),
-        accesses,
-        distinct,
-    );
+    let footprint = Footprint::from_parts(MonotoneCurve::from_samples(full), accesses, distinct);
     let mrc_len = read_u64(r)? as usize;
     if mrc_len == 0 || mrc_len > (1 << 28) {
         return Err(invalid("corrupt MRC header"));
@@ -228,10 +224,7 @@ mod tests {
         for w in [0usize, 1, 10, 100, 5_000, 50_000, 100_000] {
             let a = p.footprint.at(w);
             let b = q.footprint.at(w);
-            assert!(
-                (a - b).abs() < 0.02 * a.max(1.0),
-                "fp({w}): {a} vs {b}"
-            );
+            assert!((a - b).abs() < 0.02 * a.max(1.0), "fp({w}): {a} vs {b}");
         }
         assert_eq!(q.mrc.samples(), p.mrc.samples());
     }

@@ -154,6 +154,71 @@ proptest! {
     }
 
     #[test]
+    fn windowed_snapshot_equals_batch_profile_per_tenant(
+        blocks_a in prop::collection::vec(0u64..25, 2..300),
+        blocks_b in prop::collection::vec(0u64..40, 2..300),
+        rate_a in 1u32..5,
+        rate_b in 1u32..5,
+        cut_frac in 0.1f64..0.9,
+    ) {
+        // An interleaved two-tenant stream demultiplexed into per-tenant
+        // WindowedProfilers must reproduce, tenant by tenant, the batch
+        // ReuseProfile of that tenant's subsequence — both inside the
+        // first window and inside the window after a boundary.
+        use cps_hotl::windowed::{ProfilerMode, WindowedProfiler};
+        use cps_trace::interleave::interleave_proportional;
+        use cps_trace::Trace;
+
+        let ta = Trace::new(blocks_a);
+        let tb = Trace::new(blocks_b);
+        let total = ta.len() + tb.len();
+        let co = interleave_proportional(&[&ta, &tb], &[rate_a as f64, rate_b as f64], total);
+        let cut = ((co.len() as f64 * cut_frac) as usize).max(1).min(co.len());
+
+        let mut profs = [
+            WindowedProfiler::new(32, ProfilerMode::Windowed { decay: 0.5 }),
+            WindowedProfiler::new(32, ProfilerMode::Windowed { decay: 0.5 }),
+        ];
+        let mut subseq: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+        let assert_snapshots_match = |profs: &[WindowedProfiler; 2], subseq: &[Vec<u64>; 2], at: &str|
+            -> Result<(), TestCaseError> {
+            for t in 0..2 {
+                let snap = profs[t].window_reuse();
+                let batch = ReuseProfile::from_trace(&subseq[t]);
+                prop_assert_eq!(snap.accesses, batch.accesses, "{} tenant {}", at, t);
+                prop_assert_eq!(snap.distinct, batch.distinct, "{} tenant {}", at, t);
+                prop_assert_eq!(snap.gaps.buckets(), batch.gaps.buckets(), "{} tenant {}", at, t);
+                prop_assert_eq!(
+                    snap.first_times.buckets(), batch.first_times.buckets(),
+                    "{} tenant {}", at, t
+                );
+                prop_assert_eq!(
+                    snap.last_times_rev.buckets(), batch.last_times_rev.buckets(),
+                    "{} tenant {}", at, t
+                );
+            }
+            Ok(())
+        };
+
+        for acc in &co.accesses[..cut] {
+            profs[acc.program as usize].observe(acc.block);
+            subseq[acc.program as usize].push(acc.block);
+        }
+        assert_snapshots_match(&profs, &subseq, "window 1")?;
+
+        // Cross a window boundary: windowed mode starts a fresh exact window.
+        for p in &mut profs {
+            p.end_window();
+        }
+        subseq = [Vec::new(), Vec::new()];
+        for acc in &co.accesses[cut..] {
+            profs[acc.program as usize].observe(acc.block);
+            subseq[acc.program as usize].push(acc.block);
+        }
+        assert_snapshots_match(&profs, &subseq, "window 2")?;
+    }
+
+    #[test]
     fn persistence_round_trip(trace in prop::collection::vec(0u64..40, 10..300), rate in 0.1f64..4.0) {
         let p = SoloProfile::from_trace("prop", &trace, rate, 48);
         let mut buf = Vec::new();

@@ -91,7 +91,11 @@ pub fn study_programs_scaled(trace_len: usize) -> Vec<ProgramSpec> {
         // lbm: streaming sweep with a cliff just below the full cache.
         mk("lbm-like", core_tail(lp(44), 0.065, lp(640)), 1.7),
         // sphinx3: zipf core + large loop tail.
-        mk("sphinx3-like", core_tail(zipf(150, 0.9), 0.05, lp(800)), 1.4),
+        mk(
+            "sphinx3-like",
+            core_tail(zipf(150, 0.9), 0.05, lp(800)),
+            1.4,
+        ),
         // mcf: huge flat-ish random tail, slow convex decay.
         mk("mcf-like", core_tail(lp(36), 0.08, zipf(2800, 0.35)), 0.9),
         // zeusmp: stencil staircase (knees at 3 rows and whole grid).
@@ -116,15 +120,16 @@ pub fn study_programs_scaled(trace_len: usize) -> Vec<ProgramSpec> {
             1.0,
         ),
         // omnetpp: heap-shaped zipf tail.
-        mk("omnetpp-like", core_tail(lp(48), 0.035, zipf(1800, 0.55)), 0.9),
+        mk(
+            "omnetpp-like",
+            core_tail(lp(48), 0.035, zipf(1800, 0.55)),
+            0.9,
+        ),
         // h264ref: phase alternation between a small and a large frame.
         mk(
             "h264ref-like",
             WorkloadSpec::Phased {
-                phases: vec![
-                    (lp(96), 40_000),
-                    (core_tail(lp(96), 0.05, lp(520)), 20_000),
-                ],
+                phases: vec![(lp(96), 40_000), (core_tail(lp(96), 0.05, lp(520)), 20_000)],
             },
             1.3,
         ),
@@ -161,7 +166,11 @@ pub fn study_programs_scaled(trace_len: usize) -> Vec<ProgramSpec> {
         // extra cache is wasted on it; loses from sharing).
         mk(
             "perlbench-like",
-            core_tail(zipf(120, 1.05), 0.006, WorkloadSpec::UniformRandom { region: 2200 }),
+            core_tail(
+                zipf(120, 1.05),
+                0.006,
+                WorkloadSpec::UniformRandom { region: 2200 },
+            ),
             1.2,
         ),
         // hmmer: low miss ratio but a reachable knee → gains.
@@ -171,7 +180,11 @@ pub fn study_programs_scaled(trace_len: usize) -> Vec<ProgramSpec> {
         // sjeng: tiny miss ratio, uncacheable tail → loses.
         mk(
             "sjeng-like",
-            core_tail(zipf(130, 1.0), 0.0015, WorkloadSpec::UniformRandom { region: 4000 }),
+            core_tail(
+                zipf(130, 1.0),
+                0.0015,
+                WorkloadSpec::UniformRandom { region: 4000 },
+            ),
             1.0,
         ),
         // namd: nearly perfect locality; optimal partitioning almost
@@ -201,7 +214,9 @@ pub const DEFAULT_CACHE_BLOCKS: usize = 1024;
 /// partitioner's recovery.
 pub fn stress_programs(trace_len: usize) -> Vec<ProgramSpec> {
     let anti_phase = |big_ws: u64, phase: u64, first_big: bool| {
-        let big = WorkloadSpec::SequentialLoop { working_set: big_ws };
+        let big = WorkloadSpec::SequentialLoop {
+            working_set: big_ws,
+        };
         let small = WorkloadSpec::SequentialLoop { working_set: 8 };
         let phases = if first_big {
             vec![(big, phase), (small, phase)]
@@ -228,7 +243,10 @@ pub fn stress_programs(trace_len: usize) -> Vec<ProgramSpec> {
         mk("phaseB-lo", anti_phase(700, 8_000, false)),
         mk("phaseC-hi", anti_phase(300, 1_500, true)),
         mk("phaseC-lo", anti_phase(300, 1_500, false)),
-        mk("stream", WorkloadSpec::SequentialLoop { working_set: 5_000 }),
+        mk(
+            "stream",
+            WorkloadSpec::SequentialLoop { working_set: 5_000 },
+        ),
         mk(
             "steady",
             WorkloadSpec::Zipfian {

@@ -149,18 +149,14 @@ impl WorkloadSpec {
             WorkloadSpec::Strided { region, stride } => {
                 Box::new(StridedStream::new(*region, *stride))
             }
-            WorkloadSpec::UniformRandom { region } => {
-                Box::new(UniformStream::new(*region, rng))
-            }
+            WorkloadSpec::UniformRandom { region } => Box::new(UniformStream::new(*region, rng)),
             WorkloadSpec::Zipfian { region, alpha } => {
                 Box::new(ZipfStream::new(*region, *alpha, rng))
             }
             WorkloadSpec::PointerChase { region } => {
                 Box::new(PointerChaseStream::new(*region, rng))
             }
-            WorkloadSpec::Stencil { rows, cols } => {
-                Box::new(StencilStream::new(*rows, *cols))
-            }
+            WorkloadSpec::Stencil { rows, cols } => Box::new(StencilStream::new(*rows, *cols)),
             WorkloadSpec::WorkingSetWalk {
                 region,
                 window,
@@ -180,7 +176,11 @@ impl WorkloadSpec {
                     .enumerate()
                     .map(|(i, (w, spec))| {
                         // Disjoint sub-spaces: offset by component index.
-                        (*w, spec.stream(seed.wrapping_add(0x9E37 * i as u64 + 1)), (i as u64) << 40)
+                        (
+                            *w,
+                            spec.stream(seed.wrapping_add(0x9E37 * i as u64 + 1)),
+                            (i as u64) << 40,
+                        )
                     })
                     .collect();
                 Box::new(MixtureStream::new(subs, rng))
@@ -214,9 +214,7 @@ impl WorkloadSpec {
                 .map(|(s, _)| s.footprint_hint())
                 .max()
                 .unwrap_or(0),
-            WorkloadSpec::Mixture { parts } => {
-                parts.iter().map(|(_, s)| s.footprint_hint()).sum()
-            }
+            WorkloadSpec::Mixture { parts } => parts.iter().map(|(_, s)| s.footprint_hint()).sum(),
         }
     }
 }

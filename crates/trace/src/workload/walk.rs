@@ -80,7 +80,10 @@ mod tests {
         for _ in 0..64 * 64 {
             seen[s.next_block() as usize] = true;
         }
-        assert!(seen.iter().all(|&x| x), "walk should eventually cover region");
+        assert!(
+            seen.iter().all(|&x| x),
+            "walk should eventually cover region"
+        );
     }
 
     #[test]

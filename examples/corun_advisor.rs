@@ -16,7 +16,7 @@ use cache_partition_sharing::trace::spec_like::study_programs_scaled;
 
 fn main() {
     let cache = CacheConfig::new(256, 4); // 1024 blocks in 256 units
-    // Pick four programs with contrasting behaviour from the study set.
+                                          // Pick four programs with contrasting behaviour from the study set.
     let specs = study_programs_scaled(150_000);
     let wanted = ["lbm-like", "mcf-like", "perlbench-like", "namd-like"];
     let profiles: Vec<SoloProfile> = specs
@@ -30,7 +30,11 @@ fn main() {
     let members: Vec<&SoloProfile> = profiles.iter().collect();
 
     println!("co-run group: {}", wanted.join(" + "));
-    println!("cache: {} blocks in {} units\n", cache.blocks(), cache.units);
+    println!(
+        "cache: {} blocks in {} units\n",
+        cache.blocks(),
+        cache.units
+    );
 
     // 1. What does free-for-all sharing do? (natural partition)
     let model = CoRunModel::new(members.clone());
@@ -58,7 +62,10 @@ fn main() {
     // 3. The recommendation.
     let opt = eval.get(Scheme::Optimal);
     let nat = eval.get(Scheme::Natural);
-    println!("\nrecommended partition (units of {} blocks):", cache.blocks_per_unit);
+    println!(
+        "\nrecommended partition (units of {} blocks):",
+        cache.blocks_per_unit
+    );
     for (i, p) in members.iter().enumerate() {
         println!(
             "  {:<16} {:>4} units ({} blocks), predicted miss ratio {:.4}",
@@ -69,8 +76,6 @@ fn main() {
         );
     }
     let gain = (nat.group_miss_ratio / opt.group_miss_ratio - 1.0) * 100.0;
-    println!(
-        "\npartitioning beats free-for-all sharing by {gain:.1}% on this group"
-    );
+    println!("\npartitioning beats free-for-all sharing by {gain:.1}% on this group");
     println!("(\"don't ever take a fence down until you know why it was put up\")");
 }

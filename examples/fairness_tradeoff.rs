@@ -25,7 +25,8 @@ fn main() {
     // A group engineered for conflict: one big-footprint program that
     // profits enormously from cache, two modest ones, and one tiny one
     // that Optimal will strip bare.
-    let profiles = [profile(
+    let profiles = [
+        profile(
             "greedy-loop",
             WorkloadSpec::SequentialLoop { working_set: 150 },
             1.2,
@@ -51,7 +52,8 @@ fn main() {
             WorkloadSpec::SequentialLoop { working_set: 24 },
             1.1,
             cache.blocks(),
-        )];
+        ),
+    ];
     let members: Vec<&SoloProfile> = profiles.iter().collect();
 
     let eval = evaluate_group(&members, &cache);
@@ -101,11 +103,7 @@ fn main() {
         .zip(&qos.allocation)
         .map(|(m, &u)| m.mrc.at(cache.to_blocks(u)))
         .collect();
-    let qos_group: f64 = shares
-        .iter()
-        .zip(&qos_members)
-        .map(|(s, m)| s * m)
-        .sum();
+    let qos_group: f64 = shares.iter().zip(&qos_members).map(|(s, m)| s * m).sum();
     println!(
         "\nmax-min (QoS) partition: {:?} → members {:?}, worst {:.3}, group {:.3}",
         qos.allocation,

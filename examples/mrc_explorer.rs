@@ -61,10 +61,13 @@ fn main() {
         _ => WorkloadSpec::Mixture {
             parts: vec![
                 (0.8, WorkloadSpec::SequentialLoop { working_set: 50 }),
-                (0.2, WorkloadSpec::Zipfian {
-                    region: 250,
-                    alpha: 0.7,
-                }),
+                (
+                    0.2,
+                    WorkloadSpec::Zipfian {
+                        region: 250,
+                        alpha: 0.7,
+                    },
+                ),
             ],
         },
     };

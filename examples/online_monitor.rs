@@ -46,7 +46,10 @@ fn main() {
     let mut monitor_a = OnlineProfiler::new();
     let mut monitor_b = OnlineProfiler::new();
 
-    println!("epoch-by-epoch online repartitioning ({} blocks):\n", cache.blocks());
+    println!(
+        "epoch-by-epoch online repartitioning ({} blocks):\n",
+        cache.blocks()
+    );
     println!(
         "{:>6} {:>14} {:>14} {:>18}",
         "epoch", "A units", "B units", "predicted group mr"

@@ -34,16 +34,25 @@ fn advise(title: &str, members: &[&SoloProfile], cache_blocks: usize) {
                 .join("+")
         })
         .collect();
-    println!("  co-run everything : {:.2e} model cycles", corun.total_time);
+    println!(
+        "  co-run everything : {:.2e} model cycles",
+        corun.total_time
+    );
     println!(
         "  best schedule     : {:.2e} model cycles  [{}]",
         best.total_time,
         batches.join(" ; then ")
     );
     if gain > 0.01 {
-        println!("  advice: STALL — serialize as shown, saving {:.1}%\n", gain * 100.0);
+        println!(
+            "  advice: STALL — serialize as shown, saving {:.1}%\n",
+            gain * 100.0
+        );
     } else {
-        println!("  advice: co-run freely (serializing saves {:.1}%)\n", gain * 100.0);
+        println!(
+            "  advice: co-run freely (serializing saves {:.1}%)\n",
+            gain * 100.0
+        );
     }
 }
 

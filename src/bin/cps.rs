@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "optimize" => cmd_optimize(rest),
         "stall" => cmd_stall(rest),
         "phase-plan" => cmd_phase_plan(rest),
+        "replay-online" => cmd_replay_online(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -66,6 +67,12 @@ USAGE:
   cps stall    PROFILE... --cache BLOCKS   (co-run or take turns?)
   cps phase-plan TRACE... --units U [--segments S] [--threshold T]
                (per-phase optimal partitions from raw traces)
+  cps replay-online --workloads SPEC,SPEC,... --units U [--bpu B]
+               [--len N] [--epoch E] [--rates R,R,...] [--seed S]
+               [--decay D] [--hysteresis H]
+               [--objective throughput|maxmin] [--baseline none|equal|natural]
+               (live epoch-driven repartitioning vs static-optimal and
+               free-for-all sharing)
 
 WORKLOAD SPECS (for `gen`):
   loop:WS            sequential loop over WS blocks
@@ -89,9 +96,7 @@ impl Args {
         let mut it = raw.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                 options.push((key.to_string(), value.clone()));
             } else {
                 positional.push(a.clone());
@@ -126,10 +131,13 @@ impl Args {
 fn parse_workload(spec: &str) -> Result<WorkloadSpec, String> {
     let parts: Vec<&str> = spec.split(':').collect();
     let num = |s: &str| -> Result<u64, String> {
-        s.parse().map_err(|_| format!("bad number in workload: {s}"))
+        s.parse()
+            .map_err(|_| format!("bad number in workload: {s}"))
     };
     match parts.as_slice() {
-        ["loop", ws] => Ok(WorkloadSpec::SequentialLoop { working_set: num(ws)? }),
+        ["loop", ws] => Ok(WorkloadSpec::SequentialLoop {
+            working_set: num(ws)?,
+        }),
         ["strided", r, s] => Ok(WorkloadSpec::Strided {
             region: num(r)?,
             stride: num(s)?,
@@ -154,21 +162,29 @@ fn parse_workload(spec: &str) -> Result<WorkloadSpec, String> {
             window: num(w)?,
             dwell: num(d)?,
         }),
-        _ => Err(format!("unrecognized workload spec `{spec}` (see `cps help`)")),
+        _ => Err(format!(
+            "unrecognized workload spec `{spec}` (see `cps help`)"
+        )),
     }
 }
 
 fn cmd_gen(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
     let workload = parse_workload(args.require("workload")?)?;
-    let len: usize = args.require("len")?.parse().map_err(|_| "bad --len".to_string())?;
+    let len: usize = args
+        .require("len")?
+        .parse()
+        .map_err(|_| "bad --len".to_string())?;
     let seed: u64 = args.get_parse("seed", 0)?;
     let out = args.require("out")?;
     let trace = workload.generate(len, seed);
     let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
     let mut w = BufWriter::new(file);
-    writeln!(w, "# generated by cps gen: {workload:?}, len {len}, seed {seed}")
-        .map_err(|e| e.to_string())?;
+    writeln!(
+        w,
+        "# generated by cps gen: {workload:?}, len {len}, seed {seed}"
+    )
+    .map_err(|e| e.to_string())?;
     for b in &trace.blocks {
         writeln!(w, "{b}").map_err(|e| e.to_string())?;
     }
@@ -287,7 +303,10 @@ fn cmd_stall(raw: &[String]) -> Result<(), String> {
         batches.join(" ; then ")
     );
     if gain > 0.01 {
-        println!("advice: STALL — run the batches serially, saving {:.1}%", gain * 100.0);
+        println!(
+            "advice: STALL — run the batches serially, saving {:.1}%",
+            gain * 100.0
+        );
     } else {
         println!("advice: co-run freely");
     }
@@ -329,13 +348,19 @@ fn cmd_show(raw: &[String]) -> Result<(), String> {
 fn cmd_predict(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
     let profiles = load_profiles(&args.positional)?;
-    let cache: usize = args.require("cache")?.parse().map_err(|_| "bad --cache".to_string())?;
+    let cache: usize = args
+        .require("cache")?
+        .parse()
+        .map_err(|_| "bad --cache".to_string())?;
     let members: Vec<&SoloProfile> = profiles.iter().collect();
     let model = CoRunModel::new(members);
     let np = model.natural_partition(cache as f64);
     let mrs = model.member_shared_miss_ratios(cache as f64);
     println!("free-for-all sharing of a {cache}-block cache (natural partition):");
-    println!("{:<20} {:>12} {:>12} {:>12}", "program", "occupancy", "shared mr", "solo mr");
+    println!(
+        "{:<20} {:>12} {:>12} {:>12}",
+        "program", "occupancy", "shared mr", "solo mr"
+    );
     for (i, p) in profiles.iter().enumerate() {
         println!(
             "{:<20} {:>12.1} {:>12.4} {:>12.4}",
@@ -394,9 +419,7 @@ fn cmd_phase_plan(raw: &[String]) -> Result<(), String> {
     }
     let refs: Vec<&PhasedProfile> = profiles.iter().collect();
     let plan = phase_aware_partition(&refs, &config, threshold);
-    println!(
-        "phase-aware plan: {units} units, {segments} segments, switch threshold {threshold}"
-    );
+    println!("phase-aware plan: {units} units, {segments} segments, switch threshold {threshold}");
     print!("{:<10}", "segment");
     for p in &profiles {
         print!("{:>14}", p.name);
@@ -420,7 +443,10 @@ fn cmd_phase_plan(raw: &[String]) -> Result<(), String> {
 fn cmd_optimize(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
     let profiles = load_profiles(&args.positional)?;
-    let units: usize = args.require("units")?.parse().map_err(|_| "bad --units".to_string())?;
+    let units: usize = args
+        .require("units")?
+        .parse()
+        .map_err(|_| "bad --units".to_string())?;
     let bpu: usize = args.get_parse("bpu", 1)?;
     let config = CacheConfig::new(units, bpu);
     for p in &profiles {
@@ -492,7 +518,20 @@ fn cmd_optimize(raw: &[String]) -> Result<(), String> {
         "optimal partition of {units} x {bpu}-block units ({} blocks), objective {objective}, baseline {baseline}:",
         config.blocks()
     );
-    println!("{:<20} {:>8} {:>10} {:>12}", "program", "units", "blocks", "miss ratio");
+    print_allocation_table(&profiles, &config, &result, &shares);
+    Ok(())
+}
+
+fn print_allocation_table(
+    profiles: &[SoloProfile],
+    config: &CacheConfig,
+    result: &PartitionResult,
+    shares: &[f64],
+) {
+    println!(
+        "{:<20} {:>8} {:>10} {:>12}",
+        "program", "units", "blocks", "miss ratio"
+    );
     let mut group = 0.0;
     for (i, p) in profiles.iter().enumerate() {
         let u = result.allocation[i];
@@ -507,5 +546,179 @@ fn cmd_optimize(raw: &[String]) -> Result<(), String> {
         );
     }
     println!("group miss ratio: {group:.4}");
+}
+
+fn cmd_replay_online(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let specs: Vec<WorkloadSpec> = args
+        .require("workloads")?
+        .split(',')
+        .map(parse_workload)
+        .collect::<Result<_, _>>()?;
+    if specs.len() < 2 {
+        return Err("replay-online needs at least two comma-separated workloads".into());
+    }
+    let k = specs.len();
+    let units: usize = args
+        .require("units")?
+        .parse()
+        .map_err(|_| "bad --units".to_string())?;
+    let bpu: usize = args.get_parse("bpu", 1)?;
+    let config = CacheConfig::new(units, bpu);
+    let len: usize = args.get_parse("len", 200_000)?;
+    let epoch: usize = args.get_parse("epoch", 10_000)?;
+    let seed: u64 = args.get_parse("seed", 0)?;
+    let decay: f64 = args.get_parse("decay", 0.5)?;
+    if !(0.0..1.0).contains(&decay) {
+        return Err(format!("--decay must lie in [0, 1), got {decay}"));
+    }
+    let hysteresis: usize = args.get_parse("hysteresis", 1)?;
+    let rates: Vec<f64> = match args.get("rates") {
+        None => vec![1.0; k],
+        Some(s) => {
+            let r: Vec<f64> = s
+                .split(',')
+                .map(|x| x.parse().map_err(|_| format!("bad rate `{x}`")))
+                .collect::<Result<_, _>>()?;
+            if r.len() != k {
+                return Err(format!("{} rates for {k} workloads", r.len()));
+            }
+            r
+        }
+    };
+    let objective = args.get("objective").unwrap_or("throughput");
+    let combine = match objective {
+        "throughput" => Combine::Sum,
+        "maxmin" => Combine::Max,
+        other => return Err(format!("unknown --objective {other} (throughput|maxmin)")),
+    };
+    let policy = match args.get("baseline").unwrap_or("none") {
+        "none" => Policy::Optimal,
+        "equal" => Policy::EqualBaseline,
+        "natural" => Policy::NaturalBaseline,
+        other => return Err(format!("unknown --baseline {other} (none|equal|natural)")),
+    };
+
+    // One shared interleaved trace drives all three contenders.
+    let traces: Vec<Trace> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.generate(len, seed.wrapping_add(i as u64 + 1)))
+        .collect();
+    let refs: Vec<&Trace> = traces.iter().collect();
+    let co = interleave_proportional(&refs, &rates, len);
+
+    // Online: the epoch-driven repartitioning engine.
+    let engine_cfg = EngineConfig::new(config, epoch)
+        .policy(policy)
+        .objective(combine)
+        .decay(decay)
+        .hysteresis(hysteresis);
+    let mut engine = RepartitionEngine::new(engine_cfg, k);
+    engine.run(co.tenant_accesses());
+    let report = engine.finish();
+
+    // Static-optimal: one offline DP solve over full-trace profiles,
+    // then a fixed partition for the whole run.
+    let total_acc: u64 = co.per_program.iter().sum();
+    let profiles: Vec<SoloProfile> = (0..k)
+        .map(|i| {
+            let blocks: Vec<Block> = co
+                .accesses
+                .iter()
+                .filter(|a| a.program as usize == i)
+                .map(|a| a.block)
+                .collect();
+            SoloProfile::from_trace(
+                format!("t{i}"),
+                &blocks,
+                co.per_program[i].max(1) as f64 / total_acc.max(1) as f64,
+                config.blocks(),
+            )
+        })
+        .collect();
+    let costs: Vec<CostCurve> = profiles
+        .iter()
+        .map(|p| {
+            let weight = match combine {
+                Combine::Sum => p.access_rate,
+                Combine::Max => 1.0,
+            };
+            CostCurve::from_miss_ratio(&p.mrc, &config, weight)
+        })
+        .collect();
+    let static_alloc = optimal_partition(&costs, units, combine)
+        .ok_or("static solve infeasible")?
+        .allocation;
+    let static_sizes: Vec<usize> = static_alloc.iter().map(|&u| config.to_blocks(u)).collect();
+    let mut static_cache = PartitionedCache::new(&static_sizes);
+    let mut shared_cache = LruCache::new(config.blocks());
+
+    // Replay both references with the engine's epoch boundaries.
+    let mut static_mr = Vec::new();
+    let mut shared_mr = Vec::new();
+    let mut static_total = (0u64, 0u64); // (accesses, misses)
+    let mut shared_total = (0u64, 0u64);
+    for chunk in co.accesses.chunks(epoch) {
+        let (mut sa, mut sm, mut ha, mut hm) = (0u64, 0u64, 0u64, 0u64);
+        for a in chunk {
+            sa += 1;
+            sm += u64::from(!static_cache.access(a.program as usize, a.block));
+            ha += 1;
+            hm += u64::from(!shared_cache.access(a.block));
+        }
+        static_mr.push(sm as f64 / sa as f64);
+        shared_mr.push(hm as f64 / ha as f64);
+        static_total = (static_total.0 + sa, static_total.1 + sm);
+        shared_total = (shared_total.0 + ha, shared_total.1 + hm);
+    }
+
+    println!(
+        "online repartitioning: {k} tenants, {} accesses, {units} x {bpu}-block units, \
+         epoch {epoch}, decay {decay}, hysteresis {hysteresis}, objective {objective}, \
+         policy {policy:?}",
+        co.len()
+    );
+    println!(
+        "{:<7} {:>9} {:>9} {:>9}  {:>6} {:>10}  allocation (units)",
+        "epoch", "online", "static", "shared", "moved", "solve"
+    );
+    for (i, e) in report.epochs.iter().enumerate() {
+        let solve = if e.solve_nanos > 0 {
+            format!("{:.1}us", e.solve_nanos as f64 / 1e3)
+        } else {
+            "-".to_string()
+        };
+        let mark = if e.repartitioned { "*" } else { " " };
+        let alloc: Vec<String> = e.allocation.iter().map(|u| u.to_string()).collect();
+        println!(
+            "{:<7} {:>9.4} {:>9.4} {:>9.4}  {:>5}{} {:>10}  {}",
+            e.epoch,
+            e.miss_ratio(),
+            static_mr.get(i).copied().unwrap_or(f64::NAN),
+            shared_mr.get(i).copied().unwrap_or(f64::NAN),
+            e.units_moved,
+            mark,
+            solve,
+            alloc.join("/")
+        );
+    }
+    let static_cum = static_total.1 as f64 / static_total.0.max(1) as f64;
+    let shared_cum = shared_total.1 as f64 / shared_total.0.max(1) as f64;
+    println!(
+        "\ncumulative miss ratio: online {:.4} | static-optimal {:.4} | free-for-all {:.4}",
+        report.cumulative_miss_ratio(),
+        static_cum,
+        shared_cum
+    );
+    println!(
+        "{} repartitions over {} epochs; mean DP solve {}",
+        report.repartition_count(),
+        report.epochs.len(),
+        match report.mean_solve_nanos() {
+            Some(ns) => format!("{:.1} us", ns as f64 / 1e3),
+            None => "n/a".to_string(),
+        }
+    );
     Ok(())
 }

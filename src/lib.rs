@@ -16,6 +16,7 @@
 //! | [`cachesim`] | `cps-cachesim` | exact LRU / set-associative / shared / partition-sharing simulators |
 //! | [`combin`] | `cps-combin` | Stirling numbers, binomials, search-space sizes |
 //! | [`core`] | `cps-core` | the DP optimizer, STTW, baselines, six-scheme evaluation, sweeps |
+//! | [`engine`] | `cps-engine` | epoch-driven online repartitioning controller |
 //!
 //! ## Quickstart
 //!
@@ -42,29 +43,32 @@ pub use cps_cachesim as cachesim;
 pub use cps_combin as combin;
 pub use cps_core as core;
 pub use cps_dstruct as dstruct;
+pub use cps_engine as engine;
 pub use cps_hotl as hotl;
 pub use cps_trace as trace;
 
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use cps_cachesim::{
-        exact_miss_ratio_curve, simulate_partition_sharing, simulate_shared,
-        simulate_shared_warm, ClockCache, LruCache, PartitionSharingScheme, SetAssocCache,
-        SetIndexing,
+        exact_miss_ratio_curve, simulate_partition_sharing, simulate_shared, simulate_shared_warm,
+        ClockCache, LruCache, PartitionSharingScheme, PartitionedCache, SetAssocCache, SetIndexing,
     };
     pub use cps_core::elastic::{elastic_partition, elastic_sweep};
     pub use cps_core::perf::PerfModel;
     pub use cps_core::phased::{phase_aware_partition, PhasedProfile};
     pub use cps_core::{
         evaluate_group, optimal_partition, sttw_partition, CacheConfig, Combine, CostCurve,
-        GroupEvaluation, PartitionResult, Scheme, Study,
+        DpSolver, GroupEvaluation, PartitionResult, Scheme, Study,
     };
+    pub use cps_engine::{EngineConfig, EngineReport, Policy, RepartitionEngine};
     pub use cps_hotl::online::OnlineProfiler;
+    pub use cps_hotl::windowed::{ProfilerMode, WindowedProfiler};
     pub use cps_hotl::{
         sample_footprint, BurstConfig, CoRunModel, Footprint, MissRatioCurve, ReuseProfile,
         SoloProfile,
     };
     pub use cps_trace::{
-        interleave_proportional, study_programs, Block, ProgramSpec, Trace, WorkloadSpec,
+        interleave_proportional, study_programs, Block, InterleavedStream, ProgramSpec, Trace,
+        WorkloadSpec,
     };
 }

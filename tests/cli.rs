@@ -33,21 +33,55 @@ fn stdout(out: &Output) -> String {
 fn full_workflow_gen_profile_predict_optimize() {
     let dir = tempdir("workflow");
     let s = stdout(&cps(
-        &["gen", "--workload", "loop:60", "--len", "30000", "--out", "a.trace", "--seed", "3"],
+        &[
+            "gen",
+            "--workload",
+            "loop:60",
+            "--len",
+            "30000",
+            "--out",
+            "a.trace",
+            "--seed",
+            "3",
+        ],
         &dir,
     ));
     assert!(s.contains("60 distinct blocks"), "{s}");
     stdout(&cps(
-        &["gen", "--workload", "zipf:300:0.8", "--len", "30000", "--out", "b.trace"],
+        &[
+            "gen",
+            "--workload",
+            "zipf:300:0.8",
+            "--len",
+            "30000",
+            "--out",
+            "b.trace",
+        ],
         &dir,
     ));
     let s = stdout(&cps(
-        &["profile", "a.trace", "--out", "a.cpsp", "--max-blocks", "128", "--name", "loop60"],
+        &[
+            "profile",
+            "a.trace",
+            "--out",
+            "a.cpsp",
+            "--max-blocks",
+            "128",
+            "--name",
+            "loop60",
+        ],
         &dir,
     ));
     assert!(s.contains("profiled `loop60`"), "{s}");
     stdout(&cps(
-        &["profile", "b.trace", "--out", "b.cpsp", "--max-blocks", "128"],
+        &[
+            "profile",
+            "b.trace",
+            "--out",
+            "b.cpsp",
+            "--max-blocks",
+            "128",
+        ],
         &dir,
     ));
 
@@ -55,24 +89,56 @@ fn full_workflow_gen_profile_predict_optimize() {
     assert!(s.contains("loop60"), "{s}");
     assert!(s.contains("miss ratio"), "{s}");
 
-    let s = stdout(&cps(&["predict", "a.cpsp", "b.cpsp", "--cache", "128"], &dir));
+    let s = stdout(&cps(
+        &["predict", "a.cpsp", "b.cpsp", "--cache", "128"],
+        &dir,
+    ));
     assert!(s.contains("natural partition"), "{s}");
     assert!(s.contains("group miss ratio"), "{s}");
 
-    let s = stdout(&cps(&["optimize", "a.cpsp", "b.cpsp", "--units", "128"], &dir));
+    let s = stdout(&cps(
+        &["optimize", "a.cpsp", "b.cpsp", "--units", "128"],
+        &dir,
+    ));
     assert!(s.contains("optimal partition"), "{s}");
     // The loop's working set (60) must be covered by its allocation.
     let loop_line = s.lines().find(|l| l.starts_with("loop60")).expect("row");
-    let units: usize = loop_line.split_whitespace().nth(1).unwrap().parse().unwrap();
-    assert!(units >= 60, "loop60 should get its working set, got {units}");
+    let units: usize = loop_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        units >= 60,
+        "loop60 should get its working set, got {units}"
+    );
 
     // Baseline and maxmin variants run too.
     stdout(&cps(
-        &["optimize", "a.cpsp", "b.cpsp", "--units", "128", "--baseline", "natural"],
+        &[
+            "optimize",
+            "a.cpsp",
+            "b.cpsp",
+            "--units",
+            "128",
+            "--baseline",
+            "natural",
+        ],
         &dir,
     ));
     stdout(&cps(
-        &["optimize", "a.cpsp", "b.cpsp", "--units", "64", "--bpu", "2", "--objective", "maxmin"],
+        &[
+            "optimize",
+            "a.cpsp",
+            "b.cpsp",
+            "--units",
+            "64",
+            "--bpu",
+            "2",
+            "--objective",
+            "maxmin",
+        ],
         &dir,
     ));
     std::fs::remove_dir_all(&dir).ok();
@@ -90,7 +156,15 @@ fn errors_are_reported_not_panicked() {
     assert!(!out.status.success());
     // Bad workload spec.
     let out = cps(
-        &["gen", "--workload", "nonsense:1", "--len", "10", "--out", "x"],
+        &[
+            "gen",
+            "--workload",
+            "nonsense:1",
+            "--len",
+            "10",
+            "--out",
+            "x",
+        ],
         &dir,
     );
     assert!(!out.status.success());
@@ -101,11 +175,26 @@ fn errors_are_reported_not_panicked() {
     assert!(!out.status.success());
     // Cache bigger than the profile's sampled range.
     stdout(&cps(
-        &["gen", "--workload", "loop:10", "--len", "1000", "--out", "t.trace"],
+        &[
+            "gen",
+            "--workload",
+            "loop:10",
+            "--len",
+            "1000",
+            "--out",
+            "t.trace",
+        ],
         &dir,
     ));
     stdout(&cps(
-        &["profile", "t.trace", "--out", "t.cpsp", "--max-blocks", "32"],
+        &[
+            "profile",
+            "t.trace",
+            "--out",
+            "t.cpsp",
+            "--max-blocks",
+            "32",
+        ],
         &dir,
     ));
     let out = cps(&["optimize", "t.cpsp", "--units", "64"], &dir);
@@ -118,24 +207,63 @@ fn errors_are_reported_not_panicked() {
 fn sampled_profiling_and_stall_advice() {
     let dir = tempdir("sampled");
     stdout(&cps(
-        &["gen", "--workload", "loop:60", "--len", "40000", "--out", "a.trace", "--seed", "1"],
+        &[
+            "gen",
+            "--workload",
+            "loop:60",
+            "--len",
+            "40000",
+            "--out",
+            "a.trace",
+            "--seed",
+            "1",
+        ],
         &dir,
     ));
     stdout(&cps(
-        &["gen", "--workload", "loop:60", "--len", "40000", "--out", "b.trace", "--seed", "2"],
+        &[
+            "gen",
+            "--workload",
+            "loop:60",
+            "--len",
+            "40000",
+            "--out",
+            "b.trace",
+            "--seed",
+            "2",
+        ],
         &dir,
     ));
     // Burst-sampled profile still sees the 60-block working set.
     let s = stdout(&cps(
         &[
-            "profile", "a.trace", "--out", "a.cpsp", "--max-blocks", "128",
-            "--burst", "2000", "--ratio", "5", "--name", "A",
+            "profile",
+            "a.trace",
+            "--out",
+            "a.cpsp",
+            "--max-blocks",
+            "128",
+            "--burst",
+            "2000",
+            "--ratio",
+            "5",
+            "--name",
+            "A",
         ],
         &dir,
     ));
     assert!(s.contains("60 distinct blocks"), "{s}");
     stdout(&cps(
-        &["profile", "b.trace", "--out", "b.cpsp", "--max-blocks", "128", "--name", "B"],
+        &[
+            "profile",
+            "b.trace",
+            "--out",
+            "b.cpsp",
+            "--max-blocks",
+            "128",
+            "--name",
+            "B",
+        ],
         &dir,
     ));
     // Two 60-block loops in 100 blocks: the advisor must serialize.
@@ -180,7 +308,15 @@ fn phase_plan_tracks_alternating_working_sets() {
     std::fs::write(dir.join("a.trace"), format!("{big}\n{small}\n")).unwrap();
     std::fs::write(dir.join("b.trace"), format!("{small}\n{big}\n")).unwrap();
     let s = stdout(&cps(
-        &["phase-plan", "a.trace", "b.trace", "--units", "120", "--segments", "2"],
+        &[
+            "phase-plan",
+            "a.trace",
+            "b.trace",
+            "--units",
+            "120",
+            "--segments",
+            "2",
+        ],
         &dir,
     ));
     assert!(s.contains("repartitionings"), "{s}");
@@ -200,13 +336,16 @@ fn phase_plan_tracks_alternating_working_sets() {
 #[test]
 fn trace_parser_accepts_hex_and_comments() {
     let dir = tempdir("parser");
-    std::fs::write(
-        dir.join("hex.trace"),
-        "# comment\n0x10\n16\n\n0xFF\n255\n",
-    )
-    .unwrap();
+    std::fs::write(dir.join("hex.trace"), "# comment\n0x10\n16\n\n0xFF\n255\n").unwrap();
     let s = stdout(&cps(
-        &["profile", "hex.trace", "--out", "hex.cpsp", "--max-blocks", "16"],
+        &[
+            "profile",
+            "hex.trace",
+            "--out",
+            "hex.cpsp",
+            "--max-blocks",
+            "16",
+        ],
         &dir,
     ));
     // 0x10 == 16 and 0xFF == 255: only 2 distinct blocks.

@@ -21,15 +21,17 @@ fn arbitrary_curve(len: usize) -> impl Strategy<Value = CostCurve> {
 
 /// Strategy: monotone curve with a forbidden prefix (baseline cap).
 fn constrained_curve(len: usize) -> impl Strategy<Value = CostCurve> {
-    (prop::collection::vec(0.0f64..1.0, len + 1), 0usize..=len / 2).prop_map(
-        |(mut v, forbidden)| {
+    (
+        prop::collection::vec(0.0f64..1.0, len + 1),
+        0usize..=len / 2,
+    )
+        .prop_map(|(mut v, forbidden)| {
             v.sort_by(|a, b| b.partial_cmp(a).unwrap());
             for entry in v.iter_mut().take(forbidden) {
                 *entry = f64::INFINITY;
             }
             CostCurve::from_raw(v)
-        },
-    )
+        })
 }
 
 proptest! {

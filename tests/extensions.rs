@@ -3,9 +3,7 @@
 //! stall scheduler, Smith's associativity estimate, and the online
 //! profiler — each checked against a first-principles expectation.
 
-use cache_partition_sharing::core::multicache::{
-    best_assignment, CachePolicy,
-};
+use cache_partition_sharing::core::multicache::{best_assignment, CachePolicy};
 use cache_partition_sharing::core::perf::jains_index;
 use cache_partition_sharing::core::stall::stall_advice;
 use cache_partition_sharing::hotl::assoc::smith_for_capacity;
@@ -20,7 +18,7 @@ fn loop_profile(name: &str, ws: u64, blocks: usize, seed: u64) -> SoloProfile {
 fn elastic_interpolates_between_optimal_and_equal_baseline() {
     let blocks = 240;
     let cfg = CacheConfig::new(blocks, 1);
-    let ps = vec![
+    let ps = [
         loop_profile("a", 150, blocks, 1),
         loop_profile("b", 70, blocks, 2),
         loop_profile("c", 30, blocks, 3),
@@ -68,7 +66,7 @@ fn phase_aware_plan_beats_static_on_the_facade_types() {
 fn multicache_placement_beats_worst_case_half_split() {
     let blocks = 128;
     let cfg = CacheConfig::new(blocks, 1);
-    let ps = vec![
+    let ps = [
         loop_profile("big-a", 100, blocks, 1),
         loop_profile("big-b", 100, blocks, 2),
         loop_profile("small-a", 15, blocks, 3),

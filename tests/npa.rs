@@ -146,10 +146,7 @@ fn natural_occupancies_match_simulated_residency() {
         cache_sim.access(acc.block);
     }
     let resident = cache_sim.resident_mru_order();
-    let a_res = resident
-        .iter()
-        .filter(|&&blk| blk >> 48 == 0)
-        .count() as f64;
+    let a_res = resident.iter().filter(|&&blk| blk >> 48 == 0).count() as f64;
     let b_res = resident.len() as f64 - a_res;
     assert!(
         (np.occupancy[0] - a_res).abs() < 0.12 * cache as f64,
@@ -161,7 +158,10 @@ fn natural_occupancies_match_simulated_residency() {
         "program B: predicted occupancy {} vs simulated {b_res}",
         np.occupancy[1]
     );
-    assert!(np.occupancy[0] > np.occupancy[1], "bigger region holds more");
+    assert!(
+        np.occupancy[0] > np.occupancy[1],
+        "bigger region holds more"
+    );
 }
 
 #[test]

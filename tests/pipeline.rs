@@ -10,10 +10,7 @@ use cache_partition_sharing::prelude::*;
 /// Workloads with qualitatively different MRC shapes.
 fn workloads() -> Vec<(&'static str, WorkloadSpec)> {
     vec![
-        (
-            "loop",
-            WorkloadSpec::SequentialLoop { working_set: 50 },
-        ),
+        ("loop", WorkloadSpec::SequentialLoop { working_set: 50 }),
         (
             "zipf",
             WorkloadSpec::Zipfian {
@@ -23,10 +20,7 @@ fn workloads() -> Vec<(&'static str, WorkloadSpec)> {
         ),
         ("uniform", WorkloadSpec::UniformRandom { region: 150 }),
         ("chase", WorkloadSpec::PointerChase { region: 80 }),
-        (
-            "stencil",
-            WorkloadSpec::Stencil { rows: 12, cols: 10 },
-        ),
+        ("stencil", WorkloadSpec::Stencil { rows: 12, cols: 10 }),
         (
             "mixture",
             WorkloadSpec::Mixture {
@@ -64,10 +58,7 @@ fn hotl_mrc_tracks_exact_lru_mrc() {
             );
         }
         let mean_err = total_err / n as f64;
-        assert!(
-            mean_err < 0.03,
-            "{name}: mean |HOTL - exact| = {mean_err}"
-        );
+        assert!(mean_err < 0.03, "{name}: mean |HOTL - exact| = {mean_err}");
     }
 }
 

@@ -117,12 +117,8 @@ fn free_for_all_is_in_the_search_space() {
     let profiles = group(48);
     let members: Vec<&SoloProfile> = profiles.iter().collect();
     let search = best_partition_sharing_quantized(&members, &cfg);
-    let ffa = evaluate_sharing_quantized(
-        &members,
-        &cfg,
-        &SharingConfig::free_for_all(3, cfg.units),
-    )
-    .1;
+    let ffa =
+        evaluate_sharing_quantized(&members, &cfg, &SharingConfig::free_for_all(3, cfg.units)).1;
     assert!(
         search.group_miss_ratio <= ffa + 1e-9,
         "best {} must be <= free-for-all {}",

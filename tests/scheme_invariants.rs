@@ -8,9 +8,7 @@ use cache_partition_sharing::trace::ProgramSpec;
 
 fn random_specs(seed: u64, n: usize) -> Vec<ProgramSpec> {
     // Deterministic variety from a seed: loops, zipfs, mixtures.
-    let names: &[&'static str] = &[
-        "w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7", "w8", "w9",
-    ];
+    let names: &[&'static str] = &["w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7", "w8", "w9"];
     (0..n)
         .map(|i| {
             let x = seed
@@ -25,7 +23,12 @@ fn random_specs(seed: u64, n: usize) -> Vec<ProgramSpec> {
                 },
                 _ => WorkloadSpec::Mixture {
                     parts: vec![
-                        (0.9, WorkloadSpec::SequentialLoop { working_set: ws / 2 }),
+                        (
+                            0.9,
+                            WorkloadSpec::SequentialLoop {
+                                working_set: ws / 2,
+                            },
+                        ),
                         (0.1, WorkloadSpec::UniformRandom { region: ws * 4 }),
                     ],
                 },

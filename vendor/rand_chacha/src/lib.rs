@@ -1,0 +1,95 @@
+//! Offline drop-in subset of the `rand_chacha` 0.3 API.
+//!
+//! Provides [`ChaCha8Rng`] with the `rand` trait surface this workspace
+//! uses. The generator is *not* the ChaCha stream cipher — network-less
+//! builds cannot fetch the real crate, and nothing in this workspace
+//! needs cryptographic output or upstream's exact bit-stream, only a
+//! seedable, statistically solid, `Clone`-able deterministic source.
+//! Internally this is xoshiro256**, seeded via splitmix64.
+
+use rand::{RngCore, SeedableRng};
+
+/// Drop-in stand-in for `rand_chacha::ChaCha8Rng` (see crate docs).
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    s: [u64; 4],
+}
+
+impl ChaCha8Rng {
+    #[inline]
+    fn rotl(x: u64, k: u32) -> u64 {
+        x.rotate_left(k)
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256** step.
+        let result = Self::rotl(self.s[1].wrapping_mul(5), 7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = Self::rotl(self.s[3], 45);
+        result
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+            *word = u64::from_le_bytes(b);
+        }
+        // An all-zero state is a fixed point of xoshiro; nudge it.
+        if s == [0; 4] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                1,
+            ];
+        }
+        ChaCha8Rng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let va: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..10).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = ChaCha8Rng::from_seed([0; 32]);
+        let v: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert!(v.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn clone_forks_the_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let _ = a.gen_range(0..100u64);
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

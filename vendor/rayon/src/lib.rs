@@ -1,0 +1,135 @@
+//! Offline sequential stand-in for the `rayon` API subset this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so `par_iter` /
+//! `into_par_iter` here return plain **sequential** `std` iterators —
+//! every adaptor (`map`, `filter`, `collect`, `sum`, …) keeps working
+//! because they are ordinary `Iterator` methods. Results are identical
+//! to real rayon's (same per-item work, deterministic order); only
+//! wall-clock parallel speed-up is lost. Swapping the path dependency
+//! back to crates.io `rayon` restores parallelism with no code changes.
+
+/// The traits a `use rayon::prelude::*;` is expected to bring in.
+pub mod prelude {
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// Item type of the iterator.
+        type Item;
+        /// Concrete iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Consumes `self`, yielding a ("parallel") iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = std::ops::Range<usize>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Referenced item type.
+        type Item: 'data;
+        /// Concrete iterator type produced.
+        type Iter: Iterator<Item = &'data Self::Item>;
+
+        /// Borrows `self`, yielding a ("parallel") iterator of references.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelRefMutIterator`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Referenced item type.
+        type Item: 'data;
+        /// Concrete iterator type produced.
+        type Iter: Iterator<Item = &'data mut Self::Item>;
+
+        /// Mutably borrows `self`, yielding a ("parallel") iterator.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = T;
+        type Iter = std::slice::IterMut<'data, T>;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = T;
+        type Iter = std::slice::IterMut<'data, T>;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.as_mut_slice().iter_mut()
+        }
+    }
+}
+
+/// Runs the two closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Reports the worker-pool width; 1, since this stand-in is sequential.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: u64 = v.into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}
