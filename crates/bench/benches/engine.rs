@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use std::hint::black_box;
 
 use cps_core::CacheConfig;
-use cps_engine::{EngineConfig, RepartitionEngine};
+use cps_engine::{EngineConfig, RepartitionEngine, ShardedEngine};
 use cps_trace::{interleave_proportional, Block, CoTrace, Trace, WorkloadSpec};
 
 fn four_tenant_cotrace(len: usize) -> CoTrace {
@@ -53,6 +53,28 @@ fn bench_engine(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // Sharded variant of the same loop: per-epoch fan-out over worker
+    // threads, barrier merge, one global solve, broadcast actuation.
+    // On a multi-core host the profiling phase scales with the shard
+    // count; on one core the curve stays flat and only measures the
+    // fan-out/merge overhead.
+    for shards in [1usize, 2, 4] {
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sharded_epoch_loop_P4_C128_E5000", shards),
+            &shards,
+            |b, &n| {
+                b.iter_batched(
+                    || ShardedEngine::new(EngineConfig::new(CacheConfig::new(128, 1), 5_000), 4, n),
+                    |mut engine| {
+                        engine.run(stream.iter().copied());
+                        black_box(engine.finish())
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
     group.throughput(Throughput::Elements(1));
 
     // Boundary re-solve cost as cache size grows (expected quadratic):

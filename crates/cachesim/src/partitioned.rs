@@ -121,6 +121,17 @@ impl PartitionedCache {
         }
     }
 
+    /// Returns the per-tenant counts accumulated since the last reset
+    /// and clears them, leaving cache contents warm — the shard-local
+    /// accounting step of an epoch barrier (each shard's replica hands
+    /// its epoch counts to the merger in one call).
+    pub fn take_counts(&mut self) -> Vec<AccessCounts> {
+        std::mem::replace(
+            &mut self.counts,
+            vec![AccessCounts::default(); self.partitions.len()],
+        )
+    }
+
     /// Resident blocks of one partition from MRU to LRU (diagnostic).
     ///
     /// # Panics
@@ -274,6 +285,21 @@ mod tests {
         pc.reset_counts();
         assert_eq!(pc.counts(0).accesses, 0);
         assert!(pc.access(0, 7), "contents survive a counter reset");
+    }
+
+    #[test]
+    fn take_counts_returns_and_resets() {
+        let mut pc = PartitionedCache::new(&[2, 2]);
+        pc.access(0, 1);
+        pc.access(0, 1);
+        pc.access(1, 9);
+        let taken = pc.take_counts();
+        assert_eq!(taken[0].accesses, 2);
+        assert_eq!(taken[0].misses, 1);
+        assert_eq!(taken[1].accesses, 1);
+        assert_eq!(pc.counts(0).accesses, 0);
+        assert_eq!(pc.counts(1).accesses, 0);
+        assert!(pc.access(0, 1), "contents stay warm across take_counts");
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property tests for [`PartitionedCache::set_allocation`] — the live
+//! repartitioning primitive the online engine's actuator stage relies
+//! on. The graceful-resize contract:
+//!
+//! * **grow** preserves every resident block and the full MRU→LRU
+//!   recency order (new space is pure headroom);
+//! * **shrink** evicts exactly `old_len − new_len` blocks (clamped to
+//!   residency), all taken from the LRU end, leaving the surviving
+//!   prefix untouched;
+//! * partitions are isolated: resizing one tenant never disturbs
+//!   another's contents, and totals follow the requested allocation.
+
+use cps_cachesim::PartitionedCache;
+use proptest::prelude::*;
+
+/// A two-tenant access script over small address regions, so residency
+/// and eviction actually happen.
+fn accesses_strategy() -> impl Strategy<Value = Vec<(usize, u64)>> {
+    prop::collection::vec((0usize..2, 0u64..24), 1..300)
+}
+
+proptest! {
+    #[test]
+    fn grow_preserves_contents_and_lru_order(
+        accesses in accesses_strategy(),
+        cap0 in 1usize..12,
+        cap1 in 1usize..12,
+        extra in 1usize..10,
+    ) {
+        let mut pc = PartitionedCache::new(&[cap0, cap1]);
+        for &(t, b) in &accesses {
+            pc.access(t, b);
+        }
+        let before0 = pc.resident_mru_order(0);
+        let before1 = pc.resident_mru_order(1);
+        pc.set_allocation(&[cap0 + extra, cap1]);
+        prop_assert_eq!(pc.resident_mru_order(0), before0);
+        prop_assert_eq!(pc.resident_mru_order(1), before1, "peer untouched");
+        prop_assert_eq!(pc.allocation(), vec![cap0 + extra, cap1]);
+    }
+
+    #[test]
+    fn shrink_evicts_exactly_excess_from_lru_end(
+        accesses in accesses_strategy(),
+        cap0 in 2usize..14,
+        cap1 in 1usize..14,
+        cut in 1usize..13,
+    ) {
+        let new0 = cap0.saturating_sub(cut);
+        let mut pc = PartitionedCache::new(&[cap0, cap1]);
+        for &(t, b) in &accesses {
+            pc.access(t, b);
+        }
+        let before0 = pc.resident_mru_order(0);
+        let before1 = pc.resident_mru_order(1);
+        pc.set_allocation(&[new0, cap1]);
+        let after0 = pc.resident_mru_order(0);
+        // Exactly old_resident − new_cap blocks leave (never negative),
+        // and the survivors are the MRU prefix in unchanged order.
+        let expect_len = before0.len().min(new0);
+        prop_assert_eq!(after0.len(), expect_len);
+        prop_assert_eq!(after0.as_slice(), &before0[..expect_len]);
+        prop_assert_eq!(pc.resident_mru_order(1), before1, "peer untouched");
+        prop_assert_eq!(pc.allocation(), vec![new0, cap1]);
+    }
+
+    #[test]
+    fn reallocation_roundtrip_is_lossless_when_it_fits(
+        accesses in accesses_strategy(),
+        cap in 4usize..16,
+        shift in 1usize..4,
+    ) {
+        // Shrink-then-restore: the blocks that survived the shrink must
+        // all survive the round trip, still in order, still hittable.
+        let mut pc = PartitionedCache::new(&[cap, cap]);
+        for &(t, b) in &accesses {
+            pc.access(t, b);
+        }
+        let shrunk = cap - shift;
+        pc.set_allocation(&[shrunk, cap + shift]);
+        let survivors = pc.resident_mru_order(0);
+        pc.set_allocation(&[cap, cap]);
+        prop_assert_eq!(pc.resident_mru_order(0), survivors.clone());
+        pc.reset_counts();
+        for &b in &survivors {
+            prop_assert!(pc.access(0, b), "survivor {b} must still hit");
+        }
+    }
+
+    #[test]
+    fn set_allocation_never_disturbs_counters(
+        accesses in accesses_strategy(),
+        cap0 in 1usize..10,
+        cap1 in 1usize..10,
+        new0 in 1usize..10,
+        new1 in 1usize..10,
+    ) {
+        let mut pc = PartitionedCache::new(&[cap0, cap1]);
+        for &(t, b) in &accesses {
+            pc.access(t, b);
+        }
+        let c0 = pc.counts(0);
+        let c1 = pc.counts(1);
+        pc.set_allocation(&[new0, new1]);
+        prop_assert_eq!(pc.counts(0), c0);
+        prop_assert_eq!(pc.counts(1), c1);
+        let total: u64 = pc.take_counts().iter().map(|c| c.accesses).sum();
+        prop_assert_eq!(total, accesses.len() as u64);
+        prop_assert_eq!(pc.counts(0).accesses, 0, "take_counts resets");
+    }
+}

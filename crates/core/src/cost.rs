@@ -9,10 +9,93 @@
 //! is **forbidden** (`+∞` cost), and the DP simply never picks it.
 
 use crate::config::CacheConfig;
+use crate::dp::Combine;
 use cps_hotl::MissRatioCurve;
 
 /// Cost forbidden by a baseline constraint.
 pub const FORBIDDEN: f64 = f64::INFINITY;
+
+/// Normalizes non-negative activity weights (access counts or rates)
+/// into shares `f_i` summing to 1, falling back to an equal split when
+/// the total is zero — the DP's throughput weights.
+///
+/// # Panics
+/// Panics if `weights` is empty or contains a negative/non-finite value.
+pub fn access_shares(weights: &[f64]) -> Vec<f64> {
+    assert!(!weights.is_empty(), "need at least one program");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let total: f64 = weights.iter().sum();
+    if total == 0.0 {
+        vec![1.0 / weights.len() as f64; weights.len()]
+    } else {
+        weights.iter().map(|w| w / total).collect()
+    }
+}
+
+/// Per-program baseline caps at a fixed allocation:
+/// `mrcs[i].at(to_blocks(alloc[i]))` — the miss ratio each program
+/// achieves under `alloc`, which the baseline-constrained DP must not
+/// let it exceed.
+///
+/// # Panics
+/// Panics if `mrcs` and `alloc` lengths differ.
+pub fn caps_at_allocation(
+    mrcs: &[&MissRatioCurve],
+    config: &CacheConfig,
+    alloc: &[usize],
+) -> Vec<f64> {
+    assert_eq!(mrcs.len(), alloc.len(), "one allocation per program");
+    mrcs.iter()
+        .zip(alloc)
+        .map(|(m, &u)| m.at(config.to_blocks(u)))
+        .collect()
+}
+
+/// Caps for the *equal-partition* baseline of Section VI: each program
+/// must do no worse than it would in a `1/P` share of the cache.
+pub fn equal_baseline_caps(mrcs: &[&MissRatioCurve], config: &CacheConfig) -> Vec<f64> {
+    caps_at_allocation(mrcs, config, &config.equal_split(mrcs.len()))
+}
+
+/// Builds the DP's per-program cost-curve vector in one call.
+///
+/// Weights follow the objective: under [`Combine::Sum`] each program is
+/// weighted by its access share (summed costs equal the group miss
+/// ratio); under [`Combine::Max`] every program weighs 1 (max-min on
+/// raw miss ratios). With `caps`, allocations violating a program's
+/// baseline become [`FORBIDDEN`].
+///
+/// # Panics
+/// Panics if `mrcs`, `shares`, and any `caps` differ in length.
+pub fn build_cost_curves(
+    mrcs: &[&MissRatioCurve],
+    config: &CacheConfig,
+    shares: &[f64],
+    objective: Combine,
+    caps: Option<&[f64]>,
+) -> Vec<CostCurve> {
+    assert_eq!(mrcs.len(), shares.len(), "one share per program");
+    if let Some(caps) = caps {
+        assert_eq!(mrcs.len(), caps.len(), "one cap per program");
+    }
+    mrcs.iter()
+        .zip(shares)
+        .enumerate()
+        .map(|(i, (m, &share))| {
+            let weight = match objective {
+                Combine::Sum => share,
+                Combine::Max => 1.0,
+            };
+            match caps {
+                Some(caps) => CostCurve::with_baseline_cap(m, config, weight, caps[i]),
+                None => CostCurve::from_miss_ratio(m, config, weight),
+            }
+        })
+        .collect()
+}
 
 /// Cost of giving a program `0..=units` partition units.
 #[derive(Clone, Debug, PartialEq)]
@@ -174,5 +257,56 @@ mod tests {
     fn clamping_past_end() {
         let cost = CostCurve::from_raw(vec![0.5, 0.2]);
         assert_eq!(cost.at(10), 0.2);
+    }
+
+    #[test]
+    fn shares_normalize_and_fall_back_to_equal() {
+        let s = access_shares(&[30.0, 10.0]);
+        assert!((s[0] - 0.75).abs() < 1e-12);
+        assert!((s[1] - 0.25).abs() < 1e-12);
+        assert_eq!(access_shares(&[0.0, 0.0, 0.0]), vec![1.0 / 3.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one program")]
+    fn shares_reject_empty() {
+        let _ = access_shares(&[]);
+    }
+
+    #[test]
+    fn equal_caps_read_curves_at_equal_split() {
+        let m1 = loop_mrc(16, 2000, 32);
+        let m2 = loop_mrc(8, 2000, 32);
+        let cfg = CacheConfig::new(16, 2);
+        let caps = equal_baseline_caps(&[&m1, &m2], &cfg);
+        // equal_split(2) of 16 units = [8, 8] units = 16 blocks each.
+        assert_eq!(caps, vec![m1.at(16), m2.at(16)]);
+    }
+
+    #[test]
+    fn built_curves_match_hand_built_ones() {
+        let m1 = loop_mrc(16, 2000, 64);
+        let m2 = loop_mrc(40, 2000, 64);
+        let cfg = CacheConfig::new(32, 2);
+        let shares = access_shares(&[300.0, 100.0]);
+
+        let sum = build_cost_curves(&[&m1, &m2], &cfg, &shares, Combine::Sum, None);
+        assert_eq!(sum[0], CostCurve::from_miss_ratio(&m1, &cfg, shares[0]));
+        assert_eq!(sum[1], CostCurve::from_miss_ratio(&m2, &cfg, shares[1]));
+
+        // Max-min ignores shares: every program weighs 1.
+        let max = build_cost_curves(&[&m1, &m2], &cfg, &shares, Combine::Max, None);
+        assert_eq!(max[0], CostCurve::from_miss_ratio(&m1, &cfg, 1.0));
+
+        let caps = equal_baseline_caps(&[&m1, &m2], &cfg);
+        let capped = build_cost_curves(&[&m1, &m2], &cfg, &shares, Combine::Sum, Some(&caps));
+        assert_eq!(
+            capped[0],
+            CostCurve::with_baseline_cap(&m1, &cfg, shares[0], caps[0])
+        );
+        assert_eq!(
+            capped[1],
+            CostCurve::with_baseline_cap(&m2, &cfg, shares[1], caps[1])
+        );
     }
 }

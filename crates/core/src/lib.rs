@@ -58,8 +58,9 @@ pub mod sttw;
 pub mod sweep;
 
 pub use config::CacheConfig;
-pub use cost::CostCurve;
+pub use cost::{access_shares, build_cost_curves, equal_baseline_caps, CostCurve};
 pub use dp::{optimal_partition, Combine, DpSolver, PartitionResult};
+pub use natural::{natural_baseline_caps, natural_partition_units};
 pub use schemes::{evaluate_group, GroupEvaluation, Scheme, SchemeResult};
 pub use sttw::sttw_partition;
 pub use sweep::{all_k_subsets, sweep_groups, GroupRecord, ImprovementStats, Study};

@@ -7,7 +7,8 @@
 //! exact-sum, and never more than one unit from the real occupancy).
 
 use crate::config::CacheConfig;
-use cps_hotl::CoRunModel;
+use crate::cost::caps_at_allocation;
+use cps_hotl::{CoRunModel, MissRatioCurve, SoloProfile};
 
 /// Rounds fractional unit targets to integers summing to `total`.
 ///
@@ -68,10 +69,28 @@ pub fn natural_partition_units(model: &CoRunModel<'_>, config: &CacheConfig) -> 
     round_to_units(&targets, config.units)
 }
 
+/// Caps for the *natural-partition* baseline of Section VI: each
+/// program must do no worse than at its natural (free-sharing) cache
+/// occupancy. The occupancy model is built from `members`; the caps are
+/// read off `mrcs` (callers may pass blended online curves rather than
+/// the members' own, as the repartitioning engine does).
+///
+/// # Panics
+/// Panics if `members` is empty or `mrcs` has a different length.
+pub fn natural_baseline_caps(
+    members: &[&SoloProfile],
+    mrcs: &[&MissRatioCurve],
+    config: &CacheConfig,
+) -> Vec<f64> {
+    assert_eq!(members.len(), mrcs.len(), "one curve per member");
+    let model = CoRunModel::new(members.to_vec());
+    let alloc = natural_partition_units(&model, config);
+    caps_at_allocation(mrcs, config, &alloc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cps_hotl::SoloProfile;
     use cps_trace::WorkloadSpec;
 
     #[test]
@@ -116,5 +135,21 @@ mod tests {
         let units = natural_partition_units(&model, &cfg);
         assert_eq!(units.iter().sum::<usize>(), 64);
         assert!((units[0] as i64 - units[1] as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn natural_caps_are_curves_at_natural_allocation() {
+        let mk = |ws: u64, seed: u64| {
+            let t = WorkloadSpec::SequentialLoop { working_set: ws }.generate(30_000, seed);
+            SoloProfile::from_trace(format!("p{seed}"), &t.blocks, 1.0, 128)
+        };
+        let (a, b) = (mk(40, 1), mk(90, 2));
+        let cfg = CacheConfig::new(64, 2);
+        let members = vec![&a, &b];
+        let caps = natural_baseline_caps(&members, &[&a.mrc, &b.mrc], &cfg);
+        let model = CoRunModel::new(members);
+        let alloc = natural_partition_units(&model, &cfg);
+        assert_eq!(caps[0], a.mrc.at(cfg.to_blocks(alloc[0])));
+        assert_eq!(caps[1], b.mrc.at(cfg.to_blocks(alloc[1])));
     }
 }

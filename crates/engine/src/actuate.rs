@@ -1,0 +1,212 @@
+//! The pipeline's **actuate** stage: applying allocations to a live cache.
+//!
+//! A [`CacheActuator`] owns the serving cache. It carries each access
+//! during an epoch, hands its per-epoch counts to the merger at the
+//! boundary, and decides whether a proposed allocation is worth
+//! applying. The default implementation, [`HysteresisActuator`], wraps
+//! a [`PartitionedCache`] and suppresses moves smaller than the
+//! configured hysteresis threshold; repartitioning is *graceful*
+//! (growing partitions gain headroom, shrinking ones evict only their
+//! LRU tail), so hot data survives reconfiguration.
+//!
+//! The apply decision is a pure function of `(current, target,
+//! threshold)` — see [`units_moved`] — which is what lets a sharded
+//! engine run one actuator replica per shard and know every replica
+//! reaches the same verdict.
+
+use crate::EngineConfig;
+use cps_cachesim::{AccessCounts, PartitionedCache};
+use cps_core::CacheConfig;
+use cps_trace::Block;
+
+/// Units that would change hands between two allocations: half the L1
+/// distance (every unit leaving one tenant arrives at another).
+///
+/// # Panics
+/// Panics if the allocations differ in length.
+pub fn units_moved(old: &[usize], new: &[usize]) -> usize {
+    assert_eq!(old.len(), new.len(), "allocations must align");
+    old.iter()
+        .zip(new)
+        .map(|(&o, &n)| o.abs_diff(n))
+        .sum::<usize>()
+        / 2
+}
+
+/// What the actuator did with a proposed allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Actuation {
+    /// Whether the proposal was applied to the cache.
+    pub repartitioned: bool,
+    /// Units the proposal would have moved (recorded even when the
+    /// move was suppressed by hysteresis).
+    pub units_moved: usize,
+}
+
+/// The pipeline's cache-facing stage.
+pub trait CacheActuator: Send {
+    /// Allocation (units) currently in force.
+    fn allocation_units(&self) -> &[usize];
+
+    /// Serves one access; returns `true` on a hit.
+    fn access(&mut self, tenant: usize, block: Block) -> bool;
+
+    /// Returns the per-tenant counts accumulated since the last call
+    /// and resets them, leaving cache contents warm.
+    fn take_counts(&mut self) -> Vec<AccessCounts>;
+
+    /// Considers a proposed allocation, applying it if it clears the
+    /// stage's policy (e.g. hysteresis).
+    fn apply(&mut self, target_units: &[usize]) -> Actuation;
+}
+
+/// The default actuate stage: a live [`PartitionedCache`] plus a
+/// minimum-move threshold.
+#[derive(Clone, Debug)]
+pub struct HysteresisActuator {
+    cache: PartitionedCache,
+    geometry: CacheConfig,
+    min_units: usize,
+    current_units: Vec<usize>,
+}
+
+impl HysteresisActuator {
+    /// Builds the stage from the engine's knobs, starting every tenant
+    /// at an equal split.
+    ///
+    /// # Panics
+    /// Panics if `tenants` is zero.
+    pub fn new(config: &EngineConfig, tenants: usize) -> Self {
+        assert!(tenants > 0, "need at least one tenant");
+        let current_units = config.cache.equal_split(tenants);
+        let sizes: Vec<usize> = current_units
+            .iter()
+            .map(|&u| config.cache.to_blocks(u))
+            .collect();
+        HysteresisActuator {
+            cache: PartitionedCache::new(&sizes),
+            geometry: config.cache,
+            min_units: config.min_repartition_units,
+            current_units,
+        }
+    }
+
+    /// The live cache (diagnostic).
+    pub fn cache(&self) -> &PartitionedCache {
+        &self.cache
+    }
+}
+
+impl CacheActuator for HysteresisActuator {
+    fn allocation_units(&self) -> &[usize] {
+        &self.current_units
+    }
+
+    fn access(&mut self, tenant: usize, block: Block) -> bool {
+        self.cache.access(tenant, block)
+    }
+
+    fn take_counts(&mut self) -> Vec<AccessCounts> {
+        self.cache.take_counts()
+    }
+
+    fn apply(&mut self, target_units: &[usize]) -> Actuation {
+        let moved = units_moved(&self.current_units, target_units);
+        if moved >= self.min_units && moved > 0 {
+            let sizes: Vec<usize> = target_units
+                .iter()
+                .map(|&u| self.geometry.to_blocks(u))
+                .collect();
+            self.cache.set_allocation(&sizes);
+            self.current_units = target_units.to_vec();
+            Actuation {
+                repartitioned: true,
+                units_moved: moved,
+            }
+        } else {
+            Actuation {
+                repartitioned: false,
+                units_moved: moved,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(units: usize, min: usize) -> EngineConfig {
+        EngineConfig::new(CacheConfig::new(units, 2), 100).hysteresis(min)
+    }
+
+    #[test]
+    fn moved_is_half_l1_distance() {
+        assert_eq!(units_moved(&[8, 8], &[8, 8]), 0);
+        assert_eq!(units_moved(&[8, 8], &[10, 6]), 2);
+        assert_eq!(units_moved(&[4, 8, 4], &[8, 4, 4]), 4);
+    }
+
+    #[test]
+    fn apply_clears_threshold_and_scales_to_blocks() {
+        let mut a = HysteresisActuator::new(&config(16, 2), 2);
+        assert_eq!(a.allocation_units(), &[8, 8]);
+        let act = a.apply(&[11, 5]);
+        assert_eq!(
+            act,
+            Actuation {
+                repartitioned: true,
+                units_moved: 3
+            }
+        );
+        assert_eq!(a.allocation_units(), &[11, 5]);
+        // 2 blocks per unit.
+        assert_eq!(a.cache().allocation(), vec![22, 10]);
+    }
+
+    #[test]
+    fn small_moves_are_suppressed_but_reported() {
+        let mut a = HysteresisActuator::new(&config(16, 4), 2);
+        let act = a.apply(&[10, 6]);
+        assert_eq!(
+            act,
+            Actuation {
+                repartitioned: false,
+                units_moved: 2
+            }
+        );
+        assert_eq!(a.allocation_units(), &[8, 8], "cache untouched");
+        assert_eq!(a.cache().allocation(), vec![16, 16]);
+    }
+
+    #[test]
+    fn counts_flow_through_take() {
+        let mut a = HysteresisActuator::new(&config(4, 1), 2);
+        a.access(0, 1);
+        a.access(0, 1);
+        a.access(1, 9);
+        let c = a.take_counts();
+        assert_eq!(c[0].accesses, 2);
+        assert_eq!(c[0].misses, 1);
+        assert_eq!(c[1].accesses, 1);
+        assert_eq!(a.take_counts()[0].accesses, 0, "taking resets");
+        assert!(a.access(0, 1), "contents stay warm");
+    }
+
+    #[test]
+    fn replicas_reach_identical_verdicts() {
+        // The sharded engine's assumption: same knobs + same proposal
+        // => same decision on every replica, regardless of contents.
+        let cfg = config(16, 3);
+        let mut a = HysteresisActuator::new(&cfg, 2);
+        let mut b = HysteresisActuator::new(&cfg, 2);
+        for i in 0..50u64 {
+            a.access((i % 2) as usize, i);
+        }
+        b.access(0, 999); // very different contents
+        for target in [[8usize, 8], [9, 7], [12, 4], [11, 5]] {
+            assert_eq!(a.apply(&target), b.apply(&target));
+            assert_eq!(a.allocation_units(), b.allocation_units());
+        }
+    }
+}

@@ -3,26 +3,30 @@
 //! Sections VII–VIII of the paper argue that optimal partition-sharing is
 //! practical online: footprints "can be collected in real time" and the
 //! `O(P·C²)` dynamic program is cheap enough to re-run periodically. This
-//! crate closes that loop. A [`RepartitionEngine`] ingests one
-//! interleaved multi-tenant access stream and, every *epoch*:
+//! crate closes that loop as a **pipeline of swappable stages**, one
+//! module per stage:
 //!
-//! 1. **profiles** — each tenant's accesses feed a private
-//!    [`WindowedProfiler`] (exact within the epoch, exponentially decayed
-//!    across epochs);
-//! 2. **re-solves** — the blended per-tenant miss-ratio curves become DP
-//!    cost curves (optionally capped by an equal-split or natural-
-//!    partition fairness baseline, Section VI) and a reusable
-//!    [`DpSolver`] finds the optimal allocation;
-//! 3. **repartitions** — if the new allocation moves at least the
-//!    hysteresis threshold of units, it is applied to the live
-//!    [`PartitionedCache`] *gracefully*: growing partitions just gain
-//!    headroom, shrinking ones evict only their LRU tail, so hot data
-//!    survives reconfiguration.
+//! 1. **profile** ([`TenantProfiler`], default
+//!    [`WindowedProfiler`](cps_hotl::windowed::WindowedProfiler)) —
+//!    each tenant's accesses feed a private windowed profiler (exact
+//!    within the epoch, exponentially decayed across epochs);
+//! 2. **solve** ([`PartitionSolver`], default [`DpPartitionSolver`]) —
+//!    the blended per-tenant miss-ratio curves become DP cost curves
+//!    (optionally capped by an equal-split or natural-partition fairness
+//!    baseline, Section VI) and a reusable solver finds the optimal
+//!    allocation;
+//! 3. **actuate** ([`CacheActuator`], default [`HysteresisActuator`]) —
+//!    if the new allocation moves at least the hysteresis threshold of
+//!    units, it is applied to the live `PartitionedCache` *gracefully*:
+//!    growing partitions just gain headroom, shrinking ones evict only
+//!    their LRU tail, so hot data survives reconfiguration.
 //!
-//! Every epoch is recorded — realized per-tenant hit/miss counts under
-//! the allocation that was actually in force, the DP's predicted cost,
-//! solve latency, and how many units moved — in an [`EngineReport`],
-//! making controller behaviour auditable after the fact.
+//! [`RepartitionEngine`] composes the three stages over a single access
+//! stream; [`ShardedEngine`] runs the same pipeline over `N` stream
+//! shards on real threads, merging per-shard profiles at each epoch
+//! barrier into one global solve (see [`shard`] for the protocol and its
+//! determinism guarantee). Every epoch is recorded in an
+//! [`EngineReport`] (see [`report`]).
 //!
 //! The access stream is any `(tenant, block)` iterator;
 //! `cps_trace::InterleavedStream` produces one lazily from live
@@ -32,13 +36,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use std::time::Instant;
+pub mod actuate;
+pub mod profile;
+pub mod report;
+pub mod shard;
+pub mod solve;
 
-use cps_cachesim::{AccessCounts, PartitionedCache};
-use cps_core::natural::natural_partition_units;
-use cps_core::{CacheConfig, Combine, CostCurve, DpSolver};
-use cps_hotl::windowed::{ProfilerMode, WindowedProfiler};
-use cps_hotl::{CoRunModel, Footprint, MissRatioCurve, SoloProfile};
+pub use actuate::{units_moved, Actuation, CacheActuator, HysteresisActuator};
+pub use profile::{default_profilers, window_solo_profiles, TenantProfiler};
+pub use report::{weighted_miss_ratio, EngineReport, EpochRecord};
+pub use shard::ShardedEngine;
+pub use solve::{DpPartitionSolver, PartitionSolver, SolveInput, SolveOutcome};
+
+use cps_cachesim::AccessCounts;
+use cps_core::{CacheConfig, Combine};
+use cps_hotl::windowed::ProfilerMode;
+use cps_hotl::MissRatioCurve;
 use cps_trace::Block;
 
 /// Tenant index into the engine's partitions and profilers.
@@ -136,104 +149,133 @@ impl EngineConfig {
     }
 }
 
-/// What happened in one epoch.
-#[derive(Clone, Debug)]
-pub struct EpochRecord {
-    /// Epoch index, from 0.
-    pub epoch: usize,
-    /// Allocation (units) in force *during* this epoch.
-    pub allocation: Vec<usize>,
-    /// Realized per-tenant counts under that allocation.
-    pub per_tenant: Vec<AccessCounts>,
-    /// DP-predicted cost of the allocation chosen *at the end* of this
-    /// epoch; `None` if the solve was skipped or infeasible.
-    pub predicted_cost: Option<f64>,
-    /// Wall-clock nanoseconds spent in the DP solve (0 if skipped).
-    pub solve_nanos: u64,
-    /// Whether a new allocation was applied at this epoch's boundary.
-    pub repartitioned: bool,
-    /// Units that moved between tenants at the boundary (half the L1
-    /// distance between old and new allocations).
-    pub units_moved: usize,
+/// The epoch machinery shared by [`RepartitionEngine`] and
+/// [`ShardedEngine`]: profile stage, solve stage, and the record
+/// keeping. Keeping one implementation is what makes the two engines'
+/// control decisions identical by construction.
+/// Epoch-boundary actuation callback: applies a target allocation to
+/// the live cache(s) and reports what physically happened.
+pub(crate) type ActuateFn<'a> = &'a mut dyn FnMut(&[usize]) -> Actuation;
+
+pub(crate) struct EpochCore {
+    pub(crate) config: EngineConfig,
+    pub(crate) profilers: Vec<Box<dyn TenantProfiler>>,
+    pub(crate) solver: Box<dyn PartitionSolver>,
+    pub(crate) epoch: usize,
+    pub(crate) records: Vec<EpochRecord>,
+    pub(crate) totals: Vec<AccessCounts>,
 }
 
-impl EpochRecord {
-    /// Realized access-weighted group miss ratio of this epoch.
-    pub fn miss_ratio(&self) -> f64 {
-        weighted_miss_ratio(&self.per_tenant)
+impl EpochCore {
+    fn new(config: EngineConfig, tenants: usize) -> Self {
+        assert!(tenants > 0, "need at least one tenant");
+        EpochCore {
+            profilers: default_profilers(&config, tenants),
+            solver: Box::new(DpPartitionSolver::new(&config)),
+            epoch: 0,
+            records: Vec::new(),
+            totals: vec![AccessCounts::default(); tenants],
+            config,
+        }
     }
 
-    /// Total accesses served this epoch.
-    pub fn accesses(&self) -> u64 {
-        self.per_tenant.iter().map(|c| c.accesses).sum()
-    }
-}
-
-/// The engine's structured run record.
-#[derive(Clone, Debug)]
-pub struct EngineReport {
-    /// Number of tenants.
-    pub tenants: usize,
-    /// Cache geometry the run used.
-    pub cache: CacheConfig,
-    /// Per-epoch records, in order (including a final partial epoch if
-    /// the stream ended mid-epoch).
-    pub epochs: Vec<EpochRecord>,
-    /// Lifetime per-tenant counts.
-    pub totals: Vec<AccessCounts>,
-}
-
-impl EngineReport {
-    /// Cumulative access-weighted group miss ratio over the whole run.
-    pub fn cumulative_miss_ratio(&self) -> f64 {
-        weighted_miss_ratio(&self.totals)
+    fn with_stages(
+        config: EngineConfig,
+        profilers: Vec<Box<dyn TenantProfiler>>,
+        solver: Box<dyn PartitionSolver>,
+    ) -> Self {
+        assert!(!profilers.is_empty(), "need at least one tenant");
+        let tenants = profilers.len();
+        EpochCore {
+            profilers,
+            solver,
+            epoch: 0,
+            records: Vec::new(),
+            totals: vec![AccessCounts::default(); tenants],
+            config,
+        }
     }
 
-    /// Cumulative miss ratio of one tenant.
-    ///
-    /// # Panics
-    /// Panics if `tenant` is out of range.
-    pub fn tenant_miss_ratio(&self, tenant: TenantId) -> f64 {
-        self.totals[tenant].miss_ratio()
+    fn tenants(&self) -> usize {
+        self.profilers.len()
     }
 
-    /// Number of epoch boundaries at which the allocation changed.
-    pub fn repartition_count(&self) -> usize {
-        self.epochs.iter().filter(|e| e.repartitioned).count()
-    }
+    /// Runs the epoch-boundary pipeline: totals, natural-baseline
+    /// snapshot, window close, re-solve, and (when `actuate` is given)
+    /// application of the chosen allocation. Appends the epoch record.
+    pub(crate) fn close_epoch(
+        &mut self,
+        served_allocation: Vec<usize>,
+        per_tenant: Vec<AccessCounts>,
+        actuate: Option<ActuateFn<'_>>,
+    ) {
+        for (t, c) in self.totals.iter_mut().zip(&per_tenant) {
+            t.merge(c);
+        }
 
-    /// Total nanoseconds spent in DP solves.
-    pub fn total_solve_nanos(&self) -> u64 {
-        self.epochs.iter().map(|e| e.solve_nanos).sum()
-    }
-
-    /// Mean nanoseconds per performed DP solve (`None` if none ran).
-    pub fn mean_solve_nanos(&self) -> Option<u64> {
-        let solved: Vec<u64> = self
-            .epochs
-            .iter()
-            .filter(|e| e.solve_nanos > 0)
-            .map(|e| e.solve_nanos)
-            .collect();
-        if solved.is_empty() {
-            None
+        // Natural-baseline inputs need the exact epoch windows, captured
+        // before `end_window` folds and resets them.
+        let window_profiles = if self.config.policy == Policy::NaturalBaseline {
+            Some(window_solo_profiles(
+                &self.profilers,
+                &per_tenant,
+                self.config.cache.blocks(),
+            ))
         } else {
-            Some(solved.iter().sum::<u64>() / solved.len() as u64)
+            None
+        };
+        let mrcs: Vec<Option<MissRatioCurve>> =
+            self.profilers.iter_mut().map(|p| p.end_window()).collect();
+
+        let outcome = if mrcs.iter().all(|m| m.is_some()) {
+            let mrcs: Vec<MissRatioCurve> = mrcs.into_iter().flatten().collect();
+            self.solver.solve(SolveInput {
+                mrcs: &mrcs,
+                per_tenant: &per_tenant,
+                window_profiles: window_profiles.as_deref(),
+            })
+        } else {
+            // Some tenant has never been seen; keep the allocation until
+            // every curve exists.
+            SolveOutcome {
+                predicted_cost: None,
+                solve_nanos: 0,
+                allocation: None,
+            }
+        };
+
+        let actuation = match (outcome.allocation, actuate) {
+            (Some(units), Some(apply)) => apply(&units),
+            _ => Actuation {
+                repartitioned: false,
+                units_moved: 0,
+            },
+        };
+
+        self.records.push(EpochRecord {
+            epoch: self.epoch,
+            allocation: served_allocation,
+            per_tenant,
+            predicted_cost: outcome.predicted_cost,
+            solve_nanos: outcome.solve_nanos,
+            repartitioned: actuation.repartitioned,
+            units_moved: actuation.units_moved,
+        });
+        self.epoch += 1;
+    }
+
+    fn into_report(self) -> EngineReport {
+        EngineReport {
+            tenants: self.totals.len(),
+            cache: self.config.cache,
+            epochs: self.records,
+            totals: self.totals,
         }
     }
 }
 
-fn weighted_miss_ratio(counts: &[AccessCounts]) -> f64 {
-    let acc: u64 = counts.iter().map(|c| c.accesses).sum();
-    let mis: u64 = counts.iter().map(|c| c.misses).sum();
-    if acc == 0 {
-        0.0
-    } else {
-        mis as f64 / acc as f64
-    }
-}
-
-/// The epoch-driven online repartitioning controller.
+/// The epoch-driven online repartitioning controller — the stage
+/// pipeline over one access stream.
 ///
 /// # Examples
 ///
@@ -256,64 +298,71 @@ fn weighted_miss_ratio(counts: &[AccessCounts]) -> f64 {
 /// assert!(report.epochs.last().unwrap().allocation[0] >= 20);
 /// ```
 pub struct RepartitionEngine {
-    config: EngineConfig,
-    cache: PartitionedCache,
-    profilers: Vec<WindowedProfiler>,
-    solver: DpSolver,
-    current_units: Vec<usize>,
-    epoch: usize,
+    core: EpochCore,
+    actuator: Box<dyn CacheActuator>,
     epoch_accesses: usize,
-    records: Vec<EpochRecord>,
-    totals: Vec<AccessCounts>,
 }
 
 impl RepartitionEngine {
-    /// Creates an engine for `tenants` tenants, starting from an equal
-    /// split of the cache.
+    /// Creates an engine for `tenants` tenants with the default stages
+    /// (windowed profilers, DP solver, hysteresis actuator), starting
+    /// from an equal split of the cache.
     ///
     /// # Panics
     /// Panics if `tenants` is zero.
     pub fn new(config: EngineConfig, tenants: usize) -> Self {
         assert!(tenants > 0, "need at least one tenant");
-        let current_units = config.cache.equal_split(tenants);
-        let sizes: Vec<usize> = current_units
-            .iter()
-            .map(|&u| config.cache.to_blocks(u))
-            .collect();
-        let blocks = config.cache.blocks();
         RepartitionEngine {
-            cache: PartitionedCache::new(&sizes),
-            profilers: (0..tenants)
-                .map(|_| WindowedProfiler::new(blocks, config.profiler))
-                .collect(),
-            solver: DpSolver::new(),
-            current_units,
-            epoch: 0,
+            core: EpochCore::new(config, tenants),
+            actuator: Box::new(HysteresisActuator::new(&config, tenants)),
             epoch_accesses: 0,
-            records: Vec::new(),
-            totals: vec![AccessCounts::default(); tenants],
-            config,
+        }
+    }
+
+    /// Composes an engine from explicit stage implementations — the
+    /// escape hatch for swapping any stage (a sampled profiler, a
+    /// heuristic solver, a hardware-backed actuator) without touching
+    /// the control loop.
+    ///
+    /// # Panics
+    /// Panics if `profilers` is empty or its length disagrees with the
+    /// actuator's allocation.
+    pub fn with_stages(
+        config: EngineConfig,
+        profilers: Vec<Box<dyn TenantProfiler>>,
+        solver: Box<dyn PartitionSolver>,
+        actuator: Box<dyn CacheActuator>,
+    ) -> Self {
+        assert_eq!(
+            profilers.len(),
+            actuator.allocation_units().len(),
+            "one profiler per actuated tenant"
+        );
+        RepartitionEngine {
+            core: EpochCore::with_stages(config, profilers, solver),
+            actuator,
+            epoch_accesses: 0,
         }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
-        &self.config
+        &self.core.config
     }
 
     /// Number of tenants.
     pub fn tenants(&self) -> usize {
-        self.profilers.len()
+        self.core.tenants()
     }
 
     /// Current allocation in units.
     pub fn allocation_units(&self) -> &[usize] {
-        &self.current_units
+        self.actuator.allocation_units()
     }
 
     /// Epochs completed so far.
     pub fn epochs_completed(&self) -> usize {
-        self.epoch
+        self.core.epoch
     }
 
     /// Serves one access; returns `true` on a hit. Crossing the epoch
@@ -322,10 +371,10 @@ impl RepartitionEngine {
     /// # Panics
     /// Panics if `tenant` is out of range.
     pub fn record_access(&mut self, tenant: TenantId, block: Block) -> bool {
-        self.profilers[tenant].observe(block);
-        let hit = self.cache.access(tenant, block);
+        self.core.profilers[tenant].observe(block);
+        let hit = self.actuator.access(tenant, block);
         self.epoch_accesses += 1;
-        if self.epoch_accesses == self.config.epoch_length {
+        if self.epoch_accesses == self.core.config.epoch_length {
             self.end_epoch();
         }
         hit
@@ -341,193 +390,30 @@ impl RepartitionEngine {
 
     /// Finishes the run, flushing any partial final epoch, and returns
     /// the report.
+    ///
+    /// A trailing epoch shorter than `epoch_length` is profiled and
+    /// re-solved like any other (its counts enter the totals and its
+    /// record carries the solve's prediction and latency) but never
+    /// actuated — there is no next epoch for a new allocation to serve.
     pub fn finish(mut self) -> EngineReport {
         if self.epoch_accesses > 0 {
-            // Partial epoch: account for it without a re-solve (there is
-            // no next epoch for a new allocation to serve).
-            let per_tenant = self.cache.all_counts().to_vec();
-            self.accumulate_totals(&per_tenant);
-            self.records.push(EpochRecord {
-                epoch: self.epoch,
-                allocation: self.current_units.clone(),
-                per_tenant,
-                predicted_cost: None,
-                solve_nanos: 0,
-                repartitioned: false,
-                units_moved: 0,
-            });
+            let served_allocation = self.actuator.allocation_units().to_vec();
+            let per_tenant = self.actuator.take_counts();
+            self.core.close_epoch(served_allocation, per_tenant, None);
         }
-        EngineReport {
-            tenants: self.profilers.len(),
-            cache: self.config.cache,
-            epochs: self.records,
-            totals: self.totals,
-        }
-    }
-
-    fn accumulate_totals(&mut self, per_tenant: &[AccessCounts]) {
-        for (t, c) in self.totals.iter_mut().zip(per_tenant) {
-            t.merge(c);
-        }
+        self.core.into_report()
     }
 
     fn end_epoch(&mut self) {
-        let served_allocation = self.current_units.clone();
-        let per_tenant = self.cache.all_counts().to_vec();
-        self.accumulate_totals(&per_tenant);
-        self.cache.reset_counts();
+        let served_allocation = self.actuator.allocation_units().to_vec();
+        let per_tenant = self.actuator.take_counts();
         self.epoch_accesses = 0;
-
-        // Natural-baseline inputs need the exact epoch windows, captured
-        // before `end_window` folds and resets them.
-        let window_profiles = if self.config.policy == Policy::NaturalBaseline {
-            Some(self.window_solo_profiles(&per_tenant))
-        } else {
-            None
-        };
-        let mrcs: Vec<Option<MissRatioCurve>> =
-            self.profilers.iter_mut().map(|p| p.end_window()).collect();
-
-        let decision = if mrcs.iter().all(|m| m.is_some()) {
-            let mrcs: Vec<MissRatioCurve> = mrcs.into_iter().map(|m| m.unwrap()).collect();
-            Some(self.solve(&mrcs, &per_tenant, window_profiles.as_deref()))
-        } else {
-            // Some tenant has never been seen; keep the allocation until
-            // every curve exists.
-            None
-        };
-
-        let (predicted_cost, solve_nanos, new_units) = match decision {
-            Some((cost, nanos, units)) => (cost, nanos, units),
-            None => (None, 0, None),
-        };
-
-        let (repartitioned, units_moved) = match new_units {
-            Some(units) => {
-                let moved: usize = units
-                    .iter()
-                    .zip(&self.current_units)
-                    .map(|(&n, &o)| n.abs_diff(o))
-                    .sum::<usize>()
-                    / 2;
-                if moved >= self.config.min_repartition_units && moved > 0 {
-                    let sizes: Vec<usize> = units
-                        .iter()
-                        .map(|&u| self.config.cache.to_blocks(u))
-                        .collect();
-                    self.cache.set_allocation(&sizes);
-                    self.current_units = units;
-                    (true, moved)
-                } else {
-                    (false, moved)
-                }
-            }
-            None => (false, 0),
-        };
-
-        self.records.push(EpochRecord {
-            epoch: self.epoch,
-            allocation: served_allocation,
+        let actuator = &mut self.actuator;
+        self.core.close_epoch(
+            served_allocation,
             per_tenant,
-            predicted_cost,
-            solve_nanos,
-            repartitioned,
-            units_moved,
-        });
-        self.epoch += 1;
-    }
-
-    fn window_solo_profiles(&self, per_tenant: &[AccessCounts]) -> Vec<SoloProfile> {
-        let blocks = self.config.cache.blocks();
-        self.profilers
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let reuse = p.window_reuse();
-                let footprint = Footprint::from_reuse(&reuse);
-                let mrc = MissRatioCurve::from_footprint(&footprint, blocks);
-                SoloProfile {
-                    name: format!("tenant{i}"),
-                    access_rate: (per_tenant[i].accesses.max(1)) as f64,
-                    accesses: reuse.accesses,
-                    footprint,
-                    mrc,
-                }
-            })
-            .collect()
-    }
-
-    /// Builds cost curves and runs the DP. Returns `(predicted cost,
-    /// solve nanos, new allocation if feasible)`.
-    fn solve(
-        &mut self,
-        mrcs: &[MissRatioCurve],
-        per_tenant: &[AccessCounts],
-        window_profiles: Option<&[SoloProfile]>,
-    ) -> (Option<f64>, u64, Option<Vec<usize>>) {
-        let config = &self.config.cache;
-        let total: u64 = per_tenant.iter().map(|c| c.accesses).sum();
-        let shares: Vec<f64> = per_tenant
-            .iter()
-            .map(|c| {
-                if total == 0 {
-                    1.0 / per_tenant.len() as f64
-                } else {
-                    c.accesses as f64 / total as f64
-                }
-            })
-            .collect();
-
-        let caps: Option<Vec<f64>> = match self.config.policy {
-            Policy::Optimal => None,
-            Policy::EqualBaseline => {
-                let alloc = config.equal_split(mrcs.len());
-                Some(
-                    mrcs.iter()
-                        .zip(&alloc)
-                        .map(|(m, &u)| m.at(config.to_blocks(u)))
-                        .collect(),
-                )
-            }
-            Policy::NaturalBaseline => {
-                let profiles = window_profiles.expect("captured before end_window");
-                let members: Vec<&SoloProfile> = profiles.iter().collect();
-                let model = CoRunModel::new(members);
-                let alloc = natural_partition_units(&model, config);
-                Some(
-                    mrcs.iter()
-                        .zip(&alloc)
-                        .map(|(m, &u)| m.at(config.to_blocks(u)))
-                        .collect(),
-                )
-            }
-        };
-
-        let costs: Vec<CostCurve> = mrcs
-            .iter()
-            .zip(&shares)
-            .enumerate()
-            .map(|(i, (m, &share))| {
-                let weight = match self.config.objective {
-                    Combine::Sum => share,
-                    Combine::Max => 1.0,
-                };
-                match &caps {
-                    Some(caps) => CostCurve::with_baseline_cap(m, config, weight, caps[i]),
-                    None => CostCurve::from_miss_ratio(m, config, weight),
-                }
-            })
-            .collect();
-
-        let started = Instant::now();
-        let result = self
-            .solver
-            .solve(&costs, config.units, self.config.objective);
-        let solve_nanos = started.elapsed().as_nanos() as u64;
-        match result {
-            Some(r) => (Some(r.cost), solve_nanos, Some(r.allocation)),
-            None => (None, solve_nanos, None),
-        }
+            Some(&mut |units: &[usize]| actuator.apply(units)),
+        );
     }
 }
 
@@ -588,17 +474,25 @@ mod tests {
     }
 
     #[test]
-    fn partial_final_epoch_is_flushed() {
+    fn partial_final_epoch_is_flushed_profiled_and_solved() {
         let t0 = WorkloadSpec::SequentialLoop { working_set: 8 }.generate(2_500, 1);
         let cfg = EngineConfig::new(CacheConfig::new(16, 1), 1_000);
         let mut engine = RepartitionEngine::new(cfg, 1);
         engine.run(t0.blocks.iter().map(|&b| (0usize, b)));
         let report = engine.finish();
         assert_eq!(report.epochs.len(), 3, "2 full + 1 partial epoch");
-        assert_eq!(report.epochs[2].accesses(), 500);
+        let partial = &report.epochs[2];
+        assert_eq!(partial.accesses(), 500);
         let total: u64 = report.epochs.iter().map(|e| e.accesses()).sum();
         assert_eq!(total, 2_500);
         assert_eq!(report.totals[0].accesses, 2_500);
+        // The partial epoch goes through the full profile + solve
+        // pipeline (its 500 accesses are not dropped from the blended
+        // curve) but is never actuated.
+        assert!(partial.predicted_cost.is_some(), "partial epoch solved");
+        assert!(partial.solve_nanos > 0);
+        assert!(!partial.repartitioned);
+        assert_eq!(partial.units_moved, 0);
     }
 
     #[test]
@@ -663,5 +557,39 @@ mod tests {
     #[should_panic(expected = "at least one tenant")]
     fn zero_tenants_panics() {
         let _ = RepartitionEngine::new(EngineConfig::new(CacheConfig::new(8, 1), 100), 0);
+    }
+
+    #[test]
+    fn custom_stages_drive_the_same_loop() {
+        // A constant solver always proposing [cache, 0, ...] — the
+        // pipeline applies it through the normal actuate path.
+        struct Greedy {
+            units: usize,
+        }
+        impl PartitionSolver for Greedy {
+            fn solve(&mut self, input: SolveInput<'_>) -> SolveOutcome {
+                let mut alloc = vec![0; input.mrcs.len()];
+                alloc[0] = self.units;
+                SolveOutcome {
+                    predicted_cost: Some(0.0),
+                    solve_nanos: 1,
+                    allocation: Some(alloc),
+                }
+            }
+        }
+        let cfg = EngineConfig::new(CacheConfig::new(32, 1), 500);
+        let engine = RepartitionEngine::with_stages(
+            cfg,
+            default_profilers(&cfg, 2),
+            Box::new(Greedy { units: 32 }),
+            Box::new(HysteresisActuator::new(&cfg, 2)),
+        );
+        let mut engine = engine;
+        for i in 0..1_000u64 {
+            engine.record_access((i % 2) as usize, i % 40);
+        }
+        assert_eq!(engine.allocation_units(), &[32, 0]);
+        let report = engine.finish();
+        assert!(report.epochs.iter().any(|e| e.repartitioned));
     }
 }

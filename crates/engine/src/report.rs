@@ -1,0 +1,163 @@
+//! Epoch records and run reports — the pipeline's observable output.
+//!
+//! Every epoch the engine closes produces an [`EpochRecord`]: the
+//! allocation that was actually in force, the realized per-tenant
+//! hit/miss counts under it, and what the re-solve decided at the
+//! boundary. A finished run rolls them up into an [`EngineReport`],
+//! making controller behaviour auditable after the fact.
+
+use crate::TenantId;
+use cps_cachesim::AccessCounts;
+use cps_core::CacheConfig;
+
+/// What happened in one epoch.
+#[derive(Clone, Debug)]
+pub struct EpochRecord {
+    /// Epoch index, from 0.
+    pub epoch: usize,
+    /// Allocation (units) in force *during* this epoch.
+    pub allocation: Vec<usize>,
+    /// Realized per-tenant counts under that allocation.
+    pub per_tenant: Vec<AccessCounts>,
+    /// DP-predicted cost of the allocation chosen *at the end* of this
+    /// epoch; `None` if the solve was skipped or infeasible.
+    pub predicted_cost: Option<f64>,
+    /// Wall-clock nanoseconds spent in the DP solve (0 if skipped).
+    pub solve_nanos: u64,
+    /// Whether a new allocation was applied at this epoch's boundary.
+    pub repartitioned: bool,
+    /// Units that moved between tenants at the boundary (half the L1
+    /// distance between old and new allocations).
+    pub units_moved: usize,
+}
+
+impl EpochRecord {
+    /// Realized access-weighted group miss ratio of this epoch.
+    pub fn miss_ratio(&self) -> f64 {
+        weighted_miss_ratio(&self.per_tenant)
+    }
+
+    /// Total accesses served this epoch.
+    pub fn accesses(&self) -> u64 {
+        self.per_tenant.iter().map(|c| c.accesses).sum()
+    }
+}
+
+/// The engine's structured run record.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Cache geometry the run used.
+    pub cache: CacheConfig,
+    /// Per-epoch records, in order (including a final partial epoch if
+    /// the stream ended mid-epoch — profiled and solved like any other,
+    /// but never actuated, since no further accesses would be served).
+    pub epochs: Vec<EpochRecord>,
+    /// Lifetime per-tenant counts.
+    pub totals: Vec<AccessCounts>,
+}
+
+impl EngineReport {
+    /// Cumulative access-weighted group miss ratio over the whole run.
+    pub fn cumulative_miss_ratio(&self) -> f64 {
+        weighted_miss_ratio(&self.totals)
+    }
+
+    /// Cumulative miss ratio of one tenant.
+    ///
+    /// # Panics
+    /// Panics if `tenant` is out of range.
+    pub fn tenant_miss_ratio(&self, tenant: TenantId) -> f64 {
+        self.totals[tenant].miss_ratio()
+    }
+
+    /// Number of epoch boundaries at which the allocation changed.
+    pub fn repartition_count(&self) -> usize {
+        self.epochs.iter().filter(|e| e.repartitioned).count()
+    }
+
+    /// Total nanoseconds spent in DP solves.
+    pub fn total_solve_nanos(&self) -> u64 {
+        self.epochs.iter().map(|e| e.solve_nanos).sum()
+    }
+
+    /// Mean nanoseconds per performed DP solve (`None` if none ran).
+    pub fn mean_solve_nanos(&self) -> Option<u64> {
+        let solved: Vec<u64> = self
+            .epochs
+            .iter()
+            .filter(|e| e.solve_nanos > 0)
+            .map(|e| e.solve_nanos)
+            .collect();
+        if solved.is_empty() {
+            None
+        } else {
+            Some(solved.iter().sum::<u64>() / solved.len() as u64)
+        }
+    }
+
+    /// The per-epoch allocation decisions, in order — the byte-exact
+    /// control trajectory. Two runs are *control-equivalent* (same
+    /// profile → solve → actuate decisions) iff these match, regardless
+    /// of how realized hit counts differ; this is what the sharded
+    /// engine's determinism guarantee is stated over.
+    pub fn allocation_trajectory(&self) -> Vec<&[usize]> {
+        self.epochs
+            .iter()
+            .map(|e| e.allocation.as_slice())
+            .collect()
+    }
+}
+
+/// Access-weighted group miss ratio of a set of per-tenant counts
+/// (0 when nothing was accessed).
+pub fn weighted_miss_ratio(counts: &[AccessCounts]) -> f64 {
+    let acc: u64 = counts.iter().map(|c| c.accesses).sum();
+    let mis: u64 = counts.iter().map(|c| c.misses).sum();
+    if acc == 0 {
+        0.0
+    } else {
+        mis as f64 / acc as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(accesses: u64, misses: u64) -> AccessCounts {
+        AccessCounts { accesses, misses }
+    }
+
+    #[test]
+    fn weighted_ratio_handles_empty_and_mixes() {
+        assert_eq!(weighted_miss_ratio(&[]), 0.0);
+        assert_eq!(weighted_miss_ratio(&[counts(0, 0)]), 0.0);
+        let r = weighted_miss_ratio(&[counts(100, 50), counts(300, 30)]);
+        assert!((r - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trajectory_lists_epoch_allocations_in_order() {
+        let mk = |epoch: usize, alloc: Vec<usize>| EpochRecord {
+            epoch,
+            allocation: alloc,
+            per_tenant: vec![counts(10, 1)],
+            predicted_cost: None,
+            solve_nanos: 0,
+            repartitioned: false,
+            units_moved: 0,
+        };
+        let report = EngineReport {
+            tenants: 1,
+            cache: CacheConfig::new(8, 1),
+            epochs: vec![mk(0, vec![4, 4]), mk(1, vec![6, 2])],
+            totals: vec![counts(20, 2)],
+        };
+        assert_eq!(
+            report.allocation_trajectory(),
+            vec![&[4usize, 4][..], &[6, 2][..]]
+        );
+    }
+}

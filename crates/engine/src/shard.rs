@@ -1,0 +1,326 @@
+//! The **sharded** engine: the same pipeline fanned out over threads.
+//!
+//! [`ShardedEngine`] buffers one epoch of the interleaved stream and
+//! splits it into `N` contiguous chunks. Inside a `rayon::scope`, each
+//! shard profiles its chunk into private per-tenant [`OnlineProfiler`]s
+//! and serves it against its own full-size cache replica. At the epoch
+//! barrier the shards' window segments are absorbed — **in stream
+//! order** — into the engine's global per-tenant profilers, their epoch
+//! counts are summed, and a *single* DP solve runs on the merged
+//! curves; the chosen allocation is then broadcast back to every
+//! shard's actuator.
+//!
+//! # Determinism guarantee
+//!
+//! For any shard count, the merged solve is byte-identical to the
+//! single-shard solve on the same stream, so the per-epoch allocation
+//! trajectory of the report is invariant in `N`:
+//!
+//! * profile merge is exact — [`OnlineProfiler::absorb`] stitches
+//!   cross-chunk reuse pairs with integer histogram arithmetic, so the
+//!   merged window equals the unsharded window bit for bit;
+//! * the solve consumes only merged curves and per-tenant *access*
+//!   counts, and every access lands in exactly one shard, so its inputs
+//!   are preserved;
+//! * the actuate decision is a pure function of `(current, target,
+//!   threshold)`, so every replica reaches the same verdict.
+//!
+//! What is *not* invariant is shard-local accounting: each replica
+//! serves only its slice of the stream against its own LRU state, so
+//! realized hit/miss counts drift from the unsharded run (a block hot
+//! across a chunk boundary is re-faulted by the next shard). The report
+//! sums the replicas' counts honestly; with 1 shard they equal the
+//! [`RepartitionEngine`]'s exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use cps_core::CacheConfig;
+//! use cps_engine::{EngineConfig, RepartitionEngine, ShardedEngine};
+//! use cps_trace::{InterleavedStream, WorkloadSpec};
+//!
+//! let feed = || {
+//!     InterleavedStream::new(
+//!         vec![
+//!             WorkloadSpec::SequentialLoop { working_set: 20 }.stream(1),
+//!             WorkloadSpec::UniformRandom { region: 200 }.stream(2),
+//!         ],
+//!         vec![1.0, 1.0],
+//!     )
+//! };
+//! let cfg = EngineConfig::new(CacheConfig::new(64, 1), 2_000);
+//! let mut single = RepartitionEngine::new(cfg, 2);
+//! single.run(feed().take(10_000));
+//! let mut sharded = ShardedEngine::new(cfg, 2, 4);
+//! sharded.run(feed().take(10_000));
+//! // Same control trajectory, any shard count.
+//! let (a, b) = (single.finish(), sharded.finish());
+//! for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+//!     assert_eq!(ea.allocation, eb.allocation);
+//! }
+//! ```
+
+use crate::actuate::{Actuation, CacheActuator, HysteresisActuator};
+use crate::report::EngineReport;
+use crate::{EngineConfig, EpochCore, TenantId};
+use cps_cachesim::AccessCounts;
+use cps_hotl::online::OnlineProfiler;
+use cps_trace::Block;
+
+#[allow(unused_imports)] // doc links
+use crate::RepartitionEngine;
+
+/// The sharded repartitioning controller.
+pub struct ShardedEngine {
+    core: EpochCore,
+    actuators: Vec<HysteresisActuator>,
+    buffer: Vec<(TenantId, Block)>,
+}
+
+impl ShardedEngine {
+    /// Creates an engine whose epochs are processed by `shards` threads,
+    /// starting from an equal split of the cache.
+    ///
+    /// # Panics
+    /// Panics if `tenants` or `shards` is zero.
+    pub fn new(config: EngineConfig, tenants: usize, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedEngine {
+            core: EpochCore::new(config, tenants),
+            actuators: (0..shards)
+                .map(|_| HysteresisActuator::new(&config, tenants))
+                .collect(),
+            buffer: Vec::with_capacity(config.epoch_length),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.core.config
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.core.profilers.len()
+    }
+
+    /// Number of stream shards (worker threads per epoch).
+    pub fn shards(&self) -> usize {
+        self.actuators.len()
+    }
+
+    /// Current allocation in units.
+    pub fn allocation_units(&self) -> &[usize] {
+        self.actuators[0].allocation_units()
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs_completed(&self) -> usize {
+        self.core.epoch
+    }
+
+    /// Buffers one access; a full epoch buffer triggers the parallel
+    /// profile → merge → solve → broadcast step. Unlike
+    /// [`RepartitionEngine::record_access`] this cannot return the
+    /// hit/miss outcome synchronously — the access is served when its
+    /// shard processes it — so consult the report for realized counts.
+    ///
+    /// # Panics
+    /// Panics if `tenant` is out of range.
+    pub fn record_access(&mut self, tenant: TenantId, block: Block) {
+        assert!(tenant < self.tenants(), "tenant {tenant} out of range");
+        self.buffer.push((tenant, block));
+        if self.buffer.len() == self.core.config.epoch_length {
+            self.process_epoch(true);
+        }
+    }
+
+    /// Drains an interleaved stream through the engine. Bound infinite
+    /// streams with `Iterator::take`.
+    pub fn run(&mut self, accesses: impl IntoIterator<Item = (TenantId, Block)>) {
+        for (tenant, block) in accesses {
+            self.record_access(tenant, block);
+        }
+    }
+
+    /// Finishes the run, flushing any partial final epoch (profiled and
+    /// solved but never actuated, exactly like
+    /// [`RepartitionEngine::finish`]), and returns the report.
+    pub fn finish(mut self) -> EngineReport {
+        if !self.buffer.is_empty() {
+            self.process_epoch(false);
+        }
+        self.core.into_report()
+    }
+
+    /// One epoch barrier: fan out, profile + serve per shard, merge in
+    /// stream order, solve once, broadcast the decision.
+    fn process_epoch(&mut self, actuate: bool) {
+        let buffer = std::mem::take(&mut self.buffer);
+        let tenants = self.tenants();
+        let shards = self.actuators.len();
+        let len = buffer.len();
+
+        // Fan-out: shard i owns the contiguous chunk [i·len/N, (i+1)·len/N).
+        let mut outputs: Vec<Option<(Vec<OnlineProfiler>, Vec<AccessCounts>)>> =
+            (0..shards).map(|_| None).collect();
+        rayon::scope(|s| {
+            for (i, (actuator, out)) in self
+                .actuators
+                .iter_mut()
+                .zip(outputs.iter_mut())
+                .enumerate()
+            {
+                let chunk = &buffer[i * len / shards..(i + 1) * len / shards];
+                s.spawn(move |_| {
+                    let mut profs: Vec<OnlineProfiler> =
+                        (0..tenants).map(|_| OnlineProfiler::new()).collect();
+                    for &(t, b) in chunk {
+                        profs[t].observe(b);
+                        actuator.access(t, b);
+                    }
+                    *out = Some((profs, actuator.take_counts()));
+                });
+            }
+        });
+
+        // Barrier merge: absorb each shard's window segment into the
+        // global profilers in stream order (exactness requires it) and
+        // sum the shard-local counts.
+        let mut per_tenant = vec![AccessCounts::default(); tenants];
+        for slot in outputs {
+            let (profs, counts) = slot.expect("every shard reports");
+            for (profiler, chunk_prof) in self.core.profilers.iter_mut().zip(&profs) {
+                profiler.absorb_window(chunk_prof);
+            }
+            for (acc, c) in per_tenant.iter_mut().zip(&counts) {
+                acc.merge(c);
+            }
+        }
+
+        let served_allocation = self.actuators[0].allocation_units().to_vec();
+        let actuators = &mut self.actuators;
+        let mut broadcast = |units: &[usize]| -> Actuation {
+            let mut actuation = Actuation {
+                repartitioned: false,
+                units_moved: 0,
+            };
+            for a in actuators.iter_mut() {
+                actuation = a.apply(units);
+            }
+            actuation
+        };
+        self.core.close_epoch(
+            served_allocation,
+            per_tenant,
+            if actuate { Some(&mut broadcast) } else { None },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RepartitionEngine;
+    use cps_core::CacheConfig;
+    use cps_trace::{interleave_proportional, Trace, WorkloadSpec};
+
+    fn four_tenant_cotrace(total: usize) -> Vec<(usize, u64)> {
+        let specs = [
+            WorkloadSpec::SequentialLoop { working_set: 24 },
+            WorkloadSpec::Zipfian {
+                region: 150,
+                alpha: 0.8,
+            },
+            WorkloadSpec::WorkingSetWalk {
+                region: 300,
+                window: 30,
+                dwell: 500,
+            },
+            WorkloadSpec::UniformRandom { region: 400 },
+        ];
+        let traces: Vec<Trace> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.generate(total, 1 + i as u64))
+            .collect();
+        let refs: Vec<&Trace> = traces.iter().collect();
+        let co = interleave_proportional(&refs, &[1.0, 2.0, 1.0, 1.5], total);
+        co.tenant_accesses().collect()
+    }
+
+    #[test]
+    fn one_shard_equals_the_single_engine_exactly() {
+        let accesses = four_tenant_cotrace(24_000);
+        let cfg = EngineConfig::new(CacheConfig::new(128, 1), 5_000);
+        let mut single = RepartitionEngine::new(cfg, 4);
+        single.run(accesses.iter().copied());
+        let mut sharded = ShardedEngine::new(cfg, 4, 1);
+        sharded.run(accesses.iter().copied());
+        let (a, b) = (single.finish(), sharded.finish());
+        assert_eq!(a.epochs.len(), b.epochs.len());
+        for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+            assert_eq!(ea.allocation, eb.allocation, "epoch {}", ea.epoch);
+            assert_eq!(ea.per_tenant, eb.per_tenant, "epoch {}", ea.epoch);
+            assert_eq!(ea.predicted_cost, eb.predicted_cost, "epoch {}", ea.epoch);
+            assert_eq!(ea.repartitioned, eb.repartitioned, "epoch {}", ea.epoch);
+            assert_eq!(ea.units_moved, eb.units_moved, "epoch {}", ea.epoch);
+        }
+        assert_eq!(a.totals, b.totals);
+    }
+
+    #[test]
+    fn control_trajectory_is_invariant_in_shard_count() {
+        let accesses = four_tenant_cotrace(23_500); // ends mid-epoch
+        let cfg = EngineConfig::new(CacheConfig::new(128, 1), 5_000).hysteresis(2);
+        let reports: Vec<EngineReport> = [1usize, 2, 3, 8]
+            .iter()
+            .map(|&n| {
+                let mut e = ShardedEngine::new(cfg, 4, n);
+                e.run(accesses.iter().copied());
+                e.finish()
+            })
+            .collect();
+        let baseline = &reports[0];
+        assert_eq!(baseline.epochs.len(), 5, "4 full + 1 partial");
+        for r in &reports[1..] {
+            assert_eq!(r.epochs.len(), baseline.epochs.len());
+            for (ea, eb) in baseline.epochs.iter().zip(&r.epochs) {
+                assert_eq!(ea.allocation, eb.allocation, "epoch {}", ea.epoch);
+                assert_eq!(ea.predicted_cost, eb.predicted_cost, "epoch {}", ea.epoch);
+                assert_eq!(ea.repartitioned, eb.repartitioned, "epoch {}", ea.epoch);
+                assert_eq!(ea.units_moved, eb.units_moved, "epoch {}", ea.epoch);
+                // Accesses (not hits) are preserved under sharding.
+                let acc_a: Vec<u64> = ea.per_tenant.iter().map(|c| c.accesses).collect();
+                let acc_b: Vec<u64> = eb.per_tenant.iter().map(|c| c.accesses).collect();
+                assert_eq!(acc_a, acc_b, "epoch {}", ea.epoch);
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_epoch_accesses_still_works() {
+        let cfg = EngineConfig::new(CacheConfig::new(8, 1), 4);
+        let mut e = ShardedEngine::new(cfg, 2, 8);
+        for i in 0..10u64 {
+            e.record_access((i % 2) as usize, i % 3);
+        }
+        let report = e.finish();
+        assert_eq!(report.epochs.len(), 3, "2 full + 1 partial");
+        let total: u64 = report.epochs.iter().map(|e| e.accesses()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedEngine::new(EngineConfig::new(CacheConfig::new(8, 1), 100), 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_tenant_panics() {
+        let mut e = ShardedEngine::new(EngineConfig::new(CacheConfig::new(8, 1), 100), 2, 2);
+        e.record_access(2, 0);
+    }
+}

@@ -13,6 +13,17 @@
 //! and the boundary terms (first/last access times) are reconstructed
 //! from the live last-seen table at snapshot time. Tests pin down that
 //! equality.
+//!
+//! Profilers are also **mergeable**: [`OnlineProfiler::absorb`] appends
+//! another profiler's observations as if they had been observed here,
+//! in order, after everything already seen. Because reuse time is a
+//! *temporal* gap (not a stack distance), concatenation is exact: the
+//! only statistics a chunk split can lose are the reuse pairs that
+//! straddle the cut, and those are reconstructed by stitching the left
+//! side's last-seen table to the right side's first-seen table. A
+//! sharded profiler that splits a stream into contiguous chunks and
+//! absorbs the per-chunk profilers in stream order therefore produces
+//! byte-identical snapshots to one profiler that saw the whole stream.
 
 use crate::footprint::Footprint;
 use crate::reuse::ReuseProfile;
@@ -42,6 +53,9 @@ pub struct OnlineProfiler {
     gaps: DenseHistogram,
     /// First-access times, 1-indexed (fixed once a datum appears).
     first_times: DenseHistogram,
+    /// First access position per datum, 0-indexed — the boundary data
+    /// [`OnlineProfiler::absorb`] needs to stitch cross-chunk reuses.
+    first_seen: HashMap<Block, usize>,
     /// Most recent access position per live datum.
     last_seen: HashMap<Block, usize>,
 }
@@ -56,7 +70,10 @@ impl OnlineProfiler {
     #[inline]
     pub fn observe(&mut self, block: Block) {
         match self.last_seen.insert(block, self.time) {
-            None => self.first_times.add(self.time + 1, 1),
+            None => {
+                self.first_times.add(self.time + 1, 1);
+                self.first_seen.insert(block, self.time);
+            }
             Some(p) => self.gaps.add(self.time - p, 1),
         }
         self.time += 1;
@@ -103,11 +120,44 @@ impl OnlineProfiler {
         Footprint::from_reuse(&self.snapshot_reuse())
     }
 
+    /// Appends another profiler's observations to this one, exactly as
+    /// if `chunk`'s access sequence had been observed here immediately
+    /// after everything already seen.
+    ///
+    /// This is the shard-merge primitive: split a stream into
+    /// contiguous chunks, profile each chunk independently (in
+    /// parallel), then absorb the chunk profilers **in stream order**
+    /// into one accumulator. All internal statistics are integer
+    /// histograms and position maps, so the result is byte-identical
+    /// to single-threaded profiling of the concatenated stream —
+    /// [`Self::snapshot_reuse`] and everything derived from it agree
+    /// exactly. `O(m_chunk + gap_range)` per absorb.
+    pub fn absorb(&mut self, chunk: &OnlineProfiler) {
+        let offset = self.time;
+        self.gaps.merge(&chunk.gaps);
+        for (&block, &p) in chunk.first_seen.iter() {
+            match self.last_seen.get(&block) {
+                // The chunk's first touch of `block` closes a reuse
+                // pair that straddles the chunk boundary.
+                Some(&prev) => self.gaps.add(offset + p - prev, 1),
+                None => {
+                    self.first_times.add(offset + p + 1, 1);
+                    self.first_seen.insert(block, offset + p);
+                }
+            }
+        }
+        for (&block, &p) in chunk.last_seen.iter() {
+            self.last_seen.insert(block, offset + p);
+        }
+        self.time += chunk.time;
+    }
+
     /// Resets to the empty state (e.g. at a phase boundary).
     pub fn reset(&mut self) {
         self.time = 0;
         self.gaps = DenseHistogram::new();
         self.first_times = DenseHistogram::new();
+        self.first_seen.clear();
         self.last_seen.clear();
     }
 }
@@ -178,6 +228,70 @@ mod tests {
         let snap = p.snapshot_reuse();
         assert_eq!(snap.accesses, 1);
         assert_eq!(snap.first_times.count(1), 1);
+    }
+
+    #[test]
+    fn absorb_equals_concatenated_observation() {
+        let trace = WorkloadSpec::Zipfian {
+            region: 70,
+            alpha: 0.9,
+        }
+        .generate(4_000, 11);
+        // Split into uneven contiguous chunks, profile independently,
+        // absorb in order — every statistic must match the unsharded
+        // profiler byte for byte.
+        for cuts in [vec![4_000], vec![1_000, 3_000], vec![7, 100, 2_500, 3_999]] {
+            let mut merged = OnlineProfiler::new();
+            let mut start = 0;
+            for end in cuts.iter().copied().chain(std::iter::once(4_000)) {
+                let mut chunk = OnlineProfiler::new();
+                chunk.observe_all(&trace.blocks[start..end]);
+                merged.absorb(&chunk);
+                start = end;
+            }
+            let whole = ReuseProfile::from_trace(&trace.blocks);
+            let snap = merged.snapshot_reuse();
+            assert_eq!(snap.accesses, whole.accesses, "cuts {cuts:?}");
+            assert_eq!(snap.distinct, whole.distinct, "cuts {cuts:?}");
+            assert_eq!(snap.gaps.buckets(), whole.gaps.buckets(), "cuts {cuts:?}");
+            assert_eq!(
+                snap.first_times.buckets(),
+                whole.first_times.buckets(),
+                "cuts {cuts:?}"
+            );
+            assert_eq!(
+                snap.last_times_rev.buckets(),
+                whole.last_times_rev.buckets(),
+                "cuts {cuts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_into_nonempty_profiler_stitches_boundary_reuses() {
+        // a b | b a — both cross-cut reuses must appear as gaps.
+        let mut left = OnlineProfiler::new();
+        left.observe_all(&[1, 2]);
+        let mut right = OnlineProfiler::new();
+        right.observe_all(&[2, 1]);
+        left.absorb(&right);
+        let snap = left.snapshot_reuse();
+        let whole = ReuseProfile::from_trace(&[1, 2, 2, 1]);
+        assert_eq!(snap.gaps.buckets(), whole.gaps.buckets());
+        assert_eq!(snap.distinct, 2);
+        assert_eq!(snap.accesses, 4);
+    }
+
+    #[test]
+    fn absorb_empty_chunk_is_identity() {
+        let mut p = OnlineProfiler::new();
+        p.observe_all(&[3, 4, 3]);
+        let before = p.snapshot_reuse();
+        p.absorb(&OnlineProfiler::new());
+        let after = p.snapshot_reuse();
+        assert_eq!(before.accesses, after.accesses);
+        assert_eq!(before.gaps.buckets(), after.gaps.buckets());
+        assert_eq!(before.first_times.buckets(), after.first_times.buckets());
     }
 
     #[test]

@@ -174,6 +174,56 @@ impl InterleavedStream {
     pub fn per_tenant_emitted(&self) -> &[u64] {
         &self.emitted
     }
+
+    /// Re-chunks the stream into fixed-size batches of `(tenant, block)`
+    /// pairs — the feeding shape for epoch-batched consumers such as a
+    /// sharded repartitioning engine, which splits each batch across its
+    /// shard threads. Chunks partition the underlying schedule: the
+    /// concatenation of the yielded chunks is exactly the access-by-
+    /// access stream. The chunk iterator is as unbounded as the stream;
+    /// bound it with `Iterator::take`.
+    ///
+    /// # Panics
+    /// Panics if `chunk_len` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cps_trace::{InterleavedStream, WorkloadSpec};
+    /// let streams = vec![WorkloadSpec::SequentialLoop { working_set: 4 }.stream(1)];
+    /// let mut epochs = InterleavedStream::new(streams, vec![1.0]).chunks(1_000);
+    /// let epoch = epochs.next().unwrap();
+    /// assert_eq!(epoch.len(), 1_000);
+    /// ```
+    pub fn chunks(self, chunk_len: usize) -> StreamChunks {
+        assert!(chunk_len > 0, "chunks need at least one access");
+        StreamChunks {
+            stream: self,
+            chunk_len,
+        }
+    }
+}
+
+/// Fixed-size batches of an [`InterleavedStream`]; see
+/// [`InterleavedStream::chunks`].
+pub struct StreamChunks {
+    stream: InterleavedStream,
+    chunk_len: usize,
+}
+
+impl StreamChunks {
+    /// The underlying interleaver (e.g. for `per_tenant_emitted`).
+    pub fn stream(&self) -> &InterleavedStream {
+        &self.stream
+    }
+}
+
+impl Iterator for StreamChunks {
+    type Item = Vec<(usize, Block)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(self.stream.by_ref().take(self.chunk_len).collect())
+    }
 }
 
 impl Iterator for InterleavedStream {
@@ -354,5 +404,31 @@ mod tests {
     #[should_panic(expected = "at least one stream")]
     fn empty_streaming_interleaver_panics() {
         let _ = InterleavedStream::new(Vec::new(), Vec::new());
+    }
+
+    #[test]
+    fn chunks_partition_the_schedule_exactly() {
+        let mk = || {
+            InterleavedStream::new(
+                vec![
+                    WorkloadSpec::SequentialLoop { working_set: 6 }.stream(1),
+                    WorkloadSpec::UniformRandom { region: 40 }.stream(2),
+                ],
+                vec![2.0, 1.0],
+            )
+        };
+        let flat: Vec<(usize, Block)> = mk().take(700).collect();
+        let chunked: Vec<(usize, Block)> = mk().chunks(150).take(5).flatten().take(700).collect();
+        assert_eq!(flat, chunked, "chunking must not disturb the schedule");
+        let mut c = mk().chunks(150);
+        assert_eq!(c.next().unwrap().len(), 150);
+        assert_eq!(c.stream().per_tenant_emitted().iter().sum::<u64>(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one access")]
+    fn zero_length_chunks_panic() {
+        let streams = vec![WorkloadSpec::SequentialLoop { working_set: 3 }.stream(0)];
+        let _ = InterleavedStream::new(streams, vec![1.0]).chunks(0);
     }
 }

@@ -1,0 +1,163 @@
+//! Shared plumbing for the `cps` subcommands: flag parsing, trace and
+//! profile I/O, spec parsing, and the allocation table printer.
+
+use cache_partition_sharing::hotl::persist;
+use cache_partition_sharing::prelude::*;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+
+/// Tiny flag parser: positionals plus `--key value` options.
+pub struct Args {
+    pub positional: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl Args {
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+                options.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Args {
+            positional,
+            options,
+        })
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+        }
+    }
+}
+
+pub fn parse_workload(spec: &str) -> Result<WorkloadSpec, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<u64, String> {
+        s.parse()
+            .map_err(|_| format!("bad number in workload: {s}"))
+    };
+    match parts.as_slice() {
+        ["loop", ws] => Ok(WorkloadSpec::SequentialLoop {
+            working_set: num(ws)?,
+        }),
+        ["strided", r, s] => Ok(WorkloadSpec::Strided {
+            region: num(r)?,
+            stride: num(s)?,
+        }),
+        ["uniform", r] => Ok(WorkloadSpec::UniformRandom { region: num(r)? }),
+        ["zipf", r, a] => Ok(WorkloadSpec::Zipfian {
+            region: num(r)?,
+            alpha: a.parse().map_err(|_| format!("bad alpha: {a}"))?,
+        }),
+        ["chase", r] => Ok(WorkloadSpec::PointerChase { region: num(r)? }),
+        ["stencil", dims] => {
+            let (r, c) = dims
+                .split_once('x')
+                .ok_or_else(|| format!("stencil wants ROWSxCOLS, got {dims}"))?;
+            Ok(WorkloadSpec::Stencil {
+                rows: num(r)?,
+                cols: num(c)?,
+            })
+        }
+        ["walk", r, w, d] => Ok(WorkloadSpec::WorkingSetWalk {
+            region: num(r)?,
+            window: num(w)?,
+            dwell: num(d)?,
+        }),
+        _ => Err(format!(
+            "unrecognized workload spec `{spec}` (see `cps help`)"
+        )),
+    }
+}
+
+pub fn read_trace(path: &str) -> Result<Vec<Block>, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut blocks = Vec::new();
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let v = if let Some(hex) = t.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16)
+        } else {
+            t.parse()
+        }
+        .map_err(|_| format!("{path}:{}: bad block id `{t}`", lineno + 1))?;
+        blocks.push(v);
+    }
+    if blocks.is_empty() {
+        return Err(format!("{path}: no accesses"));
+    }
+    Ok(blocks)
+}
+
+pub fn load_profiles(paths: &[String]) -> Result<Vec<SoloProfile>, String> {
+    if paths.is_empty() {
+        return Err("need at least one PROFILE file".into());
+    }
+    paths
+        .iter()
+        .map(|p| {
+            let file = File::open(p).map_err(|e| format!("open {p}: {e}"))?;
+            persist::read_profile(&mut BufReader::new(file)).map_err(|e| format!("{p}: {e}"))
+        })
+        .collect()
+}
+
+/// `--objective throughput|maxmin` → the DP combine rule.
+pub fn parse_objective(args: &Args) -> Result<Combine, String> {
+    match args.get("objective").unwrap_or("throughput") {
+        "throughput" => Ok(Combine::Sum),
+        "maxmin" => Ok(Combine::Max),
+        other => Err(format!("unknown --objective {other} (throughput|maxmin)")),
+    }
+}
+
+pub fn print_allocation_table(
+    profiles: &[SoloProfile],
+    config: &CacheConfig,
+    result: &PartitionResult,
+    shares: &[f64],
+) {
+    println!(
+        "{:<20} {:>8} {:>10} {:>12}",
+        "program", "units", "blocks", "miss ratio"
+    );
+    let mut group = 0.0;
+    for (i, p) in profiles.iter().enumerate() {
+        let u = result.allocation[i];
+        let mr = p.mrc.at(config.to_blocks(u));
+        group += shares[i] * mr;
+        println!(
+            "{:<20} {:>8} {:>10} {:>12.4}",
+            p.name,
+            u,
+            config.to_blocks(u),
+            mr
+        );
+    }
+    println!("group miss ratio: {group:.4}");
+}

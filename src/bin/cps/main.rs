@@ -1,0 +1,93 @@
+//! `cps` — command-line front end for cache partition-sharing.
+//!
+//! The workflow mirrors the paper's tooling: profile each program once
+//! (producing a binary footprint file), then compose, predict, and
+//! optimize any co-run group from the profiles alone.
+//!
+//! ```text
+//! cps gen      --workload loop:80 --len 100000 --out a.trace [--seed 1]
+//! cps profile  a.trace --out a.cpsp [--rate 1.0] [--max-blocks 1024] [--name A]
+//! cps show     a.cpsp [--points 16]
+//! cps predict  a.cpsp b.cpsp ... --cache 1024
+//! cps optimize a.cpsp b.cpsp ... --units 1024 [--bpu 1]
+//!              [--objective throughput|maxmin] [--baseline none|equal|natural]
+//! ```
+//!
+//! Trace files are plain text: one block id (u64, decimal or 0x-hex) per
+//! line; `#` comments and blank lines are ignored.
+//!
+//! Each subcommand lives in its own module; this file only parses the
+//! command word and dispatches.
+
+use std::process::ExitCode;
+
+mod common;
+mod gen;
+mod optimize;
+mod phase_plan;
+mod predict;
+mod profile;
+mod replay_online;
+mod show;
+mod stall;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "gen" => gen::run(rest),
+        "profile" => profile::run(rest),
+        "show" => show::run(rest),
+        "predict" => predict::run(rest),
+        "optimize" => optimize::run(rest),
+        "stall" => stall::run(rest),
+        "phase-plan" => phase_plan::run(rest),
+        "replay-online" => replay_online::run(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("cps: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+cps — optimal cache partition-sharing toolkit
+
+USAGE:
+  cps gen      --workload SPEC --len N --out FILE [--seed S]
+  cps profile  TRACE --out FILE [--rate R] [--max-blocks C] [--name NAME]
+               [--burst N --ratio K]   (bursty sampled profiling)
+  cps show     PROFILE [--points K]
+  cps predict  PROFILE... --cache BLOCKS
+  cps optimize PROFILE... --units U [--bpu B]
+               [--objective throughput|maxmin] [--baseline none|equal|natural]
+  cps stall    PROFILE... --cache BLOCKS   (co-run or take turns?)
+  cps phase-plan TRACE... --units U [--segments S] [--threshold T]
+               (per-phase optimal partitions from raw traces)
+  cps replay-online --workloads SPEC,SPEC,... --units U [--bpu B]
+               [--len N] [--epoch E] [--rates R,R,...] [--seed S]
+               [--decay D] [--hysteresis H] [--shards N]
+               [--objective throughput|maxmin] [--baseline none|equal|natural]
+               (live epoch-driven repartitioning vs static-optimal and
+               free-for-all sharing; --shards replays the same stream
+               through the sharded engine and reports the speedup)
+
+WORKLOAD SPECS (for `gen`):
+  loop:WS            sequential loop over WS blocks
+  strided:REGION:S   strided sweep, stride S over REGION blocks
+  uniform:REGION     uniform random over REGION blocks
+  zipf:REGION:ALPHA  Zipfian over REGION blocks, exponent ALPHA
+  chase:REGION       pointer chase over REGION blocks
+  stencil:ROWSxCOLS  3-point vertical stencil sweep
+  walk:REGION:WIN:DWELL  drifting working set";

@@ -1,0 +1,61 @@
+//! `cps profile` — profile a trace into an on-disk [`SoloProfile`],
+//! either exhaustively or with bursty sampling plus tail extrapolation.
+
+use crate::common::{read_trace, Args};
+use cache_partition_sharing::hotl::persist;
+use cache_partition_sharing::prelude::*;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+pub fn run(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let [trace_path] = args.positional.as_slice() else {
+        return Err("profile wants exactly one TRACE file".into());
+    };
+    let out = args.require("out")?;
+    let rate: f64 = args.get_parse("rate", 1.0)?;
+    let max_blocks: usize = args.get_parse("max-blocks", 1024)?;
+    let default_name = trace_path
+        .rsplit('/')
+        .next()
+        .unwrap_or(trace_path)
+        .trim_end_matches(".trace")
+        .to_string();
+    let name = args.get("name").unwrap_or(&default_name);
+    let blocks = read_trace(trace_path)?;
+    let profile = match args.get("burst") {
+        None => SoloProfile::from_trace(name, &blocks, rate, max_blocks),
+        Some(burst) => {
+            // Bursty sampled profiling with tail extrapolation, so the
+            // MRC is usable up to max_blocks even for short bursts.
+            let burst: usize = burst.parse().map_err(|_| "bad --burst".to_string())?;
+            let ratio: usize = args.get_parse("ratio", 10)?;
+            let cfg = cache_partition_sharing::hotl::BurstConfig::with_ratio(burst, ratio);
+            let fp = cache_partition_sharing::hotl::sample_footprint(&blocks, cfg)
+                .extrapolate_to(max_blocks as f64 + 1.0, blocks.len() + 1);
+            let mrc = MissRatioCurve::from_footprint(&fp, max_blocks);
+            eprintln!(
+                "sampled profiling: burst {burst}, coverage {:.1}%",
+                cfg.coverage() * 100.0
+            );
+            SoloProfile {
+                name: name.to_string(),
+                access_rate: rate,
+                accesses: fp.accesses,
+                footprint: fp,
+                mrc,
+            }
+        }
+    };
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    persist::write_profile(&mut w, &profile).map_err(|e| e.to_string())?;
+    w.flush().map_err(|e| e.to_string())?;
+    println!(
+        "profiled `{name}`: {} accesses, {} distinct blocks, mr({max_blocks}) = {:.4} -> {out}",
+        profile.accesses,
+        profile.footprint.distinct,
+        profile.mrc.at(max_blocks)
+    );
+    Ok(())
+}

@@ -1,0 +1,245 @@
+//! `cps replay-online` — replay an interleaved multi-tenant stream
+//! through the epoch-driven repartitioning engine, side by side with a
+//! static-optimal partition and free-for-all sharing, and optionally
+//! through the sharded engine (`--shards N`) to measure profiling
+//! speedup and check the shard-count-invariance guarantee.
+
+use crate::common::{parse_objective, parse_workload, Args};
+use cache_partition_sharing::prelude::*;
+use std::time::Instant;
+
+pub fn run(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let specs: Vec<WorkloadSpec> = args
+        .require("workloads")?
+        .split(',')
+        .map(parse_workload)
+        .collect::<Result<_, _>>()?;
+    if specs.len() < 2 {
+        return Err("replay-online needs at least two comma-separated workloads".into());
+    }
+    let k = specs.len();
+    let units: usize = args
+        .require("units")?
+        .parse()
+        .map_err(|_| "bad --units".to_string())?;
+    let bpu: usize = args.get_parse("bpu", 1)?;
+    let config = CacheConfig::new(units, bpu);
+    let len: usize = args.get_parse("len", 200_000)?;
+    let epoch: usize = args.get_parse("epoch", 10_000)?;
+    let seed: u64 = args.get_parse("seed", 0)?;
+    let decay: f64 = args.get_parse("decay", 0.5)?;
+    if !(0.0..1.0).contains(&decay) {
+        return Err(format!("--decay must lie in [0, 1), got {decay}"));
+    }
+    let hysteresis: usize = args.get_parse("hysteresis", 1)?;
+    let shards: usize = args.get_parse("shards", 0)?;
+    let rates: Vec<f64> = match args.get("rates") {
+        None => vec![1.0; k],
+        Some(s) => {
+            let r: Vec<f64> = s
+                .split(',')
+                .map(|x| x.parse().map_err(|_| format!("bad rate `{x}`")))
+                .collect::<Result<_, _>>()?;
+            if r.len() != k {
+                return Err(format!("{} rates for {k} workloads", r.len()));
+            }
+            r
+        }
+    };
+    let objective = args.get("objective").unwrap_or("throughput");
+    let combine = parse_objective(&args)?;
+    let policy = match args.get("baseline").unwrap_or("none") {
+        "none" => Policy::Optimal,
+        "equal" => Policy::EqualBaseline,
+        "natural" => Policy::NaturalBaseline,
+        other => return Err(format!("unknown --baseline {other} (none|equal|natural)")),
+    };
+
+    // One shared interleaved trace drives all three contenders.
+    let traces: Vec<Trace> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.generate(len, seed.wrapping_add(i as u64 + 1)))
+        .collect();
+    let refs: Vec<&Trace> = traces.iter().collect();
+    let co = interleave_proportional(&refs, &rates, len);
+
+    // Online: the epoch-driven repartitioning engine.
+    let engine_cfg = EngineConfig::new(config, epoch)
+        .policy(policy)
+        .objective(combine)
+        .decay(decay)
+        .hysteresis(hysteresis);
+    let single_start = Instant::now();
+    let mut engine = RepartitionEngine::new(engine_cfg, k);
+    engine.run(co.tenant_accesses());
+    let report = engine.finish();
+    let single_elapsed = single_start.elapsed();
+
+    // Static-optimal: one offline DP solve over full-trace profiles,
+    // then a fixed partition for the whole run.
+    let total_acc: u64 = co.per_program.iter().sum();
+    let profiles: Vec<SoloProfile> = (0..k)
+        .map(|i| {
+            let blocks: Vec<Block> = co
+                .accesses
+                .iter()
+                .filter(|a| a.program as usize == i)
+                .map(|a| a.block)
+                .collect();
+            SoloProfile::from_trace(
+                format!("t{i}"),
+                &blocks,
+                co.per_program[i].max(1) as f64 / total_acc.max(1) as f64,
+                config.blocks(),
+            )
+        })
+        .collect();
+    let costs: Vec<CostCurve> = profiles
+        .iter()
+        .map(|p| {
+            let weight = match combine {
+                Combine::Sum => p.access_rate,
+                Combine::Max => 1.0,
+            };
+            CostCurve::from_miss_ratio(&p.mrc, &config, weight)
+        })
+        .collect();
+    let static_alloc = optimal_partition(&costs, units, combine)
+        .ok_or("static solve infeasible")?
+        .allocation;
+    let static_sizes: Vec<usize> = static_alloc.iter().map(|&u| config.to_blocks(u)).collect();
+    let mut static_cache = PartitionedCache::new(&static_sizes);
+    let mut shared_cache = LruCache::new(config.blocks());
+
+    // Replay both references with the engine's epoch boundaries.
+    let mut static_mr = Vec::new();
+    let mut shared_mr = Vec::new();
+    let mut static_total = (0u64, 0u64); // (accesses, misses)
+    let mut shared_total = (0u64, 0u64);
+    for chunk in co.accesses.chunks(epoch) {
+        let (mut sa, mut sm, mut ha, mut hm) = (0u64, 0u64, 0u64, 0u64);
+        for a in chunk {
+            sa += 1;
+            sm += u64::from(!static_cache.access(a.program as usize, a.block));
+            ha += 1;
+            hm += u64::from(!shared_cache.access(a.block));
+        }
+        static_mr.push(sm as f64 / sa as f64);
+        shared_mr.push(hm as f64 / ha as f64);
+        static_total = (static_total.0 + sa, static_total.1 + sm);
+        shared_total = (shared_total.0 + ha, shared_total.1 + hm);
+    }
+
+    println!(
+        "online repartitioning: {k} tenants, {} accesses, {units} x {bpu}-block units, \
+         epoch {epoch}, decay {decay}, hysteresis {hysteresis}, objective {objective}, \
+         policy {policy:?}",
+        co.len()
+    );
+    println!(
+        "{:<7} {:>9} {:>9} {:>9}  {:>6} {:>10}  allocation (units)",
+        "epoch", "online", "static", "shared", "moved", "solve"
+    );
+    for (i, e) in report.epochs.iter().enumerate() {
+        let solve = if e.solve_nanos > 0 {
+            format!("{:.1}us", e.solve_nanos as f64 / 1e3)
+        } else {
+            "-".to_string()
+        };
+        let mark = if e.repartitioned { "*" } else { " " };
+        let alloc: Vec<String> = e.allocation.iter().map(|u| u.to_string()).collect();
+        println!(
+            "{:<7} {:>9.4} {:>9.4} {:>9.4}  {:>5}{} {:>10}  {}",
+            e.epoch,
+            e.miss_ratio(),
+            static_mr.get(i).copied().unwrap_or(f64::NAN),
+            shared_mr.get(i).copied().unwrap_or(f64::NAN),
+            e.units_moved,
+            mark,
+            solve,
+            alloc.join("/")
+        );
+    }
+    let static_cum = static_total.1 as f64 / static_total.0.max(1) as f64;
+    let shared_cum = shared_total.1 as f64 / shared_total.0.max(1) as f64;
+    println!(
+        "\ncumulative miss ratio: online {:.4} | static-optimal {:.4} | free-for-all {:.4}",
+        report.cumulative_miss_ratio(),
+        static_cum,
+        shared_cum
+    );
+    println!(
+        "{} repartitions over {} epochs; mean DP solve {}",
+        report.repartition_count(),
+        report.epochs.len(),
+        match report.mean_solve_nanos() {
+            Some(ns) => format!("{:.1} us", ns as f64 / 1e3),
+            None => "n/a".to_string(),
+        }
+    );
+
+    if shards > 0 {
+        replay_sharded(&co, engine_cfg, k, shards, &report, single_elapsed)?;
+    }
+    Ok(())
+}
+
+/// Replay the identical stream through [`ShardedEngine`] and report
+/// throughput against the single-threaded engine. The sharded engine
+/// must reproduce the single engine's allocation trajectory exactly;
+/// a divergence is an engine bug and is reported as an error.
+fn replay_sharded(
+    co: &cache_partition_sharing::trace::CoTrace,
+    engine_cfg: EngineConfig,
+    tenants: usize,
+    shards: usize,
+    single: &EngineReport,
+    single_elapsed: std::time::Duration,
+) -> Result<(), String> {
+    let sharded_start = Instant::now();
+    let mut engine = ShardedEngine::new(engine_cfg, tenants, shards);
+    engine.run(co.tenant_accesses());
+    let sharded = engine.finish();
+    let sharded_elapsed = sharded_start.elapsed();
+
+    if sharded.epochs.len() != single.epochs.len() {
+        return Err(format!(
+            "sharded engine produced {} epochs, single engine {}",
+            sharded.epochs.len(),
+            single.epochs.len()
+        ));
+    }
+    for (a, b) in single.epochs.iter().zip(&sharded.epochs) {
+        if a.allocation != b.allocation {
+            return Err(format!(
+                "sharded engine diverged at epoch {}: single {:?}, {shards} shards {:?}",
+                a.epoch, a.allocation, b.allocation
+            ));
+        }
+    }
+
+    let accesses = co.len() as f64;
+    let rate = |d: std::time::Duration| accesses / d.as_secs_f64().max(1e-12) / 1e6;
+    println!("\nsharded replay: same stream, allocations identical across shard counts");
+    println!(
+        "{:<10} {:>12} {:>14} {:>9}",
+        "engine", "elapsed", "Maccesses/s", "speedup"
+    );
+    println!(
+        "{:<10} {:>10.1}ms {:>14.2} {:>8.2}x",
+        "single",
+        single_elapsed.as_secs_f64() * 1e3,
+        rate(single_elapsed),
+        1.0
+    );
+    println!(
+        "{:<10} {:>10.1}ms {:>14.2} {:>8.2}x",
+        format!("{shards}-shard"),
+        sharded_elapsed.as_secs_f64() * 1e3,
+        rate(sharded_elapsed),
+        single_elapsed.as_secs_f64() / sharded_elapsed.as_secs_f64().max(1e-12)
+    );
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! `cps show` — dump a stored profile's summary and sampled MRC points.
+
+use crate::common::{load_profiles, Args};
+
+pub fn run(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let profiles = load_profiles(&args.positional)?;
+    let points: usize = args.get_parse("points", 16)?;
+    for p in &profiles {
+        println!(
+            "{}: accesses {}, distinct {}, access rate {}",
+            p.name, p.accesses, p.footprint.distinct, p.access_rate
+        );
+        let max = p.mrc.max_blocks();
+        println!("  cache     miss ratio");
+        for i in 0..=points {
+            let c = i * max / points;
+            println!("  {c:>7}   {:.5}", p.mrc.at(c));
+        }
+    }
+    Ok(())
+}

@@ -334,6 +334,33 @@ fn phase_plan_tracks_alternating_working_sets() {
 }
 
 #[test]
+fn replay_online_sharded_reports_speedup_and_stays_deterministic() {
+    let dir = tempdir("sharded");
+    let s = stdout(&cps(
+        &[
+            "replay-online",
+            "--workloads",
+            "loop:40,zipf:200:0.8",
+            "--units",
+            "64",
+            "--len",
+            "20000",
+            "--epoch",
+            "5000",
+            "--shards",
+            "3",
+        ],
+        &dir,
+    ));
+    assert!(s.contains("cumulative miss ratio"), "{s}");
+    // The sharded section appears, with both rows and the identity check.
+    assert!(s.contains("allocations identical"), "{s}");
+    assert!(s.contains("3-shard"), "{s}");
+    assert!(s.contains("speedup"), "{s}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trace_parser_accepts_hex_and_comments() {
     let dir = tempdir("parser");
     std::fs::write(dir.join("hex.trace"), "# comment\n0x10\n16\n\n0xFF\n255\n").unwrap();

@@ -1,13 +1,21 @@
-//! Offline sequential stand-in for the `rayon` API subset this
-//! workspace uses.
+//! Offline stand-in for the `rayon` API subset this workspace uses.
 //!
 //! The build environment has no access to crates.io, so `par_iter` /
 //! `into_par_iter` here return plain **sequential** `std` iterators —
 //! every adaptor (`map`, `filter`, `collect`, `sum`, …) keeps working
 //! because they are ordinary `Iterator` methods. Results are identical
 //! to real rayon's (same per-item work, deterministic order); only
-//! wall-clock parallel speed-up is lost. Swapping the path dependency
-//! back to crates.io `rayon` restores parallelism with no code changes.
+//! wall-clock parallel speed-up is lost on the iterator side. Swapping
+//! the path dependency back to crates.io `rayon` restores iterator
+//! parallelism with no code changes.
+//!
+//! [`scope`] is different: it is backed by `std::thread::scope`, so
+//! tasks spawned inside a scope run on **real OS threads** and finish
+//! before the scope returns — the same structured-concurrency contract
+//! as upstream rayon's `scope`, minus the work-stealing pool (each
+//! spawn gets its own thread, so callers should spawn roughly one task
+//! per shard/core, not thousands). This is what the sharded
+//! repartitioning engine uses for genuine multi-core fan-out.
 
 /// The traits a `use rayon::prelude::*;` is expected to bring in.
 pub mod prelude {
@@ -108,9 +116,58 @@ where
     (a(), b())
 }
 
-/// Reports the worker-pool width; 1, since this stand-in is sequential.
+/// Reports the available parallelism width. Upstream reports the pool
+/// size; this stand-in has no pool, so the machine's logical core count
+/// is the honest equivalent for sizing a [`scope`] fan-out.
 pub fn current_num_threads() -> usize {
-    1
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A structured-concurrency scope handed to [`scope`]'s closure.
+///
+/// Mirrors `rayon::Scope`: [`Scope::spawn`] starts a task that may
+/// borrow from outside the scope (`'scope` outlives every task), and
+/// the enclosing [`scope`] call does not return until every spawned
+/// task has finished.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `f` onto the scope. Unlike upstream's pooled version,
+    /// each spawn is one OS thread — appropriate for per-shard tasks,
+    /// not fine-grained work items.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a scope in which borrowing tasks can be spawned; blocks
+/// until all of them complete (`std::thread::scope` underneath, so the
+/// tasks run in parallel on real threads).
+///
+/// # Examples
+///
+/// ```
+/// let mut parts = vec![0u64; 4];
+/// rayon::scope(|s| {
+///     for (i, p) in parts.iter_mut().enumerate() {
+///         s.spawn(move |_| *p = i as u64 * 10);
+///     }
+/// });
+/// assert_eq!(parts, vec![0, 10, 20, 30]);
+/// ```
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
 }
 
 #[cfg(test)]
@@ -131,5 +188,34 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
         assert_eq!(a, 2);
         assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn scope_runs_all_tasks_with_borrows() {
+        let mut out = vec![0u32; 8];
+        super::scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 + 1);
+            }
+        });
+        assert_eq!(out, (1..=8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn scope_supports_nested_spawn() {
+        let flag = std::sync::atomic::AtomicU32::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    flag.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(flag.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 }
