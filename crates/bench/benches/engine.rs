@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use std::hint::black_box;
 
 use cps_core::CacheConfig;
-use cps_engine::{EngineConfig, RepartitionEngine, ShardedEngine};
+use cps_engine::{EngineConfig, QueuedShardedEngine, RepartitionEngine, ShardedEngine};
 use cps_trace::{interleave_proportional, Block, CoTrace, Trace, WorkloadSpec};
 
 fn four_tenant_cotrace(len: usize) -> CoTrace {
@@ -66,6 +66,38 @@ fn bench_engine(c: &mut Criterion) {
             |b, &n| {
                 b.iter_batched(
                     || ShardedEngine::new(EngineConfig::new(CacheConfig::new(128, 1), 5_000), 4, n),
+                    |mut engine| {
+                        engine.run(stream.iter().copied());
+                        black_box(engine.finish())
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    // Pipelined front end: the producer streams records through bounded
+    // per-shard queues while workers drain concurrently, so ingestion
+    // overlaps profiling. Capacity sweeps show the backpressure cost:
+    // a 1-deep queue forces strict producer/worker alternation, a
+    // 1024-deep queue lets the producer run ahead a full epoch chunk.
+    for (shards, capacity) in [(2usize, 1usize), (2, 64), (2, 1024), (4, 1024)] {
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(
+            BenchmarkId::new(
+                "queued_epoch_loop_P4_C128_E5000",
+                format!("{shards}shards_cap{capacity}"),
+            ),
+            &(shards, capacity),
+            |b, &(n, cap)| {
+                b.iter_batched(
+                    || {
+                        QueuedShardedEngine::new(
+                            EngineConfig::new(CacheConfig::new(128, 1), 5_000),
+                            4,
+                            n,
+                            cap,
+                        )
+                    },
                     |mut engine| {
                         engine.run(stream.iter().copied());
                         black_box(engine.finish())

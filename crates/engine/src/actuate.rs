@@ -22,10 +22,22 @@ use cps_trace::Block;
 /// Units that would change hands between two allocations: half the L1
 /// distance (every unit leaving one tenant arrives at another).
 ///
+/// Both allocations must partition the same capacity — with unequal
+/// totals the L1 distance is odd-capable and halving it silently
+/// rounds down, understating the move. That is a caller bug (a solver
+/// or rounding path emitted an allocation not summing to the cache),
+/// caught here in debug builds.
+///
 /// # Panics
-/// Panics if the allocations differ in length.
+/// Panics if the allocations differ in length; in debug builds, also
+/// if their totals differ.
 pub fn units_moved(old: &[usize], new: &[usize]) -> usize {
     assert_eq!(old.len(), new.len(), "allocations must align");
+    debug_assert_eq!(
+        old.iter().sum::<usize>(),
+        new.iter().sum::<usize>(),
+        "allocations must partition the same capacity (old {old:?}, new {new:?})"
+    );
     old.iter()
         .zip(new)
         .map(|(&o, &n)| o.abs_diff(n))

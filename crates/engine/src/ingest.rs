@@ -1,0 +1,495 @@
+//! The pipeline's **ingest** stage: how accesses reach the shard workers.
+//!
+//! PR 2 parallelized the per-epoch *work* (profile + simulate) but kept
+//! ingestion serial: every access went into one epoch buffer, and the
+//! shard fan-out only started once the buffer was full. This module
+//! decouples admission from the epoch barrier, the way partitioned-cache
+//! controllers decouple admission from control decisions:
+//!
+//! * [`IngestStage`] is the stage trait — one `submit` per access;
+//! * [`BufferedIngest`] is the PR 2 behaviour behind the trait (one
+//!   epoch buffer, chunked at the barrier) — used by
+//!   [`ShardedEngine`](crate::ShardedEngine);
+//! * [`SpscSender`]/[`SpscReceiver`] are a bounded single-producer
+//!   single-consumer ring queue with blocking-push backpressure and
+//!   wait accounting;
+//! * [`QueuedIngest`] hash-routes each access to its shard's queue by
+//!   the contiguous-chunk rule ([`ChunkRouter`]) *as it arrives*, so
+//!   shard workers drain, profile, and simulate while the producer is
+//!   still ingesting — used by
+//!   [`QueuedShardedEngine`](crate::QueuedShardedEngine).
+//!
+//! Because the routing rule is identical to the buffered engine's epoch
+//! slicing (see [`ChunkRouter`]), a pipelined run is trajectory- and
+//! report-identical to a buffered run: same records reach the same
+//! shard in the same order, and the epoch barrier merges them in the
+//! same stream order. The only observable difference is wall-clock
+//! overlap, surfaced in [`IngestStats`].
+
+use crate::TenantId;
+use cps_trace::{Block, ChunkRouter};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// The pipeline's admission stage: routes one access toward the worker
+/// that will profile and serve it.
+///
+/// Implementations differ in *when* work can start: a buffered stage
+/// holds the whole epoch before any shard sees a record; a queued stage
+/// makes each record visible to its shard immediately.
+pub trait IngestStage: Send {
+    /// Admits one access.
+    fn submit(&mut self, tenant: TenantId, block: Block);
+
+    /// Accesses admitted since the last epoch boundary.
+    fn pending(&self) -> usize;
+}
+
+/// The buffered ingest stage: one epoch accumulates in a `Vec`, then
+/// the barrier takes it whole and slices it into shard chunks.
+#[derive(Debug, Default)]
+pub struct BufferedIngest {
+    buffer: Vec<(TenantId, Block)>,
+}
+
+impl BufferedIngest {
+    /// Creates an empty buffer sized for one epoch.
+    pub fn with_capacity(epoch_length: usize) -> Self {
+        BufferedIngest {
+            buffer: Vec::with_capacity(epoch_length),
+        }
+    }
+
+    /// Takes the buffered epoch, leaving the stage empty.
+    pub fn take_epoch(&mut self) -> Vec<(TenantId, Block)> {
+        std::mem::take(&mut self.buffer)
+    }
+}
+
+impl IngestStage for BufferedIngest {
+    fn submit(&mut self, tenant: TenantId, block: Block) {
+        self.buffer.push((tenant, block));
+    }
+
+    fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+/// One message on a shard's ingest queue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestMsg {
+    /// One routed access.
+    Record {
+        /// Issuing tenant.
+        tenant: TenantId,
+        /// Accessed block.
+        block: Block,
+    },
+    /// Epoch barrier: the shard must ship its window profilers and
+    /// counts to the merger, then wait for the broadcast verdict.
+    EpochEnd,
+}
+
+/// Producer-side backpressure accounting for one engine's ingest
+/// queues, aggregated across shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Per-shard queue capacity (records).
+    pub capacity: usize,
+    /// Records pushed across all shard queues.
+    pub pushed: u64,
+    /// Pushes that found their queue full and had to block at least
+    /// once — the backpressure events.
+    pub blocked_pushes: u64,
+    /// Total wall-clock nanoseconds the producer spent blocked on full
+    /// queues.
+    pub wait_nanos: u64,
+}
+
+impl IngestStats {
+    /// Fraction of pushes that hit backpressure (0 when nothing was
+    /// pushed).
+    pub fn blocked_fraction(&self) -> f64 {
+        if self.pushed == 0 {
+            0.0
+        } else {
+            self.blocked_pushes as f64 / self.pushed as f64
+        }
+    }
+
+    /// Folds another queue's counters into this aggregate.
+    pub fn merge(&mut self, other: &IngestStats) {
+        self.pushed += other.pushed;
+        self.blocked_pushes += other.blocked_pushes;
+        self.wait_nanos += other.wait_nanos;
+    }
+}
+
+/// Shared state of one bounded SPSC queue.
+struct QueueShared<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+struct QueueState<T> {
+    /// Fixed-capacity ring; never grows past `capacity`.
+    ring: VecDeque<T>,
+    /// Producer dropped: drain and stop.
+    closed: bool,
+    /// Consumer dropped: pushes can never be drained.
+    abandoned: bool,
+    pushed: u64,
+    blocked_pushes: u64,
+    wait_nanos: u64,
+}
+
+/// Creates a bounded SPSC queue of the given capacity.
+///
+/// The sender's `push` blocks while the ring is full (backpressure);
+/// the receiver's `pop` blocks while it is empty. Dropping the sender
+/// closes the queue: the receiver drains what remains, then sees
+/// `None`. Dropping the receiver abandons it: subsequent pushes fail
+/// fast instead of blocking forever.
+///
+/// # Panics
+/// Panics if `capacity` is zero.
+pub fn spsc_queue<T>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    assert!(capacity > 0, "queue needs capacity for at least one record");
+    let shared = Arc::new(QueueShared {
+        state: Mutex::new(QueueState {
+            ring: VecDeque::with_capacity(capacity),
+            closed: false,
+            abandoned: false,
+            pushed: 0,
+            blocked_pushes: 0,
+            wait_nanos: 0,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        capacity,
+    });
+    (
+        SpscSender {
+            shared: Arc::clone(&shared),
+        },
+        SpscReceiver { shared },
+    )
+}
+
+/// Producer half of a bounded SPSC queue; see [`spsc_queue`].
+pub struct SpscSender<T> {
+    shared: Arc<QueueShared<T>>,
+}
+
+impl<T> SpscSender<T> {
+    /// Pushes one item, blocking while the queue is full. Returns
+    /// `false` (dropping the item) if the receiver is gone.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.shared.state.lock().expect("queue lock");
+        if state.ring.len() == self.shared.capacity && !state.abandoned {
+            state.blocked_pushes += 1;
+            let blocked_at = Instant::now();
+            while state.ring.len() == self.shared.capacity && !state.abandoned {
+                state = self.shared.not_full.wait(state).expect("queue lock");
+            }
+            state.wait_nanos += blocked_at.elapsed().as_nanos() as u64;
+        }
+        if state.abandoned {
+            return false;
+        }
+        state.ring.push_back(item);
+        state.pushed += 1;
+        drop(state);
+        self.shared.not_empty.notify_one();
+        true
+    }
+
+    /// Snapshot of this queue's backpressure counters.
+    pub fn stats(&self) -> IngestStats {
+        let state = self.shared.state.lock().expect("queue lock");
+        IngestStats {
+            capacity: self.shared.capacity,
+            pushed: state.pushed,
+            blocked_pushes: state.blocked_pushes,
+            wait_nanos: state.wait_nanos,
+        }
+    }
+
+    /// The fixed ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+}
+
+impl<T> Drop for SpscSender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("queue lock");
+        state.closed = true;
+        drop(state);
+        self.shared.not_empty.notify_one();
+    }
+}
+
+/// Consumer half of a bounded SPSC queue; see [`spsc_queue`].
+pub struct SpscReceiver<T> {
+    shared: Arc<QueueShared<T>>,
+}
+
+impl<T> SpscReceiver<T> {
+    /// Pops the next item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.shared.state.lock().expect("queue lock");
+        while state.ring.is_empty() && !state.closed {
+            state = self.shared.not_empty.wait(state).expect("queue lock");
+        }
+        let item = state.ring.pop_front();
+        drop(state);
+        if item.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        item
+    }
+}
+
+impl<T> Drop for SpscReceiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("queue lock");
+        state.abandoned = true;
+        state.ring.clear();
+        drop(state);
+        self.shared.not_full.notify_one();
+    }
+}
+
+/// The pipelined ingest stage: hash-routes each access to its shard's
+/// bounded queue by the contiguous-chunk rule, without materializing
+/// the epoch.
+///
+/// `submit` may block (backpressure) when the target shard's queue is
+/// full; the wait is charged to [`IngestStats`]. The epoch barrier is
+/// [`QueuedIngest::end_epoch`], which enqueues [`IngestMsg::EpochEnd`]
+/// on every shard — *behind* all of the epoch's records, so each worker
+/// observes exactly its chunk, in stream order, before the barrier.
+pub struct QueuedIngest {
+    senders: Vec<SpscSender<IngestMsg>>,
+    router: ChunkRouter,
+    pending: usize,
+}
+
+impl QueuedIngest {
+    /// Wraps the producer halves of one queue per shard.
+    ///
+    /// # Panics
+    /// Panics if `senders` is empty or `epoch_length` is zero.
+    pub fn new(senders: Vec<SpscSender<IngestMsg>>, epoch_length: usize) -> Self {
+        assert!(!senders.is_empty(), "need at least one shard queue");
+        let shards = senders.len();
+        QueuedIngest {
+            senders,
+            router: ChunkRouter::new(epoch_length, shards),
+            pending: 0,
+        }
+    }
+
+    /// Closes the current epoch: pushes the barrier message on every
+    /// shard queue and rewinds the router for the next epoch. Returns
+    /// the number of accesses the epoch carried.
+    ///
+    /// # Panics
+    /// Panics if any shard worker has abandoned its queue.
+    pub fn end_epoch(&mut self) -> usize {
+        for sender in &self.senders {
+            assert!(sender.push(IngestMsg::EpochEnd), "shard worker died");
+        }
+        self.router.reset();
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Aggregated backpressure counters across all shard queues.
+    pub fn stats(&self) -> IngestStats {
+        let mut total = IngestStats {
+            capacity: self.senders[0].capacity(),
+            ..IngestStats::default()
+        };
+        for sender in &self.senders {
+            total.merge(&sender.stats());
+        }
+        total
+    }
+}
+
+impl IngestStage for QueuedIngest {
+    /// # Panics
+    /// Panics if the target shard worker has abandoned its queue.
+    fn submit(&mut self, tenant: TenantId, block: Block) {
+        let shard = self.router.next_shard();
+        assert!(
+            self.senders[shard].push(IngestMsg::Record { tenant, block }),
+            "shard worker died"
+        );
+        self.pending += 1;
+    }
+
+    fn pending(&self) -> usize {
+        self.pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn buffered_stage_accumulates_and_takes() {
+        let mut stage = BufferedIngest::with_capacity(4);
+        stage.submit(0, 10);
+        stage.submit(1, 20);
+        assert_eq!(stage.pending(), 2);
+        assert_eq!(stage.take_epoch(), vec![(0, 10), (1, 20)]);
+        assert_eq!(stage.pending(), 0);
+    }
+
+    #[test]
+    fn queue_delivers_in_order_across_threads() {
+        let (tx, rx) = spsc_queue::<u64>(4);
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = rx.pop() {
+                got.push(v);
+            }
+            got
+        });
+        for v in 0..100u64 {
+            assert!(tx.push(v));
+        }
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn capacity_one_queue_ping_pongs_with_backpressure() {
+        let (tx, rx) = spsc_queue::<u32>(1);
+        let consumer = thread::spawn(move || {
+            let mut sum = 0u64;
+            while let Some(v) = rx.pop() {
+                sum += u64::from(v);
+            }
+            sum
+        });
+        for v in 1..=50u32 {
+            assert!(tx.push(v));
+        }
+        let stats = tx.stats();
+        assert_eq!(stats.pushed, 50);
+        assert_eq!(stats.capacity, 1);
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), (1..=50u64).sum::<u64>());
+    }
+
+    #[test]
+    fn blocked_pushes_are_counted_and_timed() {
+        let (tx, rx) = spsc_queue::<u32>(1);
+        assert!(tx.push(1)); // fills the ring
+        let producer = thread::spawn(move || {
+            assert!(tx.push(2)); // must block until the pop below
+            tx.stats()
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.pop(), Some(1));
+        let stats = producer.join().unwrap();
+        assert_eq!(stats.pushed, 2);
+        assert_eq!(stats.blocked_pushes, 1);
+        assert!(stats.wait_nanos > 0, "blocked time accounted");
+        assert!(stats.blocked_fraction() > 0.0);
+        assert_eq!(rx.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let (tx, rx) = spsc_queue::<u8>(8);
+        assert!(tx.push(1));
+        assert!(tx.push(2));
+        drop(tx);
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), None);
+        assert_eq!(rx.pop(), None, "stays closed");
+    }
+
+    #[test]
+    fn abandoned_queue_fails_pushes_fast() {
+        let (tx, rx) = spsc_queue::<u8>(1);
+        assert!(tx.push(1));
+        drop(rx);
+        // The ring is full, but an abandoned queue must not block.
+        assert!(!tx.push(2));
+        assert!(!tx.push(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn zero_capacity_panics() {
+        let _ = spsc_queue::<u8>(0);
+    }
+
+    #[test]
+    fn queued_ingest_routes_by_contiguous_chunks() {
+        // Epoch of 4 over 2 shards: positions 0,1 -> shard 0; 2,3 -> 1.
+        let (tx0, rx0) = spsc_queue(16);
+        let (tx1, rx1) = spsc_queue(16);
+        let mut stage = QueuedIngest::new(vec![tx0, tx1], 4);
+        for (t, b) in [(0usize, 10u64), (1, 11), (0, 12), (1, 13)] {
+            stage.submit(t, b);
+        }
+        assert_eq!(stage.pending(), 4);
+        assert_eq!(stage.end_epoch(), 4);
+        assert_eq!(stage.pending(), 0);
+        let drain = |rx: SpscReceiver<IngestMsg>| {
+            let mut got = Vec::new();
+            while let Some(m) = rx.pop() {
+                got.push(m);
+                if got.last() == Some(&IngestMsg::EpochEnd) {
+                    break;
+                }
+            }
+            got
+        };
+        let rec = |tenant, block| IngestMsg::Record { tenant, block };
+        assert_eq!(
+            drain(rx0),
+            vec![rec(0, 10), rec(1, 11), IngestMsg::EpochEnd]
+        );
+        assert_eq!(
+            drain(rx1),
+            vec![rec(0, 12), rec(1, 13), IngestMsg::EpochEnd]
+        );
+        assert_eq!(stage.stats().pushed, 6, "4 records + 2 barriers");
+    }
+
+    #[test]
+    fn stats_merge_aggregates() {
+        let mut a = IngestStats {
+            capacity: 8,
+            pushed: 10,
+            blocked_pushes: 2,
+            wait_nanos: 100,
+        };
+        let b = IngestStats {
+            capacity: 8,
+            pushed: 5,
+            blocked_pushes: 1,
+            wait_nanos: 50,
+        };
+        a.merge(&b);
+        assert_eq!(a.pushed, 15);
+        assert_eq!(a.blocked_pushes, 3);
+        assert_eq!(a.wait_nanos, 150);
+        assert_eq!(IngestStats::default().blocked_fraction(), 0.0);
+    }
+}

@@ -25,8 +25,11 @@
 //! stream; [`ShardedEngine`] runs the same pipeline over `N` stream
 //! shards on real threads, merging per-shard profiles at each epoch
 //! barrier into one global solve (see [`shard`] for the protocol and its
-//! determinism guarantee). Every epoch is recorded in an
-//! [`EngineReport`] (see [`report`]).
+//! determinism guarantee); [`QueuedShardedEngine`] adds a fourth,
+//! **ingest**, stage (see [`ingest`]) — bounded per-shard queues with
+//! backpressure — so the shards profile and simulate concurrently with
+//! ingestion itself. Every epoch is recorded in an [`EngineReport`]
+//! (see [`report`]).
 //!
 //! The access stream is any `(tenant, block)` iterator;
 //! `cps_trace::InterleavedStream` produces one lazily from live
@@ -37,15 +40,17 @@
 #![warn(rust_2018_idioms)]
 
 pub mod actuate;
+pub mod ingest;
 pub mod profile;
 pub mod report;
 pub mod shard;
 pub mod solve;
 
 pub use actuate::{units_moved, Actuation, CacheActuator, HysteresisActuator};
+pub use ingest::{BufferedIngest, IngestStage, IngestStats, QueuedIngest};
 pub use profile::{default_profilers, window_solo_profiles, TenantProfiler};
 pub use report::{weighted_miss_ratio, EngineReport, EpochRecord};
-pub use shard::ShardedEngine;
+pub use shard::{QueuedShardedEngine, ShardedEngine};
 pub use solve::{DpPartitionSolver, PartitionSolver, SolveInput, SolveOutcome};
 
 use cps_cachesim::AccessCounts;
@@ -244,6 +249,17 @@ impl EpochCore {
             }
         };
 
+        // A solver must emit an exact partition of the cache; anything
+        // else would silently skew hysteresis accounting downstream
+        // (see `units_moved`).
+        if let Some(units) = &outcome.allocation {
+            debug_assert_eq!(
+                units.iter().sum::<usize>(),
+                self.config.cache.units,
+                "solver allocation must sum to capacity"
+            );
+        }
+
         let actuation = match (outcome.allocation, actuate) {
             (Some(units), Some(apply)) => apply(&units),
             _ => Actuation {
@@ -270,6 +286,7 @@ impl EpochCore {
             cache: self.config.cache,
             epochs: self.records,
             totals: self.totals,
+            ingest: None,
         }
     }
 }

@@ -6,6 +6,7 @@
 //! boundary. A finished run rolls them up into an [`EngineReport`],
 //! making controller behaviour auditable after the fact.
 
+use crate::ingest::IngestStats;
 use crate::TenantId;
 use cps_cachesim::AccessCounts;
 use cps_core::CacheConfig;
@@ -56,6 +57,12 @@ pub struct EngineReport {
     pub epochs: Vec<EpochRecord>,
     /// Lifetime per-tenant counts.
     pub totals: Vec<AccessCounts>,
+    /// Producer-side ingest backpressure counters — present iff the run
+    /// used a queued ingest front end
+    /// ([`QueuedShardedEngine`](crate::QueuedShardedEngine)). Excluded
+    /// from the queued-vs-buffered identity guarantee, which covers the
+    /// control and serving record (`epochs`, `totals`).
+    pub ingest: Option<IngestStats>,
 }
 
 impl EngineReport {
@@ -154,6 +161,7 @@ mod tests {
             cache: CacheConfig::new(8, 1),
             epochs: vec![mk(0, vec![4, 4]), mk(1, vec![6, 2])],
             totals: vec![counts(20, 2)],
+            ingest: None,
         };
         assert_eq!(
             report.allocation_trajectory(),

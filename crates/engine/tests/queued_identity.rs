@@ -1,0 +1,137 @@
+//! Property tests for the pipelined ingest front end: on any seeded
+//! multi-tenant stream, [`QueuedShardedEngine`] produces an
+//! [`EngineReport`] identical to the buffered [`ShardedEngine`]'s —
+//! allocation trajectory, per-tenant realized counts, solve decisions,
+//! actuation record, and totals — across shard counts {1, 2, 8} and
+//! queue capacities all the way down to 1 (maximal backpressure, where
+//! producer and workers strictly alternate).
+//!
+//! `solve_nanos` (wall clock) and the `ingest` stats (definitionally
+//! absent from buffered runs) are the only fields excluded.
+//!
+//! The streams are adversarially shaped: random tenant mixes, epoch
+//! lengths that do and don't divide the stream (partial final epoch),
+//! random hysteresis, and shard counts exceeding the epoch length.
+
+use cps_core::CacheConfig;
+use cps_engine::{EngineConfig, EngineReport, QueuedShardedEngine, ShardedEngine};
+use proptest::prelude::*;
+
+fn stream_strategy() -> impl Strategy<Value = Vec<(usize, u64)>> {
+    prop::collection::vec((0usize..3, 0u64..60), 50..1_500)
+}
+
+/// Everything except wall clock and ingest stats must agree.
+fn assert_reports_identical(
+    buffered: &EngineReport,
+    queued: &EngineReport,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(buffered.tenants, queued.tenants, "{}", label);
+    prop_assert_eq!(buffered.cache, queued.cache, "{}", label);
+    prop_assert_eq!(
+        buffered.epochs.len(),
+        queued.epochs.len(),
+        "epoch count, {}",
+        label
+    );
+    for (eb, eq) in buffered.epochs.iter().zip(&queued.epochs) {
+        prop_assert_eq!(eb.epoch, eq.epoch);
+        prop_assert_eq!(
+            &eb.allocation,
+            &eq.allocation,
+            "epoch {} {}",
+            eb.epoch,
+            label
+        );
+        prop_assert_eq!(
+            &eb.per_tenant,
+            &eq.per_tenant,
+            "epoch {} {}",
+            eb.epoch,
+            label
+        );
+        prop_assert_eq!(
+            eb.predicted_cost,
+            eq.predicted_cost,
+            "epoch {} {}",
+            eb.epoch,
+            label
+        );
+        prop_assert_eq!(
+            eb.repartitioned,
+            eq.repartitioned,
+            "epoch {} {}",
+            eb.epoch,
+            label
+        );
+        prop_assert_eq!(
+            eb.units_moved,
+            eq.units_moved,
+            "epoch {} {}",
+            eb.epoch,
+            label
+        );
+    }
+    prop_assert_eq!(&buffered.totals, &queued.totals, "totals, {}", label);
+    prop_assert!(buffered.ingest.is_none(), "buffered runs carry no stats");
+    prop_assert!(queued.ingest.is_some(), "queued runs report backpressure");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn queued_report_equals_buffered_report(
+        accesses in stream_strategy(),
+        units in 6usize..48,
+        epoch in 40usize..400,
+        hysteresis in 1usize..6,
+        capacity_index in 0usize..5,
+    ) {
+        let queue_capacity = [1usize, 2, 7, 64, 1024][capacity_index];
+        let cfg = EngineConfig::new(CacheConfig::new(units, 1), epoch)
+            .hysteresis(hysteresis);
+        for shards in [1usize, 2, 8] {
+            let mut buffered = ShardedEngine::new(cfg, 3, shards);
+            buffered.run(accesses.iter().copied());
+            let mut queued = QueuedShardedEngine::new(cfg, 3, shards, queue_capacity);
+            queued.run(accesses.iter().copied());
+            let (b, q) = (buffered.finish(), queued.finish());
+            let label = format!("shards {shards}, queue {queue_capacity}");
+            assert_reports_identical(&b, &q, &label)?;
+            let stats = q.ingest.unwrap();
+            // Every access plus one barrier per epoch went through.
+            prop_assert_eq!(
+                stats.pushed,
+                accesses.len() as u64 + (q.epochs.len() * shards) as u64,
+                "{}", &label
+            );
+        }
+    }
+
+    #[test]
+    fn queued_trajectory_is_invariant_in_queue_capacity(
+        accesses in stream_strategy(),
+        units in 6usize..48,
+        epoch in 40usize..400,
+    ) {
+        let cfg = EngineConfig::new(CacheConfig::new(units, 1), epoch);
+        let mut reports = Vec::new();
+        for capacity in [1usize, 3, 256] {
+            let mut e = QueuedShardedEngine::new(cfg, 3, 2, capacity);
+            e.run(accesses.iter().copied());
+            reports.push(e.finish());
+        }
+        let baseline = &reports[0];
+        for r in &reports[1..] {
+            prop_assert_eq!(r.epochs.len(), baseline.epochs.len());
+            for (ea, eb) in baseline.epochs.iter().zip(&r.epochs) {
+                prop_assert_eq!(&ea.allocation, &eb.allocation, "epoch {}", ea.epoch);
+                prop_assert_eq!(&ea.per_tenant, &eb.per_tenant, "epoch {}", ea.epoch);
+            }
+            prop_assert_eq!(&baseline.totals, &r.totals);
+        }
+    }
+}

@@ -22,7 +22,9 @@ pub mod model;
 pub mod spec_like;
 pub mod workload;
 
-pub use interleave::{interleave_proportional, CoAccess, CoTrace, InterleavedStream, StreamChunks};
+pub use interleave::{
+    interleave_proportional, ChunkRouter, CoAccess, CoTrace, InterleavedStream, StreamChunks,
+};
 pub use model::{Block, Trace, TraceStats};
 pub use spec_like::{study_programs, ProgramSpec};
 pub use workload::{AccessStream, WorkloadSpec};

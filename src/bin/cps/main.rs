@@ -78,10 +78,13 @@ USAGE:
   cps replay-online --workloads SPEC,SPEC,... --units U [--bpu B]
                [--len N] [--epoch E] [--rates R,R,...] [--seed S]
                [--decay D] [--hysteresis H] [--shards N]
+               [--ingest buffered|queued] [--queue-cap N]
                [--objective throughput|maxmin] [--baseline none|equal|natural]
                (live epoch-driven repartitioning vs static-optimal and
                free-for-all sharing; --shards replays the same stream
-               through the sharded engine and reports the speedup)
+               through the sharded engine and reports the speedup;
+               --ingest queued streams records through bounded per-shard
+               queues and reports backpressure)
 
 WORKLOAD SPECS (for `gen`):
   loop:WS            sequential loop over WS blocks

@@ -8,6 +8,16 @@ use crate::common::{parse_objective, parse_workload, Args};
 use cache_partition_sharing::prelude::*;
 use std::time::Instant;
 
+/// Which front end feeds the sharded engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum IngestMode {
+    /// Materialize each epoch, then slice it across shards.
+    Buffered,
+    /// Stream records through bounded per-shard queues while shard
+    /// workers profile and simulate concurrently.
+    Queued,
+}
+
 pub fn run(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
     let specs: Vec<WorkloadSpec> = args
@@ -23,17 +33,52 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         .require("units")?
         .parse()
         .map_err(|_| "bad --units".to_string())?;
+    if units == 0 {
+        return Err("--units must be at least 1".into());
+    }
     let bpu: usize = args.get_parse("bpu", 1)?;
+    if bpu == 0 {
+        return Err("--bpu must be at least 1".into());
+    }
     let config = CacheConfig::new(units, bpu);
     let len: usize = args.get_parse("len", 200_000)?;
+    if len == 0 {
+        return Err("--len must be at least 1".into());
+    }
     let epoch: usize = args.get_parse("epoch", 10_000)?;
+    if epoch == 0 {
+        return Err("--epoch must be at least 1 access".into());
+    }
     let seed: u64 = args.get_parse("seed", 0)?;
     let decay: f64 = args.get_parse("decay", 0.5)?;
     if !(0.0..1.0).contains(&decay) {
         return Err(format!("--decay must lie in [0, 1), got {decay}"));
     }
     let hysteresis: usize = args.get_parse("hysteresis", 1)?;
-    let shards: usize = args.get_parse("shards", 0)?;
+    let shards: Option<usize> = match args.get("shards") {
+        None => None,
+        Some(_) => {
+            let n: usize = args.get_parse("shards", 0)?;
+            if n == 0 {
+                return Err("--shards must be at least 1 (omit the flag to \
+                            skip the sharded replay)"
+                    .into());
+            }
+            Some(n)
+        }
+    };
+    let ingest = match args.get("ingest").unwrap_or("buffered") {
+        "buffered" => IngestMode::Buffered,
+        "queued" => IngestMode::Queued,
+        other => return Err(format!("unknown --ingest {other} (buffered|queued)")),
+    };
+    let queue_cap: usize = args.get_parse("queue-cap", 1_024)?;
+    if queue_cap == 0 {
+        return Err("--queue-cap must hold at least 1 record".into());
+    }
+    if ingest == IngestMode::Queued && shards.is_none() {
+        return Err("--ingest queued needs --shards N".into());
+    }
     let rates: Vec<f64> = match args.get("rates") {
         None => vec![1.0; k],
         Some(s) => {
@@ -180,28 +225,50 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         }
     );
 
-    if shards > 0 {
-        replay_sharded(&co, engine_cfg, k, shards, &report, single_elapsed)?;
+    if let Some(shards) = shards {
+        replay_sharded(
+            &co,
+            engine_cfg,
+            k,
+            shards,
+            ingest,
+            queue_cap,
+            &report,
+            single_elapsed,
+        )?;
     }
     Ok(())
 }
 
-/// Replay the identical stream through [`ShardedEngine`] and report
-/// throughput against the single-threaded engine. The sharded engine
-/// must reproduce the single engine's allocation trajectory exactly;
-/// a divergence is an engine bug and is reported as an error.
+/// Replay the identical stream through the sharded engine (buffered or
+/// queued front end) and report throughput against the single-threaded
+/// engine. The sharded engine must reproduce the single engine's
+/// allocation trajectory exactly; a divergence is an engine bug and is
+/// reported as an error.
+#[allow(clippy::too_many_arguments)]
 fn replay_sharded(
     co: &cache_partition_sharing::trace::CoTrace,
     engine_cfg: EngineConfig,
     tenants: usize,
     shards: usize,
+    ingest: IngestMode,
+    queue_cap: usize,
     single: &EngineReport,
     single_elapsed: std::time::Duration,
 ) -> Result<(), String> {
     let sharded_start = Instant::now();
-    let mut engine = ShardedEngine::new(engine_cfg, tenants, shards);
-    engine.run(co.tenant_accesses());
-    let sharded = engine.finish();
+    let sharded = match ingest {
+        IngestMode::Buffered => {
+            let mut engine = ShardedEngine::new(engine_cfg, tenants, shards);
+            engine.run(co.tenant_accesses());
+            engine.finish()
+        }
+        IngestMode::Queued => {
+            let mut engine = QueuedShardedEngine::new(engine_cfg, tenants, shards, queue_cap);
+            engine.run(co.tenant_accesses());
+            engine.finish()
+        }
+    };
     let sharded_elapsed = sharded_start.elapsed();
 
     if sharded.epochs.len() != single.epochs.len() {
@@ -224,22 +291,37 @@ fn replay_sharded(
     let rate = |d: std::time::Duration| accesses / d.as_secs_f64().max(1e-12) / 1e6;
     println!("\nsharded replay: same stream, allocations identical across shard counts");
     println!(
-        "{:<10} {:>12} {:>14} {:>9}",
+        "{:<16} {:>12} {:>14} {:>9}",
         "engine", "elapsed", "Maccesses/s", "speedup"
     );
     println!(
-        "{:<10} {:>10.1}ms {:>14.2} {:>8.2}x",
+        "{:<16} {:>10.1}ms {:>14.2} {:>8.2}x",
         "single",
         single_elapsed.as_secs_f64() * 1e3,
         rate(single_elapsed),
         1.0
     );
+    let label = match ingest {
+        IngestMode::Buffered => format!("{shards}-shard"),
+        IngestMode::Queued => format!("{shards}-shard queued"),
+    };
     println!(
-        "{:<10} {:>10.1}ms {:>14.2} {:>8.2}x",
-        format!("{shards}-shard"),
+        "{:<16} {:>10.1}ms {:>14.2} {:>8.2}x",
+        label,
         sharded_elapsed.as_secs_f64() * 1e3,
         rate(sharded_elapsed),
         single_elapsed.as_secs_f64() / sharded_elapsed.as_secs_f64().max(1e-12)
     );
+    if let Some(stats) = sharded.ingest {
+        println!(
+            "ingest backpressure: {} records pushed through {}-deep queues, \
+             {} blocked pushes ({:.1}%), {:.1}ms waiting",
+            stats.pushed,
+            stats.capacity,
+            stats.blocked_pushes,
+            stats.blocked_fraction() * 100.0,
+            stats.wait_nanos as f64 / 1e6
+        );
+    }
     Ok(())
 }

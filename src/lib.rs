@@ -60,7 +60,10 @@ pub mod prelude {
         evaluate_group, optimal_partition, sttw_partition, CacheConfig, Combine, CostCurve,
         DpSolver, GroupEvaluation, PartitionResult, Scheme, Study,
     };
-    pub use cps_engine::{EngineConfig, EngineReport, Policy, RepartitionEngine, ShardedEngine};
+    pub use cps_engine::{
+        EngineConfig, EngineReport, IngestStats, Policy, QueuedShardedEngine, RepartitionEngine,
+        ShardedEngine,
+    };
     pub use cps_hotl::online::OnlineProfiler;
     pub use cps_hotl::windowed::{ProfilerMode, WindowedProfiler};
     pub use cps_hotl::{

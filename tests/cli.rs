@@ -361,6 +361,71 @@ fn replay_online_sharded_reports_speedup_and_stays_deterministic() {
 }
 
 #[test]
+fn replay_online_queued_ingest_reports_backpressure() {
+    let dir = tempdir("queued");
+    let s = stdout(&cps(
+        &[
+            "replay-online",
+            "--workloads",
+            "loop:40,zipf:200:0.8",
+            "--units",
+            "64",
+            "--len",
+            "12000",
+            "--epoch",
+            "4000",
+            "--shards",
+            "2",
+            "--ingest",
+            "queued",
+            "--queue-cap",
+            "8",
+        ],
+        &dir,
+    ));
+    assert!(s.contains("2-shard queued"), "{s}");
+    assert!(s.contains("ingest backpressure"), "{s}");
+    assert!(s.contains("8-deep queues"), "{s}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replay_online_rejects_degenerate_knobs_with_friendly_errors() {
+    let dir = tempdir("degenerate");
+    let base = [
+        "replay-online",
+        "--workloads",
+        "loop:40,zipf:200:0.8",
+        "--units",
+        "32",
+    ];
+    let degenerate: &[&[&str]] = &[
+        &["--shards", "0"],
+        &["--epoch", "0"],
+        &["--units", "0"],
+        &["--len", "0"],
+        &["--shards", "2", "--ingest", "queued", "--queue-cap", "0"],
+        &["--ingest", "queued"], // queued needs --shards
+        &["--ingest", "bogus"],
+    ];
+    for extra in degenerate {
+        let args: Vec<&str> = base.iter().chain(extra.iter()).copied().collect();
+        let out = cps(&args, &dir);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!out.status.success(), "{extra:?} should fail:\n{stderr}");
+        assert!(
+            stderr.contains("cps:"),
+            "{extra:?} should report through the CLI error path:\n{stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "{extra:?} must not panic:\n{stderr}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trace_parser_accepts_hex_and_comments() {
     let dir = tempdir("parser");
     std::fs::write(dir.join("hex.trace"), "# comment\n0x10\n16\n\n0xFF\n255\n").unwrap();
