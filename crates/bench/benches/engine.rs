@@ -1,16 +1,22 @@
-//! Benchmark E10: the online repartitioning engine's steady-state cost.
+//! Benchmarks E10 and E20: the online repartitioning engine's
+//! steady-state cost, and the cost of observing it.
 //!
 //! Two questions matter for an epoch-driven controller: what the
 //! per-access overhead of profiling + partitioned simulation is, and
 //! how long a boundary re-solve takes at realistic cache sizes (the DP
 //! is O(P·C²), so units dominate). Both are measured here on a
-//! four-tenant interleaved stream.
+//! four-tenant interleaved stream. E20 then re-runs the same loop with
+//! a metrics registry attached: the metrics-on/metrics-off delta is
+//! the instrumentation tax (per-access relaxed atomic increments plus
+//! per-epoch span clocks), budgeted at < 5% of hot-path throughput.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use cps_core::CacheConfig;
-use cps_engine::{EngineConfig, QueuedShardedEngine, RepartitionEngine, ShardedEngine};
+use cps_engine::{
+    EngineConfig, MetricsRegistry, QueuedShardedEngine, RepartitionEngine, ShardedEngine,
+};
 use cps_trace::{interleave_proportional, Block, CoTrace, Trace, WorkloadSpec};
 
 fn four_tenant_cotrace(len: usize) -> CoTrace {
@@ -132,5 +138,60 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// Benchmark E20: instrumentation overhead. The identical epoch loop
+/// with and without an attached metrics registry, for the single and
+/// the 2-shard engine. Per-access instrumentation is only relaxed
+/// atomic increments (spans are epoch-boundary-granular), so the
+/// metrics-on column must stay within 5% of metrics-off.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_obs_overhead");
+    let len = 50_000;
+    let stream: Vec<(usize, Block)> = four_tenant_cotrace(len).tenant_accesses().collect();
+    let cfg = EngineConfig::new(CacheConfig::new(128, 1), 5_000);
+
+    group.throughput(Throughput::Elements(len as u64));
+    group.bench_function("single/metrics_off", |b| {
+        b.iter_batched(
+            || RepartitionEngine::new(cfg, 4),
+            |mut engine| {
+                engine.run(stream.iter().copied());
+                black_box(engine.finish())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("single/metrics_on", |b| {
+        b.iter_batched(
+            || RepartitionEngine::with_metrics(cfg, 4, &MetricsRegistry::new()),
+            |mut engine| {
+                engine.run(stream.iter().copied());
+                black_box(engine.finish())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("sharded2/metrics_off", |b| {
+        b.iter_batched(
+            || ShardedEngine::new(cfg, 4, 2),
+            |mut engine| {
+                engine.run(stream.iter().copied());
+                black_box(engine.finish())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("sharded2/metrics_on", |b| {
+        b.iter_batched(
+            || ShardedEngine::with_metrics(cfg, 4, 2, &MetricsRegistry::new()),
+            |mut engine| {
+                engine.run(stream.iter().copied());
+                black_box(engine.finish())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_obs_overhead);
 criterion_main!(benches);

@@ -125,6 +125,28 @@ impl IngestStats {
         self.blocked_pushes += other.blocked_pushes;
         self.wait_nanos += other.wait_nanos;
     }
+
+    /// The counter movement since an `earlier` snapshot of the same
+    /// queues — how each epoch's backpressure delta is derived for the
+    /// journal.
+    ///
+    /// # Panics
+    /// Debug-asserts that `earlier` is genuinely earlier (counters are
+    /// monotone).
+    pub fn delta_since(&self, earlier: &IngestStats) -> IngestStats {
+        debug_assert!(
+            self.pushed >= earlier.pushed
+                && self.blocked_pushes >= earlier.blocked_pushes
+                && self.wait_nanos >= earlier.wait_nanos,
+            "snapshots out of order"
+        );
+        IngestStats {
+            capacity: self.capacity,
+            pushed: self.pushed - earlier.pushed,
+            blocked_pushes: self.blocked_pushes - earlier.blocked_pushes,
+            wait_nanos: self.wait_nanos - earlier.wait_nanos,
+        }
+    }
 }
 
 /// Shared state of one bounded SPSC queue.
@@ -491,5 +513,26 @@ mod tests {
         assert_eq!(a.blocked_pushes, 3);
         assert_eq!(a.wait_nanos, 150);
         assert_eq!(IngestStats::default().blocked_fraction(), 0.0);
+    }
+
+    #[test]
+    fn delta_since_subtracts_snapshots() {
+        let earlier = IngestStats {
+            capacity: 4,
+            pushed: 10,
+            blocked_pushes: 2,
+            wait_nanos: 100,
+        };
+        let later = IngestStats {
+            capacity: 4,
+            pushed: 25,
+            blocked_pushes: 2,
+            wait_nanos: 130,
+        };
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.capacity, 4);
+        assert_eq!(delta.pushed, 15);
+        assert_eq!(delta.blocked_pushes, 0);
+        assert_eq!(delta.wait_nanos, 30);
     }
 }

@@ -41,6 +41,7 @@
 
 pub mod actuate;
 pub mod ingest;
+pub(crate) mod obs;
 pub mod profile;
 pub mod report;
 pub mod shard;
@@ -52,12 +53,17 @@ pub use profile::{default_profilers, window_solo_profiles, TenantProfiler};
 pub use report::{weighted_miss_ratio, EngineReport, EpochRecord};
 pub use shard::{QueuedShardedEngine, ShardedEngine};
 pub use solve::{DpPartitionSolver, PartitionSolver, SolveInput, SolveOutcome};
+// The observability vocabulary every engine record speaks.
+pub use cps_obs::{MetricsRegistry, Stage, StageTimings};
 
+use crate::obs::EngineMetrics;
 use cps_cachesim::AccessCounts;
 use cps_core::{CacheConfig, Combine};
 use cps_hotl::windowed::ProfilerMode;
 use cps_hotl::MissRatioCurve;
+use cps_obs::Stopwatch;
 use cps_trace::Block;
+use std::sync::Arc;
 
 /// Tenant index into the engine's partitions and profilers.
 pub type TenantId = usize;
@@ -169,6 +175,8 @@ pub(crate) struct EpochCore {
     pub(crate) epoch: usize,
     pub(crate) records: Vec<EpochRecord>,
     pub(crate) totals: Vec<AccessCounts>,
+    /// Registered instrument handles; `None` runs fully uninstrumented.
+    pub(crate) metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl EpochCore {
@@ -180,6 +188,7 @@ impl EpochCore {
             epoch: 0,
             records: Vec::new(),
             totals: vec![AccessCounts::default(); tenants],
+            metrics: None,
             config,
         }
     }
@@ -197,8 +206,14 @@ impl EpochCore {
             epoch: 0,
             records: Vec::new(),
             totals: vec![AccessCounts::default(); tenants],
+            metrics: None,
             config,
         }
+    }
+
+    /// Attaches registered instruments with `slots` hot-path lanes.
+    fn attach_metrics(&mut self, registry: &MetricsRegistry, slots: usize) {
+        self.metrics = Some(EngineMetrics::register(registry, self.tenants(), slots));
     }
 
     fn tenants(&self) -> usize {
@@ -208,18 +223,28 @@ impl EpochCore {
     /// Runs the epoch-boundary pipeline: totals, natural-baseline
     /// snapshot, window close, re-solve, and (when `actuate` is given)
     /// application of the chosen allocation. Appends the epoch record.
+    ///
+    /// `pre` carries stage time the caller already attributed to this
+    /// epoch (ingest/fan-out/merge, which happen before the core sees
+    /// the boundary); the core adds its own profile, solve, and actuate
+    /// spans on top. `ingest_delta` is the epoch's backpressure delta
+    /// for queued front ends.
     pub(crate) fn close_epoch(
         &mut self,
         served_allocation: Vec<usize>,
         per_tenant: Vec<AccessCounts>,
+        pre: StageTimings,
+        ingest_delta: Option<IngestStats>,
         actuate: Option<ActuateFn<'_>>,
     ) {
+        let mut timings = pre;
         for (t, c) in self.totals.iter_mut().zip(&per_tenant) {
             t.merge(c);
         }
 
         // Natural-baseline inputs need the exact epoch windows, captured
         // before `end_window` folds and resets them.
+        let profile_clock = Stopwatch::start();
         let window_profiles = if self.config.policy == Policy::NaturalBaseline {
             Some(window_solo_profiles(
                 &self.profilers,
@@ -231,14 +256,21 @@ impl EpochCore {
         };
         let mrcs: Vec<Option<MissRatioCurve>> =
             self.profilers.iter_mut().map(|p| p.end_window()).collect();
+        profile_clock.record(&mut timings, Stage::Profile);
 
         let outcome = if mrcs.iter().all(|m| m.is_some()) {
             let mrcs: Vec<MissRatioCurve> = mrcs.into_iter().flatten().collect();
-            self.solver.solve(SolveInput {
+            // The solve span covers the whole stage — baseline caps,
+            // cost-curve building, and the DP — so a skipped solve is
+            // exactly 0 and a performed one is strictly positive.
+            let solve_clock = Stopwatch::start();
+            let outcome = self.solver.solve(SolveInput {
                 mrcs: &mrcs,
                 per_tenant: &per_tenant,
                 window_profiles: window_profiles.as_deref(),
-            })
+            });
+            solve_clock.record(&mut timings, Stage::Solve);
+            outcome
         } else {
             // Some tenant has never been seen; keep the allocation until
             // every curve exists.
@@ -261,19 +293,36 @@ impl EpochCore {
         }
 
         let actuation = match (outcome.allocation, actuate) {
-            (Some(units), Some(apply)) => apply(&units),
+            (Some(units), Some(apply)) => {
+                let actuate_clock = Stopwatch::start();
+                let actuation = apply(&units);
+                actuate_clock.record(&mut timings, Stage::Actuate);
+                actuation
+            }
             _ => Actuation {
                 repartitioned: false,
                 units_moved: 0,
             },
         };
 
+        if let Some(metrics) = &self.metrics {
+            metrics.observe_epoch(
+                &served_allocation,
+                &per_tenant,
+                &timings,
+                actuation.repartitioned,
+                actuation.units_moved,
+                ingest_delta.as_ref(),
+            );
+        }
+
         self.records.push(EpochRecord {
             epoch: self.epoch,
             allocation: served_allocation,
             per_tenant,
             predicted_cost: outcome.predicted_cost,
-            solve_nanos: outcome.solve_nanos,
+            timings,
+            ingest: ingest_delta,
             repartitioned: actuation.repartitioned,
             units_moved: actuation.units_moved,
         });
@@ -336,6 +385,20 @@ impl RepartitionEngine {
         }
     }
 
+    /// Like [`new`](Self::new), with instruments registered in
+    /// `registry`: a per-access access counter (one relaxed atomic
+    /// increment on the hot path; hits are batched in at epoch
+    /// boundaries), per-stage time counters, solve latency and
+    /// epoch-size histograms, and per-tenant allocation gauges.
+    ///
+    /// # Panics
+    /// Panics if `tenants` is zero.
+    pub fn with_metrics(config: EngineConfig, tenants: usize, registry: &MetricsRegistry) -> Self {
+        let mut engine = RepartitionEngine::new(config, tenants);
+        engine.core.attach_metrics(registry, 1);
+        engine
+    }
+
     /// Composes an engine from explicit stage implementations — the
     /// escape hatch for swapping any stage (a sampled profiler, a
     /// heuristic solver, a hardware-backed actuator) without touching
@@ -390,6 +453,9 @@ impl RepartitionEngine {
     pub fn record_access(&mut self, tenant: TenantId, block: Block) -> bool {
         self.core.profilers[tenant].observe(block);
         let hit = self.actuator.access(tenant, block);
+        if let Some(metrics) = &self.core.metrics {
+            metrics.accesses.add(0, 1);
+        }
         self.epoch_accesses += 1;
         if self.epoch_accesses == self.core.config.epoch_length {
             self.end_epoch();
@@ -416,7 +482,13 @@ impl RepartitionEngine {
         if self.epoch_accesses > 0 {
             let served_allocation = self.actuator.allocation_units().to_vec();
             let per_tenant = self.actuator.take_counts();
-            self.core.close_epoch(served_allocation, per_tenant, None);
+            self.core.close_epoch(
+                served_allocation,
+                per_tenant,
+                StageTimings::default(),
+                None,
+                None,
+            );
         }
         self.core.into_report()
     }
@@ -429,6 +501,10 @@ impl RepartitionEngine {
         self.core.close_epoch(
             served_allocation,
             per_tenant,
+            // Inline profiling/serving has no separable ingest span; the
+            // single engine's epochs start from zeroed pre-timings.
+            StageTimings::default(),
+            None,
             Some(&mut |units: &[usize]| actuator.apply(units)),
         );
     }
@@ -507,7 +583,7 @@ mod tests {
         // pipeline (its 500 accesses are not dropped from the blended
         // curve) but is never actuated.
         assert!(partial.predicted_cost.is_some(), "partial epoch solved");
-        assert!(partial.solve_nanos > 0);
+        assert!(partial.solve_nanos() > 0);
         assert!(!partial.repartitioned);
         assert_eq!(partial.units_moved, 0);
     }
@@ -528,7 +604,7 @@ mod tests {
             assert_eq!(report.epochs.len(), 6, "{policy:?}");
             // Every boundary with all curves present must have solved.
             assert!(
-                report.epochs.iter().any(|e| e.solve_nanos > 0),
+                report.epochs.iter().any(|e| e.solve_nanos() > 0),
                 "{policy:?} never solved"
             );
         }

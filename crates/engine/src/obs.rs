@@ -1,0 +1,131 @@
+//! The engine's metric set: the instruments every variant registers
+//! when observability is attached via `with_metrics`.
+//!
+//! One [`EngineMetrics`] bundle per engine, all handles into the
+//! caller's [`MetricsRegistry`]. The per-access hot path touches only
+//! the `accesses` [`ShardedCounter`] — a single relaxed `fetch_add` on
+//! the worker's private cache line. Hits are reconciled from the
+//! epoch's per-tenant counts at the boundary (they're already tallied
+//! there, so a second per-access atomic would buy nothing but
+//! overhead); everything else updates at epoch boundaries too. Names
+//! are stable — `cps inspect`/CI grep for them.
+
+use crate::ingest::IngestStats;
+use cps_obs::{Counter, Gauge, Histogram, MetricsRegistry, ShardedCounter, Stage, StageTimings};
+use std::sync::Arc;
+
+/// The engine's registered instruments (see module docs).
+pub(crate) struct EngineMetrics {
+    /// Accesses served, one slot per shard (slot 0 for the single
+    /// engine). The only instrument the per-access path touches.
+    pub(crate) accesses: ShardedCounter,
+    /// Hits among them; batched in at each epoch boundary.
+    hits: Counter,
+    epochs: Counter,
+    repartitions: Counter,
+    units_moved: Counter,
+    solve_nanos: Histogram,
+    epoch_accesses: Histogram,
+    stage_nanos: [Counter; 5],
+    tenant_units: Vec<Gauge>,
+    blocked_pushes: Counter,
+    wait_nanos: Counter,
+}
+
+fn stage_index(stage: Stage) -> usize {
+    Stage::ALL.iter().position(|&s| s == stage).expect("in ALL")
+}
+
+impl EngineMetrics {
+    /// Registers the engine instrument set with `slots` hot-path lanes
+    /// (= shard count).
+    pub(crate) fn register(
+        registry: &MetricsRegistry,
+        tenants: usize,
+        slots: usize,
+    ) -> Arc<EngineMetrics> {
+        let stage_nanos = Stage::ALL.map(|s| {
+            registry.counter(
+                &format!("cps_engine_stage_{}_nanos_total", s.name()),
+                &format!("Wall-clock nanoseconds attributed to the {s} stage"),
+            )
+        });
+        let tenant_units = (0..tenants)
+            .map(|t| {
+                registry.gauge(
+                    &format!("cps_engine_tenant_{t}_units"),
+                    "Cache units allocated to the tenant (last served epoch)",
+                )
+            })
+            .collect();
+        Arc::new(EngineMetrics {
+            accesses: registry.sharded_counter(
+                "cps_engine_accesses_total",
+                "Accesses served across all tenants",
+                slots,
+            ),
+            hits: registry.counter("cps_engine_hits_total", "Cache hits across all tenants"),
+            epochs: registry.counter("cps_engine_epochs_total", "Epoch boundaries closed"),
+            repartitions: registry.counter(
+                "cps_engine_repartitions_total",
+                "Epoch boundaries that applied a new allocation",
+            ),
+            units_moved: registry.counter(
+                "cps_engine_units_moved_total",
+                "Cache units moved by applied repartitions",
+            ),
+            solve_nanos: registry.histogram(
+                "cps_engine_solve_nanos",
+                "Per-epoch DP re-solve latency in nanoseconds",
+            ),
+            epoch_accesses: registry
+                .histogram("cps_engine_epoch_accesses", "Accesses served per epoch"),
+            stage_nanos,
+            tenant_units,
+            blocked_pushes: registry.counter(
+                "cps_engine_ingest_blocked_pushes_total",
+                "Ingest pushes that hit a full queue (queued engine only)",
+            ),
+            wait_nanos: registry.counter(
+                "cps_engine_ingest_wait_nanos_total",
+                "Nanoseconds the producer spent blocked on full queues",
+            ),
+        })
+    }
+
+    /// Epoch-boundary update: rolls one closed epoch into the
+    /// registered instruments. Hits and the epoch-size histogram come
+    /// from `per_tenant` — the counts the boundary already tallied.
+    pub(crate) fn observe_epoch(
+        &self,
+        served_allocation: &[usize],
+        per_tenant: &[cps_cachesim::AccessCounts],
+        timings: &StageTimings,
+        repartitioned: bool,
+        units_moved: usize,
+        ingest_delta: Option<&IngestStats>,
+    ) {
+        let epoch_accesses: u64 = per_tenant.iter().map(|c| c.accesses).sum();
+        let epoch_hits: u64 = per_tenant.iter().map(|c| c.accesses - c.misses).sum();
+        self.epochs.inc();
+        self.hits.add(epoch_hits);
+        self.epoch_accesses.observe(epoch_accesses);
+        if timings.solve_nanos > 0 {
+            self.solve_nanos.observe(timings.solve_nanos);
+        }
+        for (stage, nanos) in timings.iter() {
+            self.stage_nanos[stage_index(stage)].add(nanos);
+        }
+        if repartitioned {
+            self.repartitions.inc();
+            self.units_moved.add(units_moved as u64);
+        }
+        for (gauge, &units) in self.tenant_units.iter().zip(served_allocation) {
+            gauge.set(units as i64);
+        }
+        if let Some(delta) = ingest_delta {
+            self.blocked_pushes.add(delta.blocked_pushes);
+            self.wait_nanos.add(delta.wait_nanos);
+        }
+    }
+}

@@ -2,14 +2,20 @@
 //!
 //! Every epoch the engine closes produces an [`EpochRecord`]: the
 //! allocation that was actually in force, the realized per-tenant
-//! hit/miss counts under it, and what the re-solve decided at the
-//! boundary. A finished run rolls them up into an [`EngineReport`],
-//! making controller behaviour auditable after the fact.
+//! hit/miss counts under it, what the re-solve decided at the boundary,
+//! and a uniform [`StageTimings`] block attributing the epoch's wall
+//! clock to pipeline stages. A finished run rolls them up into an
+//! [`EngineReport`], making controller behaviour auditable after the
+//! fact — and exportable: [`EngineReport::journal_events`] and
+//! [`EngineReport::run_summary`] map a report onto the stable
+//! [`cps_obs::journal`] schema that `cps replay-online --journal`
+//! writes and `cps inspect` round-trips.
 
 use crate::ingest::IngestStats;
 use crate::TenantId;
 use cps_cachesim::AccessCounts;
 use cps_core::CacheConfig;
+use cps_obs::{BackpressureDelta, EpochEvent, RunSummary, StageTimings};
 
 /// What happened in one epoch.
 #[derive(Clone, Debug)]
@@ -23,8 +29,13 @@ pub struct EpochRecord {
     /// DP-predicted cost of the allocation chosen *at the end* of this
     /// epoch; `None` if the solve was skipped or infeasible.
     pub predicted_cost: Option<f64>,
-    /// Wall-clock nanoseconds spent in the DP solve (0 if skipped).
-    pub solve_nanos: u64,
+    /// Wall-clock nanoseconds the epoch spent in each pipeline stage.
+    /// Excluded (like all wall clock) from the sharded engines'
+    /// determinism guarantees.
+    pub timings: StageTimings,
+    /// This epoch's ingest backpressure delta — present iff the run
+    /// used a queued ingest front end.
+    pub ingest: Option<IngestStats>,
     /// Whether a new allocation was applied at this epoch's boundary.
     pub repartitioned: bool,
     /// Units that moved between tenants at the boundary (half the L1
@@ -33,7 +44,9 @@ pub struct EpochRecord {
 }
 
 impl EpochRecord {
-    /// Realized access-weighted group miss ratio of this epoch.
+    /// Realized access-weighted group miss ratio of this epoch
+    /// (**defined as 0.0 for an epoch that served no accesses** — a
+    /// zero-access epoch is a well-formed record, not a NaN).
     pub fn miss_ratio(&self) -> f64 {
         weighted_miss_ratio(&self.per_tenant)
     }
@@ -41,6 +54,31 @@ impl EpochRecord {
     /// Total accesses served this epoch.
     pub fn accesses(&self) -> u64 {
         self.per_tenant.iter().map(|c| c.accesses).sum()
+    }
+
+    /// Wall-clock nanoseconds of this epoch's DP re-solve (0 if the
+    /// solve was skipped) — shorthand for `timings.solve_nanos`.
+    pub fn solve_nanos(&self) -> u64 {
+        self.timings.solve_nanos
+    }
+
+    /// This record as a journal line payload.
+    pub fn journal_event(&self) -> EpochEvent {
+        EpochEvent {
+            epoch: self.epoch,
+            allocation: self.allocation.clone(),
+            accesses: self.per_tenant.iter().map(|c| c.accesses).collect(),
+            misses: self.per_tenant.iter().map(|c| c.misses).collect(),
+            predicted_cost: self.predicted_cost,
+            repartitioned: self.repartitioned,
+            units_moved: self.units_moved,
+            timings: self.timings,
+            backpressure: self.ingest.map(|s| BackpressureDelta {
+                pushed: s.pushed,
+                blocked: s.blocked_pushes,
+                wait_nanos: s.wait_nanos,
+            }),
+        }
     }
 }
 
@@ -66,17 +104,17 @@ pub struct EngineReport {
 }
 
 impl EngineReport {
-    /// Cumulative access-weighted group miss ratio over the whole run.
+    /// Cumulative access-weighted group miss ratio over the whole run
+    /// (0.0 if the run served no accesses).
     pub fn cumulative_miss_ratio(&self) -> f64 {
         weighted_miss_ratio(&self.totals)
     }
 
-    /// Cumulative miss ratio of one tenant.
-    ///
-    /// # Panics
-    /// Panics if `tenant` is out of range.
-    pub fn tenant_miss_ratio(&self, tenant: TenantId) -> f64 {
-        self.totals[tenant].miss_ratio()
+    /// Cumulative miss ratio of one tenant; `None` if `tenant` is out
+    /// of range. (An in-range tenant that served nothing reports
+    /// `Some(0.0)`, consistent with the group ratios.)
+    pub fn tenant_miss_ratio(&self, tenant: TenantId) -> Option<f64> {
+        self.totals.get(tenant).map(|c| c.miss_ratio())
     }
 
     /// Number of epoch boundaries at which the allocation changed.
@@ -86,7 +124,7 @@ impl EngineReport {
 
     /// Total nanoseconds spent in DP solves.
     pub fn total_solve_nanos(&self) -> u64 {
-        self.epochs.iter().map(|e| e.solve_nanos).sum()
+        self.epochs.iter().map(|e| e.solve_nanos()).sum()
     }
 
     /// Mean nanoseconds per performed DP solve (`None` if none ran).
@@ -94,14 +132,24 @@ impl EngineReport {
         let solved: Vec<u64> = self
             .epochs
             .iter()
-            .filter(|e| e.solve_nanos > 0)
-            .map(|e| e.solve_nanos)
+            .filter(|e| e.solve_nanos() > 0)
+            .map(|e| e.solve_nanos())
             .collect();
         if solved.is_empty() {
             None
         } else {
             Some(solved.iter().sum::<u64>() / solved.len() as u64)
         }
+    }
+
+    /// Stage-wise sum of every epoch's timings — where the run's wall
+    /// clock went.
+    pub fn stage_totals(&self) -> StageTimings {
+        let mut total = StageTimings::default();
+        for e in &self.epochs {
+            total.merge(&e.timings);
+        }
+        total
     }
 
     /// The per-epoch allocation decisions, in order — the byte-exact
@@ -115,10 +163,34 @@ impl EngineReport {
             .map(|e| e.allocation.as_slice())
             .collect()
     }
+
+    /// Every epoch as a journal event, in order.
+    pub fn journal_events(&self) -> Vec<EpochEvent> {
+        self.epochs.iter().map(|e| e.journal_event()).collect()
+    }
+
+    /// The journal summary line for this run; by construction it
+    /// validates against [`journal_events`](Self::journal_events) (same
+    /// totals the journal consumer recomputes).
+    pub fn run_summary(&self) -> RunSummary {
+        RunSummary {
+            epochs: self.epochs.len(),
+            accesses: self.totals.iter().map(|c| c.accesses).sum(),
+            misses: self.totals.iter().map(|c| c.misses).sum(),
+            repartitions: self.repartition_count(),
+            units_moved: self
+                .epochs
+                .iter()
+                .filter(|e| e.repartitioned)
+                .map(|e| e.units_moved as u64)
+                .sum(),
+            timings: self.stage_totals(),
+        }
+    }
 }
 
 /// Access-weighted group miss ratio of a set of per-tenant counts
-/// (0 when nothing was accessed).
+/// (**0.0 when nothing was accessed** — never NaN).
 pub fn weighted_miss_ratio(counts: &[AccessCounts]) -> f64 {
     let acc: u64 = counts.iter().map(|c| c.accesses).sum();
     let mis: u64 = counts.iter().map(|c| c.misses).sum();
@@ -137,6 +209,19 @@ mod tests {
         AccessCounts { accesses, misses }
     }
 
+    fn record(epoch: usize, alloc: Vec<usize>, per_tenant: Vec<AccessCounts>) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            allocation: alloc,
+            per_tenant,
+            predicted_cost: None,
+            timings: StageTimings::default(),
+            ingest: None,
+            repartitioned: false,
+            units_moved: 0,
+        }
+    }
+
     #[test]
     fn weighted_ratio_handles_empty_and_mixes() {
         assert_eq!(weighted_miss_ratio(&[]), 0.0);
@@ -145,21 +230,47 @@ mod tests {
         assert!((r - 0.2).abs() < 1e-12);
     }
 
+    /// A zero-access epoch (all tenants idle) must report ratio 0.0 —
+    /// the defined value — not NaN from 0/0.
+    #[test]
+    fn zero_access_epoch_miss_ratio_is_zero_not_nan() {
+        let idle = record(0, vec![4, 4], vec![counts(0, 0), counts(0, 0)]);
+        assert_eq!(idle.miss_ratio(), 0.0);
+        assert!(!idle.miss_ratio().is_nan());
+        let report = EngineReport {
+            tenants: 2,
+            cache: CacheConfig::new(8, 1),
+            epochs: vec![idle],
+            totals: vec![counts(0, 0), counts(0, 0)],
+            ingest: None,
+        };
+        assert_eq!(report.cumulative_miss_ratio(), 0.0);
+        assert_eq!(report.tenant_miss_ratio(0), Some(0.0));
+    }
+
+    #[test]
+    fn tenant_miss_ratio_is_none_out_of_range() {
+        let report = EngineReport {
+            tenants: 2,
+            cache: CacheConfig::new(8, 1),
+            epochs: vec![],
+            totals: vec![counts(10, 5), counts(40, 4)],
+            ingest: None,
+        };
+        assert_eq!(report.tenant_miss_ratio(0), Some(0.5));
+        assert_eq!(report.tenant_miss_ratio(1), Some(0.1));
+        assert_eq!(report.tenant_miss_ratio(2), None);
+    }
+
     #[test]
     fn trajectory_lists_epoch_allocations_in_order() {
-        let mk = |epoch: usize, alloc: Vec<usize>| EpochRecord {
-            epoch,
-            allocation: alloc,
-            per_tenant: vec![counts(10, 1)],
-            predicted_cost: None,
-            solve_nanos: 0,
-            repartitioned: false,
-            units_moved: 0,
-        };
         let report = EngineReport {
             tenants: 1,
             cache: CacheConfig::new(8, 1),
-            epochs: vec![mk(0, vec![4, 4]), mk(1, vec![6, 2])],
+            epochs: vec![
+                record(0, vec![4, 4], vec![counts(10, 1)]),
+                record(1, vec![6, 2], vec![counts(10, 1)]),
+            ],
             totals: vec![counts(20, 2)],
             ingest: None,
         };
@@ -167,5 +278,41 @@ mod tests {
             report.allocation_trajectory(),
             vec![&[4usize, 4][..], &[6, 2][..]]
         );
+    }
+
+    #[test]
+    fn journal_mapping_preserves_counts_and_validates() {
+        let mut e0 = record(0, vec![6, 2], vec![counts(60, 6), counts(40, 4)]);
+        e0.repartitioned = true;
+        e0.units_moved = 2;
+        e0.timings.solve_nanos = 500;
+        e0.ingest = Some(IngestStats {
+            capacity: 8,
+            pushed: 102,
+            blocked_pushes: 3,
+            wait_nanos: 77,
+        });
+        let e1 = record(1, vec![6, 2], vec![counts(50, 5), counts(50, 1)]);
+        let report = EngineReport {
+            tenants: 2,
+            cache: CacheConfig::new(8, 1),
+            epochs: vec![e0, e1],
+            totals: vec![counts(110, 11), counts(90, 5)],
+            ingest: None,
+        };
+        let events = report.journal_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].accesses, vec![60, 40]);
+        assert_eq!(events[0].misses, vec![6, 4]);
+        let bp = events[0].backpressure.expect("delta mapped");
+        assert_eq!((bp.pushed, bp.blocked, bp.wait_nanos), (102, 3, 77));
+        assert!(events[1].backpressure.is_none());
+        let summary = report.run_summary();
+        assert_eq!(summary.epochs, 2);
+        assert_eq!(summary.accesses, 200);
+        assert_eq!(summary.misses, 16);
+        assert_eq!(summary.repartitions, 1);
+        assert_eq!(summary.units_moved, 2);
+        assert_eq!(summary.timings.solve_nanos, 500);
     }
 }

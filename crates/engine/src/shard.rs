@@ -67,13 +67,18 @@
 //! ```
 
 use crate::actuate::{units_moved, Actuation, CacheActuator, HysteresisActuator};
-use crate::ingest::{BufferedIngest, IngestMsg, IngestStage, QueuedIngest, SpscReceiver};
+use crate::ingest::{
+    BufferedIngest, IngestMsg, IngestStage, IngestStats, QueuedIngest, SpscReceiver,
+};
+use crate::obs::EngineMetrics;
 use crate::report::EngineReport;
 use crate::{EngineConfig, EpochCore, TenantId};
 use cps_cachesim::AccessCounts;
 use cps_hotl::online::OnlineProfiler;
+use cps_obs::{MetricsRegistry, Stage, StageTimings, Stopwatch};
 use cps_trace::{Block, ChunkRouter};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 #[allow(unused_imports)] // doc links
@@ -101,6 +106,23 @@ impl ShardedEngine {
                 .collect(),
             ingest: BufferedIngest::with_capacity(config.epoch_length),
         }
+    }
+
+    /// Like [`new`](Self::new), with instruments registered in
+    /// `registry`. Each shard increments its own slot of the hot-path
+    /// access counter during the epoch fan-out.
+    ///
+    /// # Panics
+    /// Panics if `tenants` or `shards` is zero.
+    pub fn with_metrics(
+        config: EngineConfig,
+        tenants: usize,
+        shards: usize,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        let mut engine = ShardedEngine::new(config, tenants, shards);
+        engine.core.attach_metrics(registry, shards);
+        engine
     }
 
     /// The engine's configuration.
@@ -165,41 +187,55 @@ impl ShardedEngine {
     /// One epoch barrier: fan out, profile + serve per shard, merge in
     /// stream order, solve once, broadcast the decision.
     fn process_epoch(&mut self, actuate: bool) {
+        let mut pre = StageTimings::default();
+        let ingest_clock = Stopwatch::start();
         let buffer = self.ingest.take_epoch();
         let tenants = self.tenants();
         let shards = self.actuators.len();
         let epoch_length = self.core.config.epoch_length;
         let len = buffer.len();
-
         // Fan-out: shard i owns the contiguous chunk [i·E/N, (i+1)·E/N),
         // clamped to the realized length — the same rule `ChunkRouter`
         // streams for the queued engine, so both engines chunk every
         // epoch (full or partial) identically.
+        let ranges: Vec<std::ops::Range<usize>> =
+            ChunkRouter::bounds(epoch_length, shards, len).collect();
+        ingest_clock.record(&mut pre, Stage::Ingest);
+
+        let metrics = self.core.metrics.clone();
         let mut outputs: Vec<Option<(Vec<OnlineProfiler>, Vec<AccessCounts>)>> =
             (0..shards).map(|_| None).collect();
+        let profile_clock = Stopwatch::start();
         rayon::scope(|s| {
-            for ((actuator, out), range) in self
+            for (shard, ((actuator, out), range)) in self
                 .actuators
                 .iter_mut()
                 .zip(outputs.iter_mut())
-                .zip(ChunkRouter::bounds(epoch_length, shards, len))
+                .zip(ranges)
+                .enumerate()
             {
                 let chunk = &buffer[range];
+                let metrics = metrics.clone();
                 s.spawn(move |_| {
                     let mut profs: Vec<OnlineProfiler> =
                         (0..tenants).map(|_| OnlineProfiler::new()).collect();
                     for &(t, b) in chunk {
                         profs[t].observe(b);
                         actuator.access(t, b);
+                        if let Some(m) = &metrics {
+                            m.accesses.add(shard, 1);
+                        }
                     }
                     *out = Some((profs, actuator.take_counts()));
                 });
             }
         });
+        profile_clock.record(&mut pre, Stage::Profile);
 
         // Barrier merge: absorb each shard's window segment into the
         // global profilers in stream order (exactness requires it) and
         // sum the shard-local counts.
+        let merge_clock = Stopwatch::start();
         let mut per_tenant = vec![AccessCounts::default(); tenants];
         for slot in outputs {
             let (profs, counts) = slot.expect("every shard reports");
@@ -210,6 +246,7 @@ impl ShardedEngine {
                 acc.merge(c);
             }
         }
+        merge_clock.record(&mut pre, Stage::Merge);
 
         let served_allocation = self.actuators[0].allocation_units().to_vec();
         let actuators = &mut self.actuators;
@@ -226,6 +263,8 @@ impl ShardedEngine {
         self.core.close_epoch(
             served_allocation,
             per_tenant,
+            pre,
+            None,
             if actuate { Some(&mut broadcast) } else { None },
         );
     }
@@ -244,7 +283,7 @@ type ShardEpoch = (Vec<OnlineProfiler>, Vec<AccessCounts>);
 /// profile, and simulate concurrently while the producer is still
 /// ingesting. A full queue blocks the producer (backpressure); the
 /// blocked time is accounted in the report's
-/// [`IngestStats`](crate::IngestStats).
+/// [`IngestStats`].
 ///
 /// At the epoch barrier the producer enqueues
 /// [`IngestMsg::EpochEnd`] behind the epoch's records, collects each
@@ -261,8 +300,9 @@ type ShardEpoch = (Vec<OnlineProfiler>, Vec<AccessCounts>);
 /// records to the same shard in the same order (shared chunk rule,
 /// including for a partial final epoch), merge in the same order, and
 /// apply the same pure hysteresis verdict — so every `EngineReport`
-/// field except wall-clock (`solve_nanos`) and the ingest stats is
-/// byte-identical. Pinned by `crates/engine/tests/queued_identity.rs`.
+/// field except wall clock (the per-epoch stage `timings`) and the
+/// ingest stats is byte-identical. Pinned by
+/// `crates/engine/tests/queued_identity.rs`.
 ///
 /// # Examples
 ///
@@ -300,6 +340,8 @@ pub struct QueuedShardedEngine {
     workers: Vec<JoinHandle<()>>,
     current_units: Vec<usize>,
     min_units: usize,
+    /// Ingest counters at the last epoch barrier, for per-epoch deltas.
+    last_ingest_stats: IngestStats,
 }
 
 impl QueuedShardedEngine {
@@ -310,37 +352,79 @@ impl QueuedShardedEngine {
     /// # Panics
     /// Panics if `tenants`, `shards`, or `queue_capacity` is zero.
     pub fn new(config: EngineConfig, tenants: usize, shards: usize, queue_capacity: usize) -> Self {
+        Self::build(config, tenants, shards, queue_capacity, None)
+    }
+
+    /// Like [`new`](Self::new), with instruments registered in
+    /// `registry`. Each shard worker increments its own cache-padded
+    /// slot of the hot-path access counter while draining its
+    /// queue — the contended case the sharded counter exists for.
+    ///
+    /// # Panics
+    /// Panics if `tenants`, `shards`, or `queue_capacity` is zero.
+    pub fn with_metrics(
+        config: EngineConfig,
+        tenants: usize,
+        shards: usize,
+        queue_capacity: usize,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        assert!(tenants > 0, "need at least one tenant");
+        let metrics = EngineMetrics::register(registry, tenants, shards);
+        Self::build(config, tenants, shards, queue_capacity, Some(metrics))
+    }
+
+    fn build(
+        config: EngineConfig,
+        tenants: usize,
+        shards: usize,
+        queue_capacity: usize,
+        metrics: Option<Arc<EngineMetrics>>,
+    ) -> Self {
         assert!(shards > 0, "need at least one shard");
         assert!(
             queue_capacity > 0,
             "queue needs capacity for at least one record"
         );
-        let core = EpochCore::new(config, tenants);
+        let mut core = EpochCore::new(config, tenants);
+        core.metrics = metrics.clone();
         let mut senders = Vec::with_capacity(shards);
         let mut results = Vec::with_capacity(shards);
         let mut commands = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
-        for _ in 0..shards {
+        for shard in 0..shards {
             let (ingest_tx, ingest_rx) = crate::ingest::spsc_queue(queue_capacity);
             let (result_tx, result_rx) = mpsc::channel();
             let (command_tx, command_rx) = mpsc::channel();
             let actuator = HysteresisActuator::new(&config, tenants);
+            let worker_metrics = metrics.clone();
             workers.push(std::thread::spawn(move || {
-                shard_worker(tenants, actuator, ingest_rx, result_tx, command_rx);
+                shard_worker(
+                    tenants,
+                    actuator,
+                    ingest_rx,
+                    result_tx,
+                    command_rx,
+                    worker_metrics,
+                    shard,
+                );
             }));
             senders.push(ingest_tx);
             results.push(result_rx);
             commands.push(command_tx);
         }
         let current_units = config.cache.equal_split(tenants);
+        let ingest = QueuedIngest::new(senders, config.epoch_length);
+        let last_ingest_stats = ingest.stats();
         QueuedShardedEngine {
             core,
-            ingest: QueuedIngest::new(senders, config.epoch_length),
+            ingest,
             results,
             commands,
             workers,
             current_units,
             min_units: config.min_repartition_units,
+            last_ingest_stats,
         }
     }
 
@@ -425,18 +509,50 @@ impl QueuedShardedEngine {
     /// collect shard outputs in stream order, merge, solve once, then
     /// broadcast the verdict so the workers can serve the next epoch.
     fn close_queued_epoch(&mut self, actuate: bool) {
+        let mut pre = StageTimings::default();
+        // Ingest span = the producer's blocked time accumulated over the
+        // epoch's submits, plus the barrier fence itself. The submit
+        // wait is read *before* the fence so blocking during the
+        // barrier pushes (already inside the fence clock) is never
+        // counted twice.
+        let submit_wait = self
+            .ingest
+            .stats()
+            .delta_since(&self.last_ingest_stats)
+            .wait_nanos;
+        let fence_clock = Stopwatch::start();
         self.ingest.end_epoch();
+        pre.add(Stage::Ingest, submit_wait + fence_clock.elapsed_nanos());
+        // Snapshot after the fence so the barrier messages land in this
+        // epoch's backpressure delta — the per-epoch deltas tile the
+        // run's aggregate stats exactly.
+        let now = self.ingest.stats();
+        let ingest_delta = now.delta_since(&self.last_ingest_stats);
+        self.last_ingest_stats = now;
+
         let tenants = self.tenants();
+        // Barrier wait: collect every shard's window in stream order
+        // (the epoch's profile work, overlapped with ingestion, ends
+        // here)...
+        let profile_clock = Stopwatch::start();
+        let shard_epochs: Vec<ShardEpoch> = self
+            .results
+            .iter()
+            .map(|r| r.recv().expect("shard worker died"))
+            .collect();
+        profile_clock.record(&mut pre, Stage::Profile);
+        // ...then absorb the windows, still in stream order.
+        let merge_clock = Stopwatch::start();
         let mut per_tenant = vec![AccessCounts::default(); tenants];
-        for result in &self.results {
-            let (profs, counts) = result.recv().expect("shard worker died");
-            for (profiler, chunk_prof) in self.core.profilers.iter_mut().zip(&profs) {
+        for (profs, counts) in &shard_epochs {
+            for (profiler, chunk_prof) in self.core.profilers.iter_mut().zip(profs) {
                 profiler.absorb_window(chunk_prof);
             }
-            for (acc, c) in per_tenant.iter_mut().zip(&counts) {
+            for (acc, c) in per_tenant.iter_mut().zip(counts) {
                 acc.merge(c);
             }
         }
+        merge_clock.record(&mut pre, Stage::Merge);
 
         let served_allocation = self.current_units.clone();
         // The same pure verdict every replica's `apply` will reach;
@@ -458,6 +574,8 @@ impl QueuedShardedEngine {
         self.core.close_epoch(
             served_allocation,
             per_tenant,
+            pre,
+            Some(ingest_delta),
             if actuate { Some(&mut verdict) } else { None },
         );
         // Workers block on the verdict after every barrier, even when
@@ -481,6 +599,8 @@ fn shard_worker(
     ingest: SpscReceiver<IngestMsg>,
     results: mpsc::Sender<ShardEpoch>,
     commands: mpsc::Receiver<Option<Vec<usize>>>,
+    metrics: Option<Arc<EngineMetrics>>,
+    shard: usize,
 ) {
     let fresh = |tenants: usize| -> Vec<OnlineProfiler> {
         (0..tenants).map(|_| OnlineProfiler::new()).collect()
@@ -491,6 +611,11 @@ fn shard_worker(
             IngestMsg::Record { tenant, block } => {
                 profilers[tenant].observe(block);
                 actuator.access(tenant, block);
+                if let Some(m) = &metrics {
+                    // Each worker owns slot `shard` — a private cache
+                    // line, so concurrent workers never contend.
+                    m.accesses.add(shard, 1);
+                }
             }
             IngestMsg::EpochEnd => {
                 let window = std::mem::replace(&mut profilers, fresh(tenants));
@@ -730,6 +855,104 @@ mod tests {
         // With one-slot queues the producer almost always finds them
         // full; the point is that blocking never changes the outcome.
         assert!(stats.blocked_fraction() <= 1.0);
+    }
+
+    /// The `EngineReport.ingest` contract: absent for the single and
+    /// buffered engines (no queues to backpressure), present with live
+    /// counters for a queued run — and maximally exercised at queue
+    /// capacity 1, where the producer finds a full queue constantly.
+    #[test]
+    fn ingest_stats_absent_for_buffered_present_for_queued() {
+        let cfg = EngineConfig::new(CacheConfig::new(16, 1), 64);
+        let feed = |n: u64| (0..n).map(|i| ((i % 2) as usize, i % 20));
+
+        let mut single = RepartitionEngine::new(cfg, 2);
+        single.run(feed(1_000));
+        assert!(single.finish().ingest.is_none(), "single: no queues");
+
+        let mut buffered = ShardedEngine::new(cfg, 2, 2);
+        buffered.run(feed(1_000));
+        let b = buffered.finish();
+        assert!(b.ingest.is_none(), "buffered: no queues");
+        assert!(
+            b.epochs.iter().all(|e| e.ingest.is_none()),
+            "buffered epochs carry no deltas"
+        );
+
+        let mut queued = QueuedShardedEngine::new(cfg, 2, 2, 1);
+        queued.run(feed(1_000));
+        let q = queued.finish();
+        let stats = q.ingest.expect("queued: stats populated");
+        assert_eq!(stats.capacity, 1);
+        // 1000 records + one barrier per shard per epoch all went
+        // through the queues — a nonzero backpressure counter by
+        // construction.
+        assert!(stats.pushed >= 1_000);
+        assert!(stats.blocked_pushes <= stats.pushed);
+        assert!((0.0..=1.0).contains(&stats.blocked_fraction()));
+        // Per-epoch deltas are present and tile the aggregate exactly.
+        let mut tiled = crate::IngestStats {
+            capacity: stats.capacity,
+            ..Default::default()
+        };
+        for e in &q.epochs {
+            tiled.merge(&e.ingest.expect("queued epochs carry deltas"));
+        }
+        assert_eq!(tiled, stats);
+    }
+
+    /// `with_metrics` on all three variants: the registered counters
+    /// must agree with the report's own totals.
+    #[test]
+    fn registered_metrics_agree_with_the_report() {
+        let accesses = four_tenant_cotrace(20_000);
+        let cfg = EngineConfig::new(CacheConfig::new(64, 1), 4_000);
+
+        let check = |report: &EngineReport, registry: &MetricsRegistry, label: &str| {
+            let snap = registry.snapshot();
+            let counter = |name: &str| match snap.get(name) {
+                Some(cps_obs::metrics::SampleValue::Counter(v)) => *v,
+                other => panic!("{label}: {name} -> {other:?}"),
+            };
+            let total_acc: u64 = report.totals.iter().map(|c| c.accesses).sum();
+            let total_hits: u64 = report.totals.iter().map(|c| c.accesses - c.misses).sum();
+            assert_eq!(counter("cps_engine_accesses_total"), total_acc, "{label}");
+            assert_eq!(counter("cps_engine_hits_total"), total_hits, "{label}");
+            assert_eq!(
+                counter("cps_engine_epochs_total"),
+                report.epochs.len() as u64,
+                "{label}"
+            );
+            assert_eq!(
+                counter("cps_engine_repartitions_total"),
+                report.repartition_count() as u64,
+                "{label}"
+            );
+            let stage_totals = report.stage_totals();
+            for (stage, nanos) in stage_totals.iter() {
+                assert_eq!(
+                    counter(&format!("cps_engine_stage_{}_nanos_total", stage.name())),
+                    nanos,
+                    "{label}: {stage}"
+                );
+            }
+            assert!(stage_totals.solve_nanos > 0, "{label}: solves timed");
+        };
+
+        let registry = MetricsRegistry::new();
+        let mut single = RepartitionEngine::with_metrics(cfg, 4, &registry);
+        single.run(accesses.iter().copied());
+        check(&single.finish(), &registry, "single");
+
+        let registry = MetricsRegistry::new();
+        let mut buffered = ShardedEngine::with_metrics(cfg, 4, 3, &registry);
+        buffered.run(accesses.iter().copied());
+        check(&buffered.finish(), &registry, "buffered");
+
+        let registry = MetricsRegistry::new();
+        let mut queued = QueuedShardedEngine::with_metrics(cfg, 4, 3, 64, &registry);
+        queued.run(accesses.iter().copied());
+        check(&queued.finish(), &registry, "queued");
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! queue capacities all the way down to 1 (maximal backpressure, where
 //! producer and workers strictly alternate).
 //!
-//! `solve_nanos` (wall clock) and the `ingest` stats (definitionally
-//! absent from buffered runs) are the only fields excluded.
+//! The per-epoch stage `timings` (wall clock) and the `ingest` stats
+//! (backpressure is definitionally absent from buffered runs) are the
+//! only fields excluded.
 //!
 //! The streams are adversarially shaped: random tenant mixes, epoch
 //! lengths that do and don't divide the stream (partial final epoch),

@@ -1,0 +1,709 @@
+//! The epoch event journal: a stable JSONL record of one engine run.
+//!
+//! A journal is plain text, one JSON object per line, in three kinds:
+//!
+//! 1. exactly one **run header** first (`"kind":"run"`) — geometry and
+//!    knobs;
+//! 2. one **epoch event** per epoch boundary (`"kind":"epoch"`), in
+//!    order — the allocation in force, per-tenant realized counts, the
+//!    solve verdict, the [`StageTimings`] block, and (for queued runs)
+//!    the epoch's backpressure delta;
+//! 3. exactly one **summary** last (`"kind":"summary"`) — run totals as
+//!    the producer saw them, so a consumer can verify the epoch lines
+//!    add up ([`Journal::validate`]); a journal that fails validation
+//!    was truncated, reordered, or written by a drifted producer.
+//!
+//! # Schema (version 1)
+//!
+//! Every line carries `"v":1` ([`JOURNAL_VERSION`]). Fields are only
+//! ever *added* within a version; removing or re-typing one bumps it.
+//!
+//! ```text
+//! run     {"v","kind":"run","engine","tenants","units","bpu",
+//!          "epoch_length","shards","policy","objective"}
+//! epoch   {"v","kind":"epoch","epoch","alloc":[u..],"accesses":[u..],
+//!          "misses":[u..],"predicted_cost":f|null,"repartitioned":b,
+//!          "units_moved":u,"timings":{"ingest","profile","merge",
+//!          "solve","actuate"},"backpressure":{"pushed","blocked",
+//!          "wait_nanos"}|null}
+//! summary {"v","kind":"summary","epochs","accesses","misses",
+//!          "repartitions","units_moved","timings":{..}}
+//! ```
+//!
+//! Counts are exact integers; the only float is `predicted_cost`
+//! (written with Rust's shortest round-trip formatting). Miss ratios
+//! are deliberately *not* stored — consumers derive them from counts,
+//! so totals checks never chase float rounding.
+
+use crate::json::{escape_json, parse, JsonValue};
+use crate::span::{Stage, StageTimings};
+
+/// Current journal schema version; see the module docs for the format.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// The run header: first line of every journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunHeader {
+    /// Engine front end: `single`, `sharded`, or `queued`.
+    pub engine: String,
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Cache capacity in allocation units.
+    pub units: usize,
+    /// Blocks per unit.
+    pub bpu: usize,
+    /// Configured accesses per epoch.
+    pub epoch_length: usize,
+    /// Shard count (1 for the single engine).
+    pub shards: usize,
+    /// Allocation policy name.
+    pub policy: String,
+    /// Objective name.
+    pub objective: String,
+}
+
+/// One epoch's backpressure delta (queued ingest only): the change in
+/// the producer-side counters across this epoch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackpressureDelta {
+    /// Records pushed during the epoch (including barrier messages).
+    pub pushed: u64,
+    /// Pushes that found their queue full.
+    pub blocked: u64,
+    /// Nanoseconds the producer spent blocked.
+    pub wait_nanos: u64,
+}
+
+/// One epoch boundary: the journal's unit of record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochEvent {
+    /// Epoch index, from 0.
+    pub epoch: usize,
+    /// Allocation (units) in force during the epoch.
+    pub allocation: Vec<usize>,
+    /// Per-tenant accesses served.
+    pub accesses: Vec<u64>,
+    /// Per-tenant misses among them.
+    pub misses: Vec<u64>,
+    /// DP-predicted cost of the boundary's chosen allocation.
+    pub predicted_cost: Option<f64>,
+    /// Whether the boundary repartitioned the cache.
+    pub repartitioned: bool,
+    /// Units the boundary's proposal would move.
+    pub units_moved: usize,
+    /// Per-stage wall clock of the epoch.
+    pub timings: StageTimings,
+    /// Backpressure delta (queued runs only).
+    pub backpressure: Option<BackpressureDelta>,
+}
+
+impl EpochEvent {
+    /// Access-weighted miss ratio of the epoch (0 when idle).
+    pub fn miss_ratio(&self) -> f64 {
+        let acc: u64 = self.accesses.iter().sum();
+        let mis: u64 = self.misses.iter().sum();
+        if acc == 0 {
+            0.0
+        } else {
+            mis as f64 / acc as f64
+        }
+    }
+}
+
+/// The summary line: run totals as the producer computed them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Number of epoch lines the journal should carry.
+    pub epochs: usize,
+    /// Total accesses across tenants and epochs.
+    pub accesses: u64,
+    /// Total misses among them.
+    pub misses: u64,
+    /// Epoch boundaries that repartitioned.
+    pub repartitions: usize,
+    /// Units moved across all applied repartitions.
+    pub units_moved: u64,
+    /// Stage-wise sum of every epoch's timings.
+    pub timings: StageTimings,
+}
+
+/// One parsed journal line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalLine {
+    /// The run header.
+    Header(RunHeader),
+    /// An epoch event.
+    Epoch(EpochEvent),
+    /// The trailing summary.
+    Summary(RunSummary),
+}
+
+fn timings_json(t: &StageTimings) -> String {
+    let fields: Vec<String> = Stage::ALL
+        .iter()
+        .map(|&s| format!("\"{}\":{}", s.name(), t.get(s)))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+fn u64_list(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+impl RunHeader {
+    /// Serializes the header as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"v\":{JOURNAL_VERSION},\"kind\":\"run\",\"engine\":\"{}\",\"tenants\":{},\
+             \"units\":{},\"bpu\":{},\"epoch_length\":{},\"shards\":{},\"policy\":\"{}\",\
+             \"objective\":\"{}\"}}",
+            escape_json(&self.engine),
+            self.tenants,
+            self.units,
+            self.bpu,
+            self.epoch_length,
+            self.shards,
+            escape_json(&self.policy),
+            escape_json(&self.objective),
+        )
+    }
+}
+
+impl EpochEvent {
+    /// Serializes the event as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let alloc: Vec<String> = self.allocation.iter().map(|u| u.to_string()).collect();
+        let cost = match self.predicted_cost {
+            // `{}` on f64 is Rust's shortest round-trip formatting; NaN
+            // and infinities are not representable in JSON, so an
+            // infeasible/absent solve is null.
+            Some(c) if c.is_finite() => format!("{c}"),
+            _ => "null".to_string(),
+        };
+        let backpressure = match &self.backpressure {
+            None => "null".to_string(),
+            Some(b) => format!(
+                "{{\"pushed\":{},\"blocked\":{},\"wait_nanos\":{}}}",
+                b.pushed, b.blocked, b.wait_nanos
+            ),
+        };
+        format!(
+            "{{\"v\":{JOURNAL_VERSION},\"kind\":\"epoch\",\"epoch\":{},\"alloc\":[{}],\
+             \"accesses\":{},\"misses\":{},\"predicted_cost\":{cost},\"repartitioned\":{},\
+             \"units_moved\":{},\"timings\":{},\"backpressure\":{backpressure}}}",
+            self.epoch,
+            alloc.join(","),
+            u64_list(&self.accesses),
+            u64_list(&self.misses),
+            self.repartitioned,
+            self.units_moved,
+            timings_json(&self.timings),
+        )
+    }
+}
+
+impl RunSummary {
+    /// Serializes the summary as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"v\":{JOURNAL_VERSION},\"kind\":\"summary\",\"epochs\":{},\"accesses\":{},\
+             \"misses\":{},\"repartitions\":{},\"units_moved\":{},\"timings\":{}}}",
+            self.epochs,
+            self.accesses,
+            self.misses,
+            self.repartitions,
+            self.units_moved,
+            timings_json(&self.timings),
+        )
+    }
+}
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn usize_field(v: &JsonValue, key: &str) -> Result<usize, String> {
+    field(v, key)?
+        .as_usize()
+        .ok_or_else(|| format!("field `{key}` is not an unsigned integer"))
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` is not an unsigned integer"))
+}
+
+fn str_field(v: &JsonValue, key: &str) -> Result<String, String> {
+    Ok(field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))?
+        .to_string())
+}
+
+fn bool_field(v: &JsonValue, key: &str) -> Result<bool, String> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field `{key}` is not a boolean"))
+}
+
+fn u64_list_field(v: &JsonValue, key: &str) -> Result<Vec<u64>, String> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("field `{key}` is not an array"))?
+        .iter()
+        .map(|item| {
+            item.as_u64()
+                .ok_or_else(|| format!("field `{key}` holds a non-integer"))
+        })
+        .collect()
+}
+
+fn timings_field(v: &JsonValue, key: &str) -> Result<StageTimings, String> {
+    let obj = field(v, key)?;
+    let mut timings = StageTimings::default();
+    for stage in Stage::ALL {
+        timings.add(stage, u64_field(obj, stage.name())?);
+    }
+    Ok(timings)
+}
+
+/// Parses one journal line into its typed record.
+///
+/// Unknown *fields* are ignored (forward compatibility within a
+/// version); an unknown `kind` or a different `v` is an error — that is
+/// the schema-drift tripwire CI leans on.
+pub fn parse_journal_line(line: &str) -> Result<JournalLine, String> {
+    let v = parse(line)?;
+    let version = u64_field(&v, "v")?;
+    if version != JOURNAL_VERSION {
+        return Err(format!(
+            "journal version {version}, this reader speaks {JOURNAL_VERSION}"
+        ));
+    }
+    match str_field(&v, "kind")?.as_str() {
+        "run" => Ok(JournalLine::Header(RunHeader {
+            engine: str_field(&v, "engine")?,
+            tenants: usize_field(&v, "tenants")?,
+            units: usize_field(&v, "units")?,
+            bpu: usize_field(&v, "bpu")?,
+            epoch_length: usize_field(&v, "epoch_length")?,
+            shards: usize_field(&v, "shards")?,
+            policy: str_field(&v, "policy")?,
+            objective: str_field(&v, "objective")?,
+        })),
+        "epoch" => {
+            let cost_value = field(&v, "predicted_cost")?;
+            let predicted_cost = if cost_value.is_null() {
+                None
+            } else {
+                Some(
+                    cost_value
+                        .as_f64()
+                        .ok_or("field `predicted_cost` is not a number")?,
+                )
+            };
+            let bp_value = field(&v, "backpressure")?;
+            let backpressure = if bp_value.is_null() {
+                None
+            } else {
+                Some(BackpressureDelta {
+                    pushed: u64_field(bp_value, "pushed")?,
+                    blocked: u64_field(bp_value, "blocked")?,
+                    wait_nanos: u64_field(bp_value, "wait_nanos")?,
+                })
+            };
+            Ok(JournalLine::Epoch(EpochEvent {
+                epoch: usize_field(&v, "epoch")?,
+                allocation: u64_list_field(&v, "alloc")?
+                    .into_iter()
+                    .map(|u| u as usize)
+                    .collect(),
+                accesses: u64_list_field(&v, "accesses")?,
+                misses: u64_list_field(&v, "misses")?,
+                predicted_cost,
+                repartitioned: bool_field(&v, "repartitioned")?,
+                units_moved: usize_field(&v, "units_moved")?,
+                timings: timings_field(&v, "timings")?,
+                backpressure,
+            }))
+        }
+        "summary" => Ok(JournalLine::Summary(RunSummary {
+            epochs: usize_field(&v, "epochs")?,
+            accesses: u64_field(&v, "accesses")?,
+            misses: u64_field(&v, "misses")?,
+            repartitions: usize_field(&v, "repartitions")?,
+            units_moved: u64_field(&v, "units_moved")?,
+            timings: timings_field(&v, "timings")?,
+        })),
+        other => Err(format!("unknown journal line kind `{other}`")),
+    }
+}
+
+/// A fully parsed journal: header, ordered epochs, summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Journal {
+    /// The run header.
+    pub header: RunHeader,
+    /// Epoch events, in epoch order.
+    pub epochs: Vec<EpochEvent>,
+    /// The trailing totals line.
+    pub summary: RunSummary,
+}
+
+impl Journal {
+    /// Parses a complete journal from text, enforcing the line
+    /// protocol: header first, epochs in order, summary last, nothing
+    /// after. Blank lines are allowed; every other line must parse.
+    pub fn parse(text: &str) -> Result<Journal, String> {
+        let mut header: Option<RunHeader> = None;
+        let mut epochs: Vec<EpochEvent> = Vec::new();
+        let mut summary: Option<RunSummary> = None;
+        for (i, line) in text.lines().enumerate() {
+            let lineno = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parsed =
+                parse_journal_line(line).map_err(|e| format!("journal line {lineno}: {e}"))?;
+            if summary.is_some() {
+                return Err(format!("journal line {lineno}: lines after the summary"));
+            }
+            match parsed {
+                JournalLine::Header(h) => {
+                    if header.is_some() {
+                        return Err(format!("journal line {lineno}: second run header"));
+                    }
+                    if !epochs.is_empty() {
+                        return Err(format!("journal line {lineno}: header after epochs"));
+                    }
+                    header = Some(h);
+                }
+                JournalLine::Epoch(e) => {
+                    if header.is_none() {
+                        return Err(format!("journal line {lineno}: epoch before run header"));
+                    }
+                    if e.epoch != epochs.len() {
+                        return Err(format!(
+                            "journal line {lineno}: epoch {} out of order (expected {})",
+                            e.epoch,
+                            epochs.len()
+                        ));
+                    }
+                    epochs.push(e);
+                }
+                JournalLine::Summary(s) => summary = Some(s),
+            }
+        }
+        let journal = Journal {
+            header: header.ok_or("journal has no run header")?,
+            epochs,
+            summary: summary.ok_or("journal has no summary line (truncated?)")?,
+        };
+        journal.validate()?;
+        Ok(journal)
+    }
+
+    /// Cross-checks the epoch lines against the header and the
+    /// producer's summary: tenant-vector lengths, epoch count, access
+    /// and miss totals, repartition count, units moved, and stage-time
+    /// totals must all match exactly. This is the round-trip guarantee
+    /// `cps inspect` enforces.
+    pub fn validate(&self) -> Result<(), String> {
+        let t = self.header.tenants;
+        let mut derived = RunSummary {
+            epochs: self.epochs.len(),
+            ..RunSummary::default()
+        };
+        for e in &self.epochs {
+            for (what, len) in [
+                ("alloc", e.allocation.len()),
+                ("accesses", e.accesses.len()),
+                ("misses", e.misses.len()),
+            ] {
+                if len != t {
+                    return Err(format!(
+                        "epoch {}: `{what}` has {len} entries for {t} tenants",
+                        e.epoch
+                    ));
+                }
+            }
+            if e.allocation.iter().sum::<usize>() != self.header.units {
+                return Err(format!(
+                    "epoch {}: allocation {:?} does not partition {} units",
+                    e.epoch, e.allocation, self.header.units
+                ));
+            }
+            derived.accesses += e.accesses.iter().sum::<u64>();
+            derived.misses += e.misses.iter().sum::<u64>();
+            derived.repartitions += usize::from(e.repartitioned);
+            if e.repartitioned {
+                derived.units_moved += e.units_moved as u64;
+            }
+            derived.timings.merge(&e.timings);
+        }
+        let s = &self.summary;
+        let checks: [(&str, u64, u64); 5] = [
+            ("epochs", derived.epochs as u64, s.epochs as u64),
+            ("accesses", derived.accesses, s.accesses),
+            ("misses", derived.misses, s.misses),
+            (
+                "repartitions",
+                derived.repartitions as u64,
+                s.repartitions as u64,
+            ),
+            ("units_moved", derived.units_moved, s.units_moved),
+        ];
+        for (what, got, want) in checks {
+            if got != want {
+                return Err(format!(
+                    "summary mismatch: epochs total {what} {got}, summary says {want}"
+                ));
+            }
+        }
+        if derived.timings != s.timings {
+            return Err(format!(
+                "summary mismatch: stage timings {:?} vs summary {:?}",
+                derived.timings, s.timings
+            ));
+        }
+        Ok(())
+    }
+
+    /// Cumulative access-weighted miss ratio over the journal (0 when
+    /// the run served nothing).
+    pub fn cumulative_miss_ratio(&self) -> f64 {
+        if self.summary.accesses == 0 {
+            0.0
+        } else {
+            self.summary.misses as f64 / self.summary.accesses as f64
+        }
+    }
+
+    /// One tenant's per-epoch miss-ratio trajectory (0.0 for an idle
+    /// epoch). Returns `None` for an out-of-range tenant.
+    pub fn tenant_trajectory(&self, tenant: usize) -> Option<Vec<f64>> {
+        (tenant < self.header.tenants).then(|| {
+            self.epochs
+                .iter()
+                .map(|e| {
+                    if e.accesses[tenant] == 0 {
+                        0.0
+                    } else {
+                        e.misses[tenant] as f64 / e.accesses[tenant] as f64
+                    }
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_journal() -> Journal {
+        let header = RunHeader {
+            engine: "queued".into(),
+            tenants: 2,
+            units: 64,
+            bpu: 1,
+            epoch_length: 1_000,
+            shards: 2,
+            policy: "Optimal".into(),
+            objective: "throughput".into(),
+        };
+        let timings = StageTimings {
+            ingest_nanos: 10,
+            profile_nanos: 20,
+            merge_nanos: 30,
+            solve_nanos: 40,
+            actuate_nanos: 50,
+        };
+        let epochs = vec![
+            EpochEvent {
+                epoch: 0,
+                allocation: vec![32, 32],
+                accesses: vec![600, 400],
+                misses: vec![60, 4],
+                predicted_cost: Some(0.125),
+                repartitioned: true,
+                units_moved: 8,
+                timings,
+                backpressure: Some(BackpressureDelta {
+                    pushed: 1_002,
+                    blocked: 3,
+                    wait_nanos: 999,
+                }),
+            },
+            EpochEvent {
+                epoch: 1,
+                allocation: vec![40, 24],
+                accesses: vec![500, 500],
+                misses: vec![5, 50],
+                predicted_cost: None,
+                repartitioned: false,
+                units_moved: 0,
+                timings,
+                backpressure: None,
+            },
+        ];
+        let mut total = StageTimings::default();
+        total.merge(&timings);
+        total.merge(&timings);
+        let summary = RunSummary {
+            epochs: 2,
+            accesses: 2_000,
+            misses: 119,
+            repartitions: 1,
+            units_moved: 8,
+            timings: total,
+        };
+        Journal {
+            header,
+            epochs,
+            summary,
+        }
+    }
+
+    fn render(journal: &Journal) -> String {
+        let mut text = String::new();
+        text.push_str(&journal.header.to_json_line());
+        text.push('\n');
+        for e in &journal.epochs {
+            text.push_str(&e.to_json_line());
+            text.push('\n');
+        }
+        text.push_str(&journal.summary.to_json_line());
+        text.push('\n');
+        text
+    }
+
+    #[test]
+    fn journal_round_trips_exactly() {
+        let journal = sample_journal();
+        let text = render(&journal);
+        let parsed = Journal::parse(&text).expect("round trip");
+        assert_eq!(parsed, journal);
+        assert!((parsed.cumulative_miss_ratio() - 119.0 / 2_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_line_kind_parses_standalone() {
+        let journal = sample_journal();
+        assert!(matches!(
+            parse_journal_line(&journal.header.to_json_line()),
+            Ok(JournalLine::Header(_))
+        ));
+        assert!(matches!(
+            parse_journal_line(&journal.epochs[0].to_json_line()),
+            Ok(JournalLine::Epoch(_))
+        ));
+        assert!(matches!(
+            parse_journal_line(&journal.summary.to_json_line()),
+            Ok(JournalLine::Summary(_))
+        ));
+    }
+
+    #[test]
+    fn version_drift_is_rejected() {
+        let line = sample_journal()
+            .header
+            .to_json_line()
+            .replace("\"v\":1", "\"v\":2");
+        let err = parse_journal_line(&line).unwrap_err();
+        assert!(err.contains("version 2"), "{err}");
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let line = sample_journal()
+            .header
+            .to_json_line()
+            .replace("\"kind\":\"run\"", "\"kind\":\"mystery\"");
+        assert!(parse_journal_line(&line).is_err());
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated() {
+        let line = sample_journal()
+            .header
+            .to_json_line()
+            .replace("\"kind\"", "\"future_field\":7,\"kind\"");
+        assert!(parse_journal_line(&line).is_ok());
+    }
+
+    #[test]
+    fn truncated_journal_is_rejected() {
+        let journal = sample_journal();
+        let mut text = journal.header.to_json_line();
+        text.push('\n');
+        text.push_str(&journal.epochs[0].to_json_line());
+        let err = Journal::parse(&text).unwrap_err();
+        assert!(err.contains("no summary"), "{err}");
+    }
+
+    #[test]
+    fn totals_drift_fails_validation() {
+        let mut journal = sample_journal();
+        journal.summary.misses += 1;
+        let err = Journal::parse(&render(&journal)).unwrap_err();
+        assert!(err.contains("misses"), "{err}");
+    }
+
+    #[test]
+    fn timings_drift_fails_validation() {
+        let mut journal = sample_journal();
+        journal.summary.timings.solve_nanos += 1;
+        let err = Journal::parse(&render(&journal)).unwrap_err();
+        assert!(err.contains("timings"), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_epochs_are_rejected() {
+        let journal = sample_journal();
+        let text = render(&journal);
+        let swapped: Vec<&str> = {
+            let mut lines: Vec<&str> = text.lines().collect();
+            lines.swap(1, 2);
+            lines
+        };
+        let err = Journal::parse(&swapped.join("\n")).unwrap_err();
+        assert!(err.contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn tenant_vector_length_mismatch_is_rejected() {
+        let mut journal = sample_journal();
+        journal.epochs[1].misses.push(0);
+        let err = Journal::parse(&render(&journal)).unwrap_err();
+        assert!(err.contains("misses"), "{err}");
+    }
+
+    #[test]
+    fn allocation_must_partition_the_cache() {
+        let mut journal = sample_journal();
+        journal.epochs[0].allocation = vec![32, 31];
+        let err = Journal::parse(&render(&journal)).unwrap_err();
+        assert!(err.contains("partition"), "{err}");
+    }
+
+    #[test]
+    fn trajectories_handle_idle_epochs() {
+        let mut journal = sample_journal();
+        journal.epochs[1].accesses = vec![1_000, 0];
+        journal.epochs[1].misses = vec![55, 0];
+        let trajectory = journal.tenant_trajectory(1).unwrap();
+        assert_eq!(trajectory[1], 0.0, "idle epoch is 0, not NaN");
+        assert!(journal.tenant_trajectory(2).is_none());
+    }
+
+    #[test]
+    fn infinite_cost_becomes_null() {
+        let mut journal = sample_journal();
+        journal.epochs[0].predicted_cost = Some(f64::INFINITY);
+        let line = journal.epochs[0].to_json_line();
+        assert!(line.contains("\"predicted_cost\":null"), "{line}");
+    }
+}

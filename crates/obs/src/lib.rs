@@ -1,0 +1,44 @@
+//! Observability for the repartitioning engine: metrics, spans, journal.
+//!
+//! The engine pipeline (ingest → profile → merge → solve → actuate)
+//! runs for millions of accesses between human glances; this crate is
+//! how a run is *watched* rather than reconstructed from printlns.
+//! It is deliberately zero-dependency — everything is `std` atomics,
+//! hand-rolled JSON, and plain text — so it can sit under the
+//! `record_access` hot path without pulling a telemetry stack into the
+//! build.
+//!
+//! Three layers, one module each:
+//!
+//! * [`metrics`] — a [`MetricsRegistry`] of named instruments: atomic
+//!   [`Counter`]s, [`Gauge`]s, log-2-bucketed [`Histogram`]s, and
+//!   [`ShardedCounter`]s (per-worker cache-padded slots for the queued
+//!   engine's contended hot path). Snapshots export as a human table,
+//!   JSONL, or Prometheus text format.
+//! * [`span`] — the [`Stage`] taxonomy and the per-epoch
+//!   [`StageTimings`] block that replaces ad-hoc wall-clock fields:
+//!   every engine variant attributes its epoch to the same five stages.
+//! * [`journal`] — the epoch-granular structured event journal: one
+//!   JSONL line per epoch boundary (allocation, per-tenant realized
+//!   counts, solve verdict, stage timings, backpressure deltas) between
+//!   a run header and a totals summary, with a documented stable
+//!   schema ([`JOURNAL_VERSION`]) that `cps inspect` round-trips.
+//!
+//! [`json`] is the tiny JSON value/parser the journal rides on; it is
+//! public so downstream tools can parse journal extensions without a
+//! serde dependency.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod journal;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use journal::{
+    parse_journal_line, BackpressureDelta, EpochEvent, Journal, JournalLine, RunHeader, RunSummary,
+    JOURNAL_VERSION,
+};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, ShardedCounter};
+pub use span::{Stage, StageTimings, Stopwatch};

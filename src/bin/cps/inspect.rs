@@ -1,0 +1,178 @@
+//! `cps inspect` — parse, validate, and summarize an epoch event
+//! journal written by `cps replay-online --journal`.
+//!
+//! Inspection is also the schema check: the journal must parse line by
+//! line under the version-1 protocol and its epoch lines must
+//! cross-validate against the producer's summary totals (the
+//! round-trip guarantee). Any drift — unknown version or kind, a
+//! truncated file, totals that don't add up — is a hard error and a
+//! nonzero exit.
+
+use crate::common::Args;
+use cache_partition_sharing::prelude::*;
+
+pub fn run(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let [path] = args.positional.as_slice() else {
+        return Err("usage: cps inspect JOURNAL".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let journal = Journal::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    let h = &journal.header;
+    let s = &journal.summary;
+    println!(
+        "journal OK: {} engine, {} tenants, {} x {}-block units, epoch {}, \
+         {} shard(s), policy {}, objective {}",
+        h.engine, h.tenants, h.units, h.bpu, h.epoch_length, h.shards, h.policy, h.objective
+    );
+    println!(
+        "{} epochs, {} accesses, cumulative miss ratio {:.4}; \
+         {} repartitions moving {} units",
+        s.epochs,
+        s.accesses,
+        journal.cumulative_miss_ratio(),
+        s.repartitions,
+        s.units_moved
+    );
+
+    print_stage_breakdown(&journal);
+    print_churn_timeline(&journal);
+    print_trajectories(&journal);
+    print_backpressure(&journal);
+    Ok(())
+}
+
+/// Where the run's wall clock went, stage by stage.
+fn print_stage_breakdown(journal: &Journal) {
+    let totals = &journal.summary.timings;
+    let all = totals.total_nanos();
+    let epochs = journal.summary.epochs.max(1) as f64;
+    println!("\nstage time breakdown");
+    println!(
+        "{:<9} {:>12} {:>7} {:>12}",
+        "stage", "total", "share", "mean/epoch"
+    );
+    for (stage, nanos) in totals.iter() {
+        let share = if all == 0 {
+            0.0
+        } else {
+            nanos as f64 / all as f64 * 100.0
+        };
+        println!(
+            "{:<9} {:>10.2}ms {:>6.1}% {:>10.1}us",
+            stage.name(),
+            nanos as f64 / 1e6,
+            share,
+            nanos as f64 / epochs / 1e3
+        );
+    }
+    println!(
+        "{:<9} {:>10.2}ms {:>6.1}%",
+        "total",
+        all as f64 / 1e6,
+        if all == 0 { 0.0 } else { 100.0 }
+    );
+}
+
+/// Per-epoch allocation churn: what moved, when, and what it bought.
+fn print_churn_timeline(journal: &Journal) {
+    println!("\nallocation churn (`*` = repartitioned at this boundary)");
+    println!(
+        "{:<7} {:>9} {:>9} {:>6}  allocation (units)",
+        "epoch", "accesses", "miss", "moved"
+    );
+    for e in &journal.epochs {
+        let alloc: Vec<String> = e.allocation.iter().map(|u| u.to_string()).collect();
+        let mark = if e.repartitioned { "*" } else { " " };
+        println!(
+            "{:<7} {:>9} {:>9.4} {:>5}{}  {}",
+            e.epoch,
+            e.accesses.iter().sum::<u64>(),
+            e.miss_ratio(),
+            e.units_moved,
+            mark,
+            alloc.join("/")
+        );
+    }
+}
+
+/// Per-tenant miss-ratio trajectories, one sparkline per tenant.
+fn print_trajectories(journal: &Journal) {
+    println!("\ntenant miss-ratio trajectories (idle epoch = 0.0)");
+    for tenant in 0..journal.header.tenants {
+        let traj = journal
+            .tenant_trajectory(tenant)
+            .expect("tenant in header range");
+        let acc: u64 = journal.epochs.iter().map(|e| e.accesses[tenant]).sum();
+        let mis: u64 = journal.epochs.iter().map(|e| e.misses[tenant]).sum();
+        let cumulative = if acc == 0 {
+            0.0
+        } else {
+            mis as f64 / acc as f64
+        };
+        println!(
+            "t{tenant}: cumulative {:.4}  [{}]  {}",
+            cumulative,
+            sparkline(&traj),
+            traj.iter()
+                .map(|r| format!("{r:.3}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+}
+
+/// Queued-ingest backpressure, if the journal carries any deltas.
+fn print_backpressure(journal: &Journal) {
+    let deltas: Vec<_> = journal
+        .epochs
+        .iter()
+        .filter_map(|e| e.backpressure)
+        .collect();
+    if deltas.is_empty() {
+        return;
+    }
+    let pushed: u64 = deltas.iter().map(|d| d.pushed).sum();
+    let blocked: u64 = deltas.iter().map(|d| d.blocked).sum();
+    let wait: u64 = deltas.iter().map(|d| d.wait_nanos).sum();
+    println!(
+        "\ningest backpressure: {pushed} pushes, {blocked} blocked ({:.1}%), {:.1}ms waiting",
+        if pushed == 0 {
+            0.0
+        } else {
+            blocked as f64 / pushed as f64 * 100.0
+        },
+        wait as f64 / 1e6
+    );
+}
+
+/// Eight-level ASCII-art sparkline scaled to the series maximum.
+fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(0.0_f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                LEVELS[0]
+            } else {
+                let idx = (v / max * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sparkline;
+
+    #[test]
+    fn sparkline_scales_to_the_series_maximum() {
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+    }
+}

@@ -23,6 +23,7 @@ use std::process::ExitCode;
 
 mod common;
 mod gen;
+mod inspect;
 mod optimize;
 mod phase_plan;
 mod predict;
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
         "stall" => stall::run(rest),
         "phase-plan" => phase_plan::run(rest),
         "replay-online" => replay_online::run(rest),
+        "inspect" => inspect::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -80,11 +82,20 @@ USAGE:
                [--decay D] [--hysteresis H] [--shards N]
                [--ingest buffered|queued] [--queue-cap N]
                [--objective throughput|maxmin] [--baseline none|equal|natural]
+               [--journal FILE] [--metrics-out FILE]
                (live epoch-driven repartitioning vs static-optimal and
                free-for-all sharing; --shards replays the same stream
                through the sharded engine and reports the speedup;
                --ingest queued streams records through bounded per-shard
-               queues and reports backpressure)
+               queues and reports backpressure; --journal writes the
+               epoch event journal for `cps inspect`; --metrics-out
+               writes a metrics snapshot, Prometheus text by default or
+               JSONL if FILE ends in .jsonl)
+  cps inspect  JOURNAL
+               (parse + validate an epoch journal and print stage-time
+               breakdowns, the allocation-churn timeline, per-tenant
+               miss-ratio trajectories, and backpressure; schema drift
+               or totals that don't round-trip exit nonzero)
 
 WORKLOAD SPECS (for `gen`):
   loop:WS            sequential loop over WS blocks

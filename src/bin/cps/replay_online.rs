@@ -3,6 +3,13 @@
 //! static-optimal partition and free-for-all sharing, and optionally
 //! through the sharded engine (`--shards N`) to measure profiling
 //! speedup and check the shard-count-invariance guarantee.
+//!
+//! `--journal PATH` writes the run's epoch event journal (the stable
+//! JSONL schema `cps inspect` consumes); `--metrics-out PATH` attaches
+//! a metrics registry to the run and writes a snapshot on exit —
+//! Prometheus text exposition by default, JSONL if PATH ends in
+//! `.jsonl`. Both describe the *observed* run: the sharded replay when
+//! `--shards` is given, otherwise the single-threaded engine.
 
 use crate::common::{parse_objective, parse_workload, Args};
 use cache_partition_sharing::prelude::*;
@@ -79,6 +86,8 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     if ingest == IngestMode::Queued && shards.is_none() {
         return Err("--ingest queued needs --shards N".into());
     }
+    let journal_path = args.get("journal").map(str::to_string);
+    let metrics_path = args.get("metrics-out").map(str::to_string);
     let rates: Vec<f64> = match args.get("rates") {
         None => vec![1.0; k],
         Some(s) => {
@@ -116,8 +125,16 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         .objective(combine)
         .decay(decay)
         .hysteresis(hysteresis);
+    // Metrics instrument the observed run only — the sharded replay
+    // when --shards is given, otherwise the single engine — so the
+    // snapshot never mixes two runs' counters.
+    let registry = MetricsRegistry::new();
     let single_start = Instant::now();
-    let mut engine = RepartitionEngine::new(engine_cfg, k);
+    let mut engine = if metrics_path.is_some() && shards.is_none() {
+        RepartitionEngine::with_metrics(engine_cfg, k, &registry)
+    } else {
+        RepartitionEngine::new(engine_cfg, k)
+    };
     engine.run(co.tenant_accesses());
     let report = engine.finish();
     let single_elapsed = single_start.elapsed();
@@ -188,8 +205,8 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         "epoch", "online", "static", "shared", "moved", "solve"
     );
     for (i, e) in report.epochs.iter().enumerate() {
-        let solve = if e.solve_nanos > 0 {
-            format!("{:.1}us", e.solve_nanos as f64 / 1e3)
+        let solve = if e.solve_nanos() > 0 {
+            format!("{:.1}us", e.solve_nanos() as f64 / 1e3)
         } else {
             "-".to_string()
         };
@@ -225,8 +242,8 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         }
     );
 
-    if let Some(shards) = shards {
-        replay_sharded(
+    let sharded_report = match shards {
+        Some(shards) => Some(replay_sharded(
             &co,
             engine_cfg,
             k,
@@ -235,16 +252,69 @@ pub fn run(raw: &[String]) -> Result<(), String> {
             queue_cap,
             &report,
             single_elapsed,
-        )?;
+            metrics_path.is_some().then_some(&registry),
+        )?),
+        None => None,
+    };
+
+    // The journal and metrics snapshot describe the observed run.
+    let (engine_name, observed) = match (&sharded_report, ingest) {
+        (Some(r), IngestMode::Queued) => ("queued", r),
+        (Some(r), IngestMode::Buffered) => ("sharded", r),
+        (None, _) => ("single", &report),
+    };
+    if let Some(path) = &journal_path {
+        let header = RunHeader {
+            engine: engine_name.to_string(),
+            tenants: k,
+            units,
+            bpu,
+            epoch_length: epoch,
+            shards: shards.unwrap_or(1),
+            policy: args.get("baseline").unwrap_or("none").to_string(),
+            objective: objective.to_string(),
+        };
+        write_journal(path, &header, observed)?;
+        println!(
+            "journal: {} epochs ({engine_name} engine) -> {path}",
+            observed.epochs.len()
+        );
+    }
+    if let Some(path) = &metrics_path {
+        let snapshot = registry.snapshot();
+        let text = if path.ends_with(".jsonl") {
+            snapshot.render_jsonl()
+        } else {
+            snapshot.render_prometheus()
+        };
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+        println!("metrics: {} samples -> {path}", snapshot.samples.len());
     }
     Ok(())
+}
+
+/// Writes the stable journal line protocol (version 1): the run
+/// header, one line per epoch, the summary. `cps inspect` re-parses
+/// and cross-validates every line against the summary totals.
+fn write_journal(path: &str, header: &RunHeader, report: &EngineReport) -> Result<(), String> {
+    let mut text = String::new();
+    text.push_str(&header.to_json_line());
+    text.push('\n');
+    for event in report.journal_events() {
+        text.push_str(&event.to_json_line());
+        text.push('\n');
+    }
+    text.push_str(&report.run_summary().to_json_line());
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))
 }
 
 /// Replay the identical stream through the sharded engine (buffered or
 /// queued front end) and report throughput against the single-threaded
 /// engine. The sharded engine must reproduce the single engine's
 /// allocation trajectory exactly; a divergence is an engine bug and is
-/// reported as an error.
+/// reported as an error. Returns the sharded report so the caller can
+/// journal it.
 #[allow(clippy::too_many_arguments)]
 fn replay_sharded(
     co: &cache_partition_sharing::trace::CoTrace,
@@ -255,16 +325,25 @@ fn replay_sharded(
     queue_cap: usize,
     single: &EngineReport,
     single_elapsed: std::time::Duration,
-) -> Result<(), String> {
+    registry: Option<&MetricsRegistry>,
+) -> Result<EngineReport, String> {
     let sharded_start = Instant::now();
     let sharded = match ingest {
         IngestMode::Buffered => {
-            let mut engine = ShardedEngine::new(engine_cfg, tenants, shards);
+            let mut engine = match registry {
+                Some(r) => ShardedEngine::with_metrics(engine_cfg, tenants, shards, r),
+                None => ShardedEngine::new(engine_cfg, tenants, shards),
+            };
             engine.run(co.tenant_accesses());
             engine.finish()
         }
         IngestMode::Queued => {
-            let mut engine = QueuedShardedEngine::new(engine_cfg, tenants, shards, queue_cap);
+            let mut engine = match registry {
+                Some(r) => {
+                    QueuedShardedEngine::with_metrics(engine_cfg, tenants, shards, queue_cap, r)
+                }
+                None => QueuedShardedEngine::new(engine_cfg, tenants, shards, queue_cap),
+            };
             engine.run(co.tenant_accesses());
             engine.finish()
         }
@@ -312,7 +391,7 @@ fn replay_sharded(
         rate(sharded_elapsed),
         single_elapsed.as_secs_f64() / sharded_elapsed.as_secs_f64().max(1e-12)
     );
-    if let Some(stats) = sharded.ingest {
+    if let Some(stats) = &sharded.ingest {
         println!(
             "ingest backpressure: {} records pushed through {}-deep queues, \
              {} blocked pushes ({:.1}%), {:.1}ms waiting",
@@ -323,5 +402,5 @@ fn replay_sharded(
             stats.wait_nanos as f64 / 1e6
         );
     }
-    Ok(())
+    Ok(sharded)
 }

@@ -17,6 +17,7 @@
 //! | [`combin`] | `cps-combin` | Stirling numbers, binomials, search-space sizes |
 //! | [`core`] | `cps-core` | the DP optimizer, STTW, baselines, six-scheme evaluation, sweeps |
 //! | [`engine`] | `cps-engine` | epoch-driven online repartitioning controller |
+//! | [`obs`] | `cps-obs` | metrics registry, stage spans, epoch event journal |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@ pub use cps_core as core;
 pub use cps_dstruct as dstruct;
 pub use cps_engine as engine;
 pub use cps_hotl as hotl;
+pub use cps_obs as obs;
 pub use cps_trace as trace;
 
 /// The most commonly used items in one import.
@@ -70,6 +72,7 @@ pub mod prelude {
         sample_footprint, BurstConfig, CoRunModel, Footprint, MissRatioCurve, ReuseProfile,
         SoloProfile,
     };
+    pub use cps_obs::{Journal, MetricsRegistry, RunHeader, Stage, StageTimings};
     pub use cps_trace::{
         interleave_proportional, study_programs, Block, InterleavedStream, ProgramSpec, Trace,
         WorkloadSpec,

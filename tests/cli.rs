@@ -425,6 +425,171 @@ fn replay_online_rejects_degenerate_knobs_with_friendly_errors() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The observability round trip: `replay-online --journal` writes a
+/// journal that `cps inspect` parses and validates, and whose totals
+/// match an in-process engine run over the identical (seeded,
+/// deterministic) stream. The metrics snapshot agrees too.
+#[test]
+fn replay_online_journal_round_trips_through_inspect() {
+    use cache_partition_sharing::prelude::*;
+
+    let dir = tempdir("journal");
+    let s = stdout(&cps(
+        &[
+            "replay-online",
+            "--workloads",
+            "loop:40,zipf:200:0.8",
+            "--units",
+            "64",
+            "--len",
+            "20000",
+            "--epoch",
+            "5000",
+            "--seed",
+            "7",
+            "--shards",
+            "2",
+            "--ingest",
+            "queued",
+            "--queue-cap",
+            "16",
+            "--journal",
+            "run.jsonl",
+            "--metrics-out",
+            "metrics.prom",
+        ],
+        &dir,
+    ));
+    assert!(s.contains("journal: 4 epochs (queued engine)"), "{s}");
+    assert!(s.contains("metrics:"), "{s}");
+
+    // `cps inspect` accepts it and prints every section.
+    let s = stdout(&cps(&["inspect", "run.jsonl"], &dir));
+    assert!(s.contains("journal OK: queued engine"), "{s}");
+    assert!(s.contains("stage time breakdown"), "{s}");
+    assert!(s.contains("allocation churn"), "{s}");
+    assert!(s.contains("tenant miss-ratio trajectories"), "{s}");
+    assert!(s.contains("ingest backpressure"), "{s}");
+
+    // Parse the journal in-process and replay the identical stream
+    // through the engine: totals and trajectory must match exactly.
+    // The comparator is the buffered 2-shard engine — report-identical
+    // to the queued run the journal describes (realized hit counts are
+    // shard-layout-dependent, so a single-engine run would not match).
+    let text = std::fs::read_to_string(dir.join("run.jsonl")).unwrap();
+    let journal = Journal::parse(&text).expect("journal validates");
+    let traces = [
+        WorkloadSpec::SequentialLoop { working_set: 40 }.generate(20_000, 8),
+        WorkloadSpec::Zipfian {
+            region: 200,
+            alpha: 0.8,
+        }
+        .generate(20_000, 9),
+    ];
+    let refs: Vec<&Trace> = traces.iter().collect();
+    let co = interleave_proportional(&refs, &[1.0, 1.0], 20_000);
+    let cfg = EngineConfig::new(CacheConfig::new(64, 1), 5_000)
+        .policy(Policy::Optimal)
+        .objective(Combine::Sum)
+        .decay(0.5)
+        .hysteresis(1);
+    let mut engine = ShardedEngine::new(cfg, 2, 2);
+    engine.run(co.tenant_accesses());
+    let report = engine.finish();
+
+    assert_eq!(journal.header.tenants, 2);
+    assert_eq!(journal.header.units, 64);
+    assert_eq!(journal.header.shards, 2);
+    assert_eq!(journal.epochs.len(), report.epochs.len());
+    assert_eq!(
+        journal.summary.accesses,
+        report.totals.iter().map(|c| c.accesses).sum::<u64>()
+    );
+    assert_eq!(
+        journal.summary.misses,
+        report.totals.iter().map(|c| c.misses).sum::<u64>()
+    );
+    assert_eq!(journal.summary.repartitions, report.repartition_count());
+    for (je, re) in journal.epochs.iter().zip(&report.epochs) {
+        assert_eq!(je.allocation, re.allocation, "epoch {}", re.epoch);
+        let accesses: Vec<u64> = re.per_tenant.iter().map(|c| c.accesses).collect();
+        let misses: Vec<u64> = re.per_tenant.iter().map(|c| c.misses).collect();
+        assert_eq!(je.accesses, accesses, "epoch {}", re.epoch);
+        assert_eq!(je.misses, misses, "epoch {}", re.epoch);
+        assert!(je.backpressure.is_some(), "queued runs journal deltas");
+    }
+
+    // The Prometheus snapshot counted the same stream.
+    let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+    assert!(
+        prom.contains(&format!(
+            "cps_engine_accesses_total {}",
+            journal.summary.accesses
+        )),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("cps_engine_stage_solve_nanos_total"),
+        "{prom}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Schema drift is a hard `cps inspect` failure, not a warning: a
+/// truncated journal, tampered totals, and an unknown version must all
+/// exit nonzero.
+#[test]
+fn inspect_rejects_truncated_tampered_and_future_journals() {
+    let dir = tempdir("inspect-drift");
+    stdout(&cps(
+        &[
+            "replay-online",
+            "--workloads",
+            "loop:40,zipf:200:0.8",
+            "--units",
+            "32",
+            "--len",
+            "8000",
+            "--epoch",
+            "4000",
+            "--journal",
+            "good.jsonl",
+        ],
+        &dir,
+    ));
+    stdout(&cps(&["inspect", "good.jsonl"], &dir));
+    let good = std::fs::read_to_string(dir.join("good.jsonl")).unwrap();
+    let lines: Vec<&str> = good.lines().collect();
+
+    // Truncated: summary line missing.
+    let truncated = lines[..lines.len() - 1].join("\n");
+    std::fs::write(dir.join("truncated.jsonl"), truncated).unwrap();
+    let out = cps(&["inspect", "truncated.jsonl"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("summary"));
+
+    // Tampered: a miss count changed, so the totals no longer add up.
+    let tampered = good.replacen("\"misses\":[", "\"misses\":[1000000,", 1);
+    assert_ne!(tampered, good, "tamper must hit an epoch line");
+    std::fs::write(dir.join("tampered.jsonl"), tampered).unwrap();
+    let out = cps(&["inspect", "tampered.jsonl"], &dir);
+    assert!(!out.status.success());
+
+    // Future version: readers must refuse rather than guess.
+    let future = good.replacen("\"v\":1", "\"v\":2", 1);
+    std::fs::write(dir.join("future.jsonl"), future).unwrap();
+    let out = cps(&["inspect", "future.jsonl"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("version"));
+
+    // Garbage is a parse error, not a panic.
+    std::fs::write(dir.join("junk.jsonl"), "not json at all\n").unwrap();
+    let out = cps(&["inspect", "junk.jsonl"], &dir);
+    assert!(!out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn trace_parser_accepts_hex_and_comments() {
     let dir = tempdir("parser");
