@@ -1,0 +1,510 @@
+//! A push-style ingestion handle shared by concurrent producers.
+//!
+//! Every engine variant in this crate is single-producer by design:
+//! `record_access` takes `&mut self`, so exactly one caller can drive
+//! an engine at a time. That is the right shape for a replay loop, but
+//! a network front end (`cps-serve`) has many connection threads that
+//! all need to feed *one* engine and read its control state.
+//! [`EngineHandle`] is that adapter: it owns one engine behind a mutex
+//! and exposes batch-granular, `&self` operations with typed errors
+//! instead of panics — the contract a router serving untrusted clients
+//! needs.
+//!
+//! Two properties matter for the serving layer:
+//!
+//! * **Serialization point.** The mutex serializes batches, so the
+//!   engine still observes one total stream order. A single producer
+//!   pushing batches through a handle is therefore *report-identical*
+//!   to driving the engine directly (pinned by tests below); multiple
+//!   producers get the interleaving their arrival order implies.
+//! * **Accounted backpressure.** Every push returns a
+//!   [`PushReceipt`] carrying the nanoseconds the caller spent waiting
+//!   for the handle lock and (for queued engines) blocked on full
+//!   ingest queues, so a server can export the delay it imposed on
+//!   clients without guessing.
+//!
+//! [`EngineHandle::finish`] consumes the engine (leaving the handle in
+//! a terminal state where every operation returns
+//! [`HandleError::Finished`]) and returns the [`EngineReport`] — the
+//! serving layer's shutdown path.
+
+use crate::ingest::IngestStats;
+use crate::report::EngineReport;
+use crate::{EngineConfig, QueuedShardedEngine, RepartitionEngine, ShardedEngine, TenantId};
+use cps_obs::MetricsRegistry;
+use cps_trace::Block;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Which engine variant an [`EngineHandle`] drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The single-threaded [`RepartitionEngine`].
+    Single,
+    /// The buffered [`ShardedEngine`] with `shards` epoch workers.
+    Sharded {
+        /// Stream shard count.
+        shards: usize,
+    },
+    /// The pipelined [`QueuedShardedEngine`] with bounded per-shard
+    /// queues.
+    Queued {
+        /// Stream shard count.
+        shards: usize,
+        /// Per-shard ingest queue capacity in records.
+        queue_capacity: usize,
+    },
+}
+
+impl EngineKind {
+    /// The engine name this kind writes into journal run headers:
+    /// `single`, `sharded`, or `queued`.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Single => "single",
+            EngineKind::Sharded { .. } => "sharded",
+            EngineKind::Queued { .. } => "queued",
+        }
+    }
+
+    /// Shard count (1 for the single engine).
+    pub fn shards(self) -> usize {
+        match self {
+            EngineKind::Single => 1,
+            EngineKind::Sharded { shards } | EngineKind::Queued { shards, .. } => shards,
+        }
+    }
+}
+
+/// Why a handle operation was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HandleError {
+    /// [`EngineHandle::finish`] already ran; the engine is gone and its
+    /// report has been taken.
+    Finished,
+    /// A pushed record named a tenant the engine was not built for.
+    /// The batch was rejected whole — no prefix of it was ingested.
+    TenantOutOfRange {
+        /// The offending tenant id.
+        tenant: TenantId,
+        /// Number of tenants the engine serves.
+        tenants: usize,
+    },
+}
+
+impl std::fmt::Display for HandleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandleError::Finished => write!(f, "engine already finished"),
+            HandleError::TenantOutOfRange { tenant, tenants } => {
+                write!(f, "tenant {tenant} out of range (engine has {tenants})")
+            }
+        }
+    }
+}
+
+/// What one [`EngineHandle::push_batch`] cost the caller.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PushReceipt {
+    /// Records ingested by this push.
+    pub records: usize,
+    /// Nanoseconds spent waiting for the handle lock (contention with
+    /// other producers or control-plane readers).
+    pub lock_wait_nanos: u64,
+    /// Nanoseconds spent blocked on full ingest queues inside the
+    /// engine (always 0 for non-queued engines).
+    pub queue_wait_nanos: u64,
+}
+
+impl PushReceipt {
+    /// Total backpressure this push imposed on the producer.
+    pub fn backpressure_nanos(&self) -> u64 {
+        self.lock_wait_nanos + self.queue_wait_nanos
+    }
+}
+
+enum AnyEngine {
+    Single(RepartitionEngine),
+    Sharded(ShardedEngine),
+    Queued(QueuedShardedEngine),
+}
+
+impl AnyEngine {
+    fn record_access(&mut self, tenant: TenantId, block: Block) {
+        match self {
+            AnyEngine::Single(e) => {
+                e.record_access(tenant, block);
+            }
+            AnyEngine::Sharded(e) => e.record_access(tenant, block),
+            AnyEngine::Queued(e) => e.record_access(tenant, block),
+        }
+    }
+
+    fn allocation_units(&self) -> Vec<usize> {
+        match self {
+            AnyEngine::Single(e) => e.allocation_units().to_vec(),
+            AnyEngine::Sharded(e) => e.allocation_units().to_vec(),
+            AnyEngine::Queued(e) => e.allocation_units().to_vec(),
+        }
+    }
+
+    fn epochs_completed(&self) -> usize {
+        match self {
+            AnyEngine::Single(e) => e.epochs_completed(),
+            AnyEngine::Sharded(e) => e.epochs_completed(),
+            AnyEngine::Queued(e) => e.epochs_completed(),
+        }
+    }
+
+    fn ingest_wait_nanos(&self) -> u64 {
+        match self {
+            AnyEngine::Queued(e) => e.ingest_stats().wait_nanos,
+            _ => 0,
+        }
+    }
+
+    fn ingest_stats(&self) -> Option<IngestStats> {
+        match self {
+            AnyEngine::Queued(e) => Some(e.ingest_stats()),
+            _ => None,
+        }
+    }
+
+    fn finish(self) -> EngineReport {
+        match self {
+            AnyEngine::Single(e) => e.finish(),
+            AnyEngine::Sharded(e) => e.finish(),
+            AnyEngine::Queued(e) => e.finish(),
+        }
+    }
+}
+
+/// A shared, push-style front door to one engine.
+///
+/// # Examples
+///
+/// ```
+/// use cps_core::CacheConfig;
+/// use cps_engine::{EngineConfig, EngineHandle, EngineKind};
+///
+/// let cfg = EngineConfig::new(CacheConfig::new(16, 1), 100);
+/// let handle = EngineHandle::new(EngineKind::Single, cfg, 2);
+/// let batch: Vec<(usize, u64)> = (0..250).map(|i| ((i % 2) as usize, i % 20)).collect();
+/// let receipt = handle.push_batch(&batch).unwrap();
+/// assert_eq!(receipt.records, 250);
+/// assert_eq!(handle.epochs_completed().unwrap(), 2);
+/// let report = handle.finish().unwrap();
+/// assert_eq!(report.epochs.len(), 3, "2 full + 1 partial");
+/// // Terminal state: every later operation is a typed refusal.
+/// assert!(handle.push_batch(&batch).is_err());
+/// ```
+pub struct EngineHandle {
+    kind: EngineKind,
+    tenants: usize,
+    inner: Mutex<Option<AnyEngine>>,
+}
+
+impl EngineHandle {
+    /// Creates a handle over a freshly built engine of `kind`.
+    ///
+    /// # Panics
+    /// Panics if `tenants` is zero, or if `kind` carries a zero shard
+    /// count or queue capacity (same contracts as the engines' own
+    /// constructors).
+    pub fn new(kind: EngineKind, config: EngineConfig, tenants: usize) -> Self {
+        Self::build(kind, config, tenants, None)
+    }
+
+    /// Like [`new`](Self::new), with the engine's instruments
+    /// registered in `registry`.
+    ///
+    /// # Panics
+    /// Same contracts as [`new`](Self::new).
+    pub fn with_metrics(
+        kind: EngineKind,
+        config: EngineConfig,
+        tenants: usize,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        Self::build(kind, config, tenants, Some(registry))
+    }
+
+    fn build(
+        kind: EngineKind,
+        config: EngineConfig,
+        tenants: usize,
+        registry: Option<&MetricsRegistry>,
+    ) -> Self {
+        let engine = match (kind, registry) {
+            (EngineKind::Single, None) => {
+                AnyEngine::Single(RepartitionEngine::new(config, tenants))
+            }
+            (EngineKind::Single, Some(r)) => {
+                AnyEngine::Single(RepartitionEngine::with_metrics(config, tenants, r))
+            }
+            (EngineKind::Sharded { shards }, None) => {
+                AnyEngine::Sharded(ShardedEngine::new(config, tenants, shards))
+            }
+            (EngineKind::Sharded { shards }, Some(r)) => {
+                AnyEngine::Sharded(ShardedEngine::with_metrics(config, tenants, shards, r))
+            }
+            (
+                EngineKind::Queued {
+                    shards,
+                    queue_capacity,
+                },
+                None,
+            ) => AnyEngine::Queued(QueuedShardedEngine::new(
+                config,
+                tenants,
+                shards,
+                queue_capacity,
+            )),
+            (
+                EngineKind::Queued {
+                    shards,
+                    queue_capacity,
+                },
+                Some(r),
+            ) => AnyEngine::Queued(QueuedShardedEngine::with_metrics(
+                config,
+                tenants,
+                shards,
+                queue_capacity,
+                r,
+            )),
+        };
+        EngineHandle {
+            kind,
+            tenants,
+            inner: Mutex::new(Some(engine)),
+        }
+    }
+
+    /// The engine variant behind this handle.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// Number of tenants the engine serves.
+    pub fn tenants(&self) -> usize {
+        self.tenants
+    }
+
+    /// Ingests one batch of accesses, in order, as one critical
+    /// section. Validates every record's tenant *before* ingesting
+    /// anything, so a rejected batch leaves the engine untouched.
+    pub fn push_batch(&self, records: &[(TenantId, Block)]) -> Result<PushReceipt, HandleError> {
+        for &(tenant, _) in records {
+            if tenant >= self.tenants {
+                return Err(HandleError::TenantOutOfRange {
+                    tenant,
+                    tenants: self.tenants,
+                });
+            }
+        }
+        let lock_clock = Instant::now();
+        let mut guard = self.inner.lock().expect("engine handle lock");
+        let lock_wait_nanos = lock_clock.elapsed().as_nanos() as u64;
+        let engine = guard.as_mut().ok_or(HandleError::Finished)?;
+        let queue_wait_before = engine.ingest_wait_nanos();
+        for &(tenant, block) in records {
+            engine.record_access(tenant, block);
+        }
+        let queue_wait_nanos = engine.ingest_wait_nanos() - queue_wait_before;
+        Ok(PushReceipt {
+            records: records.len(),
+            lock_wait_nanos,
+            queue_wait_nanos,
+        })
+    }
+
+    /// Current allocation in units.
+    pub fn allocation_units(&self) -> Result<Vec<usize>, HandleError> {
+        self.with_engine(|e| e.allocation_units())
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs_completed(&self) -> Result<usize, HandleError> {
+        self.with_engine(|e| e.epochs_completed())
+    }
+
+    /// Producer-side ingest backpressure counters (`None` for engines
+    /// without queues).
+    pub fn ingest_stats(&self) -> Result<Option<IngestStats>, HandleError> {
+        self.with_engine(|e| e.ingest_stats())
+    }
+
+    /// Finishes the engine and returns its report; the handle becomes
+    /// terminal. The engine is taken *out* under the lock but finished
+    /// outside it, so a queued engine's worker join never stalls
+    /// concurrent producers — they observe [`HandleError::Finished`]
+    /// immediately.
+    pub fn finish(&self) -> Result<EngineReport, HandleError> {
+        let engine = {
+            let mut guard = self.inner.lock().expect("engine handle lock");
+            guard.take().ok_or(HandleError::Finished)?
+        };
+        Ok(engine.finish())
+    }
+
+    fn with_engine<T>(&self, f: impl FnOnce(&AnyEngine) -> T) -> Result<T, HandleError> {
+        let guard = self.inner.lock().expect("engine handle lock");
+        guard.as_ref().map(f).ok_or(HandleError::Finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_core::CacheConfig;
+    use cps_trace::{interleave_proportional, Trace, WorkloadSpec};
+    use std::sync::Arc;
+
+    fn cotrace(total: usize) -> Vec<(usize, u64)> {
+        let specs = [
+            WorkloadSpec::SequentialLoop { working_set: 24 },
+            WorkloadSpec::UniformRandom { region: 200 },
+        ];
+        let traces: Vec<Trace> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.generate(total, 1 + i as u64))
+            .collect();
+        let refs: Vec<&Trace> = traces.iter().collect();
+        let co = interleave_proportional(&refs, &[1.0, 1.0], total);
+        co.tenant_accesses().collect()
+    }
+
+    /// The handle's core guarantee: a single producer pushing batches
+    /// is report-identical (minus wall clock) to driving the engine
+    /// directly — for every engine kind.
+    #[test]
+    fn batched_pushes_match_a_direct_run_for_every_kind() {
+        let accesses = cotrace(12_500); // ends mid-epoch
+        let cfg = EngineConfig::new(CacheConfig::new(64, 1), 2_000);
+        let direct = {
+            let mut e = RepartitionEngine::new(cfg, 2);
+            e.run(accesses.iter().copied());
+            e.finish()
+        };
+        for kind in [
+            EngineKind::Single,
+            EngineKind::Sharded { shards: 3 },
+            EngineKind::Queued {
+                shards: 3,
+                queue_capacity: 64,
+            },
+        ] {
+            let handle = EngineHandle::new(kind, cfg, 2);
+            for batch in accesses.chunks(777) {
+                handle.push_batch(batch).unwrap();
+            }
+            let report = handle.finish().unwrap();
+            assert_eq!(report.epochs.len(), direct.epochs.len(), "{kind:?}");
+            for (a, b) in direct.epochs.iter().zip(&report.epochs) {
+                assert_eq!(a.allocation, b.allocation, "{kind:?} epoch {}", a.epoch);
+                assert_eq!(a.predicted_cost, b.predicted_cost, "{kind:?}");
+                assert_eq!(a.repartitioned, b.repartitioned, "{kind:?}");
+                assert_eq!(a.units_moved, b.units_moved, "{kind:?}");
+            }
+            // With 1 producer the per-tenant counts also agree for the
+            // single kind; sharded replicas drift (documented in
+            // `shard`), so only accesses are compared there.
+            let acc_a: Vec<u64> = direct.totals.iter().map(|c| c.accesses).collect();
+            let acc_b: Vec<u64> = report.totals.iter().map(|c| c.accesses).collect();
+            assert_eq!(acc_a, acc_b, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn rejected_batch_leaves_the_engine_untouched() {
+        let cfg = EngineConfig::new(CacheConfig::new(8, 1), 10);
+        let handle = EngineHandle::new(EngineKind::Single, cfg, 2);
+        let err = handle
+            .push_batch(&[(0, 1), (1, 2), (7, 3)])
+            .expect_err("tenant 7 of 2");
+        assert_eq!(
+            err,
+            HandleError::TenantOutOfRange {
+                tenant: 7,
+                tenants: 2
+            }
+        );
+        assert!(err.to_string().contains("tenant 7"));
+        // Nothing was ingested: the valid prefix was not fed.
+        let report = handle.finish().unwrap();
+        assert_eq!(report.epochs.len(), 0);
+        assert_eq!(report.totals.iter().map(|c| c.accesses).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn finished_handle_is_terminal_with_typed_errors() {
+        let cfg = EngineConfig::new(CacheConfig::new(8, 1), 10);
+        let handle = EngineHandle::new(EngineKind::Single, cfg, 1);
+        handle.push_batch(&[(0, 1), (0, 2)]).unwrap();
+        let report = handle.finish().unwrap();
+        assert_eq!(report.totals[0].accesses, 2);
+        assert_eq!(handle.push_batch(&[(0, 3)]), Err(HandleError::Finished));
+        assert_eq!(handle.allocation_units(), Err(HandleError::Finished));
+        assert_eq!(handle.epochs_completed(), Err(HandleError::Finished));
+        assert_eq!(handle.ingest_stats(), Err(HandleError::Finished));
+        assert_eq!(handle.finish().err(), Some(HandleError::Finished));
+    }
+
+    #[test]
+    fn control_reads_and_receipts_reflect_the_engine() {
+        let cfg = EngineConfig::new(CacheConfig::new(16, 1), 64);
+        let handle = EngineHandle::new(
+            EngineKind::Queued {
+                shards: 2,
+                queue_capacity: 1,
+            },
+            cfg,
+            2,
+        );
+        assert_eq!(handle.kind().name(), "queued");
+        assert_eq!(handle.kind().shards(), 2);
+        assert_eq!(handle.tenants(), 2);
+        assert_eq!(handle.allocation_units().unwrap(), vec![8, 8]);
+        let batch: Vec<(usize, u64)> = (0..640).map(|i| ((i % 2) as usize, i % 20)).collect();
+        let receipt = handle.push_batch(&batch).unwrap();
+        assert_eq!(receipt.records, 640);
+        // Capacity-1 queues block the producer almost every push; the
+        // receipt must surface that wait.
+        assert!(receipt.queue_wait_nanos > 0, "capacity-1 queues block");
+        assert_eq!(
+            receipt.backpressure_nanos(),
+            receipt.lock_wait_nanos + receipt.queue_wait_nanos
+        );
+        assert_eq!(handle.epochs_completed().unwrap(), 10);
+        let stats = handle.ingest_stats().unwrap().expect("queued kind");
+        assert_eq!(stats.capacity, 1);
+        assert!(stats.pushed >= 640);
+    }
+
+    /// Concurrent producers must serialize cleanly: every record lands
+    /// exactly once, whatever the interleaving.
+    #[test]
+    fn concurrent_producers_lose_no_records() {
+        let cfg = EngineConfig::new(CacheConfig::new(16, 1), 500);
+        let handle = Arc::new(EngineHandle::new(EngineKind::Single, cfg, 4));
+        let mut threads = Vec::new();
+        for t in 0..4usize {
+            let handle = Arc::clone(&handle);
+            threads.push(std::thread::spawn(move || {
+                let batch: Vec<(usize, u64)> = (0..1_000u64).map(|i| (t, i % 40)).collect();
+                for chunk in batch.chunks(100) {
+                    handle.push_batch(chunk).unwrap();
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = handle.finish().unwrap();
+        for t in 0..4 {
+            assert_eq!(report.totals[t].accesses, 1_000, "tenant {t}");
+        }
+    }
+}

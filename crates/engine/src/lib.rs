@@ -29,7 +29,10 @@
 //! **ingest**, stage (see [`ingest`]) — bounded per-shard queues with
 //! backpressure — so the shards profile and simulate concurrently with
 //! ingestion itself. Every epoch is recorded in an [`EngineReport`]
-//! (see [`report`]).
+//! (see [`report`]). [`EngineHandle`] (see [`handle`]) wraps any
+//! variant behind a shared, push-style front door with typed errors —
+//! the entry point the `cps-serve` network layer drives from
+//! concurrent connections.
 //!
 //! The access stream is any `(tenant, block)` iterator;
 //! `cps_trace::InterleavedStream` produces one lazily from live
@@ -40,6 +43,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod actuate;
+pub mod handle;
 pub mod ingest;
 pub(crate) mod obs;
 pub mod profile;
@@ -48,18 +52,21 @@ pub mod shard;
 pub mod solve;
 
 pub use actuate::{units_moved, Actuation, CacheActuator, HysteresisActuator};
+pub use handle::{EngineHandle, EngineKind, HandleError, PushReceipt};
 pub use ingest::{BufferedIngest, IngestStage, IngestStats, QueuedIngest};
 pub use profile::{default_profilers, window_solo_profiles, TenantProfiler};
 pub use report::{weighted_miss_ratio, EngineReport, EpochRecord};
 pub use shard::{QueuedShardedEngine, ShardedEngine};
 pub use solve::{DpPartitionSolver, PartitionSolver, SolveInput, SolveOutcome};
-// The observability vocabulary every engine record speaks.
+// The observability vocabulary every engine record speaks, plus the
+// profiler-mode knob downstream crates (cps-serve) need to describe an
+// engine without depending on cps-hotl directly.
+pub use cps_hotl::windowed::ProfilerMode;
 pub use cps_obs::{MetricsRegistry, Stage, StageTimings};
 
 use crate::obs::EngineMetrics;
 use cps_cachesim::AccessCounts;
 use cps_core::{CacheConfig, Combine};
-use cps_hotl::windowed::ProfilerMode;
 use cps_hotl::MissRatioCurve;
 use cps_obs::Stopwatch;
 use cps_trace::Block;

@@ -1,0 +1,140 @@
+//! A blocking client for the `cps serve` wire protocol.
+//!
+//! [`Client::connect`] performs the HELLO handshake and returns a
+//! session whose [`WireConfig`] describes the engine the server is
+//! hosting — enough to rebuild the identical engine in process, which
+//! is exactly what `cps bench-net` does to cross-validate a served
+//! run. Batches are fire-and-forget (no per-batch acknowledgement);
+//! control verbs are strict request/reply, so any [`Message::Error`]
+//! the server interleaves surfaces on the next reply read as a typed
+//! [`ServeError::Server`].
+
+use crate::wire::{read_message, write_message, Message, ServeStats, WireConfig, WireError};
+use std::net::TcpStream;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport or codec failure.
+    Wire(WireError),
+    /// The server refused the request with a typed error frame.
+    Server {
+        /// One of [`crate::wire::error_code`]'s constants.
+        code: u64,
+        /// Human-readable refusal reason from the server.
+        message: String,
+    },
+    /// The server replied with a frame the protocol does not allow
+    /// in this position.
+    UnexpectedReply(&'static str),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Wire(e) => write!(f, "wire error: {e}"),
+            ServeError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ServeError::UnexpectedReply(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+/// A connected, admitted session.
+pub struct Client {
+    stream: TcpStream,
+    config: WireConfig,
+}
+
+impl Client {
+    /// Connects to `addr`, sends HELLO with the given binding
+    /// (`None` = mux session carrying explicit tenant ids, `Some(t)` =
+    /// bound to tenant `t`), and waits for admission.
+    pub fn connect(addr: &str, binding: Option<u64>) -> Result<Client, ServeError> {
+        let mut stream = TcpStream::connect(addr)
+            .map_err(|e| ServeError::Wire(WireError::Io(e.kind(), e.to_string())))?;
+        let _ = stream.set_nodelay(true);
+        write_message(&mut stream, &Message::Hello { binding })?;
+        match read_message(&mut stream)? {
+            Message::HelloAck { config } => Ok(Client { stream, config }),
+            Message::Error { code, message } => Err(ServeError::Server { code, message }),
+            _ => Err(ServeError::UnexpectedReply("expected HELLO_ACK")),
+        }
+    }
+
+    /// The server's engine configuration, as disclosed in HELLO_ACK.
+    pub fn config(&self) -> WireConfig {
+        self.config
+    }
+
+    /// Streams one access batch. Fire-and-forget: the server only
+    /// responds to a batch when it refuses it, and that error surfaces
+    /// on the next control-verb reply (or as a closed connection).
+    pub fn push_batch(&mut self, records: &[(u64, u64)]) -> Result<(), ServeError> {
+        write_message(
+            &mut self.stream,
+            &Message::Batch {
+                records: records.to_vec(),
+            },
+        )?;
+        Ok(())
+    }
+
+    fn request(&mut self, msg: &Message) -> Result<Message, ServeError> {
+        write_message(&mut self.stream, msg)?;
+        match read_message(&mut self.stream)? {
+            Message::Error { code, message } => Err(ServeError::Server { code, message }),
+            reply => Ok(reply),
+        }
+    }
+
+    /// Fetches the server's ingest/session counters.
+    pub fn stats(&mut self) -> Result<ServeStats, ServeError> {
+        match self.request(&Message::Stats)? {
+            Message::StatsReply { stats } => Ok(stats),
+            _ => Err(ServeError::UnexpectedReply("expected STATS_REPLY")),
+        }
+    }
+
+    /// Fetches the engine's current per-tenant allocation in units.
+    pub fn allocation(&mut self) -> Result<Vec<u64>, ServeError> {
+        match self.request(&Message::Allocation)? {
+            Message::AllocationReply { units } => Ok(units),
+            _ => Err(ServeError::UnexpectedReply("expected ALLOCATION_REPLY")),
+        }
+    }
+
+    /// Fetches the number of completed epochs.
+    pub fn epochs(&mut self) -> Result<u64, ServeError> {
+        match self.request(&Message::Epoch)? {
+            Message::EpochReply { epochs } => Ok(epochs),
+            _ => Err(ServeError::UnexpectedReply("expected EPOCH_REPLY")),
+        }
+    }
+
+    /// Fetches a JSONL snapshot of the server's metrics registry.
+    pub fn snapshot(&mut self) -> Result<String, ServeError> {
+        match self.request(&Message::Snapshot)? {
+            Message::SnapshotReply { text } => Ok(text),
+            _ => Err(ServeError::UnexpectedReply("expected SNAPSHOT_REPLY")),
+        }
+    }
+
+    /// Asks the server to finish the engine and shut down; consumes
+    /// the session and returns the run's full journal text.
+    pub fn shutdown(mut self) -> Result<String, ServeError> {
+        match self.request(&Message::Shutdown)? {
+            Message::ShutdownReply { journal } => Ok(journal),
+            _ => Err(ServeError::UnexpectedReply("expected SHUTDOWN_REPLY")),
+        }
+    }
+}

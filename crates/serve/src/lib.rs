@@ -1,0 +1,43 @@
+//! # cps-serve — the network service layer
+//!
+//! Hosts the online repartitioning engine behind a TCP socket so that
+//! multiple tenants can stream accesses into *one shared cache
+//! controller* from separate processes — the deployment shape the
+//! partition-sharing model actually targets (a storage server or
+//! proxy cache serving many clients), rather than the single-process
+//! replay the rest of the workspace exercises.
+//!
+//! The layer is three pieces, none of which reach outside `std`:
+//!
+//! - [`wire`] — a versioned length-prefixed binary codec (magic,
+//!   version, opcode, checksummed payload, varint-packed batches).
+//!   Every malformed input — truncation, bit flip, bad version,
+//!   oversized frame — decodes to a typed [`wire::WireError`], never a
+//!   panic.
+//! - [`server`] — a thread-per-connection daemon: HELLO handshake
+//!   binds each session to a tenant (or the mux pseudo-tenant),
+//!   admission enforces a session-table cap, batches route through one
+//!   [`cps_engine::EngineHandle`] (the serialization point that keeps
+//!   served runs report-identical to in-process runs), control verbs
+//!   answer from live engine state, and SHUTDOWN finishes the engine
+//!   and returns the run's journal over the wire.
+//! - [`client`] — a blocking client used by `cps bench-net` to replay
+//!   a trace over the socket and cross-validate the returned journal
+//!   against an in-process run of the identical engine.
+//!
+//! [`report`] defines that cross-validation: the **report-identity
+//! canonical form**, the journal text with wall-clock fields removed.
+//! Two runs are the same run iff their canonical texts are byte-equal.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod report;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ServeError};
+pub use report::{identity_of_journal, identity_of_report, render_journal};
+pub use server::{ServeConfig, ServeOutcome, Server};
+pub use wire::{Message, ServeStats, WireConfig, WireError, PROTOCOL_VERSION};

@@ -1,0 +1,602 @@
+//! The TCP daemon: thread-per-connection acceptor, session table, and
+//! the shared ingest router over one [`EngineHandle`].
+//!
+//! Every connection thread speaks the [`wire`](crate::wire) protocol:
+//! a HELLO handshake binds the session to a tenant (or to the mux
+//! pseudo-tenant that may speak for everyone), then BATCH frames
+//! stream accesses into the engine while control verbs (STATS,
+//! ALLOCATION, EPOCH, SNAPSHOT, SHUTDOWN) are answered from the same
+//! socket. The [`EngineHandle`] mutex is the ingest router's
+//! serialization point — batches from concurrent sessions interleave
+//! at batch granularity, and every batch flows through the engine's
+//! canonical `ChunkRouter` chunk rule unchanged, so a served run obeys
+//! exactly the determinism guarantees of an in-process run.
+//!
+//! **Admission and teardown.** A session is admitted only if the
+//! session table is below `max_conns` and its HELLO binding names a
+//! real tenant; refusals are typed [`Message::Error`] frames. Sessions
+//! are torn down on clean close, protocol error, idle timeout
+//! (`set_read_timeout` on the socket), or server shutdown — the
+//! shutdown path closes every other session's socket so no thread
+//! lingers.
+//!
+//! **Accounted backpressure.** Every push's [`cps_engine::PushReceipt`] (handle
+//! lock wait + full-queue wait) accumulates into
+//! `cps_serve_backpressure_nanos_total`, so the delay the server
+//! imposed on clients is a first-class exported counter, like the
+//! engine's own ingest stats.
+
+use crate::report::render_journal;
+use crate::wire::{
+    error_code, read_message, write_message, Message, ServeStats, WireConfig, WireError,
+};
+use cps_core::Combine;
+use cps_engine::{EngineHandle, EngineKind, EngineReport, HandleError, Policy};
+use cps_obs::{Counter, Gauge, MetricsRegistry, RunHeader};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Everything `cps serve` decides before binding the socket.
+pub struct ServeConfig {
+    /// The engine the server hosts.
+    pub engine: cps_engine::EngineConfig,
+    /// Which engine variant to build.
+    pub kind: EngineKind,
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Session-table capacity; further connections are refused with
+    /// `SERVER_FULL`.
+    pub max_conns: usize,
+    /// Idle-session teardown threshold.
+    pub idle_timeout: Duration,
+}
+
+impl ServeConfig {
+    /// The run header a journal of this server's run carries — the
+    /// same fields `cps replay-online` would write for the equivalent
+    /// in-process run.
+    pub fn run_header(&self) -> RunHeader {
+        RunHeader {
+            engine: self.kind.name().to_string(),
+            tenants: self.tenants,
+            units: self.engine.cache.units,
+            bpu: self.engine.cache.blocks_per_unit,
+            epoch_length: self.engine.epoch_length,
+            shards: self.kind.shards(),
+            policy: match self.engine.policy {
+                Policy::Optimal => "none",
+                Policy::EqualBaseline => "equal",
+                Policy::NaturalBaseline => "natural",
+            }
+            .to_string(),
+            objective: match self.engine.objective {
+                Combine::Sum => "throughput",
+                Combine::Max => "maxmin",
+            }
+            .to_string(),
+        }
+    }
+
+    /// The configuration HELLO_ACK discloses — enough for a client to
+    /// rebuild the identical engine in process.
+    pub fn wire_config(&self) -> WireConfig {
+        use cps_engine::ProfilerMode;
+        let decay = match self.engine.profiler {
+            ProfilerMode::Windowed { decay } => decay,
+            // Cumulative profiling is not reachable from the serve CLI;
+            // encode it as decay 0 with the windowed kind unchanged.
+            ProfilerMode::Cumulative => 0.0,
+        };
+        WireConfig {
+            engine: match self.kind {
+                EngineKind::Single => 0,
+                EngineKind::Sharded { .. } => 1,
+                EngineKind::Queued { .. } => 2,
+            },
+            tenants: self.tenants as u64,
+            units: self.engine.cache.units as u64,
+            bpu: self.engine.cache.blocks_per_unit as u64,
+            epoch_length: self.engine.epoch_length as u64,
+            shards: self.kind.shards() as u64,
+            queue_cap: match self.kind {
+                EngineKind::Queued { queue_capacity, .. } => queue_capacity as u64,
+                _ => 0,
+            },
+            decay_bits: decay.to_bits(),
+            hysteresis: self.engine.min_repartition_units as u64,
+            policy: match self.engine.policy {
+                Policy::Optimal => 0,
+                Policy::EqualBaseline => 1,
+                Policy::NaturalBaseline => 2,
+            },
+            objective: match self.engine.objective {
+                Combine::Sum => 0,
+                Combine::Max => 1,
+            },
+        }
+    }
+}
+
+/// What a finished server hands back to its caller.
+pub struct ServeOutcome {
+    /// The engine's run report.
+    pub report: EngineReport,
+    /// The journal text (header, epochs, summary) — identical to what
+    /// the SHUTDOWN reply carried over the wire.
+    pub journal: String,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Access records ingested.
+    pub records: u64,
+}
+
+/// The server's registered instruments (`cps_serve_*` namespace).
+struct ServeMetrics {
+    connections: Counter,
+    active_sessions: Gauge,
+    frames: Counter,
+    batches: Counter,
+    records: Counter,
+    decode_errors: Counter,
+    rejects: Counter,
+    idle_closes: Counter,
+    backpressure_nanos: Counter,
+}
+
+impl ServeMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            connections: registry
+                .counter("cps_serve_connections_total", "Client connections accepted"),
+            active_sessions: registry.gauge("cps_serve_active_sessions", "Sessions currently open"),
+            frames: registry.counter("cps_serve_frames_total", "Frames read from clients"),
+            batches: registry.counter("cps_serve_batches_total", "BATCH frames ingested"),
+            records: registry.counter("cps_serve_records_total", "Access records ingested"),
+            decode_errors: registry.counter(
+                "cps_serve_decode_errors_total",
+                "Frames that failed to decode",
+            ),
+            rejects: registry.counter(
+                "cps_serve_rejects_total",
+                "Sessions refused at admission (full table, bad tenant, shutdown)",
+            ),
+            idle_closes: registry.counter(
+                "cps_serve_idle_closes_total",
+                "Sessions torn down by the idle timeout",
+            ),
+            backpressure_nanos: registry.counter(
+                "cps_serve_backpressure_nanos_total",
+                "Nanoseconds clients spent blocked on ingest (handle lock + full queues)",
+            ),
+        }
+    }
+}
+
+/// One admitted session. Holds a clone of the session's socket so the
+/// shutdown path can close it from another thread.
+struct Session {
+    stream: TcpStream,
+}
+
+#[derive(Default)]
+struct SessionTable {
+    next_id: u64,
+    active: HashMap<u64, Session>,
+    connections: u64,
+}
+
+/// Shared state every connection thread sees.
+struct Shared {
+    handle: EngineHandle,
+    header: RunHeader,
+    wire_config: WireConfig,
+    idle_timeout: Duration,
+    max_conns: usize,
+    sessions: Mutex<SessionTable>,
+    outcome: Mutex<Option<ServeOutcome>>,
+    shutdown: AtomicBool,
+    metrics: ServeMetrics,
+    registry: Arc<MetricsRegistry>,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// builds the engine. Server counters and engine instruments all
+    /// register in `registry`.
+    pub fn bind(
+        addr: &str,
+        config: ServeConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let handle =
+            EngineHandle::with_metrics(config.kind, config.engine, config.tenants, &registry);
+        let metrics = ServeMetrics::register(&registry);
+        let shared = Arc::new(Shared {
+            header: config.run_header(),
+            wire_config: config.wire_config(),
+            idle_timeout: config.idle_timeout,
+            max_conns: config.max_conns,
+            handle,
+            sessions: Mutex::new(SessionTable::default()),
+            outcome: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            metrics,
+            registry,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The address the listener actually bound (resolves `--port auto`).
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))
+    }
+
+    /// Serves until a client issues SHUTDOWN, then returns the
+    /// finished run. Connection threads are joined before returning,
+    /// so the outcome is complete and final.
+    pub fn run(self) -> Result<ServeOutcome, String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        let mut threads = Vec::new();
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    threads.push(std::thread::spawn(move || connection(stream, &shared)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("accept: {e}")),
+            }
+        }
+        for t in threads {
+            let _ = t.join();
+        }
+        let outcome = self
+            .shared
+            .outcome
+            .lock()
+            .expect("outcome lock")
+            .take()
+            .ok_or("server stopped without an outcome")?;
+        Ok(outcome)
+    }
+}
+
+/// Sends `msg`, swallowing transport errors (the peer may already be
+/// gone; teardown proceeds regardless).
+fn send_best_effort(stream: &mut TcpStream, msg: &Message) {
+    let _ = write_message(stream, msg);
+}
+
+fn refuse(stream: &mut TcpStream, metrics: &ServeMetrics, code: u64, message: &str) {
+    metrics.rejects.inc();
+    send_best_effort(
+        stream,
+        &Message::Error {
+            code,
+            message: message.to_string(),
+        },
+    );
+}
+
+/// One connection's whole life: handshake, admission, serve loop,
+/// teardown.
+fn connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+    let metrics = &shared.metrics;
+    metrics.connections.inc();
+
+    // Handshake: the first frame must be HELLO with an admissible
+    // binding, while the table has room and the server is alive.
+    let binding = match read_message(&mut stream) {
+        Ok(Message::Hello { binding }) => binding,
+        Ok(_) => {
+            metrics.frames.inc();
+            return refuse(
+                &mut stream,
+                metrics,
+                error_code::PROTOCOL,
+                "expected HELLO first",
+            );
+        }
+        Err(_) => {
+            metrics.decode_errors.inc();
+            return;
+        }
+    };
+    metrics.frames.inc();
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return refuse(
+            &mut stream,
+            metrics,
+            error_code::SHUTTING_DOWN,
+            "server is shutting down",
+        );
+    }
+    if let Some(t) = binding {
+        if t >= shared.wire_config.tenants {
+            return refuse(
+                &mut stream,
+                metrics,
+                error_code::BAD_TENANT,
+                &format!(
+                    "tenant {t} out of range (server has {})",
+                    shared.wire_config.tenants
+                ),
+            );
+        }
+    }
+    let session_id = {
+        let mut table = shared.sessions.lock().expect("session table lock");
+        if table.active.len() >= shared.max_conns {
+            drop(table);
+            return refuse(
+                &mut stream,
+                metrics,
+                error_code::SERVER_FULL,
+                "session table full",
+            );
+        }
+        let id = table.next_id;
+        table.next_id += 1;
+        table.connections += 1;
+        let clone = match stream.try_clone() {
+            Ok(c) => c,
+            Err(_) => return,
+        };
+        table.active.insert(id, Session { stream: clone });
+        metrics.active_sessions.set(table.active.len() as i64);
+        id
+    };
+    send_best_effort(
+        &mut stream,
+        &Message::HelloAck {
+            config: shared.wire_config,
+        },
+    );
+
+    serve_session(&mut stream, shared, session_id, binding);
+
+    // Teardown: whatever ended the loop, the session leaves the table.
+    let mut table = shared.sessions.lock().expect("session table lock");
+    table.active.remove(&session_id);
+    metrics.active_sessions.set(table.active.len() as i64);
+}
+
+/// The admitted-session serve loop; returns when the session ends for
+/// any reason.
+fn serve_session(stream: &mut TcpStream, shared: &Shared, session_id: u64, binding: Option<u64>) {
+    let metrics = &shared.metrics;
+    loop {
+        let msg = match read_message(stream) {
+            Ok(msg) => msg,
+            Err(WireError::Closed) => return,
+            Err(e) if e.is_timeout() => {
+                metrics.idle_closes.inc();
+                send_best_effort(
+                    stream,
+                    &Message::Error {
+                        code: error_code::IDLE_TIMEOUT,
+                        message: format!("idle for {:?}, closing", shared.idle_timeout),
+                    },
+                );
+                return;
+            }
+            Err(e) => {
+                // Framing is lost after a bad frame; the session cannot
+                // be safely resynchronized, so it ends here.
+                metrics.decode_errors.inc();
+                send_best_effort(
+                    stream,
+                    &Message::Error {
+                        code: error_code::PROTOCOL,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        metrics.frames.inc();
+        match msg {
+            Message::Batch { records } => {
+                if let Some(bound) = binding {
+                    if let Some(&(bad, _)) = records.iter().find(|&&(t, _)| t != bound) {
+                        send_best_effort(
+                            stream,
+                            &Message::Error {
+                                code: error_code::BAD_TENANT,
+                                message: format!(
+                                    "session bound to tenant {bound} sent a record for {bad}"
+                                ),
+                            },
+                        );
+                        return;
+                    }
+                }
+                let batch: Vec<(usize, u64)> =
+                    records.iter().map(|&(t, b)| (t as usize, b)).collect();
+                match shared.handle.push_batch(&batch) {
+                    Ok(receipt) => {
+                        metrics.batches.inc();
+                        metrics.records.add(receipt.records as u64);
+                        metrics.backpressure_nanos.add(receipt.backpressure_nanos());
+                    }
+                    Err(HandleError::Finished) => {
+                        send_best_effort(
+                            stream,
+                            &Message::Error {
+                                code: error_code::SHUTTING_DOWN,
+                                message: "engine already finished".to_string(),
+                            },
+                        );
+                        return;
+                    }
+                    Err(e @ HandleError::TenantOutOfRange { .. }) => {
+                        send_best_effort(
+                            stream,
+                            &Message::Error {
+                                code: error_code::BAD_TENANT,
+                                message: e.to_string(),
+                            },
+                        );
+                        return;
+                    }
+                }
+            }
+            Message::Stats => {
+                let reply = Message::StatsReply {
+                    stats: collect_stats(shared),
+                };
+                send_best_effort(stream, &reply);
+            }
+            Message::Allocation => match shared.handle.allocation_units() {
+                Ok(units) => send_best_effort(
+                    stream,
+                    &Message::AllocationReply {
+                        units: units.into_iter().map(|u| u as u64).collect(),
+                    },
+                ),
+                Err(_) => {
+                    send_best_effort(
+                        stream,
+                        &Message::Error {
+                            code: error_code::SHUTTING_DOWN,
+                            message: "engine already finished".to_string(),
+                        },
+                    );
+                    return;
+                }
+            },
+            Message::Epoch => match shared.handle.epochs_completed() {
+                Ok(epochs) => send_best_effort(
+                    stream,
+                    &Message::EpochReply {
+                        epochs: epochs as u64,
+                    },
+                ),
+                Err(_) => {
+                    send_best_effort(
+                        stream,
+                        &Message::Error {
+                            code: error_code::SHUTTING_DOWN,
+                            message: "engine already finished".to_string(),
+                        },
+                    );
+                    return;
+                }
+            },
+            Message::Snapshot => {
+                let text = shared.registry.snapshot().render_jsonl();
+                send_best_effort(stream, &Message::SnapshotReply { text });
+            }
+            Message::Shutdown => {
+                match do_shutdown(shared, session_id) {
+                    Ok(journal) => {
+                        send_best_effort(stream, &Message::ShutdownReply { journal });
+                    }
+                    Err(message) => {
+                        send_best_effort(
+                            stream,
+                            &Message::Error {
+                                code: error_code::SHUTTING_DOWN,
+                                message,
+                            },
+                        );
+                    }
+                }
+                return;
+            }
+            // Any server-to-client message arriving here is a protocol
+            // violation (as is a second HELLO).
+            Message::Hello { .. }
+            | Message::HelloAck { .. }
+            | Message::StatsReply { .. }
+            | Message::AllocationReply { .. }
+            | Message::EpochReply { .. }
+            | Message::SnapshotReply { .. }
+            | Message::ShutdownReply { .. }
+            | Message::Error { .. } => {
+                send_best_effort(
+                    stream,
+                    &Message::Error {
+                        code: error_code::PROTOCOL,
+                        message: "unexpected message kind".to_string(),
+                    },
+                );
+                return;
+            }
+        }
+    }
+}
+
+fn collect_stats(shared: &Shared) -> ServeStats {
+    let snap = shared.registry.snapshot();
+    let counter = |name: &str| -> u64 {
+        match snap.get(name) {
+            Some(cps_obs::metrics::SampleValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    };
+    let table = shared.sessions.lock().expect("session table lock");
+    ServeStats {
+        connections: table.connections,
+        active_sessions: table.active.len() as u64,
+        frames: counter("cps_serve_frames_total"),
+        batches: counter("cps_serve_batches_total"),
+        records: counter("cps_serve_records_total"),
+        decode_errors: counter("cps_serve_decode_errors_total"),
+        backpressure_nanos: counter("cps_serve_backpressure_nanos_total"),
+        epochs: shared.handle.epochs_completed().unwrap_or(0) as u64,
+    }
+}
+
+/// The shutdown path: finish the engine (flushing any partial final
+/// epoch), render the journal, publish the outcome, flip the shutdown
+/// flag, and close every *other* session's socket so their threads
+/// wake immediately instead of waiting out the idle timeout.
+fn do_shutdown(shared: &Shared, requester: u64) -> Result<String, String> {
+    let report = shared
+        .handle
+        .finish()
+        .map_err(|_| "engine already finished".to_string())?;
+    let journal = render_journal(&shared.header, &report);
+    let (connections, records) = {
+        let table = shared.sessions.lock().expect("session table lock");
+        for (&id, session) in &table.active {
+            if id != requester {
+                let _ = session.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        (table.connections, 0)
+    };
+    let snap = shared.registry.snapshot();
+    let records = match snap.get("cps_serve_records_total") {
+        Some(cps_obs::metrics::SampleValue::Counter(v)) => *v,
+        _ => records,
+    };
+    *shared.outcome.lock().expect("outcome lock") = Some(ServeOutcome {
+        report,
+        journal: journal.clone(),
+        connections,
+        records,
+    });
+    shared.shutdown.store(true, Ordering::SeqCst);
+    Ok(journal)
+}

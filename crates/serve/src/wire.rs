@@ -1,0 +1,906 @@
+//! The versioned wire protocol: checksummed frames around varint
+//! payloads.
+//!
+//! Hand-rolled like `cps-obs::json` — no serde, no external codecs —
+//! with a decoder that cross-validates everything it reads: magic,
+//! version, declared length, an FNV-1a checksum over the entire frame
+//! body, and exact payload consumption. Every malformed input maps to
+//! a typed [`WireError`]; the decoder never panics (pinned by the
+//! `wire_props` proptests, which feed it truncations and bit flips).
+//!
+//! # Frame layout (protocol version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic "CS" (0x43 0x53)
+//! 2       1     protocol version (= 1)
+//! 3       1     opcode
+//! 4       4     payload length, u32 little-endian
+//! 8       4     FNV-1a 32 checksum over version|opcode|length|payload
+//! 12      len   payload (opcode-specific, all integers LEB128 varints)
+//! ```
+//!
+//! The checksum covers every byte after the magic, so *any* single-bit
+//! corruption yields a typed error: flips inside the magic surface as
+//! [`WireError::BadMagic`], flips anywhere else as
+//! [`WireError::ChecksumMismatch`] (or a bounds error first, if the
+//! length field was hit).
+//!
+//! # Messages
+//!
+//! Requests flow client → server, replies server → client; both
+//! directions use the same framing. See [`Message`] for the opcode
+//! table and per-opcode payloads.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Frame magic: `"CS"`, for *cache serve*.
+pub const MAGIC: [u8; 2] = [0x43, 0x53];
+
+/// The only protocol version this codec speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Frame header length in bytes (magic + version + opcode + length +
+/// checksum).
+pub const HEADER_LEN: usize = 12;
+
+/// Hard cap on a frame's payload: a decoder refuses anything larger
+/// before allocating (journals of long runs fit comfortably).
+pub const MAX_PAYLOAD: usize = 8 << 20;
+
+/// Error codes carried by [`Message::Error`] frames.
+pub mod error_code {
+    /// Malformed or out-of-order message (e.g. BATCH before HELLO).
+    pub const PROTOCOL: u64 = 1;
+    /// A record or binding named a tenant the engine does not serve.
+    pub const BAD_TENANT: u64 = 2;
+    /// The session table is at `--max-conns`.
+    pub const SERVER_FULL: u64 = 3;
+    /// The engine has been finished; no further ingest or reads.
+    pub const SHUTTING_DOWN: u64 = 4;
+    /// The session sat idle past `--idle-timeout` and was torn down.
+    pub const IDLE_TIMEOUT: u64 = 5;
+}
+
+/// What went wrong while encoding or decoding a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The input ended inside a frame (header or payload cut short).
+    Truncated,
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// The frame declared a protocol version this codec does not speak.
+    BadVersion(u8),
+    /// The opcode byte names no known message.
+    UnknownOpcode(u8),
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    FrameTooLarge(usize),
+    /// The frame body failed its checksum — corruption in transit.
+    ChecksumMismatch {
+        /// Checksum the header declared.
+        expected: u32,
+        /// Checksum recomputed over the received body.
+        found: u32,
+    },
+    /// A varint ran past 10 bytes or overflowed `u64`.
+    VarintOverflow,
+    /// The payload decoded but left unconsumed bytes.
+    TrailingBytes(usize),
+    /// The payload's structure contradicts its opcode.
+    BadPayload(&'static str),
+    /// An underlying socket error (kind preserved so callers can tell
+    /// an idle-timeout apart from a hard failure).
+    Io(ErrorKind, String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadMagic(m) => write!(f, "bad magic {:#04x} {:#04x}", m[0], m[1]),
+            WireError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (want {PROTOCOL_VERSION})"
+                )
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::FrameTooLarge(n) => {
+                write!(f, "frame payload {n} bytes exceeds cap {MAX_PAYLOAD}")
+            }
+            WireError::ChecksumMismatch { expected, found } => {
+                write!(
+                    f,
+                    "checksum mismatch: header {expected:#010x}, body {found:#010x}"
+                )
+            }
+            WireError::VarintOverflow => write!(f, "varint overflows u64"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            WireError::BadPayload(what) => write!(f, "bad payload: {what}"),
+            WireError::Io(kind, detail) => write!(f, "i/o ({kind:?}): {detail}"),
+        }
+    }
+}
+
+impl WireError {
+    /// Whether this error is a read timeout — the idle-session signal.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(ErrorKind::WouldBlock | ErrorKind::TimedOut, _)
+        )
+    }
+}
+
+/// Engine/run configuration carried by HELLO_ACK, sufficient for a
+/// client to reconstruct the *identical* engine in process — the basis
+/// of `cps bench-net`'s report-identity check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireConfig {
+    /// Engine kind code: 0 single, 1 sharded, 2 queued.
+    pub engine: u8,
+    /// Number of tenants.
+    pub tenants: u64,
+    /// Cache capacity in allocation units.
+    pub units: u64,
+    /// Blocks per unit.
+    pub bpu: u64,
+    /// Accesses per epoch.
+    pub epoch_length: u64,
+    /// Stream shard count (1 for the single engine).
+    pub shards: u64,
+    /// Per-shard queue capacity (0 unless the engine is queued).
+    pub queue_cap: u64,
+    /// Profiler decay as `f64::to_bits` (bit-exact transport).
+    pub decay_bits: u64,
+    /// Hysteresis threshold in units.
+    pub hysteresis: u64,
+    /// Policy code: 0 none, 1 equal, 2 natural.
+    pub policy: u8,
+    /// Objective code: 0 throughput, 1 maxmin.
+    pub objective: u8,
+}
+
+impl WireConfig {
+    /// Engine name as journal run headers spell it.
+    pub fn engine_name(&self) -> &'static str {
+        match self.engine {
+            0 => "single",
+            1 => "sharded",
+            _ => "queued",
+        }
+    }
+
+    /// Policy name as `--baseline` and journal headers spell it.
+    pub fn policy_name(&self) -> &'static str {
+        match self.policy {
+            0 => "none",
+            1 => "equal",
+            _ => "natural",
+        }
+    }
+
+    /// Objective name as `--objective` and journal headers spell it.
+    pub fn objective_name(&self) -> &'static str {
+        match self.objective {
+            0 => "throughput",
+            _ => "maxmin",
+        }
+    }
+
+    /// The profiler decay, recovered bit-exactly.
+    pub fn decay(&self) -> f64 {
+        f64::from_bits(self.decay_bits)
+    }
+}
+
+/// Server-side counters returned by STATS.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Sessions currently open.
+    pub active_sessions: u64,
+    /// Frames read from clients.
+    pub frames: u64,
+    /// BATCH frames among them.
+    pub batches: u64,
+    /// Access records ingested.
+    pub records: u64,
+    /// Frames that failed to decode.
+    pub decode_errors: u64,
+    /// Nanoseconds clients spent blocked on ingest (handle lock plus
+    /// full queues).
+    pub backpressure_nanos: u64,
+    /// Epochs the engine has completed.
+    pub epochs: u64,
+}
+
+/// One protocol message; the number in each variant's doc is its
+/// opcode byte.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// `0x01`, client → server. Opens a session. `binding: None` is a
+    /// mux session (records carry explicit tenant ids — any tenant);
+    /// `Some(t)` binds the session to tenant `t` (every record must
+    /// name it).
+    Hello {
+        /// Tenant binding for the session.
+        binding: Option<u64>,
+    },
+    /// `0x02`, server → client. Accepts the session and discloses the
+    /// engine configuration.
+    HelloAck {
+        /// The serving engine's full configuration.
+        config: WireConfig,
+    },
+    /// `0x03`, client → server. One batch of `(tenant, block)` access
+    /// records, ingested in order. No reply — streaming.
+    Batch {
+        /// The records, in stream order.
+        records: Vec<(u64, u64)>,
+    },
+    /// `0x10`, client → server. Requests server counters.
+    Stats,
+    /// `0x11`, client → server. Requests the current allocation.
+    Allocation,
+    /// `0x12`, client → server. Requests the completed-epoch count.
+    Epoch,
+    /// `0x13`, client → server. Requests a metrics-registry snapshot.
+    Snapshot,
+    /// `0x14`, client → server. Finishes the engine and tears the
+    /// server down; the reply carries the run's journal.
+    Shutdown,
+    /// `0x20`, server → client. Reply to [`Message::Stats`].
+    StatsReply {
+        /// The counters at the time of the request.
+        stats: ServeStats,
+    },
+    /// `0x21`, server → client. Reply to [`Message::Allocation`].
+    AllocationReply {
+        /// Current per-tenant allocation in units.
+        units: Vec<u64>,
+    },
+    /// `0x22`, server → client. Reply to [`Message::Epoch`].
+    EpochReply {
+        /// Epochs completed so far.
+        epochs: u64,
+    },
+    /// `0x23`, server → client. Reply to [`Message::Snapshot`]:
+    /// the registry snapshot rendered as JSONL.
+    SnapshotReply {
+        /// The rendered snapshot text.
+        text: String,
+    },
+    /// `0x24`, server → client. Reply to [`Message::Shutdown`]: the
+    /// full epoch journal (run header, epoch lines, summary) of the
+    /// finished run.
+    ShutdownReply {
+        /// The journal text, exactly as `--journal` would write it.
+        journal: String,
+    },
+    /// `0x3f`, server → client. A typed refusal; the server closes the
+    /// session after sending it (except for benign idle teardown).
+    Error {
+        /// One of [`error_code`].
+        code: u64,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Message {
+    fn opcode(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 0x01,
+            Message::HelloAck { .. } => 0x02,
+            Message::Batch { .. } => 0x03,
+            Message::Stats => 0x10,
+            Message::Allocation => 0x11,
+            Message::Epoch => 0x12,
+            Message::Snapshot => 0x13,
+            Message::Shutdown => 0x14,
+            Message::StatsReply { .. } => 0x20,
+            Message::AllocationReply { .. } => 0x21,
+            Message::EpochReply { .. } => 0x22,
+            Message::SnapshotReply { .. } => 0x23,
+            Message::ShutdownReply { .. } => 0x24,
+            Message::Error { .. } => 0x3f,
+        }
+    }
+}
+
+/// FNV-1a 32-bit over `parts`, in order.
+fn fnv1a(parts: &[&[u8]]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for part in parts {
+        for &byte in *part {
+            hash ^= u32::from(byte);
+            hash = hash.wrapping_mul(0x0100_0193);
+        }
+    }
+    hash
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn push_string(out: &mut Vec<u8>, s: &str) {
+    push_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked payload cursor; every read is fallible.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let mut value: u64 = 0;
+        for shift in 0..10u32 {
+            let byte = self.u8()?;
+            let part = u64::from(byte & 0x7f);
+            // The 10th byte may only contribute the final bit of a u64.
+            if shift == 9 && part > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            value |= part << (7 * shift);
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(WireError::VarintOverflow)
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.varint()? as usize;
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(WireError::Truncated)?;
+        let s = std::str::from_utf8(&self.buf[self.pos..end])
+            .map_err(|_| WireError::BadPayload("invalid utf-8"))?;
+        self.pos = end;
+        Ok(s.to_string())
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        let rest = self.buf.len() - self.pos;
+        if rest == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(rest))
+        }
+    }
+}
+
+fn encode_payload(msg: &Message) -> Vec<u8> {
+    let mut p = Vec::new();
+    match msg {
+        Message::Hello { binding } => {
+            // 0 = mux, t+1 = bound to tenant t.
+            push_varint(&mut p, binding.map_or(0, |t| t + 1));
+        }
+        Message::HelloAck { config } => {
+            p.push(config.engine);
+            push_varint(&mut p, config.tenants);
+            push_varint(&mut p, config.units);
+            push_varint(&mut p, config.bpu);
+            push_varint(&mut p, config.epoch_length);
+            push_varint(&mut p, config.shards);
+            push_varint(&mut p, config.queue_cap);
+            push_varint(&mut p, config.decay_bits);
+            push_varint(&mut p, config.hysteresis);
+            p.push(config.policy);
+            p.push(config.objective);
+        }
+        Message::Batch { records } => {
+            push_varint(&mut p, records.len() as u64);
+            for &(tenant, block) in records {
+                push_varint(&mut p, tenant);
+                push_varint(&mut p, block);
+            }
+        }
+        Message::Stats
+        | Message::Allocation
+        | Message::Epoch
+        | Message::Snapshot
+        | Message::Shutdown => {}
+        Message::StatsReply { stats } => {
+            push_varint(&mut p, stats.connections);
+            push_varint(&mut p, stats.active_sessions);
+            push_varint(&mut p, stats.frames);
+            push_varint(&mut p, stats.batches);
+            push_varint(&mut p, stats.records);
+            push_varint(&mut p, stats.decode_errors);
+            push_varint(&mut p, stats.backpressure_nanos);
+            push_varint(&mut p, stats.epochs);
+        }
+        Message::AllocationReply { units } => {
+            push_varint(&mut p, units.len() as u64);
+            for &u in units {
+                push_varint(&mut p, u);
+            }
+        }
+        Message::EpochReply { epochs } => push_varint(&mut p, *epochs),
+        Message::SnapshotReply { text } => push_string(&mut p, text),
+        Message::ShutdownReply { journal } => push_string(&mut p, journal),
+        Message::Error { code, message } => {
+            push_varint(&mut p, *code);
+            push_string(&mut p, message);
+        }
+    }
+    p
+}
+
+fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
+    let mut c = Cur::new(payload);
+    let msg = match opcode {
+        0x01 => {
+            let raw = c.varint()?;
+            Message::Hello {
+                binding: raw.checked_sub(1),
+            }
+        }
+        0x02 => {
+            let engine = c.u8()?;
+            if engine > 2 {
+                return Err(WireError::BadPayload("unknown engine kind"));
+            }
+            let tenants = c.varint()?;
+            let units = c.varint()?;
+            let bpu = c.varint()?;
+            let epoch_length = c.varint()?;
+            let shards = c.varint()?;
+            let queue_cap = c.varint()?;
+            let decay_bits = c.varint()?;
+            let hysteresis = c.varint()?;
+            let policy = c.u8()?;
+            if policy > 2 {
+                return Err(WireError::BadPayload("unknown policy code"));
+            }
+            let objective = c.u8()?;
+            if objective > 1 {
+                return Err(WireError::BadPayload("unknown objective code"));
+            }
+            Message::HelloAck {
+                config: WireConfig {
+                    engine,
+                    tenants,
+                    units,
+                    bpu,
+                    epoch_length,
+                    shards,
+                    queue_cap,
+                    decay_bits,
+                    hysteresis,
+                    policy,
+                    objective,
+                },
+            }
+        }
+        0x03 => {
+            let count = c.varint()? as usize;
+            // Two varints of at least one byte each per record: refuse
+            // counts the payload cannot possibly hold before reserving.
+            if count > payload.len() / 2 {
+                return Err(WireError::BadPayload("record count exceeds payload"));
+            }
+            let mut records = Vec::with_capacity(count);
+            for _ in 0..count {
+                records.push((c.varint()?, c.varint()?));
+            }
+            Message::Batch { records }
+        }
+        0x10 => Message::Stats,
+        0x11 => Message::Allocation,
+        0x12 => Message::Epoch,
+        0x13 => Message::Snapshot,
+        0x14 => Message::Shutdown,
+        0x20 => Message::StatsReply {
+            stats: ServeStats {
+                connections: c.varint()?,
+                active_sessions: c.varint()?,
+                frames: c.varint()?,
+                batches: c.varint()?,
+                records: c.varint()?,
+                decode_errors: c.varint()?,
+                backpressure_nanos: c.varint()?,
+                epochs: c.varint()?,
+            },
+        },
+        0x21 => {
+            let count = c.varint()? as usize;
+            if count > payload.len() {
+                return Err(WireError::BadPayload("unit count exceeds payload"));
+            }
+            let mut units = Vec::with_capacity(count);
+            for _ in 0..count {
+                units.push(c.varint()?);
+            }
+            Message::AllocationReply { units }
+        }
+        0x22 => Message::EpochReply {
+            epochs: c.varint()?,
+        },
+        0x23 => Message::SnapshotReply { text: c.string()? },
+        0x24 => Message::ShutdownReply {
+            journal: c.string()?,
+        },
+        0x3f => Message::Error {
+            code: c.varint()?,
+            message: c.string()?,
+        },
+        other => return Err(WireError::UnknownOpcode(other)),
+    };
+    c.finish()?;
+    Ok(msg)
+}
+
+/// Encodes one message as a complete frame.
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let payload = encode_payload(msg);
+    assert!(
+        payload.len() <= MAX_PAYLOAD,
+        "payload {} exceeds MAX_PAYLOAD",
+        payload.len()
+    );
+    let len = (payload.len() as u32).to_le_bytes();
+    let meta = [PROTOCOL_VERSION, msg.opcode()];
+    let checksum = fnv1a(&[&meta, &len, &payload]).to_le_bytes();
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&meta);
+    frame.extend_from_slice(&len);
+    frame.extend_from_slice(&checksum);
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decodes one frame from the front of `buf`, returning the message
+/// and the bytes consumed. Cross-validates magic, length bounds,
+/// checksum, version, opcode, and exact payload consumption — in that
+/// order, so corruption anywhere maps to a typed error.
+pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if buf[0..2] != MAGIC {
+        return Err(WireError::BadMagic([buf[0], buf[1]]));
+    }
+    let version = buf[2];
+    let opcode = buf[3];
+    let len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    if buf.len() < HEADER_LEN + len {
+        return Err(WireError::Truncated);
+    }
+    let expected = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    let payload = &buf[HEADER_LEN..HEADER_LEN + len];
+    let found = fnv1a(&[&buf[2..8], payload]);
+    if expected != found {
+        return Err(WireError::ChecksumMismatch { expected, found });
+    }
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let msg = decode_payload(opcode, payload)?;
+    Ok((msg, HEADER_LEN + len))
+}
+
+/// Writes one message to a stream as a single frame.
+pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<(), WireError> {
+    let frame = encode(msg);
+    w.write_all(&frame)
+        .and_then(|()| w.flush())
+        .map_err(|e| WireError::Io(e.kind(), e.to_string()))
+}
+
+/// Reads exactly one frame from a stream and decodes it.
+///
+/// EOF *between* frames is [`WireError::Closed`] (a clean disconnect);
+/// EOF *inside* a frame is [`WireError::Truncated`]. Read timeouts
+/// surface as [`WireError::Io`] with the kind preserved — see
+/// [`WireError::is_timeout`].
+pub fn read_message(r: &mut impl Read) -> Result<Message, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_full(r, &mut header, true)?;
+    if header[0..2] != MAGIC {
+        return Err(WireError::BadMagic([header[0], header[1]]));
+    }
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    let mut frame = header.to_vec();
+    frame.resize(HEADER_LEN + len, 0);
+    read_full(r, &mut frame[HEADER_LEN..], false)?;
+    decode(&frame).map(|(msg, _)| msg)
+}
+
+/// Fills `buf` completely. `at_boundary` distinguishes a clean close
+/// (no bytes read yet) from mid-frame truncation.
+fn read_full(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_boundary && filled == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.kind(), e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config() -> WireConfig {
+        WireConfig {
+            engine: 2,
+            tenants: 4,
+            units: 128,
+            bpu: 1,
+            epoch_length: 5_000,
+            shards: 3,
+            queue_cap: 1_024,
+            decay_bits: 0.5f64.to_bits(),
+            hysteresis: 2,
+            policy: 1,
+            objective: 0,
+        }
+    }
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::Hello { binding: None },
+            Message::Hello { binding: Some(0) },
+            Message::Hello { binding: Some(3) },
+            Message::HelloAck {
+                config: sample_config(),
+            },
+            Message::Batch { records: vec![] },
+            Message::Batch {
+                records: vec![(0, 42), (3, u64::MAX), (1, 0)],
+            },
+            Message::Stats,
+            Message::Allocation,
+            Message::Epoch,
+            Message::Snapshot,
+            Message::Shutdown,
+            Message::StatsReply {
+                stats: ServeStats {
+                    connections: 7,
+                    active_sessions: 2,
+                    frames: 900,
+                    batches: 850,
+                    records: 1 << 40,
+                    decode_errors: 1,
+                    backpressure_nanos: 12_345,
+                    epochs: 19,
+                },
+            },
+            Message::AllocationReply {
+                units: vec![64, 32, 32, 0],
+            },
+            Message::EpochReply { epochs: 12 },
+            Message::SnapshotReply {
+                text: "{\"name\":\"x\"}\n".into(),
+            },
+            Message::ShutdownReply {
+                journal: "{\"v\":1,\"kind\":\"run\"}\n".into(),
+            },
+            Message::Error {
+                code: error_code::BAD_TENANT,
+                message: "tenant 9 out of range — naughty \"client\"".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in all_messages() {
+            let frame = encode(&msg);
+            let (back, consumed) = decode(&frame).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(back, msg);
+            assert_eq!(consumed, frame.len(), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn decode_consumes_one_frame_from_a_stream_prefix() {
+        let a = encode(&Message::Stats);
+        let b = encode(&Message::EpochReply { epochs: 3 });
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let (first, used) = decode(&stream).unwrap();
+        assert_eq!(first, Message::Stats);
+        assert_eq!(used, a.len());
+        let (second, used2) = decode(&stream[used..]).unwrap();
+        assert_eq!(second, Message::EpochReply { epochs: 3 });
+        assert_eq!(used2, b.len());
+    }
+
+    #[test]
+    fn truncations_are_typed_errors() {
+        let frame = encode(&Message::Batch {
+            records: vec![(1, 2), (3, 4)],
+        });
+        for cut in 0..frame.len() {
+            let err = decode(&frame[..cut]).expect_err("prefix must not decode");
+            assert_eq!(err, WireError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_a_typed_error() {
+        let frame = encode(&Message::HelloAck {
+            config: sample_config(),
+        });
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                let err = decode(&bad).expect_err("corrupt frame must not decode");
+                if byte < 2 {
+                    assert!(
+                        matches!(err, WireError::BadMagic(_)),
+                        "byte {byte} bit {bit}"
+                    );
+                } else {
+                    // The checksum covers version, opcode, length, and
+                    // payload; a flipped length can also trip the bounds
+                    // checks before the checksum is verified.
+                    assert!(
+                        matches!(
+                            err,
+                            WireError::ChecksumMismatch { .. }
+                                | WireError::Truncated
+                                | WireError::FrameTooLarge(_)
+                        ),
+                        "byte {byte} bit {bit}: {err:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_version_and_opcode_are_refused() {
+        // Hand-build frames with a correct checksum so the version and
+        // opcode checks themselves are exercised.
+        let build = |version: u8, opcode: u8| {
+            let len = 0u32.to_le_bytes();
+            let checksum = fnv1a(&[&[version, opcode], &len, &[]]).to_le_bytes();
+            let mut f = Vec::new();
+            f.extend_from_slice(&MAGIC);
+            f.push(version);
+            f.push(opcode);
+            f.extend_from_slice(&len);
+            f.extend_from_slice(&checksum);
+            f
+        };
+        assert_eq!(
+            decode(&build(9, 0x10)).unwrap_err(),
+            WireError::BadVersion(9)
+        );
+        assert_eq!(
+            decode(&build(PROTOCOL_VERSION, 0x77)).unwrap_err(),
+            WireError::UnknownOpcode(0x77)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_inside_the_payload_are_refused() {
+        // A Stats frame whose payload claims one extra byte.
+        let payload = [0u8];
+        let len = (payload.len() as u32).to_le_bytes();
+        let meta = [PROTOCOL_VERSION, 0x10];
+        let checksum = fnv1a(&[&meta, &len, &payload]).to_le_bytes();
+        let mut f = Vec::new();
+        f.extend_from_slice(&MAGIC);
+        f.extend_from_slice(&meta);
+        f.extend_from_slice(&len);
+        f.extend_from_slice(&checksum);
+        f.extend_from_slice(&payload);
+        assert_eq!(decode(&f).unwrap_err(), WireError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn oversized_declared_length_is_refused_before_allocation() {
+        let mut f = encode(&Message::Stats);
+        f[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(&f).unwrap_err(),
+            WireError::FrameTooLarge(_)
+        ));
+    }
+
+    #[test]
+    fn varint_overflow_is_typed() {
+        // An 11-byte all-continuation varint inside a Hello payload.
+        let payload = [0xffu8; 11];
+        let len = (payload.len() as u32).to_le_bytes();
+        let meta = [PROTOCOL_VERSION, 0x01];
+        let checksum = fnv1a(&[&meta, &len, &payload]).to_le_bytes();
+        let mut f = Vec::new();
+        f.extend_from_slice(&MAGIC);
+        f.extend_from_slice(&meta);
+        f.extend_from_slice(&len);
+        f.extend_from_slice(&checksum);
+        f.extend_from_slice(&payload);
+        assert_eq!(decode(&f).unwrap_err(), WireError::VarintOverflow);
+    }
+
+    #[test]
+    fn stream_reader_round_trips_and_flags_clean_close() {
+        let msgs = all_messages();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode(m));
+        }
+        let mut cursor = std::io::Cursor::new(stream);
+        for expected in &msgs {
+            let got = read_message(&mut cursor).unwrap();
+            assert_eq!(&got, expected);
+        }
+        assert_eq!(read_message(&mut cursor).unwrap_err(), WireError::Closed);
+    }
+
+    #[test]
+    fn stream_truncation_mid_frame_is_truncated_not_closed() {
+        let frame = encode(&Message::EpochReply { epochs: 5 });
+        let cut = frame.len() - 1;
+        let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+        assert_eq!(read_message(&mut cursor).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn decay_bits_transport_is_bit_exact() {
+        for decay in [0.0, 0.25, 0.5, 0.875, 0.999_999] {
+            let mut config = sample_config();
+            config.decay_bits = f64::to_bits(decay);
+            let frame = encode(&Message::HelloAck { config });
+            let (back, _) = decode(&frame).unwrap();
+            let Message::HelloAck { config: got } = back else {
+                panic!("wrong message kind");
+            };
+            assert_eq!(got.decay(), decay);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! End-to-end serve/client tests over real loopback sockets: the
+//! report-identity guarantee, session admission, bound-tenant
+//! enforcement, and idle teardown.
+
+use cps_core::CacheConfig;
+use cps_engine::{EngineConfig, EngineKind, RepartitionEngine};
+use cps_obs::{Journal, MetricsRegistry};
+use cps_serve::wire::error_code;
+use cps_serve::{
+    identity_of_journal, identity_of_report, Client, ServeConfig, ServeError, ServeOutcome, Server,
+};
+use cps_trace::{interleave_proportional, Trace, WorkloadSpec};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The standard 4-tenant mix, generated exactly as `cps replay-online`
+/// does (per-tenant seeds `seed + i + 1`, proportional interleave).
+fn four_tenant_stream(len: usize, seed: u64) -> Vec<(u64, u64)> {
+    let specs = [
+        WorkloadSpec::SequentialLoop { working_set: 24 },
+        WorkloadSpec::Zipfian {
+            region: 150,
+            alpha: 0.8,
+        },
+        WorkloadSpec::WorkingSetWalk {
+            region: 300,
+            window: 30,
+            dwell: 500,
+        },
+        WorkloadSpec::UniformRandom { region: 400 },
+    ];
+    let rates = [1.0, 2.0, 1.0, 1.5];
+    let traces: Vec<Trace> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.generate(len, seed.wrapping_add(i as u64 + 1)))
+        .collect();
+    let refs: Vec<&Trace> = traces.iter().collect();
+    let co = interleave_proportional(&refs, &rates, len);
+    co.tenant_accesses().map(|(t, b)| (t as u64, b)).collect()
+}
+
+fn config(kind: EngineKind, tenants: usize) -> ServeConfig {
+    ServeConfig {
+        engine: EngineConfig::new(CacheConfig::new(32, 4), 2_000),
+        kind,
+        tenants,
+        max_conns: 8,
+        idle_timeout: Duration::from_secs(5),
+    }
+}
+
+fn start(config: ServeConfig) -> (String, JoinHandle<Result<ServeOutcome, String>>) {
+    let server = Server::bind("127.0.0.1:0", config, Arc::new(MetricsRegistry::new()))
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+#[test]
+fn served_mux_run_is_report_identical_to_in_process() {
+    let cfg = config(EngineKind::Single, 4);
+    let header = cfg.run_header();
+    let engine_cfg = cfg.engine;
+    let (addr, server) = start(cfg);
+
+    let stream = four_tenant_stream(20_000, 42);
+    let mut client = Client::connect(&addr, None).expect("connect");
+    let wire_cfg = client.config();
+    assert_eq!(wire_cfg.tenants, 4);
+    assert_eq!(wire_cfg.engine_name(), "single");
+    assert_eq!(wire_cfg.units, 32);
+    for batch in stream.chunks(1_024) {
+        client.push_batch(batch).expect("push");
+    }
+
+    // The control plane answers from live engine state mid-stream.
+    let epochs = client.epochs().expect("epochs");
+    assert!(epochs >= 1, "20k accesses at epoch 2k must complete epochs");
+    let alloc = client.allocation().expect("allocation");
+    assert_eq!(alloc.len(), 4);
+    assert_eq!(alloc.iter().sum::<u64>(), 32, "allocation covers the cache");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.records, 20_000);
+    assert!(stats.batches > 0);
+    assert_eq!(stats.decode_errors, 0);
+    let snapshot = client.snapshot().expect("snapshot");
+    assert!(snapshot.contains("cps_serve_records_total"));
+
+    let journal = client.shutdown().expect("shutdown");
+    let outcome = server.join().unwrap().expect("server outcome");
+    assert_eq!(
+        outcome.journal, journal,
+        "wire journal is the outcome journal"
+    );
+    assert_eq!(outcome.records, 20_000);
+    assert_eq!(outcome.connections, 1);
+
+    // The served run is report-identical to the same engine fed the
+    // same stream in process.
+    let mut local = RepartitionEngine::new(engine_cfg, 4);
+    local.run(stream.iter().map(|&(t, b)| (t as usize, b)));
+    let report = local.finish();
+    let parsed = Journal::parse(&journal).expect("served journal parses");
+    assert_eq!(
+        identity_of_journal(&parsed),
+        identity_of_report(&header, &report),
+        "served and in-process runs must be report-identical"
+    );
+}
+
+#[test]
+fn admission_refuses_bad_bindings_and_a_full_table() {
+    let mut cfg = config(EngineKind::Single, 2);
+    cfg.max_conns = 1;
+    let (addr, server) = start(cfg);
+
+    // A binding outside the tenant range is refused outright.
+    match Client::connect(&addr, Some(7)) {
+        Err(ServeError::Server { code, .. }) => assert_eq!(code, error_code::BAD_TENANT),
+        other => panic!(
+            "expected BAD_TENANT refusal, got {other:?}",
+            other = other.err()
+        ),
+    }
+
+    // One admitted session fills the table; the next is refused.
+    let keep = Client::connect(&addr, None).expect("first session admitted");
+    match Client::connect(&addr, Some(0)) {
+        Err(ServeError::Server { code, .. }) => assert_eq!(code, error_code::SERVER_FULL),
+        other => panic!(
+            "expected SERVER_FULL refusal, got {other:?}",
+            other = other.err()
+        ),
+    }
+
+    let journal = keep.shutdown().expect("shutdown");
+    assert!(journal.contains("\"kind\":\"run\""));
+    server.join().unwrap().expect("server outcome");
+}
+
+#[test]
+fn bound_sessions_may_not_speak_for_other_tenants() {
+    let (addr, server) = start(config(EngineKind::Single, 2));
+
+    let mut bound = Client::connect(&addr, Some(1)).expect("bound session");
+    bound.push_batch(&[(1, 10), (0, 11)]).expect("send");
+    // The refusal surfaces on the next reply read (or as a closed
+    // socket, if the server already tore the session down).
+    match bound.stats() {
+        Err(ServeError::Server { code, .. }) => assert_eq!(code, error_code::BAD_TENANT),
+        Err(ServeError::Wire(_)) => {}
+        Ok(_) => panic!("cross-tenant record must terminate the session"),
+        Err(other) => panic!("unexpected error {other}"),
+    }
+
+    // A well-behaved bound session still works.
+    let mut good = Client::connect(&addr, Some(0)).expect("connect");
+    good.push_batch(&[(0, 1), (0, 2)]).expect("push");
+    let stats = good.stats().expect("stats");
+    assert_eq!(stats.records, 2, "the rejected batch was never ingested");
+    good.shutdown().expect("shutdown");
+    server.join().unwrap().expect("server outcome");
+}
+
+#[test]
+fn idle_sessions_are_torn_down_and_leave_the_server_healthy() {
+    let mut cfg = config(EngineKind::Single, 2);
+    cfg.idle_timeout = Duration::from_millis(150);
+    let (addr, server) = start(cfg);
+
+    let mut idle = Client::connect(&addr, None).expect("connect");
+    std::thread::sleep(Duration::from_millis(600));
+    match idle.stats() {
+        Err(ServeError::Server { code, .. }) => assert_eq!(code, error_code::IDLE_TIMEOUT),
+        Err(ServeError::Wire(_)) => {} // already closed under us
+        Ok(_) => panic!("idle session must be torn down"),
+        Err(other) => panic!("unexpected error {other}"),
+    }
+
+    // The server keeps serving fresh sessions afterwards.
+    let fresh = Client::connect(&addr, None).expect("fresh session");
+    let journal = fresh.shutdown().expect("shutdown");
+    assert!(journal.contains("\"kind\":\"run\""));
+    server.join().unwrap().expect("server outcome");
+}

@@ -1,0 +1,154 @@
+//! Property coverage for the wire codec: arbitrary messages round-trip
+//! bit-exactly through encode/decode, and corrupted inputs — truncated
+//! frames, single-bit flips, raw noise — always decode to a typed
+//! [`WireError`], never a panic.
+
+use cps_serve::wire::{decode, encode, Message, ServeStats, WireConfig, WireError, MAGIC};
+use proptest::prelude::*;
+
+/// Unicode text including multi-byte code points (surrogate range maps
+/// to `None` and is dropped).
+fn arb_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(32u32..0xffff, 0..60)
+        .prop_map(|points| points.into_iter().filter_map(char::from_u32).collect())
+}
+
+fn arb_config() -> impl Strategy<Value = WireConfig> {
+    (
+        (0u64..3, 1u64..9, 1u64..257, 1u64..9),
+        (1u64..100_000, 1u64..9, 0u64..4_096, 0u64..u64::MAX),
+        (0u64..16, 0u64..3, 0u64..2),
+    )
+        .prop_map(
+            |(
+                (engine, tenants, units, bpu),
+                (epoch_length, shards, queue_cap, decay_bits),
+                (hysteresis, policy, objective),
+            )| WireConfig {
+                engine: engine as u8,
+                tenants,
+                units,
+                bpu,
+                epoch_length,
+                shards,
+                queue_cap,
+                decay_bits,
+                hysteresis,
+                policy: policy as u8,
+                objective: objective as u8,
+            },
+        )
+}
+
+fn arb_stats() -> impl Strategy<Value = ServeStats> {
+    (
+        (0u64..1 << 40, 0u64..64, 0u64..1 << 40, 0u64..1 << 40),
+        (0u64..1 << 48, 0u64..1 << 20, 0u64..1 << 50, 0u64..1 << 30),
+    )
+        .prop_map(
+            |(
+                (connections, active_sessions, frames, batches),
+                (records, decode_errors, backpressure_nanos, epochs),
+            )| ServeStats {
+                connections,
+                active_sessions,
+                frames,
+                batches,
+                records,
+                decode_errors,
+                backpressure_nanos,
+                epochs,
+            },
+        )
+}
+
+/// Every message kind, with arbitrary contents. Bindings and tenants
+/// stay below `u64::MAX` (the HELLO encoding reserves 0 for mux, so
+/// `u64::MAX` itself is unrepresentable by design).
+fn arb_message() -> BoxedStrategy<Message> {
+    prop_oneof![
+        (0u64..6).prop_map(|t| Message::Hello {
+            binding: t.checked_sub(1),
+        }),
+        arb_config().prop_map(|config| Message::HelloAck { config }),
+        prop::collection::vec((0u64..16, 0u64..1 << 44), 0..300)
+            .prop_map(|records| Message::Batch { records }),
+        Just(Message::Stats),
+        Just(Message::Allocation),
+        Just(Message::Epoch),
+        Just(Message::Snapshot),
+        Just(Message::Shutdown),
+        arb_stats().prop_map(|stats| Message::StatsReply { stats }),
+        prop::collection::vec(0u64..1 << 20, 0..64)
+            .prop_map(|units| Message::AllocationReply { units }),
+        (0u64..1 << 32).prop_map(|epochs| Message::EpochReply { epochs }),
+        arb_text().prop_map(|text| Message::SnapshotReply { text }),
+        arb_text().prop_map(|journal| Message::ShutdownReply { journal }),
+        (0u64..9, arb_text()).prop_map(|(code, message)| Message::Error { code, message }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity, consuming exactly one frame.
+    #[test]
+    fn arbitrary_messages_round_trip(msg in arb_message()) {
+        let frame = encode(&msg);
+        let (back, consumed) = decode(&frame).expect("own frames must decode");
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(consumed, frame.len());
+    }
+
+    /// Every strict prefix of a frame is `Truncated` — a typed error,
+    /// not a panic and never a bogus success.
+    #[test]
+    fn truncated_frames_are_typed_errors(msg in arb_message(), cut in 0.0f64..1.0) {
+        let frame = encode(&msg);
+        let cut = ((frame.len() as f64) * cut) as usize;
+        prop_assert_eq!(decode(&frame[..cut]).unwrap_err(), WireError::Truncated);
+    }
+
+    /// Any single-bit flip anywhere in a frame is caught: magic flips
+    /// as `BadMagic`, everything else by the checksum (or the length
+    /// bounds checks, when the flip lands in the length field).
+    #[test]
+    fn bit_flipped_frames_are_typed_errors(
+        msg in arb_message(),
+        position in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let mut frame = encode(&msg);
+        let byte = ((frame.len() as f64) * position) as usize;
+        let byte = byte.min(frame.len() - 1);
+        frame[byte] ^= 1 << bit;
+        let err = decode(&frame).expect_err("corrupt frame must not decode");
+        if byte < MAGIC.len() {
+            prop_assert!(matches!(err, WireError::BadMagic(_)), "byte {}: {:?}", byte, err);
+        } else {
+            prop_assert!(
+                matches!(
+                    err,
+                    WireError::ChecksumMismatch { .. }
+                        | WireError::Truncated
+                        | WireError::FrameTooLarge(_)
+                ),
+                "byte {} bit {}: {:?}",
+                byte,
+                bit,
+                err
+            );
+        }
+    }
+
+    /// Raw noise never panics the decoder; a success would require the
+    /// noise to be a valid checksummed frame, so any `Ok` must consume
+    /// a plausible frame length.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..200)) {
+        if let Ok((_, consumed)) = decode(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+        }
+    }
+}

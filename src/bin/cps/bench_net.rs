@@ -1,0 +1,213 @@
+//! `cps bench-net` — load-generate against a live `cps serve` daemon
+//! and cross-validate the served run against an in-process replay.
+//!
+//! The client opens a mux session, learns the server's full engine
+//! configuration from HELLO_ACK, generates the *identical* interleaved
+//! stream `cps replay-online` would build from the same workloads,
+//! rates, and seed, and streams it over the socket in batches. After a
+//! SHUTDOWN the server returns the run's journal; bench-net then runs
+//! the same engine on the same stream in this process and asserts the
+//! two runs are **report-identical** — byte-equal canonical journals
+//! (wall-clock fields excluded). Identity failure is a nonzero exit:
+//! the network layer is only correct if it is invisible in the report.
+
+use crate::common::{parse_workload, write_text_out, Args};
+use cache_partition_sharing::engine::EngineReport;
+use cache_partition_sharing::prelude::*;
+use cache_partition_sharing::serve::wire::WireConfig;
+use std::time::Instant;
+
+pub fn run(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let specs: Vec<WorkloadSpec> = args
+        .require("workloads")?
+        .split(',')
+        .map(parse_workload)
+        .collect::<Result<_, _>>()?;
+    let k = specs.len();
+    let host = args.get("host").unwrap_or("127.0.0.1");
+    let port: u16 = args
+        .require("port")?
+        .parse()
+        .map_err(|_| "bad --port".to_string())?;
+    let len: usize = args.get_parse("len", 200_000)?;
+    if len == 0 {
+        return Err("--len must be at least 1".into());
+    }
+    let seed: u64 = args.get_parse("seed", 0)?;
+    let batch: usize = args.get_parse("batch", 1_024)?;
+    if batch == 0 {
+        return Err("--batch must carry at least 1 record".into());
+    }
+    let rates: Vec<f64> = match args.get("rates") {
+        None => vec![1.0; k],
+        Some(s) => {
+            let r: Vec<f64> = s
+                .split(',')
+                .map(|x| x.parse().map_err(|_| format!("bad rate `{x}`")))
+                .collect::<Result<_, _>>()?;
+            if r.len() != k {
+                return Err(format!("{} rates for {k} workloads", r.len()));
+            }
+            r
+        }
+    };
+    let journal_out = args.get("journal-out").map(str::to_string);
+
+    let addr = format!("{host}:{port}");
+    let mut client = Client::connect(&addr, None).map_err(|e| format!("connect {addr}: {e}"))?;
+    let config = client.config();
+    if config.tenants != k as u64 {
+        return Err(format!(
+            "server hosts {} tenants but --workloads names {k}; \
+             the streams would not line up",
+            config.tenants
+        ));
+    }
+    println!(
+        "connected to {addr}: {} engine, {} tenants, {} x {}-block units, epoch {}",
+        config.engine_name(),
+        config.tenants,
+        config.units,
+        config.bpu,
+        config.epoch_length
+    );
+
+    // The exact stream replay-online would build: per-tenant seeds
+    // seed+i+1, proportional interleave over the rates.
+    let traces: Vec<Trace> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.generate(len, seed.wrapping_add(i as u64 + 1)))
+        .collect();
+    let refs: Vec<&Trace> = traces.iter().collect();
+    let co = interleave_proportional(&refs, &rates, len);
+    let stream: Vec<(u64, u64)> = co.tenant_accesses().map(|(t, b)| (t as u64, b)).collect();
+
+    let served_start = Instant::now();
+    for chunk in stream.chunks(batch) {
+        client
+            .push_batch(chunk)
+            .map_err(|e| format!("push batch: {e}"))?;
+    }
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    let served_elapsed = served_start.elapsed();
+    if stats.records != stream.len() as u64 {
+        return Err(format!(
+            "server ingested {} records, sent {}",
+            stats.records,
+            stream.len()
+        ));
+    }
+    let journal = client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+
+    // The same run, in process, from the server's own configuration.
+    let inproc_start = Instant::now();
+    let report = run_in_process(&config, &stream)?;
+    let inproc_elapsed = inproc_start.elapsed();
+
+    let header = header_from(&config);
+    let parsed = cache_partition_sharing::obs::Journal::parse(&journal)
+        .map_err(|e| format!("served journal does not parse: {e}"))?;
+    let identical = identity_of_journal(&parsed) == identity_of_report(&header, &report);
+
+    let accesses = stream.len() as f64;
+    let rate = |d: std::time::Duration| accesses / d.as_secs_f64().max(1e-12) / 1e6;
+    println!(
+        "\n{:<12} {:>12} {:>14}  ({} batches of <= {batch}, {:.1}ns backpressure/record)",
+        "path",
+        "elapsed",
+        "Maccesses/s",
+        stats.batches,
+        stats.backpressure_nanos as f64 / accesses
+    );
+    println!(
+        "{:<12} {:>10.1}ms {:>14.2}",
+        "served",
+        served_elapsed.as_secs_f64() * 1e3,
+        rate(served_elapsed)
+    );
+    println!(
+        "{:<12} {:>10.1}ms {:>14.2}",
+        "in-process",
+        inproc_elapsed.as_secs_f64() * 1e3,
+        rate(inproc_elapsed)
+    );
+
+    if let Some(path) = &journal_out {
+        write_text_out(path, &journal)?;
+        println!("journal: {} epochs -> {path}", parsed.epochs.len());
+    }
+
+    if identical {
+        println!("report identity: OK ({} epochs match)", parsed.epochs.len());
+        Ok(())
+    } else {
+        Err(
+            "report identity FAILED: the served journal differs from the \
+             in-process run on stable fields"
+                .into(),
+        )
+    }
+}
+
+/// Rebuilds the server's engine from its HELLO_ACK configuration and
+/// replays the stream locally.
+fn run_in_process(config: &WireConfig, stream: &[(u64, u64)]) -> Result<EngineReport, String> {
+    let policy = match config.policy_name() {
+        "none" => Policy::Optimal,
+        "equal" => Policy::EqualBaseline,
+        _ => Policy::NaturalBaseline,
+    };
+    let combine = match config.objective_name() {
+        "throughput" => Combine::Sum,
+        _ => Combine::Max,
+    };
+    let cfg = EngineConfig::new(
+        CacheConfig::new(config.units as usize, config.bpu as usize),
+        config.epoch_length as usize,
+    )
+    .policy(policy)
+    .objective(combine)
+    .decay(config.decay())
+    .hysteresis(config.hysteresis as usize);
+    let tenants = config.tenants as usize;
+    let accesses = stream.iter().map(|&(t, b)| (t as usize, b));
+    Ok(match config.engine {
+        0 => {
+            let mut e = RepartitionEngine::new(cfg, tenants);
+            e.run(accesses);
+            e.finish()
+        }
+        1 => {
+            let mut e = ShardedEngine::new(cfg, tenants, config.shards as usize);
+            e.run(accesses);
+            e.finish()
+        }
+        2 => {
+            let mut e = QueuedShardedEngine::new(
+                cfg,
+                tenants,
+                config.shards as usize,
+                config.queue_cap as usize,
+            );
+            e.run(accesses);
+            e.finish()
+        }
+        other => return Err(format!("server announced unknown engine kind {other}")),
+    })
+}
+
+/// The run header the server's journal must carry for this config.
+fn header_from(config: &WireConfig) -> RunHeader {
+    RunHeader {
+        engine: config.engine_name().to_string(),
+        tenants: config.tenants as usize,
+        units: config.units as usize,
+        bpu: config.bpu as usize,
+        epoch_length: config.epoch_length as usize,
+        shards: config.shards as usize,
+        policy: config.policy_name().to_string(),
+        objective: config.objective_name().to_string(),
+    }
+}

@@ -51,6 +51,32 @@ impl Args {
     }
 }
 
+/// Writes `text` to `path`, or to stdout when `path` is `-`.
+pub fn write_text_out(path: &str, text: &str) -> Result<(), String> {
+    if path == "-" {
+        use std::io::Write;
+        std::io::stdout()
+            .write_all(text.as_bytes())
+            .map_err(|e| format!("write stdout: {e}"))
+    } else {
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))
+    }
+}
+
+/// Renders a metrics snapshot the way `--metrics-out PATH` promises:
+/// JSONL when PATH ends in `.jsonl` or is `-` (stdout is for piping),
+/// Prometheus text exposition otherwise.
+pub fn render_metrics_snapshot(
+    path: &str,
+    snapshot: &cache_partition_sharing::obs::MetricsSnapshot,
+) -> String {
+    if path == "-" || path.ends_with(".jsonl") {
+        snapshot.render_jsonl()
+    } else {
+        snapshot.render_prometheus()
+    }
+}
+
 pub fn parse_workload(spec: &str) -> Result<WorkloadSpec, String> {
     let parts: Vec<&str> = spec.split(':').collect();
     let num = |s: &str| -> Result<u64, String> {

@@ -1,5 +1,8 @@
 //! `cps inspect` — parse, validate, and summarize an epoch event
-//! journal written by `cps replay-online --journal`.
+//! journal written by `cps replay-online --journal` or `cps serve
+//! --journal`. The positional `-` reads the journal from stdin, so a
+//! served journal can be piped straight through
+//! (`cps bench-net --journal-out - | cps inspect -`).
 //!
 //! Inspection is also the schema check: the journal must parse line by
 //! line under the version-1 protocol and its epoch lines must
@@ -14,10 +17,24 @@ use cache_partition_sharing::prelude::*;
 pub fn run(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
     let [path] = args.positional.as_slice() else {
-        return Err("usage: cps inspect JOURNAL".into());
+        return Err("usage: cps inspect JOURNAL  (`-` reads from stdin)".into());
     };
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let journal = Journal::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?
+    };
+    let label = if path == "-" {
+        "<stdin>"
+    } else {
+        path.as_str()
+    };
+    let journal = Journal::parse(&text).map_err(|e| format!("{label}: {e}"))?;
 
     let h = &journal.header;
     let s = &journal.summary;

@@ -21,6 +21,7 @@
 
 use std::process::ExitCode;
 
+mod bench_net;
 mod common;
 mod gen;
 mod inspect;
@@ -29,6 +30,7 @@ mod phase_plan;
 mod predict;
 mod profile;
 mod replay_online;
+mod serve;
 mod show;
 mod stall;
 
@@ -47,6 +49,8 @@ fn main() -> ExitCode {
         "stall" => stall::run(rest),
         "phase-plan" => phase_plan::run(rest),
         "replay-online" => replay_online::run(rest),
+        "serve" => serve::run(rest),
+        "bench-net" => bench_net::run(rest),
         "inspect" => inspect::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -91,11 +95,30 @@ USAGE:
                epoch event journal for `cps inspect`; --metrics-out
                writes a metrics snapshot, Prometheus text by default or
                JSONL if FILE ends in .jsonl)
+  cps serve    --tenants K --units U --port P|auto [--bpu B] [--epoch E]
+               [--decay D] [--hysteresis H] [--shards N]
+               [--ingest buffered|queued] [--queue-cap N]
+               [--objective throughput|maxmin] [--baseline none|equal|natural]
+               [--host H] [--max-conns N] [--idle-timeout SECS] [--proto V]
+               [--journal FILE] [--metrics-out FILE] [--port-file FILE]
+               (host the online engine as a TCP daemon speaking the
+               cps-serve wire protocol; clients bind to tenants via
+               HELLO and stream access batches; a SHUTDOWN request
+               finishes the engine and returns the epoch journal;
+               --port auto picks an ephemeral port and --port-file
+               records the bound address)
+  cps bench-net --workloads SPEC,SPEC,... --port P [--host H] [--len N]
+               [--rates R,R,...] [--seed S] [--batch N] [--journal-out FILE]
+               (replay an interleaved stream against a live `cps serve`
+               and verify the served journal is report-identical to the
+               same engine run in process; identity failure exits
+               nonzero)
   cps inspect  JOURNAL
                (parse + validate an epoch journal and print stage-time
                breakdowns, the allocation-churn timeline, per-tenant
-               miss-ratio trajectories, and backpressure; schema drift
-               or totals that don't round-trip exit nonzero)
+               miss-ratio trajectories, and backpressure; `-` reads
+               stdin; schema drift or totals that don't round-trip
+               exit nonzero)
 
 WORKLOAD SPECS (for `gen`):
   loop:WS            sequential loop over WS blocks

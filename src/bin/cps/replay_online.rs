@@ -8,8 +8,9 @@
 //! JSONL schema `cps inspect` consumes); `--metrics-out PATH` attaches
 //! a metrics registry to the run and writes a snapshot on exit —
 //! Prometheus text exposition by default, JSONL if PATH ends in
-//! `.jsonl`. Both describe the *observed* run: the sharded replay when
-//! `--shards` is given, otherwise the single-threaded engine.
+//! `.jsonl` or is `-` (which streams the snapshot to stdout). Both
+//! describe the *observed* run: the sharded replay when `--shards` is
+//! given, otherwise the single-threaded engine.
 
 use crate::common::{parse_objective, parse_workload, Args};
 use cache_partition_sharing::prelude::*;
@@ -282,13 +283,13 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     }
     if let Some(path) = &metrics_path {
         let snapshot = registry.snapshot();
-        let text = if path.ends_with(".jsonl") {
-            snapshot.render_jsonl()
-        } else {
-            snapshot.render_prometheus()
-        };
-        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
-        println!("metrics: {} samples -> {path}", snapshot.samples.len());
+        crate::common::write_text_out(
+            path,
+            &crate::common::render_metrics_snapshot(path, &snapshot),
+        )?;
+        if path != "-" {
+            println!("metrics: {} samples -> {path}", snapshot.samples.len());
+        }
     }
     Ok(())
 }

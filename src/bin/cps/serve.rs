@@ -1,0 +1,166 @@
+//! `cps serve` — run the online repartitioning engine as a TCP daemon.
+//!
+//! Clients connect with the cps-serve wire protocol, bind to a tenant
+//! (or the mux pseudo-tenant) via HELLO, stream access batches, and
+//! query the control plane; a SHUTDOWN request finishes the engine and
+//! returns the run's epoch journal over the wire. The process then
+//! exits, optionally writing the same journal (`--journal`) and a
+//! metrics snapshot (`--metrics-out`) — both exactly as
+//! `cps replay-online` would, so `cps inspect` works unchanged on a
+//! served run.
+//!
+//! `--port auto` binds an OS-assigned ephemeral port; `--port-file`
+//! writes the bound `host:port` so scripts (and the CI smoke leg) can
+//! find the daemon without racing its stdout.
+
+use crate::common::{parse_objective, render_metrics_snapshot, write_text_out, Args};
+use cache_partition_sharing::engine::EngineKind;
+use cache_partition_sharing::prelude::*;
+use cache_partition_sharing::serve::{ServeConfig, Server, PROTOCOL_VERSION};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub fn run(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let tenants: usize = args
+        .require("tenants")?
+        .parse()
+        .map_err(|_| "bad --tenants".to_string())?;
+    if tenants == 0 {
+        return Err("--tenants must be at least 1".into());
+    }
+    let units: usize = args
+        .require("units")?
+        .parse()
+        .map_err(|_| "bad --units".to_string())?;
+    if units == 0 {
+        return Err("--units must be at least 1".into());
+    }
+    let bpu: usize = args.get_parse("bpu", 1)?;
+    if bpu == 0 {
+        return Err("--bpu must be at least 1".into());
+    }
+    let epoch: usize = args.get_parse("epoch", 10_000)?;
+    if epoch == 0 {
+        return Err("--epoch must be at least 1 access".into());
+    }
+    let decay: f64 = args.get_parse("decay", 0.5)?;
+    if !(0.0..1.0).contains(&decay) {
+        return Err(format!("--decay must lie in [0, 1), got {decay}"));
+    }
+    let hysteresis: usize = args.get_parse("hysteresis", 1)?;
+    let combine = parse_objective(&args)?;
+    let policy = match args.get("baseline").unwrap_or("none") {
+        "none" => Policy::Optimal,
+        "equal" => Policy::EqualBaseline,
+        "natural" => Policy::NaturalBaseline,
+        other => return Err(format!("unknown --baseline {other} (none|equal|natural)")),
+    };
+    let queue_cap: usize = args.get_parse("queue-cap", 1_024)?;
+    if queue_cap == 0 {
+        return Err("--queue-cap must hold at least 1 record".into());
+    }
+    let kind = match args.get("shards") {
+        None => EngineKind::Single,
+        Some(_) => {
+            let n: usize = args.get_parse("shards", 0)?;
+            if n == 0 {
+                return Err("--shards must be at least 1 (omit the flag for \
+                            the single-threaded engine)"
+                    .into());
+            }
+            match args.get("ingest").unwrap_or("buffered") {
+                "buffered" => EngineKind::Sharded { shards: n },
+                "queued" => EngineKind::Queued {
+                    shards: n,
+                    queue_capacity: queue_cap,
+                },
+                other => return Err(format!("unknown --ingest {other} (buffered|queued)")),
+            }
+        }
+    };
+
+    let host = args.get("host").unwrap_or("127.0.0.1");
+    let port = match args.require("port")? {
+        "auto" => 0u16,
+        "0" => {
+            return Err("--port 0 is ambiguous; say --port auto for an \
+                        OS-assigned ephemeral port"
+                .into());
+        }
+        p => p
+            .parse()
+            .map_err(|_| format!("bad --port {p} (a port number, or `auto`)"))?,
+    };
+    let max_conns: usize = args.get_parse("max-conns", 64)?;
+    if max_conns == 0 {
+        return Err("--max-conns must admit at least 1 session".into());
+    }
+    let idle_secs: u64 = args.get_parse("idle-timeout", 30)?;
+    if idle_secs == 0 {
+        return Err("--idle-timeout must be at least 1 second (sessions \
+                    would be torn down before their first frame)"
+            .into());
+    }
+    let proto: u8 = args.get_parse("proto", PROTOCOL_VERSION)?;
+    if proto != PROTOCOL_VERSION {
+        return Err(format!(
+            "unknown --proto {proto}; this build speaks protocol version {PROTOCOL_VERSION} only"
+        ));
+    }
+    let journal_path = args.get("journal").map(str::to_string);
+    let metrics_path = args.get("metrics-out").map(str::to_string);
+    let port_file = args.get("port-file").map(str::to_string);
+
+    let engine_cfg = EngineConfig::new(CacheConfig::new(units, bpu), epoch)
+        .policy(policy)
+        .objective(combine)
+        .decay(decay)
+        .hysteresis(hysteresis);
+    let config = ServeConfig {
+        engine: engine_cfg,
+        kind,
+        tenants,
+        max_conns,
+        idle_timeout: Duration::from_secs(idle_secs),
+    };
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = Server::bind(&format!("{host}:{port}"), config, Arc::clone(&registry))?;
+    let addr = server.local_addr()?;
+    if let Some(path) = &port_file {
+        write_text_out(path, &format!("{addr}\n"))?;
+    }
+    println!(
+        "cps serve: listening on {addr} ({} engine, {tenants} tenants, \
+         {units} x {bpu}-block units, epoch {epoch}, max {max_conns} sessions, \
+         idle timeout {idle_secs}s)",
+        kind.name()
+    );
+
+    let outcome = server.run()?;
+    println!(
+        "served {} connections, {} records, {} epochs; cumulative miss ratio {:.4}",
+        outcome.connections,
+        outcome.records,
+        outcome.report.epochs.len(),
+        outcome.report.cumulative_miss_ratio()
+    );
+
+    if let Some(path) = &journal_path {
+        write_text_out(path, &outcome.journal)?;
+        println!(
+            "journal: {} epochs ({} engine) -> {path}",
+            outcome.report.epochs.len(),
+            kind.name()
+        );
+    }
+    if let Some(path) = &metrics_path {
+        let snapshot = registry.snapshot();
+        write_text_out(path, &render_metrics_snapshot(path, &snapshot))?;
+        if path != "-" {
+            println!("metrics: {} samples -> {path}", snapshot.samples.len());
+        }
+    }
+    Ok(())
+}

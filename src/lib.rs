@@ -18,6 +18,7 @@
 //! | [`core`] | `cps-core` | the DP optimizer, STTW, baselines, six-scheme evaluation, sweeps |
 //! | [`engine`] | `cps-engine` | epoch-driven online repartitioning controller |
 //! | [`obs`] | `cps-obs` | metrics registry, stage spans, epoch event journal |
+//! | [`serve`] | `cps-serve` | TCP service layer: wire codec, daemon, client, report identity |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use cps_dstruct as dstruct;
 pub use cps_engine as engine;
 pub use cps_hotl as hotl;
 pub use cps_obs as obs;
+pub use cps_serve as serve;
 pub use cps_trace as trace;
 
 /// The most commonly used items in one import.
@@ -73,6 +75,7 @@ pub mod prelude {
         SoloProfile,
     };
     pub use cps_obs::{Journal, MetricsRegistry, RunHeader, Stage, StageTimings};
+    pub use cps_serve::{identity_of_journal, identity_of_report, Client, ServeConfig, Server};
     pub use cps_trace::{
         interleave_proportional, study_programs, Block, InterleavedStream, ProgramSpec, Trace,
         WorkloadSpec,

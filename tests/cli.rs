@@ -590,6 +590,356 @@ fn inspect_rejects_truncated_tampered_and_future_journals() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Kills the daemon if a test fails before it shuts down cleanly.
+struct ChildGuard(std::process::Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// The serving loop end to end, against a real daemon on a real
+/// ephemeral port: `cps bench-net` streams the standard 4-tenant mix
+/// to `cps serve`, verifies report identity itself, and the journals —
+/// the one the daemon writes, the one the client receives over the
+/// wire, and the one `cps replay-online` writes for the same
+/// trace/seed/config — all describe the identical run.
+#[test]
+fn serve_and_bench_net_round_trip_report_identically() {
+    use cache_partition_sharing::prelude::*;
+
+    let dir = tempdir("serve");
+    let mut child = ChildGuard(
+        Command::new(env!("CARGO_BIN_EXE_cps"))
+            .args([
+                "serve",
+                "--tenants",
+                "4",
+                "--units",
+                "32",
+                "--bpu",
+                "4",
+                "--epoch",
+                "2000",
+                "--port",
+                "auto",
+                "--port-file",
+                "port.txt",
+                "--journal",
+                "served.jsonl",
+            ])
+            .current_dir(&dir)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn cps serve"),
+    );
+
+    // The daemon publishes its bound address once the socket is live.
+    let addr = {
+        let path = dir.join("port.txt");
+        let mut found = None;
+        for _ in 0..200 {
+            match std::fs::read_to_string(&path) {
+                Ok(text) if text.trim().contains(':') => {
+                    found = Some(text.trim().to_string());
+                    break;
+                }
+                _ => std::thread::sleep(std::time::Duration::from_millis(50)),
+            }
+        }
+        found.expect("cps serve never wrote --port-file")
+    };
+    let port = addr.rsplit(':').next().unwrap();
+
+    let workloads = "loop:24,zipf:150:0.8,walk:300:30:500,uniform:400";
+    let s = stdout(&cps(
+        &[
+            "bench-net",
+            "--workloads",
+            workloads,
+            "--rates",
+            "1.0,2.0,1.0,1.5",
+            "--len",
+            "20000",
+            "--seed",
+            "42",
+            "--port",
+            port,
+            "--journal-out",
+            "bench.jsonl",
+        ],
+        &dir,
+    ));
+    assert!(s.contains("report identity: OK"), "{s}");
+
+    // SHUTDOWN tears the daemon down; it must exit cleanly on its own.
+    let status = {
+        let mut status = None;
+        for _ in 0..200 {
+            if let Some(st) = child.0.try_wait().expect("try_wait") {
+                status = Some(st);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        status.expect("cps serve did not exit after SHUTDOWN")
+    };
+    assert!(status.success(), "cps serve exited nonzero");
+
+    // The daemon's --journal file and the client's wire copy are the
+    // same bytes.
+    let served = std::fs::read_to_string(dir.join("served.jsonl")).unwrap();
+    let benched = std::fs::read_to_string(dir.join("bench.jsonl")).unwrap();
+    assert_eq!(served, benched, "wire journal differs from --journal file");
+
+    // `cps inspect` cross-validates the served journal unchanged.
+    let s = stdout(&cps(&["inspect", "served.jsonl"], &dir));
+    assert!(s.contains("journal OK: single engine"), "{s}");
+    assert!(s.contains("20000 accesses"), "{s}");
+
+    // And the served run is report-identical to `cps replay-online` on
+    // the same trace, seed, and engine config.
+    stdout(&cps(
+        &[
+            "replay-online",
+            "--workloads",
+            workloads,
+            "--rates",
+            "1.0,2.0,1.0,1.5",
+            "--len",
+            "20000",
+            "--seed",
+            "42",
+            "--units",
+            "32",
+            "--bpu",
+            "4",
+            "--epoch",
+            "2000",
+            "--journal",
+            "replayed.jsonl",
+        ],
+        &dir,
+    ));
+    let replayed = std::fs::read_to_string(dir.join("replayed.jsonl")).unwrap();
+    assert_eq!(
+        identity_of_journal(&Journal::parse(&served).unwrap()),
+        identity_of_journal(&Journal::parse(&replayed).unwrap()),
+        "served run must be report-identical to replay-online"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_and_bench_net_reject_degenerate_flags_with_friendly_errors() {
+    let dir = tempdir("serve-flags");
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["serve", "--tenants", "0", "--units", "32", "--port", "auto"],
+            "--tenants",
+        ),
+        (
+            &["serve", "--tenants", "2", "--units", "0", "--port", "auto"],
+            "--units",
+        ),
+        (
+            &["serve", "--tenants", "2", "--units", "32", "--port", "0"],
+            "auto",
+        ),
+        (
+            &["serve", "--tenants", "2", "--units", "32", "--port", "nope"],
+            "--port",
+        ),
+        (&["serve", "--tenants", "2", "--units", "32"], "--port"),
+        (
+            &[
+                "serve",
+                "--tenants",
+                "2",
+                "--units",
+                "32",
+                "--port",
+                "auto",
+                "--max-conns",
+                "0",
+            ],
+            "--max-conns",
+        ),
+        (
+            &[
+                "serve",
+                "--tenants",
+                "2",
+                "--units",
+                "32",
+                "--port",
+                "auto",
+                "--idle-timeout",
+                "0",
+            ],
+            "--idle-timeout",
+        ),
+        (
+            &[
+                "serve",
+                "--tenants",
+                "2",
+                "--units",
+                "32",
+                "--port",
+                "auto",
+                "--proto",
+                "2",
+            ],
+            "protocol version",
+        ),
+        (
+            &[
+                "serve",
+                "--tenants",
+                "2",
+                "--units",
+                "32",
+                "--port",
+                "auto",
+                "--shards",
+                "0",
+            ],
+            "--shards",
+        ),
+        (
+            &[
+                "bench-net",
+                "--workloads",
+                "loop:4,loop:8",
+                "--port",
+                "1",
+                "--batch",
+                "0",
+            ],
+            "--batch",
+        ),
+        (
+            &[
+                "bench-net",
+                "--workloads",
+                "loop:4,loop:8",
+                "--port",
+                "1",
+                "--len",
+                "0",
+            ],
+            "--len",
+        ),
+        (&["bench-net", "--workloads", "loop:4,loop:8"], "--port"),
+        (
+            &[
+                "bench-net",
+                "--workloads",
+                "loop:4,loop:8",
+                "--port",
+                "1",
+                "--rates",
+                "1.0",
+            ],
+            "rates",
+        ),
+    ];
+    for (args, needle) in cases {
+        let out = cps(args, &dir);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!out.status.success(), "{args:?} should fail:\n{stderr}");
+        assert!(
+            stderr.contains("cps:"),
+            "{args:?} should report through the CLI error path:\n{stderr}"
+        );
+        assert!(
+            stderr.contains(needle),
+            "{args:?} should mention `{needle}`:\n{stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "{args:?} must not panic:\n{stderr}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The stdio satellites: `--metrics-out -` streams the snapshot to
+/// stdout, and `cps inspect -` consumes a journal from stdin.
+#[test]
+fn metrics_stream_to_stdout_and_inspect_reads_stdin() {
+    let dir = tempdir("stdio");
+    let s = stdout(&cps(
+        &[
+            "replay-online",
+            "--workloads",
+            "loop:40,zipf:200:0.8",
+            "--units",
+            "32",
+            "--len",
+            "8000",
+            "--epoch",
+            "4000",
+            "--journal",
+            "run.jsonl",
+            "--metrics-out",
+            "-",
+        ],
+        &dir,
+    ));
+    assert!(
+        s.contains("\"metric\":\"cps_engine_accesses_total\""),
+        "stdout snapshots render as JSONL: {s}"
+    );
+
+    use std::io::Write;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cps"))
+        .args(["inspect", "-"])
+        .current_dir(&dir)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn cps inspect -");
+    let journal = std::fs::read_to_string(dir.join("run.jsonl")).unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(journal.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let s = stdout(&out);
+    assert!(s.contains("journal OK"), "{s}");
+    assert!(s.contains("stage time breakdown"), "{s}");
+
+    // Garbage on stdin is a parse error naming <stdin>, not a panic.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cps"))
+        .args(["inspect", "-"])
+        .current_dir(&dir)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn cps inspect -");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"not a journal\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("<stdin>"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn trace_parser_accepts_hex_and_comments() {
     let dir = tempdir("parser");
