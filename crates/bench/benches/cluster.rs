@@ -1,0 +1,102 @@
+//! Benchmark E22: flat vs two-level hierarchical solve at C = 1024.
+//!
+//! The flat DP is O(P·C²); the hierarchy runs the same DP once per
+//! node over its members (at the node's cap) plus a top-level pass
+//! over N node frontiers. With balanced groups, each of the N node
+//! passes sees P/N programs — so the per-node work shrinks while the
+//! top pass adds an N·C² term. This bench measures where the
+//! crossover sits and what the report's E22 table quotes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cps_cluster::solve_two_level;
+use cps_core::{build_cost_curves, CacheConfig, Combine, CostCurve, DpSolver};
+use cps_hotl::{Footprint, MissRatioCurve};
+use cps_trace::WorkloadSpec;
+
+const UNITS: usize = 1024;
+
+/// Eight tenants with staggered locality, profiled to miss-ratio
+/// curves and weighted into DP cost curves exactly as the engine's
+/// solve stage would.
+fn tenant_cost_curves() -> Vec<CostCurve> {
+    let specs: Vec<WorkloadSpec> = (0..8)
+        .map(|i| match i % 4 {
+            0 => WorkloadSpec::SequentialLoop {
+                working_set: 80 + 60 * i as u64,
+            },
+            1 => WorkloadSpec::Zipfian {
+                region: 300 + 200 * i as u64,
+                alpha: 0.8,
+            },
+            2 => WorkloadSpec::WorkingSetWalk {
+                region: 400 + 100 * i as u64,
+                window: 40,
+                dwell: 400,
+            },
+            _ => WorkloadSpec::UniformRandom {
+                region: 500 + 150 * i as u64,
+            },
+        })
+        .collect();
+    let cache = CacheConfig::new(UNITS, 1);
+    let mrcs: Vec<MissRatioCurve> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let trace = s.generate(60_000, i as u64 + 1);
+            let footprint = Footprint::from_trace(&trace.blocks);
+            MissRatioCurve::from_footprint(&footprint, cache.blocks())
+        })
+        .collect();
+    let refs: Vec<&MissRatioCurve> = mrcs.iter().collect();
+    let shares = vec![1.0 / refs.len() as f64; refs.len()];
+    build_cost_curves(&refs, &cache, &shares, Combine::Sum, None)
+}
+
+/// Round-robin groups of the 8 tenants over `nodes` nodes.
+fn groups(nodes: usize) -> Vec<Vec<usize>> {
+    let mut g = vec![Vec::new(); nodes];
+    for i in 0..8 {
+        g[i % nodes].push(i);
+    }
+    g
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let costs = tenant_cost_curves();
+    let mut solver = DpSolver::new();
+
+    let mut group = c.benchmark_group("cluster_solve_1024u_8t");
+    group.bench_function("flat", |b| {
+        b.iter(|| {
+            solver
+                .solve(black_box(&costs), UNITS, Combine::Sum)
+                .unwrap()
+        })
+    });
+    for nodes in [2usize, 4] {
+        let g = groups(nodes);
+        // Balanced caps: each node hosts its share of the logical
+        // cache with 25% headroom so caps do not bind.
+        let caps = vec![UNITS * 5 / (4 * nodes); nodes];
+        group.bench_function(format!("two_level_{nodes}n"), |b| {
+            b.iter(|| {
+                solve_two_level(
+                    &mut solver,
+                    black_box(&costs),
+                    &g,
+                    &caps,
+                    UNITS,
+                    Combine::Sum,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

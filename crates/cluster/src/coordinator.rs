@@ -1,0 +1,845 @@
+//! The cluster coordinator: one control loop over many engine nodes.
+//!
+//! The coordinator owns the epoch clock. Nodes are built with an
+//! effectively infinite internal epoch length, so every boundary is
+//! driven from here as an export → solve → apply beat:
+//!
+//! 1. **Route** — each record goes to its tenant's home node
+//!    (placement is routing: every node carries the full tenant-slot
+//!    set, so a move never changes any node's schema).
+//! 2. **Export** — at the boundary every live node closes its profile
+//!    window and ships per-tenant cost curves and realized counts up.
+//! 3. **Solve** — the coordinator weighs curves by *global* access
+//!    shares (exactly as the flat engine's solve stage would) and runs
+//!    the two-level DP of [`crate::hierarchy`]: node frontiers, then a
+//!    top-level split of total capacity into per-node budgets.
+//! 4. **Apply** — the global hysteresis decision is all-or-nothing
+//!    across nodes, taken against the coordinator's *logical*
+//!    allocation (which therefore always partitions total capacity,
+//!    keeping the cluster journal valid under the flat schema); nodes
+//!    run with local hysteresis disabled and book whatever comes down.
+//!
+//! With one tenant per node and full-capacity nodes this loop is
+//! **trajectory-identical** to the flat single engine — same
+//! allocations, predictions, hysteresis verdicts, and counts, epoch by
+//! epoch, bit for bit (`tests/identity.rs`). The cluster-only
+//! behaviours layer on top: a migration pass that re-homes one tenant
+//! per epoch when the two-level gap pays for it, and node-failure
+//! handling that marks a dead node, re-solves over the survivors, and
+//! keeps serving.
+
+use cps_cachesim::AccessCounts;
+use cps_core::{access_shares, build_cost_curves, CacheConfig, Combine, CostCurve, DpSolver};
+use cps_engine::{units_moved, Actuation, Block, EpochRecord, TenantId};
+use cps_hotl::MissRatioCurve;
+use cps_obs::{Counter, Gauge, MetricsRegistry, MigrationEvent, Stage, StageTimings, Stopwatch};
+
+use crate::hierarchy::{solve_two_level, TwoLevelResult};
+use crate::node::ClusterNode;
+use crate::report::{ClusterReport, NodeFailure};
+
+/// Records buffered per node before a mid-epoch flush.
+const FLUSH_BATCH: usize = 1_024;
+
+/// The coordinator's knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Total logical capacity split across nodes (the top-level DP's
+    /// `C`).
+    pub total_units: usize,
+    /// Blocks per unit; must match every node's geometry.
+    pub bpu: usize,
+    /// Accesses per coordinator epoch.
+    pub epoch_length: usize,
+    /// Accumulation objective for both DP levels.
+    pub objective: Combine,
+    /// Global hysteresis: a proposed reallocation is applied (on every
+    /// node at once) only when it moves at least this many units of
+    /// the logical allocation.
+    pub hysteresis: usize,
+    /// Relative cost gain a single-tenant re-homing must clear to
+    /// trigger a migration; `None` disables the migration pass.
+    pub migrate_threshold: Option<f64>,
+}
+
+impl ClusterConfig {
+    /// A throughput-objective cluster with no migration and the same
+    /// no-hysteresis default as the flat engine.
+    ///
+    /// # Panics
+    /// Panics if any argument is zero.
+    pub fn new(total_units: usize, bpu: usize, epoch_length: usize) -> Self {
+        assert!(total_units > 0, "need at least one unit");
+        assert!(bpu > 0, "unit must hold at least one block");
+        assert!(epoch_length > 0, "epochs need at least one access");
+        ClusterConfig {
+            total_units,
+            bpu,
+            epoch_length,
+            objective: Combine::Sum,
+            hysteresis: 1,
+            migrate_threshold: None,
+        }
+    }
+
+    /// Sets the accumulation objective.
+    pub fn objective(mut self, objective: Combine) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets the global minimum units-moved threshold.
+    pub fn hysteresis(mut self, min_units: usize) -> Self {
+        self.hysteresis = min_units;
+        self
+    }
+
+    /// Enables the migration pass with a relative-gain threshold.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is negative or not finite.
+    pub fn migrate(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "migration threshold must be a finite non-negative ratio"
+        );
+        self.migrate_threshold = Some(threshold);
+        self
+    }
+
+    /// The logical cache geometry the top-level DP partitions.
+    pub fn cache(&self) -> CacheConfig {
+        CacheConfig::new(self.total_units, self.bpu)
+    }
+}
+
+/// Registered `cps_cluster_*` instruments.
+struct ClusterMetrics {
+    epochs: Counter,
+    records: Counter,
+    dropped: Counter,
+    repartitions: Counter,
+    units_moved: Counter,
+    migrations: Counter,
+    node_failures: Counter,
+    solve_nanos: Counter,
+    nodes_alive: Gauge,
+}
+
+impl ClusterMetrics {
+    fn register(registry: &MetricsRegistry, nodes: usize) -> ClusterMetrics {
+        let m = ClusterMetrics {
+            epochs: registry.counter("cps_cluster_epochs_total", "Coordinator epochs completed"),
+            records: registry.counter("cps_cluster_records_total", "Records routed to nodes"),
+            dropped: registry.counter(
+                "cps_cluster_dropped_records_total",
+                "Records dropped because their home node had failed",
+            ),
+            repartitions: registry.counter(
+                "cps_cluster_repartitions_total",
+                "Boundaries at which the logical allocation changed",
+            ),
+            units_moved: registry.counter(
+                "cps_cluster_units_moved_total",
+                "Logical units moved by applied repartitions",
+            ),
+            migrations: registry.counter(
+                "cps_cluster_migrations_total",
+                "Tenants re-homed by the migration pass",
+            ),
+            node_failures: registry.counter(
+                "cps_cluster_node_failures_total",
+                "Nodes marked dead after a typed node error",
+            ),
+            solve_nanos: registry.counter(
+                "cps_cluster_solve_nanos_total",
+                "Wall-clock nanoseconds in two-level solves",
+            ),
+            nodes_alive: registry.gauge("cps_cluster_nodes_alive", "Live nodes"),
+        };
+        m.nodes_alive.set(nodes as i64);
+        m
+    }
+}
+
+struct NodeSlot {
+    node: ClusterNode,
+    alive: bool,
+}
+
+/// One epoch's solve artifacts, kept so the migration pass can re-use
+/// the cost curves without re-exporting. `result` is `None` when the
+/// current placement admits no exact split of total capacity (e.g. the
+/// occupied nodes' caps cannot absorb it) — the migration pass still
+/// runs on the curves and treats that state as infinitely costly.
+struct EpochSolve {
+    result: Option<TwoLevelResult>,
+    /// Global tenant ids behind each position of `costs`.
+    active: Vec<usize>,
+    costs: Vec<CostCurve>,
+    groups: Vec<Vec<usize>>,
+}
+
+/// The multi-node control loop. See the module docs for the epoch
+/// beat; construct with [`Coordinator::new`], feed accesses through
+/// [`record_access`](Coordinator::record_access) or
+/// [`run`](Coordinator::run), and close with
+/// [`finish`](Coordinator::finish).
+pub struct Coordinator {
+    config: ClusterConfig,
+    nodes: Vec<NodeSlot>,
+    capacities: Vec<usize>,
+    placement: Vec<usize>,
+    /// The coordinator's capacity ledger: per-tenant logical units,
+    /// always an exact partition of `total_units` — what the cluster
+    /// journal records as the allocation in force.
+    logical: Vec<usize>,
+    /// Last known miss-ratio curve per tenant. Refreshed from the home
+    /// node's export each epoch; survives a migration so the solve
+    /// doesn't stall while the new home's profiler warms up.
+    cached: Vec<Option<MissRatioCurve>>,
+    /// Per-node physical slot allocations as last pushed down (or the
+    /// node's initial equal split before any push).
+    node_alloc: Vec<Vec<usize>>,
+    buffers: Vec<Vec<(TenantId, Block)>>,
+    epoch_accesses: usize,
+    records: Vec<EpochRecord>,
+    totals: Vec<AccessCounts>,
+    migrations: Vec<MigrationEvent>,
+    failures: Vec<NodeFailure>,
+    dropped_records: u64,
+    solver: DpSolver,
+    metrics: Option<ClusterMetrics>,
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("nodes", &self.nodes.len())
+            .field("tenants", &self.placement.len())
+            .field("placement", &self.placement)
+            .field("logical", &self.logical)
+            .field("epochs", &self.records.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Coordinator {
+    /// Builds a coordinator over `nodes` with the given tenant →
+    /// node `placement`. Fails (with a human-readable reason) when the
+    /// topology cannot work: no nodes, inconsistent tenant-slot counts
+    /// or geometry, out-of-range placement, or capacities that cannot
+    /// absorb the logical cache.
+    pub fn new(
+        config: ClusterConfig,
+        nodes: Vec<ClusterNode>,
+        placement: Vec<usize>,
+    ) -> Result<Coordinator, String> {
+        if nodes.is_empty() {
+            return Err("a cluster needs at least one node".to_string());
+        }
+        let tenants = nodes[0].tenants();
+        if tenants == 0 {
+            return Err("a cluster needs at least one tenant".to_string());
+        }
+        for (n, node) in nodes.iter().enumerate() {
+            if node.tenants() != tenants {
+                return Err(format!(
+                    "node {n} has {} tenant slots, node 0 has {tenants}; every node must carry \
+                     the full tenant set",
+                    node.tenants()
+                ));
+            }
+            if node.bpu() != config.bpu {
+                return Err(format!(
+                    "node {n} uses {}-block units, the cluster uses {}-block units",
+                    node.bpu(),
+                    config.bpu
+                ));
+            }
+        }
+        if placement.len() != tenants {
+            return Err(format!(
+                "placement names {} tenants, nodes carry {tenants}",
+                placement.len()
+            ));
+        }
+        if let Some(&bad) = placement.iter().find(|&&n| n >= nodes.len()) {
+            return Err(format!(
+                "placement routes a tenant to node {bad}, but there are only {} nodes",
+                nodes.len()
+            ));
+        }
+        let total_capacity: usize = nodes.iter().map(|n| n.capacity()).sum();
+        if total_capacity < config.total_units {
+            return Err(format!(
+                "node capacities sum to {total_capacity} units; cannot host a {}-unit cluster",
+                config.total_units
+            ));
+        }
+        let capacities: Vec<usize> = nodes.iter().map(|n| n.capacity()).collect();
+        let node_alloc = capacities
+            .iter()
+            .map(|&cap| CacheConfig::new(cap, config.bpu).equal_split(tenants))
+            .collect();
+        let logical = config.cache().equal_split(tenants);
+        let node_count = nodes.len();
+        Ok(Coordinator {
+            config,
+            nodes: nodes
+                .into_iter()
+                .map(|node| NodeSlot { node, alive: true })
+                .collect(),
+            capacities,
+            placement,
+            logical,
+            cached: vec![None; tenants],
+            node_alloc,
+            buffers: vec![Vec::new(); node_count],
+            epoch_accesses: 0,
+            records: Vec::new(),
+            totals: vec![AccessCounts::default(); tenants],
+            migrations: Vec::new(),
+            failures: Vec::new(),
+            dropped_records: 0,
+            solver: DpSolver::new(),
+            metrics: None,
+        })
+    }
+
+    /// Like [`Coordinator::new`], registering `cps_cluster_*`
+    /// instruments on `registry`.
+    pub fn with_metrics(
+        config: ClusterConfig,
+        nodes: Vec<ClusterNode>,
+        placement: Vec<usize>,
+        registry: &MetricsRegistry,
+    ) -> Result<Coordinator, String> {
+        let mut coordinator = Coordinator::new(config, nodes, placement)?;
+        coordinator.metrics = Some(ClusterMetrics::register(registry, coordinator.nodes.len()));
+        Ok(coordinator)
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Current tenant → node routing.
+    pub fn placement(&self) -> &[usize] {
+        &self.placement
+    }
+
+    /// The logical per-tenant allocation (partitions `total_units`).
+    pub fn logical_allocation(&self) -> &[usize] {
+        &self.logical
+    }
+
+    /// Coordinator epochs completed so far.
+    pub fn epochs_completed(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Nodes currently alive.
+    pub fn nodes_alive(&self) -> usize {
+        self.nodes.iter().filter(|s| s.alive).count()
+    }
+
+    /// Routes one access to its tenant's home node, driving the epoch
+    /// clock. Records for a failed node are counted and dropped — the
+    /// cluster keeps serving the survivors.
+    ///
+    /// # Panics
+    /// Panics if `tenant` is out of range.
+    pub fn record_access(&mut self, tenant: TenantId, block: Block) {
+        assert!(tenant < self.tenants(), "tenant {tenant} out of range");
+        let home = self.placement[tenant];
+        if self.nodes[home].alive {
+            self.buffers[home].push((tenant, block));
+            if let Some(m) = &self.metrics {
+                m.records.inc();
+            }
+            if self.buffers[home].len() >= FLUSH_BATCH {
+                self.flush_node(home);
+            }
+        } else {
+            self.dropped_records += 1;
+            if let Some(m) = &self.metrics {
+                m.dropped.inc();
+            }
+        }
+        self.epoch_accesses += 1;
+        if self.epoch_accesses >= self.config.epoch_length {
+            self.boundary(true);
+        }
+    }
+
+    /// Streams a whole access sequence through
+    /// [`record_access`](Self::record_access).
+    pub fn run(&mut self, accesses: impl IntoIterator<Item = (TenantId, Block)>) {
+        for (tenant, block) in accesses {
+            self.record_access(tenant, block);
+        }
+    }
+
+    /// Finishes the run: a trailing partial epoch is exported and
+    /// solved like any other but never actuated (exactly the flat
+    /// engine's contract), every surviving node is finished, and the
+    /// two-level record rolls up into a [`ClusterReport`].
+    pub fn finish(mut self) -> ClusterReport {
+        if self.epoch_accesses > 0 {
+            self.boundary(false);
+        }
+        let mut node_finishes = Vec::with_capacity(self.nodes.len());
+        let epoch = self.records.len();
+        for (n, slot) in self.nodes.into_iter().enumerate() {
+            if !slot.alive {
+                node_finishes.push(None);
+                continue;
+            }
+            match slot.node.finish() {
+                Ok(finish) => node_finishes.push(Some(finish)),
+                Err(e) => {
+                    self.failures.push(NodeFailure {
+                        node: n,
+                        epoch,
+                        error: format!("finish: {e}"),
+                    });
+                    if let Some(m) = &self.metrics {
+                        m.node_failures.inc();
+                    }
+                    node_finishes.push(None);
+                }
+            }
+        }
+        ClusterReport {
+            nodes: node_finishes.len(),
+            tenants: self.totals.len(),
+            total_units: self.config.total_units,
+            bpu: self.config.bpu,
+            epoch_length: self.config.epoch_length,
+            objective: self.config.objective,
+            epochs: self.records,
+            totals: self.totals,
+            migrations: self.migrations,
+            failures: self.failures,
+            dropped_records: self.dropped_records,
+            node_finishes,
+        }
+    }
+
+    /// Flushes node `n`'s buffered records; a push failure kills the
+    /// node and drops the batch.
+    fn flush_node(&mut self, n: usize) {
+        if self.buffers[n].is_empty() || !self.nodes[n].alive {
+            return;
+        }
+        let batch = std::mem::take(&mut self.buffers[n]);
+        if let Err(e) = self.nodes[n].node.push(&batch) {
+            self.dropped_records += batch.len() as u64;
+            if let Some(m) = &self.metrics {
+                m.dropped.add(batch.len() as u64);
+            }
+            self.fail_node(n, "push", &e.to_string());
+        }
+    }
+
+    /// Marks node `n` dead and books the failure. Records already on
+    /// the node stay there (its engine is simply never heard from
+    /// again); future records for its tenants are dropped at routing.
+    fn fail_node(&mut self, n: usize, during: &str, error: &str) {
+        self.nodes[n].alive = false;
+        self.buffers[n].clear();
+        self.failures.push(NodeFailure {
+            node: n,
+            epoch: self.records.len(),
+            error: format!("{during}: {error}"),
+        });
+        if let Some(m) = &self.metrics {
+            m.node_failures.inc();
+            m.nodes_alive
+                .set(self.nodes.iter().filter(|s| s.alive).count() as i64);
+        }
+    }
+
+    /// One epoch boundary: flush, export, solve, (optionally) apply,
+    /// record — and then maybe migrate. `actuate` is false only for a
+    /// trailing partial epoch.
+    fn boundary(&mut self, actuate: bool) {
+        self.epoch_accesses = 0;
+        let tenants = self.tenants();
+        let mut timings = StageTimings::default();
+
+        let ingest_clock = Stopwatch::start();
+        for n in 0..self.nodes.len() {
+            self.flush_node(n);
+        }
+        ingest_clock.record(&mut timings, Stage::Ingest);
+
+        // Export every live node's boundary; a dead export kills the
+        // node and the epoch continues over the survivors.
+        let profile_clock = Stopwatch::start();
+        let mut exports: Vec<Option<Vec<cps_engine::TenantCurve>>> =
+            (0..self.nodes.len()).map(|_| None).collect();
+        for (n, slot) in exports.iter_mut().enumerate() {
+            if !self.nodes[n].alive {
+                continue;
+            }
+            match self.nodes[n].node.export() {
+                Ok(curves) => *slot = Some(curves),
+                Err(e) => self.fail_node(n, "export", &e.to_string()),
+            }
+        }
+        // Each tenant's epoch truth comes from its home node: realized
+        // counts verbatim, curve refreshed whenever the home profiler
+        // has one (a fresh export always wins over the cache).
+        let mut per_tenant = vec![AccessCounts::default(); tenants];
+        for t in 0..tenants {
+            let home = self.placement[t];
+            if let Some(curves) = exports[home].as_mut() {
+                per_tenant[t] = curves[t].counts;
+                if curves[t].curve.is_some() {
+                    self.cached[t] = curves[t].curve.take();
+                }
+            }
+        }
+        profile_clock.record(&mut timings, Stage::Profile);
+
+        let solve_clock = Stopwatch::start();
+        let solve = self.solve_epoch(&per_tenant);
+        let solve_nanos = solve_clock.elapsed_nanos();
+        timings.add(Stage::Solve, solve_nanos);
+        if let Some(m) = &self.metrics {
+            m.solve_nanos.add(solve_nanos);
+        }
+
+        let served = self.logical.clone();
+        let mut predicted = None;
+        let mut actuation = Actuation {
+            repartitioned: false,
+            units_moved: 0,
+        };
+        if let Some(epoch_solve) = &solve {
+            if let Some(result) = &epoch_solve.result {
+                predicted = Some(result.cost);
+                if actuate {
+                    let mut proposal = vec![0usize; tenants];
+                    for (i, &t) in epoch_solve.active.iter().enumerate() {
+                        proposal[t] = result.allocation[i];
+                    }
+                    let moved = units_moved(&self.logical, &proposal);
+                    let repartition = moved >= self.config.hysteresis && moved > 0;
+                    actuation = Actuation {
+                        repartitioned: repartition,
+                        units_moved: moved,
+                    };
+                    if repartition {
+                        self.logical = proposal;
+                        for n in 0..self.nodes.len() {
+                            if !self.nodes[n].alive {
+                                continue;
+                            }
+                            let mut slots = vec![0usize; tenants];
+                            for &t in epoch_solve
+                                .active
+                                .iter()
+                                .filter(|&&t| self.placement[t] == n)
+                            {
+                                slots[t] = self.logical[t];
+                            }
+                            self.node_alloc[n] = slots;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Close every live node's boundary with its current (possibly
+        // just-updated) physical allocation; an unchanged push is a
+        // no-move no-op at the node, but still books its epoch.
+        if actuate {
+            let actuate_clock = Stopwatch::start();
+            for n in 0..self.nodes.len() {
+                if !self.nodes[n].alive {
+                    continue;
+                }
+                let target = self.node_alloc[n].clone();
+                if let Err(e) = self.nodes[n].node.apply(&target, predicted) {
+                    self.fail_node(n, "apply", &e.to_string());
+                }
+            }
+            actuate_clock.record(&mut timings, Stage::Actuate);
+        }
+
+        for (total, counts) in self.totals.iter_mut().zip(&per_tenant) {
+            total.merge(counts);
+        }
+        if let Some(m) = &self.metrics {
+            m.epochs.inc();
+            if actuation.repartitioned {
+                m.repartitions.inc();
+                m.units_moved.add(actuation.units_moved as u64);
+            }
+        }
+        self.records.push(EpochRecord {
+            epoch: self.records.len(),
+            allocation: served,
+            per_tenant,
+            predicted_cost: predicted,
+            timings,
+            ingest: None,
+            repartitioned: actuation.repartitioned,
+            units_moved: actuation.units_moved,
+        });
+
+        if actuate && self.config.migrate_threshold.is_some() {
+            if let Some(solve) = solve {
+                self.consider_migration(&solve);
+            }
+        }
+    }
+
+    /// Runs the two-level solve for the epoch just closed. `None`
+    /// mirrors the flat engine's skip conditions: no live tenant, or a
+    /// live tenant whose curve has never been seen. An *infeasible*
+    /// split (occupied caps cannot absorb the total) comes back as
+    /// `Some` with a `None` result, so the migration pass can still
+    /// hunt for a placement that restores feasibility.
+    fn solve_epoch(&mut self, per_tenant: &[AccessCounts]) -> Option<EpochSolve> {
+        let tenants = self.tenants();
+        let active: Vec<usize> = (0..tenants)
+            .filter(|&t| self.nodes[self.placement[t]].alive)
+            .collect();
+        if active.is_empty() {
+            return None;
+        }
+        if active.iter().any(|&t| self.cached[t].is_none()) {
+            return None;
+        }
+        let weights: Vec<f64> = per_tenant.iter().map(|c| c.accesses as f64).collect();
+        let shares = access_shares(&weights);
+        let cache = self.config.cache();
+        let mrcs: Vec<&MissRatioCurve> = active
+            .iter()
+            .map(|&t| self.cached[t].as_ref().expect("checked above"))
+            .collect();
+        let active_shares: Vec<f64> = active.iter().map(|&t| shares[t]).collect();
+        let costs = build_cost_curves(&mrcs, &cache, &active_shares, self.config.objective, None);
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (i, &t) in active.iter().enumerate() {
+            groups[self.placement[t]].push(i);
+        }
+        let result = solve_two_level(
+            &mut self.solver,
+            &costs,
+            &groups,
+            &self.capacities,
+            self.config.total_units,
+            self.config.objective,
+        );
+        Some(EpochSolve {
+            result,
+            active,
+            costs,
+            groups,
+        })
+    }
+
+    /// The migration pass: the single best tenant re-homing this
+    /// epoch, applied only when its relative cost gain clears the
+    /// threshold. When the *current* placement is infeasible (the
+    /// occupied caps cannot absorb the total) any feasible re-homing is
+    /// a rescue and is taken unconditionally, journaled with
+    /// `gain: None`. Re-uses the epoch's cost curves; the move is pure
+    /// routing (the destination starts cold and the next boundary's
+    /// budgets follow the new grouping).
+    fn consider_migration(&mut self, solve: &EpochSolve) {
+        let threshold = self.config.migrate_threshold.expect("checked by caller");
+        let alive: Vec<usize> = (0..self.nodes.len())
+            .filter(|&n| self.nodes[n].alive)
+            .collect();
+        if alive.len() < 2 {
+            return;
+        }
+        let mut best: Option<(usize, usize, f64)> = None; // (position, to, cost)
+        for (i, &t) in solve.active.iter().enumerate() {
+            let from = self.placement[t];
+            for &to in &alive {
+                if to == from {
+                    continue;
+                }
+                let mut groups = solve.groups.clone();
+                groups[from].retain(|&j| j != i);
+                groups[to].push(i);
+                let Some(candidate) = solve_two_level(
+                    &mut self.solver,
+                    &solve.costs,
+                    &groups,
+                    &self.capacities,
+                    self.config.total_units,
+                    self.config.objective,
+                ) else {
+                    continue;
+                };
+                if best.as_ref().is_none_or(|&(_, _, c)| candidate.cost < c) {
+                    best = Some((i, to, candidate.cost));
+                }
+            }
+        }
+        let Some((i, to, cost)) = best else { return };
+        let gain = match &solve.result {
+            Some(current) => {
+                let relative = if current.cost.abs() > 0.0 {
+                    (current.cost - cost) / current.cost.abs()
+                } else {
+                    0.0
+                };
+                if relative <= threshold {
+                    return;
+                }
+                Some(relative)
+            }
+            // Rescue: the current placement cannot host the cluster at
+            // all, the candidate can — no relative gain to quote.
+            None => None,
+        };
+        let tenant = solve.active[i];
+        let from = self.placement[tenant];
+        self.placement[tenant] = to;
+        self.migrations.push(MigrationEvent {
+            epoch: self.records.len().saturating_sub(1),
+            tenant,
+            from,
+            to,
+            gain,
+        });
+        if let Some(m) = &self.metrics {
+            m.migrations.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_engine::EngineConfig;
+
+    fn local_nodes(count: usize, capacity: usize, tenants: usize) -> Vec<ClusterNode> {
+        (0..count)
+            .map(|_| {
+                ClusterNode::local(
+                    EngineConfig::new(CacheConfig::new(capacity, 1), 1_000),
+                    tenants,
+                )
+            })
+            .collect()
+    }
+
+    fn two_tenant_stream(len: usize) -> Vec<(usize, u64)> {
+        (0..len as u64)
+            .map(|i| (((i % 2) as usize), if i % 2 == 0 { i % 6 } else { i % 40 }))
+            .collect()
+    }
+
+    #[test]
+    fn topology_validation_is_friendly() {
+        let cfg = ClusterConfig::new(16, 1, 500);
+        let err = Coordinator::new(cfg, vec![], vec![]).unwrap_err();
+        assert!(err.contains("at least one node"), "{err}");
+
+        let err = Coordinator::new(cfg, local_nodes(2, 16, 2), vec![0]).unwrap_err();
+        assert!(err.contains("placement names 1 tenants"), "{err}");
+
+        let err = Coordinator::new(cfg, local_nodes(2, 16, 2), vec![0, 5]).unwrap_err();
+        assert!(err.contains("only 2 nodes"), "{err}");
+
+        let err = Coordinator::new(cfg, local_nodes(2, 4, 2), vec![0, 1]).unwrap_err();
+        assert!(err.contains("cannot host a 16-unit cluster"), "{err}");
+
+        let err = Coordinator::new(
+            cfg,
+            vec![
+                ClusterNode::local(EngineConfig::new(CacheConfig::new(16, 2), 500), 2),
+                ClusterNode::local(EngineConfig::new(CacheConfig::new(16, 1), 500), 2),
+            ],
+            vec![0, 1],
+        )
+        .unwrap_err();
+        assert!(err.contains("2-block units"), "{err}");
+    }
+
+    #[test]
+    fn epochs_record_a_valid_logical_partition() {
+        let cfg = ClusterConfig::new(16, 1, 400);
+        let mut coordinator =
+            Coordinator::new(cfg, local_nodes(2, 16, 2), vec![0, 1]).expect("topology");
+        coordinator.run(two_tenant_stream(2_000));
+        let report = coordinator.finish();
+        assert_eq!(report.epochs.len(), 5);
+        for epoch in &report.epochs {
+            assert_eq!(epoch.allocation.iter().sum::<usize>(), 16);
+            assert_eq!(epoch.accesses(), 400);
+        }
+        assert!(report.failures.is_empty());
+        assert_eq!(report.dropped_records, 0);
+        // The loop tenant's cliff gets covered once curves exist.
+        let last = report.epochs.last().unwrap();
+        assert!(last.allocation[0] >= 6, "{:?}", last.allocation);
+        let journal = report.journal();
+        let parsed = cps_obs::Journal::parse(&journal).expect("parses");
+        parsed.validate().expect("validates");
+    }
+
+    #[test]
+    fn metrics_count_the_run() {
+        let registry = MetricsRegistry::new();
+        let cfg = ClusterConfig::new(16, 1, 500);
+        let mut coordinator =
+            Coordinator::with_metrics(cfg, local_nodes(2, 16, 2), vec![0, 1], &registry)
+                .expect("topology");
+        coordinator.run(two_tenant_stream(1_500));
+        let _ = coordinator.finish();
+        let snapshot = registry.snapshot();
+        let count = |name: &str| match snapshot.get(name) {
+            Some(v) => format!("{v:?}"),
+            None => panic!("missing metric {name}"),
+        };
+        assert!(count("cps_cluster_epochs_total").contains('3'));
+        assert!(snapshot.get("cps_cluster_records_total").is_some());
+        assert!(snapshot.get("cps_cluster_nodes_alive").is_some());
+    }
+
+    #[test]
+    fn migration_rehomes_a_tenant_when_the_gap_pays() {
+        // Node 0 is tight (8 units), node 1 roomy (24). Both tenants
+        // start on node 0, where 24 logical units cannot even land —
+        // the first migration is a feasibility rescue (gain: None),
+        // after which the solve runs and the split settles.
+        let cfg = ClusterConfig::new(24, 1, 500).migrate(0.01);
+        let nodes = vec![
+            ClusterNode::local(EngineConfig::new(CacheConfig::new(8, 1), 500), 2),
+            ClusterNode::local(EngineConfig::new(CacheConfig::new(24, 1), 500), 2),
+        ];
+        let mut coordinator = Coordinator::new(cfg, nodes, vec![0, 0]).expect("topology");
+        let stream: Vec<(usize, u64)> = (0..4_000u64)
+            .map(|i| (((i % 2) as usize), if i % 2 == 0 { i % 20 } else { i % 5 }))
+            .collect();
+        coordinator.run(stream);
+        let report = coordinator.finish();
+        assert!(
+            !report.migrations.is_empty(),
+            "the capacity-bound tenant should move"
+        );
+        let m = &report.migrations[0];
+        assert_eq!(m.from, 0);
+        assert_eq!(m.to, 1);
+        assert!(m.gain.is_none(), "first move is a feasibility rescue");
+        // Once feasible, epochs solve and the logical partition holds.
+        let solved = report.epochs.iter().filter(|e| e.predicted_cost.is_some());
+        assert!(solved.count() >= 2, "post-rescue epochs must solve");
+        let journal = report.journal();
+        let parsed = cps_obs::Journal::parse(&journal).expect("parses");
+        parsed.validate().expect("migration lines validate");
+        assert_eq!(parsed.migrations.len(), report.migrations.len());
+    }
+}

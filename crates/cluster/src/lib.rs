@@ -1,0 +1,35 @@
+//! Multi-node hierarchical partition-sharing.
+//!
+//! One logical cache, many engine nodes: a [`Coordinator`] drives a
+//! fleet of [`ClusterNode`]s — in-process engine handles or live
+//! `cps serve` daemons reached over the wire protocol — through
+//! externally clocked epochs. Each boundary exports per-tenant cost
+//! curves from every node, solves the two-level dynamic program of
+//! [`hierarchy`] (per-node frontiers, then a top-level split of total
+//! capacity into node budgets), pushes the budgets back down, and
+//! records a flat-schema journal epoch for the whole cluster.
+//!
+//! The design invariant, proven by this crate's property tests: with
+//! one tenant per node and non-binding capacities, the cluster's
+//! trajectory — allocations, predicted costs, hysteresis verdicts,
+//! realized counts — is **bit-identical** to the flat single-engine
+//! run over the same stream. Grouping tenants onto shared nodes only
+//! restricts the flat search space, so the two-level cost is bounded
+//! below by the flat optimum and the gap is exactly the price of the
+//! placement; [`placement`]'s initial guesses and the coordinator's
+//! migration pass exist to drive that price down online.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coordinator;
+pub mod hierarchy;
+pub mod node;
+pub mod placement;
+pub mod report;
+
+pub use coordinator::{ClusterConfig, Coordinator};
+pub use hierarchy::{solve_two_level, TwoLevelResult};
+pub use node::{ClusterNode, NodeError, NodeFinish};
+pub use placement::{place_greedy, place_round_robin};
+pub use report::{ClusterReport, NodeFailure};

@@ -1,0 +1,297 @@
+//! One engine node as the coordinator sees it: a uniform facade over
+//! an in-process [`EngineHandle`] and a live `cps serve` daemon driven
+//! through the wire protocol's external-clocking verbs.
+//!
+//! Both shapes speak the same four-beat protocol per epoch: records
+//! stream in (`push`), the boundary opens with an export of per-tenant
+//! cost curves, the coordinator solves, and the boundary closes with
+//! an applied budget. A node is always built with an effectively
+//! infinite internal epoch length so only the coordinator's clock
+//! fires.
+//!
+//! Every failure is a typed [`NodeError`] — a dead daemon mid-epoch
+//! surfaces as `Remote`, never as a panic or a hang, which is what
+//! lets the coordinator mark the node failed and re-solve over the
+//! survivors.
+
+use cps_cachesim::AccessCounts;
+use cps_engine::{
+    Actuation, Block, EngineConfig, EngineHandle, EngineKind, EngineReport, HandleError,
+    TenantCurve, TenantId,
+};
+use cps_hotl::MissRatioCurve;
+use cps_serve::{Client, ServeError, WireCurve};
+
+/// Why a node operation failed.
+#[derive(Debug)]
+pub enum NodeError {
+    /// A local engine handle refused the operation.
+    Engine(HandleError),
+    /// The wire to a remote daemon failed or the daemon refused.
+    Remote(ServeError),
+    /// A remote daemon answered with something that is not a valid
+    /// node response (e.g. curve samples outside `[0, 1]`).
+    Protocol(String),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::Engine(e) => write!(f, "{e}"),
+            NodeError::Remote(e) => write!(f, "{e}"),
+            NodeError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+impl From<HandleError> for NodeError {
+    fn from(e: HandleError) -> Self {
+        NodeError::Engine(e)
+    }
+}
+
+impl From<ServeError> for NodeError {
+    fn from(e: ServeError) -> Self {
+        NodeError::Remote(e)
+    }
+}
+
+/// What a finished node hands back: the in-process report, or the
+/// journal text a remote daemon rendered on shutdown. Remote journals
+/// are node-local diagnostics — budgeted allocations need not
+/// partition the node's physical capacity, so they are not held to the
+/// flat journal's partition invariant (the cluster journal is the
+/// validated artifact).
+#[derive(Debug)]
+pub enum NodeFinish {
+    /// An in-process node's structured report.
+    Local(EngineReport),
+    /// A remote daemon's rendered journal.
+    Remote(String),
+}
+
+enum Inner {
+    Local(Box<EngineHandle>),
+    Remote(Client),
+}
+
+/// One node of the cluster: an engine plus its physical capacity.
+pub struct ClusterNode {
+    inner: Inner,
+    capacity: usize,
+    bpu: usize,
+    tenants: usize,
+    addr: Option<String>,
+}
+
+impl ClusterNode {
+    /// Builds an in-process node hosting the single-threaded engine
+    /// under external clocking: the configured `epoch_length` is
+    /// overridden to `usize::MAX` (the coordinator is the clock) and
+    /// hysteresis is disabled locally (the coordinator decides
+    /// globally; the node applies whatever comes down).
+    pub fn local(config: EngineConfig, tenants: usize) -> ClusterNode {
+        let config = EngineConfig {
+            epoch_length: usize::MAX,
+            min_repartition_units: 1,
+            ..config
+        };
+        let capacity = config.cache.units;
+        let bpu = config.cache.blocks_per_unit;
+        ClusterNode {
+            inner: Inner::Local(Box::new(EngineHandle::new(EngineKind::Single, config, tenants))),
+            capacity,
+            bpu,
+            tenants,
+            addr: None,
+        }
+    }
+
+    /// Connects to a `cps serve` daemon as the mux pseudo-tenant (the
+    /// coordinator pushes every tenant's records). The daemon must host
+    /// the single engine — it is the only variant that supports
+    /// external epoch clocking — and should be started with an epoch
+    /// length its stream can never reach.
+    pub fn connect(addr: &str) -> Result<ClusterNode, NodeError> {
+        let client = Client::connect(addr, None)?;
+        let config = client.config();
+        if config.engine_name() != "single" {
+            return Err(NodeError::Protocol(format!(
+                "node {addr} hosts a {} engine; external epoch clocking needs engine=single",
+                config.engine_name()
+            )));
+        }
+        Ok(ClusterNode {
+            capacity: config.units as usize,
+            bpu: config.bpu as usize,
+            tenants: config.tenants as usize,
+            addr: Some(addr.to_string()),
+            inner: Inner::Remote(client),
+        })
+    }
+
+    /// Physical capacity in units.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocks per unit of the node's cache geometry.
+    pub fn bpu(&self) -> usize {
+        self.bpu
+    }
+
+    /// Tenant-slot count (every node carries the full global slot set;
+    /// placement decides which slots actually see traffic).
+    pub fn tenants(&self) -> usize {
+        self.tenants
+    }
+
+    /// Remote address, `None` for in-process nodes.
+    pub fn addr(&self) -> Option<&str> {
+        self.addr.as_deref()
+    }
+
+    /// Streams a batch of records into the node.
+    pub fn push(&mut self, records: &[(TenantId, Block)]) -> Result<(), NodeError> {
+        match &mut self.inner {
+            Inner::Local(handle) => {
+                handle.push_batch(records)?;
+                Ok(())
+            }
+            Inner::Remote(client) => {
+                let wire: Vec<(u64, u64)> = records.iter().map(|&(t, b)| (t as u64, b)).collect();
+                client.push_batch(&wire)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Opens an epoch boundary: closes the node's profile window and
+    /// exports one [`TenantCurve`] per slot.
+    pub fn export(&mut self) -> Result<Vec<TenantCurve>, NodeError> {
+        match &mut self.inner {
+            Inner::Local(handle) => Ok(handle.export_cost_curves()?),
+            Inner::Remote(client) => {
+                let curves = client.cost_curves()?;
+                curves.into_iter().map(tenant_curve_of_wire).collect()
+            }
+        }
+    }
+
+    /// Closes the boundary opened by [`export`](Self::export): pushes
+    /// the budgeted allocation down and books the node's epoch.
+    pub fn apply(
+        &mut self,
+        units: &[usize],
+        predicted_cost: Option<f64>,
+    ) -> Result<Actuation, NodeError> {
+        match &mut self.inner {
+            Inner::Local(handle) => Ok(handle.apply_allocation(units, predicted_cost)?),
+            Inner::Remote(client) => {
+                let wire: Vec<u64> = units.iter().map(|&u| u as u64).collect();
+                let (repartitioned, units_moved) = client.apply(&wire, predicted_cost)?;
+                Ok(Actuation {
+                    repartitioned,
+                    units_moved: units_moved as usize,
+                })
+            }
+        }
+    }
+
+    /// Finishes the node: local engines return their report, remote
+    /// daemons shut down and return their rendered journal.
+    pub fn finish(self) -> Result<NodeFinish, NodeError> {
+        match self.inner {
+            Inner::Local(handle) => Ok(NodeFinish::Local(handle.finish()?)),
+            Inner::Remote(client) => Ok(NodeFinish::Remote(client.shutdown()?)),
+        }
+    }
+}
+
+/// Decodes a wire curve into the engine's export shape, refusing
+/// payloads that are not miss-ratio curves (the constructor would
+/// panic on them; a malicious or broken daemon must not panic the
+/// coordinator).
+fn tenant_curve_of_wire(wire: WireCurve) -> Result<TenantCurve, NodeError> {
+    let counts = AccessCounts {
+        accesses: wire.accesses,
+        misses: wire.misses,
+    };
+    if wire.samples_bits.is_empty() {
+        return Ok(TenantCurve {
+            counts,
+            curve: None,
+        });
+    }
+    let samples: Vec<f64> = wire
+        .samples_bits
+        .iter()
+        .map(|&b| f64::from_bits(b))
+        .collect();
+    if !samples.iter().all(|s| (0.0..=1.0).contains(s)) {
+        return Err(NodeError::Protocol(
+            "exported curve has samples outside [0, 1]".to_string(),
+        ));
+    }
+    Ok(TenantCurve {
+        counts,
+        curve: Some(MissRatioCurve::from_samples(samples)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_core::CacheConfig;
+
+    #[test]
+    fn local_nodes_run_the_external_clock_protocol() {
+        let mut node = ClusterNode::local(EngineConfig::new(CacheConfig::new(8, 1), 1_000), 2);
+        assert_eq!(node.capacity(), 8);
+        assert_eq!(node.tenants(), 2);
+        assert_eq!(node.addr(), None);
+        let records: Vec<(usize, u64)> = (0..100).map(|i| ((i % 2) as usize, i % 10)).collect();
+        node.push(&records).expect("push");
+        let curves = node.export().expect("export");
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].counts.accesses, 50);
+        let actuation = node.apply(&[6, 2], Some(0.5)).expect("apply");
+        assert!(actuation.repartitioned);
+        match node.finish().expect("finish") {
+            NodeFinish::Local(report) => {
+                assert_eq!(report.epochs.len(), 1);
+                assert_eq!(report.epochs[0].predicted_cost, Some(0.5));
+            }
+            NodeFinish::Remote(_) => panic!("local node"),
+        }
+    }
+
+    #[test]
+    fn bad_wire_curves_are_typed_errors_not_panics() {
+        let bad = WireCurve {
+            accesses: 10,
+            misses: 5,
+            samples_bits: vec![2.0f64.to_bits()],
+        };
+        let err = tenant_curve_of_wire(bad).expect_err("out of range");
+        assert!(matches!(err, NodeError::Protocol(_)), "{err:?}");
+        assert!(err.to_string().contains("outside [0, 1]"));
+
+        let nan = WireCurve {
+            accesses: 1,
+            misses: 0,
+            samples_bits: vec![f64::NAN.to_bits()],
+        };
+        assert!(tenant_curve_of_wire(nan).is_err(), "NaN is not a ratio");
+
+        let empty = WireCurve {
+            accesses: 0,
+            misses: 0,
+            samples_bits: vec![],
+        };
+        let curve = tenant_curve_of_wire(empty).expect("empty = never observed");
+        assert!(curve.curve.is_none());
+    }
+}

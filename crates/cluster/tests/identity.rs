@@ -1,0 +1,156 @@
+//! The cluster identity property: a coordinator driving one
+//! single-tenant node per tenant (each node as big as the logical
+//! cache) walks **exactly** the flat engine's trajectory — epoch by
+//! epoch, the same allocation, the same per-tenant realized counts,
+//! the same predicted cost to the f64 bit, the same hysteresis verdict
+//! and units moved — on adversarially shaped streams.
+//!
+//! This is the cluster analogue of the queued-vs-buffered report
+//! identity: it pins every layer of the decomposition at once (stream
+//! routing, externally clocked node epochs, export/merge, global
+//! shares, the two-level DP, the logical hysteresis decision, and the
+//! partial-epoch finish).
+
+use cps_cluster::{ClusterConfig, ClusterNode, Coordinator};
+use cps_core::CacheConfig;
+use cps_engine::{EngineConfig, RepartitionEngine};
+use cps_trace::{interleave_proportional, Trace, WorkloadSpec};
+use proptest::prelude::*;
+
+fn stream_strategy() -> impl Strategy<Value = Vec<(usize, u64)>> {
+    prop::collection::vec((0usize..3, 0u64..60), 50..1_200)
+}
+
+/// Builds the T-singleton-node coordinator twin of a flat config.
+fn singleton_cluster(units: usize, epoch: usize, hysteresis: usize, tenants: usize) -> Coordinator {
+    let nodes: Vec<ClusterNode> = (0..tenants)
+        .map(|_| {
+            ClusterNode::local(
+                EngineConfig::new(CacheConfig::new(units, 1), epoch),
+                tenants,
+            )
+        })
+        .collect();
+    let placement: Vec<usize> = (0..tenants).collect();
+    let config = ClusterConfig::new(units, 1, epoch).hysteresis(hysteresis);
+    Coordinator::new(config, nodes, placement).expect("valid topology")
+}
+
+fn assert_trajectory_identical(
+    flat: &cps_engine::EngineReport,
+    cluster: &cps_cluster::ClusterReport,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(flat.epochs.len(), cluster.epochs.len(), "epoch count");
+    for (fe, ce) in flat.epochs.iter().zip(&cluster.epochs) {
+        prop_assert_eq!(fe.epoch, ce.epoch);
+        prop_assert_eq!(&fe.allocation, &ce.allocation, "epoch {}", fe.epoch);
+        prop_assert_eq!(&fe.per_tenant, &ce.per_tenant, "epoch {}", fe.epoch);
+        prop_assert_eq!(
+            fe.predicted_cost.map(f64::to_bits),
+            ce.predicted_cost.map(f64::to_bits),
+            "predicted cost bits, epoch {}",
+            fe.epoch
+        );
+        prop_assert_eq!(fe.repartitioned, ce.repartitioned, "epoch {}", fe.epoch);
+        prop_assert_eq!(fe.units_moved, ce.units_moved, "epoch {}", fe.epoch);
+    }
+    prop_assert_eq!(&flat.totals, &cluster.totals, "totals");
+    prop_assert_eq!(
+        flat.cumulative_miss_ratio().to_bits(),
+        cluster.cumulative_miss_ratio().to_bits()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn singleton_node_cluster_walks_the_flat_trajectory(
+        accesses in stream_strategy(),
+        units in 6usize..40,
+        epoch in 40usize..400,
+        hysteresis in 1usize..6,
+    ) {
+        let flat_cfg =
+            EngineConfig::new(CacheConfig::new(units, 1), epoch).hysteresis(hysteresis);
+        let mut flat = RepartitionEngine::new(flat_cfg, 3);
+        flat.run(accesses.iter().copied());
+        let flat = flat.finish();
+
+        let mut cluster = singleton_cluster(units, epoch, hysteresis, 3);
+        cluster.run(accesses.iter().copied());
+        let cluster = cluster.finish();
+
+        assert_trajectory_identical(&flat, &cluster)?;
+        prop_assert!(cluster.failures.is_empty());
+        prop_assert_eq!(cluster.dropped_records, 0);
+        prop_assert!(cluster.migrations.is_empty(), "no migration pass configured");
+    }
+}
+
+/// The structured 4-tenant mix the serve e2e suite uses, at a longer
+/// horizon than the proptest cases: a deterministic smoke of the same
+/// identity, including the trailing partial epoch.
+#[test]
+fn standard_mix_identity_with_partial_final_epoch() {
+    let specs = [
+        WorkloadSpec::SequentialLoop { working_set: 24 },
+        WorkloadSpec::Zipfian {
+            region: 150,
+            alpha: 0.8,
+        },
+        WorkloadSpec::WorkingSetWalk {
+            region: 300,
+            window: 30,
+            dwell: 500,
+        },
+        WorkloadSpec::UniformRandom { region: 400 },
+    ];
+    let rates = [1.0, 2.0, 1.0, 1.5];
+    let len = 20_500; // not a multiple of the epoch: partial finish
+    let traces: Vec<Trace> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.generate(len, 7 + i as u64 + 1))
+        .collect();
+    let refs: Vec<&Trace> = traces.iter().collect();
+    let stream: Vec<(usize, u64)> = interleave_proportional(&refs, &rates, len)
+        .tenant_accesses()
+        .collect();
+
+    let flat_cfg = EngineConfig::new(CacheConfig::new(32, 4), 2_000).hysteresis(2);
+    let mut flat = RepartitionEngine::new(flat_cfg, 4);
+    flat.run(stream.iter().copied());
+    let flat = flat.finish();
+
+    let nodes: Vec<ClusterNode> = (0..4)
+        .map(|_| ClusterNode::local(EngineConfig::new(CacheConfig::new(32, 4), 2_000), 4))
+        .collect();
+    let config = ClusterConfig::new(32, 4, 2_000).hysteresis(2);
+    let mut cluster = Coordinator::new(config, nodes, vec![0, 1, 2, 3]).expect("topology");
+    cluster.run(stream.iter().copied());
+    let cluster = cluster.finish();
+
+    assert_eq!(flat.epochs.len(), cluster.epochs.len());
+    assert_eq!(flat.epochs.len(), 11, "10 full epochs + partial");
+    for (fe, ce) in flat.epochs.iter().zip(&cluster.epochs) {
+        assert_eq!(fe.allocation, ce.allocation, "epoch {}", fe.epoch);
+        assert_eq!(fe.per_tenant, ce.per_tenant, "epoch {}", fe.epoch);
+        assert_eq!(
+            fe.predicted_cost.map(f64::to_bits),
+            ce.predicted_cost.map(f64::to_bits),
+            "epoch {}",
+            fe.epoch
+        );
+        assert_eq!(fe.repartitioned, ce.repartitioned, "epoch {}", fe.epoch);
+        assert_eq!(fe.units_moved, ce.units_moved, "epoch {}", fe.epoch);
+    }
+    assert_eq!(flat.totals, cluster.totals);
+
+    // The cluster journal validates under the flat schema.
+    let journal = cps_obs::Journal::parse(&cluster.journal()).expect("parses");
+    journal.validate().expect("validates");
+    assert_eq!(journal.header.engine, "cluster");
+    assert_eq!(journal.header.shards, 4);
+}

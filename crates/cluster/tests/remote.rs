@@ -1,0 +1,145 @@
+//! The cluster over real sockets: a coordinator driving live
+//! `cps serve` daemons through the wire protocol's external-clocking
+//! verbs — and surviving one of them dying mid-run.
+//!
+//! The failure injection is the protocol's own shutdown semantics: an
+//! out-of-band client sending `Shutdown` to a daemon closes every
+//! other session's socket, so the coordinator's next exchange with
+//! that node fails with a typed error. The required behaviour: no
+//! panic, no hang, the node is marked failed, records routed to it are
+//! counted as dropped, and the surviving nodes keep solving epochs.
+
+use cps_cluster::{ClusterConfig, ClusterNode, Coordinator, NodeFinish};
+use cps_core::CacheConfig;
+use cps_engine::{EngineConfig, EngineKind};
+use cps_obs::{Journal, MetricsRegistry};
+use cps_serve::{Client, ServeConfig, ServeOutcome, Server};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Starts an in-process daemon shaped for external epoch clocking: the
+/// single engine with an epoch length its stream can never reach (the
+/// coordinator is the clock).
+fn start_node(units: usize, tenants: usize) -> (String, JoinHandle<Result<ServeOutcome, String>>) {
+    let config = ServeConfig {
+        engine: EngineConfig::new(CacheConfig::new(units, 1), usize::MAX),
+        kind: EngineKind::Single,
+        tenants,
+        max_conns: 8,
+        idle_timeout: Duration::from_secs(10),
+    };
+    let server = Server::bind("127.0.0.1:0", config, Arc::new(MetricsRegistry::new()))
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+/// Two tenants with distinct locality: a tight loop and a wide scan.
+fn two_tenant_stream(len: u64) -> Vec<(usize, u64)> {
+    (0..len)
+        .map(|i| ((i % 2) as usize, if i % 2 == 0 { i % 6 } else { i % 48 }))
+        .collect()
+}
+
+#[test]
+fn remote_cluster_runs_end_to_end() {
+    let (addr0, server0) = start_node(16, 2);
+    let (addr1, server1) = start_node(16, 2);
+
+    let nodes = vec![
+        ClusterNode::connect(&addr0).expect("connect node 0"),
+        ClusterNode::connect(&addr1).expect("connect node 1"),
+    ];
+    assert_eq!(nodes[0].capacity(), 16);
+    assert_eq!(nodes[0].tenants(), 2);
+    assert_eq!(nodes[0].addr(), Some(addr0.as_str()));
+
+    let config = ClusterConfig::new(16, 1, 500);
+    let mut cluster = Coordinator::new(config, nodes, vec![0, 1]).expect("topology");
+    cluster.run(two_tenant_stream(3_000));
+    let report = cluster.finish();
+
+    assert_eq!(report.epochs.len(), 6);
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    assert_eq!(report.dropped_records, 0);
+    for epoch in &report.epochs {
+        assert_eq!(epoch.allocation.iter().sum::<usize>(), 16);
+    }
+    assert!(
+        report.epochs.last().unwrap().predicted_cost.is_some(),
+        "solves must run once curves exist"
+    );
+    // Remote finishes carry each daemon's rendered journal.
+    for finish in &report.node_finishes {
+        match finish {
+            Some(NodeFinish::Remote(journal)) => {
+                assert!(journal.contains("\"engine\":"), "daemon journal text");
+            }
+            other => panic!("expected remote finish, got {other:?}"),
+        }
+    }
+    let journal = Journal::parse(&report.journal()).expect("parses");
+    journal.validate().expect("validates");
+    assert_eq!(journal.header.engine, "cluster");
+
+    server0.join().unwrap().expect("daemon 0 clean exit");
+    server1.join().unwrap().expect("daemon 1 clean exit");
+}
+
+#[test]
+fn node_death_mid_run_is_survivable() {
+    let (addr0, server0) = start_node(16, 2);
+    let (addr1, _server1) = start_node(16, 2);
+
+    let nodes = vec![
+        ClusterNode::connect(&addr0).expect("connect node 0"),
+        ClusterNode::connect(&addr1).expect("connect node 1"),
+    ];
+    let config = ClusterConfig::new(16, 1, 500);
+    let mut cluster = Coordinator::new(config, nodes, vec![0, 1]).expect("topology");
+
+    let stream = two_tenant_stream(4_000);
+    // Two clean epochs first, so both tenants have cached curves.
+    cluster.run(stream[..1_000].iter().copied());
+    assert_eq!(cluster.epochs_completed(), 2);
+    assert_eq!(cluster.nodes_alive(), 2);
+
+    // Kill node 1 out-of-band: the daemon's shutdown closes the
+    // coordinator's session socket mid-epoch.
+    let killer = Client::connect(&addr1, None).expect("second session");
+    let _ = killer.shutdown().expect("daemon shuts down");
+
+    // The rest of the stream must flow without panic or hang.
+    cluster.run(stream[1_000..].iter().copied());
+    assert_eq!(cluster.nodes_alive(), 1);
+    let report = cluster.finish();
+
+    // The failure is typed and attributed to node 1.
+    assert!(!report.failures.is_empty());
+    assert!(
+        report.failures.iter().all(|f| f.node == 1),
+        "{:?}",
+        report.failures
+    );
+    // Tenant 1's records after the kill were dropped, not lost silently.
+    assert!(report.dropped_records > 0);
+    // The coordinator re-solved over the survivor: post-failure epochs
+    // still carry predictions (tenant 0 alone on a 16-unit node).
+    assert_eq!(report.epochs.len(), 8);
+    assert!(
+        report.epochs.last().unwrap().predicted_cost.is_some(),
+        "survivor epochs must keep solving"
+    );
+    // Node 1 has no finish artifact; node 0 shut down cleanly.
+    assert!(report.node_finishes[1].is_none());
+    assert!(matches!(
+        report.node_finishes[0],
+        Some(NodeFinish::Remote(_))
+    ));
+    // The journal still parses and validates under the flat schema.
+    let journal = Journal::parse(&report.journal()).expect("parses");
+    journal.validate().expect("validates");
+
+    server0.join().unwrap().expect("daemon 0 clean exit");
+}

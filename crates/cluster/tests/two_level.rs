@@ -1,0 +1,121 @@
+//! Property coverage for the two-level hierarchical DP.
+//!
+//! The load-bearing guarantee: with one tenant per node and
+//! non-binding caps, `solve_two_level` is **bit-identical** to the flat
+//! `DpSolver::solve` — same allocation vector, same cost down to the
+//! f64 bit pattern — on arbitrary cost curves under both objectives.
+//! With arbitrary groupings the hierarchy only restricts the flat
+//! search space, so its cost is bounded below by the flat optimum and
+//! the budgets always respect node caps and partition the total.
+
+use cps_cluster::solve_two_level;
+use cps_core::{Combine, CostCurve, DpSolver};
+use proptest::prelude::*;
+
+/// Arbitrary finite cost curves (values in `[0, 1]`, varying lengths —
+/// shorter curves exercise `CostCurve::at` clamping on both paths).
+fn arb_curves() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0u32..1_000, 1..12), 1..5).prop_map(|curves| {
+        curves
+            .into_iter()
+            .map(|c| c.into_iter().map(|v| v as f64 / 1_000.0).collect())
+            .collect()
+    })
+}
+
+fn arb_combine() -> impl Strategy<Value = Combine> {
+    prop_oneof![Just(Combine::Sum), Just(Combine::Max)]
+}
+
+fn to_cost_curves(raw: &[Vec<f64>]) -> Vec<CostCurve> {
+    raw.iter().map(|c| CostCurve::from_raw(c.clone())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// One tenant per node, caps ≥ total: the two-level solve IS the
+    /// flat solve, allocation and cost bits alike.
+    #[test]
+    fn singleton_nodes_are_bit_identical_to_flat(
+        raw in arb_curves(),
+        total in 1usize..10,
+        combine in arb_combine(),
+    ) {
+        let costs = to_cost_curves(&raw);
+        let mut solver = DpSolver::new();
+        let flat = solver.solve(&costs, total, combine).expect("finite curves");
+        let groups: Vec<Vec<usize>> = (0..costs.len()).map(|i| vec![i]).collect();
+        let caps = vec![total; costs.len()];
+        let two = solve_two_level(&mut solver, &costs, &groups, &caps, total, combine)
+            .expect("caps do not bind");
+        prop_assert_eq!(&two.allocation, &flat.allocation);
+        prop_assert_eq!(two.cost.to_bits(), flat.cost.to_bits());
+        prop_assert_eq!(&two.budgets, &flat.allocation);
+    }
+
+    /// Arbitrary groupings: budgets respect caps and partition the
+    /// total, the per-tenant allocation partitions each budget, and the
+    /// hierarchical cost never beats the flat optimum.
+    #[test]
+    fn grouped_solve_is_capped_exact_and_bounded_below_by_flat(
+        raw in arb_curves(),
+        total in 1usize..10,
+        nodes in 1usize..4,
+        placement_bits in any::<u64>(),
+        combine in arb_combine(),
+    ) {
+        let costs = to_cost_curves(&raw);
+        let mut solver = DpSolver::new();
+        let flat = solver.solve(&costs, total, combine).expect("finite curves");
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+        for i in 0..costs.len() {
+            groups[((placement_bits >> (2 * i)) as usize) % nodes].push(i);
+        }
+        // Caps equal to the total never bind an occupied node, so the
+        // split stays feasible for every generated grouping.
+        let caps = vec![total; nodes];
+        let two = solve_two_level(&mut solver, &costs, &groups, &caps, total, combine)
+            .expect("occupied caps absorb the total");
+        prop_assert_eq!(two.budgets.iter().sum::<usize>(), total);
+        for (n, (&budget, group)) in two.budgets.iter().zip(&groups).enumerate() {
+            prop_assert!(budget <= caps[n]);
+            if group.is_empty() {
+                prop_assert_eq!(budget, 0, "empty node {} must idle", n);
+            }
+            let group_units: usize = group.iter().map(|&i| two.allocation[i]).sum();
+            prop_assert_eq!(group_units, budget, "node {} budget partitioned", n);
+        }
+        prop_assert_eq!(two.allocation.iter().sum::<usize>(), total);
+        // Float association differs between the two fold orders, so the
+        // lower bound carries an epsilon.
+        prop_assert!(
+            two.cost >= flat.cost - 1e-9,
+            "hierarchy {} beat flat {}",
+            two.cost,
+            flat.cost
+        );
+    }
+
+    /// Everyone on one uncapped node is just the flat solve with extra
+    /// steps — bit-identical again, whatever the other (empty) nodes.
+    #[test]
+    fn one_shared_node_matches_flat(
+        raw in arb_curves(),
+        total in 1usize..10,
+        extra_nodes in 0usize..3,
+        combine in arb_combine(),
+    ) {
+        let costs = to_cost_curves(&raw);
+        let mut solver = DpSolver::new();
+        let flat = solver.solve(&costs, total, combine).expect("finite curves");
+        let mut groups = vec![(0..costs.len()).collect::<Vec<_>>()];
+        groups.extend(std::iter::repeat_with(Vec::new).take(extra_nodes));
+        let caps = vec![total; 1 + extra_nodes];
+        let two = solve_two_level(&mut solver, &costs, &groups, &caps, total, combine)
+            .expect("the shared node absorbs everything");
+        prop_assert_eq!(&two.allocation, &flat.allocation);
+        prop_assert_eq!(two.cost.to_bits(), flat.cost.to_bits());
+        prop_assert_eq!(two.budgets[0], total);
+    }
+}

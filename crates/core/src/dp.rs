@@ -178,6 +178,138 @@ impl DpSolver {
     }
 }
 
+/// The min-cost frontier of one DP instance: for every capacity
+/// `k ∈ 0..=max_units`, the best accumulated cost of allocating
+/// *exactly* `k` units across the programs, with backtracking at any
+/// `k`.
+///
+/// This is the shape a hierarchical (cluster) solve needs from each
+/// node: one local DP pass produces the node's whole cost-vs-budget
+/// curve, the top-level DP across nodes picks each node's budget, and
+/// [`DpFrontier::allocation`] recovers the node-local split at that
+/// budget without re-solving. Entries are [`f64::INFINITY`] where no
+/// feasible allocation of exactly `k` units exists.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DpFrontier {
+    costs: Vec<f64>,
+    choice: Vec<Vec<u32>>,
+}
+
+impl DpFrontier {
+    /// Largest capacity the frontier covers.
+    pub fn max_units(&self) -> usize {
+        self.costs.len() - 1
+    }
+
+    /// Number of programs the frontier was built over.
+    pub fn programs(&self) -> usize {
+        self.choice.len()
+    }
+
+    /// Best accumulated cost at exactly `k` units (`+∞` = infeasible).
+    ///
+    /// # Panics
+    /// Panics if `k > max_units`.
+    pub fn cost(&self, k: usize) -> f64 {
+        self.costs[k]
+    }
+
+    /// The whole frontier, `costs()[k]` = best cost at exactly `k`.
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// Backtracks the per-program allocation behind the frontier value
+    /// at `k`. Returns `None` when `cost(k)` is infinite.
+    ///
+    /// # Panics
+    /// Panics if `k > max_units`.
+    pub fn allocation(&self, k: usize) -> Option<Vec<usize>> {
+        if self.costs[k].is_infinite() {
+            return None;
+        }
+        let p = self.choice.len();
+        let mut allocation = vec![0usize; p];
+        let mut k = k;
+        for i in (0..p).rev() {
+            let ci = self.choice[i][k] as usize;
+            allocation[i] = ci;
+            k -= ci;
+        }
+        debug_assert_eq!(k, 0, "backtrack must consume the whole budget");
+        Some(allocation)
+    }
+}
+
+impl DpSolver {
+    /// Runs the same DP as [`DpSolver::solve`] but keeps the **entire**
+    /// final row: the best cost at every exact capacity `0..=max_units`,
+    /// together with the choice tables for backtracking at any point.
+    /// Returns `None` only when `costs` is empty.
+    ///
+    /// The scratch tables are reused across calls exactly as in
+    /// `solve`; the returned frontier owns copies so several frontiers
+    /// (one per cluster node) can coexist while the solver moves on.
+    pub fn solve_frontier(
+        &mut self,
+        costs: &[CostCurve],
+        max_units: usize,
+        combine: Combine,
+    ) -> Option<DpFrontier> {
+        if costs.is_empty() {
+            return None;
+        }
+        let p = costs.len();
+        let c = max_units;
+        let dp = &mut self.dp;
+        let next = &mut self.next;
+        let choice = &mut self.choice;
+        dp.clear();
+        dp.extend((0..=c).map(|k| costs[0].at(k)));
+        next.clear();
+        next.resize(c + 1, f64::INFINITY);
+        if choice.len() < p {
+            choice.resize_with(p, Vec::new);
+        }
+        {
+            let row = &mut choice[0];
+            row.clear();
+            row.extend(0..=c as u32);
+        }
+        for (i, cost_i) in costs.iter().enumerate().skip(1) {
+            let row = &mut choice[i];
+            row.clear();
+            row.resize(c + 1, 0);
+            for (k, slot) in next.iter_mut().enumerate() {
+                let mut best = f64::INFINITY;
+                let mut best_c = 0u32;
+                for ci in 0..=k {
+                    let prev = dp[k - ci];
+                    if prev.is_infinite() {
+                        continue;
+                    }
+                    let own = cost_i.at(ci);
+                    if own.is_infinite() {
+                        continue;
+                    }
+                    let total = combine.apply(prev, own);
+                    if total < best {
+                        best = total;
+                        best_c = ci as u32;
+                    }
+                }
+                *slot = best;
+                row[k] = best_c;
+            }
+            std::mem::swap(dp, next);
+        }
+        Some(DpFrontier {
+            costs: dp.clone(),
+            choice: choice[..p].to_vec(),
+        })
+    }
+}
+
 /// Runs the DP with one-shot scratch tables. See [`DpSolver::solve`].
 ///
 /// # Examples
@@ -435,6 +567,98 @@ mod tests {
         let c = curve(vec![1.0, 0.5]);
         let r = solver.solve(&[c], 1, Combine::Sum).unwrap();
         assert_eq!(r.allocation, vec![1]);
+    }
+
+    #[test]
+    fn frontier_at_full_capacity_matches_solve() {
+        let mut solver = DpSolver::new();
+        let costs = vec![
+            curve(vec![1.0, 0.5, 0.2, 0.1, 0.05]),
+            curve(vec![1.0, 0.8, 0.3, 0.2, 0.15]),
+            curve(vec![0.9, 0.6, 0.55, 0.5, 0.5]),
+        ];
+        for combine in [Combine::Sum, Combine::Max] {
+            let frontier = solver.solve_frontier(&costs, 4, combine).unwrap();
+            for k in 0..=4 {
+                let direct = solver.solve(&costs, k, combine).unwrap();
+                // The DP accumulates left-to-right in both entry points,
+                // so the values are bit-identical, not merely close.
+                assert_eq!(frontier.cost(k), direct.cost, "k={k} {combine:?}");
+                assert_eq!(
+                    frontier.allocation(k).unwrap(),
+                    direct.allocation,
+                    "k={k} {combine:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_of_one_program_is_its_cost_curve() {
+        let c = curve(vec![1.0, 0.5, 0.2, 0.1]);
+        let frontier = DpSolver::new()
+            .solve_frontier(std::slice::from_ref(&c), 5, Combine::Sum)
+            .unwrap();
+        for k in 0..=5 {
+            assert_eq!(frontier.cost(k), c.at(k));
+            assert_eq!(frontier.allocation(k).unwrap(), vec![k]);
+        }
+    }
+
+    #[test]
+    fn frontier_marks_infeasible_capacities() {
+        // A needs ≥ 2 units, B needs ≥ 1: nothing below 3 is feasible.
+        let a = curve(vec![FORBIDDEN, FORBIDDEN, 0.5, 0.4, 0.3]);
+        let b = curve(vec![FORBIDDEN, 0.6, 0.5, 0.45, 0.44]);
+        let frontier = DpSolver::new()
+            .solve_frontier(&[a, b], 4, Combine::Sum)
+            .unwrap();
+        for k in 0..3 {
+            assert!(frontier.cost(k).is_infinite(), "k={k}");
+            assert_eq!(frontier.allocation(k), None);
+        }
+        for k in 3..=4 {
+            assert!(frontier.cost(k).is_finite(), "k={k}");
+            let alloc = frontier.allocation(k).unwrap();
+            assert!(alloc[0] >= 2 && alloc[1] >= 1);
+            assert_eq!(alloc.iter().sum::<usize>(), k);
+        }
+        assert_eq!(frontier.max_units(), 4);
+        assert_eq!(frontier.programs(), 2);
+    }
+
+    #[test]
+    fn frontier_matches_brute_force_everywhere() {
+        let mut x = 7u64;
+        let mut rnd = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 33) as f64) / (u32::MAX as f64)
+        };
+        let mut solver = DpSolver::new();
+        for _ in 0..10 {
+            let costs: Vec<CostCurve> = (0..3)
+                .map(|_| curve((0..=10).map(|_| rnd()).collect()))
+                .collect();
+            for combine in [Combine::Sum, Combine::Max] {
+                let frontier = solver.solve_frontier(&costs, 10, combine).unwrap();
+                for k in 0..=10 {
+                    let bf = brute_force_partition(&costs, k, combine).unwrap();
+                    assert!(
+                        (frontier.cost(k) - bf.cost).abs() < 1e-9,
+                        "k={k}: frontier {} vs brute force {}",
+                        frontier.cost(k),
+                        bf.cost
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_of_empty_input_is_none() {
+        assert_eq!(DpSolver::new().solve_frontier(&[], 4, Combine::Sum), None);
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod sweep;
 
 pub use config::CacheConfig;
 pub use cost::{access_shares, build_cost_curves, equal_baseline_caps, CostCurve};
-pub use dp::{optimal_partition, Combine, DpSolver, PartitionResult};
+pub use dp::{optimal_partition, Combine, DpFrontier, DpSolver, PartitionResult};
 pub use natural::{natural_baseline_caps, natural_partition_units};
 pub use schemes::{evaluate_group, GroupEvaluation, Scheme, SchemeResult};
 pub use sttw::sttw_partition;

@@ -19,30 +19,33 @@ use cps_cachesim::{AccessCounts, PartitionedCache};
 use cps_core::CacheConfig;
 use cps_trace::Block;
 
-/// Units that would change hands between two allocations: half the L1
-/// distance (every unit leaving one tenant arrives at another).
+/// Units that would change hands between two allocations: the larger
+/// of total growth and total shrinkage across tenants.
 ///
-/// Both allocations must partition the same capacity — with unequal
-/// totals the L1 distance is odd-capable and halving it silently
-/// rounds down, understating the move. That is a caller bug (a solver
-/// or rounding path emitted an allocation not summing to the cache),
-/// caught here in debug builds.
+/// When both allocations partition the same capacity (the in-engine
+/// case — `EpochCore` asserts every solver output does), growth equals
+/// shrinkage and this is exactly half the L1 distance: every unit
+/// leaving one tenant arrives at another. Unequal totals are
+/// legitimate under *budgeted* actuation — a cluster coordinator may
+/// push a node an allocation using less than its physical capacity,
+/// and the budget itself can change between epochs — and there the
+/// max counts units retired to or drawn from the node's idle slack as
+/// movement too.
 ///
 /// # Panics
-/// Panics if the allocations differ in length; in debug builds, also
-/// if their totals differ.
+/// Panics if the allocations differ in length.
 pub fn units_moved(old: &[usize], new: &[usize]) -> usize {
     assert_eq!(old.len(), new.len(), "allocations must align");
-    debug_assert_eq!(
-        old.iter().sum::<usize>(),
-        new.iter().sum::<usize>(),
-        "allocations must partition the same capacity (old {old:?}, new {new:?})"
-    );
-    old.iter()
-        .zip(new)
-        .map(|(&o, &n)| o.abs_diff(n))
-        .sum::<usize>()
-        / 2
+    let mut grown = 0usize;
+    let mut shrunk = 0usize;
+    for (&o, &n) in old.iter().zip(new) {
+        if n > o {
+            grown += n - o;
+        } else {
+            shrunk += o - n;
+        }
+    }
+    grown.max(shrunk)
 }
 
 /// What the actuator did with a proposed allocation.
@@ -157,6 +160,15 @@ mod tests {
         assert_eq!(units_moved(&[8, 8], &[8, 8]), 0);
         assert_eq!(units_moved(&[8, 8], &[10, 6]), 2);
         assert_eq!(units_moved(&[4, 8, 4], &[8, 4, 4]), 4);
+    }
+
+    #[test]
+    fn moved_handles_budget_changes_across_unequal_totals() {
+        // Budgeted (sub-capacity) actuation can change the total in
+        // play; movement is the larger of growth and shrinkage.
+        assert_eq!(units_moved(&[8, 8], &[8, 4]), 4); // pure shrink
+        assert_eq!(units_moved(&[4, 4], &[8, 6]), 6); // pure growth
+        assert_eq!(units_moved(&[8, 0], &[0, 10]), 10); // handoff + growth
     }
 
     #[test]

@@ -22,18 +22,37 @@
 //!   for the handle lock and (for queued engines) blocked on full
 //!   ingest queues, so a server can export the delay it imposed on
 //!   clients without guessing.
+//! * **Non-blocking control reads.** Read-only control operations
+//!   (`allocation_units`, `epochs_completed`, `ingest_stats`) never
+//!   queue behind the engine mutex: they `try_lock`, and when a
+//!   producer holds the engine they answer from the last snapshot
+//!   taken at the end of a push. A coordinator polling the control
+//!   plane therefore neither stalls on ingest nor inflates the
+//!   producers' measured lock-wait — polls are not backpressure.
 //!
 //! [`EngineHandle::finish`] consumes the engine (leaving the handle in
 //! a terminal state where every operation returns
 //! [`HandleError::Finished`]) and returns the [`EngineReport`] — the
 //! serving layer's shutdown path.
+//!
+//! For cluster coordination the handle also exposes the externally
+//! clocked epoch pair — [`EngineHandle::export_cost_curves`] /
+//! [`EngineHandle::apply_allocation`] — which forwards to
+//! [`RepartitionEngine::export_epoch_curves`] and
+//! [`RepartitionEngine::apply_external_allocation`]. Only the single
+//! engine supports it; sharded variants refuse with
+//! [`HandleError::Unsupported`].
 
 use crate::ingest::IngestStats;
 use crate::report::EngineReport;
-use crate::{EngineConfig, QueuedShardedEngine, RepartitionEngine, ShardedEngine, TenantId};
+use crate::{
+    Actuation, EngineConfig, QueuedShardedEngine, RepartitionEngine, ShardedEngine, TenantCurve,
+    TenantId,
+};
 use cps_obs::MetricsRegistry;
 use cps_trace::Block;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, TryLockError};
 use std::time::Instant;
 
 /// Which engine variant an [`EngineHandle`] drives.
@@ -90,6 +109,25 @@ pub enum HandleError {
         /// Number of tenants the engine serves.
         tenants: usize,
     },
+    /// The engine variant behind this handle cannot perform the
+    /// requested control operation (e.g. externally clocked epochs on
+    /// a sharded engine).
+    Unsupported {
+        /// The refused operation.
+        op: &'static str,
+    },
+    /// A pushed allocation had the wrong shape: not one budget per
+    /// tenant, or a total exceeding the cache's capacity.
+    BadAllocation {
+        /// Number of tenants the engine serves.
+        tenants: usize,
+        /// The engine's cache capacity in units.
+        units: usize,
+    },
+    /// [`EngineHandle::apply_allocation`] arrived with no epoch
+    /// boundary open — it must follow an
+    /// [`EngineHandle::export_cost_curves`].
+    NoOpenEpoch,
 }
 
 impl std::fmt::Display for HandleError {
@@ -98,6 +136,19 @@ impl std::fmt::Display for HandleError {
             HandleError::Finished => write!(f, "engine already finished"),
             HandleError::TenantOutOfRange { tenant, tenants } => {
                 write!(f, "tenant {tenant} out of range (engine has {tenants})")
+            }
+            HandleError::Unsupported { op } => {
+                write!(f, "engine kind does not support {op}")
+            }
+            HandleError::BadAllocation { tenants, units } => {
+                write!(
+                    f,
+                    "allocation must give one budget to each of {tenants} tenants \
+                     and fit {units} units"
+                )
+            }
+            HandleError::NoOpenEpoch => {
+                write!(f, "no epoch boundary open (apply must follow an export)")
             }
         }
     }
@@ -179,6 +230,25 @@ impl AnyEngine {
     }
 }
 
+/// Last-known control-plane state, refreshed whenever the engine mutex
+/// is uncontended and at the end of every push.
+#[derive(Clone)]
+struct ControlCache {
+    allocation: Vec<usize>,
+    epochs: usize,
+    ingest: Option<IngestStats>,
+}
+
+impl ControlCache {
+    fn of(engine: &AnyEngine) -> Self {
+        ControlCache {
+            allocation: engine.allocation_units(),
+            epochs: engine.epochs_completed(),
+            ingest: engine.ingest_stats(),
+        }
+    }
+}
+
 /// A shared, push-style front door to one engine.
 ///
 /// # Examples
@@ -201,7 +271,10 @@ impl AnyEngine {
 pub struct EngineHandle {
     kind: EngineKind,
     tenants: usize,
+    units: usize,
     inner: Mutex<Option<AnyEngine>>,
+    finished: AtomicBool,
+    control: Mutex<ControlCache>,
 }
 
 impl EngineHandle {
@@ -277,7 +350,10 @@ impl EngineHandle {
         EngineHandle {
             kind,
             tenants,
+            units: config.cache.units,
+            control: Mutex::new(ControlCache::of(&engine)),
             inner: Mutex::new(Some(engine)),
+            finished: AtomicBool::new(false),
         }
     }
 
@@ -312,6 +388,7 @@ impl EngineHandle {
             engine.record_access(tenant, block);
         }
         let queue_wait_nanos = engine.ingest_wait_nanos() - queue_wait_before;
+        self.refresh_control(engine);
         Ok(PushReceipt {
             records: records.len(),
             lock_wait_nanos,
@@ -319,20 +396,79 @@ impl EngineHandle {
         })
     }
 
-    /// Current allocation in units.
+    /// Current allocation in units. Never blocks behind the engine
+    /// mutex — may answer from the end-of-last-push snapshot while a
+    /// producer is mid-batch.
     pub fn allocation_units(&self) -> Result<Vec<usize>, HandleError> {
-        self.with_engine(|e| e.allocation_units())
+        self.control_snapshot().map(|c| c.allocation)
     }
 
-    /// Epochs completed so far.
+    /// Epochs completed so far. Never blocks behind the engine mutex —
+    /// may answer from the end-of-last-push snapshot while a producer
+    /// is mid-batch.
     pub fn epochs_completed(&self) -> Result<usize, HandleError> {
-        self.with_engine(|e| e.epochs_completed())
+        self.control_snapshot().map(|c| c.epochs)
     }
 
     /// Producer-side ingest backpressure counters (`None` for engines
-    /// without queues).
+    /// without queues). Never blocks behind the engine mutex — may
+    /// answer from the end-of-last-push snapshot while a producer is
+    /// mid-batch.
     pub fn ingest_stats(&self) -> Result<Option<IngestStats>, HandleError> {
-        self.with_engine(|e| e.ingest_stats())
+        self.control_snapshot().map(|c| c.ingest)
+    }
+
+    /// Closes the current epoch under external clocking and exports
+    /// each tenant's realized counts and blended miss-ratio curve —
+    /// the coordinator's pull half of a cluster epoch. Serializes with
+    /// producers (this *is* a boundary, not a poll).
+    ///
+    /// Only [`EngineKind::Single`] supports external clocking; other
+    /// kinds refuse with [`HandleError::Unsupported`].
+    pub fn export_cost_curves(&self) -> Result<Vec<TenantCurve>, HandleError> {
+        let mut guard = self.inner.lock().expect("engine handle lock");
+        let engine = guard.as_mut().ok_or(HandleError::Finished)?;
+        let curves = match engine {
+            AnyEngine::Single(e) => e.export_epoch_curves(),
+            _ => {
+                return Err(HandleError::Unsupported {
+                    op: "external epoch clocking",
+                })
+            }
+        };
+        self.refresh_control(engine);
+        Ok(curves)
+    }
+
+    /// Actuates a coordinator-chosen allocation through the engine's
+    /// hysteresis stage and books the epoch opened by the matching
+    /// [`export_cost_curves`](Self::export_cost_curves). The target may
+    /// sum to less than capacity (a budget) but never more.
+    pub fn apply_allocation(
+        &self,
+        target: &[usize],
+        predicted_cost: Option<f64>,
+    ) -> Result<Actuation, HandleError> {
+        if target.len() != self.tenants || target.iter().sum::<usize>() > self.units {
+            return Err(HandleError::BadAllocation {
+                tenants: self.tenants,
+                units: self.units,
+            });
+        }
+        let mut guard = self.inner.lock().expect("engine handle lock");
+        let engine = guard.as_mut().ok_or(HandleError::Finished)?;
+        let actuation = match engine {
+            AnyEngine::Single(e) => e
+                .apply_external_allocation(Some(target), predicted_cost)
+                .ok_or(HandleError::NoOpenEpoch)?,
+            _ => {
+                return Err(HandleError::Unsupported {
+                    op: "external epoch clocking",
+                })
+            }
+        };
+        self.refresh_control(engine);
+        Ok(actuation)
     }
 
     /// Finishes the engine and returns its report; the handle becomes
@@ -343,14 +479,37 @@ impl EngineHandle {
     pub fn finish(&self) -> Result<EngineReport, HandleError> {
         let engine = {
             let mut guard = self.inner.lock().expect("engine handle lock");
-            guard.take().ok_or(HandleError::Finished)?
+            let engine = guard.take().ok_or(HandleError::Finished)?;
+            self.finished.store(true, Ordering::Release);
+            engine
         };
         Ok(engine.finish())
     }
 
-    fn with_engine<T>(&self, f: impl FnOnce(&AnyEngine) -> T) -> Result<T, HandleError> {
-        let guard = self.inner.lock().expect("engine handle lock");
-        guard.as_ref().map(f).ok_or(HandleError::Finished)
+    /// Best-known control state: fresh when the engine mutex is free,
+    /// the last push-boundary snapshot when a producer holds it.
+    fn control_snapshot(&self) -> Result<ControlCache, HandleError> {
+        if self.finished.load(Ordering::Acquire) {
+            return Err(HandleError::Finished);
+        }
+        match self.inner.try_lock() {
+            Ok(guard) => {
+                let engine = guard.as_ref().ok_or(HandleError::Finished)?;
+                let snapshot = ControlCache::of(engine);
+                *self.control.lock().expect("control cache lock") = snapshot.clone();
+                Ok(snapshot)
+            }
+            Err(TryLockError::WouldBlock) => {
+                Ok(self.control.lock().expect("control cache lock").clone())
+            }
+            Err(TryLockError::Poisoned(e)) => panic!("engine handle lock: {e}"),
+        }
+    }
+
+    /// Re-snapshots control state; called while `engine`'s guard is
+    /// still held, so the cache never goes backwards.
+    fn refresh_control(&self, engine: &AnyEngine) {
+        *self.control.lock().expect("control cache lock") = ControlCache::of(engine);
     }
 }
 
@@ -481,6 +640,69 @@ mod tests {
         let stats = handle.ingest_stats().unwrap().expect("queued kind");
         assert_eq!(stats.capacity, 1);
         assert!(stats.pushed >= 640);
+    }
+
+    /// Regression: control-plane polls must not queue behind the
+    /// engine mutex. The old implementation took a blocking lock for
+    /// every read, so a coordinator poll during a long batch stalled
+    /// (and was billed to producers as lock wait). Here the engine
+    /// mutex is held by the test itself — a blocking implementation
+    /// would deadlock; the snapshot path must still answer.
+    #[test]
+    fn control_reads_do_not_block_behind_the_engine_mutex() {
+        let cfg = EngineConfig::new(CacheConfig::new(16, 1), 100);
+        let handle = EngineHandle::new(EngineKind::Single, cfg, 2);
+        let batch: Vec<(usize, u64)> = (0..250).map(|i| ((i % 2) as usize, i % 20)).collect();
+        handle.push_batch(&batch).unwrap();
+
+        let _engine_guard = handle.inner.lock().expect("test holds the engine");
+        assert_eq!(handle.epochs_completed().unwrap(), 2, "snapshot answers");
+        assert_eq!(handle.allocation_units().unwrap().len(), 2);
+        assert_eq!(handle.ingest_stats().unwrap(), None, "single kind");
+    }
+
+    #[test]
+    fn external_epochs_flow_through_the_handle() {
+        let cfg = EngineConfig::new(CacheConfig::new(16, 1), usize::MAX).hysteresis(1);
+        let handle = EngineHandle::new(EngineKind::Single, cfg, 2);
+
+        // Apply before any export: typed refusal, nothing booked.
+        assert_eq!(
+            handle.apply_allocation(&[8, 8], None),
+            Err(HandleError::NoOpenEpoch)
+        );
+
+        let batch: Vec<(usize, u64)> = (0..500).map(|i| ((i % 2) as usize, i % 20)).collect();
+        handle.push_batch(&batch).unwrap();
+        let curves = handle.export_cost_curves().unwrap();
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].counts.accesses, 250);
+
+        // Malformed targets are refused by shape, before touching the
+        // engine: wrong arity, then oversubscription.
+        let bad = HandleError::BadAllocation {
+            tenants: 2,
+            units: 16,
+        };
+        assert_eq!(handle.apply_allocation(&[16], None), Err(bad));
+        assert_eq!(handle.apply_allocation(&[9, 8], None), Err(bad));
+        assert!(bad.to_string().contains("16 units"));
+
+        // A budget below capacity is legal.
+        let act = handle.apply_allocation(&[10, 4], Some(2.0)).unwrap();
+        assert!(act.repartitioned);
+        assert_eq!(handle.allocation_units().unwrap(), vec![10, 4]);
+        assert_eq!(handle.epochs_completed().unwrap(), 1);
+
+        // Sharded engines cannot be externally clocked.
+        let sharded = EngineHandle::new(
+            EngineKind::Sharded { shards: 2 },
+            EngineConfig::new(CacheConfig::new(16, 1), 100),
+            2,
+        );
+        let err = sharded.export_cost_curves().expect_err("sharded refuses");
+        assert!(matches!(err, HandleError::Unsupported { .. }));
+        assert!(err.to_string().contains("does not support"));
     }
 
     /// Concurrent producers must serialize cleanly: every record lands

@@ -63,17 +63,34 @@ pub use solve::{DpPartitionSolver, PartitionSolver, SolveInput, SolveOutcome};
 // engine without depending on cps-hotl directly.
 pub use cps_hotl::windowed::ProfilerMode;
 pub use cps_obs::{MetricsRegistry, Stage, StageTimings};
+// `Block` appears in every `record_access`/`run` signature; re-export
+// it so callers (cps-cluster) can name it without a cps-trace edge.
+pub use cps_trace::Block;
 
 use crate::obs::EngineMetrics;
 use cps_cachesim::AccessCounts;
 use cps_core::{CacheConfig, Combine};
 use cps_hotl::MissRatioCurve;
 use cps_obs::Stopwatch;
-use cps_trace::Block;
 use std::sync::Arc;
 
 /// Tenant index into the engine's partitions and profilers.
 pub type TenantId = usize;
+
+/// One tenant's exported state at an externally clocked epoch boundary
+/// (see [`RepartitionEngine::export_epoch_curves`]): the realized
+/// counts of the epoch just closed and the profiler's blended
+/// miss-ratio curve after folding that window. A cluster coordinator
+/// pulls these from every node, weights the curves by **global**
+/// access shares, and solves the two-level partition itself.
+#[derive(Clone, Debug)]
+pub struct TenantCurve {
+    /// Hit/miss counts realized by this tenant in the closed epoch.
+    pub counts: AccessCounts,
+    /// Blended miss-ratio curve (`None` if the tenant has never been
+    /// observed by this engine).
+    pub curve: Option<MissRatioCurve>,
+}
 
 /// Which allocation policy the epoch re-solve applies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -336,6 +353,44 @@ impl EpochCore {
         self.epoch += 1;
     }
 
+    /// Books an externally clocked epoch: the boundary's profile work
+    /// already happened at export time, the solve happened at the
+    /// coordinator, and `actuation` says what the local cache did with
+    /// the pushed-down allocation.
+    pub(crate) fn record_external_epoch(
+        &mut self,
+        served_allocation: Vec<usize>,
+        per_tenant: Vec<AccessCounts>,
+        timings: StageTimings,
+        predicted_cost: Option<f64>,
+        actuation: Actuation,
+    ) {
+        for (t, c) in self.totals.iter_mut().zip(&per_tenant) {
+            t.merge(c);
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.observe_epoch(
+                &served_allocation,
+                &per_tenant,
+                &timings,
+                actuation.repartitioned,
+                actuation.units_moved,
+                None,
+            );
+        }
+        self.records.push(EpochRecord {
+            epoch: self.epoch,
+            allocation: served_allocation,
+            per_tenant,
+            predicted_cost,
+            timings,
+            ingest: None,
+            repartitioned: actuation.repartitioned,
+            units_moved: actuation.units_moved,
+        });
+        self.epoch += 1;
+    }
+
     fn into_report(self) -> EngineReport {
         EngineReport {
             tenants: self.totals.len(),
@@ -374,6 +429,17 @@ pub struct RepartitionEngine {
     core: EpochCore,
     actuator: Box<dyn CacheActuator>,
     epoch_accesses: usize,
+    pending_external: Option<PendingBoundary>,
+}
+
+/// State parked between [`RepartitionEngine::export_epoch_curves`] and
+/// the matching [`RepartitionEngine::apply_external_allocation`]: the
+/// epoch just closed is not booked until the coordinator answers (or
+/// the boundary is abandoned by a new export or `finish`).
+struct PendingBoundary {
+    served_allocation: Vec<usize>,
+    per_tenant: Vec<AccessCounts>,
+    timings: StageTimings,
 }
 
 impl RepartitionEngine {
@@ -389,6 +455,7 @@ impl RepartitionEngine {
             core: EpochCore::new(config, tenants),
             actuator: Box::new(HysteresisActuator::new(&config, tenants)),
             epoch_accesses: 0,
+            pending_external: None,
         }
     }
 
@@ -429,6 +496,7 @@ impl RepartitionEngine {
             core: EpochCore::with_stages(config, profilers, solver),
             actuator,
             epoch_accesses: 0,
+            pending_external: None,
         }
     }
 
@@ -486,6 +554,7 @@ impl RepartitionEngine {
     /// record carries the solve's prediction and latency) but never
     /// actuated — there is no next epoch for a new allocation to serve.
     pub fn finish(mut self) -> EngineReport {
+        self.flush_pending();
         if self.epoch_accesses > 0 {
             let served_allocation = self.actuator.allocation_units().to_vec();
             let per_tenant = self.actuator.take_counts();
@@ -500,7 +569,103 @@ impl RepartitionEngine {
         self.core.into_report()
     }
 
+    /// Closes the current epoch under **external clocking** and exports
+    /// per-tenant state for an out-of-engine solve: realized counts and
+    /// the profiler's blended miss-ratio curve. The closed epoch is
+    /// parked, not yet booked — the caller completes the boundary with
+    /// [`apply_external_allocation`](Self::apply_external_allocation),
+    /// which records the epoch with the coordinator's verdict. An
+    /// export while a boundary is already open first books the open one
+    /// as unactuated.
+    ///
+    /// A cluster coordinator builds such engines with an effectively
+    /// infinite `epoch_length` so the internal clock never fires, and
+    /// drives every boundary through this pair.
+    pub fn export_epoch_curves(&mut self) -> Vec<TenantCurve> {
+        self.flush_pending();
+        let served_allocation = self.actuator.allocation_units().to_vec();
+        let per_tenant = self.actuator.take_counts();
+        self.epoch_accesses = 0;
+        let mut timings = StageTimings::default();
+        let profile_clock = Stopwatch::start();
+        let curves: Vec<Option<MissRatioCurve>> = self
+            .core
+            .profilers
+            .iter_mut()
+            .map(|p| p.end_window())
+            .collect();
+        profile_clock.record(&mut timings, Stage::Profile);
+        let exported = per_tenant
+            .iter()
+            .zip(curves)
+            .map(|(counts, curve)| TenantCurve {
+                counts: *counts,
+                curve,
+            })
+            .collect();
+        self.pending_external = Some(PendingBoundary {
+            served_allocation,
+            per_tenant,
+            timings,
+        });
+        exported
+    }
+
+    /// Completes an externally clocked boundary opened by
+    /// [`export_epoch_curves`](Self::export_epoch_curves): actuates
+    /// `target` (if any) through the engine's own hysteresis stage and
+    /// books the parked epoch with the coordinator's `predicted_cost`.
+    /// Unlike the internal solve path, `target` may sum to *less* than
+    /// physical capacity — a coordinator can run a node on a budget.
+    ///
+    /// Returns `None` (and does nothing) when no boundary is open.
+    ///
+    /// # Panics
+    /// Panics if `target` has the wrong number of tenants or oversubscribes
+    /// the cache.
+    pub fn apply_external_allocation(
+        &mut self,
+        target: Option<&[usize]>,
+        predicted_cost: Option<f64>,
+    ) -> Option<Actuation> {
+        let pending = self.pending_external.take()?;
+        let mut timings = pending.timings;
+        let actuation = match target {
+            Some(units) => {
+                assert_eq!(units.len(), self.tenants(), "one budget per tenant");
+                assert!(
+                    units.iter().sum::<usize>() <= self.core.config.cache.units,
+                    "allocation exceeds cache capacity"
+                );
+                let actuate_clock = Stopwatch::start();
+                let actuation = self.actuator.apply(units);
+                actuate_clock.record(&mut timings, Stage::Actuate);
+                actuation
+            }
+            None => Actuation {
+                repartitioned: false,
+                units_moved: 0,
+            },
+        };
+        self.core.record_external_epoch(
+            pending.served_allocation,
+            pending.per_tenant,
+            timings,
+            predicted_cost,
+            actuation,
+        );
+        Some(actuation)
+    }
+
+    /// Books a dangling external boundary as an unactuated epoch.
+    fn flush_pending(&mut self) {
+        if self.pending_external.is_some() {
+            self.apply_external_allocation(None, None);
+        }
+    }
+
     fn end_epoch(&mut self) {
+        self.flush_pending();
         let served_allocation = self.actuator.allocation_units().to_vec();
         let per_tenant = self.actuator.take_counts();
         self.epoch_accesses = 0;
@@ -691,5 +856,55 @@ mod tests {
         assert_eq!(engine.allocation_units(), &[32, 0]);
         let report = engine.finish();
         assert!(report.epochs.iter().any(|e| e.repartitioned));
+    }
+
+    #[test]
+    fn external_boundaries_record_epochs() {
+        // Coordinator clocking: the internal epoch clock never fires
+        // (epoch_length is effectively infinite); every boundary goes
+        // through export → apply.
+        let cfg = EngineConfig::new(CacheConfig::new(16, 1), usize::MAX).hysteresis(1);
+        let mut engine = RepartitionEngine::new(cfg, 2);
+
+        // No boundary open yet: apply is a no-op.
+        assert!(engine
+            .apply_external_allocation(Some(&[8, 8]), None)
+            .is_none());
+
+        for i in 0..500u64 {
+            engine.record_access((i % 2) as usize, i % 20);
+        }
+        let exported = engine.export_epoch_curves();
+        assert_eq!(exported.len(), 2);
+        assert_eq!(exported[0].counts.accesses, 250);
+        assert!(exported[0].curve.is_some(), "window was profiled");
+
+        // Sub-capacity budget: 10 + 4 < 16 is legal under a coordinator.
+        let act = engine
+            .apply_external_allocation(Some(&[10, 4]), Some(1.5))
+            .expect("boundary was open");
+        assert!(act.repartitioned);
+        assert_eq!(engine.allocation_units(), &[10, 4]);
+        assert_eq!(engine.epochs_completed(), 1);
+
+        // A second export with no intervening apply books the first
+        // boundary unactuated; finish flushes the dangling one.
+        for i in 0..100u64 {
+            engine.record_access((i % 2) as usize, i % 20);
+        }
+        engine.export_epoch_curves();
+        engine.export_epoch_curves();
+        let report = engine.finish();
+        assert_eq!(report.epochs.len(), 3);
+        assert_eq!(report.epochs[0].allocation, vec![8, 8], "served pre-apply");
+        assert_eq!(report.epochs[0].predicted_cost, Some(1.5));
+        assert!(report.epochs[0].repartitioned);
+        assert_eq!(report.epochs[1].allocation, vec![10, 4]);
+        assert!(!report.epochs[1].repartitioned, "abandoned boundary");
+        assert_eq!(
+            report.totals.iter().map(|t| t.accesses).sum::<u64>(),
+            600,
+            "every access lands in exactly one epoch"
+        );
     }
 }

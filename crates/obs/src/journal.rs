@@ -13,21 +13,28 @@
 //!    add up ([`Journal::validate`]); a journal that fails validation
 //!    was truncated, reordered, or written by a drifted producer.
 //!
+//! Cluster runs additionally interleave **migration events**
+//! (`"kind":"migration"`) between epoch lines: a tenant moving from
+//! one node to another at an epoch boundary. Single-engine journals
+//! simply never carry them; readers of either accept both.
+//!
 //! # Schema (version 1)
 //!
 //! Every line carries `"v":1` ([`JOURNAL_VERSION`]). Fields are only
 //! ever *added* within a version; removing or re-typing one bumps it.
 //!
 //! ```text
-//! run     {"v","kind":"run","engine","tenants","units","bpu",
-//!          "epoch_length","shards","policy","objective"}
-//! epoch   {"v","kind":"epoch","epoch","alloc":[u..],"accesses":[u..],
-//!          "misses":[u..],"predicted_cost":f|null,"repartitioned":b,
-//!          "units_moved":u,"timings":{"ingest","profile","merge",
-//!          "solve","actuate"},"backpressure":{"pushed","blocked",
-//!          "wait_nanos"}|null}
-//! summary {"v","kind":"summary","epochs","accesses","misses",
-//!          "repartitions","units_moved","timings":{..}}
+//! run       {"v","kind":"run","engine","tenants","units","bpu",
+//!            "epoch_length","shards","policy","objective"}
+//! epoch     {"v","kind":"epoch","epoch","alloc":[u..],"accesses":[u..],
+//!            "misses":[u..],"predicted_cost":f|null,"repartitioned":b,
+//!            "units_moved":u,"timings":{"ingest","profile","merge",
+//!            "solve","actuate"},"backpressure":{"pushed","blocked",
+//!            "wait_nanos"}|null}
+//! migration {"v","kind":"migration","epoch","tenant","from","to",
+//!            "gain":f|null}
+//! summary   {"v","kind":"summary","epochs","accesses","misses",
+//!            "repartitions","units_moved","timings":{..}}
 //! ```
 //!
 //! Counts are exact integers; the only float is `predicted_cost`
@@ -110,6 +117,40 @@ impl EpochEvent {
     }
 }
 
+/// One tenant migration at a cluster epoch boundary: the coordinator
+/// moved `tenant`'s home from node `from` to node `to` because the
+/// two-level objective improved beyond the hysteresis threshold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MigrationEvent {
+    /// Epoch boundary at which the move took effect (the tenant's
+    /// accesses route to the new node from this epoch on).
+    pub epoch: usize,
+    /// The migrated tenant.
+    pub tenant: usize,
+    /// Node the tenant left.
+    pub from: usize,
+    /// Node the tenant joined.
+    pub to: usize,
+    /// Predicted relative objective gain that justified the move
+    /// (`None` when not recorded).
+    pub gain: Option<f64>,
+}
+
+impl MigrationEvent {
+    /// Serializes the event as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let gain = match self.gain {
+            Some(g) if g.is_finite() => format!("{g}"),
+            _ => "null".to_string(),
+        };
+        format!(
+            "{{\"v\":{JOURNAL_VERSION},\"kind\":\"migration\",\"epoch\":{},\"tenant\":{},\
+             \"from\":{},\"to\":{},\"gain\":{gain}}}",
+            self.epoch, self.tenant, self.from, self.to,
+        )
+    }
+}
+
 /// The summary line: run totals as the producer computed them.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunSummary {
@@ -134,6 +175,8 @@ pub enum JournalLine {
     Header(RunHeader),
     /// An epoch event.
     Epoch(EpochEvent),
+    /// A tenant migration (cluster runs only).
+    Migration(MigrationEvent),
     /// The trailing summary.
     Summary(RunSummary),
 }
@@ -329,6 +372,21 @@ pub fn parse_journal_line(line: &str) -> Result<JournalLine, String> {
                 backpressure,
             }))
         }
+        "migration" => {
+            let gain_value = field(&v, "gain")?;
+            let gain = if gain_value.is_null() {
+                None
+            } else {
+                Some(gain_value.as_f64().ok_or("field `gain` is not a number")?)
+            };
+            Ok(JournalLine::Migration(MigrationEvent {
+                epoch: usize_field(&v, "epoch")?,
+                tenant: usize_field(&v, "tenant")?,
+                from: usize_field(&v, "from")?,
+                to: usize_field(&v, "to")?,
+                gain,
+            }))
+        }
         "summary" => Ok(JournalLine::Summary(RunSummary {
             epochs: usize_field(&v, "epochs")?,
             accesses: u64_field(&v, "accesses")?,
@@ -348,6 +406,9 @@ pub struct Journal {
     pub header: RunHeader,
     /// Epoch events, in epoch order.
     pub epochs: Vec<EpochEvent>,
+    /// Tenant migrations, in the order written (empty for
+    /// single-engine runs).
+    pub migrations: Vec<MigrationEvent>,
     /// The trailing totals line.
     pub summary: RunSummary,
 }
@@ -359,6 +420,7 @@ impl Journal {
     pub fn parse(text: &str) -> Result<Journal, String> {
         let mut header: Option<RunHeader> = None;
         let mut epochs: Vec<EpochEvent> = Vec::new();
+        let mut migrations: Vec<MigrationEvent> = Vec::new();
         let mut summary: Option<RunSummary> = None;
         for (i, line) in text.lines().enumerate() {
             let lineno = i + 1;
@@ -393,12 +455,21 @@ impl Journal {
                     }
                     epochs.push(e);
                 }
+                JournalLine::Migration(m) => {
+                    if header.is_none() {
+                        return Err(format!(
+                            "journal line {lineno}: migration before run header"
+                        ));
+                    }
+                    migrations.push(m);
+                }
                 JournalLine::Summary(s) => summary = Some(s),
             }
         }
         let journal = Journal {
             header: header.ok_or("journal has no run header")?,
             epochs,
+            migrations,
             summary: summary.ok_or("journal has no summary line (truncated?)")?,
         };
         journal.validate()?;
@@ -442,6 +513,30 @@ impl Journal {
                 derived.units_moved += e.units_moved as u64;
             }
             derived.timings.merge(&e.timings);
+        }
+        for m in &self.migrations {
+            if m.tenant >= t {
+                return Err(format!(
+                    "migration at epoch {}: tenant {} out of range for {t} tenants",
+                    m.epoch, m.tenant
+                ));
+            }
+            // Nodes are journaled as shards (the cluster header sets
+            // `shards` to its node count).
+            for (what, node) in [("from", m.from), ("to", m.to)] {
+                if node >= self.header.shards {
+                    return Err(format!(
+                        "migration at epoch {}: `{what}` node {node} out of range for {} nodes",
+                        m.epoch, self.header.shards
+                    ));
+                }
+            }
+            if m.from == m.to {
+                return Err(format!(
+                    "migration at epoch {}: tenant {} moves from node {} to itself",
+                    m.epoch, m.tenant, m.from
+                ));
+            }
         }
         let s = &self.summary;
         let checks: [(&str, u64, u64); 5] = [
@@ -563,6 +658,13 @@ mod tests {
         Journal {
             header,
             epochs,
+            migrations: vec![MigrationEvent {
+                epoch: 1,
+                tenant: 1,
+                from: 0,
+                to: 1,
+                gain: Some(0.0625),
+            }],
             summary,
         }
     }
@@ -574,6 +676,10 @@ mod tests {
         for e in &journal.epochs {
             text.push_str(&e.to_json_line());
             text.push('\n');
+            for m in journal.migrations.iter().filter(|m| m.epoch == e.epoch) {
+                text.push_str(&m.to_json_line());
+                text.push('\n');
+            }
         }
         text.push_str(&journal.summary.to_json_line());
         text.push('\n');
@@ -601,9 +707,67 @@ mod tests {
             Ok(JournalLine::Epoch(_))
         ));
         assert!(matches!(
+            parse_journal_line(&journal.migrations[0].to_json_line()),
+            Ok(JournalLine::Migration(_))
+        ));
+        assert!(matches!(
             parse_journal_line(&journal.summary.to_json_line()),
             Ok(JournalLine::Summary(_))
         ));
+    }
+
+    #[test]
+    fn migration_lines_round_trip_and_are_validated() {
+        // A gain-less migration survives the trip.
+        let mut journal = sample_journal();
+        journal.migrations[0].gain = None;
+        let parsed = Journal::parse(&render(&journal)).expect("round trip");
+        assert_eq!(parsed, journal);
+
+        // Out-of-range tenant, out-of-range node, and self-moves are
+        // validation errors, not silent acceptance.
+        for (patch, needle) in [
+            (
+                MigrationEvent {
+                    epoch: 0,
+                    tenant: 9,
+                    from: 0,
+                    to: 1,
+                    gain: None,
+                },
+                "tenant 9 out of range",
+            ),
+            (
+                MigrationEvent {
+                    epoch: 0,
+                    tenant: 0,
+                    from: 0,
+                    to: 7,
+                    gain: None,
+                },
+                "`to` node 7 out of range",
+            ),
+            (
+                MigrationEvent {
+                    epoch: 0,
+                    tenant: 0,
+                    from: 1,
+                    to: 1,
+                    gain: None,
+                },
+                "to itself",
+            ),
+        ] {
+            let mut bad = sample_journal();
+            bad.migrations = vec![patch];
+            let err = Journal::parse(&render(&bad)).expect_err("must refuse");
+            assert!(err.contains(needle), "{err}");
+        }
+
+        // A migration before the header breaks the line protocol.
+        let lone = sample_journal().migrations[0].to_json_line();
+        let err = Journal::parse(&format!("{lone}\n")).expect_err("no header");
+        assert!(err.contains("migration before run header"), "{err}");
     }
 
     #[test]

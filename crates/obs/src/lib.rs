@@ -37,8 +37,8 @@ pub mod metrics;
 pub mod span;
 
 pub use journal::{
-    parse_journal_line, BackpressureDelta, EpochEvent, Journal, JournalLine, RunHeader, RunSummary,
-    JOURNAL_VERSION,
+    parse_journal_line, BackpressureDelta, EpochEvent, Journal, JournalLine, MigrationEvent,
+    RunHeader, RunSummary, JOURNAL_VERSION,
 };
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, ShardedCounter};
 pub use span::{Stage, StageTimings, Stopwatch};

@@ -9,7 +9,9 @@
 //! the server interleaves surfaces on the next reply read as a typed
 //! [`ServeError::Server`].
 
-use crate::wire::{read_message, write_message, Message, ServeStats, WireConfig, WireError};
+use crate::wire::{
+    read_message, write_message, Message, ServeStats, WireConfig, WireCurve, WireError,
+};
 use std::net::TcpStream;
 
 /// Why a client call failed.
@@ -126,6 +128,39 @@ impl Client {
         match self.request(&Message::Snapshot)? {
             Message::SnapshotReply { text } => Ok(text),
             _ => Err(ServeError::UnexpectedReply("expected SNAPSHOT_REPLY")),
+        }
+    }
+
+    /// Closes the node's current epoch under external clocking and
+    /// fetches every tenant's realized counts and miss-ratio samples —
+    /// the coordinator's pull half of a cluster epoch. Must be paired
+    /// with [`apply`](Self::apply) to book the boundary.
+    pub fn cost_curves(&mut self) -> Result<Vec<WireCurve>, ServeError> {
+        match self.request(&Message::CostCurves)? {
+            Message::CostCurvesReply { curves } => Ok(curves),
+            _ => Err(ServeError::UnexpectedReply("expected COST_CURVES_REPLY")),
+        }
+    }
+
+    /// Pushes a coordinator-chosen allocation down to the node,
+    /// completing the boundary opened by
+    /// [`cost_curves`](Self::cost_curves). Returns `(repartitioned,
+    /// units_moved)` — what the node's actuator did with it.
+    pub fn apply(
+        &mut self,
+        units: &[u64],
+        predicted_cost: Option<f64>,
+    ) -> Result<(bool, u64), ServeError> {
+        let msg = Message::Apply {
+            units: units.to_vec(),
+            predicted_bits: predicted_cost.map(f64::to_bits),
+        };
+        match self.request(&msg)? {
+            Message::ApplyReply {
+                repartitioned,
+                units_moved,
+            } => Ok((repartitioned, units_moved)),
+            _ => Err(ServeError::UnexpectedReply("expected APPLY_REPLY")),
         }
     }
 

@@ -40,4 +40,4 @@ pub mod wire;
 pub use client::{Client, ServeError};
 pub use report::{identity_of_journal, identity_of_report, render_journal};
 pub use server::{ServeConfig, ServeOutcome, Server};
-pub use wire::{Message, ServeStats, WireConfig, WireError, PROTOCOL_VERSION};
+pub use wire::{Message, ServeStats, WireConfig, WireCurve, WireError, PROTOCOL_VERSION};

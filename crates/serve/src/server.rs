@@ -28,7 +28,7 @@
 
 use crate::report::render_journal;
 use crate::wire::{
-    error_code, read_message, write_message, Message, ServeStats, WireConfig, WireError,
+    error_code, read_message, write_message, Message, ServeStats, WireConfig, WireCurve, WireError,
 };
 use cps_core::Combine;
 use cps_engine::{EngineHandle, EngineKind, EngineReport, HandleError, Policy};
@@ -438,24 +438,8 @@ fn serve_session(stream: &mut TcpStream, shared: &Shared, session_id: u64, bindi
                         metrics.records.add(receipt.records as u64);
                         metrics.backpressure_nanos.add(receipt.backpressure_nanos());
                     }
-                    Err(HandleError::Finished) => {
-                        send_best_effort(
-                            stream,
-                            &Message::Error {
-                                code: error_code::SHUTTING_DOWN,
-                                message: "engine already finished".to_string(),
-                            },
-                        );
-                        return;
-                    }
-                    Err(e @ HandleError::TenantOutOfRange { .. }) => {
-                        send_best_effort(
-                            stream,
-                            &Message::Error {
-                                code: error_code::BAD_TENANT,
-                                message: e.to_string(),
-                            },
-                        );
+                    Err(e) => {
+                        send_control_refusal(stream, &e);
                         return;
                     }
                 }
@@ -506,6 +490,47 @@ fn serve_session(stream: &mut TcpStream, shared: &Shared, session_id: u64, bindi
                 let text = shared.registry.snapshot().render_jsonl();
                 send_best_effort(stream, &Message::SnapshotReply { text });
             }
+            Message::CostCurves => match shared.handle.export_cost_curves() {
+                Ok(exported) => {
+                    let curves = exported
+                        .iter()
+                        .map(|c| WireCurve {
+                            accesses: c.counts.accesses,
+                            misses: c.counts.misses,
+                            samples_bits: c.curve.as_ref().map_or_else(Vec::new, |m| {
+                                m.samples().iter().map(|s| s.to_bits()).collect()
+                            }),
+                        })
+                        .collect();
+                    send_best_effort(stream, &Message::CostCurvesReply { curves });
+                }
+                Err(e) => {
+                    send_control_refusal(stream, &e);
+                    return;
+                }
+            },
+            Message::Apply {
+                units,
+                predicted_bits,
+            } => {
+                let target: Vec<usize> = units.iter().map(|&u| u as usize).collect();
+                match shared
+                    .handle
+                    .apply_allocation(&target, predicted_bits.map(f64::from_bits))
+                {
+                    Ok(actuation) => send_best_effort(
+                        stream,
+                        &Message::ApplyReply {
+                            repartitioned: actuation.repartitioned,
+                            units_moved: actuation.units_moved as u64,
+                        },
+                    ),
+                    Err(e) => {
+                        send_control_refusal(stream, &e);
+                        return;
+                    }
+                }
+            }
             Message::Shutdown => {
                 match do_shutdown(shared, session_id) {
                     Ok(journal) => {
@@ -532,6 +557,8 @@ fn serve_session(stream: &mut TcpStream, shared: &Shared, session_id: u64, bindi
             | Message::EpochReply { .. }
             | Message::SnapshotReply { .. }
             | Message::ShutdownReply { .. }
+            | Message::CostCurvesReply { .. }
+            | Message::ApplyReply { .. }
             | Message::Error { .. } => {
                 send_best_effort(
                     stream,
@@ -544,6 +571,25 @@ fn serve_session(stream: &mut TcpStream, shared: &Shared, session_id: u64, bindi
             }
         }
     }
+}
+
+/// Maps a refused control-plane operation (COST_CURVES / APPLY) to its
+/// typed wire error. The session ends after any of these — the
+/// coordinator's epoch state machine is broken and cannot resync.
+fn send_control_refusal(stream: &mut TcpStream, e: &HandleError) {
+    let code = match e {
+        HandleError::Finished => error_code::SHUTTING_DOWN,
+        HandleError::Unsupported { .. } => error_code::UNSUPPORTED,
+        HandleError::TenantOutOfRange { .. } => error_code::BAD_TENANT,
+        HandleError::BadAllocation { .. } | HandleError::NoOpenEpoch => error_code::PROTOCOL,
+    };
+    send_best_effort(
+        stream,
+        &Message::Error {
+            code,
+            message: e.to_string(),
+        },
+    );
 }
 
 fn collect_stats(shared: &Shared) -> ServeStats {

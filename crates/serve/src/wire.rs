@@ -60,6 +60,9 @@ pub mod error_code {
     pub const SHUTTING_DOWN: u64 = 4;
     /// The session sat idle past `--idle-timeout` and was torn down.
     pub const IDLE_TIMEOUT: u64 = 5;
+    /// The engine variant behind the server cannot perform the request
+    /// (e.g. externally clocked epochs on a sharded engine).
+    pub const UNSUPPORTED: u64 = 6;
 }
 
 /// What went wrong while encoding or decoding a frame.
@@ -197,6 +200,22 @@ impl WireConfig {
     }
 }
 
+/// One tenant's exported state in a [`Message::CostCurvesReply`]:
+/// realized epoch counts plus the profiler's blended miss-ratio curve
+/// as bit-exact `f64::to_bits` samples (`samples_bits[i]` is the miss
+/// ratio at a cache of `i` blocks). An empty sample vector means the
+/// tenant has never been observed — the engine has no curve yet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireCurve {
+    /// Accesses the tenant made in the epoch just closed.
+    pub accesses: u64,
+    /// Misses among them.
+    pub misses: u64,
+    /// Miss-ratio samples, indexed by cache size in blocks, each an
+    /// `f64::to_bits` image (bit-exact transport, like `decay_bits`).
+    pub samples_bits: Vec<u64>,
+}
+
 /// Server-side counters returned by STATS.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeStats {
@@ -254,6 +273,23 @@ pub enum Message {
     /// `0x14`, client → server. Finishes the engine and tears the
     /// server down; the reply carries the run's journal.
     Shutdown,
+    /// `0x15`, client → server. Closes the current epoch under
+    /// external clocking and requests every tenant's realized counts
+    /// and miss-ratio curve — a cluster coordinator's pull half of an
+    /// epoch. Must be followed by [`Message::Apply`] to book the
+    /// boundary.
+    CostCurves,
+    /// `0x16`, client → server. Pushes a coordinator-chosen allocation
+    /// down to the node, completing the boundary opened by
+    /// [`Message::CostCurves`]. The total may be *below* the node's
+    /// capacity (a budget), never above it.
+    Apply {
+        /// Per-tenant budgets in units.
+        units: Vec<u64>,
+        /// Coordinator's predicted cost for the epoch, as
+        /// `f64::to_bits` (`None` when the top-level solve was skipped).
+        predicted_bits: Option<u64>,
+    },
     /// `0x20`, server → client. Reply to [`Message::Stats`].
     StatsReply {
         /// The counters at the time of the request.
@@ -282,6 +318,20 @@ pub enum Message {
         /// The journal text, exactly as `--journal` would write it.
         journal: String,
     },
+    /// `0x25`, server → client. Reply to [`Message::CostCurves`]: one
+    /// entry per tenant, in tenant order.
+    CostCurvesReply {
+        /// Exported per-tenant state.
+        curves: Vec<WireCurve>,
+    },
+    /// `0x26`, server → client. Reply to [`Message::Apply`]: what the
+    /// node's actuator did with the pushed allocation.
+    ApplyReply {
+        /// Whether the allocation was applied to the cache.
+        repartitioned: bool,
+        /// Units the proposal would have moved.
+        units_moved: u64,
+    },
     /// `0x3f`, server → client. A typed refusal; the server closes the
     /// session after sending it (except for benign idle teardown).
     Error {
@@ -303,11 +353,15 @@ impl Message {
             Message::Epoch => 0x12,
             Message::Snapshot => 0x13,
             Message::Shutdown => 0x14,
+            Message::CostCurves => 0x15,
+            Message::Apply { .. } => 0x16,
             Message::StatsReply { .. } => 0x20,
             Message::AllocationReply { .. } => 0x21,
             Message::EpochReply { .. } => 0x22,
             Message::SnapshotReply { .. } => 0x23,
             Message::ShutdownReply { .. } => 0x24,
+            Message::CostCurvesReply { .. } => 0x25,
+            Message::ApplyReply { .. } => 0x26,
             Message::Error { .. } => 0x3f,
         }
     }
@@ -430,7 +484,24 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
         | Message::Allocation
         | Message::Epoch
         | Message::Snapshot
-        | Message::Shutdown => {}
+        | Message::Shutdown
+        | Message::CostCurves => {}
+        Message::Apply {
+            units,
+            predicted_bits,
+        } => {
+            push_varint(&mut p, units.len() as u64);
+            for &u in units {
+                push_varint(&mut p, u);
+            }
+            match predicted_bits {
+                Some(bits) => {
+                    p.push(1);
+                    push_varint(&mut p, *bits);
+                }
+                None => p.push(0),
+            }
+        }
         Message::StatsReply { stats } => {
             push_varint(&mut p, stats.connections);
             push_varint(&mut p, stats.active_sessions);
@@ -448,6 +519,24 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             }
         }
         Message::EpochReply { epochs } => push_varint(&mut p, *epochs),
+        Message::CostCurvesReply { curves } => {
+            push_varint(&mut p, curves.len() as u64);
+            for curve in curves {
+                push_varint(&mut p, curve.accesses);
+                push_varint(&mut p, curve.misses);
+                push_varint(&mut p, curve.samples_bits.len() as u64);
+                for &bits in &curve.samples_bits {
+                    push_varint(&mut p, bits);
+                }
+            }
+        }
+        Message::ApplyReply {
+            repartitioned,
+            units_moved,
+        } => {
+            p.push(u8::from(*repartitioned));
+            push_varint(&mut p, *units_moved);
+        }
         Message::SnapshotReply { text } => push_string(&mut p, text),
         Message::ShutdownReply { journal } => push_string(&mut p, journal),
         Message::Error { code, message } => {
@@ -522,6 +611,26 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
         0x12 => Message::Epoch,
         0x13 => Message::Snapshot,
         0x14 => Message::Shutdown,
+        0x15 => Message::CostCurves,
+        0x16 => {
+            let count = c.varint()? as usize;
+            if count > payload.len() {
+                return Err(WireError::BadPayload("unit count exceeds payload"));
+            }
+            let mut units = Vec::with_capacity(count);
+            for _ in 0..count {
+                units.push(c.varint()?);
+            }
+            let predicted_bits = match c.u8()? {
+                0 => None,
+                1 => Some(c.varint()?),
+                _ => return Err(WireError::BadPayload("bad predicted-cost flag")),
+            };
+            Message::Apply {
+                units,
+                predicted_bits,
+            }
+        }
         0x20 => Message::StatsReply {
             stats: ServeStats {
                 connections: c.varint()?,
@@ -548,6 +657,45 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
         0x22 => Message::EpochReply {
             epochs: c.varint()?,
         },
+        0x25 => {
+            let count = c.varint()? as usize;
+            // At least three varint bytes per curve (accesses, misses,
+            // sample count): refuse impossible counts before reserving.
+            if count > payload.len() / 3 {
+                return Err(WireError::BadPayload("curve count exceeds payload"));
+            }
+            let mut curves = Vec::with_capacity(count);
+            for _ in 0..count {
+                let accesses = c.varint()?;
+                let misses = c.varint()?;
+                let samples = c.varint()? as usize;
+                // One varint byte minimum per sample.
+                if samples > payload.len() {
+                    return Err(WireError::BadPayload("sample count exceeds payload"));
+                }
+                let mut samples_bits = Vec::with_capacity(samples);
+                for _ in 0..samples {
+                    samples_bits.push(c.varint()?);
+                }
+                curves.push(WireCurve {
+                    accesses,
+                    misses,
+                    samples_bits,
+                });
+            }
+            Message::CostCurvesReply { curves }
+        }
+        0x26 => {
+            let repartitioned = match c.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::BadPayload("bad repartitioned flag")),
+            };
+            Message::ApplyReply {
+                repartitioned,
+                units_moved: c.varint()?,
+            }
+        }
         0x23 => Message::SnapshotReply { text: c.string()? },
         0x24 => Message::ShutdownReply {
             journal: c.string()?,
@@ -703,6 +851,15 @@ mod tests {
             Message::Epoch,
             Message::Snapshot,
             Message::Shutdown,
+            Message::CostCurves,
+            Message::Apply {
+                units: vec![64, 0, 32],
+                predicted_bits: None,
+            },
+            Message::Apply {
+                units: vec![10, 4],
+                predicted_bits: Some(1.5f64.to_bits()),
+            },
             Message::StatsReply {
                 stats: ServeStats {
                     connections: 7,
@@ -724,6 +881,29 @@ mod tests {
             },
             Message::ShutdownReply {
                 journal: "{\"v\":1,\"kind\":\"run\"}\n".into(),
+            },
+            Message::CostCurvesReply { curves: vec![] },
+            Message::CostCurvesReply {
+                curves: vec![
+                    WireCurve {
+                        accesses: 250,
+                        misses: 31,
+                        samples_bits: vec![1.0f64.to_bits(), 0.5f64.to_bits(), 0.0f64.to_bits()],
+                    },
+                    WireCurve {
+                        accesses: 0,
+                        misses: 0,
+                        samples_bits: vec![],
+                    },
+                ],
+            },
+            Message::ApplyReply {
+                repartitioned: true,
+                units_moved: 7,
+            },
+            Message::ApplyReply {
+                repartitioned: false,
+                units_moved: 0,
             },
             Message::Error {
                 code: error_code::BAD_TENANT,

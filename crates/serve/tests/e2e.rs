@@ -185,3 +185,79 @@ fn idle_sessions_are_torn_down_and_leave_the_server_healthy() {
     assert!(journal.contains("\"kind\":\"run\""));
     server.join().unwrap().expect("server outcome");
 }
+
+#[test]
+fn external_clocking_round_trips_curves_and_budgets_bit_exactly() {
+    // A coordinator-shaped server: the internal epoch clock never
+    // fires; every boundary is driven over the wire.
+    let mut cfg = config(EngineKind::Single, 4);
+    cfg.engine = EngineConfig::new(CacheConfig::new(32, 4), usize::MAX).hysteresis(1);
+    let engine_cfg = cfg.engine;
+    let (addr, server) = start(cfg);
+
+    let stream = four_tenant_stream(8_000, 7);
+    let mut client = Client::connect(&addr, None).expect("connect");
+    for batch in stream.chunks(1_024) {
+        client.push_batch(batch).expect("push");
+    }
+
+    let wire_curves = client.cost_curves().expect("cost curves");
+    assert_eq!(wire_curves.len(), 4);
+
+    // The wire transports exactly what an identical in-process engine
+    // exports — counts equal, miss-ratio samples bit-for-bit.
+    let mut local = RepartitionEngine::new(engine_cfg, 4);
+    local.run(stream.iter().map(|&(t, b)| (t as usize, b)));
+    let local_curves = local.export_epoch_curves();
+    for (wire, local) in wire_curves.iter().zip(&local_curves) {
+        assert_eq!(wire.accesses, local.counts.accesses);
+        assert_eq!(wire.misses, local.counts.misses);
+        let local_bits: Vec<u64> = local
+            .curve
+            .as_ref()
+            .expect("tenant was observed")
+            .samples()
+            .iter()
+            .map(|s| s.to_bits())
+            .collect();
+        assert_eq!(wire.samples_bits, local_bits, "bit-exact transport");
+    }
+
+    // Push a sub-capacity budget down; the node actuates it.
+    let (repartitioned, moved) = client.apply(&[20, 4, 2, 2], Some(0.25)).expect("apply");
+    assert!(repartitioned);
+    assert!(moved > 0);
+    assert_eq!(client.allocation().expect("allocation"), vec![20, 4, 2, 2]);
+    assert_eq!(client.epochs().expect("epochs"), 1);
+
+    // A second apply with no open boundary is a typed protocol error
+    // (and ends the session, per the control-plane contract).
+    match client.apply(&[8, 8, 8, 8], None) {
+        Err(ServeError::Server { code, message }) => {
+            assert_eq!(code, error_code::PROTOCOL);
+            assert!(message.contains("no epoch boundary open"), "{message}");
+        }
+        other => panic!("expected typed refusal, got {other:?}"),
+    }
+
+    let fresh = Client::connect(&addr, None).expect("reconnect");
+    let journal = fresh.shutdown().expect("shutdown");
+    assert!(journal.contains("\"kind\":\"run\""));
+    server.join().unwrap().expect("server outcome");
+}
+
+#[test]
+fn sharded_engines_refuse_external_clocking_with_a_typed_code() {
+    let (addr, server) = start(config(EngineKind::Sharded { shards: 2 }, 2));
+    let mut client = Client::connect(&addr, None).expect("connect");
+    match client.cost_curves() {
+        Err(ServeError::Server { code, message }) => {
+            assert_eq!(code, error_code::UNSUPPORTED);
+            assert!(message.contains("does not support"), "{message}");
+        }
+        other => panic!("expected typed refusal, got {other:?}"),
+    }
+    let fresh = Client::connect(&addr, None).expect("reconnect");
+    fresh.shutdown().expect("shutdown");
+    server.join().unwrap().expect("server outcome");
+}

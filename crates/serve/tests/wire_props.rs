@@ -3,7 +3,9 @@
 //! frames, single-bit flips, raw noise — always decode to a typed
 //! [`WireError`], never a panic.
 
-use cps_serve::wire::{decode, encode, Message, ServeStats, WireConfig, WireError, MAGIC};
+use cps_serve::wire::{
+    decode, encode, Message, ServeStats, WireConfig, WireCurve, WireError, MAGIC,
+};
 use proptest::prelude::*;
 
 /// Unicode text including multi-byte code points (surrogate range maps
@@ -62,6 +64,22 @@ fn arb_stats() -> impl Strategy<Value = ServeStats> {
         )
 }
 
+/// One exported tenant curve: arbitrary counts plus miss-ratio samples
+/// covering the full `f64` bit space (including NaN images — the wire
+/// transports bits, not values, so every image must survive).
+fn arb_curve() -> impl Strategy<Value = WireCurve> {
+    (
+        0u64..1 << 40,
+        0u64..1 << 40,
+        prop::collection::vec(any::<u64>(), 0..40),
+    )
+        .prop_map(|(accesses, misses, samples_bits)| WireCurve {
+            accesses,
+            misses,
+            samples_bits,
+        })
+}
+
 /// Every message kind, with arbitrary contents. Bindings and tenants
 /// stay below `u64::MAX` (the HELLO encoding reserves 0 for mux, so
 /// `u64::MAX` itself is unrepresentable by design).
@@ -78,6 +96,24 @@ fn arb_message() -> BoxedStrategy<Message> {
         Just(Message::Epoch),
         Just(Message::Snapshot),
         Just(Message::Shutdown),
+        Just(Message::CostCurves),
+        (
+            prop::collection::vec(0u64..1 << 20, 0..16),
+            any::<bool>(),
+            any::<u64>(),
+        )
+            .prop_map(|(units, some, bits)| Message::Apply {
+                units,
+                predicted_bits: some.then_some(bits),
+            }),
+        prop::collection::vec(arb_curve(), 0..9)
+            .prop_map(|curves| Message::CostCurvesReply { curves }),
+        (any::<bool>(), 0u64..1 << 32).prop_map(|(repartitioned, units_moved)| {
+            Message::ApplyReply {
+                repartitioned,
+                units_moved,
+            }
+        }),
         arb_stats().prop_map(|stats| Message::StatsReply { stats }),
         prop::collection::vec(0u64..1 << 20, 0..64)
             .prop_map(|units| Message::AllocationReply { units }),

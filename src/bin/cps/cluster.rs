@@ -1,0 +1,269 @@
+//! `cps cluster` — run the multi-node hierarchical coordinator over a
+//! synthetic workload mix.
+//!
+//! Two modes share every solver knob:
+//!
+//! * **Local** (default): `--nodes N` spins up N in-process engine
+//!   nodes of `--node-capacity` units each.
+//! * **Remote**: `--connect host:port,host:port,...` drives live
+//!   `cps serve` daemons (engine=single, a huge `--epoch` so only the
+//!   coordinator's clock fires) through the wire protocol.
+//!
+//! Tenants are placed by footprint-balanced greedy LPT (`--placement
+//! greedy`, using each workload's footprint hint) or round-robin; the
+//! migration pass re-homes tenants online when the two-level gap
+//! clears `--migrate-threshold` (say `off` to pin the placement). The
+//! run journal (`--journal`) validates under the flat schema with the
+//! cluster's logical allocation — `cps inspect` works unchanged.
+
+use crate::common::{
+    parse_objective, parse_workload, render_metrics_snapshot, write_text_out, Args,
+};
+use cache_partition_sharing::cluster::{place_greedy, place_round_robin};
+use cache_partition_sharing::cluster::{ClusterConfig, ClusterNode, Coordinator};
+use cache_partition_sharing::prelude::*;
+
+pub fn run(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let specs: Vec<WorkloadSpec> = args
+        .require("workloads")?
+        .split(',')
+        .map(parse_workload)
+        .collect::<Result<_, _>>()?;
+    if specs.len() < 2 {
+        return Err("cluster needs at least two comma-separated workloads".into());
+    }
+    let tenants = specs.len();
+    let units: usize = args
+        .require("units")?
+        .parse()
+        .map_err(|_| "bad --units".to_string())?;
+    if units == 0 {
+        return Err("--units must be at least 1".into());
+    }
+    let bpu: usize = args.get_parse("bpu", 1)?;
+    if bpu == 0 {
+        return Err("--bpu must be at least 1".into());
+    }
+    let len: usize = args.get_parse("len", 200_000)?;
+    if len == 0 {
+        return Err("--len must be at least 1".into());
+    }
+    let epoch: usize = args.get_parse("epoch", 10_000)?;
+    if epoch == 0 {
+        return Err("--epoch must be at least 1 access".into());
+    }
+    let seed: u64 = args.get_parse("seed", 0)?;
+    let decay: f64 = args.get_parse("decay", 0.5)?;
+    if !(0.0..1.0).contains(&decay) {
+        return Err(format!("--decay must lie in [0, 1), got {decay}"));
+    }
+    let hysteresis: usize = args.get_parse("hysteresis", 1)?;
+    let combine = parse_objective(&args)?;
+    let rates: Vec<f64> = match args.get("rates") {
+        None => vec![1.0; tenants],
+        Some(s) => {
+            let r: Vec<f64> = s
+                .split(',')
+                .map(|x| x.parse().map_err(|_| format!("bad rate `{x}`")))
+                .collect::<Result<_, _>>()?;
+            if r.len() != tenants {
+                return Err(format!("{} rates for {tenants} workloads", r.len()));
+            }
+            r
+        }
+    };
+    let migrate_threshold: Option<f64> = match args.get("migrate-threshold").unwrap_or("0.05") {
+        "off" => None,
+        s => {
+            let t: f64 = s
+                .parse()
+                .map_err(|_| format!("bad --migrate-threshold `{s}` (a ratio, or `off`)"))?;
+            if !(t.is_finite() && t >= 0.0) {
+                return Err(format!(
+                    "--migrate-threshold must be a finite non-negative ratio, got {t}"
+                ));
+            }
+            Some(t)
+        }
+    };
+    let journal_path = args.get("journal").map(str::to_string);
+    let metrics_path = args.get("metrics-out").map(str::to_string);
+
+    // Build the node fleet: remote daemons if --connect, else local
+    // in-process engines.
+    let connect = args.get("connect").map(str::to_string);
+    if connect.is_some() && args.get("nodes").is_some() {
+        return Err("--connect names the node fleet; --nodes only applies to local mode".into());
+    }
+    if connect.is_some() && args.get("node-capacity").is_some() {
+        return Err(
+            "--node-capacity only applies to local mode; remote daemons bring their own \
+             capacity"
+                .into(),
+        );
+    }
+    let nodes: Vec<ClusterNode> = match &connect {
+        Some(list) => {
+            let addrs: Vec<&str> = list.split(',').collect();
+            for (i, a) in addrs.iter().enumerate() {
+                if addrs[..i].contains(a) {
+                    return Err(format!(
+                        "--connect lists {a} twice; one session per node, or the cluster \
+                         would fight itself"
+                    ));
+                }
+            }
+            addrs
+                .iter()
+                .map(|addr| ClusterNode::connect(addr).map_err(|e| format!("connect {addr}: {e}")))
+                .collect::<Result<_, _>>()?
+        }
+        None => {
+            let count: usize = args.get_parse("nodes", 2)?;
+            if count == 0 {
+                return Err("--nodes must be at least 1 (a cluster needs somewhere to \
+                            put its tenants)"
+                    .into());
+            }
+            let capacity: usize = args.get_parse("node-capacity", units)?;
+            if capacity == 0 {
+                return Err("--node-capacity must be at least 1 unit".into());
+            }
+            if capacity < tenants {
+                return Err(format!(
+                    "--node-capacity {capacity} is below the {tenants}-tenant count; every \
+                     node carries all tenant slots and cannot even equal-split its cache"
+                ));
+            }
+            if count * capacity < units {
+                return Err(format!(
+                    "{count} nodes x {capacity} units = {} cannot host a {units}-unit \
+                     cluster; raise --nodes or --node-capacity",
+                    count * capacity
+                ));
+            }
+            let engine_cfg = EngineConfig::new(CacheConfig::new(capacity, bpu), epoch)
+                .objective(combine)
+                .decay(decay);
+            (0..count)
+                .map(|_| ClusterNode::local(engine_cfg, tenants))
+                .collect()
+        }
+    };
+    for node in &nodes {
+        if node.tenants() != tenants {
+            return Err(format!(
+                "node {} carries {} tenant slots but the mix has {tenants} workloads; \
+                 start daemons with --tenants {tenants}",
+                node.addr().unwrap_or("local"),
+                node.tenants()
+            ));
+        }
+    }
+    let node_count = nodes.len();
+    if node_count > tenants {
+        return Err(format!(
+            "{node_count} nodes for {tenants} tenants; empty nodes can never receive \
+             budget, so drop to --nodes {tenants} or fewer"
+        ));
+    }
+
+    let placement = match args.get("placement").unwrap_or("greedy") {
+        "greedy" => {
+            let footprints: Vec<u64> = specs.iter().map(|s| s.footprint_hint()).collect();
+            place_greedy(&footprints, node_count)
+        }
+        "roundrobin" => place_round_robin(tenants, node_count),
+        other => return Err(format!("unknown --placement {other} (greedy|roundrobin)")),
+    };
+
+    let mut config = ClusterConfig::new(units, bpu, epoch)
+        .objective(combine)
+        .hysteresis(hysteresis);
+    if let Some(t) = migrate_threshold {
+        config = config.migrate(t);
+    }
+
+    let registry = MetricsRegistry::new();
+    let mut coordinator = Coordinator::with_metrics(config, nodes, placement.clone(), &registry)?;
+
+    let mode = match &connect {
+        Some(list) => format!("remote ({list})"),
+        None => format!("local ({node_count} nodes)"),
+    };
+    println!(
+        "cps cluster: {mode}, {tenants} tenants, {units} x {bpu}-block logical units, \
+         epoch {epoch}, placement {placement:?}"
+    );
+
+    let traces: Vec<Trace> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.generate(len, seed.wrapping_add(i as u64 + 1)))
+        .collect();
+    let refs: Vec<&Trace> = traces.iter().collect();
+    let co = interleave_proportional(&refs, &rates, len);
+    coordinator.run(co.tenant_accesses());
+    let report = coordinator.finish();
+
+    println!(
+        "{} epochs, {} repartitions, {} migrations, cumulative miss ratio {:.4}",
+        report.epochs.len(),
+        report.repartition_count(),
+        report.migrations.len(),
+        report.cumulative_miss_ratio()
+    );
+    for m in &report.migrations {
+        match m.gain {
+            Some(g) => println!(
+                "  epoch {:>4}: tenant {} node {} -> {} (gain {:.1}%)",
+                m.epoch,
+                m.tenant,
+                m.from,
+                m.to,
+                g * 100.0
+            ),
+            None => println!(
+                "  epoch {:>4}: tenant {} node {} -> {} (feasibility rescue)",
+                m.epoch, m.tenant, m.from, m.to
+            ),
+        }
+    }
+    for f in &report.failures {
+        println!(
+            "  node {} FAILED at epoch {} ({})",
+            f.node, f.epoch, f.error
+        );
+    }
+    if report.dropped_records > 0 {
+        println!(
+            "  {} records dropped on failed nodes",
+            report.dropped_records
+        );
+    }
+
+    if let Some(path) = &journal_path {
+        write_text_out(path, &report.journal())?;
+        println!(
+            "journal: {} epochs (cluster) -> {path}",
+            report.epochs.len()
+        );
+    }
+    if let Some(path) = &metrics_path {
+        let snapshot = registry.snapshot();
+        write_text_out(path, &render_metrics_snapshot(path, &snapshot))?;
+        if path != "-" {
+            println!("metrics: {} samples -> {path}", snapshot.samples.len());
+        }
+    }
+    // Surface a non-zero exit when the run degraded: a cluster that
+    // lost nodes should not look like a clean benchmark.
+    if !report.failures.is_empty() {
+        return Err(format!(
+            "{} node(s) failed during the run",
+            report.failures.len()
+        ));
+    }
+    Ok(())
+}

@@ -52,6 +52,21 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         s.repartitions,
         s.units_moved
     );
+    if !journal.migrations.is_empty() {
+        println!("{} tenant migration(s):", journal.migrations.len());
+        for m in &journal.migrations {
+            match m.gain {
+                Some(g) => println!(
+                    "  epoch {:>4}: tenant {} node {} -> {} (gain {:.4})",
+                    m.epoch, m.tenant, m.from, m.to, g
+                ),
+                None => println!(
+                    "  epoch {:>4}: tenant {} node {} -> {}",
+                    m.epoch, m.tenant, m.from, m.to
+                ),
+            }
+        }
+    }
 
     print_stage_breakdown(&journal);
     print_churn_timeline(&journal);

@@ -22,6 +22,7 @@
 use std::process::ExitCode;
 
 mod bench_net;
+mod cluster;
 mod common;
 mod gen;
 mod inspect;
@@ -51,6 +52,7 @@ fn main() -> ExitCode {
         "replay-online" => replay_online::run(rest),
         "serve" => serve::run(rest),
         "bench-net" => bench_net::run(rest),
+        "cluster" => cluster::run(rest),
         "inspect" => inspect::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -113,6 +115,21 @@ USAGE:
                and verify the served journal is report-identical to the
                same engine run in process; identity failure exits
                nonzero)
+  cps cluster  --workloads SPEC,SPEC,... --units U [--bpu B]
+               [--nodes N] [--node-capacity U] | [--connect H:P,H:P,...]
+               [--placement greedy|roundrobin] [--migrate-threshold T|off]
+               [--len N] [--epoch E] [--rates R,R,...] [--seed S]
+               [--decay D] [--hysteresis H] [--objective throughput|maxmin]
+               [--journal FILE] [--metrics-out FILE]
+               (multi-node hierarchical partition-sharing: a coordinator
+               splits U logical units across engine nodes with a
+               two-level DP each epoch; local mode spins up in-process
+               nodes, --connect drives live `cps serve` daemons started
+               with engine=single and a huge --epoch; tenants are placed
+               by footprint-balanced greedy LPT or round-robin and
+               re-homed online when the migration gain clears
+               --migrate-threshold; the journal is the cluster's logical
+               view and `cps inspect` reads it unchanged)
   cps inspect  JOURNAL
                (parse + validate an epoch journal and print stage-time
                breakdowns, the allocation-churn timeline, per-tenant

@@ -19,6 +19,7 @@
 //! | [`engine`] | `cps-engine` | epoch-driven online repartitioning controller |
 //! | [`obs`] | `cps-obs` | metrics registry, stage spans, epoch event journal |
 //! | [`serve`] | `cps-serve` | TCP service layer: wire codec, daemon, client, report identity |
+//! | [`cluster`] | `cps-cluster` | multi-node coordinator: two-level DP, placement, migration |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub use cps_cachesim as cachesim;
+pub use cps_cluster as cluster;
 pub use cps_combin as combin;
 pub use cps_core as core;
 pub use cps_dstruct as dstruct;
@@ -56,6 +58,9 @@ pub mod prelude {
     pub use cps_cachesim::{
         exact_miss_ratio_curve, simulate_partition_sharing, simulate_shared, simulate_shared_warm,
         ClockCache, LruCache, PartitionSharingScheme, PartitionedCache, SetAssocCache, SetIndexing,
+    };
+    pub use cps_cluster::{
+        place_greedy, place_round_robin, solve_two_level, ClusterConfig, ClusterNode, Coordinator,
     };
     pub use cps_core::elastic::{elastic_partition, elastic_sweep};
     pub use cps_core::perf::PerfModel;

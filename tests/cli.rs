@@ -959,3 +959,195 @@ fn trace_parser_accepts_hex_and_comments() {
     assert!(s.contains("2 distinct blocks"), "{s}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The cluster loop end to end in local mode: a 2-node coordinator run
+/// whose journal `cps inspect` validates unchanged under the flat
+/// schema.
+#[test]
+fn cluster_local_mode_runs_and_inspects() {
+    let dir = tempdir("cluster-local");
+    let s = stdout(&cps(
+        &[
+            "cluster",
+            "--workloads",
+            "loop:24,zipf:150:0.8,walk:300:30:500,uniform:400",
+            "--units",
+            "32",
+            "--bpu",
+            "4",
+            "--len",
+            "30000",
+            "--epoch",
+            "3000",
+            "--nodes",
+            "2",
+            "--node-capacity",
+            "32",
+            "--rates",
+            "1.0,2.0,1.0,1.5",
+            "--journal",
+            "cluster.jsonl",
+            "--metrics-out",
+            "cluster-metrics.txt",
+        ],
+        &dir,
+    ));
+    assert!(s.contains("local (2 nodes)"), "{s}");
+    assert!(s.contains("10 epochs"), "{s}");
+
+    let s = stdout(&cps(&["inspect", "cluster.jsonl"], &dir));
+    assert!(s.contains("journal OK: cluster engine"), "{s}");
+    assert!(s.contains("2 shard(s)"), "one journal shard per node: {s}");
+
+    let metrics = std::fs::read_to_string(dir.join("cluster-metrics.txt")).unwrap();
+    assert!(
+        metrics.contains("cps_cluster_epochs_total"),
+        "cluster counters exported: {metrics}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Remote mode against live daemons: two `cps serve` processes on
+/// ephemeral ports, externally clocked by `cps cluster --connect`.
+/// Both daemons must exit cleanly after the coordinator's shutdown.
+#[test]
+fn cluster_remote_mode_drives_live_daemons() {
+    let dir = tempdir("cluster-remote");
+    let spawn_node = |port_file: &str| {
+        ChildGuard(
+            Command::new(env!("CARGO_BIN_EXE_cps"))
+                .args([
+                    "serve",
+                    "--tenants",
+                    "2",
+                    "--units",
+                    "16",
+                    "--epoch",
+                    "1000000000",
+                    "--port",
+                    "auto",
+                    "--port-file",
+                    port_file,
+                ])
+                .current_dir(&dir)
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null())
+                .spawn()
+                .expect("spawn cps serve"),
+        )
+    };
+    let mut node0 = spawn_node("n0.txt");
+    let mut node1 = spawn_node("n1.txt");
+    let read_addr = |name: &str| {
+        let path = dir.join(name);
+        for _ in 0..200 {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if text.trim().contains(':') {
+                    return text.trim().to_string();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        panic!("daemon never wrote {name}");
+    };
+    let (a0, a1) = (read_addr("n0.txt"), read_addr("n1.txt"));
+
+    let s = stdout(&cps(
+        &[
+            "cluster",
+            "--workloads",
+            "loop:6,uniform:48",
+            "--units",
+            "16",
+            "--len",
+            "10000",
+            "--epoch",
+            "2000",
+            "--connect",
+            &format!("{a0},{a1}"),
+            "--journal",
+            "remote.jsonl",
+        ],
+        &dir,
+    ));
+    assert!(s.contains("remote ("), "{s}");
+    assert!(s.contains("5 epochs"), "{s}");
+
+    let s = stdout(&cps(&["inspect", "remote.jsonl"], &dir));
+    assert!(s.contains("journal OK: cluster engine"), "{s}");
+
+    // The coordinator's finish shuts both daemons down.
+    for (name, child) in [("node0", &mut node0), ("node1", &mut node1)] {
+        let mut status = None;
+        for _ in 0..200 {
+            if let Some(st) = child.0.try_wait().expect("try_wait") {
+                status = Some(st);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        let status = status.unwrap_or_else(|| panic!("{name} did not exit after shutdown"));
+        assert!(status.success(), "{name} exited nonzero");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Degenerate cluster flags die with friendly one-line errors, never a
+/// panic or a hung daemon connection.
+#[test]
+fn cluster_rejects_degenerate_flags_with_friendly_errors() {
+    let dir = tempdir("cluster-flags");
+    let fails = |args: &[&str], needle: &str| {
+        let out = cps(args, &dir);
+        assert!(!out.status.success(), "{args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{args:?}: {stderr}");
+    };
+    fn with(extra: &[&'static str]) -> Vec<&'static str> {
+        let mut v = vec![
+            "cluster",
+            "--workloads",
+            "loop:24,zipf:150:0.8",
+            "--units",
+            "32",
+        ];
+        v.extend_from_slice(extra);
+        v
+    }
+    fails(&with(&["--nodes", "0"]), "--nodes must be at least 1");
+    fails(
+        &with(&["--nodes", "3"]),
+        "empty nodes can never receive budget",
+    );
+    fails(
+        &with(&["--nodes", "2", "--node-capacity", "8"]),
+        "cannot host a 32-unit cluster",
+    );
+    fails(
+        &with(&["--nodes", "2", "--node-capacity", "1"]),
+        "below the 2-tenant count",
+    );
+    fails(
+        &with(&["--connect", "127.0.0.1:7001,127.0.0.1:7001"]),
+        "twice",
+    );
+    fails(
+        &with(&["--connect", "127.0.0.1:7001", "--nodes", "2"]),
+        "--nodes only applies to local mode",
+    );
+    fails(
+        &with(&["--connect", "127.0.0.1:7001", "--node-capacity", "8"]),
+        "--node-capacity only applies to local mode",
+    );
+    fails(
+        &with(&["--migrate-threshold", "nope"]),
+        "bad --migrate-threshold",
+    );
+    fails(&with(&["--placement", "random"]), "unknown --placement");
+    fails(
+        &["cluster", "--workloads", "loop:24", "--units", "32"],
+        "at least two comma-separated workloads",
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
