@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cps_cluster::solve_two_level;
-use cps_core::{build_cost_curves, CacheConfig, Combine, CostCurve, DpSolver};
+use cps_core::{build_cost_curves, CacheConfig, CostCurve, DpSolver, Objective};
 use cps_hotl::{Footprint, MissRatioCurve};
 use cps_trace::WorkloadSpec;
 
@@ -52,7 +52,7 @@ fn tenant_cost_curves() -> Vec<CostCurve> {
         .collect();
     let refs: Vec<&MissRatioCurve> = mrcs.iter().collect();
     let shares = vec![1.0 / refs.len() as f64; refs.len()];
-    build_cost_curves(&refs, &cache, &shares, Combine::Sum, None)
+    build_cost_curves(&refs, &cache, &shares, &Objective::MissRatioSum, None)
 }
 
 /// Round-robin groups of the 8 tenants over `nodes` nodes.
@@ -72,7 +72,7 @@ fn bench_cluster(c: &mut Criterion) {
     group.bench_function("flat", |b| {
         b.iter(|| {
             solver
-                .solve(black_box(&costs), UNITS, Combine::Sum)
+                .solve(black_box(&costs), UNITS, &Objective::MissRatioSum)
                 .unwrap()
         })
     });
@@ -89,7 +89,7 @@ fn bench_cluster(c: &mut Criterion) {
                     &g,
                     &caps,
                     UNITS,
-                    Combine::Sum,
+                    &Objective::MissRatioSum,
                 )
                 .unwrap()
             })

@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use cps_core::{optimal_partition, CacheConfig, Combine, CostCurve};
+use cps_core::{optimal_partition, CacheConfig, CostCurve, Objective};
 use cps_hotl::MissRatioCurve;
 
 /// Synthetic miss-ratio curve with a working-set knee — the realistic
@@ -37,26 +37,26 @@ fn bench_dp(c: &mut Criterion) {
     // The paper's configuration: 4 programs, 1024 units.
     group.bench_function("paper_P4_C1024", |b| {
         let costs = costs_for(4, 1024);
-        b.iter(|| optimal_partition(black_box(&costs), 1024, Combine::Sum))
+        b.iter(|| optimal_partition(black_box(&costs), 1024, &Objective::MissRatioSum))
     });
     // Scaling in C at fixed P=4 (expected quadratic).
     for units in [128usize, 256, 512, 1024, 2048] {
         group.bench_with_input(BenchmarkId::new("scaling_C", units), &units, |b, &u| {
             let costs = costs_for(4, u);
-            b.iter(|| optimal_partition(black_box(&costs), u, Combine::Sum))
+            b.iter(|| optimal_partition(black_box(&costs), u, &Objective::MissRatioSum))
         });
     }
     // Scaling in P at fixed C=512 (expected linear).
     for p in [2usize, 4, 8, 16] {
         group.bench_with_input(BenchmarkId::new("scaling_P", p), &p, |b, &p| {
             let costs = costs_for(p, 512);
-            b.iter(|| optimal_partition(black_box(&costs), 512, Combine::Sum))
+            b.iter(|| optimal_partition(black_box(&costs), 512, &Objective::MissRatioSum))
         });
     }
     // Max-combine costs the same asymptotics.
     group.bench_function("maxmin_P4_C512", |b| {
         let costs = costs_for(4, 512);
-        b.iter(|| optimal_partition(black_box(&costs), 512, Combine::Max))
+        b.iter(|| optimal_partition(black_box(&costs), 512, &Objective::MaxMissRatio))
     });
     group.finish();
 }

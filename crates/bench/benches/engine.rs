@@ -152,7 +152,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.throughput(Throughput::Elements(len as u64));
     group.bench_function("single/metrics_off", |b| {
         b.iter_batched(
-            || RepartitionEngine::new(cfg, 4),
+            || RepartitionEngine::new(cfg.clone(), 4),
             |mut engine| {
                 engine.run(stream.iter().copied());
                 black_box(engine.finish())
@@ -162,7 +162,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
     });
     group.bench_function("single/metrics_on", |b| {
         b.iter_batched(
-            || RepartitionEngine::with_metrics(cfg, 4, &MetricsRegistry::new()),
+            || RepartitionEngine::with_metrics(cfg.clone(), 4, &MetricsRegistry::new()),
             |mut engine| {
                 engine.run(stream.iter().copied());
                 black_box(engine.finish())
@@ -172,7 +172,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
     });
     group.bench_function("sharded2/metrics_off", |b| {
         b.iter_batched(
-            || ShardedEngine::new(cfg, 4, 2),
+            || ShardedEngine::new(cfg.clone(), 4, 2),
             |mut engine| {
                 engine.run(stream.iter().copied());
                 black_box(engine.finish())
@@ -182,7 +182,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
     });
     group.bench_function("sharded2/metrics_on", |b| {
         b.iter_batched(
-            || ShardedEngine::with_metrics(cfg, 4, 2, &MetricsRegistry::new()),
+            || ShardedEngine::with_metrics(cfg.clone(), 4, 2, &MetricsRegistry::new()),
             |mut engine| {
                 engine.run(stream.iter().copied());
                 black_box(engine.finish())

@@ -9,7 +9,7 @@
 
 use cps_bench::{default_study, quick_mode, Csv};
 use cps_core::sweep::all_k_subsets;
-use cps_core::{optimal_partition, CacheConfig, Combine, CostCurve};
+use cps_core::{optimal_partition, CacheConfig, CostCurve, Objective};
 use cps_hotl::SoloProfile;
 use std::time::Instant;
 
@@ -87,7 +87,7 @@ fn run_dp(members: &[&SoloProfile], cfg: &CacheConfig) -> f64 {
         .iter()
         .map(|m| CostCurve::from_miss_ratio(&m.mrc, cfg, m.access_rate / total))
         .collect();
-    optimal_partition(&costs, cfg.units, Combine::Sum)
+    optimal_partition(&costs, cfg.units, &Objective::MissRatioSum)
         .expect("feasible")
         .cost
 }

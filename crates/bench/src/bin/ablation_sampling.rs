@@ -10,7 +10,7 @@
 
 use cps_bench::{default_config, quick_mode, Csv};
 use cps_core::sweep::all_k_subsets;
-use cps_core::{optimal_partition, Combine, CostCurve};
+use cps_core::{optimal_partition, CostCurve, Objective};
 use cps_hotl::{sample_footprint, BurstConfig, MissRatioCurve, SoloProfile};
 use cps_trace::spec_like::study_programs_scaled;
 use rayon::prelude::*;
@@ -113,10 +113,11 @@ fn main() {
                 .iter()
                 .map(|m| CostCurve::from_miss_ratio(&m.mrc, &config, m.access_rate / total))
                 .collect();
-            let alloc_s = optimal_partition(&costs_s, config.units, Combine::Sum)
+            let alloc_s = optimal_partition(&costs_s, config.units, &Objective::MissRatioSum)
                 .expect("feasible")
                 .allocation;
-            let best_f = optimal_partition(&costs_f, config.units, Combine::Sum).expect("feasible");
+            let best_f = optimal_partition(&costs_f, config.units, &Objective::MissRatioSum)
+                .expect("feasible");
             // Cost of the sampled-data allocation under the true curves.
             let achieved: f64 = costs_f.iter().zip(&alloc_s).map(|(c, &u)| c.at(u)).sum();
             mr_sampled += achieved;

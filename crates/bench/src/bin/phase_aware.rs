@@ -11,7 +11,7 @@
 use cps_bench::Csv;
 use cps_cachesim::{simulate_partition_sharing, simulate_shared_warm, PartitionSharingScheme};
 use cps_core::phased::{phase_aware_partition, simulate_phase_partitioned_program, PhasedProfile};
-use cps_core::{optimal_partition, CacheConfig, Combine, CostCurve};
+use cps_core::{optimal_partition, CacheConfig, CostCurve, Objective};
 use cps_hotl::SoloProfile;
 use cps_trace::{interleave_proportional, Trace, WorkloadSpec};
 
@@ -63,7 +63,7 @@ fn main() {
         .iter()
         .map(|p| CostCurve::from_miss_ratio(&p.mrc, &cfg, 0.25))
         .collect();
-    let static_alloc = optimal_partition(&costs, cache, Combine::Sum)
+    let static_alloc = optimal_partition(&costs, cache, &Objective::MissRatioSum)
         .expect("feasible")
         .allocation;
     let static_mr = {

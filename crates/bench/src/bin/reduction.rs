@@ -14,7 +14,7 @@ use cps_core::sharing::{
     best_partition_sharing, best_partition_sharing_quantized, evaluate_sharing, SharingConfig,
 };
 use cps_core::sweep::all_k_subsets;
-use cps_core::{optimal_partition, CacheConfig, Combine, CostCurve};
+use cps_core::{optimal_partition, CacheConfig, CostCurve, Objective};
 use cps_hotl::SoloProfile;
 use rayon::prelude::*;
 
@@ -54,7 +54,8 @@ fn main() {
                 .iter()
                 .map(|m| CostCurve::from_miss_ratio(&m.mrc, &fine, m.access_rate / total_rate))
                 .collect();
-            let dp = optimal_partition(&costs, fine.units, Combine::Sum).expect("feasible");
+            let dp =
+                optimal_partition(&costs, fine.units, &Objective::MissRatioSum).expect("feasible");
             // Exhaustive search over all coarse-walled sharing configs,
             // both under the block-quantized NPA evaluation (the
             // theorem's terms) and the continuous composition model

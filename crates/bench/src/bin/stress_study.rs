@@ -19,7 +19,7 @@ use cps_bench::{quick_mode, Csv};
 use cps_cachesim::simulate_shared_warm;
 use cps_core::phased::{phase_aware_partition, simulate_phase_partitioned_program, PhasedProfile};
 use cps_core::sweep::all_k_subsets;
-use cps_core::{optimal_partition, CacheConfig, Combine, CostCurve};
+use cps_core::{optimal_partition, CacheConfig, CostCurve, Objective};
 use cps_hotl::{CoRunModel, SoloProfile};
 use cps_trace::spec_like::stress_programs;
 use cps_trace::{interleave_proportional, Trace};
@@ -102,7 +102,7 @@ fn main() {
                 .iter()
                 .map(|&i| CostCurve::from_miss_ratio(&profiles[i].mrc, &cfg, 0.25))
                 .collect();
-            let alloc = optimal_partition(&costs, cfg.units, Combine::Sum)
+            let alloc = optimal_partition(&costs, cfg.units, &Objective::MissRatioSum)
                 .expect("feasible")
                 .allocation;
             let mut acc = 0u64;

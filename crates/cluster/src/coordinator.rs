@@ -29,7 +29,7 @@
 //! keeps serving.
 
 use cps_cachesim::AccessCounts;
-use cps_core::{access_shares, build_cost_curves, CacheConfig, Combine, CostCurve, DpSolver};
+use cps_core::{access_shares, build_cost_curves, CacheConfig, CostCurve, DpSolver, Objective};
 use cps_engine::{units_moved, Actuation, Block, EpochRecord, TenantId};
 use cps_hotl::MissRatioCurve;
 use cps_obs::{Counter, Gauge, MetricsRegistry, MigrationEvent, Stage, StageTimings, Stopwatch};
@@ -42,7 +42,7 @@ use crate::report::{ClusterReport, NodeFailure};
 const FLUSH_BATCH: usize = 1_024;
 
 /// The coordinator's knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ClusterConfig {
     /// Total logical capacity split across nodes (the top-level DP's
     /// `C`).
@@ -51,8 +51,8 @@ pub struct ClusterConfig {
     pub bpu: usize,
     /// Accesses per coordinator epoch.
     pub epoch_length: usize,
-    /// Accumulation objective for both DP levels.
-    pub objective: Combine,
+    /// Partitioning objective for both DP levels.
+    pub objective: Objective,
     /// Global hysteresis: a proposed reallocation is applied (on every
     /// node at once) only when it moves at least this many units of
     /// the logical allocation.
@@ -76,14 +76,14 @@ impl ClusterConfig {
             total_units,
             bpu,
             epoch_length,
-            objective: Combine::Sum,
+            objective: Objective::MissRatioSum,
             hysteresis: 1,
             migrate_threshold: None,
         }
     }
 
-    /// Sets the accumulation objective.
-    pub fn objective(mut self, objective: Combine) -> Self {
+    /// Sets the partitioning objective.
+    pub fn objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
         self
     }
@@ -257,6 +257,14 @@ impl Coordinator {
                     config.bpu
                 ));
             }
+            if node.objective() != config.objective.name() {
+                return Err(format!(
+                    "node {n} optimizes `{}`, the cluster optimizes `{}`; every node must share \
+                     the coordinator's objective",
+                    node.objective(),
+                    config.objective.name()
+                ));
+            }
         }
         if placement.len() != tenants {
             return Err(format!(
@@ -418,7 +426,7 @@ impl Coordinator {
             total_units: self.config.total_units,
             bpu: self.config.bpu,
             epoch_length: self.config.epoch_length,
-            objective: self.config.objective,
+            objective: self.config.objective.clone(),
             epochs: self.records,
             totals: self.totals,
             migrations: self.migrations,
@@ -479,13 +487,14 @@ impl Coordinator {
         // Export every live node's boundary; a dead export kills the
         // node and the epoch continues over the survivors.
         let profile_clock = Stopwatch::start();
+        let objective_spec = self.config.objective.name();
         let mut exports: Vec<Option<Vec<cps_engine::TenantCurve>>> =
             (0..self.nodes.len()).map(|_| None).collect();
         for (n, slot) in exports.iter_mut().enumerate() {
             if !self.nodes[n].alive {
                 continue;
             }
-            match self.nodes[n].node.export() {
+            match self.nodes[n].node.export(&objective_spec) {
                 Ok(curves) => *slot = Some(curves),
                 Err(e) => self.fail_node(n, "export", &e.to_string()),
             }
@@ -624,7 +633,7 @@ impl Coordinator {
             .map(|&t| self.cached[t].as_ref().expect("checked above"))
             .collect();
         let active_shares: Vec<f64> = active.iter().map(|&t| shares[t]).collect();
-        let costs = build_cost_curves(&mrcs, &cache, &active_shares, self.config.objective, None);
+        let costs = build_cost_curves(&mrcs, &cache, &active_shares, &self.config.objective, None);
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
         for (i, &t) in active.iter().enumerate() {
             groups[self.placement[t]].push(i);
@@ -635,7 +644,7 @@ impl Coordinator {
             &groups,
             &self.capacities,
             self.config.total_units,
-            self.config.objective,
+            &self.config.objective,
         );
         Some(EpochSolve {
             result,
@@ -677,7 +686,7 @@ impl Coordinator {
                     &groups,
                     &self.capacities,
                     self.config.total_units,
-                    self.config.objective,
+                    &self.config.objective,
                 ) else {
                     continue;
                 };
@@ -744,16 +753,16 @@ mod tests {
     #[test]
     fn topology_validation_is_friendly() {
         let cfg = ClusterConfig::new(16, 1, 500);
-        let err = Coordinator::new(cfg, vec![], vec![]).unwrap_err();
+        let err = Coordinator::new(cfg.clone(), vec![], vec![]).unwrap_err();
         assert!(err.contains("at least one node"), "{err}");
 
-        let err = Coordinator::new(cfg, local_nodes(2, 16, 2), vec![0]).unwrap_err();
+        let err = Coordinator::new(cfg.clone(), local_nodes(2, 16, 2), vec![0]).unwrap_err();
         assert!(err.contains("placement names 1 tenants"), "{err}");
 
-        let err = Coordinator::new(cfg, local_nodes(2, 16, 2), vec![0, 5]).unwrap_err();
+        let err = Coordinator::new(cfg.clone(), local_nodes(2, 16, 2), vec![0, 5]).unwrap_err();
         assert!(err.contains("only 2 nodes"), "{err}");
 
-        let err = Coordinator::new(cfg, local_nodes(2, 4, 2), vec![0, 1]).unwrap_err();
+        let err = Coordinator::new(cfg.clone(), local_nodes(2, 4, 2), vec![0, 1]).unwrap_err();
         assert!(err.contains("cannot host a 16-unit cluster"), "{err}");
 
         let err = Coordinator::new(
@@ -766,6 +775,17 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("2-block units"), "{err}");
+
+        let err = Coordinator::new(
+            ClusterConfig::new(16, 1, 500).objective(Objective::MaxMissRatio),
+            local_nodes(2, 16, 2),
+            vec![0, 1],
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("node 0 optimizes `miss-ratio`") && err.contains("`maxmin`"),
+            "{err}"
+        );
     }
 
     #[test]

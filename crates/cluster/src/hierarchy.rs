@@ -26,7 +26,7 @@
 //! optimum and the gap is exactly the price of the placement.
 
 use cps_core::cost::FORBIDDEN;
-use cps_core::{Combine, CostCurve, DpFrontier, DpSolver};
+use cps_core::{CostCurve, DpFrontier, DpSolver, Objective};
 
 /// What the two-level solve produced.
 #[derive(Clone, Debug, PartialEq)]
@@ -48,8 +48,9 @@ pub struct TwoLevelResult {
 /// by node `n` and `node_caps[n]` is that node's physical capacity; an
 /// empty group contributes a curve that is zero at zero units and
 /// [`FORBIDDEN`] everywhere else, forcing its budget to 0 (neutral
-/// under both [`Combine`]s for the non-negative costs miss ratios
-/// produce).
+/// under both accumulation modes for the non-negative costs miss
+/// ratios produce). Both DP levels run under `objective`, so the
+/// coordinator and every node provably optimize the same thing.
 ///
 /// Returns `None` when no feasible split exists — every tenant
 /// forbidden everywhere, or the occupied nodes' caps cannot absorb
@@ -65,7 +66,7 @@ pub fn solve_two_level(
     groups: &[Vec<usize>],
     node_caps: &[usize],
     total_units: usize,
-    combine: Combine,
+    objective: &Objective,
 ) -> Option<TwoLevelResult> {
     assert_eq!(groups.len(), node_caps.len(), "one capacity per node");
     let mut seen = vec![false; costs.len()];
@@ -93,7 +94,7 @@ pub fn solve_two_level(
         }
         let members: Vec<CostCurve> = group.iter().map(|&i| costs[i].clone()).collect();
         let frontier = solver
-            .solve_frontier(&members, cap.min(total_units), combine)
+            .solve_frontier(&members, cap.min(total_units), objective)
             .expect("group is non-empty");
         let mut raw = frontier.costs().to_vec();
         raw.resize(total_units + 1, FORBIDDEN);
@@ -101,7 +102,7 @@ pub fn solve_two_level(
         frontiers.push(Some(frontier));
     }
 
-    let top = solver.solve(&node_curves, total_units, combine)?;
+    let top = solver.solve(&node_curves, total_units, objective)?;
     let budgets = top.allocation;
     let mut allocation = vec![0usize; costs.len()];
     for ((group, frontier), &budget) in groups.iter().zip(&frontiers).zip(&budgets) {
@@ -139,10 +140,17 @@ mod tests {
             curve(&[0.5, 0.4, 0.4, 0.4, 0.4]),
         ];
         let mut solver = DpSolver::new();
-        let flat = solver.solve(&costs, 4, Combine::Sum).unwrap();
+        let flat = solver.solve(&costs, 4, &Objective::MissRatioSum).unwrap();
         let groups = vec![vec![0], vec![1], vec![2]];
-        let two = solve_two_level(&mut solver, &costs, &groups, &[4, 4, 4], 4, Combine::Sum)
-            .expect("feasible");
+        let two = solve_two_level(
+            &mut solver,
+            &costs,
+            &groups,
+            &[4, 4, 4],
+            4,
+            &Objective::MissRatioSum,
+        )
+        .expect("feasible");
         assert_eq!(two.allocation, flat.allocation);
         assert_eq!(two.cost.to_bits(), flat.cost.to_bits());
         assert_eq!(two.budgets, flat.allocation);
@@ -157,7 +165,7 @@ mod tests {
             curve(&[0.6, 0.5, 0.4, 0.3]),
         ];
         let mut solver = DpSolver::new();
-        let flat = solver.solve(&costs, 3, Combine::Sum).unwrap();
+        let flat = solver.solve(&costs, 3, &Objective::MissRatioSum).unwrap();
         assert_eq!(flat.allocation, vec![3, 0]);
         let two = solve_two_level(
             &mut solver,
@@ -165,7 +173,7 @@ mod tests {
             &[vec![0], vec![1]],
             &[2, 3],
             3,
-            Combine::Sum,
+            &Objective::MissRatioSum,
         )
         .expect("still feasible");
         assert!(two.budgets[0] <= 2, "cap respected: {:?}", two.budgets);
@@ -182,7 +190,7 @@ mod tests {
             &[vec![0, 1], vec![]],
             &[2, 2],
             2,
-            Combine::Sum,
+            &Objective::MissRatioSum,
         )
         .expect("occupied node absorbs everything");
         assert_eq!(two.budgets, vec![2, 0]);
@@ -200,7 +208,7 @@ mod tests {
             &[vec![0], vec![]],
             &[2, 8],
             4,
-            Combine::Sum,
+            &Objective::MissRatioSum,
         );
         assert_eq!(two, None);
     }
@@ -218,10 +226,10 @@ mod tests {
             &[vec![0, 1], vec![]],
             &[3, 3],
             3,
-            Combine::Sum,
+            &Objective::MissRatioSum,
         )
         .expect("feasible");
-        let flat = solver.solve(&costs, 3, Combine::Sum).unwrap();
+        let flat = solver.solve(&costs, 3, &Objective::MissRatioSum).unwrap();
         assert_eq!(two.allocation, flat.allocation);
         assert_eq!(two.cost.to_bits(), flat.cost.to_bits());
     }
@@ -236,7 +244,7 @@ mod tests {
             &[vec![0], vec![0]],
             &[1, 1],
             1,
-            Combine::Sum,
+            &Objective::MissRatioSum,
         );
     }
 }

@@ -84,6 +84,7 @@ pub struct ClusterNode {
     bpu: usize,
     tenants: usize,
     addr: Option<String>,
+    objective: String,
 }
 
 impl ClusterNode {
@@ -100,12 +101,18 @@ impl ClusterNode {
         };
         let capacity = config.cache.units;
         let bpu = config.cache.blocks_per_unit;
+        let objective = config.objective.name();
         ClusterNode {
-            inner: Inner::Local(Box::new(EngineHandle::new(EngineKind::Single, config, tenants))),
+            inner: Inner::Local(Box::new(EngineHandle::new(
+                EngineKind::Single,
+                config,
+                tenants,
+            ))),
             capacity,
             bpu,
             tenants,
             addr: None,
+            objective,
         }
     }
 
@@ -128,6 +135,7 @@ impl ClusterNode {
             bpu: config.bpu as usize,
             tenants: config.tenants as usize,
             addr: Some(addr.to_string()),
+            objective: config.objective.clone(),
             inner: Inner::Remote(client),
         })
     }
@@ -153,6 +161,15 @@ impl ClusterNode {
         self.addr.as_deref()
     }
 
+    /// The objective spec the node's engine optimizes (local: from its
+    /// [`EngineConfig`]; remote: announced in the wire HELLO_ACK). The
+    /// coordinator refuses at construction any node whose objective
+    /// differs from the cluster's — a cluster where nodes optimize
+    /// different things is silently wrong everywhere.
+    pub fn objective(&self) -> &str {
+        &self.objective
+    }
+
     /// Streams a batch of records into the node.
     pub fn push(&mut self, records: &[(TenantId, Block)]) -> Result<(), NodeError> {
         match &mut self.inner {
@@ -169,12 +186,14 @@ impl ClusterNode {
     }
 
     /// Opens an epoch boundary: closes the node's profile window and
-    /// exports one [`TenantCurve`] per slot.
-    pub fn export(&mut self) -> Result<Vec<TenantCurve>, NodeError> {
+    /// exports one [`TenantCurve`] per slot. The coordinator names the
+    /// objective it solves under; a remote daemon optimizing anything
+    /// else refuses the export with a typed wire error.
+    pub fn export(&mut self, objective: &str) -> Result<Vec<TenantCurve>, NodeError> {
         match &mut self.inner {
             Inner::Local(handle) => Ok(handle.export_cost_curves()?),
             Inner::Remote(client) => {
-                let curves = client.cost_curves()?;
+                let curves = client.cost_curves(objective)?;
                 curves.into_iter().map(tenant_curve_of_wire).collect()
             }
         }
@@ -254,7 +273,7 @@ mod tests {
         assert_eq!(node.addr(), None);
         let records: Vec<(usize, u64)> = (0..100).map(|i| ((i % 2) as usize, i % 10)).collect();
         node.push(&records).expect("push");
-        let curves = node.export().expect("export");
+        let curves = node.export("miss-ratio").expect("export");
         assert_eq!(curves.len(), 2);
         assert_eq!(curves[0].counts.accesses, 50);
         let actuation = node.apply(&[6, 2], Some(0.5)).expect("apply");

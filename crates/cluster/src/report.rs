@@ -14,7 +14,7 @@
 //! are deliberately *not* held to the partition invariant.
 
 use cps_cachesim::AccessCounts;
-use cps_core::Combine;
+use cps_core::Objective;
 use cps_engine::{weighted_miss_ratio, EpochRecord, StageTimings};
 use cps_obs::{MigrationEvent, RunHeader, RunSummary};
 
@@ -45,8 +45,8 @@ pub struct ClusterReport {
     pub bpu: usize,
     /// Configured accesses per coordinator epoch.
     pub epoch_length: usize,
-    /// Accumulation objective.
-    pub objective: Combine,
+    /// Partitioning objective.
+    pub objective: Objective,
     /// One record per coordinator epoch, in order.
     pub epochs: Vec<EpochRecord>,
     /// Whole-run per-tenant realized counts.
@@ -74,10 +74,7 @@ impl ClusterReport {
             epoch_length: self.epoch_length,
             shards: self.nodes,
             policy: "cluster".to_string(),
-            objective: match self.objective {
-                Combine::Sum => "throughput".to_string(),
-                Combine::Max => "maxmin".to_string(),
-            },
+            objective: self.objective.name(),
         }
     }
 
@@ -111,8 +108,9 @@ impl ClusterReport {
         let mut text = String::new();
         text.push_str(&self.run_header().to_json_line());
         text.push('\n');
+        let objective = self.objective.name();
         for e in &self.epochs {
-            text.push_str(&e.journal_event().to_json_line());
+            text.push_str(&e.journal_event(&objective).to_json_line());
             text.push('\n');
             for m in self.migrations.iter().filter(|m| m.epoch == e.epoch) {
                 text.push_str(&m.to_json_line());
@@ -175,7 +173,7 @@ mod tests {
             total_units: 8,
             bpu: 1,
             epoch_length: 100,
-            objective: Combine::Sum,
+            objective: Objective::MissRatioSum,
             epochs,
             totals,
             migrations: vec![MigrationEvent {

@@ -3,13 +3,13 @@
 //! The load-bearing guarantee: with one tenant per node and
 //! non-binding caps, `solve_two_level` is **bit-identical** to the flat
 //! `DpSolver::solve` — same allocation vector, same cost down to the
-//! f64 bit pattern — on arbitrary cost curves under both objectives.
+//! f64 bit pattern — on arbitrary cost curves under every objective.
 //! With arbitrary groupings the hierarchy only restricts the flat
 //! search space, so its cost is bounded below by the flat optimum and
 //! the budgets always respect node caps and partition the total.
 
 use cps_cluster::solve_two_level;
-use cps_core::{Combine, CostCurve, DpSolver};
+use cps_core::{CostCurve, DpSolver, Objective};
 use proptest::prelude::*;
 
 /// Arbitrary finite cost curves (values in `[0, 1]`, varying lengths —
@@ -23,8 +23,19 @@ fn arb_curves() -> impl Strategy<Value = Vec<Vec<f64>>> {
     })
 }
 
-fn arb_combine() -> impl Strategy<Value = Combine> {
-    prop_oneof![Just(Combine::Sum), Just(Combine::Max)]
+/// Every objective whose accumulation is independent of the tenant
+/// count (value-weighted pins its weight vector to the group size, so
+/// the sweep covers it separately in the scheme tests). The DP only
+/// consumes an objective's `combine`/`group_cost` here — the curves are
+/// raw, not objective-built — which is exactly the seam the hierarchy
+/// must agree with the flat solver on.
+fn arb_objective() -> impl Strategy<Value = Objective> {
+    prop_oneof![
+        Just(Objective::MissRatioSum),
+        Just(Objective::MaxMissRatio),
+        Just(Objective::Utility { curvature: 0.5 }),
+        Just(Objective::MaxSlowdown),
+    ]
 }
 
 fn to_cost_curves(raw: &[Vec<f64>]) -> Vec<CostCurve> {
@@ -40,14 +51,14 @@ proptest! {
     fn singleton_nodes_are_bit_identical_to_flat(
         raw in arb_curves(),
         total in 1usize..10,
-        combine in arb_combine(),
+        objective in arb_objective(),
     ) {
         let costs = to_cost_curves(&raw);
         let mut solver = DpSolver::new();
-        let flat = solver.solve(&costs, total, combine).expect("finite curves");
+        let flat = solver.solve(&costs, total, &objective).expect("finite curves");
         let groups: Vec<Vec<usize>> = (0..costs.len()).map(|i| vec![i]).collect();
         let caps = vec![total; costs.len()];
-        let two = solve_two_level(&mut solver, &costs, &groups, &caps, total, combine)
+        let two = solve_two_level(&mut solver, &costs, &groups, &caps, total, &objective)
             .expect("caps do not bind");
         prop_assert_eq!(&two.allocation, &flat.allocation);
         prop_assert_eq!(two.cost.to_bits(), flat.cost.to_bits());
@@ -63,11 +74,11 @@ proptest! {
         total in 1usize..10,
         nodes in 1usize..4,
         placement_bits in any::<u64>(),
-        combine in arb_combine(),
+        objective in arb_objective(),
     ) {
         let costs = to_cost_curves(&raw);
         let mut solver = DpSolver::new();
-        let flat = solver.solve(&costs, total, combine).expect("finite curves");
+        let flat = solver.solve(&costs, total, &objective).expect("finite curves");
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); nodes];
         for i in 0..costs.len() {
             groups[((placement_bits >> (2 * i)) as usize) % nodes].push(i);
@@ -75,7 +86,7 @@ proptest! {
         // Caps equal to the total never bind an occupied node, so the
         // split stays feasible for every generated grouping.
         let caps = vec![total; nodes];
-        let two = solve_two_level(&mut solver, &costs, &groups, &caps, total, combine)
+        let two = solve_two_level(&mut solver, &costs, &groups, &caps, total, &objective)
             .expect("occupied caps absorb the total");
         prop_assert_eq!(two.budgets.iter().sum::<usize>(), total);
         for (n, (&budget, group)) in two.budgets.iter().zip(&groups).enumerate() {
@@ -104,15 +115,15 @@ proptest! {
         raw in arb_curves(),
         total in 1usize..10,
         extra_nodes in 0usize..3,
-        combine in arb_combine(),
+        objective in arb_objective(),
     ) {
         let costs = to_cost_curves(&raw);
         let mut solver = DpSolver::new();
-        let flat = solver.solve(&costs, total, combine).expect("finite curves");
+        let flat = solver.solve(&costs, total, &objective).expect("finite curves");
         let mut groups = vec![(0..costs.len()).collect::<Vec<_>>()];
         groups.extend(std::iter::repeat_with(Vec::new).take(extra_nodes));
         let caps = vec![total; 1 + extra_nodes];
-        let two = solve_two_level(&mut solver, &costs, &groups, &caps, total, combine)
+        let two = solve_two_level(&mut solver, &costs, &groups, &caps, total, &objective)
             .expect("the shared node absorbs everything");
         prop_assert_eq!(&two.allocation, &flat.allocation);
         prop_assert_eq!(two.cost.to_bits(), flat.cost.to_bits());

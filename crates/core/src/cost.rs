@@ -9,7 +9,7 @@
 //! is **forbidden** (`+∞` cost), and the DP simply never picks it.
 
 use crate::config::CacheConfig;
-use crate::dp::Combine;
+use crate::objective::Objective;
 use cps_hotl::MissRatioCurve;
 
 /// Cost forbidden by a baseline constraint.
@@ -62,11 +62,13 @@ pub fn equal_baseline_caps(mrcs: &[&MissRatioCurve], config: &CacheConfig) -> Ve
 
 /// Builds the DP's per-program cost-curve vector in one call.
 ///
-/// Weights follow the objective: under [`Combine::Sum`] each program is
-/// weighted by its access share (summed costs equal the group miss
-/// ratio); under [`Combine::Max`] every program weighs 1 (max-min on
-/// raw miss ratios). With `caps`, allocations violating a program's
-/// baseline become [`FORBIDDEN`].
+/// Per-program cost construction follows the objective — see
+/// [`Objective::cost_curves`], to which this delegates. Under the
+/// default [`Objective::MissRatioSum`] each program is weighted by its
+/// access share (summed costs equal the group miss ratio); under
+/// [`Objective::MaxMissRatio`] every program weighs 1 (max-min on raw
+/// miss ratios). With `caps`, allocations violating a program's
+/// baseline become [`FORBIDDEN`] under every objective.
 ///
 /// # Panics
 /// Panics if `mrcs`, `shares`, and any `caps` differ in length.
@@ -74,27 +76,10 @@ pub fn build_cost_curves(
     mrcs: &[&MissRatioCurve],
     config: &CacheConfig,
     shares: &[f64],
-    objective: Combine,
+    objective: &Objective,
     caps: Option<&[f64]>,
 ) -> Vec<CostCurve> {
-    assert_eq!(mrcs.len(), shares.len(), "one share per program");
-    if let Some(caps) = caps {
-        assert_eq!(mrcs.len(), caps.len(), "one cap per program");
-    }
-    mrcs.iter()
-        .zip(shares)
-        .enumerate()
-        .map(|(i, (m, &share))| {
-            let weight = match objective {
-                Combine::Sum => share,
-                Combine::Max => 1.0,
-            };
-            match caps {
-                Some(caps) => CostCurve::with_baseline_cap(m, config, weight, caps[i]),
-                None => CostCurve::from_miss_ratio(m, config, weight),
-            }
-        })
-        .collect()
+    objective.cost_curves(mrcs, config, shares, caps)
 }
 
 /// Cost of giving a program `0..=units` partition units.
@@ -290,16 +275,22 @@ mod tests {
         let cfg = CacheConfig::new(32, 2);
         let shares = access_shares(&[300.0, 100.0]);
 
-        let sum = build_cost_curves(&[&m1, &m2], &cfg, &shares, Combine::Sum, None);
+        let sum = build_cost_curves(&[&m1, &m2], &cfg, &shares, &Objective::MissRatioSum, None);
         assert_eq!(sum[0], CostCurve::from_miss_ratio(&m1, &cfg, shares[0]));
         assert_eq!(sum[1], CostCurve::from_miss_ratio(&m2, &cfg, shares[1]));
 
         // Max-min ignores shares: every program weighs 1.
-        let max = build_cost_curves(&[&m1, &m2], &cfg, &shares, Combine::Max, None);
+        let max = build_cost_curves(&[&m1, &m2], &cfg, &shares, &Objective::MaxMissRatio, None);
         assert_eq!(max[0], CostCurve::from_miss_ratio(&m1, &cfg, 1.0));
 
         let caps = equal_baseline_caps(&[&m1, &m2], &cfg);
-        let capped = build_cost_curves(&[&m1, &m2], &cfg, &shares, Combine::Sum, Some(&caps));
+        let capped = build_cost_curves(
+            &[&m1, &m2],
+            &cfg,
+            &shares,
+            &Objective::MissRatioSum,
+            Some(&caps),
+        );
         assert_eq!(
             capped[0],
             CostCurve::with_baseline_cap(&m1, &cfg, shares[0], caps[0])

@@ -16,8 +16,12 @@
 //! choice table for backtracking is the `O(P·C)` part).
 
 use crate::cost::CostCurve;
+use crate::objective::{CostModel, Objective};
 
-/// How per-program costs accumulate into the group objective.
+/// How per-program costs accumulate into the group objective — the
+/// low-level accumulation vocabulary beneath [`Objective`]. Objectives
+/// choose their `Combine` via [`CostModel::combine`]; the DP only ever
+/// sees this enum.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Combine {
     /// Throughput: minimize the sum (access-share-weighted group miss
@@ -28,8 +32,9 @@ pub enum Combine {
 }
 
 impl Combine {
+    /// Folds one more per-program cost into the accumulator.
     #[inline]
-    fn apply(self, a: f64, b: f64) -> f64 {
+    pub fn apply(self, a: f64, b: f64) -> f64 {
         match self {
             Combine::Sum => a + b,
             Combine::Max => a.max(b),
@@ -38,11 +43,29 @@ impl Combine {
 
     /// Identity element of the accumulation.
     #[inline]
-    fn identity(self) -> f64 {
+    pub fn identity(self) -> f64 {
         match self {
             Combine::Sum => 0.0,
             Combine::Max => f64::NEG_INFINITY,
         }
+    }
+
+    /// Accumulated cost of a fixed allocation: the identity-seeded
+    /// left fold `acc = apply(acc, costs[i].at(allocation[i]))` — the
+    /// one shared accumulation path behind [`DpSolver::solve`]'s
+    /// self-check, [`brute_force_partition`], and
+    /// [`CostModel::group_cost`]. Returns [`f64::INFINITY`] if any
+    /// member's cost is forbidden.
+    pub fn accumulate(self, costs: &[CostCurve], allocation: &[usize]) -> f64 {
+        let mut acc = self.identity();
+        for (cost, &units) in costs.iter().zip(allocation) {
+            let v = cost.at(units);
+            if v.is_infinite() {
+                return f64::INFINITY;
+            }
+            acc = self.apply(acc, v);
+        }
+        acc
     }
 }
 
@@ -66,11 +89,11 @@ pub struct PartitionResult {
 /// # Examples
 ///
 /// ```
-/// use cps_core::{Combine, CostCurve, DpSolver};
+/// use cps_core::{CostCurve, DpSolver, Objective};
 /// let mut solver = DpSolver::new();
 /// let a = CostCurve::from_raw(vec![1.0, 0.9, 0.1, 0.05]);
 /// let b = CostCurve::from_raw(vec![1.0, 0.2, 0.15, 0.1]);
-/// let r = solver.solve(&[a, b], 3, Combine::Sum).unwrap();
+/// let r = solver.solve(&[a, b], 3, &Objective::MissRatioSum).unwrap();
 /// assert_eq!(r.allocation, vec![2, 1]);
 /// // The same solver can be reused for any later instance.
 /// ```
@@ -87,28 +110,14 @@ impl DpSolver {
         Self::default()
     }
 
-    /// Runs the DP. Returns `None` when no allocation satisfies every
-    /// program's constraints (some cost curve forbids everything
-    /// reachable), or when `costs` is empty.
-    ///
-    /// Exact-sum semantics: all `total_units` are distributed. Because
-    /// cost curves are non-increasing in practice, using the whole cache
-    /// is never worse; forbidden (infinite) regions only ever exclude
-    /// *small* allocations, so exactness does not affect feasibility.
-    pub fn solve(
-        &mut self,
-        costs: &[CostCurve],
-        total_units: usize,
-        combine: Combine,
-    ) -> Option<PartitionResult> {
-        if costs.is_empty() {
-            return None;
-        }
+    /// The DP table fill shared by [`DpSolver::solve`] and
+    /// [`DpSolver::solve_frontier`]: after this, `self.dp[k]` is the
+    /// best accumulated cost allocating exactly `k` units across all
+    /// `costs`, and `self.choice[i][k]` the units given to program `i`
+    /// in that best solution. The float operations here are the whole
+    /// identity story — both entry points must observe the same bits.
+    fn fill_tables(&mut self, costs: &[CostCurve], c: usize, combine: Combine) {
         let p = costs.len();
-        let c = total_units;
-        // dp[k]: best accumulated cost allocating exactly k units to the
-        // programs processed so far. choice[i][k]: units given to
-        // program i in that best solution.
         let dp = &mut self.dp;
         let next = &mut self.next;
         let choice = &mut self.choice;
@@ -151,7 +160,31 @@ impl DpSolver {
             }
             std::mem::swap(dp, next);
         }
-        if dp[c].is_infinite() {
+    }
+
+    /// Runs the DP under `objective`'s accumulation semantics. Returns
+    /// `None` when no allocation satisfies every program's constraints
+    /// (some cost curve forbids everything reachable), or when `costs`
+    /// is empty.
+    ///
+    /// Exact-sum semantics: all `total_units` are distributed. Because
+    /// cost curves are non-increasing in practice, using the whole cache
+    /// is never worse; forbidden (infinite) regions only ever exclude
+    /// *small* allocations, so exactness does not affect feasibility.
+    pub fn solve(
+        &mut self,
+        costs: &[CostCurve],
+        total_units: usize,
+        objective: &Objective,
+    ) -> Option<PartitionResult> {
+        if costs.is_empty() {
+            return None;
+        }
+        let p = costs.len();
+        let c = total_units;
+        let combine = objective.combine();
+        self.fill_tables(costs, c, combine);
+        if self.dp[c].is_infinite() {
             return None;
         }
         // For Combine::Max with all-identity costs dp[c] can be -inf only
@@ -160,17 +193,14 @@ impl DpSolver {
         let mut allocation = vec![0usize; p];
         let mut k = c;
         for i in (0..p).rev() {
-            let ci = choice[i][k] as usize;
+            let ci = self.choice[i][k] as usize;
             allocation[i] = ci;
             k -= ci;
         }
         debug_assert_eq!(k, 0, "backtrack must consume the whole cache");
         // Recompute the cost from the allocation as a self-check (and to
         // normalize Max-combine identity handling).
-        let mut acc = combine.identity();
-        for (i, &ci) in allocation.iter().enumerate() {
-            acc = combine.apply(acc, costs[i].at(ci));
-        }
+        let acc = combine.accumulate(costs, &allocation);
         Some(PartitionResult {
             allocation,
             cost: acc,
@@ -254,58 +284,16 @@ impl DpSolver {
         &mut self,
         costs: &[CostCurve],
         max_units: usize,
-        combine: Combine,
+        objective: &Objective,
     ) -> Option<DpFrontier> {
         if costs.is_empty() {
             return None;
         }
         let p = costs.len();
-        let c = max_units;
-        let dp = &mut self.dp;
-        let next = &mut self.next;
-        let choice = &mut self.choice;
-        dp.clear();
-        dp.extend((0..=c).map(|k| costs[0].at(k)));
-        next.clear();
-        next.resize(c + 1, f64::INFINITY);
-        if choice.len() < p {
-            choice.resize_with(p, Vec::new);
-        }
-        {
-            let row = &mut choice[0];
-            row.clear();
-            row.extend(0..=c as u32);
-        }
-        for (i, cost_i) in costs.iter().enumerate().skip(1) {
-            let row = &mut choice[i];
-            row.clear();
-            row.resize(c + 1, 0);
-            for (k, slot) in next.iter_mut().enumerate() {
-                let mut best = f64::INFINITY;
-                let mut best_c = 0u32;
-                for ci in 0..=k {
-                    let prev = dp[k - ci];
-                    if prev.is_infinite() {
-                        continue;
-                    }
-                    let own = cost_i.at(ci);
-                    if own.is_infinite() {
-                        continue;
-                    }
-                    let total = combine.apply(prev, own);
-                    if total < best {
-                        best = total;
-                        best_c = ci as u32;
-                    }
-                }
-                *slot = best;
-                row[k] = best_c;
-            }
-            std::mem::swap(dp, next);
-        }
+        self.fill_tables(costs, max_units, objective.combine());
         Some(DpFrontier {
-            costs: dp.clone(),
-            choice: choice[..p].to_vec(),
+            costs: self.dp.clone(),
+            choice: self.choice[..p].to_vec(),
         })
     }
 }
@@ -318,19 +306,19 @@ impl DpSolver {
 /// wrong and the DP gets right:
 ///
 /// ```
-/// use cps_core::{optimal_partition, Combine, CostCurve};
+/// use cps_core::{optimal_partition, CostCurve, Objective};
 /// let cliff = CostCurve::from_raw(vec![1.0, 1.0, 1.0, 0.0]); // all-or-nothing at 3 units
 /// let smooth = CostCurve::from_raw(vec![0.3, 0.2, 0.1, 0.05]);
-/// let best = optimal_partition(&[cliff, smooth], 3, Combine::Sum).unwrap();
+/// let best = optimal_partition(&[cliff, smooth], 3, &Objective::MissRatioSum).unwrap();
 /// assert_eq!(best.allocation, vec![3, 0]); // feed the cliff
 /// assert!((best.cost - 0.3).abs() < 1e-12);
 /// ```
 pub fn optimal_partition(
     costs: &[CostCurve],
     total_units: usize,
-    combine: Combine,
+    objective: &Objective,
 ) -> Option<PartitionResult> {
-    DpSolver::new().solve(costs, total_units, combine)
+    DpSolver::new().solve(costs, total_units, objective)
 }
 
 /// Exhaustive reference optimizer (`O(C^(P−1))`) — the oracle the tests
@@ -338,13 +326,14 @@ pub fn optimal_partition(
 pub fn brute_force_partition(
     costs: &[CostCurve],
     total_units: usize,
-    combine: Combine,
+    objective: &Objective,
 ) -> Option<PartitionResult> {
     // Iterative odometer over all compositions of total_units into p
     // parts: enumerate the first p−1 digits, the last is the remainder.
     if costs.is_empty() {
         return None;
     }
+    let combine = objective.combine();
     let p = costs.len();
     let mut alloc = vec![0usize; p];
     let mut best: Option<PartitionResult> = None;
@@ -352,17 +341,8 @@ pub fn brute_force_partition(
         let head: usize = alloc[..p - 1].iter().sum();
         if head <= total_units {
             alloc[p - 1] = total_units - head;
-            let mut acc = combine.identity();
-            let mut feasible = true;
-            for (cc, &a) in costs.iter().zip(&alloc) {
-                let v = cc.at(a);
-                if v.is_infinite() {
-                    feasible = false;
-                    break;
-                }
-                acc = combine.apply(acc, v);
-            }
-            if feasible && best.as_ref().is_none_or(|b| acc < b.cost) {
+            let acc = combine.accumulate(costs, &alloc);
+            if acc.is_finite() && best.as_ref().is_none_or(|b| acc < b.cost) {
                 best = Some(PartitionResult {
                     allocation: alloc.clone(),
                     cost: acc,
@@ -397,7 +377,7 @@ mod tests {
     #[test]
     fn single_program_takes_everything() {
         let c = curve(vec![1.0, 0.5, 0.2, 0.1]);
-        let r = optimal_partition(&[c], 3, Combine::Sum).unwrap();
+        let r = optimal_partition(&[c], 3, &Objective::MissRatioSum).unwrap();
         assert_eq!(r.allocation, vec![3]);
         assert!((r.cost - 0.1).abs() < 1e-12);
     }
@@ -407,7 +387,7 @@ mod tests {
         // Program A gains a lot from 2 units; program B from 1.
         let a = curve(vec![1.0, 0.9, 0.1, 0.05]);
         let b = curve(vec![1.0, 0.2, 0.15, 0.1]);
-        let r = optimal_partition(&[a, b], 3, Combine::Sum).unwrap();
+        let r = optimal_partition(&[a, b], 3, &Objective::MissRatioSum).unwrap();
         assert_eq!(r.allocation, vec![2, 1]);
         assert!((r.cost - 0.3).abs() < 1e-12);
     }
@@ -418,7 +398,7 @@ mod tests {
         // Greedy-by-next-unit would feed B; optimal gives A its cliff.
         let a = curve(vec![1.0, 1.0, 1.0, 0.0]);
         let b = curve(vec![0.3, 0.2, 0.1, 0.05]);
-        let r = optimal_partition(&[a, b], 3, Combine::Sum).unwrap();
+        let r = optimal_partition(&[a, b], 3, &Objective::MissRatioSum).unwrap();
         assert_eq!(r.allocation, vec![3, 0]);
         assert!((r.cost - 0.3).abs() < 1e-12);
     }
@@ -443,8 +423,8 @@ mod tests {
                     curve(v)
                 })
                 .collect();
-            let dp = optimal_partition(&costs, c, Combine::Sum).unwrap();
-            let bf = brute_force_partition(&costs, c, Combine::Sum).unwrap();
+            let dp = optimal_partition(&costs, c, &Objective::MissRatioSum).unwrap();
+            let bf = brute_force_partition(&costs, c, &Objective::MissRatioSum).unwrap();
             assert!(
                 (dp.cost - bf.cost).abs() < 1e-9,
                 "dp {} vs brute force {}",
@@ -460,8 +440,8 @@ mod tests {
         // "Any function" support: costs that go *up* with more cache.
         let a = curve(vec![0.5, 0.1, 0.9, 0.2]);
         let b = curve(vec![0.3, 0.6, 0.0, 0.4]);
-        let dp = optimal_partition(&[a.clone(), b.clone()], 3, Combine::Sum).unwrap();
-        let bf = brute_force_partition(&[a, b], 3, Combine::Sum).unwrap();
+        let dp = optimal_partition(&[a.clone(), b.clone()], 3, &Objective::MissRatioSum).unwrap();
+        let bf = brute_force_partition(&[a, b], 3, &Objective::MissRatioSum).unwrap();
         assert_eq!(dp.cost, bf.cost);
         assert_eq!(dp.allocation, vec![1, 2]);
     }
@@ -472,15 +452,15 @@ mod tests {
         // balances.
         let a = curve(vec![0.9, 0.5, 0.3, 0.1]);
         let b = curve(vec![0.8, 0.4, 0.2, 0.05]);
-        let sum = optimal_partition(&[a.clone(), b.clone()], 3, Combine::Sum).unwrap();
-        let max = optimal_partition(&[a.clone(), b.clone()], 3, Combine::Max).unwrap();
+        let sum = optimal_partition(&[a.clone(), b.clone()], 3, &Objective::MissRatioSum).unwrap();
+        let max = optimal_partition(&[a.clone(), b.clone()], 3, &Objective::MaxMissRatio).unwrap();
         let worst = |r: &PartitionResult| {
             (0..2)
                 .map(|i| [&a, &b][i].at(r.allocation[i]))
                 .fold(0.0, f64::max)
         };
         assert!(worst(&max) <= worst(&sum) + 1e-12);
-        let bf = brute_force_partition(&[a, b], 3, Combine::Max).unwrap();
+        let bf = brute_force_partition(&[a, b], 3, &Objective::MaxMissRatio).unwrap();
         assert!((max.cost - bf.cost).abs() < 1e-12);
     }
 
@@ -489,7 +469,7 @@ mod tests {
         // A needs at least 2 units; B at least 1; cache of 4.
         let a = curve(vec![FORBIDDEN, FORBIDDEN, 0.5, 0.4, 0.3]);
         let b = curve(vec![FORBIDDEN, 0.6, 0.5, 0.45, 0.44]);
-        let r = optimal_partition(&[a, b], 4, Combine::Sum).unwrap();
+        let r = optimal_partition(&[a, b], 4, &Objective::MissRatioSum).unwrap();
         assert!(r.allocation[0] >= 2);
         assert!(r.allocation[1] >= 1);
         assert_eq!(r.allocation.iter().sum::<usize>(), 4);
@@ -500,19 +480,22 @@ mod tests {
         // Together they need 5 units; only 4 exist.
         let a = curve(vec![FORBIDDEN, FORBIDDEN, FORBIDDEN, 0.1, 0.1]);
         let b = curve(vec![FORBIDDEN, FORBIDDEN, 0.2, 0.2, 0.2]);
-        assert_eq!(optimal_partition(&[a, b], 4, Combine::Sum), None);
+        assert_eq!(
+            optimal_partition(&[a, b], 4, &Objective::MissRatioSum),
+            None
+        );
     }
 
     #[test]
     fn empty_input_returns_none() {
-        assert_eq!(optimal_partition(&[], 4, Combine::Sum), None);
+        assert_eq!(optimal_partition(&[], 4, &Objective::MissRatioSum), None);
     }
 
     #[test]
     fn zero_cache_allocates_zeros() {
         let a = curve(vec![0.5]);
         let b = curve(vec![0.25]);
-        let r = optimal_partition(&[a, b], 0, Combine::Sum).unwrap();
+        let r = optimal_partition(&[a, b], 0, &Objective::MissRatioSum).unwrap();
         assert_eq!(r.allocation, vec![0, 0]);
         assert!((r.cost - 0.75).abs() < 1e-12);
     }
@@ -547,7 +530,7 @@ mod tests {
                 4,
             ),
         ];
-        for combine in [Combine::Sum, Combine::Max] {
+        for combine in [&Objective::MissRatioSum, &Objective::MaxMissRatio] {
             for (costs, c) in &instances {
                 assert_eq!(
                     solver.solve(costs, *c, combine),
@@ -563,9 +546,9 @@ mod tests {
         let mut solver = DpSolver::new();
         let a = curve(vec![FORBIDDEN, FORBIDDEN, FORBIDDEN, 0.1, 0.1]);
         let b = curve(vec![FORBIDDEN, FORBIDDEN, 0.2, 0.2, 0.2]);
-        assert_eq!(solver.solve(&[a, b], 4, Combine::Sum), None);
+        assert_eq!(solver.solve(&[a, b], 4, &Objective::MissRatioSum), None);
         let c = curve(vec![1.0, 0.5]);
-        let r = solver.solve(&[c], 1, Combine::Sum).unwrap();
+        let r = solver.solve(&[c], 1, &Objective::MissRatioSum).unwrap();
         assert_eq!(r.allocation, vec![1]);
     }
 
@@ -577,7 +560,7 @@ mod tests {
             curve(vec![1.0, 0.8, 0.3, 0.2, 0.15]),
             curve(vec![0.9, 0.6, 0.55, 0.5, 0.5]),
         ];
-        for combine in [Combine::Sum, Combine::Max] {
+        for combine in [&Objective::MissRatioSum, &Objective::MaxMissRatio] {
             let frontier = solver.solve_frontier(&costs, 4, combine).unwrap();
             for k in 0..=4 {
                 let direct = solver.solve(&costs, k, combine).unwrap();
@@ -597,7 +580,7 @@ mod tests {
     fn frontier_of_one_program_is_its_cost_curve() {
         let c = curve(vec![1.0, 0.5, 0.2, 0.1]);
         let frontier = DpSolver::new()
-            .solve_frontier(std::slice::from_ref(&c), 5, Combine::Sum)
+            .solve_frontier(std::slice::from_ref(&c), 5, &Objective::MissRatioSum)
             .unwrap();
         for k in 0..=5 {
             assert_eq!(frontier.cost(k), c.at(k));
@@ -611,7 +594,7 @@ mod tests {
         let a = curve(vec![FORBIDDEN, FORBIDDEN, 0.5, 0.4, 0.3]);
         let b = curve(vec![FORBIDDEN, 0.6, 0.5, 0.45, 0.44]);
         let frontier = DpSolver::new()
-            .solve_frontier(&[a, b], 4, Combine::Sum)
+            .solve_frontier(&[a, b], 4, &Objective::MissRatioSum)
             .unwrap();
         for k in 0..3 {
             assert!(frontier.cost(k).is_infinite(), "k={k}");
@@ -641,7 +624,7 @@ mod tests {
             let costs: Vec<CostCurve> = (0..3)
                 .map(|_| curve((0..=10).map(|_| rnd()).collect()))
                 .collect();
-            for combine in [Combine::Sum, Combine::Max] {
+            for combine in [&Objective::MissRatioSum, &Objective::MaxMissRatio] {
                 let frontier = solver.solve_frontier(&costs, 10, combine).unwrap();
                 for k in 0..=10 {
                     let bf = brute_force_partition(&costs, k, combine).unwrap();
@@ -658,7 +641,10 @@ mod tests {
 
     #[test]
     fn frontier_of_empty_input_is_none() {
-        assert_eq!(DpSolver::new().solve_frontier(&[], 4, Combine::Sum), None);
+        assert_eq!(
+            DpSolver::new().solve_frontier(&[], 4, &Objective::MissRatioSum),
+            None
+        );
     }
 
     #[test]
@@ -666,7 +652,7 @@ mod tests {
         // A curve shorter than the cache behaves as flat past its end.
         let a = curve(vec![1.0, 0.0]); // flat 0 beyond 1 unit
         let b = curve(vec![1.0, 0.4, 0.3, 0.2, 0.15]);
-        let r = optimal_partition(&[a, b], 4, Combine::Sum).unwrap();
+        let r = optimal_partition(&[a, b], 4, &Objective::MissRatioSum).unwrap();
         assert_eq!(r.allocation, vec![1, 3]);
     }
 }

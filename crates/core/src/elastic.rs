@@ -14,7 +14,8 @@
 
 use crate::config::CacheConfig;
 use crate::cost::CostCurve;
-use crate::dp::{optimal_partition, Combine, PartitionResult};
+use crate::dp::{optimal_partition, PartitionResult};
+use crate::objective::Objective;
 use cps_hotl::SoloProfile;
 
 /// One point of the elastic trade-off.
@@ -63,7 +64,7 @@ pub fn elastic_partition(
             CostCurve::with_baseline_cap(&m.mrc, config, m.access_rate / total_rate, cap)
         })
         .collect();
-    let result = optimal_partition(&costs, config.units, Combine::Sum)
+    let result = optimal_partition(&costs, config.units, &Objective::MissRatioSum)
         .expect("theta-scaled equal allocation is always feasible");
     let member_miss_ratios = members
         .iter()
@@ -121,7 +122,7 @@ mod tests {
             .iter()
             .map(|m| CostCurve::from_miss_ratio(&m.mrc, &cfg, m.access_rate / total_rate))
             .collect();
-        let unconstrained = optimal_partition(&costs, cfg.units, Combine::Sum).unwrap();
+        let unconstrained = optimal_partition(&costs, cfg.units, &Objective::MissRatioSum).unwrap();
         assert!((elastic.result.cost - unconstrained.cost).abs() < 1e-12);
     }
 

@@ -11,6 +11,9 @@
 //! * [`dp`] — the **optimal partitioning dynamic program** (Section V-B,
 //!   Eq. 15/16): `O(P·C²)` time, `O(P·C)` space, no convexity
 //!   assumption, pluggable accumulation (throughput or max-min).
+//! * [`objective`] — first-class, serializable objectives over the DP:
+//!   miss-ratio sum (default), max-min QoS, concave utility of hit
+//!   rate, value-weighted misses, and max-slowdown fairness.
 //! * [`sttw`] — the classic Stone–Thiebaut–Turek–Wolf equal-derivative
 //!   solution (Eq. 12–14), implemented as marginal-gain greedy over the
 //!   lower convex envelope — optimal exactly when the true curves are
@@ -49,6 +52,7 @@ pub mod elastic;
 pub mod fairness;
 pub mod multicache;
 pub mod natural;
+pub mod objective;
 pub mod perf;
 pub mod phased;
 pub mod schemes;
@@ -61,6 +65,10 @@ pub use config::CacheConfig;
 pub use cost::{access_shares, build_cost_curves, equal_baseline_caps, CostCurve};
 pub use dp::{optimal_partition, Combine, DpFrontier, DpSolver, PartitionResult};
 pub use natural::{natural_baseline_caps, natural_partition_units};
-pub use schemes::{evaluate_group, GroupEvaluation, Scheme, SchemeResult};
+pub use objective::{CostModel, Objective, DEFAULT_UTILITY_CURVATURE};
+pub use schemes::{evaluate_group, evaluate_group_with, GroupEvaluation, Scheme, SchemeResult};
 pub use sttw::sttw_partition;
-pub use sweep::{all_k_subsets, sweep_groups, GroupRecord, ImprovementStats, Study};
+pub use sweep::{
+    all_k_subsets, gap_stats, improvement_stats, sweep_groups, sweep_groups_with, table1,
+    GroupRecord, ImprovementStats, Study,
+};

@@ -14,7 +14,8 @@
 
 use crate::config::CacheConfig;
 use crate::cost::CostCurve;
-use crate::dp::{optimal_partition, Combine};
+use crate::dp::optimal_partition;
+use crate::objective::Objective;
 use cps_hotl::{CoRunModel, SoloProfile};
 
 /// How each cache's space is managed among its tenants.
@@ -71,7 +72,7 @@ pub fn evaluate_assignment(
                     .iter()
                     .map(|m| CostCurve::from_miss_ratio(&m.mrc, config, m.access_rate / group_rate))
                     .collect();
-                let result = optimal_partition(&costs, config.units, Combine::Sum)
+                let result = optimal_partition(&costs, config.units, &Objective::MissRatioSum)
                     .expect("unconstrained DP is feasible");
                 for ((&i, t), &units) in group.iter().zip(&tenants).zip(&result.allocation) {
                     member_miss_ratios[i] = t.mrc.at(config.to_blocks(units));

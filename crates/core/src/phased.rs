@@ -18,7 +18,8 @@
 
 use crate::config::CacheConfig;
 use crate::cost::CostCurve;
-use crate::dp::{optimal_partition, Combine};
+use crate::dp::optimal_partition;
+use crate::objective::Objective;
 use cps_hotl::SoloProfile;
 use cps_trace::Block;
 
@@ -128,7 +129,7 @@ pub fn phase_aware_partition(
                 CostCurve::from_miss_ratio(&p.segments[s].mrc, config, p.access_rate / total_rate)
             })
             .collect();
-        let optimal = optimal_partition(&costs, config.units, Combine::Sum)
+        let optimal = optimal_partition(&costs, config.units, &Objective::MissRatioSum)
             .expect("unconstrained DP feasible");
         let chosen = match &previous {
             Some(prev) => {

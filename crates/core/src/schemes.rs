@@ -16,11 +16,11 @@
 //! comparable.
 
 use crate::config::CacheConfig;
-use crate::cost::CostCurve;
-use crate::dp::{optimal_partition, Combine};
+use crate::dp::optimal_partition;
 use crate::natural::natural_partition_units;
+use crate::objective::{CostModel, Objective};
 use crate::sttw::sttw_partition;
-use cps_hotl::{CoRunModel, SoloProfile};
+use cps_hotl::{CoRunModel, MissRatioCurve, SoloProfile};
 
 /// The six evaluated schemes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -73,7 +73,10 @@ pub struct SchemeResult {
     pub allocation: Vec<usize>,
     /// Each member's predicted miss ratio under the scheme.
     pub member_miss_ratios: Vec<f64>,
-    /// Access-share-weighted group miss ratio.
+    /// Group cost of the allocation under the evaluated objective. Under
+    /// the default [`Objective::MissRatioSum`] this is the
+    /// access-share-weighted group miss ratio (the field's historical
+    /// meaning, kept for compatibility).
     pub group_miss_ratio: f64,
 }
 
@@ -115,10 +118,21 @@ impl GroupEvaluation {
         let ratio = (other / opt.max(1e-12)).min(100.0);
         (ratio - 1.0) * 100.0
     }
-}
 
-fn weighted_group(shares: &[f64], member_mrs: &[f64]) -> f64 {
-    shares.iter().zip(member_mrs).map(|(s, m)| s * m).sum()
+    /// Relative gap (in percent) between `scheme`'s group cost and
+    /// Optimal's, robust to objectives whose costs can be negative
+    /// (utility): `(cost_s − cost_opt) / max(|cost_opt|, 1e-12) · 100`,
+    /// capped at 9900%. Coincides with
+    /// [`GroupEvaluation::improvement_of_optimal_over`] up to rounding
+    /// when both costs are positive.
+    pub fn gap_of_optimal_over(&self, scheme: Scheme) -> f64 {
+        let opt = self.get(Scheme::Optimal).group_miss_ratio;
+        let other = self.get(scheme).group_miss_ratio;
+        if (other - opt).abs() <= 1e-12 {
+            return 0.0;
+        }
+        (((other - opt) / opt.abs().max(1e-12)) * 100.0).min(9900.0)
+    }
 }
 
 fn members_at(members: &[&SoloProfile], config: &CacheConfig, allocation: &[usize]) -> Vec<f64> {
@@ -129,12 +143,34 @@ fn members_at(members: &[&SoloProfile], config: &CacheConfig, allocation: &[usiz
         .collect()
 }
 
-/// Evaluates all six schemes for one co-run group.
+/// Evaluates all six schemes for one co-run group under the default
+/// miss-ratio-sum objective.
 ///
 /// # Panics
 /// Panics if `members` is empty or any member's MRC was sampled short of
 /// the cache size.
 pub fn evaluate_group(members: &[&SoloProfile], config: &CacheConfig) -> GroupEvaluation {
+    evaluate_group_with(members, config, &Objective::MissRatioSum)
+}
+
+/// Evaluates all six schemes for one co-run group under `objective`.
+///
+/// Every scheme's allocation is costed by
+/// [`CostModel::group_cost`], so the six results are directly comparable
+/// under the chosen objective; `member_miss_ratios` always reports raw
+/// miss ratios regardless of objective. Under
+/// [`Objective::MissRatioSum`] this reproduces [`evaluate_group`]'s
+/// historical output bit-for-bit.
+///
+/// # Panics
+/// Panics if `members` is empty, any member's MRC was sampled short of
+/// the cache size, or the objective does not validate for the group size
+/// (see [`Objective::validate_for`]).
+pub fn evaluate_group_with(
+    members: &[&SoloProfile],
+    config: &CacheConfig,
+    objective: &Objective,
+) -> GroupEvaluation {
     assert!(!members.is_empty(), "group needs members");
     for p in members {
         assert!(
@@ -145,16 +181,21 @@ pub fn evaluate_group(members: &[&SoloProfile], config: &CacheConfig) -> GroupEv
             config.blocks()
         );
     }
+    if let Err(e) = objective.validate_for(members.len()) {
+        panic!("{e}");
+    }
     let model = CoRunModel::new(members.to_vec());
     let shares = model.shares().to_vec();
     let p = members.len();
+    let mrcs: Vec<&MissRatioCurve> = members.iter().map(|m| &m.mrc).collect();
+    let costs = objective.cost_curves(&mrcs, config, &shares, None);
 
     // -- Equal ------------------------------------------------------------
     let equal_alloc = config.equal_split(p);
     let equal_mrs = members_at(members, config, &equal_alloc);
     let equal = SchemeResult {
         scheme: Scheme::Equal,
-        group_miss_ratio: weighted_group(&shares, &equal_mrs),
+        group_miss_ratio: objective.group_cost(&costs, &equal_alloc),
         allocation: equal_alloc.clone(),
         member_miss_ratios: equal_mrs.clone(),
     };
@@ -167,18 +208,13 @@ pub fn evaluate_group(members: &[&SoloProfile], config: &CacheConfig) -> GroupEv
     let natural_mrs = members_at(members, config, &natural_alloc);
     let natural = SchemeResult {
         scheme: Scheme::Natural,
-        group_miss_ratio: weighted_group(&shares, &natural_mrs),
+        group_miss_ratio: objective.group_cost(&costs, &natural_alloc),
         allocation: natural_alloc.clone(),
         member_miss_ratios: natural_mrs.clone(),
     };
 
     // -- Optimal ------------------------------------------------------------
-    let costs: Vec<CostCurve> = members
-        .iter()
-        .zip(&shares)
-        .map(|(m, &s)| CostCurve::from_miss_ratio(&m.mrc, config, s))
-        .collect();
-    let opt = optimal_partition(&costs, config.units, Combine::Sum)
+    let opt = optimal_partition(&costs, config.units, objective)
         .expect("unconstrained DP is always feasible");
     let optimal = SchemeResult {
         scheme: Scheme::Optimal,
@@ -192,19 +228,14 @@ pub fn evaluate_group(members: &[&SoloProfile], config: &CacheConfig) -> GroupEv
     let sttw = SchemeResult {
         scheme: Scheme::Sttw,
         member_miss_ratios: members_at(members, config, &st.allocation),
-        group_miss_ratio: st.cost,
+        group_miss_ratio: objective.group_cost(&costs, &st.allocation),
         allocation: st.allocation,
     };
 
     // -- Baseline optimizations (Section VI) ----------------------------------
     let baseline_result = |scheme: Scheme, caps: &[f64], fallback: &SchemeResult| {
-        let capped: Vec<CostCurve> = members
-            .iter()
-            .zip(&shares)
-            .zip(caps)
-            .map(|((m, &s), &cap)| CostCurve::with_baseline_cap(&m.mrc, config, s, cap))
-            .collect();
-        match optimal_partition(&capped, config.units, Combine::Sum) {
+        let capped = objective.cost_curves(&mrcs, config, &shares, Some(caps));
+        match optimal_partition(&capped, config.units, objective) {
             Some(r) => SchemeResult {
                 scheme,
                 member_miss_ratios: members_at(members, config, &r.allocation),
@@ -378,6 +409,65 @@ mod tests {
         let eval = evaluate_group(&refs, &cfg);
         // Both fit trivially: everything ≈ 0, improvement defined as 0.
         assert_eq!(eval.improvement_of_optimal_over(Scheme::Equal), 0.0);
+    }
+
+    #[test]
+    fn default_objective_reproduces_evaluate_group_bitwise() {
+        let ps = small_group(128);
+        let refs: Vec<&SoloProfile> = ps.iter().collect();
+        let cfg = CacheConfig::new(32, 4);
+        let legacy = evaluate_group(&refs, &cfg);
+        let with = evaluate_group_with(&refs, &cfg, &Objective::MissRatioSum);
+        for (a, b) in legacy.results.iter().zip(&with.results) {
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.allocation, b.allocation);
+            assert_eq!(a.member_miss_ratios, b.member_miss_ratios);
+            assert_eq!(a.group_miss_ratio.to_bits(), b.group_miss_ratio.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_objective_keeps_optimal_ahead() {
+        let ps = small_group(128);
+        let refs: Vec<&SoloProfile> = ps.iter().collect();
+        let cfg = CacheConfig::new(32, 4);
+        for objective in [
+            Objective::MissRatioSum,
+            Objective::MaxMissRatio,
+            Objective::Utility { curvature: 0.5 },
+            Objective::ValueWeighted {
+                weights: vec![2.0, 1.0, 0.5],
+            },
+            Objective::MaxSlowdown,
+        ] {
+            let eval = evaluate_group_with(&refs, &cfg, &objective);
+            let opt = eval.get(Scheme::Optimal).group_miss_ratio;
+            for s in Scheme::ALL {
+                let r = eval.get(s);
+                assert_eq!(r.allocation.iter().sum::<usize>(), cfg.units);
+                assert!(
+                    opt <= r.group_miss_ratio + 1e-9,
+                    "{objective}: Optimal must not lose to {}",
+                    s.name()
+                );
+            }
+            assert!(eval.gap_of_optimal_over(Scheme::Natural) >= -1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "value-weighted names 2 weights")]
+    fn mismatched_value_weights_panic() {
+        let ps = small_group(64);
+        let refs: Vec<&SoloProfile> = ps.iter().collect();
+        let cfg = CacheConfig::new(64, 1);
+        let _ = evaluate_group_with(
+            &refs,
+            &cfg,
+            &Objective::ValueWeighted {
+                weights: vec![1.0, 2.0],
+            },
+        );
     }
 
     #[test]

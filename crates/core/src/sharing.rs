@@ -241,7 +241,8 @@ pub fn classify(config: &SharingConfig, num_programs: usize) -> Option<Scheme> {
 mod tests {
     use super::*;
     use crate::cost::CostCurve;
-    use crate::dp::{optimal_partition, Combine};
+    use crate::dp::optimal_partition;
+    use crate::objective::Objective;
     use cps_trace::WorkloadSpec;
 
     fn profile(name: &str, ws: u64, rate: f64, max_blocks: usize) -> SoloProfile {
@@ -335,7 +336,7 @@ mod tests {
             .zip(&shares)
             .map(|(m, &s)| CostCurve::from_miss_ratio(&m.mrc, &cfg, s))
             .collect();
-        let dp = optimal_partition(&costs, cfg.units, Combine::Sum).unwrap();
+        let dp = optimal_partition(&costs, cfg.units, &Objective::MissRatioSum).unwrap();
         assert!(
             dp.cost <= search.group_miss_ratio + 1e-6,
             "optimal partitioning {} must upper-bound partition-sharing {}",

@@ -111,7 +111,8 @@ pub fn sttw_partition(costs: &[CostCurve], total_units: usize) -> PartitionResul
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dp::{optimal_partition, Combine};
+    use crate::dp::optimal_partition;
+    use crate::objective::Objective;
 
     fn curve(v: Vec<f64>) -> CostCurve {
         CostCurve::from_raw(v)
@@ -132,7 +133,7 @@ mod tests {
             let a = convex(sa, 12);
             let b = convex(sb, 12);
             let sttw = sttw_partition(&[a.clone(), b.clone()], total);
-            let dp = optimal_partition(&[a, b], total, Combine::Sum).unwrap();
+            let dp = optimal_partition(&[a, b], total, &Objective::MissRatioSum).unwrap();
             assert!(
                 (sttw.cost - dp.cost).abs() < 1e-9,
                 "convex case must match: sttw {} vs dp {}",
@@ -161,7 +162,7 @@ mod tests {
         let b = curve(vec![0.9, 0.55, 0.3, 0.28, 0.26, 0.24, 0.22]);
         let total = 4;
         let sttw = sttw_partition(&[a.clone(), b.clone()], total);
-        let dp = optimal_partition(&[a, b], total, Combine::Sum).unwrap();
+        let dp = optimal_partition(&[a, b], total, &Objective::MissRatioSum).unwrap();
         assert_eq!(dp.allocation, vec![4, 0], "optimal feeds the cliff");
         assert!(
             sttw.cost > dp.cost + 0.1,

@@ -9,7 +9,8 @@
 //! cheap schemes.
 
 use crate::config::CacheConfig;
-use crate::schemes::{evaluate_group, GroupEvaluation, Scheme};
+use crate::objective::Objective;
+use crate::schemes::{evaluate_group_with, GroupEvaluation, Scheme};
 use cps_dstruct::stats::{fraction_at_least, Summary};
 use cps_hotl::SoloProfile;
 use cps_trace::ProgramSpec;
@@ -92,15 +93,22 @@ pub fn all_k_subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
     }
 }
 
-/// Evaluates every `k`-program group of the study, in parallel.
+/// Evaluates every `k`-program group of the study under the default
+/// miss-ratio-sum objective, in parallel.
 pub fn sweep_groups(study: &Study, k: usize) -> Vec<GroupRecord> {
+    sweep_groups_with(study, k, &Objective::MissRatioSum)
+}
+
+/// Evaluates every `k`-program group of the study under `objective`, in
+/// parallel — one tournament leg.
+pub fn sweep_groups_with(study: &Study, k: usize, objective: &Objective) -> Vec<GroupRecord> {
     let subsets = all_k_subsets(study.len(), k);
     subsets
         .into_par_iter()
         .map(|indices| {
             let members: Vec<&SoloProfile> = indices.iter().map(|&i| &study.profiles[i]).collect();
             GroupRecord {
-                evaluation: evaluate_group(&members, &study.config),
+                evaluation: evaluate_group_with(&members, &study.config, objective),
                 indices,
             }
         })
@@ -131,6 +139,23 @@ pub fn improvement_stats(records: &[GroupRecord], versus: Scheme) -> Option<Impr
         summary: Summary::from_samples(&improvements)?,
         improved_10pct: fraction_at_least(&improvements, 10.0),
         improved_20pct: fraction_at_least(&improvements, 20.0),
+    })
+}
+
+/// Like [`improvement_stats`] but over the sign-robust
+/// [`GroupEvaluation::gap_of_optimal_over`] metric — safe for
+/// objectives whose group costs can be negative (utility). This is the
+/// tournament's per-objective comparison row.
+pub fn gap_stats(records: &[GroupRecord], versus: Scheme) -> Option<ImprovementStats> {
+    let gaps: Vec<f64> = records
+        .iter()
+        .map(|r| r.evaluation.gap_of_optimal_over(versus))
+        .collect();
+    Some(ImprovementStats {
+        versus,
+        summary: Summary::from_samples(&gaps)?,
+        improved_10pct: fraction_at_least(&gaps, 10.0),
+        improved_20pct: fraction_at_least(&gaps, 20.0),
     })
 }
 

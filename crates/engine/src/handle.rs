@@ -308,6 +308,7 @@ impl EngineHandle {
         tenants: usize,
         registry: Option<&MetricsRegistry>,
     ) -> Self {
+        let units = config.cache.units;
         let engine = match (kind, registry) {
             (EngineKind::Single, None) => {
                 AnyEngine::Single(RepartitionEngine::new(config, tenants))
@@ -350,7 +351,7 @@ impl EngineHandle {
         EngineHandle {
             kind,
             tenants,
-            units: config.cache.units,
+            units,
             control: Mutex::new(ControlCache::of(&engine)),
             inner: Mutex::new(Some(engine)),
             finished: AtomicBool::new(false),
@@ -543,7 +544,7 @@ mod tests {
         let accesses = cotrace(12_500); // ends mid-epoch
         let cfg = EngineConfig::new(CacheConfig::new(64, 1), 2_000);
         let direct = {
-            let mut e = RepartitionEngine::new(cfg, 2);
+            let mut e = RepartitionEngine::new(cfg.clone(), 2);
             e.run(accesses.iter().copied());
             e.finish()
         };
@@ -555,7 +556,7 @@ mod tests {
                 queue_capacity: 64,
             },
         ] {
-            let handle = EngineHandle::new(kind, cfg, 2);
+            let handle = EngineHandle::new(kind, cfg.clone(), 2);
             for batch in accesses.chunks(777) {
                 handle.push_batch(batch).unwrap();
             }

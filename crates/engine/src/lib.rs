@@ -69,7 +69,7 @@ pub use cps_trace::Block;
 
 use crate::obs::EngineMetrics;
 use cps_cachesim::AccessCounts;
-use cps_core::{CacheConfig, Combine};
+use cps_core::{CacheConfig, Objective};
 use cps_hotl::MissRatioCurve;
 use cps_obs::Stopwatch;
 use std::sync::Arc;
@@ -117,7 +117,7 @@ pub enum Policy {
 ///     .hysteresis(4);
 /// assert_eq!(cfg.epoch_length, 10_000);
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Cache geometry shared by all tenants.
     pub cache: CacheConfig,
@@ -125,8 +125,8 @@ pub struct EngineConfig {
     pub epoch_length: usize,
     /// Allocation policy applied at each re-solve.
     pub policy: Policy,
-    /// How per-tenant costs accumulate (throughput vs max-min QoS).
-    pub objective: Combine,
+    /// The partitioning objective (cost construction + accumulation).
+    pub objective: Objective,
     /// Per-tenant profiler mode (cumulative or windowed with decay).
     pub profiler: ProfilerMode,
     /// Minimum units that must move before a new allocation is applied;
@@ -146,7 +146,7 @@ impl EngineConfig {
             cache,
             epoch_length,
             policy: Policy::Optimal,
-            objective: Combine::Sum,
+            objective: Objective::MissRatioSum,
             profiler: ProfilerMode::Windowed { decay: 0.5 },
             min_repartition_units: 1,
         }
@@ -158,8 +158,8 @@ impl EngineConfig {
         self
     }
 
-    /// Sets the accumulation objective.
-    pub fn objective(mut self, objective: Combine) -> Self {
+    /// Sets the partitioning objective.
+    pub fn objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
         self
     }
@@ -395,6 +395,7 @@ impl EpochCore {
         EngineReport {
             tenants: self.totals.len(),
             cache: self.config.cache,
+            objective: self.config.objective.name(),
             epochs: self.records,
             totals: self.totals,
             ingest: None,
@@ -418,7 +419,7 @@ impl EpochCore {
 /// ];
 /// let feed = InterleavedStream::new(streams, vec![1.0, 1.0]);
 /// let cfg = EngineConfig::new(CacheConfig::new(64, 1), 2_000);
-/// let mut engine = RepartitionEngine::new(cfg, 2);
+/// let mut engine = RepartitionEngine::new(cfg.clone(), 2);
 /// engine.run(feed.take(20_000));
 /// let report = engine.finish();
 /// assert_eq!(report.epochs.len(), 10);
@@ -452,8 +453,8 @@ impl RepartitionEngine {
     pub fn new(config: EngineConfig, tenants: usize) -> Self {
         assert!(tenants > 0, "need at least one tenant");
         RepartitionEngine {
-            core: EpochCore::new(config, tenants),
             actuator: Box::new(HysteresisActuator::new(&config, tenants)),
+            core: EpochCore::new(config, tenants),
             epoch_accesses: 0,
             pending_external: None,
         }
@@ -700,7 +701,7 @@ mod tests {
         let t0 = WorkloadSpec::SequentialLoop { working_set: 24 }.generate(40_000, 1);
         let t1 = WorkloadSpec::UniformRandom { region: 200 }.generate(40_000, 2);
         let cfg = EngineConfig::new(CacheConfig::new(64, 1), 4_000);
-        let mut engine = RepartitionEngine::new(cfg, 2);
+        let mut engine = RepartitionEngine::new(cfg.clone(), 2);
         feed(&mut engine, &[t0, t1], &[1.0, 1.0], 40_000);
         let report = engine.finish();
         assert_eq!(report.epochs.len(), 10);
@@ -720,7 +721,7 @@ mod tests {
         let t0 = WorkloadSpec::UniformRandom { region: 100 }.generate(30_000, 3);
         let t1 = WorkloadSpec::UniformRandom { region: 100 }.generate(30_000, 4);
         let loose = EngineConfig::new(CacheConfig::new(64, 1), 3_000);
-        let tight = loose.hysteresis(64); // can never move 64 of 64 units
+        let tight = loose.clone().hysteresis(64); // can never move 64 of 64 units
         let mut a = RepartitionEngine::new(loose, 2);
         let mut b = RepartitionEngine::new(tight, 2);
         feed(&mut a, &[t0.clone(), t1.clone()], &[1.0, 1.0], 30_000);
@@ -742,7 +743,7 @@ mod tests {
     fn partial_final_epoch_is_flushed_profiled_and_solved() {
         let t0 = WorkloadSpec::SequentialLoop { working_set: 8 }.generate(2_500, 1);
         let cfg = EngineConfig::new(CacheConfig::new(16, 1), 1_000);
-        let mut engine = RepartitionEngine::new(cfg, 1);
+        let mut engine = RepartitionEngine::new(cfg.clone(), 1);
         engine.run(t0.blocks.iter().map(|&b| (0usize, b)));
         let report = engine.finish();
         assert_eq!(report.epochs.len(), 3, "2 full + 1 partial epoch");
@@ -770,7 +771,7 @@ mod tests {
         .generate(24_000, 2);
         for policy in [Policy::EqualBaseline, Policy::NaturalBaseline] {
             let cfg = EngineConfig::new(CacheConfig::new(64, 1), 4_000).policy(policy);
-            let mut engine = RepartitionEngine::new(cfg, 2);
+            let mut engine = RepartitionEngine::new(cfg.clone(), 2);
             feed(&mut engine, &[t0.clone(), t1.clone()], &[1.0, 1.0], 24_000);
             let report = engine.finish();
             assert_eq!(report.epochs.len(), 6, "{policy:?}");
@@ -787,7 +788,7 @@ mod tests {
         let t0 = WorkloadSpec::UniformRandom { region: 60 }.generate(12_000, 7);
         let t1 = WorkloadSpec::SequentialLoop { working_set: 12 }.generate(12_000, 8);
         let cfg = EngineConfig::new(CacheConfig::new(32, 1), 2_000);
-        let mut engine = RepartitionEngine::new(cfg, 2);
+        let mut engine = RepartitionEngine::new(cfg.clone(), 2);
         feed(&mut engine, &[t0, t1], &[2.0, 1.0], 18_000);
         let report = engine.finish();
         for t in 0..2 {
@@ -810,7 +811,7 @@ mod tests {
         .generate(20_000, 5);
         let t1 = WorkloadSpec::SequentialLoop { working_set: 40 }.generate(20_000, 6);
         let cfg = EngineConfig::new(CacheConfig::new(96, 1), 2_500).decay(0.2);
-        let mut engine = RepartitionEngine::new(cfg, 2);
+        let mut engine = RepartitionEngine::new(cfg.clone(), 2);
         feed(&mut engine, &[t0, t1], &[1.0, 1.0], 40_000);
         let report = engine.finish();
         for e in &report.epochs {
@@ -844,7 +845,7 @@ mod tests {
         }
         let cfg = EngineConfig::new(CacheConfig::new(32, 1), 500);
         let engine = RepartitionEngine::with_stages(
-            cfg,
+            cfg.clone(),
             default_profilers(&cfg, 2),
             Box::new(Greedy { units: 32 }),
             Box::new(HysteresisActuator::new(&cfg, 2)),
@@ -864,7 +865,7 @@ mod tests {
         // (epoch_length is effectively infinite); every boundary goes
         // through export → apply.
         let cfg = EngineConfig::new(CacheConfig::new(16, 1), usize::MAX).hysteresis(1);
-        let mut engine = RepartitionEngine::new(cfg, 2);
+        let mut engine = RepartitionEngine::new(cfg.clone(), 2);
 
         // No boundary open yet: apply is a no-op.
         assert!(engine

@@ -62,10 +62,13 @@ impl EpochRecord {
         self.timings.solve_nanos
     }
 
-    /// This record as a journal line payload.
-    pub fn journal_event(&self) -> EpochEvent {
+    /// This record as a journal line payload, tagged with the
+    /// objective spec the run solved under (journal schema v2 requires
+    /// every epoch line to name it).
+    pub fn journal_event(&self, objective: &str) -> EpochEvent {
         EpochEvent {
             epoch: self.epoch,
+            objective: objective.to_string(),
             allocation: self.allocation.clone(),
             accesses: self.per_tenant.iter().map(|c| c.accesses).collect(),
             misses: self.per_tenant.iter().map(|c| c.misses).collect(),
@@ -89,6 +92,9 @@ pub struct EngineReport {
     pub tenants: usize,
     /// Cache geometry the run used.
     pub cache: CacheConfig,
+    /// Spec of the objective every boundary solved under (from
+    /// [`EngineConfig::objective`](crate::EngineConfig)).
+    pub objective: String,
     /// Per-epoch records, in order (including a final partial epoch if
     /// the stream ended mid-epoch — profiled and solved like any other,
     /// but never actuated, since no further accesses would be served).
@@ -164,9 +170,13 @@ impl EngineReport {
             .collect()
     }
 
-    /// Every epoch as a journal event, in order.
+    /// Every epoch as a journal event, in order, each tagged with the
+    /// run's objective spec.
     pub fn journal_events(&self) -> Vec<EpochEvent> {
-        self.epochs.iter().map(|e| e.journal_event()).collect()
+        self.epochs
+            .iter()
+            .map(|e| e.journal_event(&self.objective))
+            .collect()
     }
 
     /// The journal summary line for this run; by construction it
@@ -240,6 +250,7 @@ mod tests {
         let report = EngineReport {
             tenants: 2,
             cache: CacheConfig::new(8, 1),
+            objective: "miss-ratio".to_string(),
             epochs: vec![idle],
             totals: vec![counts(0, 0), counts(0, 0)],
             ingest: None,
@@ -253,6 +264,7 @@ mod tests {
         let report = EngineReport {
             tenants: 2,
             cache: CacheConfig::new(8, 1),
+            objective: "miss-ratio".to_string(),
             epochs: vec![],
             totals: vec![counts(10, 5), counts(40, 4)],
             ingest: None,
@@ -267,6 +279,7 @@ mod tests {
         let report = EngineReport {
             tenants: 1,
             cache: CacheConfig::new(8, 1),
+            objective: "miss-ratio".to_string(),
             epochs: vec![
                 record(0, vec![4, 4], vec![counts(10, 1)]),
                 record(1, vec![6, 2], vec![counts(10, 1)]),
@@ -296,6 +309,7 @@ mod tests {
         let report = EngineReport {
             tenants: 2,
             cache: CacheConfig::new(8, 1),
+            objective: "miss-ratio".to_string(),
             epochs: vec![e0, e1],
             totals: vec![counts(110, 11), counts(90, 5)],
             ingest: None,

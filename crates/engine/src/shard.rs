@@ -55,9 +55,9 @@
 //!     )
 //! };
 //! let cfg = EngineConfig::new(CacheConfig::new(64, 1), 2_000);
-//! let mut single = RepartitionEngine::new(cfg, 2);
+//! let mut single = RepartitionEngine::new(cfg.clone(), 2);
 //! single.run(feed().take(10_000));
-//! let mut sharded = ShardedEngine::new(cfg, 2, 4);
+//! let mut sharded = ShardedEngine::new(cfg.clone(), 2, 4);
 //! sharded.run(feed().take(10_000));
 //! // Same control trajectory, any shard count.
 //! let (a, b) = (single.finish(), sharded.finish());
@@ -100,11 +100,11 @@ impl ShardedEngine {
     pub fn new(config: EngineConfig, tenants: usize, shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
         ShardedEngine {
-            core: EpochCore::new(config, tenants),
             actuators: (0..shards)
                 .map(|_| HysteresisActuator::new(&config, tenants))
                 .collect(),
             ingest: BufferedIngest::with_capacity(config.epoch_length),
+            core: EpochCore::new(config, tenants),
         }
     }
 
@@ -321,9 +321,9 @@ type ShardEpoch = (Vec<OnlineProfiler>, Vec<AccessCounts>);
 ///     )
 /// };
 /// let cfg = EngineConfig::new(CacheConfig::new(64, 1), 2_000);
-/// let mut buffered = ShardedEngine::new(cfg, 2, 4);
+/// let mut buffered = ShardedEngine::new(cfg.clone(), 2, 4);
 /// buffered.run(feed().take(10_000));
-/// let mut queued = QueuedShardedEngine::new(cfg, 2, 4, 256);
+/// let mut queued = QueuedShardedEngine::new(cfg.clone(), 2, 4, 256);
 /// queued.run(feed().take(10_000));
 /// let (a, b) = (buffered.finish(), queued.finish());
 /// for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
@@ -386,7 +386,7 @@ impl QueuedShardedEngine {
             queue_capacity > 0,
             "queue needs capacity for at least one record"
         );
-        let mut core = EpochCore::new(config, tenants);
+        let mut core = EpochCore::new(config.clone(), tenants);
         core.metrics = metrics.clone();
         let mut senders = Vec::with_capacity(shards);
         let mut results = Vec::with_capacity(shards);
@@ -669,9 +669,9 @@ mod tests {
     fn one_shard_equals_the_single_engine_exactly() {
         let accesses = four_tenant_cotrace(24_000);
         let cfg = EngineConfig::new(CacheConfig::new(128, 1), 5_000);
-        let mut single = RepartitionEngine::new(cfg, 4);
+        let mut single = RepartitionEngine::new(cfg.clone(), 4);
         single.run(accesses.iter().copied());
-        let mut sharded = ShardedEngine::new(cfg, 4, 1);
+        let mut sharded = ShardedEngine::new(cfg.clone(), 4, 1);
         sharded.run(accesses.iter().copied());
         let (a, b) = (single.finish(), sharded.finish());
         assert_eq!(a.epochs.len(), b.epochs.len());
@@ -692,7 +692,7 @@ mod tests {
         let reports: Vec<EngineReport> = [1usize, 2, 3, 8]
             .iter()
             .map(|&n| {
-                let mut e = ShardedEngine::new(cfg, 4, n);
+                let mut e = ShardedEngine::new(cfg.clone(), 4, n);
                 e.run(accesses.iter().copied());
                 e.finish()
             })
@@ -717,7 +717,7 @@ mod tests {
     #[test]
     fn more_shards_than_epoch_accesses_still_works() {
         let cfg = EngineConfig::new(CacheConfig::new(8, 1), 4);
-        let mut e = ShardedEngine::new(cfg, 2, 8);
+        let mut e = ShardedEngine::new(cfg.clone(), 2, 8);
         for i in 0..10u64 {
             e.record_access((i % 2) as usize, i % 3);
         }
@@ -749,7 +749,7 @@ mod tests {
         let accesses = four_tenant_cotrace(12_750); // 2 full epochs + 2 750
         for shards in [1usize, 2, 8] {
             let cfg = EngineConfig::new(CacheConfig::new(64, 1), 5_000);
-            let mut e = ShardedEngine::new(cfg, 4, shards);
+            let mut e = ShardedEngine::new(cfg.clone(), 4, shards);
             e.run(accesses.iter().copied());
             let report = e.finish();
             assert_eq!(
@@ -774,7 +774,7 @@ mod tests {
     #[test]
     fn final_chunk_shorter_than_shard_count_is_kept() {
         let cfg = EngineConfig::new(CacheConfig::new(16, 1), 1_000);
-        let mut e = ShardedEngine::new(cfg, 2, 8);
+        let mut e = ShardedEngine::new(cfg.clone(), 2, 8);
         for i in 0..2_003u64 {
             e.record_access((i % 2) as usize, i % 12);
         }
@@ -791,9 +791,9 @@ mod tests {
         let accesses = four_tenant_cotrace(23_500); // ends mid-epoch
         let cfg = EngineConfig::new(CacheConfig::new(128, 1), 5_000).hysteresis(2);
         for (shards, capacity) in [(1usize, 64usize), (2, 1), (4, 16), (8, 512)] {
-            let mut buffered = ShardedEngine::new(cfg, 4, shards);
+            let mut buffered = ShardedEngine::new(cfg.clone(), 4, shards);
             buffered.run(accesses.iter().copied());
-            let mut queued = QueuedShardedEngine::new(cfg, 4, shards, capacity);
+            let mut queued = QueuedShardedEngine::new(cfg.clone(), 4, shards, capacity);
             queued.run(accesses.iter().copied());
             let (b, q) = (buffered.finish(), queued.finish());
             assert_eq!(b.epochs.len(), q.epochs.len());
@@ -822,7 +822,7 @@ mod tests {
     fn queued_engine_tracks_allocation_mirror() {
         let accesses = four_tenant_cotrace(20_000);
         let cfg = EngineConfig::new(CacheConfig::new(64, 1), 4_000);
-        let mut e = QueuedShardedEngine::new(cfg, 4, 2, 128);
+        let mut e = QueuedShardedEngine::new(cfg.clone(), 4, 2, 128);
         assert_eq!(e.allocation_units(), &[16, 16, 16, 16], "equal start");
         e.run(accesses.iter().copied());
         assert_eq!(e.epochs_completed(), 5);
@@ -839,8 +839,8 @@ mod tests {
     #[test]
     fn queued_engine_capacity_one_backpressures_but_stays_exact() {
         let cfg = EngineConfig::new(CacheConfig::new(16, 1), 64);
-        let mut queued = QueuedShardedEngine::new(cfg, 2, 2, 1);
-        let mut buffered = ShardedEngine::new(cfg, 2, 2);
+        let mut queued = QueuedShardedEngine::new(cfg.clone(), 2, 2, 1);
+        let mut buffered = ShardedEngine::new(cfg.clone(), 2, 2);
         for i in 0..1_000u64 {
             queued.record_access((i % 2) as usize, i % 20);
             buffered.record_access((i % 2) as usize, i % 20);
@@ -866,11 +866,11 @@ mod tests {
         let cfg = EngineConfig::new(CacheConfig::new(16, 1), 64);
         let feed = |n: u64| (0..n).map(|i| ((i % 2) as usize, i % 20));
 
-        let mut single = RepartitionEngine::new(cfg, 2);
+        let mut single = RepartitionEngine::new(cfg.clone(), 2);
         single.run(feed(1_000));
         assert!(single.finish().ingest.is_none(), "single: no queues");
 
-        let mut buffered = ShardedEngine::new(cfg, 2, 2);
+        let mut buffered = ShardedEngine::new(cfg.clone(), 2, 2);
         buffered.run(feed(1_000));
         let b = buffered.finish();
         assert!(b.ingest.is_none(), "buffered: no queues");
@@ -879,7 +879,7 @@ mod tests {
             "buffered epochs carry no deltas"
         );
 
-        let mut queued = QueuedShardedEngine::new(cfg, 2, 2, 1);
+        let mut queued = QueuedShardedEngine::new(cfg.clone(), 2, 2, 1);
         queued.run(feed(1_000));
         let q = queued.finish();
         let stats = q.ingest.expect("queued: stats populated");
@@ -940,17 +940,17 @@ mod tests {
         };
 
         let registry = MetricsRegistry::new();
-        let mut single = RepartitionEngine::with_metrics(cfg, 4, &registry);
+        let mut single = RepartitionEngine::with_metrics(cfg.clone(), 4, &registry);
         single.run(accesses.iter().copied());
         check(&single.finish(), &registry, "single");
 
         let registry = MetricsRegistry::new();
-        let mut buffered = ShardedEngine::with_metrics(cfg, 4, 3, &registry);
+        let mut buffered = ShardedEngine::with_metrics(cfg.clone(), 4, 3, &registry);
         buffered.run(accesses.iter().copied());
         check(&buffered.finish(), &registry, "buffered");
 
         let registry = MetricsRegistry::new();
-        let mut queued = QueuedShardedEngine::with_metrics(cfg, 4, 3, 64, &registry);
+        let mut queued = QueuedShardedEngine::with_metrics(cfg.clone(), 4, 3, 64, &registry);
         queued.run(accesses.iter().copied());
         check(&queued.finish(), &registry, "queued");
     }
@@ -958,7 +958,7 @@ mod tests {
     #[test]
     fn queued_engine_drop_without_finish_retires_workers() {
         let cfg = EngineConfig::new(CacheConfig::new(16, 1), 100);
-        let mut e = QueuedShardedEngine::new(cfg, 2, 4, 8);
+        let mut e = QueuedShardedEngine::new(cfg.clone(), 2, 4, 8);
         for i in 0..250u64 {
             e.record_access((i % 2) as usize, i % 10);
         }

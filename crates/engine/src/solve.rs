@@ -14,7 +14,7 @@ use std::time::Instant;
 use cps_cachesim::AccessCounts;
 use cps_core::{
     access_shares, build_cost_curves, equal_baseline_caps, natural_baseline_caps, CacheConfig,
-    Combine, DpSolver,
+    DpSolver, Objective,
 };
 use cps_hotl::{MissRatioCurve, SoloProfile};
 
@@ -56,7 +56,7 @@ pub trait PartitionSolver: Send {
 pub struct DpPartitionSolver {
     cache: CacheConfig,
     policy: Policy,
-    objective: Combine,
+    objective: Objective,
     solver: DpSolver,
 }
 
@@ -66,7 +66,7 @@ impl DpPartitionSolver {
         DpPartitionSolver {
             cache: config.cache,
             policy: config.policy,
-            objective: config.objective,
+            objective: config.objective.clone(),
             solver: DpSolver::new(),
         }
     }
@@ -89,10 +89,10 @@ impl PartitionSolver for DpPartitionSolver {
             }
         };
 
-        let costs = build_cost_curves(&mrcs, config, &shares, self.objective, caps.as_deref());
+        let costs = build_cost_curves(&mrcs, config, &shares, &self.objective, caps.as_deref());
 
         let started = Instant::now();
-        let result = self.solver.solve(&costs, config.units, self.objective);
+        let result = self.solver.solve(&costs, config.units, &self.objective);
         let solve_nanos = started.elapsed().as_nanos() as u64;
         match result {
             Some(r) => SolveOutcome {

@@ -95,9 +95,9 @@ proptest! {
         let cfg = EngineConfig::new(CacheConfig::new(units, 1), epoch)
             .hysteresis(hysteresis);
         for shards in [1usize, 2, 8] {
-            let mut buffered = ShardedEngine::new(cfg, 3, shards);
+            let mut buffered = ShardedEngine::new(cfg.clone(), 3, shards);
             buffered.run(accesses.iter().copied());
-            let mut queued = QueuedShardedEngine::new(cfg, 3, shards, queue_capacity);
+            let mut queued = QueuedShardedEngine::new(cfg.clone(), 3, shards, queue_capacity);
             queued.run(accesses.iter().copied());
             let (b, q) = (buffered.finish(), queued.finish());
             let label = format!("shards {shards}, queue {queue_capacity}");
@@ -121,7 +121,7 @@ proptest! {
         let cfg = EngineConfig::new(CacheConfig::new(units, 1), epoch);
         let mut reports = Vec::new();
         for capacity in [1usize, 3, 256] {
-            let mut e = QueuedShardedEngine::new(cfg, 3, 2, capacity);
+            let mut e = QueuedShardedEngine::new(cfg.clone(), 3, 2, capacity);
             e.run(accesses.iter().copied());
             reports.push(e.finish());
         }

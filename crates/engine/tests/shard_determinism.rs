@@ -31,7 +31,7 @@ proptest! {
             .hysteresis(hysteresis);
         let mut reports = Vec::new();
         for shards in [1usize, 2, 8] {
-            let mut e = ShardedEngine::new(cfg, 3, shards);
+            let mut e = ShardedEngine::new(cfg.clone(), 3, shards);
             e.run(accesses.iter().copied());
             reports.push((shards, e.finish()));
         }
@@ -62,9 +62,9 @@ proptest! {
     ) {
         let cfg = EngineConfig::new(CacheConfig::new(units, 1), epoch)
             .hysteresis(hysteresis);
-        let mut single = RepartitionEngine::new(cfg, 3);
+        let mut single = RepartitionEngine::new(cfg.clone(), 3);
         single.run(accesses.iter().copied());
-        let mut sharded = ShardedEngine::new(cfg, 3, 1);
+        let mut sharded = ShardedEngine::new(cfg.clone(), 3, 1);
         sharded.run(accesses.iter().copied());
         let (a, b) = (single.finish(), sharded.finish());
         prop_assert_eq!(a.epochs.len(), b.epochs.len());
@@ -86,9 +86,9 @@ proptest! {
     ) {
         for policy in [Policy::EqualBaseline, Policy::NaturalBaseline] {
             let cfg = EngineConfig::new(CacheConfig::new(units, 1), epoch).policy(policy);
-            let mut a = ShardedEngine::new(cfg, 3, 1);
+            let mut a = ShardedEngine::new(cfg.clone(), 3, 1);
             a.run(accesses.iter().copied());
-            let mut b = ShardedEngine::new(cfg, 3, 4);
+            let mut b = ShardedEngine::new(cfg.clone(), 3, 4);
             b.run(accesses.iter().copied());
             let (ra, rb) = (a.finish(), b.finish());
             for (ea, eb) in ra.epochs.iter().zip(&rb.epochs) {

@@ -18,15 +18,21 @@
 //! one node to another at an epoch boundary. Single-engine journals
 //! simply never carry them; readers of either accept both.
 //!
-//! # Schema (version 1)
+//! # Schema (version 2)
 //!
-//! Every line carries `"v":1` ([`JOURNAL_VERSION`]). Fields are only
+//! Every line carries `"v":2` ([`JOURNAL_VERSION`]). Fields are only
 //! ever *added* within a version; removing or re-typing one bumps it.
+//! Version 2 added the required `objective` field to epoch lines (the
+//! spec of the objective the boundary solved under, cross-checked
+//! against the run header by [`Journal::validate`]); version-1
+//! journals are rejected with a clear message rather than read with a
+//! silently-assumed objective.
 //!
 //! ```text
 //! run       {"v","kind":"run","engine","tenants","units","bpu",
 //!            "epoch_length","shards","policy","objective"}
-//! epoch     {"v","kind":"epoch","epoch","alloc":[u..],"accesses":[u..],
+//! epoch     {"v","kind":"epoch","epoch","objective","alloc":[u..],
+//!            "accesses":[u..],
 //!            "misses":[u..],"predicted_cost":f|null,"repartitioned":b,
 //!            "units_moved":u,"timings":{"ingest","profile","merge",
 //!            "solve","actuate"},"backpressure":{"pushed","blocked",
@@ -46,7 +52,7 @@ use crate::json::{escape_json, parse, JsonValue};
 use crate::span::{Stage, StageTimings};
 
 /// Current journal schema version; see the module docs for the format.
-pub const JOURNAL_VERSION: u64 = 1;
+pub const JOURNAL_VERSION: u64 = 2;
 
 /// The run header: first line of every journal.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -86,6 +92,9 @@ pub struct BackpressureDelta {
 pub struct EpochEvent {
     /// Epoch index, from 0.
     pub epoch: usize,
+    /// Spec of the objective the boundary solved under (e.g.
+    /// `miss-ratio`, `utility:0.5`); must equal the run header's.
+    pub objective: String,
     /// Allocation (units) in force during the epoch.
     pub allocation: Vec<usize>,
     /// Per-tenant accesses served.
@@ -232,10 +241,12 @@ impl EpochEvent {
             ),
         };
         format!(
-            "{{\"v\":{JOURNAL_VERSION},\"kind\":\"epoch\",\"epoch\":{},\"alloc\":[{}],\
+            "{{\"v\":{JOURNAL_VERSION},\"kind\":\"epoch\",\"epoch\":{},\"objective\":\"{}\",\
+             \"alloc\":[{}],\
              \"accesses\":{},\"misses\":{},\"predicted_cost\":{cost},\"repartitioned\":{},\
              \"units_moved\":{},\"timings\":{},\"backpressure\":{backpressure}}}",
             self.epoch,
+            escape_json(&self.objective),
             alloc.join(","),
             u64_list(&self.accesses),
             u64_list(&self.misses),
@@ -359,6 +370,7 @@ pub fn parse_journal_line(line: &str) -> Result<JournalLine, String> {
             };
             Ok(JournalLine::Epoch(EpochEvent {
                 epoch: usize_field(&v, "epoch")?,
+                objective: str_field(&v, "objective")?,
                 allocation: u64_list_field(&v, "alloc")?
                     .into_iter()
                     .map(|u| u as usize)
@@ -488,6 +500,12 @@ impl Journal {
             ..RunSummary::default()
         };
         for e in &self.epochs {
+            if e.objective != self.header.objective {
+                return Err(format!(
+                    "epoch {}: objective `{}` does not match the run objective `{}`",
+                    e.epoch, e.objective, self.header.objective
+                ));
+            }
             for (what, len) in [
                 ("alloc", e.allocation.len()),
                 ("accesses", e.accesses.len()),
@@ -607,7 +625,7 @@ mod tests {
             epoch_length: 1_000,
             shards: 2,
             policy: "Optimal".into(),
-            objective: "throughput".into(),
+            objective: "miss-ratio".into(),
         };
         let timings = StageTimings {
             ingest_nanos: 10,
@@ -619,6 +637,7 @@ mod tests {
         let epochs = vec![
             EpochEvent {
                 epoch: 0,
+                objective: "miss-ratio".into(),
                 allocation: vec![32, 32],
                 accesses: vec![600, 400],
                 misses: vec![60, 4],
@@ -634,6 +653,7 @@ mod tests {
             },
             EpochEvent {
                 epoch: 1,
+                objective: "miss-ratio".into(),
                 allocation: vec![40, 24],
                 accesses: vec![500, 500],
                 misses: vec![5, 50],
@@ -772,12 +792,31 @@ mod tests {
 
     #[test]
     fn version_drift_is_rejected() {
+        // A version-1 journal (pre-objective epochs) must be refused
+        // with a message naming both versions, so `cps inspect` can
+        // exit nonzero instead of misreading it.
         let line = sample_journal()
             .header
             .to_json_line()
-            .replace("\"v\":1", "\"v\":2");
+            .replace("\"v\":2", "\"v\":1");
         let err = parse_journal_line(&line).unwrap_err();
-        assert!(err.contains("version 2"), "{err}");
+        assert!(
+            err.contains("journal version 1, this reader speaks 2"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn epoch_objective_must_match_the_header() {
+        let mut journal = sample_journal();
+        journal.epochs[1].objective = "maxmin".into();
+        let err = Journal::parse(&render(&journal)).unwrap_err();
+        assert!(
+            err.contains(
+                "epoch 1: objective `maxmin` does not match the run objective `miss-ratio`"
+            ),
+            "{err}"
+        );
     }
 
     #[test]

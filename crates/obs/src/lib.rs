@@ -35,6 +35,7 @@ pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod span;
+pub mod tournament;
 
 pub use journal::{
     parse_journal_line, BackpressureDelta, EpochEvent, Journal, JournalLine, MigrationEvent,
@@ -42,3 +43,6 @@ pub use journal::{
 };
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, ShardedCounter};
 pub use span::{Stage, StageTimings, Stopwatch};
+pub use tournament::{
+    parse_tournament_line, TournamentHeader, TournamentJournal, TournamentLine, TournamentRow,
+};

@@ -75,7 +75,7 @@ impl Client {
 
     /// The server's engine configuration, as disclosed in HELLO_ACK.
     pub fn config(&self) -> WireConfig {
-        self.config
+        self.config.clone()
     }
 
     /// Streams one access batch. Fire-and-forget: the server only
@@ -134,9 +134,13 @@ impl Client {
     /// Closes the node's current epoch under external clocking and
     /// fetches every tenant's realized counts and miss-ratio samples —
     /// the coordinator's pull half of a cluster epoch. Must be paired
-    /// with [`apply`](Self::apply) to book the boundary.
-    pub fn cost_curves(&mut self) -> Result<Vec<WireCurve>, ServeError> {
-        match self.request(&Message::CostCurves)? {
+    /// with [`apply`](Self::apply) to book the boundary. `objective` is
+    /// the coordinator's objective spec; the node refuses the request
+    /// unless it matches the objective its engine was built with.
+    pub fn cost_curves(&mut self, objective: &str) -> Result<Vec<WireCurve>, ServeError> {
+        match self.request(&Message::CostCurves {
+            objective: objective.to_string(),
+        })? {
             Message::CostCurvesReply { curves } => Ok(curves),
             _ => Err(ServeError::UnexpectedReply("expected COST_CURVES_REPLY")),
         }

@@ -92,7 +92,7 @@ mod tests {
             epoch_length: 500,
             shards,
             policy: "none".to_string(),
-            objective: "throughput".to_string(),
+            objective: "miss-ratio".to_string(),
         }
     }
 
@@ -113,13 +113,13 @@ mod tests {
     #[test]
     fn identity_ignores_wall_clock_but_not_substance() {
         let cfg = EngineConfig::new(CacheConfig::new(16, 1), 500);
-        let mut single = RepartitionEngine::new(cfg, 2);
+        let mut single = RepartitionEngine::new(cfg.clone(), 2);
         single.run(feed());
         let single = single.finish();
 
         // A queued 1-shard run: same control trajectory and counts,
         // wildly different timings and nonzero backpressure deltas.
-        let mut queued = QueuedShardedEngine::new(cfg, 2, 1, 8);
+        let mut queued = QueuedShardedEngine::new(cfg.clone(), 2, 1, 8);
         queued.run(feed());
         let queued = queued.finish();
 
@@ -133,7 +133,7 @@ mod tests {
         assert_eq!(identity_of_journal(&journal), a);
 
         // A different stream is a different identity.
-        let mut other = RepartitionEngine::new(cfg, 2);
+        let mut other = RepartitionEngine::new(cfg.clone(), 2);
         other.run((0..2_500u64).map(|i| ((i % 2) as usize, i % 7)));
         let c = identity_of_report(&h, &other.finish());
         assert_ne!(a, c, "different runs must not collide");

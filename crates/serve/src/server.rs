@@ -30,7 +30,6 @@ use crate::report::render_journal;
 use crate::wire::{
     error_code, read_message, write_message, Message, ServeStats, WireConfig, WireCurve, WireError,
 };
-use cps_core::Combine;
 use cps_engine::{EngineHandle, EngineKind, EngineReport, HandleError, Policy};
 use cps_obs::{Counter, Gauge, MetricsRegistry, RunHeader};
 use std::collections::HashMap;
@@ -72,11 +71,7 @@ impl ServeConfig {
                 Policy::NaturalBaseline => "natural",
             }
             .to_string(),
-            objective: match self.engine.objective {
-                Combine::Sum => "throughput",
-                Combine::Max => "maxmin",
-            }
-            .to_string(),
+            objective: self.engine.objective.name(),
         }
     }
 
@@ -112,10 +107,7 @@ impl ServeConfig {
                 Policy::EqualBaseline => 1,
                 Policy::NaturalBaseline => 2,
             },
-            objective: match self.engine.objective {
-                Combine::Sum => 0,
-                Combine::Max => 1,
-            },
+            objective: self.engine.objective.name(),
         }
     }
 }
@@ -218,8 +210,12 @@ impl Server {
         registry: Arc<MetricsRegistry>,
     ) -> Result<Server, String> {
         let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
-        let handle =
-            EngineHandle::with_metrics(config.kind, config.engine, config.tenants, &registry);
+        let handle = EngineHandle::with_metrics(
+            config.kind,
+            config.engine.clone(),
+            config.tenants,
+            &registry,
+        );
         let metrics = ServeMetrics::register(&registry);
         let shared = Arc::new(Shared {
             header: config.run_header(),
@@ -368,7 +364,7 @@ fn connection(mut stream: TcpStream, shared: &Shared) {
     send_best_effort(
         &mut stream,
         &Message::HelloAck {
-            config: shared.wire_config,
+            config: shared.wire_config.clone(),
         },
     );
 
@@ -490,25 +486,40 @@ fn serve_session(stream: &mut TcpStream, shared: &Shared, session_id: u64, bindi
                 let text = shared.registry.snapshot().render_jsonl();
                 send_best_effort(stream, &Message::SnapshotReply { text });
             }
-            Message::CostCurves => match shared.handle.export_cost_curves() {
-                Ok(exported) => {
-                    let curves = exported
-                        .iter()
-                        .map(|c| WireCurve {
-                            accesses: c.counts.accesses,
-                            misses: c.counts.misses,
-                            samples_bits: c.curve.as_ref().map_or_else(Vec::new, |m| {
-                                m.samples().iter().map(|s| s.to_bits()).collect()
-                            }),
-                        })
-                        .collect();
-                    send_best_effort(stream, &Message::CostCurvesReply { curves });
-                }
-                Err(e) => {
-                    send_control_refusal(stream, &e);
+            Message::CostCurves { objective } => {
+                if objective != shared.wire_config.objective {
+                    send_best_effort(
+                        stream,
+                        &Message::Error {
+                            code: error_code::OBJECTIVE,
+                            message: format!(
+                                "objective mismatch: this node optimizes `{}`, request asked for `{objective}`",
+                                shared.wire_config.objective
+                            ),
+                        },
+                    );
                     return;
                 }
-            },
+                match shared.handle.export_cost_curves() {
+                    Ok(exported) => {
+                        let curves = exported
+                            .iter()
+                            .map(|c| WireCurve {
+                                accesses: c.counts.accesses,
+                                misses: c.counts.misses,
+                                samples_bits: c.curve.as_ref().map_or_else(Vec::new, |m| {
+                                    m.samples().iter().map(|s| s.to_bits()).collect()
+                                }),
+                            })
+                            .collect();
+                        send_best_effort(stream, &Message::CostCurvesReply { curves });
+                    }
+                    Err(e) => {
+                        send_control_refusal(stream, &e);
+                        return;
+                    }
+                }
+            }
             Message::Apply {
                 units,
                 predicted_bits,

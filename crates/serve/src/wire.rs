@@ -8,12 +8,12 @@
 //! a typed [`WireError`]; the decoder never panics (pinned by the
 //! `wire_props` proptests, which feed it truncations and bit flips).
 //!
-//! # Frame layout (protocol version 1)
+//! # Frame layout (protocol version 2)
 //!
 //! ```text
 //! offset  size  field
 //! 0       2     magic "CS" (0x43 0x53)
-//! 2       1     protocol version (= 1)
+//! 2       1     protocol version (= 2)
 //! 3       1     opcode
 //! 4       4     payload length, u32 little-endian
 //! 8       4     FNV-1a 32 checksum over version|opcode|length|payload
@@ -37,8 +37,11 @@ use std::io::{ErrorKind, Read, Write};
 /// Frame magic: `"CS"`, for *cache serve*.
 pub const MAGIC: [u8; 2] = [0x43, 0x53];
 
-/// The only protocol version this codec speaks.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// The only protocol version this codec speaks. Version 2 replaced the
+/// one-byte objective code in HELLO_ACK with a first-class objective
+/// spec string and made COST_CURVES carry the coordinator's objective
+/// spec so both ends provably agree on what the DP optimizes.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Frame header length in bytes (magic + version + opcode + length +
 /// checksum).
@@ -63,6 +66,9 @@ pub mod error_code {
     /// The engine variant behind the server cannot perform the request
     /// (e.g. externally clocked epochs on a sharded engine).
     pub const UNSUPPORTED: u64 = 6;
+    /// The coordinator's objective spec does not match the objective
+    /// the node's engine was built with.
+    pub const OBJECTIVE: u64 = 7;
 }
 
 /// What went wrong while encoding or decoding a frame.
@@ -141,7 +147,7 @@ impl WireError {
 /// Engine/run configuration carried by HELLO_ACK, sufficient for a
 /// client to reconstruct the *identical* engine in process — the basis
 /// of `cps bench-net`'s report-identity check.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WireConfig {
     /// Engine kind code: 0 single, 1 sharded, 2 queued.
     pub engine: u8,
@@ -163,8 +169,9 @@ pub struct WireConfig {
     pub hysteresis: u64,
     /// Policy code: 0 none, 1 equal, 2 natural.
     pub policy: u8,
-    /// Objective code: 0 throughput, 1 maxmin.
-    pub objective: u8,
+    /// Objective spec string (e.g. `miss-ratio`, `utility:0.5`), as
+    /// [`cps_core::Objective::parse`] accepts it.
+    pub objective: String,
 }
 
 impl WireConfig {
@@ -186,12 +193,9 @@ impl WireConfig {
         }
     }
 
-    /// Objective name as `--objective` and journal headers spell it.
-    pub fn objective_name(&self) -> &'static str {
-        match self.objective {
-            0 => "throughput",
-            _ => "maxmin",
-        }
+    /// Objective spec as `--objective` and journal headers spell it.
+    pub fn objective_name(&self) -> &str {
+        &self.objective
     }
 
     /// The profiler decay, recovered bit-exactly.
@@ -277,8 +281,14 @@ pub enum Message {
     /// external clocking and requests every tenant's realized counts
     /// and miss-ratio curve — a cluster coordinator's pull half of an
     /// epoch. Must be followed by [`Message::Apply`] to book the
-    /// boundary.
-    CostCurves,
+    /// boundary. Carries the coordinator's objective spec; the node
+    /// refuses with [`error_code::OBJECTIVE`] unless it matches its
+    /// engine's objective.
+    CostCurves {
+        /// The coordinator's objective spec (see
+        /// [`cps_core::Objective::parse`]).
+        objective: String,
+    },
     /// `0x16`, client → server. Pushes a coordinator-chosen allocation
     /// down to the node, completing the boundary opened by
     /// [`Message::CostCurves`]. The total may be *below* the node's
@@ -353,7 +363,7 @@ impl Message {
             Message::Epoch => 0x12,
             Message::Snapshot => 0x13,
             Message::Shutdown => 0x14,
-            Message::CostCurves => 0x15,
+            Message::CostCurves { .. } => 0x15,
             Message::Apply { .. } => 0x16,
             Message::StatsReply { .. } => 0x20,
             Message::AllocationReply { .. } => 0x21,
@@ -471,7 +481,7 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             push_varint(&mut p, config.decay_bits);
             push_varint(&mut p, config.hysteresis);
             p.push(config.policy);
-            p.push(config.objective);
+            push_string(&mut p, &config.objective);
         }
         Message::Batch { records } => {
             push_varint(&mut p, records.len() as u64);
@@ -484,8 +494,8 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
         | Message::Allocation
         | Message::Epoch
         | Message::Snapshot
-        | Message::Shutdown
-        | Message::CostCurves => {}
+        | Message::Shutdown => {}
+        Message::CostCurves { objective } => push_string(&mut p, objective),
         Message::Apply {
             units,
             predicted_bits,
@@ -573,9 +583,9 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
             if policy > 2 {
                 return Err(WireError::BadPayload("unknown policy code"));
             }
-            let objective = c.u8()?;
-            if objective > 1 {
-                return Err(WireError::BadPayload("unknown objective code"));
+            let objective = c.string()?;
+            if cps_core::Objective::parse(&objective).is_err() {
+                return Err(WireError::BadPayload("unrecognized objective spec"));
             }
             Message::HelloAck {
                 config: WireConfig {
@@ -611,7 +621,13 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
         0x12 => Message::Epoch,
         0x13 => Message::Snapshot,
         0x14 => Message::Shutdown,
-        0x15 => Message::CostCurves,
+        0x15 => {
+            let objective = c.string()?;
+            if cps_core::Objective::parse(&objective).is_err() {
+                return Err(WireError::BadPayload("unrecognized objective spec"));
+            }
+            Message::CostCurves { objective }
+        }
         0x16 => {
             let count = c.varint()? as usize;
             if count > payload.len() {
@@ -830,7 +846,7 @@ mod tests {
             decay_bits: 0.5f64.to_bits(),
             hysteresis: 2,
             policy: 1,
-            objective: 0,
+            objective: "miss-ratio".to_string(),
         }
     }
 
@@ -851,7 +867,15 @@ mod tests {
             Message::Epoch,
             Message::Snapshot,
             Message::Shutdown,
-            Message::CostCurves,
+            Message::CostCurves {
+                objective: "miss-ratio".to_string(),
+            },
+            Message::CostCurves {
+                objective: "utility:0.25".to_string(),
+            },
+            Message::CostCurves {
+                objective: "value-weighted:1.5,2,0.25".to_string(),
+            },
             Message::Apply {
                 units: vec![64, 0, 32],
                 predicted_bits: None,

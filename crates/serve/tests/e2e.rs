@@ -62,7 +62,7 @@ fn start(config: ServeConfig) -> (String, JoinHandle<Result<ServeOutcome, String
 fn served_mux_run_is_report_identical_to_in_process() {
     let cfg = config(EngineKind::Single, 4);
     let header = cfg.run_header();
-    let engine_cfg = cfg.engine;
+    let engine_cfg = cfg.engine.clone();
     let (addr, server) = start(cfg);
 
     let stream = four_tenant_stream(20_000, 42);
@@ -192,7 +192,7 @@ fn external_clocking_round_trips_curves_and_budgets_bit_exactly() {
     // fires; every boundary is driven over the wire.
     let mut cfg = config(EngineKind::Single, 4);
     cfg.engine = EngineConfig::new(CacheConfig::new(32, 4), usize::MAX).hysteresis(1);
-    let engine_cfg = cfg.engine;
+    let engine_cfg = cfg.engine.clone();
     let (addr, server) = start(cfg);
 
     let stream = four_tenant_stream(8_000, 7);
@@ -201,7 +201,7 @@ fn external_clocking_round_trips_curves_and_budgets_bit_exactly() {
         client.push_batch(batch).expect("push");
     }
 
-    let wire_curves = client.cost_curves().expect("cost curves");
+    let wire_curves = client.cost_curves("miss-ratio").expect("cost curves");
     assert_eq!(wire_curves.len(), 4);
 
     // The wire transports exactly what an identical in-process engine
@@ -250,7 +250,7 @@ fn external_clocking_round_trips_curves_and_budgets_bit_exactly() {
 fn sharded_engines_refuse_external_clocking_with_a_typed_code() {
     let (addr, server) = start(config(EngineKind::Sharded { shards: 2 }, 2));
     let mut client = Client::connect(&addr, None).expect("connect");
-    match client.cost_curves() {
+    match client.cost_curves("miss-ratio") {
         Err(ServeError::Server { code, message }) => {
             assert_eq!(code, error_code::UNSUPPORTED);
             assert!(message.contains("does not support"), "{message}");

@@ -15,11 +15,28 @@ fn arb_text() -> impl Strategy<Value = String> {
         .prop_map(|points| points.into_iter().filter_map(char::from_u32).collect())
 }
 
+/// A valid objective spec string, spanning every objective family the
+/// core layer parses (weights and curvatures chosen to round-trip
+/// through `f64` formatting).
+fn arb_objective() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("miss-ratio".to_string()),
+        Just("maxmin".to_string()),
+        Just("max-slowdown".to_string()),
+        Just("value-weighted".to_string()),
+        (0.01f64..1.0).prop_map(|c| format!("utility:{c}")),
+        prop::collection::vec(0.125f64..8.0, 1..5).prop_map(|ws| {
+            let ws: Vec<String> = ws.iter().map(|w| w.to_string()).collect();
+            format!("value-weighted:{}", ws.join(","))
+        }),
+    ]
+}
+
 fn arb_config() -> impl Strategy<Value = WireConfig> {
     (
         (0u64..3, 1u64..9, 1u64..257, 1u64..9),
         (1u64..100_000, 1u64..9, 0u64..4_096, 0u64..u64::MAX),
-        (0u64..16, 0u64..3, 0u64..2),
+        (0u64..16, 0u64..3, arb_objective()),
     )
         .prop_map(
             |(
@@ -37,7 +54,7 @@ fn arb_config() -> impl Strategy<Value = WireConfig> {
                 decay_bits,
                 hysteresis,
                 policy: policy as u8,
-                objective: objective as u8,
+                objective,
             },
         )
 }
@@ -96,7 +113,7 @@ fn arb_message() -> BoxedStrategy<Message> {
         Just(Message::Epoch),
         Just(Message::Snapshot),
         Just(Message::Shutdown),
-        Just(Message::CostCurves),
+        arb_objective().prop_map(|objective| Message::CostCurves { objective }),
         (
             prop::collection::vec(0u64..1 << 20, 0..16),
             any::<bool>(),
@@ -186,5 +203,45 @@ proptest! {
         if let Ok((_, consumed)) = decode(&bytes) {
             prop_assert!(consumed <= bytes.len());
         }
+    }
+
+    /// A COST_CURVES or HELLO_ACK frame whose objective spec the core
+    /// layer does not parse is a typed `BadPayload`, not a panic and
+    /// never a success — the wire refuses objectives the DP cannot run.
+    #[test]
+    fn unparseable_objective_specs_are_refused(
+        head in prop::collection::vec(97u8..123, 1..12),
+        with_param in any::<bool>(),
+        param in prop::collection::vec(97u8..123, 1..8),
+    ) {
+        let head = String::from_utf8(head).unwrap();
+        let garbage = if with_param {
+            format!("{head}:{}", String::from_utf8(param).unwrap())
+        } else {
+            head
+        };
+        prop_assume!(cps_core::Objective::parse(&garbage).is_err());
+        let mut config = WireConfig {
+            engine: 0,
+            tenants: 2,
+            units: 16,
+            bpu: 1,
+            epoch_length: 100,
+            shards: 1,
+            queue_cap: 0,
+            decay_bits: 0.5f64.to_bits(),
+            hysteresis: 1,
+            policy: 0,
+            objective: "miss-ratio".to_string(),
+        };
+        // Valid spec: both frames decode.
+        decode(&encode(&Message::HelloAck { config: config.clone() })).unwrap();
+        decode(&encode(&Message::CostCurves { objective: config.objective.clone() })).unwrap();
+        // Invalid spec: the encoder is trusting, the decoder is not.
+        config.objective = garbage.clone();
+        let err = decode(&encode(&Message::HelloAck { config })).unwrap_err();
+        prop_assert!(matches!(err, WireError::BadPayload(_)), "{:?}", err);
+        let err = decode(&encode(&Message::CostCurves { objective: garbage })).unwrap_err();
+        prop_assert!(matches!(err, WireError::BadPayload(_)), "{:?}", err);
     }
 }

@@ -97,7 +97,8 @@ fn main() {
         .iter()
         .map(|m| CostCurve::from_miss_ratio(&m.mrc, &cache, 1.0))
         .collect();
-    let qos = optimal_partition(&qos_costs, cache.units, Combine::Max).expect("feasible");
+    let qos =
+        optimal_partition(&qos_costs, cache.units, &Objective::MaxMissRatio).expect("feasible");
     let qos_members: Vec<f64> = members
         .iter()
         .zip(&qos.allocation)

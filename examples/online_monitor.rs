@@ -81,7 +81,8 @@ fn main() {
             CostCurve::from_miss_ratio(&pa.mrc, &cache, 0.5),
             CostCurve::from_miss_ratio(&pb.mrc, &cache, 0.5),
         ];
-        let best = optimal_partition(&costs, cache.units, Combine::Sum).expect("feasible");
+        let best =
+            optimal_partition(&costs, cache.units, &Objective::MissRatioSum).expect("feasible");
         println!(
             "{:>6} {:>14} {:>14} {:>18.4}",
             e + 1,

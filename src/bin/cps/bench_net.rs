@@ -159,16 +159,14 @@ fn run_in_process(config: &WireConfig, stream: &[(u64, u64)]) -> Result<EngineRe
         "equal" => Policy::EqualBaseline,
         _ => Policy::NaturalBaseline,
     };
-    let combine = match config.objective_name() {
-        "throughput" => Combine::Sum,
-        _ => Combine::Max,
-    };
+    let objective = Objective::parse(config.objective_name())
+        .map_err(|e| format!("server announced an unusable objective: {e}"))?;
     let cfg = EngineConfig::new(
         CacheConfig::new(config.units as usize, config.bpu as usize),
         config.epoch_length as usize,
     )
     .policy(policy)
-    .objective(combine)
+    .objective(objective)
     .decay(config.decay())
     .hysteresis(config.hysteresis as usize);
     let tenants = config.tenants as usize;

@@ -17,7 +17,8 @@
 //! cluster's logical allocation — `cps inspect` works unchanged.
 
 use crate::common::{
-    parse_objective, parse_workload, render_metrics_snapshot, write_text_out, Args,
+    parse_objective, parse_workload, render_metrics_snapshot, validate_objective_for,
+    write_text_out, Args,
 };
 use cache_partition_sharing::cluster::{place_greedy, place_round_robin};
 use cache_partition_sharing::cluster::{ClusterConfig, ClusterNode, Coordinator};
@@ -59,7 +60,8 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         return Err(format!("--decay must lie in [0, 1), got {decay}"));
     }
     let hysteresis: usize = args.get_parse("hysteresis", 1)?;
-    let combine = parse_objective(&args)?;
+    let objective = parse_objective(&args)?;
+    validate_objective_for(&objective, tenants)?;
     let rates: Vec<f64> = match args.get("rates") {
         None => vec![1.0; tenants],
         Some(s) => {
@@ -144,10 +146,10 @@ pub fn run(raw: &[String]) -> Result<(), String> {
                 ));
             }
             let engine_cfg = EngineConfig::new(CacheConfig::new(capacity, bpu), epoch)
-                .objective(combine)
+                .objective(objective.clone())
                 .decay(decay);
             (0..count)
-                .map(|_| ClusterNode::local(engine_cfg, tenants))
+                .map(|_| ClusterNode::local(engine_cfg.clone(), tenants))
                 .collect()
         }
     };
@@ -179,7 +181,7 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     };
 
     let mut config = ClusterConfig::new(units, bpu, epoch)
-        .objective(combine)
+        .objective(objective.clone())
         .hysteresis(hysteresis);
     if let Some(t) = migrate_threshold {
         config = config.migrate(t);

@@ -153,13 +153,25 @@ pub fn load_profiles(paths: &[String]) -> Result<Vec<SoloProfile>, String> {
         .collect()
 }
 
-/// `--objective throughput|maxmin` → the DP combine rule.
-pub fn parse_objective(args: &Args) -> Result<Combine, String> {
-    match args.get("objective").unwrap_or("throughput") {
-        "throughput" => Ok(Combine::Sum),
-        "maxmin" => Ok(Combine::Max),
-        other => Err(format!("unknown --objective {other} (throughput|maxmin)")),
-    }
+/// `--objective SPEC` → a first-class [`Objective`].
+///
+/// The spec grammar: `miss-ratio` (default; aliases `miss-ratio-sum`,
+/// `throughput`), `maxmin` (aliases `max-miss-ratio`, `qos`),
+/// `utility[:CURVATURE]`, `value-weighted[:W1,W2,..]`, `max-slowdown`.
+/// Weight-count feasibility is deferred to
+/// [`validate_objective_for`] once the tenant count is known.
+pub fn parse_objective(args: &Args) -> Result<Objective, String> {
+    Objective::parse(args.get("objective").unwrap_or("miss-ratio"))
+        .map_err(|e| format!("bad --objective: {e}"))
+}
+
+/// Checks a parsed objective against the run's tenant count, phrasing
+/// the failure as a flag error (`value-weighted` is the only
+/// tenant-count-sensitive objective today).
+pub fn validate_objective_for(objective: &Objective, tenants: usize) -> Result<(), String> {
+    objective
+        .validate_for(tenants)
+        .map_err(|e| format!("bad --objective: {e}"))
 }
 
 pub fn print_allocation_table(

@@ -5,13 +5,19 @@
 //! (`cps bench-net --journal-out - | cps inspect -`).
 //!
 //! Inspection is also the schema check: the journal must parse line by
-//! line under the version-1 protocol and its epoch lines must
-//! cross-validate against the producer's summary totals (the
-//! round-trip guarantee). Any drift — unknown version or kind, a
-//! truncated file, totals that don't add up — is a hard error and a
-//! nonzero exit.
+//! line under the current schema version and its epoch lines must
+//! cross-validate against the producer's summary totals and the run's
+//! declared objective (the round-trip guarantee). Any drift — unknown
+//! version or kind, a truncated file, totals that don't add up — is a
+//! hard error and a nonzero exit.
+//!
+//! The first non-blank line's `kind` picks the dialect: `tournament`
+//! journals (from `cps tournament --journal`) render the comparison
+//! table; everything else goes down the epoch-journal path.
 
 use crate::common::Args;
+use crate::tournament::render_table;
+use cache_partition_sharing::obs::TournamentJournal;
 use cache_partition_sharing::prelude::*;
 
 pub fn run(raw: &[String]) -> Result<(), String> {
@@ -34,6 +40,12 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     } else {
         path.as_str()
     };
+    if is_tournament(&text) {
+        let journal = TournamentJournal::parse(&text).map_err(|e| format!("{label}: {e}"))?;
+        println!("tournament journal OK");
+        print!("{}", render_table(&journal));
+        return Ok(());
+    }
     let journal = Journal::parse(&text).map_err(|e| format!("{label}: {e}"))?;
 
     let h = &journal.header;
@@ -177,6 +189,18 @@ fn print_backpressure(journal: &Journal) {
         },
         wait as f64 / 1e6
     );
+}
+
+/// Sniffs the journal dialect from the first non-blank line: a
+/// `"kind":"tournament"` header means the tournament table renderer,
+/// anything else (including garbage — let the epoch parser produce the
+/// real error) means the epoch journal.
+fn is_tournament(text: &str) -> bool {
+    text.lines()
+        .find(|l| !l.trim().is_empty())
+        .and_then(|l| cache_partition_sharing::obs::json::parse(l).ok())
+        .and_then(|v| v.get("kind").and_then(|k| k.as_str().map(str::to_string)))
+        .is_some_and(|k| k == "tournament")
 }
 
 /// Eight-level ASCII-art sparkline scaled to the series maximum.

@@ -10,7 +10,7 @@
 //! cps show     a.cpsp [--points 16]
 //! cps predict  a.cpsp b.cpsp ... --cache 1024
 //! cps optimize a.cpsp b.cpsp ... --units 1024 [--bpu 1]
-//!              [--objective throughput|maxmin] [--baseline none|equal|natural]
+//!              [--objective OBJ] [--baseline none|equal|natural]
 //! ```
 //!
 //! Trace files are plain text: one block id (u64, decimal or 0x-hex) per
@@ -34,6 +34,7 @@ mod replay_online;
 mod serve;
 mod show;
 mod stall;
+mod tournament;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +54,7 @@ fn main() -> ExitCode {
         "serve" => serve::run(rest),
         "bench-net" => bench_net::run(rest),
         "cluster" => cluster::run(rest),
+        "tournament" => tournament::run(rest),
         "inspect" => inspect::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -79,7 +81,7 @@ USAGE:
   cps show     PROFILE [--points K]
   cps predict  PROFILE... --cache BLOCKS
   cps optimize PROFILE... --units U [--bpu B]
-               [--objective throughput|maxmin] [--baseline none|equal|natural]
+               [--objective OBJ] [--baseline none|equal|natural]
   cps stall    PROFILE... --cache BLOCKS   (co-run or take turns?)
   cps phase-plan TRACE... --units U [--segments S] [--threshold T]
                (per-phase optimal partitions from raw traces)
@@ -87,7 +89,7 @@ USAGE:
                [--len N] [--epoch E] [--rates R,R,...] [--seed S]
                [--decay D] [--hysteresis H] [--shards N]
                [--ingest buffered|queued] [--queue-cap N]
-               [--objective throughput|maxmin] [--baseline none|equal|natural]
+               [--objective OBJ] [--baseline none|equal|natural]
                [--journal FILE] [--metrics-out FILE]
                (live epoch-driven repartitioning vs static-optimal and
                free-for-all sharing; --shards replays the same stream
@@ -100,7 +102,7 @@ USAGE:
   cps serve    --tenants K --units U --port P|auto [--bpu B] [--epoch E]
                [--decay D] [--hysteresis H] [--shards N]
                [--ingest buffered|queued] [--queue-cap N]
-               [--objective throughput|maxmin] [--baseline none|equal|natural]
+               [--objective OBJ] [--baseline none|equal|natural]
                [--host H] [--max-conns N] [--idle-timeout SECS] [--proto V]
                [--journal FILE] [--metrics-out FILE] [--port-file FILE]
                (host the online engine as a TCP daemon speaking the
@@ -119,7 +121,7 @@ USAGE:
                [--nodes N] [--node-capacity U] | [--connect H:P,H:P,...]
                [--placement greedy|roundrobin] [--migrate-threshold T|off]
                [--len N] [--epoch E] [--rates R,R,...] [--seed S]
-               [--decay D] [--hysteresis H] [--objective throughput|maxmin]
+               [--decay D] [--hysteresis H] [--objective OBJ]
                [--journal FILE] [--metrics-out FILE]
                (multi-node hierarchical partition-sharing: a coordinator
                splits U logical units across engine nodes with a
@@ -130,12 +132,22 @@ USAGE:
                re-homed online when the migration gain clears
                --migrate-threshold; the journal is the cluster's logical
                view and `cps inspect` reads it unchanged)
+  cps tournament [--objectives OBJ,OBJ,...] [--group-size K]
+               [--programs N] [--units U] [--bpu B] [--len N]
+               [--journal FILE]
+               (sweep every K-program co-run group of the SPEC-like
+               study set under each objective, evaluate all six
+               allocation schemes, and print a Table-I-style comparison
+               of Optimal's gap over every other scheme per objective;
+               --journal writes the machine-readable tournament journal
+               that `cps inspect` renders back)
   cps inspect  JOURNAL
-               (parse + validate an epoch journal and print stage-time
-               breakdowns, the allocation-churn timeline, per-tenant
-               miss-ratio trajectories, and backpressure; `-` reads
-               stdin; schema drift or totals that don't round-trip
-               exit nonzero)
+               (parse + validate an epoch or tournament journal; epoch
+               journals print stage-time breakdowns, the
+               allocation-churn timeline, per-tenant miss-ratio
+               trajectories, and backpressure; tournament journals
+               print the comparison table; `-` reads stdin; schema
+               drift or totals that don't round-trip exit nonzero)
 
 WORKLOAD SPECS (for `gen`):
   loop:WS            sequential loop over WS blocks
@@ -144,4 +156,15 @@ WORKLOAD SPECS (for `gen`):
   zipf:REGION:ALPHA  Zipfian over REGION blocks, exponent ALPHA
   chase:REGION       pointer chase over REGION blocks
   stencil:ROWSxCOLS  3-point vertical stencil sweep
-  walk:REGION:WIN:DWELL  drifting working set";
+  walk:REGION:WIN:DWELL  drifting working set
+
+OBJECTIVES (for `--objective` / `--objectives`):
+  miss-ratio         minimize access-weighted group miss ratio (default;
+                     aliases: miss-ratio-sum, throughput)
+  maxmin             minimize the worst tenant miss ratio (aliases:
+                     max-miss-ratio, qos)
+  utility[:C]        maximize concave hit utility, curvature C in (0,1]
+                     (default 0.5)
+  value-weighted[:W1,W2,..]  minimize value-weighted misses; one positive
+                     weight per tenant (bare = all ones)
+  max-slowdown       minimize the worst slowdown vs the whole cache";

@@ -5,7 +5,9 @@
 //! `cps-core` helpers, so this command and the online engine's solver
 //! stage build their DP inputs the same way.
 
-use crate::common::{load_profiles, parse_objective, print_allocation_table, Args};
+use crate::common::{
+    load_profiles, parse_objective, print_allocation_table, validate_objective_for, Args,
+};
 use cache_partition_sharing::core::{
     access_shares, build_cost_curves, equal_baseline_caps, natural_baseline_caps,
 };
@@ -33,7 +35,6 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     }
     let members: Vec<&SoloProfile> = profiles.iter().collect();
     let mrcs: Vec<&MissRatioCurve> = members.iter().map(|m| &m.mrc).collect();
-    let objective = args.get("objective").unwrap_or("throughput");
     let baseline = args.get("baseline").unwrap_or("none");
 
     let weights: Vec<f64> = members.iter().map(|m| m.access_rate).collect();
@@ -47,14 +48,16 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown --baseline {other} (none|equal|natural)")),
     };
 
-    let combine = parse_objective(&args)?;
-    let costs = build_cost_curves(&mrcs, &config, &shares, combine, caps.as_deref());
-    let result = optimal_partition(&costs, units, combine)
+    let objective = parse_objective(&args)?;
+    validate_objective_for(&objective, members.len())?;
+    let costs = build_cost_curves(&mrcs, &config, &shares, &objective, caps.as_deref());
+    let result = optimal_partition(&costs, units, &objective)
         .ok_or("no feasible allocation under the requested baseline")?;
 
     println!(
-        "optimal partition of {units} x {bpu}-block units ({} blocks), objective {objective}, baseline {baseline}:",
-        config.blocks()
+        "optimal partition of {units} x {bpu}-block units ({} blocks), objective {}, baseline {baseline}:",
+        config.blocks(),
+        objective.name()
     );
     print_allocation_table(&profiles, &config, &result, &shares);
     Ok(())

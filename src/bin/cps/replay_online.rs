@@ -12,7 +12,7 @@
 //! describe the *observed* run: the sharded replay when `--shards` is
 //! given, otherwise the single-threaded engine.
 
-use crate::common::{parse_objective, parse_workload, Args};
+use crate::common::{parse_objective, parse_workload, validate_objective_for, Args};
 use cache_partition_sharing::prelude::*;
 use std::time::Instant;
 
@@ -102,8 +102,9 @@ pub fn run(raw: &[String]) -> Result<(), String> {
             r
         }
     };
-    let objective = args.get("objective").unwrap_or("throughput");
-    let combine = parse_objective(&args)?;
+    let objective = parse_objective(&args)?;
+    validate_objective_for(&objective, k)?;
+    let objective_name = objective.name();
     let policy = match args.get("baseline").unwrap_or("none") {
         "none" => Policy::Optimal,
         "equal" => Policy::EqualBaseline,
@@ -123,7 +124,7 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     // Online: the epoch-driven repartitioning engine.
     let engine_cfg = EngineConfig::new(config, epoch)
         .policy(policy)
-        .objective(combine)
+        .objective(objective.clone())
         .decay(decay)
         .hysteresis(hysteresis);
     // Metrics instrument the observed run only — the sharded replay
@@ -132,9 +133,9 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     let registry = MetricsRegistry::new();
     let single_start = Instant::now();
     let mut engine = if metrics_path.is_some() && shards.is_none() {
-        RepartitionEngine::with_metrics(engine_cfg, k, &registry)
+        RepartitionEngine::with_metrics(engine_cfg.clone(), k, &registry)
     } else {
-        RepartitionEngine::new(engine_cfg, k)
+        RepartitionEngine::new(engine_cfg.clone(), k)
     };
     engine.run(co.tenant_accesses());
     let report = engine.finish();
@@ -159,17 +160,11 @@ pub fn run(raw: &[String]) -> Result<(), String> {
             )
         })
         .collect();
-    let costs: Vec<CostCurve> = profiles
-        .iter()
-        .map(|p| {
-            let weight = match combine {
-                Combine::Sum => p.access_rate,
-                Combine::Max => 1.0,
-            };
-            CostCurve::from_miss_ratio(&p.mrc, &config, weight)
-        })
-        .collect();
-    let static_alloc = optimal_partition(&costs, units, combine)
+    let mrcs: Vec<&MissRatioCurve> = profiles.iter().map(|p| &p.mrc).collect();
+    let shares: Vec<f64> = profiles.iter().map(|p| p.access_rate).collect();
+    let costs =
+        cache_partition_sharing::core::build_cost_curves(&mrcs, &config, &shares, &objective, None);
+    let static_alloc = optimal_partition(&costs, units, &objective)
         .ok_or("static solve infeasible")?
         .allocation;
     let static_sizes: Vec<usize> = static_alloc.iter().map(|&u| config.to_blocks(u)).collect();
@@ -197,7 +192,7 @@ pub fn run(raw: &[String]) -> Result<(), String> {
 
     println!(
         "online repartitioning: {k} tenants, {} accesses, {units} x {bpu}-block units, \
-         epoch {epoch}, decay {decay}, hysteresis {hysteresis}, objective {objective}, \
+         epoch {epoch}, decay {decay}, hysteresis {hysteresis}, objective {objective_name}, \
          policy {policy:?}",
         co.len()
     );
@@ -273,7 +268,7 @@ pub fn run(raw: &[String]) -> Result<(), String> {
             epoch_length: epoch,
             shards: shards.unwrap_or(1),
             policy: args.get("baseline").unwrap_or("none").to_string(),
-            objective: objective.to_string(),
+            objective: objective_name.clone(),
         };
         write_journal(path, &header, observed)?;
         println!(
@@ -294,9 +289,10 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Writes the stable journal line protocol (version 1): the run
-/// header, one line per epoch, the summary. `cps inspect` re-parses
-/// and cross-validates every line against the summary totals.
+/// Writes the stable journal line protocol: the run header, one line
+/// per epoch (each tagged with the run objective), the summary. `cps
+/// inspect` re-parses and cross-validates every line against the
+/// header and summary.
 fn write_journal(path: &str, header: &RunHeader, report: &EngineReport) -> Result<(), String> {
     let mut text = String::new();
     text.push_str(&header.to_json_line());

@@ -13,7 +13,9 @@
 //! writes the bound `host:port` so scripts (and the CI smoke leg) can
 //! find the daemon without racing its stdout.
 
-use crate::common::{parse_objective, render_metrics_snapshot, write_text_out, Args};
+use crate::common::{
+    parse_objective, render_metrics_snapshot, validate_objective_for, write_text_out, Args,
+};
 use cache_partition_sharing::engine::EngineKind;
 use cache_partition_sharing::prelude::*;
 use cache_partition_sharing::serve::{ServeConfig, Server, PROTOCOL_VERSION};
@@ -49,7 +51,8 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         return Err(format!("--decay must lie in [0, 1), got {decay}"));
     }
     let hysteresis: usize = args.get_parse("hysteresis", 1)?;
-    let combine = parse_objective(&args)?;
+    let objective = parse_objective(&args)?;
+    validate_objective_for(&objective, tenants)?;
     let policy = match args.get("baseline").unwrap_or("none") {
         "none" => Policy::Optimal,
         "equal" => Policy::EqualBaseline,
@@ -114,7 +117,7 @@ pub fn run(raw: &[String]) -> Result<(), String> {
 
     let engine_cfg = EngineConfig::new(CacheConfig::new(units, bpu), epoch)
         .policy(policy)
-        .objective(combine)
+        .objective(objective)
         .decay(decay)
         .hysteresis(hysteresis);
     let config = ServeConfig {

@@ -66,8 +66,9 @@ pub mod prelude {
     pub use cps_core::perf::PerfModel;
     pub use cps_core::phased::{phase_aware_partition, PhasedProfile};
     pub use cps_core::{
-        evaluate_group, optimal_partition, sttw_partition, CacheConfig, Combine, CostCurve,
-        DpSolver, GroupEvaluation, PartitionResult, Scheme, Study,
+        evaluate_group, evaluate_group_with, gap_stats, optimal_partition, sttw_partition,
+        sweep_groups_with, CacheConfig, Combine, CostCurve, DpSolver, GroupEvaluation, Objective,
+        PartitionResult, Scheme, Study,
     };
     pub use cps_engine::{
         EngineConfig, EngineReport, IngestStats, Policy, QueuedShardedEngine, RepartitionEngine,

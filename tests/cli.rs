@@ -490,7 +490,7 @@ fn replay_online_journal_round_trips_through_inspect() {
     let co = interleave_proportional(&refs, &[1.0, 1.0], 20_000);
     let cfg = EngineConfig::new(CacheConfig::new(64, 1), 5_000)
         .policy(Policy::Optimal)
-        .objective(Combine::Sum)
+        .objective(Objective::MissRatioSum)
         .decay(0.5)
         .hysteresis(1);
     let mut engine = ShardedEngine::new(cfg, 2, 2);
@@ -576,11 +576,28 @@ fn inspect_rejects_truncated_tampered_and_future_journals() {
     assert!(!out.status.success());
 
     // Future version: readers must refuse rather than guess.
-    let future = good.replacen("\"v\":1", "\"v\":2", 1);
+    let future = good.replacen("\"v\":2", "\"v\":3", 1);
+    assert_ne!(future, good, "version bump must hit the header");
     std::fs::write(dir.join("future.jsonl"), future).unwrap();
     let out = cps(&["inspect", "future.jsonl"], &dir);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("version"));
+
+    // Old schema: a version-1 journal (pre-objective, no epoch
+    // `objective` field) is refused with a clear pointer, not guessed
+    // at. Strip the v2-only fields so the line is a faithful v1 relic.
+    let old = good
+        .replace("\"v\":2", "\"v\":1")
+        .replace(",\"objective\":\"miss-ratio\"", "");
+    assert_ne!(old, good);
+    std::fs::write(dir.join("old.jsonl"), old).unwrap();
+    let out = cps(&["inspect", "old.jsonl"], &dir);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("journal version 1") && stderr.contains("speaks 2"),
+        "v1 journals need a clear upgrade message:\n{stderr}"
+    );
 
     // Garbage is a parse error, not a panic.
     std::fs::write(dir.join("junk.jsonl"), "not json at all\n").unwrap();
@@ -792,7 +809,7 @@ fn serve_and_bench_net_reject_degenerate_flags_with_friendly_errors() {
                 "--port",
                 "auto",
                 "--proto",
-                "2",
+                "1",
             ],
             "protocol version",
         ),
@@ -1148,6 +1165,150 @@ fn cluster_rejects_degenerate_flags_with_friendly_errors() {
     fails(
         &["cluster", "--workloads", "loop:24", "--units", "32"],
         "at least two comma-separated workloads",
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The tournament round trip: `cps tournament --journal` writes a
+/// tournament journal that `cps inspect` recognizes by its first-line
+/// kind and renders back as the same comparison table.
+#[test]
+fn tournament_journals_round_trip_through_inspect() {
+    let dir = tempdir("tournament");
+    let out = cps(
+        &[
+            "tournament",
+            "--objectives",
+            "miss-ratio,utility,value-weighted:1,2,4",
+            "--programs",
+            "5",
+            "--group-size",
+            "3",
+            "--len",
+            "6000",
+            "--units",
+            "16",
+            "--bpu",
+            "8",
+            "--journal",
+            "t.jsonl",
+        ],
+        &dir,
+    );
+    let table = stdout(&out);
+    // One row per objective × non-optimal scheme, every objective named.
+    for objective in ["miss-ratio", "utility:0.5", "value-weighted:1,2,4"] {
+        assert!(table.contains(objective), "{objective} missing:\n{table}");
+    }
+    for versus in [
+        "Equal",
+        "Natural",
+        "STTW",
+        "Equal baseline",
+        "Natural baseline",
+    ] {
+        assert!(table.contains(versus), "{versus} missing:\n{table}");
+    }
+    assert!(
+        table.contains("10 per objective"),
+        "C(5,3) = 10 groups:\n{table}"
+    );
+
+    let inspected = stdout(&cps(&["inspect", "t.jsonl"], &dir));
+    assert!(inspected.contains("tournament journal OK"), "{inspected}");
+    // The rendered table is byte-identical to the producer's.
+    assert_eq!(
+        inspected.trim_start_matches("tournament journal OK\n"),
+        table,
+        "inspect must render the producer's table"
+    );
+
+    // A truncated journal (an announced objective with no rows) fails
+    // validation, and version drift is refused like the epoch journal.
+    let good = std::fs::read_to_string(dir.join("t.jsonl")).unwrap();
+    let lines: Vec<&str> = good.lines().collect();
+    std::fs::write(dir.join("cut.jsonl"), lines[..6].join("\n")).unwrap();
+    let out = cps(&["inspect", "cut.jsonl"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no rows"));
+    std::fs::write(dir.join("v1.jsonl"), good.replace("\"v\":2", "\"v\":1")).unwrap();
+    let out = cps(&["inspect", "v1.jsonl"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("journal version 1"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Degenerate tournament and objective flags die with friendly
+/// one-line errors: unknown objectives, bad weights, weight counts
+/// that don't match the group, impossible group sizes.
+#[test]
+fn tournament_and_objective_flags_reject_degenerate_values() {
+    let dir = tempdir("tournament-flags");
+    let fails = |args: &[&str], needle: &str| {
+        let out = cps(args, &dir);
+        assert!(!out.status.success(), "{args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{args:?}: {stderr}");
+    };
+    fn with(extra: &[&'static str]) -> Vec<&'static str> {
+        let mut v = vec!["tournament"];
+        v.extend_from_slice(extra);
+        v
+    }
+    fails(
+        &with(&["--objectives", "latency"]),
+        "bad --objectives: unknown objective",
+    );
+    fails(&with(&["--objectives", "utility:2.0"]), "bad --objectives");
+    fails(
+        &with(&["--objectives", "value-weighted:1,-2,3,4"]),
+        "bad --objectives",
+    );
+    // Three weights for four-tenant groups: counted and said plainly.
+    fails(
+        &with(&["--objectives", "value-weighted:1,2,3"]),
+        "3 weights",
+    );
+    fails(
+        &with(&["--objectives", "miss-ratio,miss-ratio-sum"]),
+        "listed twice",
+    );
+    fails(&with(&["--objectives", "miss-ratio,"]), "empty objective");
+    fails(&with(&["--objectives", "2,miss-ratio"]), "stray number");
+    fails(&with(&["--group-size", "0"]), "bad --group-size");
+    fails(
+        &with(&["--group-size", "7", "--programs", "5"]),
+        "bad --group-size",
+    );
+    fails(&with(&["--programs", "9999"]), "bad --programs");
+    fails(&with(&["--units", "0"]), "at least one block");
+
+    // `--objective` on the single-run commands speaks the same grammar
+    // and phrases failures as flag errors too.
+    fails(
+        &[
+            "replay-online",
+            "--workloads",
+            "loop:24,zipf:150:0.8",
+            "--units",
+            "16",
+            "--objective",
+            "latency",
+        ],
+        "bad --objective: unknown objective",
+    );
+    fails(
+        &[
+            "replay-online",
+            "--workloads",
+            "loop:24,zipf:150:0.8",
+            "--units",
+            "16",
+            "--objective",
+            "value-weighted:1,2,3",
+        ],
+        "3 weights",
     );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -40,8 +40,8 @@ proptest! {
     #[test]
     fn dp_matches_oracle_sum(curves in prop::collection::vec(monotone_curve(10), 2..4)) {
         let total = 10;
-        let dp = optimal_partition(&curves, total, Combine::Sum);
-        let oracle = brute_force_partition(&curves, total, Combine::Sum);
+        let dp = optimal_partition(&curves, total, &Objective::MissRatioSum);
+        let oracle = brute_force_partition(&curves, total, &Objective::MissRatioSum);
         match (dp, oracle) {
             (Some(d), Some(o)) => {
                 prop_assert!((d.cost - o.cost).abs() < 1e-9, "dp {} vs oracle {}", d.cost, o.cost);
@@ -56,24 +56,24 @@ proptest! {
     fn dp_matches_oracle_on_arbitrary_curves(curves in prop::collection::vec(arbitrary_curve(8), 2..4)) {
         // "The miss ratio curve … can be any function."
         let total = 8;
-        let dp = optimal_partition(&curves, total, Combine::Sum).unwrap();
-        let oracle = brute_force_partition(&curves, total, Combine::Sum).unwrap();
+        let dp = optimal_partition(&curves, total, &Objective::MissRatioSum).unwrap();
+        let oracle = brute_force_partition(&curves, total, &Objective::MissRatioSum).unwrap();
         prop_assert!((dp.cost - oracle.cost).abs() < 1e-9);
     }
 
     #[test]
     fn dp_matches_oracle_max_combine(curves in prop::collection::vec(monotone_curve(8), 2..4)) {
         let total = 8;
-        let dp = optimal_partition(&curves, total, Combine::Max).unwrap();
-        let oracle = brute_force_partition(&curves, total, Combine::Max).unwrap();
+        let dp = optimal_partition(&curves, total, &Objective::MaxMissRatio).unwrap();
+        let oracle = brute_force_partition(&curves, total, &Objective::MaxMissRatio).unwrap();
         prop_assert!((dp.cost - oracle.cost).abs() < 1e-9);
     }
 
     #[test]
     fn dp_respects_constraints(curves in prop::collection::vec(constrained_curve(10), 2..4)) {
         let total = 10;
-        match (optimal_partition(&curves, total, Combine::Sum),
-               brute_force_partition(&curves, total, Combine::Sum)) {
+        match (optimal_partition(&curves, total, &Objective::MissRatioSum),
+               brute_force_partition(&curves, total, &Objective::MissRatioSum)) {
             (Some(d), Some(o)) => {
                 prop_assert!((d.cost - o.cost).abs() < 1e-9);
                 // No program sits in its forbidden region.
@@ -89,8 +89,8 @@ proptest! {
     #[test]
     fn dp_cost_never_increases_with_more_cache(curves in prop::collection::vec(monotone_curve(12), 2..4)) {
         // More total cache can only help when curves are non-increasing.
-        let a = optimal_partition(&curves, 8, Combine::Sum).unwrap();
-        let b = optimal_partition(&curves, 12, Combine::Sum).unwrap();
+        let a = optimal_partition(&curves, 8, &Objective::MissRatioSum).unwrap();
+        let b = optimal_partition(&curves, 12, &Objective::MissRatioSum).unwrap();
         prop_assert!(b.cost <= a.cost + 1e-9, "12 units {} vs 8 units {}", b.cost, a.cost);
     }
 
@@ -101,7 +101,7 @@ proptest! {
         let envelopes: Vec<CostCurve> = curves.iter().map(|c| c.convex_envelope()).collect();
         let total = 10;
         let greedy = sttw_partition(&envelopes, total);
-        let dp = optimal_partition(&envelopes, total, Combine::Sum).unwrap();
+        let dp = optimal_partition(&envelopes, total, &Objective::MissRatioSum).unwrap();
         prop_assert!(
             (greedy.cost - dp.cost).abs() < 1e-9,
             "greedy {} vs dp {} on convex envelopes",
@@ -114,7 +114,7 @@ proptest! {
     fn sttw_never_beats_dp(curves in prop::collection::vec(monotone_curve(10), 2..4)) {
         let total = 10;
         let greedy = sttw_partition(&curves, total);
-        let dp = optimal_partition(&curves, total, Combine::Sum).unwrap();
+        let dp = optimal_partition(&curves, total, &Objective::MissRatioSum).unwrap();
         prop_assert!(dp.cost <= greedy.cost + 1e-9);
     }
 }

@@ -116,7 +116,7 @@ fn online_profiler_feeds_the_optimizer() {
     ];
     // 40 + 70 > 96: the DP must give one loop its full set and starve
     // the other (cliff economics), never split uselessly down the middle.
-    let best = optimal_partition(&costs, cfg.units, Combine::Sum).unwrap();
+    let best = optimal_partition(&costs, cfg.units, &Objective::MissRatioSum).unwrap();
     let covered = (best.allocation[0] >= 40) ^ (best.allocation[1] >= 70);
     assert!(
         covered,

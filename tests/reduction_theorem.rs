@@ -54,7 +54,7 @@ fn optimal_partitioning_upper_bounds_quantized_sharing() {
         .iter()
         .map(|m| CostCurve::from_miss_ratio(&m.mrc, &fine, m.access_rate / total))
         .collect();
-    let dp = optimal_partition(&costs, fine.units, Combine::Sum).unwrap();
+    let dp = optimal_partition(&costs, fine.units, &Objective::MissRatioSum).unwrap();
     assert!(
         dp.cost <= search.group_miss_ratio + 1e-9,
         "DP {} must be <= best quantized sharing {}",
@@ -78,7 +78,7 @@ fn continuous_sharing_never_beats_dp_by_more_than_quantization() {
         .iter()
         .map(|m| CostCurve::from_miss_ratio(&m.mrc, &fine, m.access_rate / total))
         .collect();
-    let dp = optimal_partition(&costs, fine.units, Combine::Sum).unwrap();
+    let dp = optimal_partition(&costs, fine.units, &Objective::MissRatioSum).unwrap();
     assert!(
         dp.cost <= search.group_miss_ratio * 1.05 + 1e-6,
         "DP {} vs continuous sharing {}",
