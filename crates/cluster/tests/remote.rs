@@ -28,6 +28,8 @@ fn start_node(units: usize, tenants: usize) -> (String, JoinHandle<Result<ServeO
         tenants,
         max_conns: 8,
         idle_timeout: Duration::from_secs(10),
+        window_cap: 1 << 16,
+        resume_grace: Duration::from_secs(5),
     };
     let server = Server::bind("127.0.0.1:0", config, Arc::new(MetricsRegistry::new()))
         .expect("bind ephemeral port");

@@ -109,7 +109,6 @@ pub enum Objective {
     MaxSlowdown,
 }
 
-
 impl std::fmt::Display for Objective {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.name())

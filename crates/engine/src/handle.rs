@@ -180,105 +180,25 @@ enum AnyEngine {
     Queued(QueuedShardedEngine),
 }
 
-impl AnyEngine {
-    fn record_access(&mut self, tenant: TenantId, block: Block) {
-        match self {
-            AnyEngine::Single(e) => {
-                e.record_access(tenant, block);
-            }
-            AnyEngine::Sharded(e) => e.record_access(tenant, block),
-            AnyEngine::Queued(e) => e.record_access(tenant, block),
-        }
-    }
-
-    fn allocation_units(&self) -> Vec<usize> {
-        match self {
-            AnyEngine::Single(e) => e.allocation_units().to_vec(),
-            AnyEngine::Sharded(e) => e.allocation_units().to_vec(),
-            AnyEngine::Queued(e) => e.allocation_units().to_vec(),
-        }
-    }
-
-    fn epochs_completed(&self) -> usize {
-        match self {
-            AnyEngine::Single(e) => e.epochs_completed(),
-            AnyEngine::Sharded(e) => e.epochs_completed(),
-            AnyEngine::Queued(e) => e.epochs_completed(),
-        }
-    }
-
-    fn ingest_wait_nanos(&self) -> u64 {
-        match self {
-            AnyEngine::Queued(e) => e.ingest_stats().wait_nanos,
-            _ => 0,
-        }
-    }
-
-    fn ingest_stats(&self) -> Option<IngestStats> {
-        match self {
-            AnyEngine::Queued(e) => Some(e.ingest_stats()),
-            _ => None,
-        }
-    }
-
-    fn finish(self) -> EngineReport {
-        match self {
-            AnyEngine::Single(e) => e.finish(),
-            AnyEngine::Sharded(e) => e.finish(),
-            AnyEngine::Queued(e) => e.finish(),
-        }
-    }
-}
-
-/// Last-known control-plane state, refreshed whenever the engine mutex
-/// is uncontended and at the end of every push.
-#[derive(Clone)]
-struct ControlCache {
-    allocation: Vec<usize>,
-    epochs: usize,
-    ingest: Option<IngestStats>,
-}
-
-impl ControlCache {
-    fn of(engine: &AnyEngine) -> Self {
-        ControlCache {
-            allocation: engine.allocation_units(),
-            epochs: engine.epochs_completed(),
-            ingest: engine.ingest_stats(),
-        }
-    }
-}
-
-/// A shared, push-style front door to one engine.
+/// A single-owner engine of any [`EngineKind`] behind one uniform,
+/// `&mut self` surface — the building block both [`EngineHandle`]
+/// (which adds a mutex for concurrent producers) and single-threaded
+/// drivers like the `cps-serve` ingest pump (which need *no* mutex on
+/// the hot path) are built from.
 ///
-/// # Examples
-///
-/// ```
-/// use cps_core::CacheConfig;
-/// use cps_engine::{EngineConfig, EngineHandle, EngineKind};
-///
-/// let cfg = EngineConfig::new(CacheConfig::new(16, 1), 100);
-/// let handle = EngineHandle::new(EngineKind::Single, cfg, 2);
-/// let batch: Vec<(usize, u64)> = (0..250).map(|i| ((i % 2) as usize, i % 20)).collect();
-/// let receipt = handle.push_batch(&batch).unwrap();
-/// assert_eq!(receipt.records, 250);
-/// assert_eq!(handle.epochs_completed().unwrap(), 2);
-/// let report = handle.finish().unwrap();
-/// assert_eq!(report.epochs.len(), 3, "2 full + 1 partial");
-/// // Terminal state: every later operation is a typed refusal.
-/// assert!(handle.push_batch(&batch).is_err());
-/// ```
-pub struct EngineHandle {
+/// Unlike the raw engines, control operations that depend on the
+/// engine kind return typed [`HandleError`]s instead of panicking;
+/// `record_access` keeps the engines' own contract (panics on an
+/// out-of-range tenant), so validate tenants at the trust boundary.
+pub struct EngineBox {
     kind: EngineKind,
     tenants: usize,
     units: usize,
-    inner: Mutex<Option<AnyEngine>>,
-    finished: AtomicBool,
-    control: Mutex<ControlCache>,
+    inner: AnyEngine,
 }
 
-impl EngineHandle {
-    /// Creates a handle over a freshly built engine of `kind`.
+impl EngineBox {
+    /// Builds a fresh engine of `kind`.
     ///
     /// # Panics
     /// Panics if `tenants` is zero, or if `kind` carries a zero shard
@@ -309,7 +229,7 @@ impl EngineHandle {
         registry: Option<&MetricsRegistry>,
     ) -> Self {
         let units = config.cache.units;
-        let engine = match (kind, registry) {
+        let inner = match (kind, registry) {
             (EngineKind::Single, None) => {
                 AnyEngine::Single(RepartitionEngine::new(config, tenants))
             }
@@ -348,10 +268,212 @@ impl EngineHandle {
                 r,
             )),
         };
-        EngineHandle {
+        EngineBox {
             kind,
             tenants,
             units,
+            inner,
+        }
+    }
+
+    /// The engine variant inside.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// Number of tenants the engine serves.
+    pub fn tenants(&self) -> usize {
+        self.tenants
+    }
+
+    /// The cache capacity in allocation units.
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// Ingests one access. For queued kinds this routes the record to
+    /// its shard's SPSC queue and may block on a full queue
+    /// (backpressure — the wait is visible in
+    /// [`ingest_stats`](Self::ingest_stats)).
+    ///
+    /// # Panics
+    /// Panics if `tenant` is out of range (the engines' own contract).
+    pub fn record_access(&mut self, tenant: TenantId, block: Block) {
+        match &mut self.inner {
+            AnyEngine::Single(e) => {
+                e.record_access(tenant, block);
+            }
+            AnyEngine::Sharded(e) => e.record_access(tenant, block),
+            AnyEngine::Queued(e) => e.record_access(tenant, block),
+        }
+    }
+
+    /// Current allocation in units.
+    pub fn allocation_units(&self) -> Vec<usize> {
+        match &self.inner {
+            AnyEngine::Single(e) => e.allocation_units().to_vec(),
+            AnyEngine::Sharded(e) => e.allocation_units().to_vec(),
+            AnyEngine::Queued(e) => e.allocation_units().to_vec(),
+        }
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs_completed(&self) -> usize {
+        match &self.inner {
+            AnyEngine::Single(e) => e.epochs_completed(),
+            AnyEngine::Sharded(e) => e.epochs_completed(),
+            AnyEngine::Queued(e) => e.epochs_completed(),
+        }
+    }
+
+    /// Cumulative nanoseconds the producer spent blocked on full shard
+    /// queues (0 for non-queued kinds).
+    pub fn ingest_wait_nanos(&self) -> u64 {
+        match &self.inner {
+            AnyEngine::Queued(e) => e.ingest_stats().wait_nanos,
+            _ => 0,
+        }
+    }
+
+    /// Producer-side ingest backpressure counters (`None` for engines
+    /// without queues).
+    pub fn ingest_stats(&self) -> Option<IngestStats> {
+        match &self.inner {
+            AnyEngine::Queued(e) => Some(e.ingest_stats()),
+            _ => None,
+        }
+    }
+
+    /// Closes the current epoch under external clocking and exports
+    /// each tenant's realized counts and blended miss-ratio curve.
+    /// Only [`EngineKind::Single`] supports external clocking; other
+    /// kinds refuse with [`HandleError::Unsupported`].
+    pub fn export_cost_curves(&mut self) -> Result<Vec<TenantCurve>, HandleError> {
+        match &mut self.inner {
+            AnyEngine::Single(e) => Ok(e.export_epoch_curves()),
+            _ => Err(HandleError::Unsupported {
+                op: "external epoch clocking",
+            }),
+        }
+    }
+
+    /// Actuates an externally chosen allocation through the engine's
+    /// hysteresis stage, booking the epoch opened by the matching
+    /// [`export_cost_curves`](Self::export_cost_curves). The target may
+    /// sum to less than capacity (a budget) but never more.
+    pub fn apply_allocation(
+        &mut self,
+        target: &[usize],
+        predicted_cost: Option<f64>,
+    ) -> Result<Actuation, HandleError> {
+        if target.len() != self.tenants || target.iter().sum::<usize>() > self.units {
+            return Err(HandleError::BadAllocation {
+                tenants: self.tenants,
+                units: self.units,
+            });
+        }
+        match &mut self.inner {
+            AnyEngine::Single(e) => e
+                .apply_external_allocation(Some(target), predicted_cost)
+                .ok_or(HandleError::NoOpenEpoch),
+            _ => Err(HandleError::Unsupported {
+                op: "external epoch clocking",
+            }),
+        }
+    }
+
+    /// Finishes the engine (flushing any partial final epoch and
+    /// joining any worker threads) and returns its report.
+    pub fn finish(self) -> EngineReport {
+        match self.inner {
+            AnyEngine::Single(e) => e.finish(),
+            AnyEngine::Sharded(e) => e.finish(),
+            AnyEngine::Queued(e) => e.finish(),
+        }
+    }
+}
+
+/// Last-known control-plane state, refreshed whenever the engine mutex
+/// is uncontended and at the end of every push.
+#[derive(Clone)]
+struct ControlCache {
+    allocation: Vec<usize>,
+    epochs: usize,
+    ingest: Option<IngestStats>,
+}
+
+impl ControlCache {
+    fn of(engine: &EngineBox) -> Self {
+        ControlCache {
+            allocation: engine.allocation_units(),
+            epochs: engine.epochs_completed(),
+            ingest: engine.ingest_stats(),
+        }
+    }
+}
+
+/// A shared, push-style front door to one engine.
+///
+/// # Examples
+///
+/// ```
+/// use cps_core::CacheConfig;
+/// use cps_engine::{EngineConfig, EngineHandle, EngineKind};
+///
+/// let cfg = EngineConfig::new(CacheConfig::new(16, 1), 100);
+/// let handle = EngineHandle::new(EngineKind::Single, cfg, 2);
+/// let batch: Vec<(usize, u64)> = (0..250).map(|i| ((i % 2) as usize, i % 20)).collect();
+/// let receipt = handle.push_batch(&batch).unwrap();
+/// assert_eq!(receipt.records, 250);
+/// assert_eq!(handle.epochs_completed().unwrap(), 2);
+/// let report = handle.finish().unwrap();
+/// assert_eq!(report.epochs.len(), 3, "2 full + 1 partial");
+/// // Terminal state: every later operation is a typed refusal.
+/// assert!(handle.push_batch(&batch).is_err());
+/// ```
+pub struct EngineHandle {
+    kind: EngineKind,
+    tenants: usize,
+    inner: Mutex<Option<EngineBox>>,
+    finished: AtomicBool,
+    control: Mutex<ControlCache>,
+}
+
+impl EngineHandle {
+    /// Creates a handle over a freshly built engine of `kind`.
+    ///
+    /// # Panics
+    /// Panics if `tenants` is zero, or if `kind` carries a zero shard
+    /// count or queue capacity (same contracts as the engines' own
+    /// constructors).
+    pub fn new(kind: EngineKind, config: EngineConfig, tenants: usize) -> Self {
+        Self::build(kind, config, tenants, None)
+    }
+
+    /// Like [`new`](Self::new), with the engine's instruments
+    /// registered in `registry`.
+    ///
+    /// # Panics
+    /// Same contracts as [`new`](Self::new).
+    pub fn with_metrics(
+        kind: EngineKind,
+        config: EngineConfig,
+        tenants: usize,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        Self::build(kind, config, tenants, Some(registry))
+    }
+
+    fn build(
+        kind: EngineKind,
+        config: EngineConfig,
+        tenants: usize,
+        registry: Option<&MetricsRegistry>,
+    ) -> Self {
+        let engine = EngineBox::build(kind, config, tenants, registry);
+        EngineHandle {
+            kind,
+            tenants,
             control: Mutex::new(ControlCache::of(&engine)),
             inner: Mutex::new(Some(engine)),
             finished: AtomicBool::new(false),
@@ -429,14 +551,7 @@ impl EngineHandle {
     pub fn export_cost_curves(&self) -> Result<Vec<TenantCurve>, HandleError> {
         let mut guard = self.inner.lock().expect("engine handle lock");
         let engine = guard.as_mut().ok_or(HandleError::Finished)?;
-        let curves = match engine {
-            AnyEngine::Single(e) => e.export_epoch_curves(),
-            _ => {
-                return Err(HandleError::Unsupported {
-                    op: "external epoch clocking",
-                })
-            }
-        };
+        let curves = engine.export_cost_curves()?;
         self.refresh_control(engine);
         Ok(curves)
     }
@@ -450,24 +565,9 @@ impl EngineHandle {
         target: &[usize],
         predicted_cost: Option<f64>,
     ) -> Result<Actuation, HandleError> {
-        if target.len() != self.tenants || target.iter().sum::<usize>() > self.units {
-            return Err(HandleError::BadAllocation {
-                tenants: self.tenants,
-                units: self.units,
-            });
-        }
         let mut guard = self.inner.lock().expect("engine handle lock");
         let engine = guard.as_mut().ok_or(HandleError::Finished)?;
-        let actuation = match engine {
-            AnyEngine::Single(e) => e
-                .apply_external_allocation(Some(target), predicted_cost)
-                .ok_or(HandleError::NoOpenEpoch)?,
-            _ => {
-                return Err(HandleError::Unsupported {
-                    op: "external epoch clocking",
-                })
-            }
-        };
+        let actuation = engine.apply_allocation(target, predicted_cost)?;
         self.refresh_control(engine);
         Ok(actuation)
     }
@@ -509,7 +609,7 @@ impl EngineHandle {
 
     /// Re-snapshots control state; called while `engine`'s guard is
     /// still held, so the cache never goes backwards.
-    fn refresh_control(&self, engine: &AnyEngine) {
+    fn refresh_control(&self, engine: &EngineBox) {
         *self.control.lock().expect("control cache lock") = ControlCache::of(engine);
     }
 }

@@ -52,7 +52,7 @@ pub mod shard;
 pub mod solve;
 
 pub use actuate::{units_moved, Actuation, CacheActuator, HysteresisActuator};
-pub use handle::{EngineHandle, EngineKind, HandleError, PushReceipt};
+pub use handle::{EngineBox, EngineHandle, EngineKind, HandleError, PushReceipt};
 pub use ingest::{BufferedIngest, IngestStage, IngestStats, QueuedIngest};
 pub use profile::{default_profilers, window_solo_profiles, TenantProfiler};
 pub use report::{weighted_miss_ratio, EngineReport, EpochRecord};

@@ -55,6 +55,7 @@ impl From<WireError> for ServeError {
 pub struct Client {
     stream: TcpStream,
     config: WireConfig,
+    token: u64,
 }
 
 impl Client {
@@ -67,15 +68,47 @@ impl Client {
         let _ = stream.set_nodelay(true);
         write_message(&mut stream, &Message::Hello { binding })?;
         match read_message(&mut stream)? {
-            Message::HelloAck { config } => Ok(Client { stream, config }),
+            Message::HelloAck { config, token } => Ok(Client {
+                stream,
+                config,
+                token,
+            }),
             Message::Error { code, message } => Err(ServeError::Server { code, message }),
             _ => Err(ServeError::UnexpectedReply("expected HELLO_ACK")),
+        }
+    }
+
+    /// Rejoins a dropped session on a fresh TCP connection using the
+    /// token its HELLO_ACK disclosed. Returns the rejoined client and
+    /// `resume_pos`: the first global stream position the server never
+    /// received from the session — resend sequenced records from there.
+    pub fn resume(addr: &str, token: u64) -> Result<(Client, u64), ServeError> {
+        let mut stream = TcpStream::connect(addr)
+            .map_err(|e| ServeError::Wire(WireError::Io(e.kind(), e.to_string())))?;
+        let _ = stream.set_nodelay(true);
+        write_message(&mut stream, &Message::Resume { token })?;
+        match read_message(&mut stream)? {
+            Message::ResumeAck { config, resume_pos } => Ok((
+                Client {
+                    stream,
+                    config,
+                    token,
+                },
+                resume_pos,
+            )),
+            Message::Error { code, message } => Err(ServeError::Server { code, message }),
+            _ => Err(ServeError::UnexpectedReply("expected RESUME_ACK")),
         }
     }
 
     /// The server's engine configuration, as disclosed in HELLO_ACK.
     pub fn config(&self) -> WireConfig {
         self.config.clone()
+    }
+
+    /// The session's resume token, as disclosed in HELLO_ACK.
+    pub fn token(&self) -> u64 {
+        self.token
     }
 
     /// Streams one access batch. Fire-and-forget: the server only
@@ -85,6 +118,20 @@ impl Client {
         write_message(
             &mut self.stream,
             &Message::Batch {
+                records: records.to_vec(),
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Streams one *sequenced* batch of `(position, tenant, block)`
+    /// records — positions strictly increasing within the frame and
+    /// monotone across the session's lifetime. Fire-and-forget, like
+    /// [`push_batch`](Self::push_batch).
+    pub fn push_batch_seq(&mut self, records: &[(u64, u64, u64)]) -> Result<(), ServeError> {
+        write_message(
+            &mut self.stream,
+            &Message::BatchSeq {
                 records: records.to_vec(),
             },
         )?;

@@ -14,13 +14,16 @@
 //!   Every malformed input — truncation, bit flip, bad version,
 //!   oversized frame — decodes to a typed [`wire::WireError`], never a
 //!   panic.
-//! - [`server`] — a thread-per-connection daemon: HELLO handshake
-//!   binds each session to a tenant (or the mux pseudo-tenant),
-//!   admission enforces a session-table cap, batches route through one
-//!   [`cps_engine::EngineHandle`] (the serialization point that keeps
-//!   served runs report-identical to in-process runs), control verbs
-//!   answer from live engine state, and SHUTDOWN finishes the engine
-//!   and returns the run's journal over the wire.
+//! - [`server`] — a two-thread daemon: a readiness event loop
+//!   (epoll-backed on Linux, portable fallback elsewhere) owns every
+//!   session socket, and a single ingest pump owns the
+//!   [`cps_engine::EngineBox`] outright. Concurrent connections send
+//!   position-stamped BATCH_SEQ frames that a bounded sequencing
+//!   window reassembles into the one canonical stream — the invariant
+//!   that keeps served runs report-identical to in-process runs —
+//!   while dropped connections may RESUME by session token without
+//!   losing report identity. SHUTDOWN finishes the engine and returns
+//!   the run's journal over the wire.
 //! - [`client`] — a blocking client used by `cps bench-net` to replay
 //!   a trace over the socket and cross-validate the returned journal
 //!   against an in-process run of the identical engine.
@@ -33,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+mod poll;
 pub mod report;
 pub mod server;
 pub mod wire;

@@ -1,42 +1,64 @@
-//! The TCP daemon: thread-per-connection acceptor, session table, and
-//! the shared ingest router over one [`EngineHandle`].
+//! The TCP daemon: a readiness event loop, a sequencing window, and a
+//! single ingest pump that owns the engine.
 //!
-//! Every connection thread speaks the [`wire`](crate::wire) protocol:
-//! a HELLO handshake binds the session to a tenant (or to the mux
-//! pseudo-tenant that may speak for everyone), then BATCH frames
-//! stream accesses into the engine while control verbs (STATS,
-//! ALLOCATION, EPOCH, SNAPSHOT, SHUTDOWN) are answered from the same
-//! socket. The [`EngineHandle`] mutex is the ingest router's
-//! serialization point — batches from concurrent sessions interleave
-//! at batch granularity, and every batch flows through the engine's
-//! canonical `ChunkRouter` chunk rule unchanged, so a served run obeys
-//! exactly the determinism guarantees of an in-process run.
+//! **Threads.** Exactly two, regardless of how many clients connect:
+//! the *event loop* (the caller of [`Server::run`]) owns the listener
+//! and every session socket behind the crate's zero-dep poller, and the
+//! *pump* owns the [`EngineBox`] outright — no mutex on the ingest hot
+//! path. Thousands of idle sessions cost file descriptors, not stacks.
 //!
-//! **Admission and teardown.** A session is admitted only if the
-//! session table is below `max_conns` and its HELLO binding names a
-//! real tenant; refusals are typed [`Message::Error`] frames. Sessions
-//! are torn down on clean close, protocol error, idle timeout
-//! (`set_read_timeout` on the socket), or server shutdown — the
-//! shutdown path closes every other session's socket so no thread
-//! lingers.
+//! **Sequencing window.** The engine's determinism contract is that
+//! the global access stream has one canonical order. A single
+//! connection gets that for free (arrival order, the old BATCH verb).
+//! Concurrent connections instead send BATCH_SEQ frames whose records
+//! carry explicit global stream positions; the event loop places them
+//! into a bounded reorder ring (`window_cap` slots, position `p` in
+//! slot `p % cap`) and the pump consumes the contiguous prefix,
+//! feeding the engine — and, for the queued engine, its per-shard SPSC
+//! queues — in canonical order. Identity with an in-process run holds
+//! by construction: the engine sees exactly the stream `0, 1, 2, …`.
 //!
-//! **Accounted backpressure.** Every push's [`cps_engine::PushReceipt`] (handle
-//! lock wait + full-queue wait) accumulates into
-//! `cps_serve_backpressure_nanos_total`, so the delay the server
-//! imposed on clients is a first-class exported counter, like the
-//! engine's own ingest stats.
+//! Records beyond the window park in a per-session pending queue and
+//! the session's read interest is dropped — TCP backpressure, counted
+//! in `cps_serve_window_pauses_total`. Paused sessions are exempt from
+//! the idle timeout (the server itself made them quiet).
+//!
+//! **Control barrier.** Control verbs (STATS, COST_CURVES, APPLY, …)
+//! are queued to the pump stamped with the session's *watermark* — the
+//! first stream position the session has not yet sent — and execute
+//! only once ingest has passed it. A verb therefore observes every
+//! record its own connection sent before it, which is exactly the
+//! ordering the old mutex serialization gave external epoch clocking.
+//!
+//! **Resume.** HELLO_ACK discloses a session token. When a sequenced
+//! session's TCP connection drops mid-stream, its state (watermark,
+//! pending records) detaches and survives for `resume_grace`; a fresh
+//! connection may RESUME with the token and is told the watermark to
+//! resend from. Report identity survives the disconnect because the
+//! ring admits each position exactly once and per-session positions
+//! are validated monotone — a resent duplicate is refused, a lost
+//! record is re-sent.
+//!
+//! **Idle vs stall.** A session with no bytes in flight past the idle
+//! timeout is closed as idle (`IDLE_TIMEOUT`, counted in
+//! `cps_serve_idle_closes_total`). A session that went quiet *mid
+//! frame* is a stalled sender, a different failure: it is closed with
+//! `STALLED` and counted in `cps_serve_stall_closes_total`.
 
+use crate::poll::{Event, Interest, Poller};
 use crate::report::render_journal;
 use crate::wire::{
-    error_code, read_message, write_message, Message, ServeStats, WireConfig, WireCurve, WireError,
+    decode, encode, error_code, Message, ServeStats, WireConfig, WireCurve, WireError, HEADER_LEN,
+    MAX_PAYLOAD,
 };
-use cps_engine::{EngineHandle, EngineKind, EngineReport, HandleError, Policy};
+use cps_engine::{EngineBox, EngineKind, EngineReport, HandleError, Policy};
 use cps_obs::{Counter, Gauge, MetricsRegistry, RunHeader};
-use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Everything `cps serve` decides before binding the socket.
 pub struct ServeConfig {
@@ -51,6 +73,13 @@ pub struct ServeConfig {
     pub max_conns: usize,
     /// Idle-session teardown threshold.
     pub idle_timeout: Duration,
+    /// Sequencing-window capacity in records: how far ahead of the
+    /// contiguous ingest frontier a BATCH_SEQ position may run before
+    /// its connection is paused.
+    pub window_cap: usize,
+    /// How long a dropped sequenced session's state survives awaiting
+    /// RESUME before it is discarded.
+    pub resume_grace: Duration,
 }
 
 impl ServeConfig {
@@ -119,7 +148,7 @@ pub struct ServeOutcome {
     /// The journal text (header, epochs, summary) — identical to what
     /// the SHUTDOWN reply carried over the wire.
     pub journal: String,
-    /// Connections accepted over the server's lifetime.
+    /// Sessions admitted over the server's lifetime.
     pub connections: u64,
     /// Access records ingested.
     pub records: u64,
@@ -129,12 +158,18 @@ pub struct ServeOutcome {
 struct ServeMetrics {
     connections: Counter,
     active_sessions: Gauge,
+    detached_sessions: Gauge,
     frames: Counter,
     batches: Counter,
     records: Counter,
     decode_errors: Counter,
     rejects: Counter,
     idle_closes: Counter,
+    stall_closes: Counter,
+    resumes: Counter,
+    window_pauses: Counter,
+    dropped_records: Counter,
+    wakeups: Counter,
     backpressure_nanos: Counter,
 }
 
@@ -144,8 +179,12 @@ impl ServeMetrics {
             connections: registry
                 .counter("cps_serve_connections_total", "Client connections accepted"),
             active_sessions: registry.gauge("cps_serve_active_sessions", "Sessions currently open"),
+            detached_sessions: registry.gauge(
+                "cps_serve_detached_sessions",
+                "Dropped sessions awaiting RESUME within the grace window",
+            ),
             frames: registry.counter("cps_serve_frames_total", "Frames read from clients"),
-            batches: registry.counter("cps_serve_batches_total", "BATCH frames ingested"),
+            batches: registry.counter("cps_serve_batches_total", "BATCH/BATCH_SEQ frames accepted"),
             records: registry.counter("cps_serve_records_total", "Access records ingested"),
             decode_errors: registry.counter(
                 "cps_serve_decode_errors_total",
@@ -157,39 +196,133 @@ impl ServeMetrics {
             ),
             idle_closes: registry.counter(
                 "cps_serve_idle_closes_total",
-                "Sessions torn down by the idle timeout",
+                "Sessions torn down by the idle timeout (quiet between frames)",
+            ),
+            stall_closes: registry.counter(
+                "cps_serve_stall_closes_total",
+                "Sessions torn down mid-frame (sender stalled, not idle)",
+            ),
+            resumes: registry.counter(
+                "cps_serve_resumes_total",
+                "Dropped sessions rejoined via RESUME",
+            ),
+            window_pauses: registry.counter(
+                "cps_serve_window_pauses_total",
+                "Times a session's reads were paused by the sequencing window",
+            ),
+            dropped_records: registry.counter(
+                "cps_serve_dropped_records_total",
+                "Records received but never ingested (session discarded or shutdown)",
+            ),
+            wakeups: registry.counter(
+                "cps_serve_wakeups_total",
+                "Pump-to-event-loop wake datagrams received",
             ),
             backpressure_nanos: registry.counter(
                 "cps_serve_backpressure_nanos_total",
-                "Nanoseconds clients spent blocked on ingest (handle lock + full queues)",
+                "Nanoseconds ingest spent blocked on full shard queues",
             ),
         }
     }
 }
 
-/// One admitted session. Holds a clone of the session's socket so the
-/// shutdown path can close it from another thread.
-struct Session {
-    stream: TcpStream,
+/// A control verb queued from the event loop to the pump.
+enum CtrlOp {
+    Stats,
+    Allocation,
+    Epoch,
+    Snapshot,
+    CostCurves,
+    Apply {
+        target: Vec<usize>,
+        predicted: Option<f64>,
+    },
+    Shutdown,
 }
 
-#[derive(Default)]
-struct SessionTable {
-    next_id: u64,
-    active: HashMap<u64, Session>,
-    connections: u64,
+/// One queued control request, runnable once ingest passes `watermark`.
+struct CtrlReq {
+    session: u64,
+    watermark: u64,
+    op: CtrlOp,
 }
 
-/// Shared state every connection thread sees.
+/// A finished control request flowing back to the event loop.
+struct Completion {
+    session: u64,
+    result: Result<Message, (u64, String)>,
+}
+
+/// State shared between the event loop and the pump, behind one mutex.
+struct PumpState {
+    /// The reorder ring: position `p` lives in slot `p % cap` until the
+    /// pump consumes it. `None` slots are free.
+    ring: Vec<Option<(usize, u64)>>,
+    /// The contiguous ingest frontier: every position `< next` has been
+    /// fed to the engine.
+    next: u64,
+    /// Next position handed to an *unsequenced* BATCH record (arrival
+    /// order is the canonical order in that mode).
+    assigned: u64,
+    /// FIFO control queue; only the front is eligible, once its
+    /// watermark is reached.
+    ctrl: VecDeque<CtrlReq>,
+    /// Set by the pump after SHUTDOWN (or by the event loop on a fatal
+    /// error) — both sides drain and exit.
+    stopping: bool,
+}
+
+impl PumpState {
+    fn cap(&self) -> u64 {
+        self.ring.len() as u64
+    }
+
+    /// Places one positioned record, if the window admits it now.
+    fn admit(&mut self, pos: u64, tenant: usize, block: u64) -> Admit {
+        if pos < self.next {
+            return Admit::Duplicate;
+        }
+        if pos >= self.next + self.cap() {
+            return Admit::Beyond;
+        }
+        let slot = (pos % self.cap()) as usize;
+        if self.ring[slot].is_some() {
+            return Admit::Duplicate;
+        }
+        self.ring[slot] = Some((tenant, block));
+        Admit::Placed
+    }
+}
+
+#[derive(PartialEq)]
+enum Admit {
+    Placed,
+    Beyond,
+    Duplicate,
+}
+
+/// Which ingest dialect the run latched into at its first batch.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// BATCH_SEQ: clients sequence records with explicit positions.
+    Sequenced,
+    /// BATCH: arrival order is canonical (single-connection use).
+    Unsequenced,
+}
+
+/// Everything both threads can see.
 struct Shared {
-    handle: EngineHandle,
     header: RunHeader,
     wire_config: WireConfig,
-    idle_timeout: Duration,
-    max_conns: usize,
-    sessions: Mutex<SessionTable>,
+    pump: Mutex<PumpState>,
+    work: Condvar,
+    completions: Mutex<VecDeque<Completion>>,
     outcome: Mutex<Option<ServeOutcome>>,
-    shutdown: AtomicBool,
+    stopping: AtomicBool,
+    /// Sessions admitted over the lifetime (HELLO accepted).
+    admitted: AtomicU64,
+    /// Sessions currently attached to a live connection.
+    attached: AtomicU64,
     metrics: ServeMetrics,
     registry: Arc<MetricsRegistry>,
 }
@@ -198,6 +331,10 @@ struct Shared {
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+    engine: EngineBox,
+    idle_timeout: Duration,
+    resume_grace: Duration,
+    max_conns: usize,
 }
 
 impl Server {
@@ -210,26 +347,41 @@ impl Server {
         registry: Arc<MetricsRegistry>,
     ) -> Result<Server, String> {
         let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
-        let handle = EngineHandle::with_metrics(
+        let engine = EngineBox::with_metrics(
             config.kind,
             config.engine.clone(),
             config.tenants,
             &registry,
         );
         let metrics = ServeMetrics::register(&registry);
+        let window_cap = config.window_cap.max(1);
         let shared = Arc::new(Shared {
             header: config.run_header(),
             wire_config: config.wire_config(),
-            idle_timeout: config.idle_timeout,
-            max_conns: config.max_conns,
-            handle,
-            sessions: Mutex::new(SessionTable::default()),
+            pump: Mutex::new(PumpState {
+                ring: vec![None; window_cap],
+                next: 0,
+                assigned: 0,
+                ctrl: VecDeque::new(),
+                stopping: false,
+            }),
+            work: Condvar::new(),
+            completions: Mutex::new(VecDeque::new()),
             outcome: Mutex::new(None),
-            shutdown: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            admitted: AtomicU64::new(0),
+            attached: AtomicU64::new(0),
             metrics,
             registry,
         });
-        Ok(Server { listener, shared })
+        Ok(Server {
+            listener,
+            shared,
+            engine,
+            idle_timeout: config.idle_timeout,
+            resume_grace: config.resume_grace,
+            max_conns: config.max_conns,
+        })
     }
 
     /// The address the listener actually bound (resolves `--port auto`).
@@ -240,31 +392,79 @@ impl Server {
     }
 
     /// Serves until a client issues SHUTDOWN, then returns the
-    /// finished run. Connection threads are joined before returning,
-    /// so the outcome is complete and final.
+    /// finished run. The pump thread is joined before returning, so
+    /// the outcome is complete and final.
     pub fn run(self) -> Result<ServeOutcome, String> {
-        self.listener
+        let Server {
+            listener,
+            shared,
+            engine,
+            idle_timeout,
+            resume_grace,
+            max_conns,
+        } = self;
+        listener
             .set_nonblocking(true)
-            .map_err(|e| format!("set_nonblocking: {e}"))?;
-        let mut threads = Vec::new();
-        while !self.shared.shutdown.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let shared = Arc::clone(&self.shared);
-                    threads.push(std::thread::spawn(move || connection(stream, &shared)));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(format!("accept: {e}")),
-            }
+            .map_err(|e| format!("listener nonblocking: {e}"))?;
+
+        // The pump→event-loop wake channel: a loopback datagram socket
+        // the poller can watch. Losing a datagram is harmless — the
+        // loop also ticks on a short timeout.
+        let wake_rx = UdpSocket::bind("127.0.0.1:0").map_err(|e| format!("wake bind: {e}"))?;
+        wake_rx
+            .set_nonblocking(true)
+            .map_err(|e| format!("wake nonblocking: {e}"))?;
+        let wake_addr = wake_rx
+            .local_addr()
+            .map_err(|e| format!("wake addr: {e}"))?;
+        let wake_tx = UdpSocket::bind("127.0.0.1:0").map_err(|e| format!("wake bind: {e}"))?;
+        wake_tx
+            .connect(wake_addr)
+            .map_err(|e| format!("wake connect: {e}"))?;
+
+        let pump_shared = Arc::clone(&shared);
+        let pump = std::thread::Builder::new()
+            .name("cps-serve-pump".into())
+            .spawn(move || pump_thread(pump_shared, engine, wake_tx))
+            .map_err(|e| format!("spawn pump: {e}"))?;
+
+        let mut poller = Poller::new().map_err(|e| format!("poller: {e}"))?;
+        poller
+            .register(&listener, TOKEN_LISTENER, Interest::READ)
+            .map_err(|e| format!("register listener: {e}"))?;
+        poller
+            .register(&wake_rx, TOKEN_WAKE, Interest::READ)
+            .map_err(|e| format!("register wake: {e}"))?;
+
+        let mut el = EventLoop {
+            shared: Arc::clone(&shared),
+            poller,
+            listener,
+            wake_rx,
+            conns: HashMap::new(),
+            sessions: HashMap::new(),
+            tokens: HashMap::new(),
+            next_conn_token: TOKEN_FIRST_CONN,
+            next_session_id: 1,
+            nonce: token_nonce(),
+            mode: None,
+            idle_timeout,
+            resume_grace,
+            max_conns,
+            flush_deadline: None,
+        };
+        let result = el.run();
+
+        // Make sure the pump exits even on an error path, then join it.
+        {
+            let mut st = shared.pump.lock().expect("pump lock");
+            st.stopping = true;
+            shared.work.notify_all();
         }
-        for t in threads {
-            let _ = t.join();
-        }
-        let outcome = self
-            .shared
+        let _ = pump.join();
+        result?;
+
+        let outcome = shared
             .outcome
             .lock()
             .expect("outcome lock")
@@ -274,295 +474,313 @@ impl Server {
     }
 }
 
-/// Sends `msg`, swallowing transport errors (the peer may already be
-/// gone; teardown proceeds regardless).
-fn send_best_effort(stream: &mut TcpStream, msg: &Message) {
-    let _ = write_message(stream, msg);
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// The event loop's poll tick: bounds wake-datagram loss, idle sweep
+/// latency, and shutdown-flush latency.
+const TICK: Duration = Duration::from_millis(25);
+
+/// How many contiguous records the pump feeds per lock acquisition.
+const PUMP_CHUNK: usize = 4096;
+
+/// One live TCP connection.
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    rstart: usize,
+    wbuf: Vec<u8>,
+    wstart: usize,
+    /// The session this connection speaks for, once HELLO/RESUME done.
+    session: Option<u64>,
+    /// Read interest dropped: the session ran past the window.
+    paused: bool,
+    close_after_flush: bool,
+    last_activity: Instant,
 }
 
-fn refuse(stream: &mut TcpStream, metrics: &ServeMetrics, code: u64, message: &str) {
-    metrics.rejects.inc();
-    send_best_effort(
-        stream,
-        &Message::Error {
-            code,
-            message: message.to_string(),
-        },
-    );
+impl Conn {
+    fn mid_frame(&self) -> bool {
+        self.rbuf.len() > self.rstart
+    }
 }
 
-/// One connection's whole life: handshake, admission, serve loop,
-/// teardown.
-fn connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
-    let metrics = &shared.metrics;
-    metrics.connections.inc();
+/// One admitted session — survives its connection if sequenced.
+struct SessionState {
+    /// Resume token disclosed in HELLO_ACK.
+    token: u64,
+    binding: Option<u64>,
+    /// Latched by the first BATCH_SEQ frame.
+    sequenced: bool,
+    /// Records this session has delivered (parsed, not necessarily
+    /// ingested yet).
+    records: u64,
+    /// First global stream position this session has *not* delivered:
+    /// sequenced sessions advance it per record, unsequenced sessions
+    /// take the global assignment frontier. Control verbs barrier on
+    /// it; RESUME_ACK discloses it as the resend point.
+    watermark: u64,
+    /// Records past the window, waiting for ingest to advance.
+    pending: VecDeque<(u64, usize, u64)>,
+    /// The poll token of the attached connection, if any.
+    conn: Option<u64>,
+    /// When the session lost its connection (detached sessions only).
+    detached_at: Option<Instant>,
+    /// Control verbs queued at the pump, awaiting completion.
+    inflight: u32,
+}
 
-    // Handshake: the first frame must be HELLO with an admissible
-    // binding, while the table has room and the server is alive.
-    let binding = match read_message(&mut stream) {
-        Ok(Message::Hello { binding }) => binding,
-        Ok(_) => {
-            metrics.frames.inc();
-            return refuse(
-                &mut stream,
-                metrics,
-                error_code::PROTOCOL,
-                "expected HELLO first",
-            );
+struct EventLoop {
+    shared: Arc<Shared>,
+    poller: Poller,
+    listener: TcpListener,
+    wake_rx: UdpSocket,
+    conns: HashMap<u64, Conn>,
+    sessions: HashMap<u64, SessionState>,
+    /// Resume token → session id.
+    tokens: HashMap<u64, u64>,
+    next_conn_token: u64,
+    next_session_id: u64,
+    nonce: u64,
+    mode: Option<Mode>,
+    idle_timeout: Duration,
+    resume_grace: Duration,
+    max_conns: usize,
+    /// Once SHUTDOWN's reply is queued: drain until then, then exit.
+    flush_deadline: Option<Instant>,
+}
+
+impl EventLoop {
+    fn run(&mut self) -> Result<(), String> {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            self.poller
+                .wait(&mut events, Some(TICK))
+                .map_err(|e| format!("poll: {e}"))?;
+            for ev in events.drain(..) {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.drain_wakes(),
+                    token => {
+                        if ev.writable {
+                            self.conn_writable(token);
+                        }
+                        if ev.readable {
+                            self.conn_readable(token);
+                        }
+                    }
+                }
+            }
+            self.flush_pending();
+            self.drain_completions();
+            self.sweep(Instant::now());
+            if let Some(deadline) = self.flush_deadline {
+                let flushed = self.conns.values().all(|c| c.wbuf.len() == c.wstart);
+                if flushed || Instant::now() >= deadline {
+                    // Count what never reached the engine.
+                    let dropped: u64 = self.sessions.values().map(|s| s.pending.len() as u64).sum();
+                    if dropped > 0 {
+                        self.shared.metrics.dropped_records.add(dropped);
+                    }
+                    return Ok(());
+                }
+            }
         }
-        Err(_) => {
-            metrics.decode_errors.inc();
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.shared.metrics.connections.inc();
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_conn_token;
+                    self.next_conn_token += 1;
+                    if self
+                        .poller
+                        .register(&stream, token, Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            rbuf: Vec::new(),
+                            rstart: 0,
+                            wbuf: Vec::new(),
+                            wstart: 0,
+                            session: None,
+                            paused: false,
+                            close_after_flush: false,
+                            last_activity: Instant::now(),
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // Transient per-connection accept failures (e.g. the
+                // peer reset before we got to it) are not fatal.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn drain_wakes(&mut self) {
+        let mut buf = [0u8; 8];
+        let mut n = 0u64;
+        while self.wake_rx.recv(&mut buf).is_ok() {
+            n += 1;
+        }
+        if n > 0 {
+            self.shared.metrics.wakeups.add(n);
+        }
+    }
+
+    fn conn_readable(&mut self, token: u64) {
+        let mut chunk = [0u8; 64 * 1024];
+        // A backpressure pause stops parsing mid-buffer; pick up any
+        // complete frames left behind before touching the socket.
+        if !self.process_frames(token) {
             return;
         }
-    };
-    metrics.frames.inc();
-    if shared.shutdown.load(Ordering::SeqCst) {
-        return refuse(
-            &mut stream,
-            metrics,
-            error_code::SHUTTING_DOWN,
-            "server is shutting down",
-        );
-    }
-    if let Some(t) = binding {
-        if t >= shared.wire_config.tenants {
-            return refuse(
-                &mut stream,
-                metrics,
-                error_code::BAD_TENANT,
-                &format!(
-                    "tenant {t} out of range (server has {})",
-                    shared.wire_config.tenants
-                ),
-            );
-        }
-    }
-    let session_id = {
-        let mut table = shared.sessions.lock().expect("session table lock");
-        if table.active.len() >= shared.max_conns {
-            drop(table);
-            return refuse(
-                &mut stream,
-                metrics,
-                error_code::SERVER_FULL,
-                "session table full",
-            );
-        }
-        let id = table.next_id;
-        table.next_id += 1;
-        table.connections += 1;
-        let clone = match stream.try_clone() {
-            Ok(c) => c,
-            Err(_) => return,
-        };
-        table.active.insert(id, Session { stream: clone });
-        metrics.active_sessions.set(table.active.len() as i64);
-        id
-    };
-    send_best_effort(
-        &mut stream,
-        &Message::HelloAck {
-            config: shared.wire_config.clone(),
-        },
-    );
-
-    serve_session(&mut stream, shared, session_id, binding);
-
-    // Teardown: whatever ended the loop, the session leaves the table.
-    let mut table = shared.sessions.lock().expect("session table lock");
-    table.active.remove(&session_id);
-    metrics.active_sessions.set(table.active.len() as i64);
-}
-
-/// The admitted-session serve loop; returns when the session ends for
-/// any reason.
-fn serve_session(stream: &mut TcpStream, shared: &Shared, session_id: u64, binding: Option<u64>) {
-    let metrics = &shared.metrics;
-    loop {
-        let msg = match read_message(stream) {
-            Ok(msg) => msg,
-            Err(WireError::Closed) => return,
-            Err(e) if e.is_timeout() => {
-                metrics.idle_closes.inc();
-                send_best_effort(
-                    stream,
-                    &Message::Error {
-                        code: error_code::IDLE_TIMEOUT,
-                        message: format!("idle for {:?}, closing", shared.idle_timeout),
-                    },
-                );
+        loop {
+            let conn = match self.conns.get_mut(&token) {
+                Some(c) => c,
+                None => return,
+            };
+            if conn.paused || conn.close_after_flush {
                 return;
             }
-            Err(e) => {
-                // Framing is lost after a bad frame; the session cannot
-                // be safely resynchronized, so it ends here.
-                metrics.decode_errors.inc();
-                send_best_effort(
-                    stream,
-                    &Message::Error {
-                        code: error_code::PROTOCOL,
-                        message: e.to_string(),
-                    },
-                );
-                return;
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // The peer is done writing, but the read buffer may
+                    // still hold complete frames; drain them before
+                    // tearing the connection down. A pause mid-drain
+                    // leaves the connection for the next unpause, which
+                    // re-enters here and reads EOF again.
+                    if !self.process_frames(token) {
+                        return;
+                    }
+                    self.close_conn(token, true);
+                    return;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = Instant::now();
+                    if !self.process_frames(token) {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close_conn(token, true);
+                    return;
+                }
             }
-        };
-        metrics.frames.inc();
+        }
+    }
+
+    /// Decodes and handles every complete frame buffered on `token`.
+    /// Returns false if the connection went away (or paused) and the
+    /// caller should stop reading it.
+    fn process_frames(&mut self, token: u64) -> bool {
+        loop {
+            let conn = match self.conns.get_mut(&token) {
+                Some(c) => c,
+                None => return false,
+            };
+            let buf = &conn.rbuf[conn.rstart..];
+            let frame_len = match complete_frame_len(buf) {
+                Ok(None) => {
+                    // Partial frame: compact the buffer and wait.
+                    if conn.rstart > 0 {
+                        conn.rbuf.drain(..conn.rstart);
+                        conn.rstart = 0;
+                    }
+                    return true;
+                }
+                Ok(Some(len)) => len,
+                Err(e) => {
+                    self.shared.metrics.decode_errors.inc();
+                    self.refuse_close(token, error_code::PROTOCOL, &e.to_string());
+                    return false;
+                }
+            };
+            let msg = match decode(&conn.rbuf[conn.rstart..conn.rstart + frame_len]) {
+                Ok((msg, _)) => msg,
+                Err(e) => {
+                    self.shared.metrics.decode_errors.inc();
+                    self.refuse_close(token, error_code::PROTOCOL, &e.to_string());
+                    return false;
+                }
+            };
+            conn.rstart += frame_len;
+            if conn.rstart == conn.rbuf.len() {
+                conn.rbuf.clear();
+                conn.rstart = 0;
+            }
+            self.shared.metrics.frames.inc();
+            if !self.handle_message(token, msg) {
+                return false;
+            }
+            if self
+                .conns
+                .get(&token)
+                .map(|c| c.paused || c.close_after_flush)
+                .unwrap_or(true)
+            {
+                return false;
+            }
+        }
+    }
+
+    /// Dispatches one decoded frame. Returns false if the connection
+    /// was closed.
+    fn handle_message(&mut self, token: u64, msg: Message) -> bool {
         match msg {
-            Message::Batch { records } => {
-                if let Some(bound) = binding {
-                    if let Some(&(bad, _)) = records.iter().find(|&&(t, _)| t != bound) {
-                        send_best_effort(
-                            stream,
-                            &Message::Error {
-                                code: error_code::BAD_TENANT,
-                                message: format!(
-                                    "session bound to tenant {bound} sent a record for {bad}"
-                                ),
-                            },
-                        );
-                        return;
-                    }
-                }
-                let batch: Vec<(usize, u64)> =
-                    records.iter().map(|&(t, b)| (t as usize, b)).collect();
-                match shared.handle.push_batch(&batch) {
-                    Ok(receipt) => {
-                        metrics.batches.inc();
-                        metrics.records.add(receipt.records as u64);
-                        metrics.backpressure_nanos.add(receipt.backpressure_nanos());
-                    }
-                    Err(e) => {
-                        send_control_refusal(stream, &e);
-                        return;
-                    }
-                }
-            }
-            Message::Stats => {
-                let reply = Message::StatsReply {
-                    stats: collect_stats(shared),
-                };
-                send_best_effort(stream, &reply);
-            }
-            Message::Allocation => match shared.handle.allocation_units() {
-                Ok(units) => send_best_effort(
-                    stream,
-                    &Message::AllocationReply {
-                        units: units.into_iter().map(|u| u as u64).collect(),
-                    },
-                ),
-                Err(_) => {
-                    send_best_effort(
-                        stream,
-                        &Message::Error {
-                            code: error_code::SHUTTING_DOWN,
-                            message: "engine already finished".to_string(),
-                        },
-                    );
-                    return;
-                }
-            },
-            Message::Epoch => match shared.handle.epochs_completed() {
-                Ok(epochs) => send_best_effort(
-                    stream,
-                    &Message::EpochReply {
-                        epochs: epochs as u64,
-                    },
-                ),
-                Err(_) => {
-                    send_best_effort(
-                        stream,
-                        &Message::Error {
-                            code: error_code::SHUTTING_DOWN,
-                            message: "engine already finished".to_string(),
-                        },
-                    );
-                    return;
-                }
-            },
-            Message::Snapshot => {
-                let text = shared.registry.snapshot().render_jsonl();
-                send_best_effort(stream, &Message::SnapshotReply { text });
-            }
+            Message::Hello { binding } => self.on_hello(token, binding),
+            Message::Resume { token: resume } => self.on_resume(token, resume),
+            Message::Batch { records } => self.on_batch(token, records),
+            Message::BatchSeq { records } => self.on_batch_seq(token, records),
+            Message::Stats => self.queue_ctrl(token, CtrlOp::Stats),
+            Message::Allocation => self.queue_ctrl(token, CtrlOp::Allocation),
+            Message::Epoch => self.queue_ctrl(token, CtrlOp::Epoch),
+            Message::Snapshot => self.queue_ctrl(token, CtrlOp::Snapshot),
             Message::CostCurves { objective } => {
-                if objective != shared.wire_config.objective {
-                    send_best_effort(
-                        stream,
-                        &Message::Error {
-                            code: error_code::OBJECTIVE,
-                            message: format!(
-                                "objective mismatch: this node optimizes `{}`, request asked for `{objective}`",
-                                shared.wire_config.objective
-                            ),
-                        },
+                if objective != self.shared.wire_config.objective {
+                    let message = format!(
+                        "objective mismatch: this node optimizes `{}`, request asked for `{objective}`",
+                        self.shared.wire_config.objective
                     );
-                    return;
+                    self.refuse_close(token, error_code::OBJECTIVE, &message);
+                    return false;
                 }
-                match shared.handle.export_cost_curves() {
-                    Ok(exported) => {
-                        let curves = exported
-                            .iter()
-                            .map(|c| WireCurve {
-                                accesses: c.counts.accesses,
-                                misses: c.counts.misses,
-                                samples_bits: c.curve.as_ref().map_or_else(Vec::new, |m| {
-                                    m.samples().iter().map(|s| s.to_bits()).collect()
-                                }),
-                            })
-                            .collect();
-                        send_best_effort(stream, &Message::CostCurvesReply { curves });
-                    }
-                    Err(e) => {
-                        send_control_refusal(stream, &e);
-                        return;
-                    }
-                }
+                self.queue_ctrl(token, CtrlOp::CostCurves)
             }
             Message::Apply {
                 units,
                 predicted_bits,
             } => {
                 let target: Vec<usize> = units.iter().map(|&u| u as usize).collect();
-                match shared
-                    .handle
-                    .apply_allocation(&target, predicted_bits.map(f64::from_bits))
-                {
-                    Ok(actuation) => send_best_effort(
-                        stream,
-                        &Message::ApplyReply {
-                            repartitioned: actuation.repartitioned,
-                            units_moved: actuation.units_moved as u64,
-                        },
-                    ),
-                    Err(e) => {
-                        send_control_refusal(stream, &e);
-                        return;
-                    }
-                }
+                self.queue_ctrl(
+                    token,
+                    CtrlOp::Apply {
+                        target,
+                        predicted: predicted_bits.map(f64::from_bits),
+                    },
+                )
             }
-            Message::Shutdown => {
-                match do_shutdown(shared, session_id) {
-                    Ok(journal) => {
-                        send_best_effort(stream, &Message::ShutdownReply { journal });
-                    }
-                    Err(message) => {
-                        send_best_effort(
-                            stream,
-                            &Message::Error {
-                                code: error_code::SHUTTING_DOWN,
-                                message,
-                            },
-                        );
-                    }
-                }
-                return;
-            }
+            Message::Shutdown => self.queue_ctrl(token, CtrlOp::Shutdown),
             // Any server-to-client message arriving here is a protocol
-            // violation (as is a second HELLO).
-            Message::Hello { .. }
-            | Message::HelloAck { .. }
+            // violation.
+            Message::HelloAck { .. }
             | Message::StatsReply { .. }
             | Message::AllocationReply { .. }
             | Message::EpochReply { .. }
@@ -570,90 +788,894 @@ fn serve_session(stream: &mut TcpStream, shared: &Shared, session_id: u64, bindi
             | Message::ShutdownReply { .. }
             | Message::CostCurvesReply { .. }
             | Message::ApplyReply { .. }
+            | Message::ResumeAck { .. }
             | Message::Error { .. } => {
-                send_best_effort(
-                    stream,
-                    &Message::Error {
-                        code: error_code::PROTOCOL,
-                        message: "unexpected message kind".to_string(),
-                    },
-                );
-                return;
+                self.refuse_close(token, error_code::PROTOCOL, "unexpected message kind");
+                false
             }
+        }
+    }
+
+    fn on_hello(&mut self, token: u64, binding: Option<u64>) -> bool {
+        if self.conn_session(token).is_some() {
+            self.refuse_close(token, error_code::PROTOCOL, "session already open");
+            return false;
+        }
+        if self.shared.stopping.load(Ordering::SeqCst) || self.flush_deadline.is_some() {
+            self.shared.metrics.rejects.inc();
+            self.refuse_close(token, error_code::SHUTTING_DOWN, "server is shutting down");
+            return false;
+        }
+        if let Some(t) = binding {
+            if t >= self.shared.wire_config.tenants {
+                self.shared.metrics.rejects.inc();
+                let message = format!(
+                    "tenant {t} out of range (server has {})",
+                    self.shared.wire_config.tenants
+                );
+                self.refuse_close(token, error_code::BAD_TENANT, &message);
+                return false;
+            }
+        }
+        if self.sessions.len() >= self.max_conns {
+            self.shared.metrics.rejects.inc();
+            self.refuse_close(token, error_code::SERVER_FULL, "session table full");
+            return false;
+        }
+        let id = self.next_session_id;
+        self.next_session_id += 1;
+        let resume_token = splitmix64(self.nonce ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        self.sessions.insert(
+            id,
+            SessionState {
+                token: resume_token,
+                binding,
+                sequenced: false,
+                records: 0,
+                watermark: 0,
+                pending: VecDeque::new(),
+                conn: Some(token),
+                detached_at: None,
+                inflight: 0,
+            },
+        );
+        self.tokens.insert(resume_token, id);
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.session = Some(id);
+        }
+        self.shared.admitted.fetch_add(1, Ordering::SeqCst);
+        self.shared.attached.fetch_add(1, Ordering::SeqCst);
+        self.sync_session_gauges();
+        self.queue_msg(
+            token,
+            &Message::HelloAck {
+                config: self.shared.wire_config.clone(),
+                token: resume_token,
+            },
+        )
+    }
+
+    fn on_resume(&mut self, token: u64, resume_token: u64) -> bool {
+        if self.conn_session(token).is_some() {
+            self.refuse_close(token, error_code::PROTOCOL, "session already open");
+            return false;
+        }
+        if self.shared.stopping.load(Ordering::SeqCst) || self.flush_deadline.is_some() {
+            self.shared.metrics.rejects.inc();
+            self.refuse_close(token, error_code::SHUTTING_DOWN, "server is shutting down");
+            return false;
+        }
+        let id = match self.tokens.get(&resume_token) {
+            Some(&id) => id,
+            None => {
+                self.shared.metrics.rejects.inc();
+                self.refuse_close(
+                    token,
+                    error_code::BAD_TOKEN,
+                    "unknown or expired session token",
+                );
+                return false;
+            }
+        };
+        // If the session still thinks it has a connection, that one is
+        // a zombie (the peer knows better than we do that it died) —
+        // steal the session and close the old socket.
+        if let Some(old) = self.sessions.get(&id).and_then(|s| s.conn) {
+            if let Some(old_conn) = self.conns.get_mut(&old) {
+                old_conn.session = None;
+            }
+            self.close_conn(old, false);
+            self.shared.attached.fetch_sub(1, Ordering::SeqCst);
+        }
+        let sess = self.sessions.get_mut(&id).expect("resumed session");
+        sess.conn = Some(token);
+        sess.detached_at = None;
+        let watermark = sess.watermark;
+        let paused = !sess.pending.is_empty();
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.session = Some(id);
+            conn.paused = paused;
+        }
+        self.shared.attached.fetch_add(1, Ordering::SeqCst);
+        self.shared.metrics.resumes.inc();
+        self.sync_session_gauges();
+        let ok = self.queue_msg(
+            token,
+            &Message::ResumeAck {
+                config: self.shared.wire_config.clone(),
+                resume_pos: watermark,
+            },
+        );
+        if ok && paused {
+            self.update_interest(token);
+        }
+        ok
+    }
+
+    fn on_batch(&mut self, token: u64, records: Vec<(u64, u64)>) -> bool {
+        let id = match self.conn_session(token) {
+            Some(id) => id,
+            None => {
+                self.refuse_close(token, error_code::PROTOCOL, "expected HELLO first");
+                return false;
+            }
+        };
+        if self.shared.stopping.load(Ordering::SeqCst) {
+            self.refuse_close(token, error_code::SHUTTING_DOWN, "server is shutting down");
+            return false;
+        }
+        if self.mode == Some(Mode::Sequenced) || self.sessions[&id].sequenced {
+            self.refuse_close(
+                token,
+                error_code::BAD_SEQUENCE,
+                "this run is sequenced (BATCH_SEQ); BATCH cannot mix with it",
+            );
+            return false;
+        }
+        let binding = self.sessions[&id].binding;
+        let tenants = self.shared.wire_config.tenants;
+        for &(t, _) in &records {
+            if t >= tenants {
+                let message = format!("tenant {t} out of range (server has {tenants})");
+                self.refuse_close(token, error_code::BAD_TENANT, &message);
+                return false;
+            }
+            if let Some(bound) = binding {
+                if t != bound {
+                    let message = format!("session bound to tenant {bound} sent a record for {t}");
+                    self.refuse_close(token, error_code::BAD_TENANT, &message);
+                    return false;
+                }
+            }
+        }
+        self.mode = Some(Mode::Unsequenced);
+        let n = records.len() as u64;
+        let watermark;
+        {
+            let mut st = self.shared.pump.lock().expect("pump lock");
+            let sess = self.sessions.get_mut(&id).expect("batch session");
+            for (t, b) in records {
+                let pos = st.assigned;
+                st.assigned += 1;
+                if st.admit(pos, t as usize, b) == Admit::Beyond {
+                    sess.pending.push_back((pos, t as usize, b));
+                }
+            }
+            watermark = st.assigned;
+            sess.records += n;
+            sess.watermark = watermark;
+        }
+        self.shared.work.notify_all();
+        self.shared.metrics.batches.inc();
+        self.pause_if_backlogged(token, id);
+        true
+    }
+
+    fn on_batch_seq(&mut self, token: u64, records: Vec<(u64, u64, u64)>) -> bool {
+        let id = match self.conn_session(token) {
+            Some(id) => id,
+            None => {
+                self.refuse_close(token, error_code::PROTOCOL, "expected HELLO first");
+                return false;
+            }
+        };
+        if self.shared.stopping.load(Ordering::SeqCst) {
+            self.refuse_close(token, error_code::SHUTTING_DOWN, "server is shutting down");
+            return false;
+        }
+        if self.mode == Some(Mode::Unsequenced) {
+            self.refuse_close(
+                token,
+                error_code::BAD_SEQUENCE,
+                "this run is unsequenced (BATCH); BATCH_SEQ cannot mix with it",
+            );
+            return false;
+        }
+        let binding = self.sessions[&id].binding;
+        let tenants = self.shared.wire_config.tenants;
+        let mut watermark = self.sessions[&id].watermark;
+        for &(pos, t, _) in &records {
+            if t >= tenants {
+                let message = format!("tenant {t} out of range (server has {tenants})");
+                self.refuse_close(token, error_code::BAD_TENANT, &message);
+                return false;
+            }
+            if let Some(bound) = binding {
+                if t != bound {
+                    let message = format!("session bound to tenant {bound} sent a record for {t}");
+                    self.refuse_close(token, error_code::BAD_TENANT, &message);
+                    return false;
+                }
+            }
+            if pos < watermark {
+                let message = format!(
+                    "position {pos} below this session's watermark {watermark} (duplicate or out of order)"
+                );
+                self.refuse_close(token, error_code::BAD_SEQUENCE, &message);
+                return false;
+            }
+            watermark = pos + 1;
+        }
+        self.mode = Some(Mode::Sequenced);
+        let n = records.len() as u64;
+        {
+            let mut st = self.shared.pump.lock().expect("pump lock");
+            for &(pos, t, b) in &records {
+                match st.admit(pos, t as usize, b) {
+                    Admit::Placed => {}
+                    Admit::Beyond => {
+                        let sess = self.sessions.get_mut(&id).expect("seq session");
+                        sess.pending.push_back((pos, t as usize, b));
+                    }
+                    Admit::Duplicate => {
+                        drop(st);
+                        let message =
+                            format!("position {pos} already ingested or held by another session");
+                        self.refuse_close(token, error_code::BAD_SEQUENCE, &message);
+                        return false;
+                    }
+                }
+            }
+        }
+        let sess = self.sessions.get_mut(&id).expect("seq session");
+        sess.sequenced = true;
+        sess.records += n;
+        sess.watermark = watermark;
+        self.shared.work.notify_all();
+        self.shared.metrics.batches.inc();
+        self.pause_if_backlogged(token, id);
+        true
+    }
+
+    /// Queues a control verb to the pump at the session's watermark.
+    fn queue_ctrl(&mut self, token: u64, op: CtrlOp) -> bool {
+        let id = match self.conn_session(token) {
+            Some(id) => id,
+            None => {
+                self.refuse_close(token, error_code::PROTOCOL, "expected HELLO first");
+                return false;
+            }
+        };
+        if self.shared.stopping.load(Ordering::SeqCst) {
+            self.refuse_close(token, error_code::SHUTTING_DOWN, "server is shutting down");
+            return false;
+        }
+        let watermark = self.sessions[&id].watermark;
+        {
+            let mut st = self.shared.pump.lock().expect("pump lock");
+            st.ctrl.push_back(CtrlReq {
+                session: id,
+                watermark,
+                op,
+            });
+        }
+        self.shared.work.notify_all();
+        if let Some(sess) = self.sessions.get_mut(&id) {
+            sess.inflight += 1;
+        }
+        true
+    }
+
+    /// Moves pending (beyond-window) records into the ring as ingest
+    /// frees slots, then unpauses connections whose backlog drained.
+    fn flush_pending(&mut self) {
+        let mut progressed = false;
+        let mut drained: Vec<u64> = Vec::new();
+        {
+            let mut st = self.shared.pump.lock().expect("pump lock");
+            for (&id, sess) in self.sessions.iter_mut() {
+                if sess.pending.is_empty() {
+                    continue;
+                }
+                while let Some(&(pos, t, b)) = sess.pending.front() {
+                    match st.admit(pos, t, b) {
+                        Admit::Placed => {
+                            sess.pending.pop_front();
+                            progressed = true;
+                        }
+                        // Duplicate cannot happen for parked records —
+                        // each position was validated at arrival — but
+                        // dropping it is safer than wedging the queue.
+                        Admit::Duplicate => {
+                            sess.pending.pop_front();
+                        }
+                        Admit::Beyond => break,
+                    }
+                }
+                if sess.pending.is_empty() {
+                    drained.push(id);
+                }
+            }
+        }
+        if progressed {
+            self.shared.work.notify_all();
+        }
+        for id in drained {
+            if let Some(token) = self.sessions.get(&id).and_then(|s| s.conn) {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    if conn.paused {
+                        conn.paused = false;
+                        self.update_interest(token);
+                        // The socket may have buffered frames while we
+                        // were not reading.
+                        self.conn_readable(token);
+                    }
+                }
+            }
+        }
+    }
+
+    fn pause_if_backlogged(&mut self, token: u64, id: u64) {
+        let backlogged = self
+            .sessions
+            .get(&id)
+            .map(|s| !s.pending.is_empty())
+            .unwrap_or(false);
+        if backlogged {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                if !conn.paused {
+                    conn.paused = true;
+                    self.shared.metrics.window_pauses.inc();
+                    self.update_interest(token);
+                }
+            }
+        }
+    }
+
+    /// Delivers finished control requests back onto their sessions'
+    /// connections.
+    fn drain_completions(&mut self) {
+        loop {
+            let done = {
+                let mut q = self.shared.completions.lock().expect("completions lock");
+                match q.pop_front() {
+                    Some(c) => c,
+                    None => return,
+                }
+            };
+            if let Some(sess) = self.sessions.get_mut(&done.session) {
+                sess.inflight = sess.inflight.saturating_sub(1);
+            }
+            let conn_token = self.sessions.get(&done.session).and_then(|s| s.conn);
+            let shutdown_reply = matches!(done.result, Ok(Message::ShutdownReply { .. }));
+            if let Some(token) = conn_token {
+                match done.result {
+                    Ok(msg) => {
+                        self.queue_msg(token, &msg);
+                    }
+                    Err((code, message)) => {
+                        self.refuse_close(token, code, &message);
+                    }
+                }
+            }
+            // The reply for a dropped session is simply lost — the
+            // client will re-request after RESUME.
+            if shutdown_reply {
+                self.begin_teardown(done.session);
+            }
+        }
+    }
+
+    /// After the pump finished the engine: close every other
+    /// connection, stop accepting, and drain the requester's reply.
+    fn begin_teardown(&mut self, requester: u64) {
+        let keep = self.sessions.get(&requester).and_then(|s| s.conn);
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if Some(token) == keep {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.close_after_flush = true;
+                    self.update_interest(token);
+                }
+            } else {
+                self.close_conn(token, false);
+            }
+        }
+        self.flush_deadline = Some(Instant::now() + Duration::from_secs(2));
+    }
+
+    /// Periodic housekeeping: idle/stall closes and resume-grace
+    /// expiry.
+    fn sweep(&mut self, now: Instant) {
+        let idle = self.idle_timeout;
+        let mut stalled: Vec<u64> = Vec::new();
+        let mut idled: Vec<u64> = Vec::new();
+        for (&token, conn) in &self.conns {
+            if conn.close_after_flush || conn.paused {
+                continue;
+            }
+            // A connection waiting on a queued control reply is the
+            // server's own latency, not client idleness.
+            let waiting = conn
+                .session
+                .and_then(|id| self.sessions.get(&id))
+                .map(|s| s.inflight > 0)
+                .unwrap_or(false);
+            if waiting {
+                continue;
+            }
+            if now.duration_since(conn.last_activity) < idle {
+                continue;
+            }
+            if conn.mid_frame() {
+                stalled.push(token);
+            } else {
+                idled.push(token);
+            }
+        }
+        for token in stalled {
+            self.shared.metrics.stall_closes.inc();
+            let message = format!("frame stalled mid-read for {idle:?}, closing");
+            self.refuse_close_with(token, error_code::STALLED, &message, true);
+        }
+        for token in idled {
+            self.shared.metrics.idle_closes.inc();
+            let message = format!("idle for {idle:?}, closing");
+            // Idle teardown is benign but final: the session does not
+            // linger for resume.
+            self.refuse_close_with(token, error_code::IDLE_TIMEOUT, &message, false);
+        }
+        // Detached sessions past the grace window are gone for good.
+        let grace = self.resume_grace;
+        let expired: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| {
+                s.conn.is_none()
+                    && s.detached_at
+                        .map(|at| now.duration_since(at) >= grace)
+                        .unwrap_or(false)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            self.discard_session(id);
+        }
+        if !self.sessions.is_empty() || !self.tokens.is_empty() {
+            self.sync_session_gauges();
+        }
+    }
+
+    /// Removes a session permanently: its pending records are dropped
+    /// (counted), its queued control verbs are cancelled, its token is
+    /// invalidated.
+    fn discard_session(&mut self, id: u64) {
+        if let Some(sess) = self.sessions.remove(&id) {
+            self.tokens.remove(&sess.token);
+            if !sess.pending.is_empty() {
+                self.shared
+                    .metrics
+                    .dropped_records
+                    .add(sess.pending.len() as u64);
+            }
+            if sess.conn.is_some() {
+                self.shared.attached.fetch_sub(1, Ordering::SeqCst);
+            }
+            if sess.inflight > 0 {
+                let mut st = self.shared.pump.lock().expect("pump lock");
+                st.ctrl.retain(|c| c.session != id);
+                drop(st);
+                // The queue front may have changed; re-evaluate.
+                self.shared.work.notify_all();
+            }
+        }
+        self.sync_session_gauges();
+    }
+
+    /// Tears down a connection. `may_detach` keeps a sequenced session
+    /// with records alive for `resume_grace` (a dropped sender may
+    /// come back); everything else dies with its socket.
+    fn close_conn(&mut self, token: u64, may_detach: bool) {
+        let conn = match self.conns.remove(&token) {
+            Some(c) => c,
+            None => return,
+        };
+        let _ = self.poller.deregister(&conn.stream, token);
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(id) = conn.session {
+            let detachable = may_detach
+                && !self.shared.stopping.load(Ordering::SeqCst)
+                && self.flush_deadline.is_none()
+                && self
+                    .sessions
+                    .get(&id)
+                    .map(|s| s.sequenced && s.records > 0)
+                    .unwrap_or(false);
+            if detachable {
+                if let Some(sess) = self.sessions.get_mut(&id) {
+                    sess.conn = None;
+                    sess.detached_at = Some(Instant::now());
+                }
+                self.shared.attached.fetch_sub(1, Ordering::SeqCst);
+                self.sync_session_gauges();
+            } else {
+                // Keep attached-count bookkeeping consistent:
+                // discard_session decrements only when conn is Some.
+                if let Some(sess) = self.sessions.get_mut(&id) {
+                    sess.conn = Some(token);
+                }
+                self.discard_session(id);
+            }
+        }
+    }
+
+    /// Sends a typed Error frame and closes, never detaching (protocol
+    /// violations invalidate the session).
+    fn refuse_close(&mut self, token: u64, code: u64, message: &str) {
+        self.refuse_close_with(token, code, message, false);
+    }
+
+    fn refuse_close_with(&mut self, token: u64, code: u64, message: &str, may_detach: bool) {
+        let msg = Message::Error {
+            code,
+            message: message.to_string(),
+        };
+        // Best effort: encode (an Error frame is always small) and
+        // push straight into the socket; whatever does not fit is
+        // lost, the peer is being hung up on anyway.
+        if let Ok(frame) = encode(&msg) {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                let _ = conn.stream.write_all(&frame);
+            }
+        }
+        self.close_conn(token, may_detach);
+    }
+
+    /// Encodes and queues a reply on a connection. An unframeable
+    /// (oversized) reply degrades to a typed Error frame — the
+    /// connection survives. Returns false if the connection died.
+    fn queue_msg(&mut self, token: u64, msg: &Message) -> bool {
+        let frame = match encode(msg) {
+            Ok(f) => f,
+            Err(WireError::PayloadTooLarge(n)) => {
+                let fallback = Message::Error {
+                    code: error_code::PAYLOAD_TOO_LARGE,
+                    message: format!(
+                        "reply payload is {n} bytes, over the {MAX_PAYLOAD}-byte frame cap"
+                    ),
+                };
+                match encode(&fallback) {
+                    Ok(f) => f,
+                    Err(_) => return true,
+                }
+            }
+            Err(_) => return true,
+        };
+        let conn = match self.conns.get_mut(&token) {
+            Some(c) => c,
+            None => return false,
+        };
+        conn.wbuf.extend_from_slice(&frame);
+        self.flush_conn(token)
+    }
+
+    /// Writes as much buffered output as the socket takes; arms write
+    /// interest for the rest. Returns false if the connection died.
+    fn flush_conn(&mut self, token: u64) -> bool {
+        let mut dead = false;
+        let mut done = false;
+        {
+            let conn = match self.conns.get_mut(&token) {
+                Some(c) => c,
+                None => return false,
+            };
+            while conn.wstart < conn.wbuf.len() {
+                match conn.stream.write(&conn.wbuf[conn.wstart..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => conn.wstart += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead && conn.wstart == conn.wbuf.len() {
+                conn.wbuf.clear();
+                conn.wstart = 0;
+                done = conn.close_after_flush;
+            }
+        }
+        if dead {
+            self.close_conn(token, true);
+            return false;
+        }
+        if done && self.flush_deadline.is_none() {
+            self.close_conn(token, false);
+            return false;
+        }
+        self.update_interest(token);
+        true
+    }
+
+    fn conn_writable(&mut self, token: u64) {
+        self.flush_conn(token);
+    }
+
+    fn update_interest(&mut self, token: u64) {
+        if let Some(conn) = self.conns.get(&token) {
+            let interest = Interest {
+                read: !conn.paused && !conn.close_after_flush,
+                write: conn.wstart < conn.wbuf.len(),
+            };
+            let _ = self.poller.set_interest(&conn.stream, token, interest);
+        }
+    }
+
+    fn conn_session(&self, token: u64) -> Option<u64> {
+        self.conns.get(&token).and_then(|c| c.session)
+    }
+
+    fn sync_session_gauges(&self) {
+        let attached = self.shared.attached.load(Ordering::SeqCst);
+        self.shared.metrics.active_sessions.set(attached as i64);
+        let detached = self.sessions.values().filter(|s| s.conn.is_none()).count();
+        self.shared.metrics.detached_sessions.set(detached as i64);
+    }
+}
+
+/// Header-level peek: how long is the frame at the front of `buf`, if
+/// it is complete? `Ok(None)` means more bytes are needed; errors are
+/// unrecoverable framing corruption.
+fn complete_frame_len(buf: &[u8]) -> Result<Option<usize>, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    if buf[0..2] != crate::wire::MAGIC {
+        return Err(WireError::BadMagic([buf[0], buf[1]]));
+    }
+    let len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    if buf.len() < HEADER_LEN + len {
+        return Ok(None);
+    }
+    Ok(Some(HEADER_LEN + len))
+}
+
+/// The ingest pump: the engine's single owner. Feeds the contiguous
+/// prefix of the reorder ring in canonical order and executes control
+/// verbs at their watermarks, in FIFO order.
+fn pump_thread(shared: Arc<Shared>, engine: EngineBox, wake: UdpSocket) {
+    let mut engine = Some(engine);
+    let mut batch: Vec<(usize, u64)> = Vec::with_capacity(PUMP_CHUNK);
+    let mut last_wait_nanos = 0u64;
+    loop {
+        batch.clear();
+        let mut ctrl: Option<CtrlReq> = None;
+        {
+            let mut st = shared.pump.lock().expect("pump lock");
+            loop {
+                if st.stopping {
+                    // Drain never resumes after shutdown; whatever is
+                    // still parked in the ring was never ingested.
+                    let stranded = st.ring.iter().filter(|s| s.is_some()).count();
+                    if stranded > 0 {
+                        shared.metrics.dropped_records.add(stranded as u64);
+                        st.ring.iter_mut().for_each(|s| *s = None);
+                    }
+                    return;
+                }
+                let cap = st.cap();
+                while batch.len() < PUMP_CHUNK {
+                    let slot = (st.next % cap) as usize;
+                    match st.ring[slot].take() {
+                        Some(rec) => {
+                            st.next += 1;
+                            batch.push(rec);
+                        }
+                        None => break,
+                    }
+                }
+                if ctrl.is_none() {
+                    let due = st
+                        .ctrl
+                        .front()
+                        .map(|c| c.watermark <= st.next)
+                        .unwrap_or(false);
+                    if due {
+                        ctrl = st.ctrl.pop_front();
+                    }
+                }
+                if !batch.is_empty() || ctrl.is_some() {
+                    break;
+                }
+                st = shared.work.wait(st).expect("pump wait");
+            }
+        }
+        if !batch.is_empty() {
+            if let Some(eng) = engine.as_mut() {
+                for &(tenant, block) in &batch {
+                    eng.record_access(tenant, block);
+                }
+                shared.metrics.records.add(batch.len() as u64);
+                let wait = eng.ingest_wait_nanos();
+                shared
+                    .metrics
+                    .backpressure_nanos
+                    .add(wait.saturating_sub(last_wait_nanos));
+                last_wait_nanos = wait;
+            } else {
+                // Post-shutdown stragglers (cannot normally happen —
+                // stopping is set with the same lock).
+                shared.metrics.dropped_records.add(batch.len() as u64);
+            }
+            // Window space freed: let the event loop refill it.
+            let _ = wake.send(&[1]);
+        }
+        if let Some(req) = ctrl {
+            let shutdown = matches!(req.op, CtrlOp::Shutdown);
+            let result = run_ctrl(&shared, &mut engine, req.op);
+            shared
+                .completions
+                .lock()
+                .expect("completions lock")
+                .push_back(Completion {
+                    session: req.session,
+                    result,
+                });
+            if shutdown {
+                let mut st = shared.pump.lock().expect("pump lock");
+                st.stopping = true;
+                shared.stopping.store(true, Ordering::SeqCst);
+            }
+            let _ = wake.send(&[1]);
         }
     }
 }
 
-/// Maps a refused control-plane operation (COST_CURVES / APPLY) to its
-/// typed wire error. The session ends after any of these — the
-/// coordinator's epoch state machine is broken and cannot resync.
-fn send_control_refusal(stream: &mut TcpStream, e: &HandleError) {
+/// Executes one control verb against the engine.
+fn run_ctrl(
+    shared: &Shared,
+    engine: &mut Option<EngineBox>,
+    op: CtrlOp,
+) -> Result<Message, (u64, String)> {
+    let finished = || {
+        (
+            error_code::SHUTTING_DOWN,
+            "engine already finished".to_string(),
+        )
+    };
+    match op {
+        CtrlOp::Stats => {
+            let snap = shared.registry.snapshot();
+            let counter = |name: &str| -> u64 {
+                match snap.get(name) {
+                    Some(cps_obs::metrics::SampleValue::Counter(v)) => *v,
+                    _ => 0,
+                }
+            };
+            Ok(Message::StatsReply {
+                stats: ServeStats {
+                    connections: shared.admitted.load(Ordering::SeqCst),
+                    active_sessions: shared.attached.load(Ordering::SeqCst),
+                    frames: counter("cps_serve_frames_total"),
+                    batches: counter("cps_serve_batches_total"),
+                    records: counter("cps_serve_records_total"),
+                    decode_errors: counter("cps_serve_decode_errors_total"),
+                    backpressure_nanos: counter("cps_serve_backpressure_nanos_total"),
+                    epochs: engine.as_ref().map_or(0, |e| e.epochs_completed()) as u64,
+                },
+            })
+        }
+        CtrlOp::Allocation => {
+            let eng = engine.as_ref().ok_or_else(finished)?;
+            Ok(Message::AllocationReply {
+                units: eng
+                    .allocation_units()
+                    .into_iter()
+                    .map(|u| u as u64)
+                    .collect(),
+            })
+        }
+        CtrlOp::Epoch => {
+            let eng = engine.as_ref().ok_or_else(finished)?;
+            Ok(Message::EpochReply {
+                epochs: eng.epochs_completed() as u64,
+            })
+        }
+        CtrlOp::Snapshot => Ok(Message::SnapshotReply {
+            text: shared.registry.snapshot().render_jsonl(),
+        }),
+        CtrlOp::CostCurves => {
+            let eng = engine.as_mut().ok_or_else(finished)?;
+            let exported = eng.export_cost_curves().map_err(handle_refusal)?;
+            let curves = exported
+                .iter()
+                .map(|c| WireCurve {
+                    accesses: c.counts.accesses,
+                    misses: c.counts.misses,
+                    samples_bits: c.curve.as_ref().map_or_else(Vec::new, |m| {
+                        m.samples().iter().map(|s| s.to_bits()).collect()
+                    }),
+                })
+                .collect();
+            Ok(Message::CostCurvesReply { curves })
+        }
+        CtrlOp::Apply { target, predicted } => {
+            let eng = engine.as_mut().ok_or_else(finished)?;
+            let actuation = eng
+                .apply_allocation(&target, predicted)
+                .map_err(handle_refusal)?;
+            Ok(Message::ApplyReply {
+                repartitioned: actuation.repartitioned,
+                units_moved: actuation.units_moved as u64,
+            })
+        }
+        CtrlOp::Shutdown => {
+            let eng = engine.take().ok_or_else(finished)?;
+            let report = eng.finish();
+            let journal = render_journal(&shared.header, &report);
+            let snap = shared.registry.snapshot();
+            let records = match snap.get("cps_serve_records_total") {
+                Some(cps_obs::metrics::SampleValue::Counter(v)) => *v,
+                _ => 0,
+            };
+            *shared.outcome.lock().expect("outcome lock") = Some(ServeOutcome {
+                report,
+                journal: journal.clone(),
+                connections: shared.admitted.load(Ordering::SeqCst),
+                records,
+            });
+            Ok(Message::ShutdownReply { journal })
+        }
+    }
+}
+
+/// Maps a refused control-plane operation to its typed wire error. The
+/// session ends after any of these — the coordinator's epoch state
+/// machine is broken and cannot resync.
+fn handle_refusal(e: HandleError) -> (u64, String) {
     let code = match e {
         HandleError::Finished => error_code::SHUTTING_DOWN,
         HandleError::Unsupported { .. } => error_code::UNSUPPORTED,
         HandleError::TenantOutOfRange { .. } => error_code::BAD_TENANT,
         HandleError::BadAllocation { .. } | HandleError::NoOpenEpoch => error_code::PROTOCOL,
     };
-    send_best_effort(
-        stream,
-        &Message::Error {
-            code,
-            message: e.to_string(),
-        },
-    );
+    (code, e.to_string())
 }
 
-fn collect_stats(shared: &Shared) -> ServeStats {
-    let snap = shared.registry.snapshot();
-    let counter = |name: &str| -> u64 {
-        match snap.get(name) {
-            Some(cps_obs::metrics::SampleValue::Counter(v)) => *v,
-            _ => 0,
-        }
-    };
-    let table = shared.sessions.lock().expect("session table lock");
-    ServeStats {
-        connections: table.connections,
-        active_sessions: table.active.len() as u64,
-        frames: counter("cps_serve_frames_total"),
-        batches: counter("cps_serve_batches_total"),
-        records: counter("cps_serve_records_total"),
-        decode_errors: counter("cps_serve_decode_errors_total"),
-        backpressure_nanos: counter("cps_serve_backpressure_nanos_total"),
-        epochs: shared.handle.epochs_completed().unwrap_or(0) as u64,
-    }
+/// SplitMix64 — the resume-token generator. Not a secret in any
+/// cryptographic sense (loopback protocol), just unguessable enough to
+/// not collide or be stumbled into.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
-/// The shutdown path: finish the engine (flushing any partial final
-/// epoch), render the journal, publish the outcome, flip the shutdown
-/// flag, and close every *other* session's socket so their threads
-/// wake immediately instead of waiting out the idle timeout.
-fn do_shutdown(shared: &Shared, requester: u64) -> Result<String, String> {
-    let report = shared
-        .handle
-        .finish()
-        .map_err(|_| "engine already finished".to_string())?;
-    let journal = render_journal(&shared.header, &report);
-    let (connections, records) = {
-        let table = shared.sessions.lock().expect("session table lock");
-        for (&id, session) in &table.active {
-            if id != requester {
-                let _ = session.stream.shutdown(std::net::Shutdown::Both);
-            }
-        }
-        (table.connections, 0)
-    };
-    let snap = shared.registry.snapshot();
-    let records = match snap.get("cps_serve_records_total") {
-        Some(cps_obs::metrics::SampleValue::Counter(v)) => *v,
-        _ => records,
-    };
-    *shared.outcome.lock().expect("outcome lock") = Some(ServeOutcome {
-        report,
-        journal: journal.clone(),
-        connections,
-        records,
-    });
-    shared.shutdown.store(true, Ordering::SeqCst);
-    Ok(journal)
+fn token_nonce() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let t = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed);
+    splitmix64(t ^ (std::process::id() as u64).rotate_left(32))
 }

@@ -8,12 +8,12 @@
 //! a typed [`WireError`]; the decoder never panics (pinned by the
 //! `wire_props` proptests, which feed it truncations and bit flips).
 //!
-//! # Frame layout (protocol version 2)
+//! # Frame layout (protocol version 3)
 //!
 //! ```text
 //! offset  size  field
 //! 0       2     magic "CS" (0x43 0x53)
-//! 2       1     protocol version (= 2)
+//! 2       1     protocol version (= 3)
 //! 3       1     opcode
 //! 4       4     payload length, u32 little-endian
 //! 8       4     FNV-1a 32 checksum over version|opcode|length|payload
@@ -37,11 +37,13 @@ use std::io::{ErrorKind, Read, Write};
 /// Frame magic: `"CS"`, for *cache serve*.
 pub const MAGIC: [u8; 2] = [0x43, 0x53];
 
-/// The only protocol version this codec speaks. Version 2 replaced the
-/// one-byte objective code in HELLO_ACK with a first-class objective
-/// spec string and made COST_CURVES carry the coordinator's objective
-/// spec so both ends provably agree on what the DP optimizes.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// The only protocol version this codec speaks. Version 3 added the
+/// sharded serving path: HELLO_ACK carries a session resume token,
+/// RESUME/RESUME_ACK rejoin a dropped session without losing report
+/// identity, and BATCH_SEQ stamps every record with its global stream
+/// position so concurrent connections reassemble into one canonical
+/// order. (Version 2 introduced first-class objective specs.)
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Frame header length in bytes (magic + version + opcode + length +
 /// checksum).
@@ -69,6 +71,18 @@ pub mod error_code {
     /// The coordinator's objective spec does not match the objective
     /// the node's engine was built with.
     pub const OBJECTIVE: u64 = 7;
+    /// A reply's payload exceeded [`crate::wire::MAX_PAYLOAD`] and
+    /// could not be framed (e.g. the journal of a very long run).
+    pub const PAYLOAD_TOO_LARGE: u64 = 8;
+    /// A BATCH_SEQ stream position was invalid: it went backwards, was
+    /// already ingested, or mixed sequenced and unsequenced batches in
+    /// one run.
+    pub const BAD_SEQUENCE: u64 = 9;
+    /// The session stalled mid-frame past the read deadline — a
+    /// half-sent frame, distinct from benign idleness between frames.
+    pub const STALLED: u64 = 10;
+    /// A RESUME token named no resumable session.
+    pub const BAD_TOKEN: u64 = 11;
 }
 
 /// What went wrong while encoding or decoding a frame.
@@ -99,6 +113,19 @@ pub enum WireError {
     TrailingBytes(usize),
     /// The payload's structure contradicts its opcode.
     BadPayload(&'static str),
+    /// A message could not be *encoded* because its payload would
+    /// exceed [`MAX_PAYLOAD`] — the send-path twin of
+    /// [`WireError::FrameTooLarge`]. Returned instead of panicking so
+    /// a server can surface a typed `Error` frame and keep running.
+    PayloadTooLarge(usize),
+    /// A read deadline fired *mid-frame*: some bytes of the frame
+    /// arrived, then the sender stalled. Distinct from an idle timeout
+    /// (no header byte at all), which stays [`WireError::Io`] — see
+    /// [`WireError::is_timeout`].
+    Stalled {
+        /// Bytes of the stalled read that did arrive.
+        filled: usize,
+    },
     /// An underlying socket error (kind preserved so callers can tell
     /// an idle-timeout apart from a hard failure).
     Io(ErrorKind, String),
@@ -129,18 +156,32 @@ impl std::fmt::Display for WireError {
             WireError::VarintOverflow => write!(f, "varint overflows u64"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
             WireError::BadPayload(what) => write!(f, "bad payload: {what}"),
+            WireError::PayloadTooLarge(n) => {
+                write!(f, "cannot frame {n}-byte payload (cap {MAX_PAYLOAD})")
+            }
+            WireError::Stalled { filled } => {
+                write!(f, "frame stalled mid-read after {filled} bytes")
+            }
             WireError::Io(kind, detail) => write!(f, "i/o ({kind:?}): {detail}"),
         }
     }
 }
 
 impl WireError {
-    /// Whether this error is a read timeout — the idle-session signal.
+    /// Whether this error is a *between-frames* read timeout — the
+    /// idle-session signal. A timeout that fires mid-frame is
+    /// [`WireError::Stalled`] instead and is *not* idle.
     pub fn is_timeout(&self) -> bool {
         matches!(
             self,
             WireError::Io(ErrorKind::WouldBlock | ErrorKind::TimedOut, _)
         )
+    }
+
+    /// Whether this error is a mid-frame stall (the sender went quiet
+    /// with a frame half-sent).
+    pub fn is_stalled(&self) -> bool {
+        matches!(self, WireError::Stalled { .. })
     }
 }
 
@@ -255,16 +296,42 @@ pub enum Message {
         binding: Option<u64>,
     },
     /// `0x02`, server → client. Accepts the session and discloses the
-    /// engine configuration.
+    /// engine configuration plus a resume token: if the TCP connection
+    /// later drops, a fresh connection can [`Message::Resume`] with the
+    /// token and rejoin the same session.
     HelloAck {
         /// The serving engine's full configuration.
         config: WireConfig,
+        /// Opaque session resume token.
+        token: u64,
     },
     /// `0x03`, client → server. One batch of `(tenant, block)` access
-    /// records, ingested in order. No reply — streaming.
+    /// records, ingested in order. No reply — streaming. Unsequenced:
+    /// records take whatever global stream positions arrival order
+    /// gives them (single-connection use).
     Batch {
         /// The records, in stream order.
         records: Vec<(u64, u64)>,
+    },
+    /// `0x04`, client → server. Rejoins a dropped session by its
+    /// [`Message::HelloAck`] token instead of opening a new one. The
+    /// reply is [`Message::ResumeAck`], whose `resume_pos` tells the
+    /// client the first stream position the server has *not* received —
+    /// resend from there.
+    Resume {
+        /// The token HELLO_ACK disclosed.
+        token: u64,
+    },
+    /// `0x05`, client → server. A *sequenced* batch: every record
+    /// carries its global stream position, so the server can reassemble
+    /// one canonical order from many concurrent connections. Positions
+    /// within a frame are strictly increasing (delta-coded on the
+    /// wire); across the whole run every position `0..len` must arrive
+    /// exactly once.
+    BatchSeq {
+        /// `(position, tenant, block)` records, positions strictly
+        /// increasing.
+        records: Vec<(u64, u64, u64)>,
     },
     /// `0x10`, client → server. Requests server counters.
     Stats,
@@ -342,6 +409,17 @@ pub enum Message {
         /// Units the proposal would have moved.
         units_moved: u64,
     },
+    /// `0x27`, server → client. Reply to [`Message::Resume`]: the
+    /// session is rejoined. `resume_pos` is the first global stream
+    /// position the server has not received from this session; the
+    /// client resends its records from there.
+    ResumeAck {
+        /// The serving engine's full configuration (identical to what
+        /// the original HELLO_ACK disclosed).
+        config: WireConfig,
+        /// First stream position to resend from.
+        resume_pos: u64,
+    },
     /// `0x3f`, server → client. A typed refusal; the server closes the
     /// session after sending it (except for benign idle teardown).
     Error {
@@ -358,6 +436,8 @@ impl Message {
             Message::Hello { .. } => 0x01,
             Message::HelloAck { .. } => 0x02,
             Message::Batch { .. } => 0x03,
+            Message::Resume { .. } => 0x04,
+            Message::BatchSeq { .. } => 0x05,
             Message::Stats => 0x10,
             Message::Allocation => 0x11,
             Message::Epoch => 0x12,
@@ -372,6 +452,7 @@ impl Message {
             Message::ShutdownReply { .. } => 0x24,
             Message::CostCurvesReply { .. } => 0x25,
             Message::ApplyReply { .. } => 0x26,
+            Message::ResumeAck { .. } => 0x27,
             Message::Error { .. } => 0x3f,
         }
     }
@@ -463,29 +544,57 @@ impl<'a> Cur<'a> {
     }
 }
 
-fn encode_payload(msg: &Message) -> Vec<u8> {
+fn push_config(p: &mut Vec<u8>, config: &WireConfig) {
+    p.push(config.engine);
+    push_varint(p, config.tenants);
+    push_varint(p, config.units);
+    push_varint(p, config.bpu);
+    push_varint(p, config.epoch_length);
+    push_varint(p, config.shards);
+    push_varint(p, config.queue_cap);
+    push_varint(p, config.decay_bits);
+    push_varint(p, config.hysteresis);
+    p.push(config.policy);
+    push_string(p, &config.objective);
+}
+
+fn encode_payload(msg: &Message) -> Result<Vec<u8>, WireError> {
     let mut p = Vec::new();
     match msg {
         Message::Hello { binding } => {
             // 0 = mux, t+1 = bound to tenant t.
             push_varint(&mut p, binding.map_or(0, |t| t + 1));
         }
-        Message::HelloAck { config } => {
-            p.push(config.engine);
-            push_varint(&mut p, config.tenants);
-            push_varint(&mut p, config.units);
-            push_varint(&mut p, config.bpu);
-            push_varint(&mut p, config.epoch_length);
-            push_varint(&mut p, config.shards);
-            push_varint(&mut p, config.queue_cap);
-            push_varint(&mut p, config.decay_bits);
-            push_varint(&mut p, config.hysteresis);
-            p.push(config.policy);
-            push_string(&mut p, &config.objective);
+        Message::HelloAck { config, token } => {
+            push_config(&mut p, config);
+            push_varint(&mut p, *token);
         }
         Message::Batch { records } => {
             push_varint(&mut p, records.len() as u64);
             for &(tenant, block) in records {
+                push_varint(&mut p, tenant);
+                push_varint(&mut p, block);
+            }
+        }
+        Message::Resume { token } => push_varint(&mut p, *token),
+        Message::BatchSeq { records } => {
+            push_varint(&mut p, records.len() as u64);
+            let mut prev: Option<u64> = None;
+            for &(pos, tenant, block) in records {
+                match prev {
+                    // First record carries its absolute position…
+                    None => push_varint(&mut p, pos),
+                    // …the rest the gap to the previous one (0 = the
+                    // next position — the dense-stream common case).
+                    Some(last) => {
+                        let delta = pos
+                            .checked_sub(last)
+                            .and_then(|d| d.checked_sub(1))
+                            .ok_or(WireError::BadPayload("positions not increasing"))?;
+                        push_varint(&mut p, delta);
+                    }
+                }
+                prev = Some(pos);
                 push_varint(&mut p, tenant);
                 push_varint(&mut p, block);
             }
@@ -547,6 +656,10 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             p.push(u8::from(*repartitioned));
             push_varint(&mut p, *units_moved);
         }
+        Message::ResumeAck { config, resume_pos } => {
+            push_config(&mut p, config);
+            push_varint(&mut p, *resume_pos);
+        }
         Message::SnapshotReply { text } => push_string(&mut p, text),
         Message::ShutdownReply { journal } => push_string(&mut p, journal),
         Message::Error { code, message } => {
@@ -554,7 +667,46 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             push_string(&mut p, message);
         }
     }
-    p
+    if p.len() > MAX_PAYLOAD {
+        return Err(WireError::PayloadTooLarge(p.len()));
+    }
+    Ok(p)
+}
+
+fn read_config(c: &mut Cur<'_>) -> Result<WireConfig, WireError> {
+    let engine = c.u8()?;
+    if engine > 2 {
+        return Err(WireError::BadPayload("unknown engine kind"));
+    }
+    let tenants = c.varint()?;
+    let units = c.varint()?;
+    let bpu = c.varint()?;
+    let epoch_length = c.varint()?;
+    let shards = c.varint()?;
+    let queue_cap = c.varint()?;
+    let decay_bits = c.varint()?;
+    let hysteresis = c.varint()?;
+    let policy = c.u8()?;
+    if policy > 2 {
+        return Err(WireError::BadPayload("unknown policy code"));
+    }
+    let objective = c.string()?;
+    if cps_core::Objective::parse(&objective).is_err() {
+        return Err(WireError::BadPayload("unrecognized objective spec"));
+    }
+    Ok(WireConfig {
+        engine,
+        tenants,
+        units,
+        bpu,
+        epoch_length,
+        shards,
+        queue_cap,
+        decay_bits,
+        hysteresis,
+        policy,
+        objective,
+    })
 }
 
 fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
@@ -567,41 +719,9 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
             }
         }
         0x02 => {
-            let engine = c.u8()?;
-            if engine > 2 {
-                return Err(WireError::BadPayload("unknown engine kind"));
-            }
-            let tenants = c.varint()?;
-            let units = c.varint()?;
-            let bpu = c.varint()?;
-            let epoch_length = c.varint()?;
-            let shards = c.varint()?;
-            let queue_cap = c.varint()?;
-            let decay_bits = c.varint()?;
-            let hysteresis = c.varint()?;
-            let policy = c.u8()?;
-            if policy > 2 {
-                return Err(WireError::BadPayload("unknown policy code"));
-            }
-            let objective = c.string()?;
-            if cps_core::Objective::parse(&objective).is_err() {
-                return Err(WireError::BadPayload("unrecognized objective spec"));
-            }
-            Message::HelloAck {
-                config: WireConfig {
-                    engine,
-                    tenants,
-                    units,
-                    bpu,
-                    epoch_length,
-                    shards,
-                    queue_cap,
-                    decay_bits,
-                    hysteresis,
-                    policy,
-                    objective,
-                },
-            }
+            let config = read_config(&mut c)?;
+            let token = c.varint()?;
+            Message::HelloAck { config, token }
         }
         0x03 => {
             let count = c.varint()? as usize;
@@ -615,6 +735,30 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
                 records.push((c.varint()?, c.varint()?));
             }
             Message::Batch { records }
+        }
+        0x04 => Message::Resume { token: c.varint()? },
+        0x05 => {
+            let count = c.varint()? as usize;
+            // Three varints of at least one byte each per record.
+            if count > payload.len() / 3 {
+                return Err(WireError::BadPayload("record count exceeds payload"));
+            }
+            let mut records = Vec::with_capacity(count);
+            let mut prev: Option<u64> = None;
+            for _ in 0..count {
+                let pos = match prev {
+                    None => c.varint()?,
+                    Some(last) => {
+                        let delta = c.varint()?;
+                        last.checked_add(1)
+                            .and_then(|next| next.checked_add(delta))
+                            .ok_or(WireError::BadPayload("position overflows u64"))?
+                    }
+                };
+                prev = Some(pos);
+                records.push((pos, c.varint()?, c.varint()?));
+            }
+            Message::BatchSeq { records }
         }
         0x10 => Message::Stats,
         0x11 => Message::Allocation,
@@ -712,6 +856,11 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
                 units_moved: c.varint()?,
             }
         }
+        0x27 => {
+            let config = read_config(&mut c)?;
+            let resume_pos = c.varint()?;
+            Message::ResumeAck { config, resume_pos }
+        }
         0x23 => Message::SnapshotReply { text: c.string()? },
         0x24 => Message::ShutdownReply {
             journal: c.string()?,
@@ -726,14 +875,12 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
     Ok(msg)
 }
 
-/// Encodes one message as a complete frame.
-pub fn encode(msg: &Message) -> Vec<u8> {
-    let payload = encode_payload(msg);
-    assert!(
-        payload.len() <= MAX_PAYLOAD,
-        "payload {} exceeds MAX_PAYLOAD",
-        payload.len()
-    );
+/// Encodes one message as a complete frame. Refuses (never panics on)
+/// a payload over [`MAX_PAYLOAD`] with [`WireError::PayloadTooLarge`],
+/// so a server can downgrade an unframeable reply to a typed `Error`
+/// frame instead of dying mid-connection.
+pub fn encode(msg: &Message) -> Result<Vec<u8>, WireError> {
+    let payload = encode_payload(msg)?;
     let len = (payload.len() as u32).to_le_bytes();
     let meta = [PROTOCOL_VERSION, msg.opcode()];
     let checksum = fnv1a(&[&meta, &len, &payload]).to_le_bytes();
@@ -743,7 +890,7 @@ pub fn encode(msg: &Message) -> Vec<u8> {
     frame.extend_from_slice(&len);
     frame.extend_from_slice(&checksum);
     frame.extend_from_slice(&payload);
-    frame
+    Ok(frame)
 }
 
 /// Decodes one frame from the front of `buf`, returning the message
@@ -781,7 +928,7 @@ pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
 
 /// Writes one message to a stream as a single frame.
 pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<(), WireError> {
-    let frame = encode(msg);
+    let frame = encode(msg)?;
     w.write_all(&frame)
         .and_then(|()| w.flush())
         .map_err(|e| WireError::Io(e.kind(), e.to_string()))
@@ -790,9 +937,11 @@ pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<(), WireError>
 /// Reads exactly one frame from a stream and decodes it.
 ///
 /// EOF *between* frames is [`WireError::Closed`] (a clean disconnect);
-/// EOF *inside* a frame is [`WireError::Truncated`]. Read timeouts
-/// surface as [`WireError::Io`] with the kind preserved — see
-/// [`WireError::is_timeout`].
+/// EOF *inside* a frame is [`WireError::Truncated`]. A read timeout
+/// *between* frames surfaces as [`WireError::Io`] with the kind
+/// preserved (see [`WireError::is_timeout`] — the idle signal); a
+/// timeout after part of a frame arrived is [`WireError::Stalled`] —
+/// a slow sender mid-frame is not idle.
 pub fn read_message(r: &mut impl Read) -> Result<Message, WireError> {
     let mut header = [0u8; HEADER_LEN];
     read_full(r, &mut header, true)?;
@@ -809,8 +958,8 @@ pub fn read_message(r: &mut impl Read) -> Result<Message, WireError> {
     decode(&frame).map(|(msg, _)| msg)
 }
 
-/// Fills `buf` completely. `at_boundary` distinguishes a clean close
-/// (no bytes read yet) from mid-frame truncation.
+/// Fills `buf` completely. `at_boundary` distinguishes a clean close /
+/// idle timeout (no bytes read yet) from mid-frame truncation / stall.
 fn read_full(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), WireError> {
     let mut filled = 0;
     while filled < buf.len() {
@@ -824,6 +973,16 @@ fn read_full(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(),
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+                    && !(at_boundary && filled == 0) =>
+            {
+                // The deadline fired with a frame half-read: the header
+                // arrived but not the payload, or some header bytes and
+                // not the rest. That is a stalled sender, not an idle
+                // session.
+                return Err(WireError::Stalled { filled });
+            }
             Err(e) => return Err(WireError::Io(e.kind(), e.to_string())),
         }
     }
@@ -857,10 +1016,28 @@ mod tests {
             Message::Hello { binding: Some(3) },
             Message::HelloAck {
                 config: sample_config(),
+                token: 0xdead_beef_cafe,
             },
             Message::Batch { records: vec![] },
             Message::Batch {
                 records: vec![(0, 42), (3, u64::MAX), (1, 0)],
+            },
+            Message::Resume { token: 0 },
+            Message::Resume { token: u64::MAX },
+            Message::BatchSeq { records: vec![] },
+            Message::BatchSeq {
+                // Dense run, then a gap, then a large jump.
+                records: vec![
+                    (7, 0, 42),
+                    (8, 1, 9),
+                    (9, 0, 3),
+                    (40, 2, 0),
+                    (1 << 40, 3, 1),
+                ],
+            },
+            Message::ResumeAck {
+                config: sample_config(),
+                resume_pos: 123_456,
             },
             Message::Stats,
             Message::Allocation,
@@ -939,7 +1116,7 @@ mod tests {
     #[test]
     fn every_message_round_trips() {
         for msg in all_messages() {
-            let frame = encode(&msg);
+            let frame = encode(&msg).unwrap();
             let (back, consumed) = decode(&frame).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
             assert_eq!(back, msg);
             assert_eq!(consumed, frame.len(), "{msg:?}");
@@ -948,8 +1125,8 @@ mod tests {
 
     #[test]
     fn decode_consumes_one_frame_from_a_stream_prefix() {
-        let a = encode(&Message::Stats);
-        let b = encode(&Message::EpochReply { epochs: 3 });
+        let a = encode(&Message::Stats).unwrap();
+        let b = encode(&Message::EpochReply { epochs: 3 }).unwrap();
         let mut stream = a.clone();
         stream.extend_from_slice(&b);
         let (first, used) = decode(&stream).unwrap();
@@ -964,7 +1141,8 @@ mod tests {
     fn truncations_are_typed_errors() {
         let frame = encode(&Message::Batch {
             records: vec![(1, 2), (3, 4)],
-        });
+        })
+        .unwrap();
         for cut in 0..frame.len() {
             let err = decode(&frame[..cut]).expect_err("prefix must not decode");
             assert_eq!(err, WireError::Truncated, "cut at {cut}");
@@ -975,7 +1153,9 @@ mod tests {
     fn every_single_bit_flip_is_a_typed_error() {
         let frame = encode(&Message::HelloAck {
             config: sample_config(),
-        });
+            token: 99,
+        })
+        .unwrap();
         for byte in 0..frame.len() {
             for bit in 0..8 {
                 let mut bad = frame.clone();
@@ -1047,7 +1227,7 @@ mod tests {
 
     #[test]
     fn oversized_declared_length_is_refused_before_allocation() {
-        let mut f = encode(&Message::Stats);
+        let mut f = encode(&Message::Stats).unwrap();
         f[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             decode(&f).unwrap_err(),
@@ -1076,7 +1256,7 @@ mod tests {
         let msgs = all_messages();
         let mut stream = Vec::new();
         for m in &msgs {
-            stream.extend_from_slice(&encode(m));
+            stream.extend_from_slice(&encode(m).unwrap());
         }
         let mut cursor = std::io::Cursor::new(stream);
         for expected in &msgs {
@@ -1088,7 +1268,7 @@ mod tests {
 
     #[test]
     fn stream_truncation_mid_frame_is_truncated_not_closed() {
-        let frame = encode(&Message::EpochReply { epochs: 5 });
+        let frame = encode(&Message::EpochReply { epochs: 5 }).unwrap();
         let cut = frame.len() - 1;
         let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
         assert_eq!(read_message(&mut cursor).unwrap_err(), WireError::Truncated);
@@ -1099,12 +1279,96 @@ mod tests {
         for decay in [0.0, 0.25, 0.5, 0.875, 0.999_999] {
             let mut config = sample_config();
             config.decay_bits = f64::to_bits(decay);
-            let frame = encode(&Message::HelloAck { config });
+            let frame = encode(&Message::HelloAck { config, token: 1 }).unwrap();
             let (back, _) = decode(&frame).unwrap();
-            let Message::HelloAck { config: got } = back else {
+            let Message::HelloAck { config: got, .. } = back else {
                 panic!("wrong message kind");
             };
             assert_eq!(got.decay(), decay);
         }
+    }
+
+    /// Satellite fix: an unframeable payload is a typed refusal on the
+    /// send path, never a panic.
+    #[test]
+    fn oversized_payload_is_a_typed_encode_error_not_a_panic() {
+        let msg = Message::SnapshotReply {
+            text: "x".repeat(MAX_PAYLOAD + 1),
+        };
+        match encode(&msg) {
+            Err(WireError::PayloadTooLarge(n)) => {
+                assert!(n > MAX_PAYLOAD);
+                assert!(WireError::PayloadTooLarge(n).to_string().contains("cap"));
+            }
+            other => panic!("expected PayloadTooLarge, got {other:?}"),
+        }
+        // write_message propagates the refusal without writing a byte.
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_message(&mut sink, &msg),
+            Err(WireError::PayloadTooLarge(_))
+        ));
+        assert!(sink.is_empty());
+    }
+
+    /// BATCH_SEQ deltas: non-increasing positions are refused at encode
+    /// time, and a dense run costs one byte of position per record.
+    #[test]
+    fn batch_seq_positions_must_strictly_increase() {
+        let bad = Message::BatchSeq {
+            records: vec![(5, 0, 1), (5, 0, 2)],
+        };
+        assert!(matches!(
+            encode(&bad),
+            Err(WireError::BadPayload("positions not increasing"))
+        ));
+        let dense = Message::BatchSeq {
+            records: (0..100).map(|i| (1_000 + i, 0, i)).collect(),
+        };
+        let sparse = Message::BatchSeq {
+            records: (0..100).map(|i| (1_000 + (i << 20), 0, i)).collect(),
+        };
+        let dense_len = encode(&dense).unwrap().len();
+        let sparse_len = encode(&sparse).unwrap().len();
+        assert!(dense_len < sparse_len, "dense deltas are single bytes");
+    }
+
+    /// Satellite fix: a timeout with a frame half-read is a typed
+    /// stall, not the idle-timeout signal; a timeout before any header
+    /// byte stays an idle `Io`.
+    #[test]
+    fn mid_frame_timeout_is_a_stall_not_idle() {
+        struct PartialThenTimeout {
+            data: Vec<u8>,
+            pos: usize,
+        }
+        impl std::io::Read for PartialThenTimeout {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos >= self.data.len() {
+                    return Err(std::io::Error::from(ErrorKind::WouldBlock));
+                }
+                let n = buf.len().min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let frame = encode(&Message::EpochReply { epochs: 5 }).unwrap();
+        for cut in 1..frame.len() {
+            let mut r = PartialThenTimeout {
+                data: frame[..cut].to_vec(),
+                pos: 0,
+            };
+            let err = read_message(&mut r).unwrap_err();
+            assert!(err.is_stalled(), "cut at {cut}: {err:?}");
+            assert!(!err.is_timeout(), "a stall is not idle");
+        }
+        // No bytes at all: the idle signal, not a stall.
+        let mut idle = PartialThenTimeout {
+            data: vec![],
+            pos: 0,
+        };
+        let err = read_message(&mut idle).unwrap_err();
+        assert!(err.is_timeout() && !err.is_stalled());
     }
 }

@@ -1,18 +1,20 @@
 //! End-to-end serve/client tests over real loopback sockets: the
-//! report-identity guarantee, session admission, bound-tenant
-//! enforcement, and idle teardown.
+//! report-identity guarantee (single-session, multi-connection
+//! sequenced, and across a kill/resume), session admission,
+//! bound-tenant enforcement, idle/stall teardown, and
+//! concurrent-session churn hygiene.
 
 use cps_core::CacheConfig;
 use cps_engine::{EngineConfig, EngineKind, RepartitionEngine};
 use cps_obs::{Journal, MetricsRegistry};
-use cps_serve::wire::error_code;
+use cps_serve::wire::{decode, encode, error_code, Message};
 use cps_serve::{
     identity_of_journal, identity_of_report, Client, ServeConfig, ServeError, ServeOutcome, Server,
 };
 use cps_trace::{interleave_proportional, Trace, WorkloadSpec};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The standard 4-tenant mix, generated exactly as `cps replay-online`
 /// does (per-tenant seeds `seed + i + 1`, proportional interleave).
@@ -48,6 +50,8 @@ fn config(kind: EngineKind, tenants: usize) -> ServeConfig {
         tenants,
         max_conns: 8,
         idle_timeout: Duration::from_secs(5),
+        window_cap: 1 << 16,
+        resume_grace: Duration::from_secs(5),
     }
 }
 
@@ -56,6 +60,57 @@ fn start(config: ServeConfig) -> (String, JoinHandle<Result<ServeOutcome, String
         .expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();
     (addr, std::thread::spawn(move || server.run()))
+}
+
+/// Every Nth global position of the stream, as sequenced records.
+fn round_robin_slice(stream: &[(u64, u64)], j: usize, n: usize) -> Vec<(u64, u64, u64)> {
+    stream
+        .iter()
+        .enumerate()
+        .skip(j)
+        .step_by(n)
+        .map(|(pos, &(t, b))| (pos as u64, t, b))
+        .collect()
+}
+
+/// Polls STATS on the control session until the server has ingested
+/// exactly `n` records (the sequencing window makes ingest lag frame
+/// arrival).
+fn wait_for_records(control: &mut Client, n: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = control.stats().expect("stats");
+        if stats.records >= n {
+            assert_eq!(stats.records, n, "over-ingested");
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "ingest wedged at {} of {n} records",
+            stats.records
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Asserts the served journal is report-identical to the same engine
+/// fed the same stream in process.
+fn assert_identical(
+    journal: &str,
+    header: &cps_obs::RunHeader,
+    engine_cfg: EngineConfig,
+    tenants: usize,
+    stream: &[(u64, u64)],
+) {
+    let mut local = RepartitionEngine::new(engine_cfg, tenants);
+    local.run(stream.iter().map(|&(t, b)| (t as usize, b)));
+    let report = local.finish();
+    let parsed = Journal::parse(journal).expect("served journal parses");
+    assert_eq!(
+        identity_of_journal(&parsed),
+        identity_of_report(header, &report),
+        "served and in-process runs must be report-identical"
+    );
 }
 
 #[test]
@@ -260,4 +315,216 @@ fn sharded_engines_refuse_external_clocking_with_a_typed_code() {
     let fresh = Client::connect(&addr, None).expect("reconnect");
     fresh.shutdown().expect("shutdown");
     server.join().unwrap().expect("server outcome");
+}
+
+#[test]
+fn sequenced_multi_connection_run_is_report_identical() {
+    let cfg = config(EngineKind::Single, 4);
+    let header = cfg.run_header();
+    let engine_cfg = cfg.engine.clone();
+    let (addr, server) = start(cfg);
+
+    let stream = four_tenant_stream(12_000, 9);
+    let n = 3;
+    let mut control = Client::connect(&addr, None).expect("control session");
+    std::thread::scope(|scope| {
+        for j in 0..n {
+            let addr = addr.clone();
+            let records = round_robin_slice(&stream, j, n);
+            scope.spawn(move || {
+                let mut sender = Client::connect(&addr, None).expect("sender session");
+                for chunk in records.chunks(512) {
+                    sender.push_batch_seq(chunk).expect("sequenced push");
+                }
+            });
+        }
+    });
+    wait_for_records(&mut control, stream.len() as u64);
+    let journal = control.shutdown().expect("shutdown");
+    let outcome = server.join().unwrap().expect("server outcome");
+    assert_eq!(outcome.records, stream.len() as u64);
+    assert_identical(&journal, &header, engine_cfg, 4, &stream);
+}
+
+#[test]
+fn a_dropped_sequenced_session_resumes_without_losing_identity() {
+    let cfg = config(EngineKind::Single, 4);
+    let header = cfg.run_header();
+    let engine_cfg = cfg.engine.clone();
+    let (addr, server) = start(cfg);
+
+    let stream = four_tenant_stream(10_000, 21);
+    let mut control = Client::connect(&addr, None).expect("control session");
+    let half_a = round_robin_slice(&stream, 0, 2);
+    let half_b = round_robin_slice(&stream, 1, 2);
+
+    // Session A streams half its records, then its connection dies.
+    let mut a = Client::connect(&addr, None).expect("session a");
+    let token = a.token();
+    let sent = half_a.len() / 2;
+    for chunk in half_a[..sent].chunks(256) {
+        a.push_batch_seq(chunk).expect("first-half push");
+    }
+    drop(a);
+
+    // Session B streams concurrently while A is down and resuming.
+    let b_handle = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut b = Client::connect(&addr, None).expect("session b");
+            for chunk in half_b.chunks(256) {
+                b.push_batch_seq(chunk).expect("b push");
+            }
+        })
+    };
+
+    // A rejoins with its token; the server discloses the first
+    // position it has not parsed, and A resends from there.
+    let (mut resumed, resume_pos) = Client::resume(&addr, token).expect("resume");
+    assert!(resume_pos > 0, "some of A's records must have been parsed");
+    let rest: Vec<(u64, u64, u64)> = half_a
+        .iter()
+        .copied()
+        .filter(|&(pos, _, _)| pos >= resume_pos)
+        .collect();
+    assert!(!rest.is_empty(), "A had records left to send");
+    for chunk in rest.chunks(256) {
+        resumed.push_batch_seq(chunk).expect("resumed push");
+    }
+    b_handle.join().expect("session b thread");
+
+    // A resume with a bogus token is refused with a typed code.
+    match Client::resume(&addr, token ^ 0xdead_beef) {
+        Err(ServeError::Server { code, .. }) => assert_eq!(code, error_code::BAD_TOKEN),
+        other => panic!("expected BAD_TOKEN, got {other:?}", other = other.err()),
+    }
+
+    wait_for_records(&mut control, stream.len() as u64);
+    let journal = control.shutdown().expect("shutdown");
+    server.join().unwrap().expect("server outcome");
+    assert_identical(&journal, &header, engine_cfg, 4, &stream);
+}
+
+#[test]
+fn a_mid_frame_stall_is_closed_with_a_stalled_code() {
+    use std::io::{Read, Write};
+    let mut cfg = config(EngineKind::Single, 2);
+    cfg.idle_timeout = Duration::from_millis(150);
+    let (addr, server) = start(cfg);
+
+    // A raw socket: HELLO, then the first bytes of a frame and
+    // silence. The server must close this as STALLED, not IDLE.
+    let mut raw = std::net::TcpStream::connect(&addr).expect("raw connect");
+    raw.write_all(&encode(&Message::Hello { binding: None }).expect("hello frame"))
+        .expect("send hello");
+    let partial = encode(&Message::Batch {
+        records: vec![(0, 1), (1, 2)],
+    })
+    .expect("batch frame");
+    raw.write_all(&partial[..partial.len() - 3])
+        .expect("send partial frame");
+
+    let mut bytes = Vec::new();
+    raw.read_to_end(&mut bytes)
+        .expect("read until server closes");
+    let (hello_ack, consumed) = decode(&bytes).expect("hello ack decodes");
+    assert!(matches!(hello_ack, Message::HelloAck { .. }));
+    let (error, _) = decode(&bytes[consumed..]).expect("error frame decodes");
+    match error {
+        Message::Error { code, message } => {
+            assert_eq!(code, error_code::STALLED, "{message}");
+            assert!(message.contains("stalled"), "{message}");
+        }
+        other => panic!("expected STALLED error, got {other:?}"),
+    }
+
+    // The server keeps serving fresh sessions afterwards.
+    let fresh = Client::connect(&addr, None).expect("fresh session");
+    fresh.shutdown().expect("shutdown");
+    server.join().unwrap().expect("server outcome");
+}
+
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("read /proc/self/status")
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .map(|v| v.trim().parse().expect("thread count parses"))
+        .expect("Threads: line present")
+}
+
+#[test]
+fn concurrent_session_churn_leaves_no_residue() {
+    let mut cfg = config(EngineKind::Single, 4);
+    cfg.max_conns = 32;
+    cfg.resume_grace = Duration::from_millis(200);
+    let header = cfg.run_header();
+    let engine_cfg = cfg.engine.clone();
+
+    #[cfg(target_os = "linux")]
+    let baseline = thread_count();
+    let (addr, server) = start(cfg);
+
+    let stream = four_tenant_stream(8_000, 5);
+    let n = 4;
+    let mut control = Client::connect(&addr, None).expect("control session");
+    std::thread::scope(|scope| {
+        // Churn: short-lived control sessions connecting, asking one
+        // question (or nothing), and vanishing.
+        for _ in 0..3 {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                for ask in 0..10 {
+                    let mut c = Client::connect(&addr, None).expect("churn connect");
+                    if ask % 2 == 0 {
+                        let _ = c.stats();
+                    }
+                }
+            });
+        }
+        // Meanwhile, N sequenced senders stream the whole run.
+        for j in 0..n {
+            let addr = addr.clone();
+            let records = round_robin_slice(&stream, j, n);
+            scope.spawn(move || {
+                let mut sender = Client::connect(&addr, None).expect("sender session");
+                for chunk in records.chunks(512) {
+                    sender.push_batch_seq(chunk).expect("sequenced push");
+                }
+            });
+        }
+    });
+    wait_for_records(&mut control, stream.len() as u64);
+
+    // No thread-per-connection: after 30+ connections, the server is
+    // still its two threads (event loop + pump).
+    #[cfg(target_os = "linux")]
+    {
+        let now = thread_count();
+        assert!(
+            now <= baseline + 3,
+            "server must not spawn per-connection threads: {baseline} -> {now}"
+        );
+    }
+
+    // The session table drains to just the control session once the
+    // resume grace for cleanly-closed senders expires.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = control.stats().expect("stats");
+        if stats.active_sessions == 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "session table kept {} residents",
+            stats.active_sessions
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let journal = control.shutdown().expect("shutdown");
+    server.join().unwrap().expect("server outcome");
+    assert_identical(&journal, &header, engine_cfg, 4, &stream);
 }

@@ -97,6 +97,25 @@ fn arb_curve() -> impl Strategy<Value = WireCurve> {
         })
 }
 
+/// A sequenced batch with strictly increasing positions: a start plus
+/// per-record gaps, folded into absolute positions.
+fn arb_seq_records() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    (
+        0u64..1 << 40,
+        prop::collection::vec((0u64..1 << 12, 0u64..16, 0u64..1 << 44), 0..200),
+    )
+        .prop_map(|(start, gaps)| {
+            let mut pos = start;
+            gaps.into_iter()
+                .map(|(gap, t, b)| {
+                    let here = pos + gap;
+                    pos = here + 1;
+                    (here, t, b)
+                })
+                .collect()
+        })
+}
+
 /// Every message kind, with arbitrary contents. Bindings and tenants
 /// stay below `u64::MAX` (the HELLO encoding reserves 0 for mux, so
 /// `u64::MAX` itself is unrepresentable by design).
@@ -105,9 +124,14 @@ fn arb_message() -> BoxedStrategy<Message> {
         (0u64..6).prop_map(|t| Message::Hello {
             binding: t.checked_sub(1),
         }),
-        arb_config().prop_map(|config| Message::HelloAck { config }),
+        (arb_config(), any::<u64>())
+            .prop_map(|(config, token)| Message::HelloAck { config, token }),
         prop::collection::vec((0u64..16, 0u64..1 << 44), 0..300)
             .prop_map(|records| Message::Batch { records }),
+        any::<u64>().prop_map(|token| Message::Resume { token }),
+        arb_seq_records().prop_map(|records| Message::BatchSeq { records }),
+        (arb_config(), 0u64..1 << 44)
+            .prop_map(|(config, resume_pos)| Message::ResumeAck { config, resume_pos }),
         Just(Message::Stats),
         Just(Message::Allocation),
         Just(Message::Epoch),
@@ -148,7 +172,7 @@ proptest! {
     /// encode → decode is the identity, consuming exactly one frame.
     #[test]
     fn arbitrary_messages_round_trip(msg in arb_message()) {
-        let frame = encode(&msg);
+        let frame = encode(&msg).unwrap();
         let (back, consumed) = decode(&frame).expect("own frames must decode");
         prop_assert_eq!(back, msg);
         prop_assert_eq!(consumed, frame.len());
@@ -158,7 +182,7 @@ proptest! {
     /// not a panic and never a bogus success.
     #[test]
     fn truncated_frames_are_typed_errors(msg in arb_message(), cut in 0.0f64..1.0) {
-        let frame = encode(&msg);
+        let frame = encode(&msg).unwrap();
         let cut = ((frame.len() as f64) * cut) as usize;
         prop_assert_eq!(decode(&frame[..cut]).unwrap_err(), WireError::Truncated);
     }
@@ -172,7 +196,7 @@ proptest! {
         position in 0.0f64..1.0,
         bit in 0u32..8,
     ) {
-        let mut frame = encode(&msg);
+        let mut frame = encode(&msg).unwrap();
         let byte = ((frame.len() as f64) * position) as usize;
         let byte = byte.min(frame.len() - 1);
         frame[byte] ^= 1 << bit;
@@ -235,13 +259,13 @@ proptest! {
             objective: "miss-ratio".to_string(),
         };
         // Valid spec: both frames decode.
-        decode(&encode(&Message::HelloAck { config: config.clone() })).unwrap();
-        decode(&encode(&Message::CostCurves { objective: config.objective.clone() })).unwrap();
+        decode(&encode(&Message::HelloAck { config: config.clone(), token: 7 }).unwrap()).unwrap();
+        decode(&encode(&Message::CostCurves { objective: config.objective.clone() }).unwrap()).unwrap();
         // Invalid spec: the encoder is trusting, the decoder is not.
         config.objective = garbage.clone();
-        let err = decode(&encode(&Message::HelloAck { config })).unwrap_err();
+        let err = decode(&encode(&Message::HelloAck { config, token: 7 }).unwrap()).unwrap_err();
         prop_assert!(matches!(err, WireError::BadPayload(_)), "{:?}", err);
-        let err = decode(&encode(&Message::CostCurves { objective: garbage })).unwrap_err();
+        let err = decode(&encode(&Message::CostCurves { objective: garbage }).unwrap()).unwrap_err();
         prop_assert!(matches!(err, WireError::BadPayload(_)), "{:?}", err);
     }
 }

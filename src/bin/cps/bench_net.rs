@@ -1,15 +1,26 @@
 //! `cps bench-net` — load-generate against a live `cps serve` daemon
 //! and cross-validate the served run against an in-process replay.
 //!
-//! The client opens a mux session, learns the server's full engine
-//! configuration from HELLO_ACK, generates the *identical* interleaved
-//! stream `cps replay-online` would build from the same workloads,
-//! rates, and seed, and streams it over the socket in batches. After a
-//! SHUTDOWN the server returns the run's journal; bench-net then runs
-//! the same engine on the same stream in this process and asserts the
-//! two runs are **report-identical** — byte-equal canonical journals
+//! The client learns the server's full engine configuration from
+//! HELLO_ACK, generates the *identical* interleaved stream
+//! `cps replay-online` would build from the same workloads, rates, and
+//! seed, and streams it over the socket in batches. After a SHUTDOWN
+//! the server returns the run's journal; bench-net then runs the same
+//! engine on the same stream in this process and asserts the two runs
+//! are **report-identical** — byte-equal canonical journals
 //! (wall-clock fields excluded). Identity failure is a nonzero exit:
 //! the network layer is only correct if it is invisible in the report.
+//!
+//! `--connections 1` (the default) opens one mux session and streams
+//! unsequenced BATCH frames — arrival order is the canonical order.
+//! `--connections N` with N >= 2 splits the stream's global positions
+//! round-robin across N concurrent sessions, each streaming sequenced
+//! BATCH_SEQ frames; the server's sequencing window reassembles the one
+//! canonical order, so the identity check is unchanged. With
+//! `--kill-resume true`, connection 0 additionally drops its TCP
+//! connection halfway through, rejoins with RESUME, and resends from
+//! the position the server reports as missing — identity must survive
+//! the disconnect.
 
 use crate::common::{parse_workload, write_text_out, Args};
 use cache_partition_sharing::engine::EngineReport;
@@ -53,6 +64,16 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         }
     };
     let journal_out = args.get("journal-out").map(str::to_string);
+    let connections: usize = args.get_parse("connections", 1)?;
+    if connections == 0 {
+        return Err("--connections must open at least 1 session".into());
+    }
+    let kill_resume: bool = args.get_parse("kill-resume", false)?;
+    if kill_resume && connections < 2 {
+        return Err(
+            "--kill-resume exercises sequenced sessions; it needs --connections 2 or more".into(),
+        );
+    }
 
     let addr = format!("{host}:{port}");
     let mut client = Client::connect(&addr, None).map_err(|e| format!("connect {addr}: {e}"))?;
@@ -85,12 +106,34 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     let stream: Vec<(u64, u64)> = co.tenant_accesses().map(|(t, b)| (t as u64, b)).collect();
 
     let served_start = Instant::now();
-    for chunk in stream.chunks(batch) {
-        client
-            .push_batch(chunk)
-            .map_err(|e| format!("push batch: {e}"))?;
-    }
-    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    let stats = if connections == 1 {
+        for chunk in stream.chunks(batch) {
+            client
+                .push_batch(chunk)
+                .map_err(|e| format!("push batch: {e}"))?;
+        }
+        client.stats().map_err(|e| format!("stats: {e}"))?
+    } else {
+        // `client` stays a pure control session; N concurrent sender
+        // sessions stream the same records as sequenced frames, each
+        // holding every Nth global position.
+        run_senders(&addr, &stream, connections, batch, kill_resume)?;
+        let deadline = Instant::now() + std::time::Duration::from_secs(120);
+        loop {
+            let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+            if stats.records >= stream.len() as u64 {
+                break stats;
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "server ingested {} of {} records before the deadline",
+                    stats.records,
+                    stream.len()
+                ));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    };
     let served_elapsed = served_start.elapsed();
     if stats.records != stream.len() as u64 {
         return Err(format!(
@@ -149,6 +192,79 @@ pub fn run(raw: &[String]) -> Result<(), String> {
                 .into(),
         )
     }
+}
+
+/// Streams the global stream as N concurrent sequenced sessions, each
+/// owning every Nth position. With `kill_resume`, connection 0 drops
+/// its socket halfway through and rejoins via RESUME.
+fn run_senders(
+    addr: &str,
+    stream: &[(u64, u64)],
+    n: usize,
+    batch: usize,
+    kill_resume: bool,
+) -> Result<(), String> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|j| {
+                let addr = addr.to_string();
+                let records: Vec<(u64, u64, u64)> = stream
+                    .iter()
+                    .enumerate()
+                    .skip(j)
+                    .step_by(n)
+                    .map(|(pos, &(t, b))| (pos as u64, t, b))
+                    .collect();
+                scope.spawn(move || sender(&addr, &records, batch, kill_resume && j == 0))
+            })
+            .collect();
+        for (j, handle) in handles.into_iter().enumerate() {
+            handle
+                .join()
+                .map_err(|_| format!("sender {j} panicked"))??;
+        }
+        Ok(())
+    })
+}
+
+/// One sender session: sequenced batches over a fresh mux connection.
+/// With `kill`, the connection is dropped after half the records; the
+/// sender then RESUMEs with its token and resends everything at or
+/// past the position the server reports as missing.
+fn sender(addr: &str, records: &[(u64, u64, u64)], batch: usize, kill: bool) -> Result<(), String> {
+    let mut client = Client::connect(addr, None).map_err(|e| format!("sender connect: {e}"))?;
+    let token = client.token();
+    let sent_before_kill = if kill {
+        records.len() / 2
+    } else {
+        records.len()
+    };
+    for chunk in records[..sent_before_kill].chunks(batch) {
+        client
+            .push_batch_seq(chunk)
+            .map_err(|e| format!("push sequenced batch: {e}"))?;
+    }
+    if !kill {
+        return Ok(());
+    }
+    // Hard-drop the TCP connection mid-stream, then rejoin.
+    drop(client);
+    let (mut resumed, resume_pos) =
+        Client::resume(addr, token).map_err(|e| format!("resume: {e}"))?;
+    println!(
+        "connection 0 dropped after {sent_before_kill} records, resumed at position {resume_pos}"
+    );
+    let rest: Vec<(u64, u64, u64)> = records
+        .iter()
+        .copied()
+        .filter(|&(pos, _, _)| pos >= resume_pos)
+        .collect();
+    for chunk in rest.chunks(batch) {
+        resumed
+            .push_batch_seq(chunk)
+            .map_err(|e| format!("push resumed batch: {e}"))?;
+    }
+    Ok(())
 }
 
 /// Rebuilds the server's engine from its HELLO_ACK configuration and

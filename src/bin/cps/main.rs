@@ -104,19 +104,26 @@ USAGE:
                [--ingest buffered|queued] [--queue-cap N]
                [--objective OBJ] [--baseline none|equal|natural]
                [--host H] [--max-conns N] [--idle-timeout SECS] [--proto V]
+               [--window-cap N] [--resume-grace SECS]
                [--journal FILE] [--metrics-out FILE] [--port-file FILE]
                (host the online engine as a TCP daemon speaking the
                cps-serve wire protocol; clients bind to tenants via
-               HELLO and stream access batches; a SHUTDOWN request
+               HELLO and stream access batches — concurrent connections
+               send position-sequenced batches reassembled in a
+               --window-cap record window, and dropped sessions may
+               RESUME within --resume-grace; a SHUTDOWN request
                finishes the engine and returns the epoch journal;
                --port auto picks an ephemeral port and --port-file
                records the bound address)
   cps bench-net --workloads SPEC,SPEC,... --port P [--host H] [--len N]
                [--rates R,R,...] [--seed S] [--batch N] [--journal-out FILE]
+               [--connections N] [--kill-resume true]
                (replay an interleaved stream against a live `cps serve`
                and verify the served journal is report-identical to the
-               same engine run in process; identity failure exits
-               nonzero)
+               same engine run in process; --connections N splits the
+               stream across N sequenced connections, --kill-resume
+               true drops one mid-stream and rejoins it via RESUME;
+               identity failure exits nonzero)
   cps cluster  --workloads SPEC,SPEC,... --units U [--bpu B]
                [--nodes N] [--node-capacity U] | [--connect H:P,H:P,...]
                [--placement greedy|roundrobin] [--migrate-threshold T|off]

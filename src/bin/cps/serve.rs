@@ -105,6 +105,11 @@ pub fn run(raw: &[String]) -> Result<(), String> {
                     would be torn down before their first frame)"
             .into());
     }
+    let window_cap: usize = args.get_parse("window-cap", 1 << 16)?;
+    if window_cap == 0 {
+        return Err("--window-cap must hold at least 1 record".into());
+    }
+    let resume_grace: u64 = args.get_parse("resume-grace", 10)?;
     let proto: u8 = args.get_parse("proto", PROTOCOL_VERSION)?;
     if proto != PROTOCOL_VERSION {
         return Err(format!(
@@ -126,6 +131,8 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         tenants,
         max_conns,
         idle_timeout: Duration::from_secs(idle_secs),
+        window_cap,
+        resume_grace: Duration::from_secs(resume_grace),
     };
 
     let registry = Arc::new(MetricsRegistry::new());
