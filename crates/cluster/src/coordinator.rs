@@ -32,7 +32,9 @@ use cps_cachesim::AccessCounts;
 use cps_core::{access_shares, build_cost_curves, CacheConfig, CostCurve, DpSolver, Objective};
 use cps_engine::{units_moved, Actuation, Block, EpochRecord, TenantId};
 use cps_hotl::MissRatioCurve;
-use cps_obs::{Counter, Gauge, MetricsRegistry, MigrationEvent, Stage, StageTimings, Stopwatch};
+use cps_obs::{
+    Counter, Gauge, MetricsRegistry, MigrationEvent, NodeSpan, Stage, StageTimings, Stopwatch,
+};
 
 use crate::hierarchy::{solve_two_level, TwoLevelResult};
 use crate::node::ClusterNode;
@@ -210,6 +212,11 @@ pub struct Coordinator {
     dropped_records: u64,
     solver: DpSolver,
     metrics: Option<ClusterMetrics>,
+    /// The run clock epoch-start timestamps are measured against.
+    run_start: std::time::Instant,
+    /// Seed for per-epoch trace ids — one id correlates a boundary's
+    /// cluster record with every node's booked epoch.
+    trace_nonce: u64,
 }
 
 impl std::fmt::Debug for Coordinator {
@@ -312,6 +319,8 @@ impl Coordinator {
             dropped_records: 0,
             solver: DpSolver::new(),
             metrics: None,
+            run_start: std::time::Instant::now(),
+            trace_nonce: trace_nonce(),
         })
     }
 
@@ -477,6 +486,13 @@ impl Coordinator {
         self.epoch_accesses = 0;
         let tenants = self.tenants();
         let mut timings = StageTimings::default();
+        let start_nanos = self.run_start.elapsed().as_nanos() as u64;
+        // One trace id per boundary, propagated to every node over the
+        // wire (COST_CURVES/APPLY) and stamped on each node's booked
+        // epoch — grep any journal in the cluster for the id and the
+        // same physical boundary comes back. Never 0 (wire: untraced).
+        let trace = splitmix64(self.trace_nonce ^ self.records.len() as u64).max(1);
+        let mut node_spans: Vec<NodeSpan> = Vec::new();
 
         let ingest_clock = Stopwatch::start();
         for n in 0..self.nodes.len() {
@@ -494,8 +510,17 @@ impl Coordinator {
             if !self.nodes[n].alive {
                 continue;
             }
-            match self.nodes[n].node.export(&objective_spec) {
-                Ok(curves) => *slot = Some(curves),
+            match self.nodes[n].node.export(&objective_spec, Some(trace)) {
+                Ok((curves, profile_nanos)) => {
+                    *slot = Some(curves);
+                    node_spans.push(NodeSpan {
+                        node: n,
+                        timings: StageTimings {
+                            profile_nanos,
+                            ..StageTimings::default()
+                        },
+                    });
+                }
                 Err(e) => self.fail_node(n, "export", &e.to_string()),
             }
         }
@@ -573,8 +598,21 @@ impl Coordinator {
                     continue;
                 }
                 let target = self.node_alloc[n].clone();
-                if let Err(e) = self.nodes[n].node.apply(&target, predicted) {
-                    self.fail_node(n, "apply", &e.to_string());
+                match self.nodes[n].node.apply(&target, predicted, Some(trace)) {
+                    Ok((_, actuate_nanos)) => {
+                        if let Some(span) = node_spans.iter_mut().find(|s| s.node == n) {
+                            span.timings.actuate_nanos = actuate_nanos;
+                        } else {
+                            node_spans.push(NodeSpan {
+                                node: n,
+                                timings: StageTimings {
+                                    actuate_nanos,
+                                    ..StageTimings::default()
+                                },
+                            });
+                        }
+                    }
+                    Err(e) => self.fail_node(n, "apply", &e.to_string()),
                 }
             }
             actuate_clock.record(&mut timings, Stage::Actuate);
@@ -599,6 +637,9 @@ impl Coordinator {
             ingest: None,
             repartitioned: actuation.repartitioned,
             units_moved: actuation.units_moved,
+            start_nanos,
+            trace: Some(trace),
+            node_spans,
         });
 
         if actuate && self.config.migrate_threshold.is_some() {
@@ -726,6 +767,25 @@ impl Coordinator {
             m.migrations.inc();
         }
     }
+}
+
+/// SplitMix64 — the trace-id generator. Not secret, just distinct
+/// enough that two runs' ids never collide by accident.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn trace_nonce() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let t = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed);
+    splitmix64(t ^ (std::process::id() as u64).rotate_left(32))
 }
 
 #[cfg(test)]

@@ -188,33 +188,58 @@ impl ClusterNode {
     /// Opens an epoch boundary: closes the node's profile window and
     /// exports one [`TenantCurve`] per slot. The coordinator names the
     /// objective it solves under; a remote daemon optimizing anything
-    /// else refuses the export with a typed wire error.
-    pub fn export(&mut self, objective: &str) -> Result<Vec<TenantCurve>, NodeError> {
+    /// else refuses the export with a typed wire error. `trace`
+    /// correlates the boundary across nodes. The second return value
+    /// is the node's profile wall clock in nanoseconds — the child
+    /// span of the coordinator's epoch (local: measured around the
+    /// handle call; remote: carried back in the reply).
+    pub fn export(
+        &mut self,
+        objective: &str,
+        trace: Option<u64>,
+    ) -> Result<(Vec<TenantCurve>, u64), NodeError> {
         match &mut self.inner {
-            Inner::Local(handle) => Ok(handle.export_cost_curves()?),
+            Inner::Local(handle) => {
+                let started = std::time::Instant::now();
+                let curves = handle.export_cost_curves()?;
+                Ok((curves, started.elapsed().as_nanos() as u64))
+            }
             Inner::Remote(client) => {
-                let curves = client.cost_curves(objective)?;
-                curves.into_iter().map(tenant_curve_of_wire).collect()
+                let (curves, profile_nanos) = client.cost_curves(objective, trace.unwrap_or(0))?;
+                let curves: Result<Vec<TenantCurve>, NodeError> =
+                    curves.into_iter().map(tenant_curve_of_wire).collect();
+                Ok((curves?, profile_nanos))
             }
         }
     }
 
     /// Closes the boundary opened by [`export`](Self::export): pushes
-    /// the budgeted allocation down and books the node's epoch.
+    /// the budgeted allocation down and books the node's epoch,
+    /// stamped with `trace`. The second return value is the node's
+    /// actuate wall clock in nanoseconds.
     pub fn apply(
         &mut self,
         units: &[usize],
         predicted_cost: Option<f64>,
-    ) -> Result<Actuation, NodeError> {
+        trace: Option<u64>,
+    ) -> Result<(Actuation, u64), NodeError> {
         match &mut self.inner {
-            Inner::Local(handle) => Ok(handle.apply_allocation(units, predicted_cost)?),
+            Inner::Local(handle) => {
+                let started = std::time::Instant::now();
+                let actuation = handle.apply_allocation(units, predicted_cost, trace)?;
+                Ok((actuation, started.elapsed().as_nanos() as u64))
+            }
             Inner::Remote(client) => {
                 let wire: Vec<u64> = units.iter().map(|&u| u as u64).collect();
-                let (repartitioned, units_moved) = client.apply(&wire, predicted_cost)?;
-                Ok(Actuation {
-                    repartitioned,
-                    units_moved: units_moved as usize,
-                })
+                let (repartitioned, units_moved, actuate_nanos) =
+                    client.apply(&wire, predicted_cost, trace.unwrap_or(0))?;
+                Ok((
+                    Actuation {
+                        repartitioned,
+                        units_moved: units_moved as usize,
+                    },
+                    actuate_nanos,
+                ))
             }
         }
     }
@@ -273,10 +298,10 @@ mod tests {
         assert_eq!(node.addr(), None);
         let records: Vec<(usize, u64)> = (0..100).map(|i| ((i % 2) as usize, i % 10)).collect();
         node.push(&records).expect("push");
-        let curves = node.export("miss-ratio").expect("export");
+        let (curves, _profile_nanos) = node.export("miss-ratio", Some(42)).expect("export");
         assert_eq!(curves.len(), 2);
         assert_eq!(curves[0].counts.accesses, 50);
-        let actuation = node.apply(&[6, 2], Some(0.5)).expect("apply");
+        let (actuation, _actuate_nanos) = node.apply(&[6, 2], Some(0.5), Some(42)).expect("apply");
         assert!(actuation.repartitioned);
         match node.finish().expect("finish") {
             NodeFinish::Local(report) => {

@@ -152,6 +152,9 @@ mod tests {
             ingest: None,
             repartitioned: epoch > 0,
             units_moved: usize::from(epoch > 0) * 2,
+            start_nanos: epoch as u64 * 1_000,
+            trace: Some(0x7702 + epoch as u64),
+            node_spans: Vec::new(),
         }
     }
 

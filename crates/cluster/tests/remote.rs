@@ -30,6 +30,7 @@ fn start_node(units: usize, tenants: usize) -> (String, JoinHandle<Result<ServeO
         idle_timeout: Duration::from_secs(10),
         window_cap: 1 << 16,
         resume_grace: Duration::from_secs(5),
+        telemetry_addr: None,
     };
     let server = Server::bind("127.0.0.1:0", config, Arc::new(MetricsRegistry::new()))
         .expect("bind ephemeral port");

@@ -365,6 +365,7 @@ impl EngineBox {
         &mut self,
         target: &[usize],
         predicted_cost: Option<f64>,
+        trace: Option<u64>,
     ) -> Result<Actuation, HandleError> {
         if target.len() != self.tenants || target.iter().sum::<usize>() > self.units {
             return Err(HandleError::BadAllocation {
@@ -374,11 +375,23 @@ impl EngineBox {
         }
         match &mut self.inner {
             AnyEngine::Single(e) => e
-                .apply_external_allocation(Some(target), predicted_cost)
+                .apply_external_allocation(Some(target), predicted_cost, trace)
                 .ok_or(HandleError::NoOpenEpoch),
             _ => Err(HandleError::Unsupported {
                 op: "external epoch clocking",
             }),
+        }
+    }
+
+    /// Registers a live-telemetry hook fired with each booked epoch
+    /// record, on whichever thread closes the epoch (for all current
+    /// kinds: the thread calling [`record_access`](Self::record_access)
+    /// or the external-clocking pair). Replaces any prior hook.
+    pub fn set_epoch_hook(&mut self, hook: crate::EpochHook) {
+        match &mut self.inner {
+            AnyEngine::Single(e) => e.set_epoch_hook(hook),
+            AnyEngine::Sharded(e) => e.set_epoch_hook(hook),
+            AnyEngine::Queued(e) => e.set_epoch_hook(hook),
         }
     }
 
@@ -564,10 +577,11 @@ impl EngineHandle {
         &self,
         target: &[usize],
         predicted_cost: Option<f64>,
+        trace: Option<u64>,
     ) -> Result<Actuation, HandleError> {
         let mut guard = self.inner.lock().expect("engine handle lock");
         let engine = guard.as_mut().ok_or(HandleError::Finished)?;
-        let actuation = engine.apply_allocation(target, predicted_cost)?;
+        let actuation = engine.apply_allocation(target, predicted_cost, trace)?;
         self.refresh_control(engine);
         Ok(actuation)
     }
@@ -769,7 +783,7 @@ mod tests {
 
         // Apply before any export: typed refusal, nothing booked.
         assert_eq!(
-            handle.apply_allocation(&[8, 8], None),
+            handle.apply_allocation(&[8, 8], None, None),
             Err(HandleError::NoOpenEpoch)
         );
 
@@ -785,12 +799,14 @@ mod tests {
             tenants: 2,
             units: 16,
         };
-        assert_eq!(handle.apply_allocation(&[16], None), Err(bad));
-        assert_eq!(handle.apply_allocation(&[9, 8], None), Err(bad));
+        assert_eq!(handle.apply_allocation(&[16], None, None), Err(bad));
+        assert_eq!(handle.apply_allocation(&[9, 8], None, None), Err(bad));
         assert!(bad.to_string().contains("16 units"));
 
         // A budget below capacity is legal.
-        let act = handle.apply_allocation(&[10, 4], Some(2.0)).unwrap();
+        let act = handle
+            .apply_allocation(&[10, 4], Some(2.0), Some(77))
+            .unwrap();
         assert!(act.repartitioned);
         assert_eq!(handle.allocation_units().unwrap(), vec![10, 4]);
         assert_eq!(handle.epochs_completed().unwrap(), 1);

@@ -73,9 +73,15 @@ use cps_core::{CacheConfig, Objective};
 use cps_hotl::MissRatioCurve;
 use cps_obs::Stopwatch;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Tenant index into the engine's partitions and profilers.
 pub type TenantId = usize;
+
+/// Live-telemetry hook fired with each booked epoch record, on
+/// whichever thread closes the epoch (see
+/// [`RepartitionEngine::set_epoch_hook`]).
+pub type EpochHook = Box<dyn FnMut(&EpochRecord) + Send>;
 
 /// One tenant's exported state at an externally clocked epoch boundary
 /// (see [`RepartitionEngine::export_epoch_curves`]): the realized
@@ -201,6 +207,16 @@ pub(crate) struct EpochCore {
     pub(crate) totals: Vec<AccessCounts>,
     /// Registered instrument handles; `None` runs fully uninstrumented.
     pub(crate) metrics: Option<Arc<EngineMetrics>>,
+    /// Run clock anchor — epoch `start` timestamps are nanoseconds
+    /// since this instant (journal v3).
+    pub(crate) run_start: Instant,
+    /// When the *current* (still open) epoch began serving, on the run
+    /// clock. Epoch 0 starts at 0; each close re-anchors.
+    pub(crate) epoch_start_nanos: u64,
+    /// Live-telemetry hook: called with each epoch record as it is
+    /// booked, on whichever thread closes the epoch. `None` costs
+    /// nothing.
+    pub(crate) emit: Option<EpochHook>,
 }
 
 impl EpochCore {
@@ -213,6 +229,9 @@ impl EpochCore {
             records: Vec::new(),
             totals: vec![AccessCounts::default(); tenants],
             metrics: None,
+            run_start: Instant::now(),
+            epoch_start_nanos: 0,
+            emit: None,
             config,
         }
     }
@@ -231,6 +250,9 @@ impl EpochCore {
             records: Vec::new(),
             totals: vec![AccessCounts::default(); tenants],
             metrics: None,
+            run_start: Instant::now(),
+            epoch_start_nanos: 0,
+            emit: None,
             config,
         }
     }
@@ -340,8 +362,11 @@ impl EpochCore {
             );
         }
 
-        self.records.push(EpochRecord {
+        self.book(EpochRecord {
             epoch: self.epoch,
+            start_nanos: self.epoch_start_nanos,
+            trace: None,
+            node_spans: Vec::new(),
             allocation: served_allocation,
             per_tenant,
             predicted_cost: outcome.predicted_cost,
@@ -350,7 +375,6 @@ impl EpochCore {
             repartitioned: actuation.repartitioned,
             units_moved: actuation.units_moved,
         });
-        self.epoch += 1;
     }
 
     /// Books an externally clocked epoch: the boundary's profile work
@@ -364,6 +388,7 @@ impl EpochCore {
         timings: StageTimings,
         predicted_cost: Option<f64>,
         actuation: Actuation,
+        trace: Option<u64>,
     ) {
         for (t, c) in self.totals.iter_mut().zip(&per_tenant) {
             t.merge(c);
@@ -378,8 +403,11 @@ impl EpochCore {
                 None,
             );
         }
-        self.records.push(EpochRecord {
+        self.book(EpochRecord {
             epoch: self.epoch,
+            start_nanos: self.epoch_start_nanos,
+            trace,
+            node_spans: Vec::new(),
             allocation: served_allocation,
             per_tenant,
             predicted_cost,
@@ -388,7 +416,18 @@ impl EpochCore {
             repartitioned: actuation.repartitioned,
             units_moved: actuation.units_moved,
         });
+    }
+
+    /// Appends a finished epoch record, fires the telemetry hook, and
+    /// re-anchors the run clock so the *next* epoch's `start` is the
+    /// moment this boundary completed.
+    fn book(&mut self, record: EpochRecord) {
+        self.records.push(record);
         self.epoch += 1;
+        self.epoch_start_nanos = self.run_start.elapsed().as_nanos() as u64;
+        if let Some(emit) = &mut self.emit {
+            emit(self.records.last().expect("record just pushed"));
+        }
     }
 
     fn into_report(self) -> EngineReport {
@@ -628,6 +667,7 @@ impl RepartitionEngine {
         &mut self,
         target: Option<&[usize]>,
         predicted_cost: Option<f64>,
+        trace: Option<u64>,
     ) -> Option<Actuation> {
         let pending = self.pending_external.take()?;
         let mut timings = pending.timings;
@@ -654,14 +694,22 @@ impl RepartitionEngine {
             timings,
             predicted_cost,
             actuation,
+            trace,
         );
         Some(actuation)
+    }
+
+    /// Registers a live-telemetry hook fired with each booked epoch
+    /// record, on whichever thread closes the epoch. Replaces any
+    /// prior hook; an engine without one pays nothing.
+    pub fn set_epoch_hook(&mut self, hook: EpochHook) {
+        self.core.emit = Some(hook);
     }
 
     /// Books a dangling external boundary as an unactuated epoch.
     fn flush_pending(&mut self) {
         if self.pending_external.is_some() {
-            self.apply_external_allocation(None, None);
+            self.apply_external_allocation(None, None, None);
         }
     }
 
@@ -869,7 +917,7 @@ mod tests {
 
         // No boundary open yet: apply is a no-op.
         assert!(engine
-            .apply_external_allocation(Some(&[8, 8]), None)
+            .apply_external_allocation(Some(&[8, 8]), None, None)
             .is_none());
 
         for i in 0..500u64 {
@@ -882,7 +930,7 @@ mod tests {
 
         // Sub-capacity budget: 10 + 4 < 16 is legal under a coordinator.
         let act = engine
-            .apply_external_allocation(Some(&[10, 4]), Some(1.5))
+            .apply_external_allocation(Some(&[10, 4]), Some(1.5), Some(9))
             .expect("boundary was open");
         assert!(act.repartitioned);
         assert_eq!(engine.allocation_units(), &[10, 4]);
@@ -899,6 +947,12 @@ mod tests {
         assert_eq!(report.epochs.len(), 3);
         assert_eq!(report.epochs[0].allocation, vec![8, 8], "served pre-apply");
         assert_eq!(report.epochs[0].predicted_cost, Some(1.5));
+        assert_eq!(
+            report.epochs[0].trace,
+            Some(9),
+            "coordinator trace id sticks"
+        );
+        assert!(report.epochs[1].trace.is_none());
         assert!(report.epochs[0].repartitioned);
         assert_eq!(report.epochs[1].allocation, vec![10, 4]);
         assert!(!report.epochs[1].repartitioned, "abandoned boundary");

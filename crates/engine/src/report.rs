@@ -15,13 +15,24 @@ use crate::ingest::IngestStats;
 use crate::TenantId;
 use cps_cachesim::AccessCounts;
 use cps_core::CacheConfig;
-use cps_obs::{BackpressureDelta, EpochEvent, RunSummary, StageTimings};
+use cps_obs::{BackpressureDelta, EpochEvent, NodeSpan, RunSummary, StageTimings};
 
 /// What happened in one epoch.
 #[derive(Clone, Debug)]
 pub struct EpochRecord {
     /// Epoch index, from 0.
     pub epoch: usize,
+    /// Monotonic nanoseconds from run start to the moment this epoch
+    /// began serving (journal v3 `start`) — wall clock, excluded from
+    /// determinism and identity guarantees.
+    pub start_nanos: u64,
+    /// Trace id correlating this epoch across nodes (`None` for
+    /// untraced flat-engine runs; the cluster coordinator stamps one
+    /// per boundary and propagates it over the wire).
+    pub trace: Option<u64>,
+    /// Per-node child spans of this epoch's boundary work — empty for
+    /// flat engines, one entry per node for a cluster run.
+    pub node_spans: Vec<NodeSpan>,
     /// Allocation (units) in force *during* this epoch.
     pub allocation: Vec<usize>,
     /// Realized per-tenant counts under that allocation.
@@ -68,6 +79,9 @@ impl EpochRecord {
     pub fn journal_event(&self, objective: &str) -> EpochEvent {
         EpochEvent {
             epoch: self.epoch,
+            start_nanos: self.start_nanos,
+            trace: self.trace,
+            spans: self.node_spans.clone(),
             objective: objective.to_string(),
             allocation: self.allocation.clone(),
             accesses: self.per_tenant.iter().map(|c| c.accesses).collect(),
@@ -222,6 +236,9 @@ mod tests {
     fn record(epoch: usize, alloc: Vec<usize>, per_tenant: Vec<AccessCounts>) -> EpochRecord {
         EpochRecord {
             epoch,
+            start_nanos: 0,
+            trace: None,
+            node_spans: Vec::new(),
             allocation: alloc,
             per_tenant,
             predicted_cost: None,

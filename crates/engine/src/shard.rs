@@ -150,6 +150,14 @@ impl ShardedEngine {
         self.core.epoch
     }
 
+    /// Registers a live-telemetry hook fired with each booked epoch
+    /// record (see [`RepartitionEngine::set_epoch_hook`]). The sharded
+    /// engine closes epochs on the caller's thread, so the hook fires
+    /// there too.
+    pub fn set_epoch_hook(&mut self, hook: crate::EpochHook) {
+        self.core.emit = Some(hook);
+    }
+
     /// Buffers one access; a full epoch buffer triggers the parallel
     /// profile → merge → solve → broadcast step. Unlike
     /// [`RepartitionEngine::record_access`] this cannot return the
@@ -453,6 +461,13 @@ impl QueuedShardedEngine {
     /// Epochs completed so far.
     pub fn epochs_completed(&self) -> usize {
         self.core.epoch
+    }
+
+    /// Registers a live-telemetry hook fired with each booked epoch
+    /// record (see [`RepartitionEngine::set_epoch_hook`]); fires on the
+    /// caller's thread at the epoch barrier.
+    pub fn set_epoch_hook(&mut self, hook: crate::EpochHook) {
+        self.core.emit = Some(hook);
     }
 
     /// Aggregated producer-side backpressure counters so far.

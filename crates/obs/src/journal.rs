@@ -18,24 +18,32 @@
 //! one node to another at an epoch boundary. Single-engine journals
 //! simply never carry them; readers of either accept both.
 //!
-//! # Schema (version 2)
+//! # Schema (version 3)
 //!
-//! Every line carries `"v":2` ([`JOURNAL_VERSION`]). Fields are only
+//! Every line carries `"v":3` ([`JOURNAL_VERSION`]). Fields are only
 //! ever *added* within a version; removing or re-typing one bumps it.
 //! Version 2 added the required `objective` field to epoch lines (the
 //! spec of the objective the boundary solved under, cross-checked
-//! against the run header by [`Journal::validate`]); version-1
-//! journals are rejected with a clear message rather than read with a
-//! silently-assumed objective.
+//! against the run header by [`Journal::validate`]). Version 3 added
+//! the live-telemetry fields: the required `start` field (the epoch's
+//! monotonic start timestamp in nanoseconds since the run began, the
+//! anchor for Chrome trace export), the `trace` id stamped by a
+//! cluster coordinator (null for flat runs), and the per-node `spans`
+//! breakdown (child [`StageTimings`] per cluster node, null for flat
+//! runs). Version-1 and version-2 journals are rejected with a clear
+//! message naming both versions rather than read with silently-guessed
+//! timestamps.
 //!
 //! ```text
 //! run       {"v","kind":"run","engine","tenants","units","bpu",
 //!            "epoch_length","shards","policy","objective"}
-//! epoch     {"v","kind":"epoch","epoch","objective","alloc":[u..],
-//!            "accesses":[u..],
-//!            "misses":[u..],"predicted_cost":f|null,"repartitioned":b,
+//! epoch     {"v","kind":"epoch","epoch","start":u,"objective",
+//!            "alloc":[u..],"accesses":[u..],
+//!            "misses":[u..],"predicted_cost":f|null,"trace":u|null,
+//!            "repartitioned":b,
 //!            "units_moved":u,"timings":{"ingest","profile","merge",
-//!            "solve","actuate"},"backpressure":{"pushed","blocked",
+//!            "solve","actuate"},"spans":[{"node":u,"timings":{..}}..]|null,
+//!            "backpressure":{"pushed","blocked",
 //!            "wait_nanos"}|null}
 //! migration {"v","kind":"migration","epoch","tenant","from","to",
 //!            "gain":f|null}
@@ -52,7 +60,7 @@ use crate::json::{escape_json, parse, JsonValue};
 use crate::span::{Stage, StageTimings};
 
 /// Current journal schema version; see the module docs for the format.
-pub const JOURNAL_VERSION: u64 = 2;
+pub const JOURNAL_VERSION: u64 = 3;
 
 /// The run header: first line of every journal.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -87,11 +95,26 @@ pub struct BackpressureDelta {
     pub wait_nanos: u64,
 }
 
+/// One cluster node's share of an epoch's wall clock: the child span a
+/// coordinator collected from node `node` under the epoch's trace id.
+/// Flat (single-engine) journals never carry these.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeSpan {
+    /// The node the timings came from.
+    pub node: usize,
+    /// The node's stage timings for the epoch.
+    pub timings: StageTimings,
+}
+
 /// One epoch boundary: the journal's unit of record.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EpochEvent {
     /// Epoch index, from 0.
     pub epoch: usize,
+    /// Monotonic start of the epoch, in nanoseconds since the run
+    /// began. Non-decreasing across the journal; the anchor Chrome
+    /// trace export lays stage spans out from.
+    pub start_nanos: u64,
     /// Spec of the objective the boundary solved under (e.g.
     /// `miss-ratio`, `utility:0.5`); must equal the run header's.
     pub objective: String,
@@ -103,12 +126,17 @@ pub struct EpochEvent {
     pub misses: Vec<u64>,
     /// DP-predicted cost of the boundary's chosen allocation.
     pub predicted_cost: Option<f64>,
+    /// Trace id a cluster coordinator stamped on the epoch and
+    /// propagated to every node it drove (`None` for flat runs).
+    pub trace: Option<u64>,
     /// Whether the boundary repartitioned the cache.
     pub repartitioned: bool,
     /// Units the boundary's proposal would move.
     pub units_moved: usize,
     /// Per-stage wall clock of the epoch.
     pub timings: StageTimings,
+    /// Per-node child spans (cluster runs only; empty for flat runs).
+    pub spans: Vec<NodeSpan>,
     /// Backpressure delta (queued runs only).
     pub backpressure: Option<BackpressureDelta>,
 }
@@ -240,12 +268,36 @@ impl EpochEvent {
                 b.pushed, b.blocked, b.wait_nanos
             ),
         };
+        let trace = match self.trace {
+            Some(id) => id.to_string(),
+            None => "null".to_string(),
+        };
+        let spans = if self.spans.is_empty() {
+            "null".to_string()
+        } else {
+            let items: Vec<String> = self
+                .spans
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"node\":{},\"timings\":{}}}",
+                        s.node,
+                        timings_json(&s.timings)
+                    )
+                })
+                .collect();
+            format!("[{}]", items.join(","))
+        };
         format!(
-            "{{\"v\":{JOURNAL_VERSION},\"kind\":\"epoch\",\"epoch\":{},\"objective\":\"{}\",\
+            "{{\"v\":{JOURNAL_VERSION},\"kind\":\"epoch\",\"epoch\":{},\"start\":{},\
+             \"objective\":\"{}\",\
              \"alloc\":[{}],\
-             \"accesses\":{},\"misses\":{},\"predicted_cost\":{cost},\"repartitioned\":{},\
-             \"units_moved\":{},\"timings\":{},\"backpressure\":{backpressure}}}",
+             \"accesses\":{},\"misses\":{},\"predicted_cost\":{cost},\"trace\":{trace},\
+             \"repartitioned\":{},\
+             \"units_moved\":{},\"timings\":{},\"spans\":{spans},\
+             \"backpressure\":{backpressure}}}",
             self.epoch,
+            self.start_nanos,
             escape_json(&self.objective),
             alloc.join(","),
             u64_list(&self.accesses),
@@ -368,8 +420,35 @@ pub fn parse_journal_line(line: &str) -> Result<JournalLine, String> {
                     wait_nanos: u64_field(bp_value, "wait_nanos")?,
                 })
             };
+            let trace_value = field(&v, "trace")?;
+            let trace = if trace_value.is_null() {
+                None
+            } else {
+                Some(
+                    trace_value
+                        .as_u64()
+                        .ok_or("field `trace` is not an unsigned integer")?,
+                )
+            };
+            let spans_value = field(&v, "spans")?;
+            let spans = if spans_value.is_null() {
+                Vec::new()
+            } else {
+                spans_value
+                    .as_array()
+                    .ok_or("field `spans` is not an array")?
+                    .iter()
+                    .map(|item| {
+                        Ok(NodeSpan {
+                            node: usize_field(item, "node")?,
+                            timings: timings_field(item, "timings")?,
+                        })
+                    })
+                    .collect::<Result<Vec<NodeSpan>, String>>()?
+            };
             Ok(JournalLine::Epoch(EpochEvent {
                 epoch: usize_field(&v, "epoch")?,
+                start_nanos: u64_field(&v, "start")?,
                 objective: str_field(&v, "objective")?,
                 allocation: u64_list_field(&v, "alloc")?
                     .into_iter()
@@ -378,9 +457,11 @@ pub fn parse_journal_line(line: &str) -> Result<JournalLine, String> {
                 accesses: u64_list_field(&v, "accesses")?,
                 misses: u64_list_field(&v, "misses")?,
                 predicted_cost,
+                trace,
                 repartitioned: bool_field(&v, "repartitioned")?,
                 units_moved: usize_field(&v, "units_moved")?,
                 timings: timings_field(&v, "timings")?,
+                spans,
                 backpressure,
             }))
         }
@@ -499,12 +580,30 @@ impl Journal {
             epochs: self.epochs.len(),
             ..RunSummary::default()
         };
+        let mut last_start = 0u64;
         for e in &self.epochs {
             if e.objective != self.header.objective {
                 return Err(format!(
                     "epoch {}: objective `{}` does not match the run objective `{}`",
                     e.epoch, e.objective, self.header.objective
                 ));
+            }
+            if e.start_nanos < last_start {
+                return Err(format!(
+                    "epoch {}: start {} goes backwards (previous epoch started at {})",
+                    e.epoch, e.start_nanos, last_start
+                ));
+            }
+            last_start = e.start_nanos;
+            for span in &e.spans {
+                // Nodes are journaled as shards (the cluster header
+                // sets `shards` to its node count).
+                if span.node >= self.header.shards {
+                    return Err(format!(
+                        "epoch {}: span node {} out of range for {} nodes",
+                        e.epoch, span.node, self.header.shards
+                    ));
+                }
             }
             for (what, len) in [
                 ("alloc", e.allocation.len()),
@@ -637,14 +736,34 @@ mod tests {
         let epochs = vec![
             EpochEvent {
                 epoch: 0,
+                start_nanos: 0,
                 objective: "miss-ratio".into(),
                 allocation: vec![32, 32],
                 accesses: vec![600, 400],
                 misses: vec![60, 4],
                 predicted_cost: Some(0.125),
+                trace: Some(7_700_001),
                 repartitioned: true,
                 units_moved: 8,
                 timings,
+                spans: vec![
+                    NodeSpan {
+                        node: 0,
+                        timings: StageTimings {
+                            profile_nanos: 7,
+                            actuate_nanos: 2,
+                            ..StageTimings::default()
+                        },
+                    },
+                    NodeSpan {
+                        node: 1,
+                        timings: StageTimings {
+                            profile_nanos: 9,
+                            actuate_nanos: 1,
+                            ..StageTimings::default()
+                        },
+                    },
+                ],
                 backpressure: Some(BackpressureDelta {
                     pushed: 1_002,
                     blocked: 3,
@@ -653,14 +772,17 @@ mod tests {
             },
             EpochEvent {
                 epoch: 1,
+                start_nanos: 150,
                 objective: "miss-ratio".into(),
                 allocation: vec![40, 24],
                 accesses: vec![500, 500],
                 misses: vec![5, 50],
                 predicted_cost: None,
+                trace: None,
                 repartitioned: false,
                 units_moved: 0,
                 timings,
+                spans: vec![],
                 backpressure: None,
             },
         ];
@@ -792,18 +914,50 @@ mod tests {
 
     #[test]
     fn version_drift_is_rejected() {
-        // A version-1 journal (pre-objective epochs) must be refused
-        // with a message naming both versions, so `cps inspect` can
-        // exit nonzero instead of misreading it.
-        let line = sample_journal()
-            .header
-            .to_json_line()
-            .replace("\"v\":2", "\"v\":1");
-        let err = parse_journal_line(&line).unwrap_err();
-        assert!(
-            err.contains("journal version 1, this reader speaks 2"),
-            "{err}"
-        );
+        // A version-2 journal (pre-timestamp epochs) must be refused
+        // with a message naming both versions, so `cps inspect` and
+        // `--chrome-trace` can exit nonzero instead of inventing epoch
+        // start times. Version 1 likewise.
+        for old in [1u64, 2] {
+            let line = sample_journal()
+                .header
+                .to_json_line()
+                .replace("\"v\":3", &format!("\"v\":{old}"));
+            let err = parse_journal_line(&line).unwrap_err();
+            assert!(
+                err.contains(&format!("journal version {old}, this reader speaks 3")),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_starts_must_not_go_backwards() {
+        let mut journal = sample_journal();
+        journal.epochs[1].start_nanos = 0;
+        journal.epochs[0].start_nanos = 10;
+        let err = Journal::parse(&render(&journal)).unwrap_err();
+        assert!(err.contains("start 0 goes backwards"), "{err}");
+    }
+
+    #[test]
+    fn span_nodes_must_be_in_range() {
+        let mut journal = sample_journal();
+        journal.epochs[0].spans[1].node = 5;
+        let err = Journal::parse(&render(&journal)).unwrap_err();
+        assert!(err.contains("span node 5 out of range"), "{err}");
+    }
+
+    #[test]
+    fn flat_epochs_serialize_trace_and_spans_as_null() {
+        let journal = sample_journal();
+        let line = journal.epochs[1].to_json_line();
+        assert!(line.contains("\"trace\":null"), "{line}");
+        assert!(line.contains("\"spans\":null"), "{line}");
+        // …and the cluster-stamped epoch carries both populated.
+        let line0 = journal.epochs[0].to_json_line();
+        assert!(line0.contains("\"trace\":7700001"), "{line0}");
+        assert!(line0.contains("\"spans\":[{\"node\":0,"), "{line0}");
     }
 
     #[test]

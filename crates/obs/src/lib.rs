@@ -24,22 +24,27 @@
 //!   a run header and a totals summary, with a documented stable
 //!   schema ([`JOURNAL_VERSION`]) that `cps inspect` round-trips.
 //!
-//! [`json`] is the tiny JSON value/parser the journal rides on; it is
-//! public so downstream tools can parse journal extensions without a
-//! serde dependency.
+//! [`chrome`] renders a parsed journal's stage spans (and a cluster
+//! journal's per-node child spans) as Chrome trace-event JSON for
+//! Perfetto, anchored on the version-3 schema's monotonic epoch start
+//! timestamps. [`json`] is the tiny JSON value/parser the journal
+//! rides on; it is public so downstream tools can parse journal
+//! extensions without a serde dependency.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chrome;
 pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod span;
 pub mod tournament;
 
+pub use chrome::chrome_trace_json;
 pub use journal::{
     parse_journal_line, BackpressureDelta, EpochEvent, Journal, JournalLine, MigrationEvent,
-    RunHeader, RunSummary, JOURNAL_VERSION,
+    NodeSpan, RunHeader, RunSummary, JOURNAL_VERSION,
 };
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, ShardedCounter};
 pub use span::{Stage, StageTimings, Stopwatch};

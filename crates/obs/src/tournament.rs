@@ -369,7 +369,7 @@ mod tests {
 
     #[test]
     fn version_drift_is_rejected() {
-        let line = sample().header.to_json_line().replace("\"v\":2", "\"v\":1");
+        let line = sample().header.to_json_line().replace("\"v\":3", "\"v\":1");
         let err = parse_tournament_line(&line).unwrap_err();
         assert!(err.contains("journal version 1"), "{err}");
     }

@@ -184,33 +184,49 @@ impl Client {
     /// with [`apply`](Self::apply) to book the boundary. `objective` is
     /// the coordinator's objective spec; the node refuses the request
     /// unless it matches the objective its engine was built with.
-    pub fn cost_curves(&mut self, objective: &str) -> Result<Vec<WireCurve>, ServeError> {
+    /// `trace` (0 = untraced) correlates the boundary across nodes; the
+    /// second return value is the node's profile wall clock in
+    /// nanoseconds — its child span of the coordinator's epoch.
+    pub fn cost_curves(
+        &mut self,
+        objective: &str,
+        trace: u64,
+    ) -> Result<(Vec<WireCurve>, u64), ServeError> {
         match self.request(&Message::CostCurves {
             objective: objective.to_string(),
+            trace,
         })? {
-            Message::CostCurvesReply { curves } => Ok(curves),
+            Message::CostCurvesReply {
+                curves,
+                profile_nanos,
+            } => Ok((curves, profile_nanos)),
             _ => Err(ServeError::UnexpectedReply("expected COST_CURVES_REPLY")),
         }
     }
 
     /// Pushes a coordinator-chosen allocation down to the node,
     /// completing the boundary opened by
-    /// [`cost_curves`](Self::cost_curves). Returns `(repartitioned,
-    /// units_moved)` — what the node's actuator did with it.
+    /// [`cost_curves`](Self::cost_curves). `trace` (0 = untraced) is
+    /// stamped onto the node's booked epoch. Returns `(repartitioned,
+    /// units_moved, actuate_nanos)` — what the node's actuator did with
+    /// the allocation and how long it took.
     pub fn apply(
         &mut self,
         units: &[u64],
         predicted_cost: Option<f64>,
-    ) -> Result<(bool, u64), ServeError> {
+        trace: u64,
+    ) -> Result<(bool, u64, u64), ServeError> {
         let msg = Message::Apply {
             units: units.to_vec(),
             predicted_bits: predicted_cost.map(f64::to_bits),
+            trace,
         };
         match self.request(&msg)? {
             Message::ApplyReply {
                 repartitioned,
                 units_moved,
-            } => Ok((repartitioned, units_moved)),
+                actuate_nanos,
+            } => Ok((repartitioned, units_moved, actuate_nanos)),
             _ => Err(ServeError::UnexpectedReply("expected APPLY_REPLY")),
         }
     }
@@ -221,6 +237,80 @@ impl Client {
         match self.request(&Message::Shutdown)? {
             Message::ShutdownReply { journal } => Ok(journal),
             _ => Err(ServeError::UnexpectedReply("expected SHUTDOWN_REPLY")),
+        }
+    }
+}
+
+/// One frame delivered to an [`Observer`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObserverEvent {
+    /// A live epoch record, rendered as its journal v3 JSONL line
+    /// (parse with [`cps_obs::parse_journal_line`]).
+    Epoch(String),
+    /// A metrics frame: the registry samples that changed since the
+    /// observer's previous frame, as metrics JSONL (cumulative values).
+    /// The first frame after subscribing is the full snapshot.
+    Metrics(String),
+}
+
+/// A read-only observer session: the live-telemetry consumer half of
+/// the SUBSCRIBE verb. Observers never ingest and never poll — the
+/// server pushes each epoch record (and, optionally, periodic metrics
+/// deltas) as it is produced.
+pub struct Observer {
+    stream: TcpStream,
+    header: String,
+}
+
+impl Observer {
+    /// Connects to `addr` and subscribes. `metrics_interval_ms` is the
+    /// requested period between metrics-delta frames (`0` = epoch
+    /// events only). The returned observer has already received the
+    /// run's journal header line (see [`header`](Self::header)).
+    pub fn subscribe(addr: &str, metrics_interval_ms: u64) -> Result<Observer, ServeError> {
+        let mut stream = TcpStream::connect(addr)
+            .map_err(|e| ServeError::Wire(WireError::Io(e.kind(), e.to_string())))?;
+        let _ = stream.set_nodelay(true);
+        write_message(
+            &mut stream,
+            &Message::Subscribe {
+                metrics_interval_ms,
+            },
+        )?;
+        match read_message(&mut stream)? {
+            Message::SubscribeAck { header } => Ok(Observer { stream, header }),
+            Message::Error { code, message } => Err(ServeError::Server { code, message }),
+            _ => Err(ServeError::UnexpectedReply("expected SUBSCRIBE_ACK")),
+        }
+    }
+
+    /// The run's journal header line, as SUBSCRIBE_ACK disclosed it.
+    pub fn header(&self) -> &str {
+        &self.header
+    }
+
+    /// Blocks for the next pushed frame. `Ok(None)` is a clean close —
+    /// the server finished its run and tore the stream down. With a
+    /// `timeout`, an idle wait surfaces as a [`ServeError::Wire`] whose
+    /// inner error satisfies
+    /// [`is_timeout`](crate::wire::WireError::is_timeout) — keep
+    /// waiting; it is a deadline, not a failure.
+    pub fn next_event(
+        &mut self,
+        timeout: Option<std::time::Duration>,
+    ) -> Result<Option<ObserverEvent>, ServeError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| ServeError::Wire(WireError::Io(e.kind(), e.to_string())))?;
+        match read_message(&mut self.stream) {
+            Ok(Message::EpochEventFrame { line }) => Ok(Some(ObserverEvent::Epoch(line))),
+            Ok(Message::MetricsDelta { text }) => Ok(Some(ObserverEvent::Metrics(text))),
+            Ok(Message::Error { code, message }) => Err(ServeError::Server { code, message }),
+            Ok(_) => Err(ServeError::UnexpectedReply(
+                "expected EPOCH_EVENT or METRICS_DELTA",
+            )),
+            Err(WireError::Closed) => Ok(None),
+            Err(e) => Err(ServeError::Wire(e)),
         }
     }
 }

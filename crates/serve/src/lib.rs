@@ -41,7 +41,7 @@ pub mod report;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ServeError};
+pub use client::{Client, Observer, ObserverEvent, ServeError};
 pub use report::{identity_of_journal, identity_of_report, render_journal};
 pub use server::{ServeConfig, ServeOutcome, Server};
 pub use wire::{Message, ServeStats, WireConfig, WireCurve, WireError, PROTOCOL_VERSION};

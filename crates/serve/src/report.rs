@@ -48,6 +48,9 @@ fn canonical_lines(
     for mut event in events {
         event.timings = StageTimings::default();
         event.backpressure = None;
+        event.start_nanos = 0;
+        event.trace = None;
+        event.spans = Vec::new();
         text.push_str(&event.to_json_line());
         text.push('\n');
     }

@@ -52,8 +52,8 @@ use crate::wire::{
     MAX_PAYLOAD,
 };
 use cps_engine::{EngineBox, EngineKind, EngineReport, HandleError, Policy};
-use cps_obs::{Counter, Gauge, MetricsRegistry, RunHeader};
-use std::collections::{HashMap, VecDeque};
+use cps_obs::{Counter, Gauge, Histogram, MetricsRegistry, RunHeader};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -80,6 +80,10 @@ pub struct ServeConfig {
     /// How long a dropped sequenced session's state survives awaiting
     /// RESUME before it is discarded.
     pub resume_grace: Duration,
+    /// Where the HTTP `/metrics` scrape endpoint listens (e.g.
+    /// `127.0.0.1:0` for an ephemeral port), or `None` for no HTTP
+    /// telemetry listener.
+    pub telemetry_addr: Option<String>,
 }
 
 impl ServeConfig {
@@ -171,6 +175,8 @@ struct ServeMetrics {
     dropped_records: Counter,
     wakeups: Counter,
     backpressure_nanos: Counter,
+    frame_nanos: Histogram,
+    batch_drain_nanos: Histogram,
 }
 
 impl ServeMetrics {
@@ -222,6 +228,14 @@ impl ServeMetrics {
                 "cps_serve_backpressure_nanos_total",
                 "Nanoseconds ingest spent blocked on full shard queues",
             ),
+            frame_nanos: registry.histogram(
+                "cps_serve_frame_nanos",
+                "Per-frame decode-and-handle latency on the event loop",
+            ),
+            batch_drain_nanos: registry.histogram(
+                "cps_serve_batch_drain_nanos",
+                "Per-chunk engine-feed latency on the ingest pump",
+            ),
         }
     }
 }
@@ -232,10 +246,13 @@ enum CtrlOp {
     Allocation,
     Epoch,
     Snapshot,
-    CostCurves,
+    CostCurves {
+        trace: u64,
+    },
     Apply {
         target: Vec<usize>,
         predicted: Option<f64>,
+        trace: u64,
     },
     Shutdown,
 }
@@ -317,6 +334,11 @@ struct Shared {
     pump: Mutex<PumpState>,
     work: Condvar,
     completions: Mutex<VecDeque<Completion>>,
+    /// Live epoch records rendered as journal JSONL lines, queued by
+    /// the pump's epoch hook for the event loop to fan out to
+    /// SUBSCRIBE observers. Drained (and dropped) even with no
+    /// observer attached.
+    events: Mutex<VecDeque<String>>,
     outcome: Mutex<Option<ServeOutcome>>,
     stopping: AtomicBool,
     /// Sessions admitted over the lifetime (HELLO accepted).
@@ -330,6 +352,7 @@ struct Shared {
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
+    telemetry: Option<TcpListener>,
     shared: Arc<Shared>,
     engine: EngineBox,
     idle_timeout: Duration,
@@ -347,6 +370,10 @@ impl Server {
         registry: Arc<MetricsRegistry>,
     ) -> Result<Server, String> {
         let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let telemetry = match &config.telemetry_addr {
+            Some(t) => Some(TcpListener::bind(t).map_err(|e| format!("telemetry bind {t}: {e}"))?),
+            None => None,
+        };
         let engine = EngineBox::with_metrics(
             config.kind,
             config.engine.clone(),
@@ -367,6 +394,7 @@ impl Server {
             }),
             work: Condvar::new(),
             completions: Mutex::new(VecDeque::new()),
+            events: Mutex::new(VecDeque::new()),
             outcome: Mutex::new(None),
             stopping: AtomicBool::new(false),
             admitted: AtomicU64::new(0),
@@ -376,6 +404,7 @@ impl Server {
         });
         Ok(Server {
             listener,
+            telemetry,
             shared,
             engine,
             idle_timeout: config.idle_timeout,
@@ -391,12 +420,19 @@ impl Server {
             .map_err(|e| format!("local_addr: {e}"))
     }
 
+    /// The address the HTTP `/metrics` listener bound, if one was
+    /// configured (resolves `--telemetry-port auto`).
+    pub fn telemetry_addr(&self) -> Option<SocketAddr> {
+        self.telemetry.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
     /// Serves until a client issues SHUTDOWN, then returns the
     /// finished run. The pump thread is joined before returning, so
     /// the outcome is complete and final.
     pub fn run(self) -> Result<ServeOutcome, String> {
         let Server {
             listener,
+            telemetry,
             shared,
             engine,
             idle_timeout,
@@ -406,6 +442,10 @@ impl Server {
         listener
             .set_nonblocking(true)
             .map_err(|e| format!("listener nonblocking: {e}"))?;
+        if let Some(tl) = &telemetry {
+            tl.set_nonblocking(true)
+                .map_err(|e| format!("telemetry nonblocking: {e}"))?;
+        }
 
         // The pump→event-loop wake channel: a loopback datagram socket
         // the poller can watch. Losing a datagram is harmless — the
@@ -435,15 +475,22 @@ impl Server {
         poller
             .register(&wake_rx, TOKEN_WAKE, Interest::READ)
             .map_err(|e| format!("register wake: {e}"))?;
+        if let Some(tl) = &telemetry {
+            poller
+                .register(tl, TOKEN_TELEMETRY, Interest::READ)
+                .map_err(|e| format!("register telemetry: {e}"))?;
+        }
 
         let mut el = EventLoop {
             shared: Arc::clone(&shared),
             poller,
             listener,
+            telemetry,
             wake_rx,
             conns: HashMap::new(),
             sessions: HashMap::new(),
             tokens: HashMap::new(),
+            observers: HashMap::new(),
             next_conn_token: TOKEN_FIRST_CONN,
             next_session_id: 1,
             nonce: token_nonce(),
@@ -476,7 +523,8 @@ impl Server {
 
 const TOKEN_LISTENER: u64 = 0;
 const TOKEN_WAKE: u64 = 1;
-const TOKEN_FIRST_CONN: u64 = 2;
+const TOKEN_TELEMETRY: u64 = 2;
+const TOKEN_FIRST_CONN: u64 = 3;
 
 /// The event loop's poll tick: bounds wake-datagram loss, idle sweep
 /// latency, and shutdown-flush latency.
@@ -485,9 +533,23 @@ const TICK: Duration = Duration::from_millis(25);
 /// How many contiguous records the pump feeds per lock acquisition.
 const PUMP_CHUNK: usize = 4096;
 
+/// What dialect a connection speaks.
+#[derive(Clone, Copy, PartialEq)]
+enum ConnKind {
+    /// The wire protocol: HELLO/RESUME then batches and control verbs.
+    Wire,
+    /// A read-only SUBSCRIBE observer: the server pushes, the peer
+    /// only reads. Exempt from the idle sweep (quiet by design).
+    Observer,
+    /// An HTTP scrape on the telemetry listener: one request, one
+    /// response, close.
+    Http,
+}
+
 /// One live TCP connection.
 struct Conn {
     stream: TcpStream,
+    kind: ConnKind,
     rbuf: Vec<u8>,
     rstart: usize,
     wbuf: Vec<u8>,
@@ -531,15 +593,29 @@ struct SessionState {
     inflight: u32,
 }
 
+/// Per-observer fan-out state.
+struct ObserverState {
+    /// Requested metrics-delta period; `None` = epoch events only.
+    interval: Option<Duration>,
+    /// When the next metrics delta is due.
+    next_at: Instant,
+    /// The metrics JSONL lines sent last time — a delta frame carries
+    /// only lines that changed since.
+    prev: HashSet<String>,
+}
+
 struct EventLoop {
     shared: Arc<Shared>,
     poller: Poller,
     listener: TcpListener,
+    telemetry: Option<TcpListener>,
     wake_rx: UdpSocket,
     conns: HashMap<u64, Conn>,
     sessions: HashMap<u64, SessionState>,
     /// Resume token → session id.
     tokens: HashMap<u64, u64>,
+    /// Conn token → SUBSCRIBE observer state.
+    observers: HashMap<u64, ObserverState>,
     next_conn_token: u64,
     next_session_id: u64,
     nonce: u64,
@@ -562,6 +638,7 @@ impl EventLoop {
                 match ev.token {
                     TOKEN_LISTENER => self.accept_ready(),
                     TOKEN_WAKE => self.drain_wakes(),
+                    TOKEN_TELEMETRY => self.accept_telemetry(),
                     token => {
                         if ev.writable {
                             self.conn_writable(token);
@@ -574,6 +651,8 @@ impl EventLoop {
             }
             self.flush_pending();
             self.drain_completions();
+            self.fan_out_events();
+            self.metrics_ticks(Instant::now());
             self.sweep(Instant::now());
             if let Some(deadline) = self.flush_deadline {
                 let flushed = self.conns.values().all(|c| c.wbuf.len() == c.wstart);
@@ -611,6 +690,7 @@ impl EventLoop {
                         token,
                         Conn {
                             stream,
+                            kind: ConnKind::Wire,
                             rbuf: Vec::new(),
                             rstart: 0,
                             wbuf: Vec::new(),
@@ -631,6 +711,51 @@ impl EventLoop {
         }
     }
 
+    /// Accepts HTTP scrape connections on the telemetry listener.
+    fn accept_telemetry(&mut self) {
+        loop {
+            let listener = match &self.telemetry {
+                Some(l) => l,
+                None => return,
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_conn_token;
+                    self.next_conn_token += 1;
+                    if self
+                        .poller
+                        .register(&stream, token, Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            kind: ConnKind::Http,
+                            rbuf: Vec::new(),
+                            rstart: 0,
+                            wbuf: Vec::new(),
+                            wstart: 0,
+                            session: None,
+                            paused: false,
+                            close_after_flush: false,
+                            last_activity: Instant::now(),
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
     fn drain_wakes(&mut self) {
         let mut buf = [0u8; 8];
         let mut n = 0u64;
@@ -643,6 +768,15 @@ impl EventLoop {
     }
 
     fn conn_readable(&mut self, token: u64) {
+        if self
+            .conns
+            .get(&token)
+            .map(|c| c.kind == ConnKind::Http)
+            .unwrap_or(false)
+        {
+            self.http_readable(token);
+            return;
+        }
         let mut chunk = [0u8; 64 * 1024];
         // A backpressure pause stops parsing mid-buffer; pick up any
         // complete frames left behind before touching the socket.
@@ -727,7 +861,13 @@ impl EventLoop {
                 conn.rstart = 0;
             }
             self.shared.metrics.frames.inc();
-            if !self.handle_message(token, msg) {
+            let started = Instant::now();
+            let alive = self.handle_message(token, msg);
+            self.shared
+                .metrics
+                .frame_nanos
+                .observe(started.elapsed().as_nanos() as u64);
+            if !alive {
                 return false;
             }
             if self
@@ -744,16 +884,32 @@ impl EventLoop {
     /// Dispatches one decoded frame. Returns false if the connection
     /// was closed.
     fn handle_message(&mut self, token: u64, msg: Message) -> bool {
+        if self
+            .conns
+            .get(&token)
+            .map(|c| c.kind == ConnKind::Observer)
+            .unwrap_or(false)
+        {
+            self.refuse_close(
+                token,
+                error_code::PROTOCOL,
+                "observer sessions are read-only",
+            );
+            return false;
+        }
         match msg {
             Message::Hello { binding } => self.on_hello(token, binding),
             Message::Resume { token: resume } => self.on_resume(token, resume),
+            Message::Subscribe {
+                metrics_interval_ms,
+            } => self.on_subscribe(token, metrics_interval_ms),
             Message::Batch { records } => self.on_batch(token, records),
             Message::BatchSeq { records } => self.on_batch_seq(token, records),
             Message::Stats => self.queue_ctrl(token, CtrlOp::Stats),
             Message::Allocation => self.queue_ctrl(token, CtrlOp::Allocation),
             Message::Epoch => self.queue_ctrl(token, CtrlOp::Epoch),
             Message::Snapshot => self.queue_ctrl(token, CtrlOp::Snapshot),
-            Message::CostCurves { objective } => {
+            Message::CostCurves { objective, trace } => {
                 if objective != self.shared.wire_config.objective {
                     let message = format!(
                         "objective mismatch: this node optimizes `{}`, request asked for `{objective}`",
@@ -762,11 +918,12 @@ impl EventLoop {
                     self.refuse_close(token, error_code::OBJECTIVE, &message);
                     return false;
                 }
-                self.queue_ctrl(token, CtrlOp::CostCurves)
+                self.queue_ctrl(token, CtrlOp::CostCurves { trace })
             }
             Message::Apply {
                 units,
                 predicted_bits,
+                trace,
             } => {
                 let target: Vec<usize> = units.iter().map(|&u| u as usize).collect();
                 self.queue_ctrl(
@@ -774,6 +931,7 @@ impl EventLoop {
                     CtrlOp::Apply {
                         target,
                         predicted: predicted_bits.map(f64::from_bits),
+                        trace,
                     },
                 )
             }
@@ -789,11 +947,192 @@ impl EventLoop {
             | Message::CostCurvesReply { .. }
             | Message::ApplyReply { .. }
             | Message::ResumeAck { .. }
+            | Message::SubscribeAck { .. }
+            | Message::EpochEventFrame { .. }
+            | Message::MetricsDelta { .. }
             | Message::Error { .. } => {
                 self.refuse_close(token, error_code::PROTOCOL, "unexpected message kind");
                 false
             }
         }
+    }
+
+    /// Admits a read-only observer: SUBSCRIBE_ACK carries the run's
+    /// journal header line, then the server pushes each epoch record
+    /// (and, if requested, periodic metrics deltas) until shutdown.
+    fn on_subscribe(&mut self, token: u64, metrics_interval_ms: u64) -> bool {
+        if self.conn_session(token).is_some() {
+            self.refuse_close(token, error_code::PROTOCOL, "session already open");
+            return false;
+        }
+        if self.shared.stopping.load(Ordering::SeqCst) || self.flush_deadline.is_some() {
+            self.shared.metrics.rejects.inc();
+            self.refuse_close(token, error_code::SHUTTING_DOWN, "server is shutting down");
+            return false;
+        }
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.kind = ConnKind::Observer;
+        }
+        let header = self.shared.header.to_json_line();
+        if !self.queue_msg(token, &Message::SubscribeAck { header }) {
+            return false;
+        }
+        let interval = if metrics_interval_ms > 0 {
+            Some(Duration::from_millis(metrics_interval_ms))
+        } else {
+            None
+        };
+        let mut state = ObserverState {
+            interval,
+            next_at: Instant::now() + interval.unwrap_or_default(),
+            prev: HashSet::new(),
+        };
+        if interval.is_some() {
+            // The first frame is the full snapshot, immediately — a
+            // one-shot consumer (`cps top --once`) need not wait a
+            // whole interval.
+            let snap = self.shared.registry.snapshot().render_jsonl();
+            let text = metrics_delta(&snap, &mut state.prev);
+            if !self.queue_msg(token, &Message::MetricsDelta { text }) {
+                return false;
+            }
+        }
+        self.observers.insert(token, state);
+        true
+    }
+
+    /// Fans queued epoch-event lines out to every observer. Lines are
+    /// drained (and dropped) even with no observer attached, so the
+    /// queue never grows unbounded.
+    fn fan_out_events(&mut self) {
+        loop {
+            let line = {
+                let mut q = self.shared.events.lock().expect("events lock");
+                match q.pop_front() {
+                    Some(l) => l,
+                    None => return,
+                }
+            };
+            let targets: Vec<u64> = self.observers.keys().copied().collect();
+            for token in targets {
+                self.queue_msg(token, &Message::EpochEventFrame { line: line.clone() });
+            }
+        }
+    }
+
+    /// Sends due metrics-delta frames: only samples whose rendered
+    /// line changed since the observer's previous frame.
+    fn metrics_ticks(&mut self, now: Instant) {
+        let due: Vec<u64> = self
+            .observers
+            .iter()
+            .filter(|(_, s)| s.interval.is_some() && now >= s.next_at)
+            .map(|(&t, _)| t)
+            .collect();
+        if due.is_empty() {
+            return;
+        }
+        let snap = self.shared.registry.snapshot().render_jsonl();
+        for token in due {
+            let interval = match self.observers.get_mut(&token) {
+                Some(state) => {
+                    let interval = state.interval.expect("due observer has an interval");
+                    state.next_at = now + interval;
+                    metrics_delta(&snap, &mut state.prev)
+                }
+                None => continue,
+            };
+            if !interval.is_empty() {
+                self.queue_msg(token, &Message::MetricsDelta { text: interval });
+            }
+        }
+    }
+
+    /// Reads an HTTP scrape request; once the header block is
+    /// complete, queues the response and closes after flush.
+    fn http_readable(&mut self, token: u64) {
+        let mut chunk = [0u8; 4096];
+        loop {
+            let conn = match self.conns.get_mut(&token) {
+                Some(c) => c,
+                None => return,
+            };
+            if conn.close_after_flush {
+                return;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.close_conn(token, false);
+                    return;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = Instant::now();
+                    if conn.rbuf.windows(4).any(|w| w == b"\r\n\r\n") {
+                        self.http_respond(token);
+                        return;
+                    }
+                    if conn.rbuf.len() > 16 * 1024 {
+                        self.http_finish(
+                            token,
+                            http_response(
+                                400,
+                                "Bad Request",
+                                "text/plain",
+                                "header block too large\n",
+                            ),
+                        );
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close_conn(token, false);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn http_respond(&mut self, token: u64) {
+        let request_line = self
+            .conns
+            .get(&token)
+            .and_then(|c| {
+                let text = String::from_utf8_lossy(&c.rbuf);
+                text.lines().next().map(str::to_string)
+            })
+            .unwrap_or_default();
+        let mut parts = request_line.split_whitespace();
+        let response = match (parts.next(), parts.next()) {
+            (Some("GET"), Some(path)) if path == "/metrics" || path.starts_with("/metrics?") => {
+                let body = self.shared.registry.snapshot().render_prometheus();
+                http_response(200, "OK", "text/plain; version=0.0.4", &body)
+            }
+            (Some("GET"), Some(_)) => http_response(
+                404,
+                "Not Found",
+                "text/plain",
+                "this endpoint serves GET /metrics only\n",
+            ),
+            (Some(_), Some(_)) => http_response(
+                405,
+                "Method Not Allowed",
+                "text/plain",
+                "this endpoint serves GET /metrics only\n",
+            ),
+            _ => http_response(400, "Bad Request", "text/plain", "malformed request line\n"),
+        };
+        self.http_finish(token, response);
+    }
+
+    fn http_finish(&mut self, token: u64, response: Vec<u8>) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.wbuf.extend_from_slice(&response);
+            conn.close_after_flush = true;
+        }
+        self.flush_conn(token);
     }
 
     fn on_hello(&mut self, token: u64, binding: Option<u64>) -> bool {
@@ -1182,7 +1521,14 @@ impl EventLoop {
         let keep = self.sessions.get(&requester).and_then(|s| s.conn);
         let tokens: Vec<u64> = self.conns.keys().copied().collect();
         for token in tokens {
-            if Some(token) == keep {
+            // Observers drain too: their buffered epoch frames (the
+            // run's tail) flush before the socket closes cleanly.
+            let observer = self
+                .conns
+                .get(&token)
+                .map(|c| c.kind == ConnKind::Observer)
+                .unwrap_or(false);
+            if Some(token) == keep || observer {
                 if let Some(conn) = self.conns.get_mut(&token) {
                     conn.close_after_flush = true;
                     self.update_interest(token);
@@ -1200,8 +1546,21 @@ impl EventLoop {
         let idle = self.idle_timeout;
         let mut stalled: Vec<u64> = Vec::new();
         let mut idled: Vec<u64> = Vec::new();
+        let mut http_idled: Vec<u64> = Vec::new();
         for (&token, conn) in &self.conns {
             if conn.close_after_flush || conn.paused {
+                continue;
+            }
+            // Observers are quiet by design — the server is the only
+            // side that talks. HTTP conns that never finish a request
+            // are torn down without a wire error frame.
+            if conn.kind == ConnKind::Observer {
+                continue;
+            }
+            if conn.kind == ConnKind::Http {
+                if now.duration_since(conn.last_activity) >= idle {
+                    http_idled.push(token);
+                }
                 continue;
             }
             // A connection waiting on a queued control reply is the
@@ -1222,6 +1581,9 @@ impl EventLoop {
             } else {
                 idled.push(token);
             }
+        }
+        for token in http_idled {
+            self.close_conn(token, false);
         }
         for token in stalled {
             self.shared.metrics.stall_closes.inc();
@@ -1290,6 +1652,7 @@ impl EventLoop {
             Some(c) => c,
             None => return,
         };
+        self.observers.remove(&token);
         let _ = self.poller.deregister(&conn.stream, token);
         let _ = conn.stream.shutdown(std::net::Shutdown::Both);
         if let Some(id) = conn.session {
@@ -1461,7 +1824,27 @@ fn complete_frame_len(buf: &[u8]) -> Result<Option<usize>, WireError> {
 /// The ingest pump: the engine's single owner. Feeds the contiguous
 /// prefix of the reorder ring in canonical order and executes control
 /// verbs at their watermarks, in FIFO order.
-fn pump_thread(shared: Arc<Shared>, engine: EngineBox, wake: UdpSocket) {
+fn pump_thread(shared: Arc<Shared>, mut engine: EngineBox, wake: UdpSocket) {
+    // The live-telemetry tap: each booked epoch renders to its journal
+    // JSONL line and queues for the event loop to fan out to
+    // observers. The hook fires on this thread (the epoch closes
+    // during ingest or a control verb), outside the pump lock.
+    {
+        let hook_shared = Arc::clone(&shared);
+        let hook_wake = wake.try_clone().ok();
+        let objective = shared.header.objective.clone();
+        engine.set_epoch_hook(Box::new(move |record| {
+            let line = record.journal_event(&objective).to_json_line();
+            hook_shared
+                .events
+                .lock()
+                .expect("events lock")
+                .push_back(line);
+            if let Some(w) = &hook_wake {
+                let _ = w.send(&[1]);
+            }
+        }));
+    }
     let mut engine = Some(engine);
     let mut batch: Vec<(usize, u64)> = Vec::with_capacity(PUMP_CHUNK);
     let mut last_wait_nanos = 0u64;
@@ -1510,9 +1893,14 @@ fn pump_thread(shared: Arc<Shared>, engine: EngineBox, wake: UdpSocket) {
         }
         if !batch.is_empty() {
             if let Some(eng) = engine.as_mut() {
+                let started = Instant::now();
                 for &(tenant, block) in &batch {
                     eng.record_access(tenant, block);
                 }
+                shared
+                    .metrics
+                    .batch_drain_nanos
+                    .observe(started.elapsed().as_nanos() as u64);
                 shared.metrics.records.add(batch.len() as u64);
                 let wait = eng.ingest_wait_nanos();
                 shared
@@ -1602,9 +1990,12 @@ fn run_ctrl(
         CtrlOp::Snapshot => Ok(Message::SnapshotReply {
             text: shared.registry.snapshot().render_jsonl(),
         }),
-        CtrlOp::CostCurves => {
+        CtrlOp::CostCurves { trace } => {
+            let _ = trace; // Stamped on the epoch by the paired APPLY.
             let eng = engine.as_mut().ok_or_else(finished)?;
+            let started = Instant::now();
             let exported = eng.export_cost_curves().map_err(handle_refusal)?;
+            let profile_nanos = started.elapsed().as_nanos() as u64;
             let curves = exported
                 .iter()
                 .map(|c| WireCurve {
@@ -1615,16 +2006,26 @@ fn run_ctrl(
                     }),
                 })
                 .collect();
-            Ok(Message::CostCurvesReply { curves })
+            Ok(Message::CostCurvesReply {
+                curves,
+                profile_nanos,
+            })
         }
-        CtrlOp::Apply { target, predicted } => {
+        CtrlOp::Apply {
+            target,
+            predicted,
+            trace,
+        } => {
             let eng = engine.as_mut().ok_or_else(finished)?;
+            let started = Instant::now();
             let actuation = eng
-                .apply_allocation(&target, predicted)
+                .apply_allocation(&target, predicted, (trace != 0).then_some(trace))
                 .map_err(handle_refusal)?;
+            let actuate_nanos = started.elapsed().as_nanos() as u64;
             Ok(Message::ApplyReply {
                 repartitioned: actuation.repartitioned,
                 units_moved: actuation.units_moved as u64,
+                actuate_nanos,
             })
         }
         CtrlOp::Shutdown => {
@@ -1658,6 +2059,34 @@ fn handle_refusal(e: HandleError) -> (u64, String) {
         HandleError::BadAllocation { .. } | HandleError::NoOpenEpoch => error_code::PROTOCOL,
     };
     (code, e.to_string())
+}
+
+/// The lines of `snapshot_jsonl` that changed since the previous
+/// delta, updating `prev` to the current line set. The first call
+/// (empty `prev`) returns the full snapshot.
+fn metrics_delta(snapshot_jsonl: &str, prev: &mut HashSet<String>) -> String {
+    let mut out = String::new();
+    let mut next: HashSet<String> = HashSet::new();
+    for line in snapshot_jsonl.lines() {
+        if !prev.contains(line) {
+            out.push_str(line);
+            out.push('\n');
+        }
+        next.insert(line.to_string());
+    }
+    *prev = next;
+    out
+}
+
+/// Assembles a minimal HTTP/1.1 response with `Connection: close`.
+fn http_response(status: u16, reason: &str, content_type: &str, body: &str) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
 }
 
 /// SplitMix64 — the resume-token generator. Not a secret in any

@@ -8,12 +8,12 @@
 //! a typed [`WireError`]; the decoder never panics (pinned by the
 //! `wire_props` proptests, which feed it truncations and bit flips).
 //!
-//! # Frame layout (protocol version 3)
+//! # Frame layout (protocol version 4)
 //!
 //! ```text
 //! offset  size  field
 //! 0       2     magic "CS" (0x43 0x53)
-//! 2       1     protocol version (= 3)
+//! 2       1     protocol version (= 4)
 //! 3       1     opcode
 //! 4       4     payload length, u32 little-endian
 //! 8       4     FNV-1a 32 checksum over version|opcode|length|payload
@@ -37,13 +37,16 @@ use std::io::{ErrorKind, Read, Write};
 /// Frame magic: `"CS"`, for *cache serve*.
 pub const MAGIC: [u8; 2] = [0x43, 0x53];
 
-/// The only protocol version this codec speaks. Version 3 added the
-/// sharded serving path: HELLO_ACK carries a session resume token,
-/// RESUME/RESUME_ACK rejoin a dropped session without losing report
-/// identity, and BATCH_SEQ stamps every record with its global stream
-/// position so concurrent connections reassemble into one canonical
-/// order. (Version 2 introduced first-class objective specs.)
-pub const PROTOCOL_VERSION: u8 = 3;
+/// The only protocol version this codec speaks. Version 4 added the
+/// live telemetry plane: SUBSCRIBE turns a connection into a read-only
+/// observer that receives unsolicited EPOCH_EVENT and METRICS_DELTA
+/// frames, and the external-clocking verbs carry trace correlation —
+/// COST_CURVES/APPLY stamp a coordinator trace id, their replies
+/// return the node's profile/actuate nanoseconds as child-span
+/// timings. (Version 3 added the sharded serving path: resume tokens,
+/// RESUME/RESUME_ACK, and sequenced BATCH_SEQ records; version 2
+/// introduced first-class objective specs.)
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Frame header length in bytes (magic + version + opcode + length +
 /// checksum).
@@ -333,6 +336,18 @@ pub enum Message {
         /// increasing.
         records: Vec<(u64, u64, u64)>,
     },
+    /// `0x06`, client → server. Turns this connection into a read-only
+    /// *observer*: the server answers with [`Message::SubscribeAck`]
+    /// followed by a stream of unsolicited [`Message::EpochEventFrame`]
+    /// frames (one per epoch the engine closes, live) and — when
+    /// `metrics_interval_ms` is nonzero — periodic
+    /// [`Message::MetricsDelta`] frames. Observers cannot ingest or
+    /// issue control requests; they watch.
+    Subscribe {
+        /// Milliseconds between metrics-delta frames; `0` subscribes to
+        /// epoch events only.
+        metrics_interval_ms: u64,
+    },
     /// `0x10`, client → server. Requests server counters.
     Stats,
     /// `0x11`, client → server. Requests the current allocation.
@@ -355,6 +370,9 @@ pub enum Message {
         /// The coordinator's objective spec (see
         /// [`cps_core::Objective::parse`]).
         objective: String,
+        /// Coordinator trace id correlating this boundary across nodes
+        /// (`0` = untraced; pre-v4 coordinators).
+        trace: u64,
     },
     /// `0x16`, client → server. Pushes a coordinator-chosen allocation
     /// down to the node, completing the boundary opened by
@@ -366,6 +384,9 @@ pub enum Message {
         /// Coordinator's predicted cost for the epoch, as
         /// `f64::to_bits` (`None` when the top-level solve was skipped).
         predicted_bits: Option<u64>,
+        /// Coordinator trace id stamped onto the node's booked epoch
+        /// (`0` = untraced).
+        trace: u64,
     },
     /// `0x20`, server → client. Reply to [`Message::Stats`].
     StatsReply {
@@ -400,6 +421,10 @@ pub enum Message {
     CostCurvesReply {
         /// Exported per-tenant state.
         curves: Vec<WireCurve>,
+        /// Wall-clock nanoseconds the node spent closing its profile
+        /// window for this export — the coordinator's per-node profile
+        /// child span.
+        profile_nanos: u64,
     },
     /// `0x26`, server → client. Reply to [`Message::Apply`]: what the
     /// node's actuator did with the pushed allocation.
@@ -408,6 +433,9 @@ pub enum Message {
         repartitioned: bool,
         /// Units the proposal would have moved.
         units_moved: u64,
+        /// Wall-clock nanoseconds the node spent actuating the pushed
+        /// allocation — the coordinator's per-node actuate child span.
+        actuate_nanos: u64,
     },
     /// `0x27`, server → client. Reply to [`Message::Resume`]: the
     /// session is rejoined. `resume_pos` is the first global stream
@@ -419,6 +447,28 @@ pub enum Message {
         config: WireConfig,
         /// First stream position to resend from.
         resume_pos: u64,
+    },
+    /// `0x28`, server → client. Accepts a [`Message::Subscribe`],
+    /// carrying the run's journal header line so the observer can
+    /// label what it is watching.
+    SubscribeAck {
+        /// The run header as a journal v3 JSONL line.
+        header: String,
+    },
+    /// `0x29`, server → client, unsolicited. One live epoch record,
+    /// rendered exactly as the journal's epoch JSONL line — observers
+    /// parse it with [`cps_obs::parse_journal_line`].
+    EpochEventFrame {
+        /// The epoch's journal line (no trailing newline).
+        line: String,
+    },
+    /// `0x2a`, server → client, unsolicited. A periodic metrics frame:
+    /// the registry samples that *changed* since the observer's last
+    /// frame (cumulative values, JSONL — one sample per line). The
+    /// first frame after SUBSCRIBE_ACK carries the full snapshot.
+    MetricsDelta {
+        /// Changed samples as metrics JSONL (may be empty).
+        text: String,
     },
     /// `0x3f`, server → client. A typed refusal; the server closes the
     /// session after sending it (except for benign idle teardown).
@@ -438,6 +488,7 @@ impl Message {
             Message::Batch { .. } => 0x03,
             Message::Resume { .. } => 0x04,
             Message::BatchSeq { .. } => 0x05,
+            Message::Subscribe { .. } => 0x06,
             Message::Stats => 0x10,
             Message::Allocation => 0x11,
             Message::Epoch => 0x12,
@@ -453,6 +504,9 @@ impl Message {
             Message::CostCurvesReply { .. } => 0x25,
             Message::ApplyReply { .. } => 0x26,
             Message::ResumeAck { .. } => 0x27,
+            Message::SubscribeAck { .. } => 0x28,
+            Message::EpochEventFrame { .. } => 0x29,
+            Message::MetricsDelta { .. } => 0x2a,
             Message::Error { .. } => 0x3f,
         }
     }
@@ -604,10 +658,17 @@ fn encode_payload(msg: &Message) -> Result<Vec<u8>, WireError> {
         | Message::Epoch
         | Message::Snapshot
         | Message::Shutdown => {}
-        Message::CostCurves { objective } => push_string(&mut p, objective),
+        Message::Subscribe {
+            metrics_interval_ms,
+        } => push_varint(&mut p, *metrics_interval_ms),
+        Message::CostCurves { objective, trace } => {
+            push_string(&mut p, objective);
+            push_varint(&mut p, *trace);
+        }
         Message::Apply {
             units,
             predicted_bits,
+            trace,
         } => {
             push_varint(&mut p, units.len() as u64);
             for &u in units {
@@ -620,6 +681,7 @@ fn encode_payload(msg: &Message) -> Result<Vec<u8>, WireError> {
                 }
                 None => p.push(0),
             }
+            push_varint(&mut p, *trace);
         }
         Message::StatsReply { stats } => {
             push_varint(&mut p, stats.connections);
@@ -638,7 +700,10 @@ fn encode_payload(msg: &Message) -> Result<Vec<u8>, WireError> {
             }
         }
         Message::EpochReply { epochs } => push_varint(&mut p, *epochs),
-        Message::CostCurvesReply { curves } => {
+        Message::CostCurvesReply {
+            curves,
+            profile_nanos,
+        } => {
             push_varint(&mut p, curves.len() as u64);
             for curve in curves {
                 push_varint(&mut p, curve.accesses);
@@ -648,18 +713,24 @@ fn encode_payload(msg: &Message) -> Result<Vec<u8>, WireError> {
                     push_varint(&mut p, bits);
                 }
             }
+            push_varint(&mut p, *profile_nanos);
         }
         Message::ApplyReply {
             repartitioned,
             units_moved,
+            actuate_nanos,
         } => {
             p.push(u8::from(*repartitioned));
             push_varint(&mut p, *units_moved);
+            push_varint(&mut p, *actuate_nanos);
         }
         Message::ResumeAck { config, resume_pos } => {
             push_config(&mut p, config);
             push_varint(&mut p, *resume_pos);
         }
+        Message::SubscribeAck { header } => push_string(&mut p, header),
+        Message::EpochEventFrame { line } => push_string(&mut p, line),
+        Message::MetricsDelta { text } => push_string(&mut p, text),
         Message::SnapshotReply { text } => push_string(&mut p, text),
         Message::ShutdownReply { journal } => push_string(&mut p, journal),
         Message::Error { code, message } => {
@@ -760,6 +831,9 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
             }
             Message::BatchSeq { records }
         }
+        0x06 => Message::Subscribe {
+            metrics_interval_ms: c.varint()?,
+        },
         0x10 => Message::Stats,
         0x11 => Message::Allocation,
         0x12 => Message::Epoch,
@@ -770,7 +844,10 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
             if cps_core::Objective::parse(&objective).is_err() {
                 return Err(WireError::BadPayload("unrecognized objective spec"));
             }
-            Message::CostCurves { objective }
+            Message::CostCurves {
+                objective,
+                trace: c.varint()?,
+            }
         }
         0x16 => {
             let count = c.varint()? as usize;
@@ -789,6 +866,7 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
             Message::Apply {
                 units,
                 predicted_bits,
+                trace: c.varint()?,
             }
         }
         0x20 => Message::StatsReply {
@@ -843,7 +921,10 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
                     samples_bits,
                 });
             }
-            Message::CostCurvesReply { curves }
+            Message::CostCurvesReply {
+                curves,
+                profile_nanos: c.varint()?,
+            }
         }
         0x26 => {
             let repartitioned = match c.u8()? {
@@ -854,6 +935,7 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
             Message::ApplyReply {
                 repartitioned,
                 units_moved: c.varint()?,
+                actuate_nanos: c.varint()?,
             }
         }
         0x27 => {
@@ -861,6 +943,11 @@ fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Message, WireError> {
             let resume_pos = c.varint()?;
             Message::ResumeAck { config, resume_pos }
         }
+        0x28 => Message::SubscribeAck {
+            header: c.string()?,
+        },
+        0x29 => Message::EpochEventFrame { line: c.string()? },
+        0x2a => Message::MetricsDelta { text: c.string()? },
         0x23 => Message::SnapshotReply { text: c.string()? },
         0x24 => Message::ShutdownReply {
             journal: c.string()?,
@@ -1044,22 +1131,33 @@ mod tests {
             Message::Epoch,
             Message::Snapshot,
             Message::Shutdown,
+            Message::Subscribe {
+                metrics_interval_ms: 0,
+            },
+            Message::Subscribe {
+                metrics_interval_ms: 1_000,
+            },
             Message::CostCurves {
                 objective: "miss-ratio".to_string(),
+                trace: 0,
             },
             Message::CostCurves {
                 objective: "utility:0.25".to_string(),
+                trace: 0x9e37_79b9,
             },
             Message::CostCurves {
                 objective: "value-weighted:1.5,2,0.25".to_string(),
+                trace: u64::MAX,
             },
             Message::Apply {
                 units: vec![64, 0, 32],
                 predicted_bits: None,
+                trace: 0,
             },
             Message::Apply {
                 units: vec![10, 4],
                 predicted_bits: Some(1.5f64.to_bits()),
+                trace: 7_700_001,
             },
             Message::StatsReply {
                 stats: ServeStats {
@@ -1083,7 +1181,10 @@ mod tests {
             Message::ShutdownReply {
                 journal: "{\"v\":1,\"kind\":\"run\"}\n".into(),
             },
-            Message::CostCurvesReply { curves: vec![] },
+            Message::CostCurvesReply {
+                curves: vec![],
+                profile_nanos: 0,
+            },
             Message::CostCurvesReply {
                 curves: vec![
                     WireCurve {
@@ -1097,14 +1198,32 @@ mod tests {
                         samples_bits: vec![],
                     },
                 ],
+                profile_nanos: 123_456,
             },
             Message::ApplyReply {
                 repartitioned: true,
                 units_moved: 7,
+                actuate_nanos: 4_200,
             },
             Message::ApplyReply {
                 repartitioned: false,
                 units_moved: 0,
+                actuate_nanos: 0,
+            },
+            Message::SubscribeAck {
+                header: "{\"v\":3,\"kind\":\"run\",\"engine\":\"single\"}".into(),
+            },
+            Message::EpochEventFrame {
+                line: "{\"v\":3,\"kind\":\"epoch\",\"epoch\":0,\"start\":0}".into(),
+            },
+            Message::EpochEventFrame {
+                line: String::new(),
+            },
+            Message::MetricsDelta {
+                text: "{\"name\":\"cps_serve_records_total\",\"value\":99}\n".into(),
+            },
+            Message::MetricsDelta {
+                text: String::new(),
             },
             Message::Error {
                 code: error_code::BAD_TENANT,

@@ -52,6 +52,7 @@ fn config(kind: EngineKind, tenants: usize) -> ServeConfig {
         idle_timeout: Duration::from_secs(5),
         window_cap: 1 << 16,
         resume_grace: Duration::from_secs(5),
+        telemetry_addr: None,
     }
 }
 
@@ -256,7 +257,9 @@ fn external_clocking_round_trips_curves_and_budgets_bit_exactly() {
         client.push_batch(batch).expect("push");
     }
 
-    let wire_curves = client.cost_curves("miss-ratio").expect("cost curves");
+    let (wire_curves, _profile_nanos) = client
+        .cost_curves("miss-ratio", 0x7001)
+        .expect("cost curves");
     assert_eq!(wire_curves.len(), 4);
 
     // The wire transports exactly what an identical in-process engine
@@ -279,7 +282,9 @@ fn external_clocking_round_trips_curves_and_budgets_bit_exactly() {
     }
 
     // Push a sub-capacity budget down; the node actuates it.
-    let (repartitioned, moved) = client.apply(&[20, 4, 2, 2], Some(0.25)).expect("apply");
+    let (repartitioned, moved, _actuate_nanos) = client
+        .apply(&[20, 4, 2, 2], Some(0.25), 0x7001)
+        .expect("apply");
     assert!(repartitioned);
     assert!(moved > 0);
     assert_eq!(client.allocation().expect("allocation"), vec![20, 4, 2, 2]);
@@ -287,7 +292,7 @@ fn external_clocking_round_trips_curves_and_budgets_bit_exactly() {
 
     // A second apply with no open boundary is a typed protocol error
     // (and ends the session, per the control-plane contract).
-    match client.apply(&[8, 8, 8, 8], None) {
+    match client.apply(&[8, 8, 8, 8], None, 0) {
         Err(ServeError::Server { code, message }) => {
             assert_eq!(code, error_code::PROTOCOL);
             assert!(message.contains("no epoch boundary open"), "{message}");
@@ -305,7 +310,7 @@ fn external_clocking_round_trips_curves_and_budgets_bit_exactly() {
 fn sharded_engines_refuse_external_clocking_with_a_typed_code() {
     let (addr, server) = start(config(EngineKind::Sharded { shards: 2 }, 2));
     let mut client = Client::connect(&addr, None).expect("connect");
-    match client.cost_curves("miss-ratio") {
+    match client.cost_curves("miss-ratio", 0) {
         Err(ServeError::Server { code, message }) => {
             assert_eq!(code, error_code::UNSUPPORTED);
             assert!(message.contains("does not support"), "{message}");
@@ -526,5 +531,145 @@ fn concurrent_session_churn_leaves_no_residue() {
 
     let journal = control.shutdown().expect("shutdown");
     server.join().unwrap().expect("server outcome");
+    assert_identical(&journal, &header, engine_cfg, 4, &stream);
+}
+
+/// Starts a server with its telemetry listener bound to an ephemeral
+/// loopback port; returns the wire address, the telemetry address, and
+/// the server handle.
+fn start_with_telemetry(
+    mut config: ServeConfig,
+) -> (String, String, JoinHandle<Result<ServeOutcome, String>>) {
+    config.telemetry_addr = Some("127.0.0.1:0".to_string());
+    let server = Server::bind("127.0.0.1:0", config, Arc::new(MetricsRegistry::new()))
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let taddr = server.telemetry_addr().expect("telemetry addr").to_string();
+    (addr, taddr, std::thread::spawn(move || server.run()))
+}
+
+/// One raw HTTP/1.1 request against the telemetry listener; returns
+/// the full response text (the endpoint always answers
+/// `Connection: close`, so reading to EOF is the whole exchange).
+fn http_request(taddr: &str, request: &str) -> String {
+    use std::io::{Read, Write};
+    let mut conn = std::net::TcpStream::connect(taddr).expect("connect telemetry");
+    conn.write_all(request.as_bytes()).expect("write request");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read response");
+    response
+}
+
+#[test]
+fn the_metrics_endpoint_speaks_prometheus_text_over_http() {
+    let cfg = config(EngineKind::Single, 4);
+    let (addr, taddr, server) = start_with_telemetry(cfg);
+
+    let stream = four_tenant_stream(6_000, 11);
+    let mut client = Client::connect(&addr, None).expect("connect");
+    for batch in stream.chunks(1_024) {
+        client.push_batch(batch).expect("push");
+    }
+    wait_for_records(&mut client, stream.len() as u64);
+
+    let ok = http_request(&taddr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+    assert!(ok.contains("Content-Type: text/plain"), "{ok}");
+    let body = ok.split("\r\n\r\n").nth(1).expect("body");
+    assert!(body.contains("# TYPE cps_serve_records_total counter"));
+    assert!(
+        body.contains("cps_serve_records_total 6000"),
+        "scrape reflects live ingest: {body}"
+    );
+    assert!(body.contains("cps_serve_frame_nanos_count"));
+
+    // A query string is still the scrape; other paths and methods are
+    // typed HTTP refusals, and garbage is a 400 — none of them
+    // perturb the wire plane.
+    let ok = http_request(&taddr, "GET /metrics?x=1 HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"));
+    let missing = http_request(&taddr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(missing.starts_with("HTTP/1.1 404 "), "{missing}");
+    let bad_method = http_request(&taddr, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(bad_method.starts_with("HTTP/1.1 405 "), "{bad_method}");
+    let garbage = http_request(&taddr, "NONSENSE\r\n\r\n");
+    assert!(garbage.starts_with("HTTP/1.1 400 "), "{garbage}");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.records, 6_000,
+        "HTTP traffic never reaches the engine"
+    );
+    client.shutdown().expect("shutdown");
+    server.join().unwrap().expect("server outcome");
+}
+
+#[test]
+fn an_observer_attached_mid_run_sees_epochs_without_breaking_identity() {
+    use cps_obs::{parse_journal_line, JournalLine};
+    use cps_serve::{Observer, ObserverEvent};
+
+    let cfg = config(EngineKind::Single, 4);
+    let header = cfg.run_header();
+    let engine_cfg = cfg.engine.clone();
+    let (addr, server) = start(cfg);
+
+    let stream = four_tenant_stream(20_000, 7);
+    let mut client = Client::connect(&addr, None).expect("connect");
+    let half = stream.len() / 2;
+    for batch in stream[..half].chunks(1_024) {
+        client.push_batch(batch).expect("push first half");
+    }
+    wait_for_records(&mut client, half as u64);
+
+    // Attach mid-run: the ack carries the run header, and the first
+    // metrics frame (the full snapshot) arrives without being asked.
+    let mut observer = Observer::subscribe(&addr, 10).expect("subscribe");
+    match parse_journal_line(observer.header()).expect("header parses") {
+        JournalLine::Header(h) => assert_eq!(h, header),
+        other => panic!("subscribe ack was {other:?}"),
+    }
+
+    for batch in stream[half..].chunks(1_024) {
+        client.push_batch(batch).expect("push second half");
+    }
+    wait_for_records(&mut client, stream.len() as u64);
+    let journal = client.shutdown().expect("shutdown");
+    server.join().unwrap().expect("server outcome");
+
+    // Teardown flushed the observer's stream before closing it: drain
+    // to the clean close and check every pushed frame parses.
+    let mut epochs = Vec::new();
+    let mut metrics = 0usize;
+    loop {
+        match observer.next_event(Some(Duration::from_secs(5))) {
+            Ok(Some(ObserverEvent::Epoch(line))) => {
+                match parse_journal_line(&line).expect("epoch frame parses") {
+                    JournalLine::Epoch(e) => epochs.push(e),
+                    other => panic!("epoch frame carried {other:?}"),
+                }
+            }
+            Ok(Some(ObserverEvent::Metrics(text))) => {
+                // The first frame is the full snapshot; later frames
+                // are deltas and only carry lines that changed.
+                if metrics == 0 {
+                    assert!(text.contains("cps_serve_records_total"), "{text}");
+                }
+                metrics += 1;
+            }
+            Ok(None) => break,
+            Err(e) => panic!("observer drain: {e}"),
+        }
+    }
+    assert!(
+        !epochs.is_empty(),
+        "10k accesses at epoch 2k after attach must push epoch frames"
+    );
+    assert!(metrics >= 1, "the initial full snapshot always arrives");
+    for pair in epochs.windows(2) {
+        assert_eq!(pair[1].epoch, pair[0].epoch + 1, "no gaps after attach");
+    }
+
+    // The watched run is still byte-identical to the unwatched one.
     assert_identical(&journal, &header, engine_cfg, 4, &stream);
 }

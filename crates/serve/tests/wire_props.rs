@@ -137,24 +137,40 @@ fn arb_message() -> BoxedStrategy<Message> {
         Just(Message::Epoch),
         Just(Message::Snapshot),
         Just(Message::Shutdown),
-        arb_objective().prop_map(|objective| Message::CostCurves { objective }),
+        (arb_objective(), any::<u64>())
+            .prop_map(|(objective, trace)| Message::CostCurves { objective, trace }),
         (
             prop::collection::vec(0u64..1 << 20, 0..16),
             any::<bool>(),
             any::<u64>(),
+            any::<u64>(),
         )
-            .prop_map(|(units, some, bits)| Message::Apply {
+            .prop_map(|(units, some, bits, trace)| Message::Apply {
                 units,
                 predicted_bits: some.then_some(bits),
+                trace,
             }),
-        prop::collection::vec(arb_curve(), 0..9)
-            .prop_map(|curves| Message::CostCurvesReply { curves }),
-        (any::<bool>(), 0u64..1 << 32).prop_map(|(repartitioned, units_moved)| {
-            Message::ApplyReply {
-                repartitioned,
-                units_moved,
+        (prop::collection::vec(arb_curve(), 0..9), any::<u64>()).prop_map(
+            |(curves, profile_nanos)| Message::CostCurvesReply {
+                curves,
+                profile_nanos,
             }
+        ),
+        (any::<bool>(), 0u64..1 << 32, any::<u64>()).prop_map(
+            |(repartitioned, units_moved, actuate_nanos)| {
+                Message::ApplyReply {
+                    repartitioned,
+                    units_moved,
+                    actuate_nanos,
+                }
+            }
+        ),
+        (0u64..1 << 20).prop_map(|metrics_interval_ms| Message::Subscribe {
+            metrics_interval_ms,
         }),
+        arb_text().prop_map(|header| Message::SubscribeAck { header }),
+        arb_text().prop_map(|line| Message::EpochEventFrame { line }),
+        arb_text().prop_map(|text| Message::MetricsDelta { text }),
         arb_stats().prop_map(|stats| Message::StatsReply { stats }),
         prop::collection::vec(0u64..1 << 20, 0..64)
             .prop_map(|units| Message::AllocationReply { units }),
@@ -260,12 +276,12 @@ proptest! {
         };
         // Valid spec: both frames decode.
         decode(&encode(&Message::HelloAck { config: config.clone(), token: 7 }).unwrap()).unwrap();
-        decode(&encode(&Message::CostCurves { objective: config.objective.clone() }).unwrap()).unwrap();
+        decode(&encode(&Message::CostCurves { objective: config.objective.clone(), trace: 9 }).unwrap()).unwrap();
         // Invalid spec: the encoder is trusting, the decoder is not.
         config.objective = garbage.clone();
         let err = decode(&encode(&Message::HelloAck { config, token: 7 }).unwrap()).unwrap_err();
         prop_assert!(matches!(err, WireError::BadPayload(_)), "{:?}", err);
-        let err = decode(&encode(&Message::CostCurves { objective: garbage }).unwrap()).unwrap_err();
+        let err = decode(&encode(&Message::CostCurves { objective: garbage, trace: 9 }).unwrap()).unwrap_err();
         prop_assert!(matches!(err, WireError::BadPayload(_)), "{:?}", err);
     }
 }

@@ -24,9 +24,13 @@
 
 use crate::common::{parse_workload, write_text_out, Args};
 use cache_partition_sharing::engine::EngineReport;
+use cache_partition_sharing::obs::{parse_journal_line, JournalLine};
 use cache_partition_sharing::prelude::*;
 use cache_partition_sharing::serve::wire::WireConfig;
-use std::time::Instant;
+use cache_partition_sharing::serve::{Observer, ObserverEvent, ServeError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 pub fn run(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
@@ -74,6 +78,8 @@ pub fn run(raw: &[String]) -> Result<(), String> {
             "--kill-resume exercises sequenced sessions; it needs --connections 2 or more".into(),
         );
     }
+    let observe: bool = args.get_parse("observe", false)?;
+    let scrape = args.get("scrape").map(str::to_string);
 
     let addr = format!("{host}:{port}");
     let mut client = Client::connect(&addr, None).map_err(|e| format!("connect {addr}: {e}"))?;
@@ -104,6 +110,22 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     let refs: Vec<&Trace> = traces.iter().collect();
     let co = interleave_proportional(&refs, &rates, len);
     let stream: Vec<(u64, u64)> = co.tenant_accesses().map(|(t, b)| (t as u64, b)).collect();
+
+    // Telemetry riders: a SUBSCRIBE observer collecting every pushed
+    // epoch frame, and an HTTP scraper hammering /metrics — both live
+    // for the whole run, proving telemetry never perturbs the report.
+    let observer_thread = if observe {
+        let addr = addr.clone();
+        Some(std::thread::spawn(move || observe_run(&addr)))
+    } else {
+        None
+    };
+    let scrape_stop = Arc::new(AtomicBool::new(false));
+    let scraper_thread = scrape.as_ref().map(|taddr| {
+        let taddr = taddr.clone();
+        let stop = Arc::clone(&scrape_stop);
+        std::thread::spawn(move || scrape_run(&taddr, &stop))
+    });
 
     let served_start = Instant::now();
     let stats = if connections == 1 {
@@ -143,6 +165,22 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         ));
     }
     let journal = client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+
+    // Teardown closes observer streams after flushing their final
+    // frames; the scraper is ours to stop.
+    scrape_stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = observer_thread {
+        let (epochs, metrics) = handle
+            .join()
+            .map_err(|_| "observer thread panicked".to_string())??;
+        println!("observer: {epochs} epoch frames, {metrics} metrics frames (all parsed)");
+    }
+    if let Some(handle) = scraper_thread {
+        let scrapes = handle
+            .join()
+            .map_err(|_| "scraper thread panicked".to_string())??;
+        println!("scraper: {scrapes} /metrics scrapes, all 200 OK");
+    }
 
     // The same run, in process, from the server's own configuration.
     let inproc_start = Instant::now();
@@ -310,6 +348,85 @@ fn run_in_process(config: &WireConfig, stream: &[(u64, u64)]) -> Result<EngineRe
         }
         other => return Err(format!("server announced unknown engine kind {other}")),
     })
+}
+
+/// The SUBSCRIBE rider: a read-only observer that stays attached for
+/// the whole run, parses every pushed frame, and counts them. Returns
+/// `(epoch_frames, metrics_frames)` once the server tears the stream
+/// down after SHUTDOWN.
+fn observe_run(addr: &str) -> Result<(usize, usize), String> {
+    let mut observer =
+        Observer::subscribe(addr, 50).map_err(|e| format!("observer subscribe: {e}"))?;
+    parse_journal_line(observer.header())
+        .map_err(|e| format!("observer header does not parse: {e}"))?;
+    let deadline = Instant::now() + Duration::from_secs(180);
+    let mut epochs = 0usize;
+    let mut metrics = 0usize;
+    loop {
+        match observer.next_event(Some(Duration::from_secs(1))) {
+            Ok(Some(ObserverEvent::Epoch(line))) => match parse_journal_line(&line) {
+                Ok(JournalLine::Epoch(_)) => epochs += 1,
+                Ok(_) => return Err("observer got a non-epoch journal line".into()),
+                Err(e) => return Err(format!("observer epoch frame does not parse: {e}")),
+            },
+            Ok(Some(ObserverEvent::Metrics(_))) => metrics += 1,
+            Ok(None) => return Ok((epochs, metrics)),
+            Err(e) if matches!(&e, ServeError::Wire(w) if w.is_timeout()) => {
+                if Instant::now() >= deadline {
+                    return Err("observer never saw the stream close".into());
+                }
+            }
+            Err(e) => return Err(format!("observer: {e}")),
+        }
+    }
+}
+
+/// The HTTP rider: scrapes `http://ADDR/metrics` in a tight loop until
+/// told to stop, asserting every response is a 200 with serve counters
+/// in the exposition. Returns the scrape count.
+fn scrape_run(addr: &str, stop: &AtomicBool) -> Result<usize, String> {
+    let mut scrapes = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        if let Err(e) = scrape_once(addr) {
+            // A scrape can race run teardown: the daemon tears its
+            // listeners down the moment SHUTDOWN lands, before this
+            // thread is told to stop. Only a failure while the run is
+            // still live is real.
+            std::thread::sleep(Duration::from_millis(100));
+            if stop.load(Ordering::Relaxed) {
+                return Ok(scrapes);
+            }
+            return Err(e);
+        }
+        scrapes += 1;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    Ok(scrapes)
+}
+
+/// One `GET /metrics` exchange, validated end to end.
+fn scrape_once(addr: &str) -> Result<(), String> {
+    use std::io::{Read, Write};
+    let mut conn = std::net::TcpStream::connect(addr).map_err(|e| {
+        format!("scrape connect {addr}: {e} (was the daemon started with --telemetry-port?)")
+    })?;
+    conn.write_all(
+        format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .map_err(|e| format!("scrape write: {e}"))?;
+    let mut response = String::new();
+    conn.read_to_string(&mut response)
+        .map_err(|e| format!("scrape read: {e}"))?;
+    if !response.starts_with("HTTP/1.1 200") {
+        return Err(format!(
+            "scrape got `{}`, wanted 200 OK",
+            response.lines().next().unwrap_or("")
+        ));
+    }
+    if !response.contains("cps_serve_records_total") {
+        return Err("scrape response is missing the serve counters".into());
+    }
+    Ok(())
 }
 
 /// The run header the server's journal must carry for this config.

@@ -15,9 +15,11 @@
 //! journals (from `cps tournament --journal`) render the comparison
 //! table; everything else goes down the epoch-journal path.
 
-use crate::common::Args;
+use crate::common::{write_text_out, Args};
 use crate::tournament::render_table;
-use cache_partition_sharing::obs::TournamentJournal;
+use cache_partition_sharing::obs::{
+    chrome_trace_json, parse_journal_line, JournalLine, TournamentJournal,
+};
 use cache_partition_sharing::prelude::*;
 
 pub fn run(raw: &[String]) -> Result<(), String> {
@@ -25,6 +27,20 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     let [path] = args.positional.as_slice() else {
         return Err("usage: cps inspect JOURNAL  (`-` reads from stdin)".into());
     };
+    let follow = match args.get("follow").unwrap_or("false") {
+        "true" => true,
+        "false" => false,
+        other => return Err(format!("bad --follow {other} (true|false)")),
+    };
+    let chrome_out = args.get("chrome-trace").map(str::to_string);
+    if follow && chrome_out.is_some() {
+        return Err("--chrome-trace needs the finished journal; it cannot \
+                    combine with --follow"
+            .into());
+    }
+    if follow {
+        return follow_journal(path);
+    }
     let text = if path == "-" {
         use std::io::Read;
         let mut buf = String::new();
@@ -41,12 +57,28 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         path.as_str()
     };
     if is_tournament(&text) {
+        if chrome_out.is_some() {
+            return Err(format!(
+                "{label}: --chrome-trace exports epoch journals; tournament \
+                 journals have no timeline"
+            ));
+        }
         let journal = TournamentJournal::parse(&text).map_err(|e| format!("{label}: {e}"))?;
         println!("tournament journal OK");
         print!("{}", render_table(&journal));
         return Ok(());
     }
     let journal = Journal::parse(&text).map_err(|e| format!("{label}: {e}"))?;
+    if let Some(out) = &chrome_out {
+        write_text_out(out, &chrome_trace_json(&journal))?;
+        if out != "-" {
+            println!(
+                "chrome trace: {} epochs -> {out} (load in a trace viewer)",
+                journal.epochs.len()
+            );
+        }
+        return Ok(());
+    }
 
     let h = &journal.header;
     let s = &journal.summary;
@@ -84,7 +116,94 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     print_churn_timeline(&journal);
     print_trajectories(&journal);
     print_backpressure(&journal);
+    print_node_spans(&journal);
     Ok(())
+}
+
+/// Tails a growing journal, printing each epoch line as it lands and
+/// exiting once the producer writes its summary. Stdin blocks on the
+/// pipe; files are polled for newly completed lines.
+fn follow_journal(path: &str) -> Result<(), String> {
+    let label = if path == "-" { "<stdin>" } else { path };
+    let mut seen_header = false;
+    let mut on_line = |line: &str| -> Result<bool, String> {
+        if line.trim().is_empty() {
+            return Ok(false);
+        }
+        match parse_journal_line(line).map_err(|e| format!("{label}: {e}"))? {
+            JournalLine::Header(h) => {
+                seen_header = true;
+                println!(
+                    "following {label}: {} engine, {} tenants, {} x {}-block \
+                     units, epoch {}, objective {}",
+                    h.engine, h.tenants, h.units, h.bpu, h.epoch_length, h.objective
+                );
+                println!(
+                    "{:<7} {:>9} {:>9} {:>6}  allocation (units)",
+                    "epoch", "accesses", "miss", "moved"
+                );
+                Ok(false)
+            }
+            JournalLine::Epoch(e) => {
+                if !seen_header {
+                    return Err(format!("{label}: epoch line before the run header"));
+                }
+                let alloc: Vec<String> = e.allocation.iter().map(|u| u.to_string()).collect();
+                let mark = if e.repartitioned { "*" } else { " " };
+                println!(
+                    "{:<7} {:>9} {:>9.4} {:>5}{}  {}",
+                    e.epoch,
+                    e.accesses.iter().sum::<u64>(),
+                    e.miss_ratio(),
+                    e.units_moved,
+                    mark,
+                    alloc.join("/")
+                );
+                Ok(false)
+            }
+            JournalLine::Migration(m) => {
+                println!("  migrate: tenant {} node {} -> {}", m.tenant, m.from, m.to);
+                Ok(false)
+            }
+            JournalLine::Summary(s) => {
+                println!(
+                    "run finished: {} epochs, {} accesses, {} repartitions \
+                     moving {} units",
+                    s.epochs, s.accesses, s.repartitions, s.units_moved
+                );
+                Ok(true)
+            }
+        }
+    };
+    if path == "-" {
+        use std::io::BufRead;
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| format!("read stdin: {e}"))?;
+            if on_line(&line)? {
+                return Ok(());
+            }
+        }
+        return Err(format!("{label}: stream ended before the summary line"));
+    }
+    let mut offset = 0usize;
+    let mut carry = String::new();
+    loop {
+        let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+        if bytes.len() < offset {
+            return Err(format!("{label}: journal shrank while following"));
+        }
+        let fresh = String::from_utf8_lossy(&bytes[offset..]).into_owned();
+        offset = bytes.len();
+        carry.push_str(&fresh);
+        while let Some(nl) = carry.find('\n') {
+            let line: String = carry.drain(..=nl).collect();
+            if on_line(line.trim_end())? {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
 }
 
 /// Where the run's wall clock went, stage by stage.
@@ -191,6 +310,56 @@ fn print_backpressure(journal: &Journal) {
     );
 }
 
+/// Per-node span breakdown for cluster journals: where each node spent
+/// the cluster's epochs, correlated by the coordinator's trace ids.
+fn print_node_spans(journal: &Journal) {
+    let traced = journal.epochs.iter().filter(|e| e.trace.is_some()).count();
+    let any_spans = journal.epochs.iter().any(|e| !e.spans.is_empty());
+    if traced == 0 && !any_spans {
+        return;
+    }
+    println!(
+        "\ncluster trace correlation: {traced}/{} epochs carry a trace id",
+        journal.epochs.len()
+    );
+    if !any_spans {
+        return;
+    }
+    let mut nodes: Vec<usize> = journal
+        .epochs
+        .iter()
+        .flat_map(|e| e.spans.iter().map(|s| s.node))
+        .collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    println!(
+        "{:<6} {:>7} {:>12} {:>12}",
+        "node", "spans", "profile", "actuate"
+    );
+    for node in nodes {
+        let mut count = 0usize;
+        let mut profile = 0u64;
+        let mut actuate = 0u64;
+        for span in journal
+            .epochs
+            .iter()
+            .flat_map(|e| e.spans.iter())
+            .filter(|s| s.node == node)
+        {
+            count += 1;
+            profile += span.timings.profile_nanos;
+            actuate += span.timings.actuate_nanos;
+        }
+        println!(
+            "n{:<5} {:>7} {:>10.2}ms {:>10.2}ms",
+            node,
+            count,
+            profile as f64 / 1e6,
+            actuate as f64 / 1e6
+        );
+    }
+}
+
 /// Sniffs the journal dialect from the first non-blank line: a
 /// `"kind":"tournament"` header means the tournament table renderer,
 /// anything else (including garbage — let the epoch parser produce the
@@ -204,7 +373,7 @@ fn is_tournament(text: &str) -> bool {
 }
 
 /// Eight-level ASCII-art sparkline scaled to the series maximum.
-fn sparkline(values: &[f64]) -> String {
+pub(crate) fn sparkline(values: &[f64]) -> String {
     const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let max = values.iter().cloned().fold(0.0_f64, f64::max);
     values

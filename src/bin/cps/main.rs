@@ -34,6 +34,7 @@ mod replay_online;
 mod serve;
 mod show;
 mod stall;
+mod top;
 mod tournament;
 
 fn main() -> ExitCode {
@@ -56,6 +57,7 @@ fn main() -> ExitCode {
         "cluster" => cluster::run(rest),
         "tournament" => tournament::run(rest),
         "inspect" => inspect::run(rest),
+        "top" => top::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -106,6 +108,7 @@ USAGE:
                [--host H] [--max-conns N] [--idle-timeout SECS] [--proto V]
                [--window-cap N] [--resume-grace SECS]
                [--journal FILE] [--metrics-out FILE] [--port-file FILE]
+               [--telemetry-port P|auto] [--telemetry-port-file FILE]
                (host the online engine as a TCP daemon speaking the
                cps-serve wire protocol; clients bind to tenants via
                HELLO and stream access batches — concurrent connections
@@ -114,16 +117,23 @@ USAGE:
                RESUME within --resume-grace; a SHUTDOWN request
                finishes the engine and returns the epoch journal;
                --port auto picks an ephemeral port and --port-file
-               records the bound address)
+               records the bound address; --telemetry-port serves a
+               Prometheus text scrape at http://HOST:P/metrics, while
+               SUBSCRIBE observers such as `cps top` attach to the
+               wire port itself)
   cps bench-net --workloads SPEC,SPEC,... --port P [--host H] [--len N]
                [--rates R,R,...] [--seed S] [--batch N] [--journal-out FILE]
                [--connections N] [--kill-resume true]
+               [--observe true] [--scrape HOST:PORT]
                (replay an interleaved stream against a live `cps serve`
                and verify the served journal is report-identical to the
                same engine run in process; --connections N splits the
                stream across N sequenced connections, --kill-resume
                true drops one mid-stream and rejoins it via RESUME;
-               identity failure exits nonzero)
+               --observe true rides a SUBSCRIBE observer along the run
+               and --scrape hammers the daemon's /metrics endpoint —
+               identity must hold with both attached; identity failure
+               exits nonzero)
   cps cluster  --workloads SPEC,SPEC,... --units U [--bpu B]
                [--nodes N] [--node-capacity U] | [--connect H:P,H:P,...]
                [--placement greedy|roundrobin] [--migrate-threshold T|off]
@@ -148,13 +158,24 @@ USAGE:
                of Optimal's gap over every other scheme per objective;
                --journal writes the machine-readable tournament journal
                that `cps inspect` renders back)
-  cps inspect  JOURNAL
+  cps inspect  JOURNAL [--follow true] [--chrome-trace OUT.json]
                (parse + validate an epoch or tournament journal; epoch
                journals print stage-time breakdowns, the
                allocation-churn timeline, per-tenant miss-ratio
-               trajectories, and backpressure; tournament journals
-               print the comparison table; `-` reads stdin; schema
+               trajectories, backpressure, and per-node trace spans;
+               tournament journals print the comparison table; `-`
+               reads stdin; --follow tails a journal still being
+               written, printing each epoch as it lands and exiting at
+               the summary; --chrome-trace exports the timeline as a
+               Chrome trace-event JSON for a trace viewer; schema
                drift or totals that don't round-trip exit nonzero)
+  cps top      HOST:PORT [--refresh MS] [--once true]
+               (live dashboard over a running `cps serve` daemon via
+               the read-only SUBSCRIBE verb: pushed epoch records,
+               per-tenant miss ratios, a group miss-ratio sparkline,
+               and server counters, refreshed in place every --refresh
+               ms; --once true prints a single plain snapshot and
+               exits, for scripts and smoke tests)
 
 WORKLOAD SPECS (for `gen`):
   loop:WS            sequential loop over WS blocks

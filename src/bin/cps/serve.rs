@@ -110,6 +110,23 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         return Err("--window-cap must hold at least 1 record".into());
     }
     let resume_grace: u64 = args.get_parse("resume-grace", 10)?;
+    let telemetry_addr = match args.get("telemetry-port") {
+        None => None,
+        Some("auto") => Some(format!("{host}:0")),
+        Some("0") => {
+            return Err(
+                "--telemetry-port 0 is ambiguous; say --telemetry-port auto \
+                        for an OS-assigned ephemeral port"
+                    .into(),
+            );
+        }
+        Some(p) => {
+            let port: u16 = p
+                .parse()
+                .map_err(|_| format!("bad --telemetry-port {p} (a port number, or `auto`)"))?;
+            Some(format!("{host}:{port}"))
+        }
+    };
     let proto: u8 = args.get_parse("proto", PROTOCOL_VERSION)?;
     if proto != PROTOCOL_VERSION {
         return Err(format!(
@@ -119,6 +136,12 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     let journal_path = args.get("journal").map(str::to_string);
     let metrics_path = args.get("metrics-out").map(str::to_string);
     let port_file = args.get("port-file").map(str::to_string);
+    let telemetry_port_file = args.get("telemetry-port-file").map(str::to_string);
+    if telemetry_port_file.is_some() && telemetry_addr.is_none() {
+        return Err("--telemetry-port-file needs --telemetry-port (there is no \
+                    telemetry listener to report)"
+            .into());
+    }
 
     let engine_cfg = EngineConfig::new(CacheConfig::new(units, bpu), epoch)
         .policy(policy)
@@ -133,6 +156,7 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         idle_timeout: Duration::from_secs(idle_secs),
         window_cap,
         resume_grace: Duration::from_secs(resume_grace),
+        telemetry_addr,
     };
 
     let registry = Arc::new(MetricsRegistry::new());
@@ -141,12 +165,21 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     if let Some(path) = &port_file {
         write_text_out(path, &format!("{addr}\n"))?;
     }
+    if let Some(path) = &telemetry_port_file {
+        let taddr = server
+            .telemetry_addr()
+            .ok_or("telemetry listener has no address")?;
+        write_text_out(path, &format!("{taddr}\n"))?;
+    }
     println!(
         "cps serve: listening on {addr} ({} engine, {tenants} tenants, \
          {units} x {bpu}-block units, epoch {epoch}, max {max_conns} sessions, \
          idle timeout {idle_secs}s)",
         kind.name()
     );
+    if let Some(taddr) = server.telemetry_addr() {
+        println!("cps serve: telemetry on http://{taddr}/metrics");
+    }
 
     let outcome = server.run()?;
     println!(

@@ -576,7 +576,7 @@ fn inspect_rejects_truncated_tampered_and_future_journals() {
     assert!(!out.status.success());
 
     // Future version: readers must refuse rather than guess.
-    let future = good.replacen("\"v\":2", "\"v\":3", 1);
+    let future = good.replacen("\"v\":3", "\"v\":4", 1);
     assert_ne!(future, good, "version bump must hit the header");
     std::fs::write(dir.join("future.jsonl"), future).unwrap();
     let out = cps(&["inspect", "future.jsonl"], &dir);
@@ -585,9 +585,9 @@ fn inspect_rejects_truncated_tampered_and_future_journals() {
 
     // Old schema: a version-1 journal (pre-objective, no epoch
     // `objective` field) is refused with a clear pointer, not guessed
-    // at. Strip the v2-only fields so the line is a faithful v1 relic.
+    // at. Strip the newer fields so the line is a faithful v1 relic.
     let old = good
-        .replace("\"v\":2", "\"v\":1")
+        .replace("\"v\":3", "\"v\":1")
         .replace(",\"objective\":\"miss-ratio\"", "");
     assert_ne!(old, good);
     std::fs::write(dir.join("old.jsonl"), old).unwrap();
@@ -595,7 +595,7 @@ fn inspect_rejects_truncated_tampered_and_future_journals() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
-        stderr.contains("journal version 1") && stderr.contains("speaks 2"),
+        stderr.contains("journal version 1") && stderr.contains("speaks 3"),
         "v1 journals need a clear upgrade message:\n{stderr}"
     );
 
@@ -1231,7 +1231,7 @@ fn tournament_journals_round_trip_through_inspect() {
     let out = cps(&["inspect", "cut.jsonl"], &dir);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("no rows"));
-    std::fs::write(dir.join("v1.jsonl"), good.replace("\"v\":2", "\"v\":1")).unwrap();
+    std::fs::write(dir.join("v1.jsonl"), good.replace("\"v\":3", "\"v\":1")).unwrap();
     let out = cps(&["inspect", "v1.jsonl"], &dir);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("journal version 1"));
@@ -1310,5 +1310,263 @@ fn tournament_and_objective_flags_reject_degenerate_values() {
         ],
         "3 weights",
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The live telemetry plane, end to end against a real daemon:
+/// `cps top --once` snapshots via SUBSCRIBE, `cps bench-net` rides an
+/// observer and an HTTP scraper along the run without breaking report
+/// identity, and the finished journal exports a Chrome trace.
+#[test]
+fn live_telemetry_smoke_top_observe_scrape_and_chrome_export() {
+    let dir = tempdir("telemetry");
+    let mut child = ChildGuard(
+        Command::new(env!("CARGO_BIN_EXE_cps"))
+            .args([
+                "serve",
+                "--tenants",
+                "2",
+                "--units",
+                "16",
+                "--epoch",
+                "2000",
+                "--port",
+                "auto",
+                "--port-file",
+                "port.txt",
+                "--telemetry-port",
+                "auto",
+                "--telemetry-port-file",
+                "tport.txt",
+                "--journal",
+                "served.jsonl",
+            ])
+            .current_dir(&dir)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn cps serve"),
+    );
+    let wait_addr = |name: &str| {
+        let path = dir.join(name);
+        for _ in 0..200 {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if text.trim().contains(':') {
+                    return text.trim().to_string();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        panic!("cps serve never wrote {name}");
+    };
+    let addr = wait_addr("port.txt");
+    let taddr = wait_addr("tport.txt");
+    let port = addr.rsplit(':').next().unwrap();
+
+    // A scriptable snapshot before any records: the subscribe ack and
+    // the immediate full metrics frame are enough to render.
+    let s = stdout(&cps(&["top", &addr, "--once", "true"], &dir));
+    assert!(s.contains("single engine, 2 tenants"), "{s}");
+    assert!(s.contains("waiting for the first epoch boundary"), "{s}");
+
+    // The benchmark run with both telemetry riders attached.
+    let s = stdout(&cps(
+        &[
+            "bench-net",
+            "--workloads",
+            "loop:12,zipf:100:0.8",
+            "--len",
+            "12000",
+            "--port",
+            port,
+            "--observe",
+            "true",
+            "--scrape",
+            &taddr,
+        ],
+        &dir,
+    ));
+    assert!(s.contains("report identity: OK"), "{s}");
+    assert!(s.contains("epoch frames"), "{s}");
+    assert!(s.contains("all 200 OK"), "{s}");
+
+    for _ in 0..200 {
+        if child.0.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    // The journal the watched daemon wrote still inspects clean and
+    // exports a Chrome trace.
+    let s = stdout(&cps(
+        &["inspect", "served.jsonl", "--chrome-trace", "trace.json"],
+        &dir,
+    ));
+    assert!(s.contains("chrome trace:"), "{s}");
+    let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+    assert!(trace.contains("\"traceEvents\""), "{trace}");
+    assert!(trace.contains("\"cat\":\"stage\""), "{trace}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `cps inspect --follow` tails a journal another process is still
+/// writing: epochs print as they land and the summary line ends the
+/// tail with a zero exit.
+#[test]
+fn inspect_follow_tails_a_growing_journal() {
+    let dir = tempdir("follow");
+    stdout(&cps(
+        &[
+            "replay-online",
+            "--workloads",
+            "loop:12,uniform:80",
+            "--len",
+            "12000",
+            "--units",
+            "16",
+            "--epoch",
+            "2000",
+            "--journal",
+            "full.jsonl",
+        ],
+        &dir,
+    ));
+    let full = std::fs::read_to_string(dir.join("full.jsonl")).unwrap();
+    let lines: Vec<&str> = full.lines().collect();
+    assert!(lines.len() >= 4, "need a few lines to tail");
+
+    // Start the tail against a half-written copy...
+    let half = lines.len() / 2;
+    let growing = dir.join("growing.jsonl");
+    std::fs::write(&growing, format!("{}\n", lines[..half].join("\n"))).unwrap();
+    let tail = Command::new(env!("CARGO_BIN_EXE_cps"))
+        .args(["inspect", "growing.jsonl", "--follow", "true"])
+        .current_dir(&dir)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn follow");
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    // ...then finish the file; the tail must notice, print the rest,
+    // and exit on the summary.
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&growing)
+        .unwrap();
+    writeln!(f, "{}", lines[half..].join("\n")).unwrap();
+    drop(f);
+    let out = tail.wait_with_output().expect("follow exits");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "follow failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(s.contains("following growing.jsonl"), "{s}");
+    assert!(s.contains("run finished:"), "{s}");
+    assert!(s.contains("12000 accesses"), "{s}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn telemetry_flags_reject_degenerate_values() {
+    let dir = tempdir("telemetry-flags");
+    std::fs::write(
+        dir.join("t.jsonl"),
+        "{\"v\":3,\"kind\":\"tournament\",\"note\":\"sniff only\"}\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("empty.jsonl"), "").unwrap();
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &[
+                "serve",
+                "--tenants",
+                "2",
+                "--units",
+                "16",
+                "--port",
+                "auto",
+                "--telemetry-port",
+                "0",
+            ],
+            "--telemetry-port",
+        ),
+        (
+            &[
+                "serve",
+                "--tenants",
+                "2",
+                "--units",
+                "16",
+                "--port",
+                "auto",
+                "--telemetry-port",
+                "nope",
+            ],
+            "--telemetry-port",
+        ),
+        (
+            &[
+                "serve",
+                "--tenants",
+                "2",
+                "--units",
+                "16",
+                "--port",
+                "auto",
+                "--telemetry-port-file",
+                "t.txt",
+            ],
+            "--telemetry-port-file needs --telemetry-port",
+        ),
+        (&["top"], "usage: cps top"),
+        (&["top", "127.0.0.1:1", "--refresh", "0"], "--refresh"),
+        (&["top", "127.0.0.1:1", "--once", "maybe"], "--once"),
+        (&["inspect", "empty.jsonl", "--follow", "maybe"], "--follow"),
+        (
+            &[
+                "inspect",
+                "empty.jsonl",
+                "--follow",
+                "true",
+                "--chrome-trace",
+                "out.json",
+            ],
+            "--chrome-trace",
+        ),
+        (
+            &["inspect", "t.jsonl", "--chrome-trace", "out.json"],
+            "tournament",
+        ),
+        (
+            &[
+                "bench-net",
+                "--workloads",
+                "loop:4,loop:8",
+                "--port",
+                "1",
+                "--observe",
+                "maybe",
+            ],
+            "--observe",
+        ),
+    ];
+    for (args, needle) in cases {
+        let out = cps(args, &dir);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!out.status.success(), "{args:?} should fail:\n{stderr}");
+        assert!(
+            stderr.contains(needle),
+            "{args:?} should mention `{needle}`:\n{stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "{args:?} must not panic:\n{stderr}"
+        );
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
