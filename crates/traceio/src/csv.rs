@@ -1,0 +1,236 @@
+//! The `addr,tenant,tstamp` comma-separated format.
+//!
+//! One access per row. Columns:
+//!
+//! 1. `addr` — required; decimal or `0x`-prefixed hex byte address;
+//! 2. `tenant` — optional; decimal tenant id (defaults to 0 when the
+//!    column is absent — pair with a round-robin tenancy policy for
+//!    traces with no attribution);
+//! 3. `tstamp` — optional; decimal timestamp, validated and carried to
+//!    the stat report but not into the canonical records (the engines
+//!    are access-clocked).
+//!
+//! A header row is recognized by a non-numeric first field and skipped.
+//! Blank lines and `#` comments are ignored; spaces around fields are
+//! trimmed; extra columns are malformed.
+
+use crate::error::{snippet_of, TraceIoError};
+use crate::num::{parse_addr, parse_dec, trim};
+use crate::scan::ByteScanner;
+use crate::source::{RawOp, RawTraceReader};
+use std::io::{Read, Write};
+
+/// Streaming reader for the CSV format.
+pub struct CsvReader<R: Read> {
+    scan: ByteScanner<R>,
+    line: u64,
+    header_seen: bool,
+    tstamp_min: Option<u64>,
+    tstamp_max: Option<u64>,
+}
+
+impl<R: Read> CsvReader<R> {
+    /// Wraps `inner` with the default fixed scan buffer.
+    pub fn new(inner: R) -> Self {
+        Self::with_capacity(inner, crate::scan::DEFAULT_BUF_CAP)
+    }
+
+    /// Wraps `inner` with a fixed scan buffer of `cap` bytes.
+    pub fn with_capacity(inner: R, cap: usize) -> Self {
+        CsvReader {
+            scan: ByteScanner::with_capacity(inner, cap),
+            line: 0,
+            header_seen: false,
+            tstamp_min: None,
+            tstamp_max: None,
+        }
+    }
+
+    /// The `(min, max)` timestamp span seen, when the column is present.
+    pub fn tstamp_span(&self) -> Option<(u64, u64)> {
+        Some((self.tstamp_min?, self.tstamp_max?))
+    }
+}
+
+impl<R: Read> RawTraceReader for CsvReader<R> {
+    fn next_op(&mut self) -> Result<Option<RawOp>, TraceIoError> {
+        loop {
+            self.line += 1;
+            let lineno = self.line;
+            let first_data = !self.header_seen;
+            let Some((raw, offset)) = self.scan.next_line(lineno)? else {
+                return Ok(None);
+            };
+            let t = trim(raw);
+            if t.is_empty() || t.starts_with(b"#") {
+                continue;
+            }
+            let mut fields = t.split(|&b| b == b',');
+            let addr_field = trim(fields.next().unwrap_or(b""));
+            let tenant_field = fields.next().map(trim);
+            let tstamp_field = fields.next().map(trim);
+            if fields.next().is_some() {
+                return Err(TraceIoError::Malformed {
+                    line: lineno,
+                    offset,
+                    what: "too many columns (want addr[,tenant[,tstamp]])".into(),
+                    snippet: snippet_of(t),
+                });
+            }
+            let Some(addr) = parse_addr(addr_field) else {
+                // The first non-numeric row is the header; later ones
+                // are malformed.
+                if first_data {
+                    self.header_seen = true;
+                    continue;
+                }
+                return Err(TraceIoError::Malformed {
+                    line: lineno,
+                    offset,
+                    what: "bad address".into(),
+                    snippet: snippet_of(t),
+                });
+            };
+            self.header_seen = true;
+            let tenant = match tenant_field {
+                None => 0,
+                Some(b"") => 0,
+                Some(f) => parse_dec(f).ok_or_else(|| TraceIoError::Malformed {
+                    line: lineno,
+                    offset,
+                    what: "bad tenant".into(),
+                    snippet: snippet_of(t),
+                })?,
+            };
+            if let Some(f) = tstamp_field {
+                if !f.is_empty() {
+                    let ts = parse_dec(f).ok_or_else(|| TraceIoError::Malformed {
+                        line: lineno,
+                        offset,
+                        what: "bad tstamp".into(),
+                        snippet: snippet_of(t),
+                    })?;
+                    self.tstamp_min = Some(self.tstamp_min.map_or(ts, |m| m.min(ts)));
+                    self.tstamp_max = Some(self.tstamp_max.map_or(ts, |m| m.max(ts)));
+                }
+            }
+            return Ok(Some(RawOp {
+                thread: tenant,
+                addr,
+                size: 1,
+                line: lineno,
+                offset,
+            }));
+        }
+    }
+
+    fn resync(&mut self) -> Result<(), TraceIoError> {
+        self.scan.discard_line()
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.scan.bytes_read()
+    }
+
+    fn max_resident_bytes(&self) -> usize {
+        self.scan.max_resident_bytes()
+    }
+}
+
+/// Writes canonical `(tenant, addr)` records as CSV rows under an
+/// `addr,tenant` header.
+pub struct CsvWriter<W: Write> {
+    out: W,
+    records: u64,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Starts a writer, emitting the header row.
+    pub fn new(mut out: W) -> std::io::Result<Self> {
+        writeln!(out, "addr,tenant")?;
+        Ok(CsvWriter { out, records: 0 })
+    }
+
+    /// Appends one record.
+    pub fn write_record(&mut self, tenant: u64, addr: u64) -> std::io::Result<()> {
+        writeln!(self.out, "{addr},{tenant}")?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flushes and returns the record count.
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        self.out.flush()?;
+        Ok(self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops(text: &str) -> Result<Vec<RawOp>, TraceIoError> {
+        let mut r = CsvReader::new(text.as_bytes());
+        let mut out = Vec::new();
+        while let Some(op) = r.next_op()? {
+            out.push(op);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn rows_with_and_without_optional_columns() {
+        let got = ops("addr,tenant,tstamp\n100,2,900\n0x40, 1\n7\n").unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!((got[0].addr, got[0].thread), (100, 2));
+        assert_eq!((got[1].addr, got[1].thread), (0x40, 1));
+        assert_eq!((got[2].addr, got[2].thread), (7, 0));
+        assert!(got.iter().all(|o| o.size == 1));
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let got = ops("100,0\n200,1\n").unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn tstamp_span_is_tracked() {
+        let mut r = CsvReader::new(&b"10,0,500\n20,0,100\n30,0,900\n"[..]);
+        while r.next_op().unwrap().is_some() {}
+        assert_eq!(r.tstamp_span(), Some((100, 900)));
+    }
+
+    #[test]
+    fn malformed_rows_are_typed_with_position() {
+        for (text, what) in [
+            ("addr\nbanana,0\n", "bad address"),
+            ("10,zebra\n", "bad tenant"),
+            ("10,0,xyz\n", "bad tstamp"),
+            ("10,0,5,9\n", "too many columns"),
+        ] {
+            let err = ops(text).unwrap_err();
+            assert!(err.is_recoverable());
+            assert!(err.to_string().contains(what), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn second_non_numeric_row_is_not_a_header() {
+        let err = ops("addr,tenant\n10,0\naddr,tenant\n").unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn writer_round_trips_through_reader() {
+        let mut buf = Vec::new();
+        let mut w = CsvWriter::new(&mut buf).unwrap();
+        for &(t, a) in &[(0u64, 5u64), (3, 1 << 40)] {
+            w.write_record(t, a).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), 2);
+        let got = ops(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let back: Vec<(u64, u64)> = got.iter().map(|o| (o.thread, o.addr)).collect();
+        assert_eq!(back, vec![(0, 5), (3, 1 << 40)]);
+    }
+}

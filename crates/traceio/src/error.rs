@@ -1,0 +1,269 @@
+//! Typed parse errors with line and byte offsets.
+//!
+//! Every way an external trace can be malformed is a variant here, never
+//! a panic. Errors carry the *global byte offset* into the input stream
+//! (and the 1-based line number for the text formats) so a user can seek
+//! straight to the damage in a multi-GB log. Variants split into two
+//! classes:
+//!
+//! * **recoverable** — one bad line or record; a lenient reader skips
+//!   it, counts it, and carries on ([`TraceIoError::is_recoverable`]);
+//! * **fatal** — the stream itself is broken (I/O failure, bad magic,
+//!   truncated binary tail) and no later byte can be trusted.
+
+/// Everything that can go wrong while reading an external trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// The underlying reader failed at `offset`.
+    Io {
+        /// Global byte offset where the read failed.
+        offset: u64,
+        /// The operating-system error.
+        source: std::io::Error,
+    },
+    /// A line or record that does not parse under the format grammar.
+    Malformed {
+        /// 1-based line number (0 for record-oriented formats).
+        line: u64,
+        /// Global byte offset of the start of the offending input.
+        offset: u64,
+        /// What was wrong, in plain words.
+        what: String,
+        /// The offending input, truncated for display.
+        snippet: String,
+    },
+    /// A text line longer than the reader's fixed buffer.
+    LineTooLong {
+        /// 1-based line number.
+        line: u64,
+        /// Global byte offset of the start of the line.
+        offset: u64,
+        /// The fixed buffer capacity the line overflowed.
+        cap: usize,
+    },
+    /// A binary stream that does not start with the `CPST` magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// A binary stream with a version this reader does not speak.
+    UnsupportedVersion {
+        /// The version field found in the header.
+        found: u16,
+    },
+    /// A binary header with flag bits this reader does not know.
+    BadFlags {
+        /// The flags field found in the header.
+        found: u16,
+    },
+    /// A binary stream that ends in the middle of a record or header.
+    TruncatedRecord {
+        /// Global byte offset of the start of the partial record.
+        offset: u64,
+        /// Bytes present.
+        have: usize,
+        /// Bytes a whole record needs.
+        need: usize,
+    },
+    /// A resolved tenant id at or past the run's tenant count.
+    TenantOutOfRange {
+        /// 1-based line number (0 for record-oriented formats).
+        line: u64,
+        /// Global byte offset of the record.
+        offset: u64,
+        /// The tenant the record resolved to.
+        tenant: u64,
+        /// The run's tenant count (valid ids are `0..tenants`).
+        tenants: usize,
+    },
+    /// A thread id with no entry in the thread-to-tenant map.
+    UnmappedThread {
+        /// 1-based line number (0 for record-oriented formats).
+        line: u64,
+        /// Global byte offset of the record.
+        offset: u64,
+        /// The unmapped thread id.
+        thread: u64,
+    },
+}
+
+impl TraceIoError {
+    /// True if a lenient reader may skip the offending input and
+    /// continue; false if the stream is unusable past this point.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            TraceIoError::Malformed { .. }
+                | TraceIoError::LineTooLong { .. }
+                | TraceIoError::TenantOutOfRange { .. }
+                | TraceIoError::UnmappedThread { .. }
+        )
+    }
+
+    /// The global byte offset the error points at, when it has one.
+    pub fn offset(&self) -> Option<u64> {
+        match self {
+            TraceIoError::Io { offset, .. }
+            | TraceIoError::Malformed { offset, .. }
+            | TraceIoError::LineTooLong { offset, .. }
+            | TraceIoError::TruncatedRecord { offset, .. }
+            | TraceIoError::TenantOutOfRange { offset, .. }
+            | TraceIoError::UnmappedThread { offset, .. } => Some(*offset),
+            TraceIoError::BadMagic { .. }
+            | TraceIoError::UnsupportedVersion { .. }
+            | TraceIoError::BadFlags { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io { offset, source } => {
+                write!(f, "read failed at byte {offset}: {source}")
+            }
+            TraceIoError::Malformed {
+                line,
+                offset,
+                what,
+                snippet,
+            } => {
+                if *line > 0 {
+                    write!(f, "line {line} (byte {offset}): {what}: `{snippet}`")
+                } else {
+                    write!(f, "byte {offset}: {what}: `{snippet}`")
+                }
+            }
+            TraceIoError::LineTooLong { line, offset, cap } => write!(
+                f,
+                "line {line} (byte {offset}) exceeds the {cap}-byte line buffer"
+            ),
+            TraceIoError::BadMagic { found } => write!(
+                f,
+                "not a cps binary trace: magic {:02x?} (wanted `CPST`)",
+                found
+            ),
+            TraceIoError::UnsupportedVersion { found } => {
+                write!(f, "binary trace version {found} is not supported (have 1)")
+            }
+            TraceIoError::BadFlags { found } => {
+                write!(f, "binary trace header carries unknown flags {found:#06x}")
+            }
+            TraceIoError::TruncatedRecord { offset, have, need } => write!(
+                f,
+                "binary trace truncated at byte {offset}: {have} bytes of a {need}-byte record"
+            ),
+            TraceIoError::TenantOutOfRange {
+                line,
+                offset,
+                tenant,
+                tenants,
+            } => {
+                if *line > 0 {
+                    write!(
+                        f,
+                        "line {line} (byte {offset}): tenant {tenant} out of range \
+                         (run has {tenants} tenants, ids 0..{tenants})"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "byte {offset}: tenant {tenant} out of range \
+                         (run has {tenants} tenants, ids 0..{tenants})"
+                    )
+                }
+            }
+            TraceIoError::UnmappedThread {
+                line,
+                offset,
+                thread,
+            } => {
+                if *line > 0 {
+                    write!(
+                        f,
+                        "line {line} (byte {offset}): thread {thread} has no tenant mapping"
+                    )
+                } else {
+                    write!(f, "byte {offset}: thread {thread} has no tenant mapping")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Truncates raw input bytes into a printable snippet for error text.
+pub(crate) fn snippet_of(bytes: &[u8]) -> String {
+    const MAX: usize = 48;
+    let printable: String = bytes
+        .iter()
+        .take(MAX)
+        .map(|&b| {
+            if (0x20..0x7f).contains(&b) {
+                b as char
+            } else {
+                '.'
+            }
+        })
+        .collect();
+    if bytes.len() > MAX {
+        format!("{printable}…")
+    } else {
+        printable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recoverable_classes() {
+        let m = TraceIoError::Malformed {
+            line: 3,
+            offset: 40,
+            what: "bad address".into(),
+            snippet: "xyz".into(),
+        };
+        assert!(m.is_recoverable());
+        assert_eq!(m.offset(), Some(40));
+        let t = TraceIoError::TruncatedRecord {
+            offset: 10,
+            have: 3,
+            need: 10,
+        };
+        assert!(!t.is_recoverable());
+        assert!(!TraceIoError::BadMagic { found: *b"nope" }.is_recoverable());
+    }
+
+    #[test]
+    fn display_names_line_and_offset() {
+        let m = TraceIoError::Malformed {
+            line: 7,
+            offset: 123,
+            what: "bad size".into(),
+            snippet: "L ff,q".into(),
+        };
+        let s = m.to_string();
+        assert!(s.contains("line 7"), "{s}");
+        assert!(s.contains("byte 123"), "{s}");
+        assert!(s.contains("bad size"), "{s}");
+    }
+
+    #[test]
+    fn snippet_truncates_and_masks() {
+        let long: Vec<u8> = (0..100u8).collect();
+        let s = snippet_of(&long);
+        assert!(s.chars().count() <= 49);
+        assert!(s.ends_with('…'));
+        assert_eq!(snippet_of(b"abc\x01"), "abc.");
+    }
+}

@@ -1,0 +1,100 @@
+//! Overflow-checked byte-slice number parsing.
+//!
+//! The readers parse numbers straight out of the scan buffer without a
+//! UTF-8 pass; these helpers are the only number grammar in the crate,
+//! so every format agrees on what a decimal and a hex address look like.
+
+/// Parses an unsigned decimal; `None` on empty, non-digit, or overflow.
+pub(crate) fn parse_dec(bytes: &[u8]) -> Option<u64> {
+    if bytes.is_empty() {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &b in bytes {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add((b - b'0') as u64)?;
+    }
+    Some(v)
+}
+
+/// Parses bare hexadecimal; `None` on empty, non-hex, or overflow.
+pub(crate) fn parse_hex(bytes: &[u8]) -> Option<u64> {
+    if bytes.is_empty() || bytes.len() > 16 {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &b in bytes {
+        let digit = match b {
+            b'0'..=b'9' => b - b'0',
+            b'a'..=b'f' => b - b'a' + 10,
+            b'A'..=b'F' => b - b'A' + 10,
+            _ => return None,
+        };
+        v = (v << 4) | digit as u64;
+    }
+    Some(v)
+}
+
+/// Parses an address as the CSV/flexible grammar spells it: `0x`-prefixed
+/// hex or decimal.
+pub(crate) fn parse_addr(bytes: &[u8]) -> Option<u64> {
+    if let Some(hex) = bytes.strip_prefix(b"0x") {
+        parse_hex(hex)
+    } else {
+        parse_dec(bytes)
+    }
+}
+
+/// Trims ASCII whitespace from both ends of a byte slice.
+pub(crate) fn trim(bytes: &[u8]) -> &[u8] {
+    let start = bytes
+        .iter()
+        .position(|b| !b.is_ascii_whitespace())
+        .unwrap_or(bytes.len());
+    let end = bytes
+        .iter()
+        .rposition(|b| !b.is_ascii_whitespace())
+        .map_or(start, |i| i + 1);
+    &bytes[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_rejects_junk_and_overflow() {
+        assert_eq!(parse_dec(b"0"), Some(0));
+        assert_eq!(parse_dec(b"18446744073709551615"), Some(u64::MAX));
+        assert_eq!(parse_dec(b"18446744073709551616"), None);
+        assert_eq!(parse_dec(b""), None);
+        assert_eq!(parse_dec(b"12a"), None);
+        assert_eq!(parse_dec(b"-3"), None);
+    }
+
+    #[test]
+    fn hex_rejects_junk_and_overflow() {
+        assert_eq!(parse_hex(b"ff"), Some(255));
+        assert_eq!(parse_hex(b"DEADbeef"), Some(0xdead_beef));
+        assert_eq!(parse_hex(b"ffffffffffffffff"), Some(u64::MAX));
+        assert_eq!(parse_hex(b"1ffffffffffffffff"), None, "17 digits overflow");
+        assert_eq!(parse_hex(b"0x10"), None, "bare hex has no prefix");
+        assert_eq!(parse_hex(b""), None);
+    }
+
+    #[test]
+    fn addr_accepts_both_spellings() {
+        assert_eq!(parse_addr(b"100"), Some(100));
+        assert_eq!(parse_addr(b"0x100"), Some(256));
+        assert_eq!(parse_addr(b"0x"), None);
+    }
+
+    #[test]
+    fn trim_strips_both_ends() {
+        assert_eq!(trim(b"  a b\t"), b"a b");
+        assert_eq!(trim(b"   "), b"");
+        assert_eq!(trim(b""), b"");
+    }
+}

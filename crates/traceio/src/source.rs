@@ -1,0 +1,599 @@
+//! The front-door pipeline: raw format readers → tenant attribution →
+//! block mapping → canonical `(tenant, block)` records.
+//!
+//! Every format module produces [`RawOp`]s through the common
+//! [`RawTraceReader`] trait; [`TraceSource`] stacks a
+//! [`TenantResolver`] and a
+//! [`BlockMap`] on top and yields exactly the
+//! record shape the engines ingest. The whole stack is streaming: the
+//! only buffering anywhere is the readers' fixed scan buffer, so a
+//! multi-GB log flows through in constant memory
+//! ([`TraceSource::stats`] exposes the measured high-water mark).
+
+use crate::binary::BinaryReader;
+use crate::csv::CsvReader;
+use crate::error::TraceIoError;
+use crate::map::BlockMap;
+use crate::metrics::TraceIoMetrics;
+use crate::tenancy::{TenantPolicy, TenantResolver};
+use crate::text::TextReader;
+use std::io::Read;
+
+/// One raw operation as a format reader parsed it, before attribution
+/// and mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawOp {
+    /// The producer's thread or tenant field (format-dependent).
+    pub thread: u64,
+    /// Byte address (or block id, for pre-mapped binary traces).
+    pub addr: u64,
+    /// Access width in bytes (1 for formats without a size field).
+    pub size: u64,
+    /// 1-based source line (0 for record-oriented formats).
+    pub line: u64,
+    /// Global byte offset of the record in the input.
+    pub offset: u64,
+}
+
+/// A streaming format-specific reader of raw trace operations.
+pub trait RawTraceReader {
+    /// The next raw op, `Ok(None)` at a clean end of stream, or a
+    /// typed error. After a *recoverable* error the reader must be
+    /// positioned so the next call continues past the damage (call
+    /// [`RawTraceReader::resync`] first for errors that interrupt
+    /// scanning, such as an over-long line).
+    fn next_op(&mut self) -> Result<Option<RawOp>, TraceIoError>;
+
+    /// Re-synchronizes after a recoverable error that left input
+    /// unconsumed (the over-long-line case). Default: nothing to do.
+    fn resync(&mut self) -> Result<(), TraceIoError> {
+        Ok(())
+    }
+
+    /// Total bytes pulled from the underlying stream.
+    fn bytes_read(&self) -> u64;
+
+    /// High-water mark of buffered bytes — the boundedness probe.
+    fn max_resident_bytes(&self) -> usize;
+
+    /// True when the format declares its addresses are already block
+    /// ids (the binary header's pre-mapped flag).
+    fn addrs_are_blocks(&self) -> bool {
+        false
+    }
+}
+
+/// The three external trace formats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Cachegrind/valgrind-flavored text log (`I`/`L`/`S`/`M` op lines).
+    Text,
+    /// `addr,tenant,tstamp` comma-separated rows.
+    Csv,
+    /// The compact `CPST` little-endian record format.
+    Binary,
+}
+
+impl TraceFormat {
+    /// Parses the CLI spelling: `text`, `csv`, `binary`, or `auto`
+    /// (returns `None`, meaning sniff the file).
+    pub fn parse(spec: &str) -> Result<Option<TraceFormat>, String> {
+        match spec {
+            "text" | "cachegrind" => Ok(Some(TraceFormat::Text)),
+            "csv" => Ok(Some(TraceFormat::Csv)),
+            "binary" | "bin" => Ok(Some(TraceFormat::Binary)),
+            "auto" => Ok(None),
+            other => Err(format!(
+                "unknown trace format `{other}` (text | csv | binary | auto)"
+            )),
+        }
+    }
+
+    /// The CLI spelling of this format.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceFormat::Text => "text",
+            TraceFormat::Csv => "csv",
+            TraceFormat::Binary => "binary",
+        }
+    }
+
+    /// Guesses the format from an input prefix: the `CPST` magic means
+    /// binary; otherwise the first non-blank, non-comment line decides
+    /// — a leading `I`/`L`/`S`/`M`/`T` op or marker means the text
+    /// log, anything else is read as CSV.
+    pub fn sniff(prefix: &[u8]) -> TraceFormat {
+        if prefix.starts_with(crate::binary::MAGIC) {
+            return TraceFormat::Binary;
+        }
+        for line in prefix.split(|&b| b == b'\n') {
+            let t = crate::num::trim(line);
+            if t.is_empty() || t.starts_with(b"#") || t.starts_with(b"==") {
+                continue;
+            }
+            return match t[0] {
+                b'I' | b'L' | b'S' | b'M' | b'T' => TraceFormat::Text,
+                _ => TraceFormat::Csv,
+            };
+        }
+        TraceFormat::Text
+    }
+}
+
+/// How a [`TraceSource`] treats recoverable parse errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strictness {
+    /// Any malformed input is fatal (the default; a replay on damaged
+    /// data should fail loudly, not silently drop accesses).
+    Strict,
+    /// Skip malformed lines/records, counting them and remembering the
+    /// first few for the malformed-input report.
+    Lenient,
+}
+
+/// How many malformed-input locations the lenient report remembers.
+pub const MALFORMED_REPORT_CAP: usize = 8;
+
+/// Counters and the malformed-input report for one source read.
+#[derive(Clone, Debug, Default)]
+pub struct SourceStats {
+    /// Canonical records emitted.
+    pub records: u64,
+    /// Raw ops parsed (one op can expand to several records).
+    pub ops: u64,
+    /// Malformed lines/records skipped (lenient mode only).
+    pub malformed_skipped: u64,
+    /// First few malformed locations, as `(line, offset, reason)`.
+    pub malformed_report: Vec<(u64, u64, String)>,
+    /// Bytes pulled from the underlying stream.
+    pub bytes_read: u64,
+    /// High-water mark of buffered bytes.
+    pub max_resident_bytes: usize,
+}
+
+/// The canonical streaming trace source: any format in, engine-shaped
+/// `(tenant, block)` records out.
+pub struct TraceSource {
+    reader: Box<dyn RawTraceReader + Send>,
+    resolver: TenantResolver,
+    map: BlockMap,
+    tenants: usize,
+    strictness: Strictness,
+    // Block-expansion state for an op spanning several blocks.
+    pend_tenant: usize,
+    pend_next: u64,
+    pend_last: u64,
+    pend_live: bool,
+    stats: SourceStats,
+    metrics: Option<TraceIoMetrics>,
+    synced_bytes: u64,
+    tick: u32,
+    premap_checked: bool,
+}
+
+impl TraceSource {
+    /// Builds a source over an already-constructed format reader.
+    ///
+    /// `tenants` bounds resolved tenant ids (a record at or past it is
+    /// an error, skippable only in lenient mode). If the reader
+    /// declares its addresses pre-mapped, `map` is overridden with the
+    /// identity mapping unless it hashes.
+    pub fn new(
+        reader: Box<dyn RawTraceReader + Send>,
+        policy: TenantPolicy,
+        map: BlockMap,
+        tenants: usize,
+        strictness: Strictness,
+    ) -> Self {
+        let map = if reader.addrs_are_blocks() {
+            BlockMap {
+                block_bytes: 1,
+                set_hash: map.set_hash,
+            }
+        } else {
+            map
+        };
+        TraceSource {
+            reader,
+            resolver: TenantResolver::new(policy),
+            map,
+            tenants,
+            strictness,
+            pend_tenant: 0,
+            pend_next: 0,
+            pend_last: 0,
+            pend_live: false,
+            stats: SourceStats::default(),
+            metrics: None,
+            synced_bytes: 0,
+            tick: 0,
+            premap_checked: false,
+        }
+    }
+
+    /// Opens `format`-formatted data from any byte stream.
+    pub fn from_read(
+        input: Box<dyn Read + Send>,
+        format: TraceFormat,
+        policy: TenantPolicy,
+        map: BlockMap,
+        tenants: usize,
+        strictness: Strictness,
+    ) -> Self {
+        let reader: Box<dyn RawTraceReader + Send> = match format {
+            TraceFormat::Text => Box::new(TextReader::new(input)),
+            TraceFormat::Csv => Box::new(CsvReader::new(input)),
+            TraceFormat::Binary => Box::new(BinaryReader::new(input)),
+        };
+        Self::new(reader, policy, map, tenants, strictness)
+    }
+
+    /// Attaches `cps_traceio_*` instruments; counters update as the
+    /// source streams.
+    pub fn with_metrics(mut self, metrics: TraceIoMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The effective block mapping (after any pre-mapped override).
+    pub fn block_map(&self) -> BlockMap {
+        self.map
+    }
+
+    /// Counters so far; callable mid-stream or after exhaustion.
+    pub fn stats(&self) -> SourceStats {
+        let mut s = self.stats.clone();
+        s.bytes_read = self.reader.bytes_read();
+        s.max_resident_bytes = self.reader.max_resident_bytes();
+        s
+    }
+
+    fn note_malformed(&mut self, e: &TraceIoError) {
+        self.stats.malformed_skipped += 1;
+        if let Some(m) = &self.metrics {
+            m.malformed_skipped.inc();
+        }
+        if self.stats.malformed_report.len() < MALFORMED_REPORT_CAP {
+            let (line, offset) = match e {
+                TraceIoError::Malformed { line, offset, .. }
+                | TraceIoError::LineTooLong { line, offset, .. }
+                | TraceIoError::TenantOutOfRange { line, offset, .. }
+                | TraceIoError::UnmappedThread { line, offset, .. } => (*line, *offset),
+                _ => (0, e.offset().unwrap_or(0)),
+            };
+            self.stats
+                .malformed_report
+                .push((line, offset, e.to_string()));
+        }
+    }
+
+    fn sync_bytes_metric(&mut self) {
+        if let Some(m) = &self.metrics {
+            let now = self.reader.bytes_read();
+            m.bytes.add(now - self.synced_bytes);
+            self.synced_bytes = now;
+        }
+    }
+
+    /// The next canonical record, `Ok(None)` at end of stream.
+    ///
+    /// In strict mode the first malformed input is returned as an
+    /// error (the CLI turns it into a friendly nonzero exit); in
+    /// lenient mode malformed lines are counted and skipped. Fatal
+    /// errors (I/O, bad magic, truncated binary) always surface.
+    pub fn next_record(&mut self) -> Result<Option<(usize, u64)>, TraceIoError> {
+        // Sampled parse-latency probe: time every 64th call.
+        self.tick = self.tick.wrapping_add(1);
+        let probe = if self.metrics.is_some() && self.tick.is_multiple_of(64) {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let out = self.next_record_inner();
+        if let (Some(start), Some(m)) = (probe, &self.metrics) {
+            m.parse_nanos.observe(start.elapsed().as_nanos() as u64);
+        }
+        if self.tick.is_multiple_of(1024) {
+            self.sync_bytes_metric();
+        }
+        out
+    }
+
+    fn next_record_inner(&mut self) -> Result<Option<(usize, u64)>, TraceIoError> {
+        loop {
+            if self.pend_live {
+                let block = self.map.finish(self.pend_next);
+                if self.pend_next == self.pend_last {
+                    self.pend_live = false;
+                } else {
+                    self.pend_next += 1;
+                }
+                self.stats.records += 1;
+                if let Some(m) = &self.metrics {
+                    m.records.inc();
+                }
+                return Ok(Some((self.pend_tenant, block)));
+            }
+            let op = match self.reader.next_op() {
+                Ok(Some(op)) => op,
+                Ok(None) => {
+                    self.sync_bytes_metric();
+                    return Ok(None);
+                }
+                Err(e) if e.is_recoverable() && self.strictness == Strictness::Lenient => {
+                    if matches!(e, TraceIoError::LineTooLong { .. }) {
+                        self.reader.resync()?;
+                    }
+                    self.note_malformed(&e);
+                    continue;
+                }
+                Err(e) => {
+                    if let Some(m) = &self.metrics {
+                        m.malformed_fatal.inc();
+                    }
+                    self.sync_bytes_metric();
+                    return Err(e);
+                }
+            };
+            self.stats.ops += 1;
+            // The binary header (and its pre-mapped flag) is only
+            // parsed when the first op is read, so the constructor's
+            // override can miss it — re-check once here.
+            if !self.premap_checked {
+                self.premap_checked = true;
+                if self.reader.addrs_are_blocks() {
+                    self.map.block_bytes = 1;
+                }
+            }
+            let tenant = match self.resolver.resolve(op.thread, op.line, op.offset) {
+                Ok(t) if t < self.tenants => t,
+                Ok(t) => {
+                    let e = TraceIoError::TenantOutOfRange {
+                        line: op.line,
+                        offset: op.offset,
+                        tenant: t as u64,
+                        tenants: self.tenants,
+                    };
+                    if self.strictness == Strictness::Lenient {
+                        self.note_malformed(&e);
+                        continue;
+                    }
+                    if let Some(m) = &self.metrics {
+                        m.malformed_fatal.inc();
+                    }
+                    return Err(e);
+                }
+                Err(e) => {
+                    if self.strictness == Strictness::Lenient {
+                        self.note_malformed(&e);
+                        continue;
+                    }
+                    if let Some(m) = &self.metrics {
+                        m.malformed_fatal.inc();
+                    }
+                    return Err(e);
+                }
+            };
+            let (first, last) = self.map.span(op.addr, op.size);
+            self.pend_tenant = tenant;
+            self.pend_next = first;
+            self.pend_last = last;
+            self.pend_live = true;
+        }
+    }
+
+    /// Adapts the source into the `(tenant, block)` iterator the
+    /// engines consume; a mid-stream error stops iteration and is
+    /// retrievable afterwards from [`Records::take_error`].
+    pub fn records(&mut self) -> Records<'_> {
+        Records {
+            source: self,
+            error: None,
+        }
+    }
+}
+
+/// Fallible iterator adapter over a [`TraceSource`]; see
+/// [`TraceSource::records`].
+pub struct Records<'a> {
+    source: &'a mut TraceSource,
+    error: Option<TraceIoError>,
+}
+
+impl Records<'_> {
+    /// The error that stopped iteration, if one did.
+    pub fn take_error(&mut self) -> Option<TraceIoError> {
+        self.error.take()
+    }
+}
+
+impl Iterator for Records<'_> {
+    type Item = (usize, u64);
+
+    fn next(&mut self) -> Option<(usize, u64)> {
+        if self.error.is_some() {
+            return None;
+        }
+        match self.source.next_record() {
+            Ok(next) => next,
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source_over(
+        text: &'static str,
+        format: TraceFormat,
+        policy: TenantPolicy,
+        map: BlockMap,
+        tenants: usize,
+        strictness: Strictness,
+    ) -> TraceSource {
+        TraceSource::from_read(
+            Box::new(text.as_bytes()),
+            format,
+            policy,
+            map,
+            tenants,
+            strictness,
+        )
+    }
+
+    #[test]
+    fn csv_to_canonical_records() {
+        let mut s = source_over(
+            "addr,tenant\n0,0\n64,1\n128,0\n",
+            TraceFormat::Csv,
+            TenantPolicy::Explicit,
+            BlockMap::default(),
+            2,
+            Strictness::Strict,
+        );
+        let mut got = Vec::new();
+        while let Some(r) = s.next_record().unwrap() {
+            got.push(r);
+        }
+        assert_eq!(got, vec![(0, 0), (1, 1), (0, 2)]);
+        let stats = s.stats();
+        assert_eq!(stats.records, 3);
+        assert_eq!(stats.ops, 3);
+        assert_eq!(stats.malformed_skipped, 0);
+    }
+
+    #[test]
+    fn wide_text_op_expands_across_blocks() {
+        // A 8-byte store at 60 straddles blocks 0 and 1 at 64-byte
+        // granularity.
+        let mut s = source_over(
+            "T 0\n S 3c,8\n",
+            TraceFormat::Text,
+            TenantPolicy::Explicit,
+            BlockMap::default(),
+            1,
+            Strictness::Strict,
+        );
+        let mut got = Vec::new();
+        while let Some(r) = s.next_record().unwrap() {
+            got.push(r);
+        }
+        assert_eq!(got, vec![(0, 0), (0, 1)]);
+        assert_eq!(s.stats().ops, 1);
+        assert_eq!(s.stats().records, 2);
+    }
+
+    #[test]
+    fn strict_mode_stops_at_first_malformed_line() {
+        let mut s = source_over(
+            "10,0\nnot a row\n20,0\n",
+            TraceFormat::Csv,
+            TenantPolicy::Explicit,
+            BlockMap::identity(),
+            1,
+            Strictness::Strict,
+        );
+        assert_eq!(s.next_record().unwrap(), Some((0, 10)));
+        let err = s.next_record().unwrap_err();
+        assert!(err.is_recoverable());
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn lenient_mode_skips_and_reports() {
+        let mut s = source_over(
+            "10,0\nnot a row\n20,9\n30,0\n",
+            TraceFormat::Csv,
+            TenantPolicy::Explicit,
+            BlockMap::identity(),
+            1,
+            Strictness::Lenient,
+        );
+        let mut got = Vec::new();
+        while let Some(r) = s.next_record().unwrap() {
+            got.push(r);
+        }
+        assert_eq!(got, vec![(0, 10), (0, 30)]);
+        let stats = s.stats();
+        assert_eq!(stats.malformed_skipped, 2, "bad row + tenant 9 of 1");
+        assert_eq!(stats.malformed_report.len(), 2);
+        assert!(stats.malformed_report[1].2.contains("out of range"));
+    }
+
+    #[test]
+    fn records_adapter_surfaces_error_after_iteration() {
+        let mut s = source_over(
+            "10,0\nxyz,0\n",
+            TraceFormat::Csv,
+            TenantPolicy::Explicit,
+            BlockMap::identity(),
+            1,
+            Strictness::Strict,
+        );
+        let mut it = s.records();
+        let got: Vec<_> = it.by_ref().collect();
+        assert_eq!(got, vec![(0, 10)]);
+        assert!(it.take_error().is_some());
+    }
+
+    #[test]
+    fn sniff_distinguishes_the_three_formats() {
+        assert_eq!(TraceFormat::sniff(b"CPST\x01\x00"), TraceFormat::Binary);
+        assert_eq!(
+            TraceFormat::sniff(b"# comment\nI 0400d7d4,8\n"),
+            TraceFormat::Text
+        );
+        assert_eq!(TraceFormat::sniff(b"addr,tenant\n10,0\n"), TraceFormat::Csv);
+        assert_eq!(TraceFormat::sniff(b"1234,0,9\n"), TraceFormat::Csv);
+        assert_eq!(TraceFormat::sniff(b"T 0\n L ff,1\n"), TraceFormat::Text);
+    }
+
+    #[test]
+    fn premapped_binary_defeats_the_default_block_map() {
+        // A converted binary trace carries block ids; replaying it with
+        // the default 64-byte map must NOT divide them again — the
+        // pre-mapped header flag (parsed lazily with the first record)
+        // forces the identity mapping.
+        let mut buf = Vec::new();
+        let mut w = crate::binary::BinaryWriter::new(&mut buf, 64).unwrap();
+        for &(t, b) in &[(0u64, 7u64), (1, 1 << 48), (0, 9)] {
+            w.write_record(t, b).unwrap();
+        }
+        w.finish().unwrap();
+        let mut s = TraceSource::from_read(
+            Box::new(std::io::Cursor::new(buf)),
+            TraceFormat::Binary,
+            TenantPolicy::Explicit,
+            BlockMap::default(),
+            2,
+            Strictness::Strict,
+        );
+        let mut got = Vec::new();
+        while let Some(r) = s.next_record().unwrap() {
+            got.push(r);
+        }
+        assert_eq!(got, vec![(0, 7), (1, 1 << 48), (0, 9)]);
+    }
+
+    #[test]
+    fn round_robin_fallback_needs_no_attribution() {
+        let mut s = source_over(
+            "addr\n0\n64\n128\n192\n",
+            TraceFormat::Csv,
+            TenantPolicy::RoundRobin(2),
+            BlockMap::default(),
+            2,
+            Strictness::Strict,
+        );
+        let mut got = Vec::new();
+        while let Some(r) = s.next_record().unwrap() {
+            got.push(r);
+        }
+        assert_eq!(got, vec![(0, 0), (1, 1), (0, 2), (1, 3)]);
+    }
+}

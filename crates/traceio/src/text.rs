@@ -1,0 +1,252 @@
+//! The cachegrind/valgrind-flavored text log format.
+//!
+//! The grammar accepted (one item per line):
+//!
+//! ```text
+//! # anything            -- comment
+//! == anything           -- tool banner (valgrind pid markers), skipped
+//! T <thread>            -- marker: subsequent ops belong to <thread>
+//! I <addr>,<size>       -- instruction fetch
+//!  L <addr>,<size>      -- data load   (leading whitespace optional)
+//!  S <addr>,<size>      -- data store
+//!  M <addr>,<size>      -- modify (load + store, one op)
+//! ```
+//!
+//! Addresses are hexadecimal (bare, cachegrind-style, or `0x`-prefixed);
+//! sizes are decimal bytes and default to 1 when the `,size` suffix is
+//! absent. A size wider than one block legitimately expands into one
+//! record per block touched — the mapper downstream handles that. Sizes
+//! above [`MAX_OP_SIZE`] are malformed: no real ISA issues them and the
+//! cap keeps adversarial input from inflating one line into billions of
+//! records.
+
+use crate::error::{snippet_of, TraceIoError};
+use crate::num::{parse_dec, parse_hex, trim};
+use crate::scan::ByteScanner;
+use crate::source::{RawOp, RawTraceReader};
+use std::io::{Read, Write};
+
+/// Largest accepted access width in bytes.
+pub const MAX_OP_SIZE: u64 = 1 << 20;
+
+/// Streaming reader for the text log format.
+pub struct TextReader<R: Read> {
+    scan: ByteScanner<R>,
+    line: u64,
+    thread: u64,
+}
+
+impl<R: Read> TextReader<R> {
+    /// Wraps `inner` with the default fixed scan buffer.
+    pub fn new(inner: R) -> Self {
+        Self::with_capacity(inner, crate::scan::DEFAULT_BUF_CAP)
+    }
+
+    /// Wraps `inner` with a fixed scan buffer of `cap` bytes.
+    pub fn with_capacity(inner: R, cap: usize) -> Self {
+        TextReader {
+            scan: ByteScanner::with_capacity(inner, cap),
+            line: 0,
+            thread: 0,
+        }
+    }
+}
+
+fn malformed(line: u64, offset: u64, what: &str, raw: &[u8]) -> TraceIoError {
+    TraceIoError::Malformed {
+        line,
+        offset,
+        what: what.to_string(),
+        snippet: snippet_of(raw),
+    }
+}
+
+impl<R: Read> RawTraceReader for TextReader<R> {
+    fn next_op(&mut self) -> Result<Option<RawOp>, TraceIoError> {
+        loop {
+            self.line += 1;
+            let lineno = self.line;
+            let Some((raw, offset)) = self.scan.next_line(lineno)? else {
+                return Ok(None);
+            };
+            let t = trim(raw);
+            if t.is_empty() || t.starts_with(b"#") || t.starts_with(b"==") {
+                continue;
+            }
+            match t[0] {
+                b'T' => {
+                    let id = trim(&t[1..]);
+                    let Some(thread) = parse_dec(id) else {
+                        return Err(malformed(lineno, offset, "bad thread marker", t));
+                    };
+                    self.thread = thread;
+                    continue;
+                }
+                b'I' | b'L' | b'S' | b'M' => {
+                    let body = trim(&t[1..]);
+                    if body.is_empty() {
+                        return Err(malformed(lineno, offset, "op without an address", t));
+                    }
+                    let (addr_bytes, size) = match body.iter().position(|&b| b == b',') {
+                        Some(comma) => {
+                            let size_bytes = trim(&body[comma + 1..]);
+                            let Some(size) = parse_dec(size_bytes) else {
+                                return Err(malformed(lineno, offset, "bad access size", t));
+                            };
+                            if size == 0 || size > MAX_OP_SIZE {
+                                return Err(malformed(
+                                    lineno,
+                                    offset,
+                                    "access size out of range",
+                                    t,
+                                ));
+                            }
+                            (trim(&body[..comma]), size)
+                        }
+                        None => (body, 1),
+                    };
+                    let addr_bytes = addr_bytes.strip_prefix(b"0x").unwrap_or(addr_bytes);
+                    let Some(addr) = parse_hex(addr_bytes) else {
+                        return Err(malformed(lineno, offset, "bad hex address", t));
+                    };
+                    return Ok(Some(RawOp {
+                        thread: self.thread,
+                        addr,
+                        size,
+                        line: lineno,
+                        offset,
+                    }));
+                }
+                _ => return Err(malformed(lineno, offset, "unknown op", t)),
+            }
+        }
+    }
+
+    fn resync(&mut self) -> Result<(), TraceIoError> {
+        self.scan.discard_line()
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.scan.bytes_read()
+    }
+
+    fn max_resident_bytes(&self) -> usize {
+        self.scan.max_resident_bytes()
+    }
+}
+
+/// Writes canonical `(tenant, addr)` records as the text format: a `T`
+/// marker whenever the tenant changes, then one single-byte load per
+/// record. Reading the result back (any block size) reproduces the
+/// records exactly, because size-1 ops never straddle blocks.
+pub struct TextWriter<W: Write> {
+    out: W,
+    tenant: Option<u64>,
+    records: u64,
+}
+
+impl<W: Write> TextWriter<W> {
+    /// Starts a writer with a provenance comment.
+    pub fn new(mut out: W, provenance: &str) -> std::io::Result<Self> {
+        writeln!(out, "# cps trace (text); {provenance}")?;
+        Ok(TextWriter {
+            out,
+            tenant: None,
+            records: 0,
+        })
+    }
+
+    /// Appends one record.
+    pub fn write_record(&mut self, tenant: u64, addr: u64) -> std::io::Result<()> {
+        if self.tenant != Some(tenant) {
+            writeln!(self.out, "T {tenant}")?;
+            self.tenant = Some(tenant);
+        }
+        writeln!(self.out, " L {addr:x},1")?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flushes and returns the record count.
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        self.out.flush()?;
+        Ok(self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops(text: &str) -> Result<Vec<RawOp>, TraceIoError> {
+        let mut r = TextReader::new(text.as_bytes());
+        let mut out = Vec::new();
+        while let Some(op) = r.next_op()? {
+            out.push(op);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn cachegrind_style_lines_parse() {
+        let got =
+            ops("==123== tool banner\nI  0400d7d4,8\n L 0421c7f0,4\n S 0421c7f0,8\n").unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].addr, 0x0400_d7d4);
+        assert_eq!(got[0].size, 8);
+        assert_eq!(got[0].thread, 0, "thread defaults to 0");
+        assert_eq!(got[1].line, 3);
+    }
+
+    #[test]
+    fn thread_markers_attribute_following_ops() {
+        let got = ops("T 2\n L ff,1\nT 5\n M 100,4\n").unwrap();
+        assert_eq!(got[0].thread, 2);
+        assert_eq!(got[1].thread, 5);
+        assert_eq!(got[1].addr, 0x100);
+    }
+
+    #[test]
+    fn size_defaults_to_one_and_0x_is_accepted() {
+        let got = ops(" L 0xff\n").unwrap();
+        assert_eq!((got[0].addr, got[0].size), (0xff, 1));
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_with_position() {
+        for (text, what) in [
+            ("Q ff,1\n", "unknown op"),
+            (" L zz,1\n", "bad hex address"),
+            (" L ff,banana\n", "bad access size"),
+            (" L ff,0\n", "access size out of range"),
+            ("T banana\n", "bad thread marker"),
+            ("L\n", "op without an address"),
+        ] {
+            let err = ops(&format!("# lead\n{text}")).unwrap_err();
+            assert!(err.is_recoverable());
+            let msg = err.to_string();
+            assert!(msg.contains("line 2"), "{text}: {msg}");
+            assert!(msg.contains(what), "{text}: {msg}");
+        }
+    }
+
+    #[test]
+    fn giant_size_is_rejected() {
+        assert!(ops(&format!(" L ff,{}\n", MAX_OP_SIZE + 1)).is_err());
+        assert!(ops(&format!(" L ff,{MAX_OP_SIZE}\n")).is_ok());
+    }
+
+    #[test]
+    fn writer_round_trips_through_reader() {
+        let mut buf = Vec::new();
+        let mut w = TextWriter::new(&mut buf, "test").unwrap();
+        let records = [(0u64, 17u64), (0, 18), (1, 17), (0, 99)];
+        for &(t, a) in &records {
+            w.write_record(t, a).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), 4);
+        let got = ops(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let back: Vec<(u64, u64)> = got.iter().map(|o| (o.thread, o.addr)).collect();
+        assert_eq!(back, records);
+    }
+}

@@ -1,0 +1,133 @@
+//! Malformed-input hardening: whatever bytes arrive — truncated files,
+//! bit flips inside valid traces, or arbitrary garbage — every reader
+//! must return a typed [`TraceIoError`] or clean records, and must
+//! never panic. Lenient mode must always reach end of stream on
+//! text/CSV input (every recoverable error skips forward).
+
+use proptest::prelude::*;
+
+use cps_traceio::{
+    BinaryWriter, BlockMap, CsvWriter, Strictness, TenantPolicy, TextWriter, TraceFormat,
+    TraceSource,
+};
+
+/// Drains a source, returning how it ended. The call itself not
+/// panicking is the property under test.
+fn drain(bytes: &[u8], format: TraceFormat, strictness: Strictness) -> Result<usize, String> {
+    let mut source = TraceSource::from_read(
+        Box::new(std::io::Cursor::new(bytes.to_vec())),
+        format,
+        TenantPolicy::Explicit,
+        BlockMap::default(),
+        usize::MAX,
+        strictness,
+    );
+    let mut n = 0usize;
+    loop {
+        match source.next_record() {
+            Ok(Some(_)) => n += 1,
+            Ok(None) => return Ok(n),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+/// A structurally valid trace in each format, to be damaged.
+fn valid(format: TraceFormat, records: &[(u16, u64)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match format {
+        TraceFormat::Binary => {
+            let mut w = BinaryWriter::new(&mut buf, 64).unwrap();
+            for &(t, b) in records {
+                w.write_record(t as u64, b).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        TraceFormat::Text => {
+            let mut w = TextWriter::new(&mut buf, "fuzz").unwrap();
+            for &(t, b) in records {
+                w.write_record(t as u64, b).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        TraceFormat::Csv => {
+            let mut w = CsvWriter::new(&mut buf).unwrap();
+            for &(t, b) in records {
+                w.write_record(t as u64, b).unwrap();
+            }
+            w.finish().unwrap();
+        }
+    }
+    buf
+}
+
+const FORMATS: [TraceFormat; 3] = [TraceFormat::Binary, TraceFormat::Text, TraceFormat::Csv];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary garbage through every reader, both strictness modes:
+    /// no panics, and errors are typed with a printable message.
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        for format in FORMATS {
+            for strictness in [Strictness::Strict, Strictness::Lenient] {
+                match drain(&bytes, format, strictness) {
+                    Ok(_) => {}
+                    Err(msg) => prop_assert!(!msg.is_empty()),
+                }
+            }
+        }
+    }
+
+    /// Truncating a valid trace at any byte boundary must never panic,
+    /// and text/CSV lenient reads must still reach end of stream.
+    fn truncation_never_panics(
+        records in prop::collection::vec((any::<u16>(), any::<u64>()), 1..40),
+        cut_frac in 0.0f64..1.0
+    ) {
+        for format in FORMATS {
+            let full = valid(format, &records);
+            let cut = ((full.len() as f64) * cut_frac) as usize;
+            let bytes = &full[..cut.min(full.len())];
+            let _ = drain(bytes, format, Strictness::Strict);
+            let lenient = drain(bytes, format, Strictness::Lenient);
+            if format != TraceFormat::Binary {
+                prop_assert!(lenient.is_ok(), "{format:?} lenient: {lenient:?}");
+            }
+        }
+    }
+
+    /// Flipping one bit anywhere in a valid trace must never panic; in
+    /// lenient mode the text/CSV readers must keep going to the end.
+    fn bit_flips_never_panic(
+        records in prop::collection::vec((any::<u16>(), any::<u64>()), 1..40),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8
+    ) {
+        for format in FORMATS {
+            let mut bytes = valid(format, &records);
+            let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+            bytes[pos] ^= 1 << bit;
+            let _ = drain(&bytes, format, Strictness::Strict);
+            let lenient = drain(&bytes, format, Strictness::Lenient);
+            if format != TraceFormat::Binary {
+                prop_assert!(lenient.is_ok(), "{format:?} lenient: {lenient:?}");
+            }
+        }
+    }
+
+    /// A bit flip in the binary *body* (past the header) keeps record
+    /// alignment, so lenient binary reads still finish cleanly.
+    fn binary_body_flips_stay_aligned(
+        records in prop::collection::vec((any::<u16>(), any::<u64>()), 1..40),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8
+    ) {
+        let mut bytes = valid(TraceFormat::Binary, &records);
+        let body = cps_traceio::binary::HEADER_LEN;
+        let pos = body + (((bytes.len() - body) as f64) * pos_frac) as usize % (bytes.len() - body);
+        bytes[pos] ^= 1 << bit;
+        let got = drain(&bytes, TraceFormat::Binary, Strictness::Lenient);
+        prop_assert_eq!(got, Ok(records.len()));
+    }
+}

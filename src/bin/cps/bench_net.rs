@@ -22,7 +22,9 @@
 //! the position the server reports as missing — identity must survive
 //! the disconnect.
 
-use crate::common::{parse_workload, write_text_out, Args};
+use crate::common::{
+    open_trace_source, parse_trace_opts, parse_workload, print_source_stats, write_text_out, Args,
+};
 use cache_partition_sharing::engine::EngineReport;
 use cache_partition_sharing::obs::{parse_journal_line, JournalLine};
 use cache_partition_sharing::prelude::*;
@@ -34,11 +36,16 @@ use std::time::{Duration, Instant};
 
 pub fn run(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
-    let specs: Vec<WorkloadSpec> = args
-        .require("workloads")?
-        .split(',')
-        .map(parse_workload)
-        .collect::<Result<_, _>>()?;
+    let trace_file = args.get("trace-file").map(str::to_string);
+    let specs: Vec<WorkloadSpec> = match &trace_file {
+        Some(_) => Vec::new(),
+        None => args
+            .require("workloads")
+            .map_err(|_| "need --workloads SPEC,... or --trace-file FILE".to_string())?
+            .split(',')
+            .map(parse_workload)
+            .collect::<Result<_, _>>()?,
+    };
     let k = specs.len();
     let host = args.get("host").unwrap_or("127.0.0.1");
     let port: u16 = args
@@ -56,6 +63,13 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     }
     let rates: Vec<f64> = match args.get("rates") {
         None => vec![1.0; k],
+        Some(_) if trace_file.is_some() => {
+            return Err(
+                "--rates shapes generated streams; an external --trace-file \
+                        already carries its own interleaving"
+                    .into(),
+            )
+        }
         Some(s) => {
             let r: Vec<f64> = s
                 .split(',')
@@ -84,7 +98,7 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     let addr = format!("{host}:{port}");
     let mut client = Client::connect(&addr, None).map_err(|e| format!("connect {addr}: {e}"))?;
     let config = client.config();
-    if config.tenants != k as u64 {
+    if trace_file.is_none() && config.tenants != k as u64 {
         return Err(format!(
             "server hosts {} tenants but --workloads names {k}; \
              the streams would not line up",
@@ -100,16 +114,39 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         config.epoch_length
     );
 
-    // The exact stream replay-online would build: per-tenant seeds
-    // seed+i+1, proportional interleave over the rates.
-    let traces: Vec<Trace> = specs
-        .iter()
-        .enumerate()
-        .map(|(i, s)| s.generate(len, seed.wrapping_add(i as u64 + 1)))
-        .collect();
-    let refs: Vec<&Trace> = traces.iter().collect();
-    let co = interleave_proportional(&refs, &rates, len);
-    let stream: Vec<(u64, u64)> = co.tenant_accesses().map(|(t, b)| (t as u64, b)).collect();
+    // The canonical stream to serve: either the exact stream
+    // replay-online would build (per-tenant seeds seed+i+1,
+    // proportional interleave over the rates), or an external trace
+    // read through the traceio front door. Either way the identical
+    // records drive both the daemon and the in-process check, so the
+    // identity assertion is unchanged.
+    let stream: Vec<(u64, u64)> = match &trace_file {
+        Some(path) => {
+            let opts = parse_trace_opts(&args, config.tenants as usize)?;
+            let (mut source, format) = open_trace_source(path, &opts)?;
+            let mut records = source.records();
+            let stream: Vec<(u64, u64)> = records.by_ref().map(|(t, b)| (t as u64, b)).collect();
+            if let Some(e) = records.take_error() {
+                return Err(format!("{path}: {e}"));
+            }
+            println!("streaming {path} ({} format) to the daemon", format.name());
+            print_source_stats(&source.stats());
+            if stream.is_empty() {
+                return Err(format!("{path}: no records to stream"));
+            }
+            stream
+        }
+        None => {
+            let traces: Vec<Trace> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.generate(len, seed.wrapping_add(i as u64 + 1)))
+                .collect();
+            let refs: Vec<&Trace> = traces.iter().collect();
+            let co = interleave_proportional(&refs, &rates, len);
+            co.tenant_accesses().map(|(t, b)| (t as u64, b)).collect()
+        }
+    };
 
     // Telemetry riders: a SUBSCRIBE observer collecting every pushed
     // epoch frame, and an HTTP scraper hammering /metrics — both live

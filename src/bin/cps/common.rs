@@ -117,6 +117,127 @@ pub fn parse_workload(spec: &str) -> Result<WorkloadSpec, String> {
     }
 }
 
+/// The shared `--trace-*` reader flags, parsed once and reusable for a
+/// second pass over the same file (the sharded identity replay).
+#[derive(Clone)]
+pub struct TraceInputOpts {
+    /// `--trace-format`: `None` means sniff the file.
+    pub format: Option<TraceFormat>,
+    /// `--tenancy` attribution policy.
+    pub policy: TenantPolicy,
+    /// `--block-bytes` / `--set-hash` address mapping.
+    pub map: BlockMap,
+    /// Tenant-id bound records must respect.
+    pub tenants: usize,
+    /// `--lenient true` skips malformed input instead of stopping.
+    pub strictness: Strictness,
+}
+
+/// Parses the shared external-trace flags: `--trace-format`,
+/// `--tenancy`, `--block-bytes`, `--set-hash`, `--lenient`, against a
+/// caller-supplied tenant bound.
+pub fn parse_trace_opts(args: &Args, tenants: usize) -> Result<TraceInputOpts, String> {
+    let format = TraceFormat::parse(args.get("trace-format").unwrap_or("auto"))?;
+    let policy = TenantPolicy::parse(args.get("tenancy").unwrap_or("explicit"))
+        .map_err(|e| format!("bad --tenancy: {e}"))?;
+    let block_bytes: u64 = args.get_parse("block-bytes", 64)?;
+    if block_bytes == 0 {
+        return Err("--block-bytes must be at least 1".into());
+    }
+    let set_hash: bool = args.get_parse("set-hash", false)?;
+    let lenient: bool = args.get_parse("lenient", false)?;
+    Ok(TraceInputOpts {
+        format,
+        policy,
+        map: BlockMap {
+            block_bytes,
+            set_hash,
+        },
+        tenants,
+        strictness: if lenient {
+            Strictness::Lenient
+        } else {
+            Strictness::Strict
+        },
+    })
+}
+
+/// Opens `path` as a streaming [`TraceSource`], sniffing the format
+/// from the first bytes when the options say `auto`. Returns the
+/// source and the format actually used.
+pub fn open_trace_source(
+    path: &str,
+    opts: &TraceInputOpts,
+) -> Result<(TraceSource, TraceFormat), String> {
+    use std::io::Read;
+    let mut file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let format = match opts.format {
+        Some(f) => f,
+        None => {
+            let mut prefix = [0u8; 512];
+            let mut filled = 0;
+            loop {
+                let n = file
+                    .read(&mut prefix[filled..])
+                    .map_err(|e| format!("read {path}: {e}"))?;
+                if n == 0 {
+                    break;
+                }
+                filled += n;
+                if filled == prefix.len() {
+                    break;
+                }
+            }
+            let format = TraceFormat::sniff(&prefix[..filled]);
+            // Stitch the sniffed prefix back in front of the rest.
+            let input: Box<dyn Read + Send> =
+                Box::new(std::io::Cursor::new(prefix[..filled].to_vec()).chain(file));
+            return Ok((
+                TraceSource::from_read(
+                    input,
+                    format,
+                    opts.policy.clone(),
+                    opts.map,
+                    opts.tenants,
+                    opts.strictness,
+                ),
+                format,
+            ));
+        }
+    };
+    Ok((
+        TraceSource::from_read(
+            Box::new(file),
+            format,
+            opts.policy.clone(),
+            opts.map,
+            opts.tenants,
+            opts.strictness,
+        ),
+        format,
+    ))
+}
+
+/// Prints the post-read source summary every trace-consuming command
+/// shares: record/op counts, byte throughput, the bounded-memory
+/// high-water mark, and the malformed-input report in lenient mode.
+pub fn print_source_stats(stats: &cache_partition_sharing::traceio::SourceStats) {
+    println!(
+        "trace read: {} records from {} ops, {} bytes, reader high-water {} bytes",
+        stats.records, stats.ops, stats.bytes_read, stats.max_resident_bytes
+    );
+    if stats.malformed_skipped > 0 {
+        println!(
+            "malformed input: {} lines/records skipped; first {}:",
+            stats.malformed_skipped,
+            stats.malformed_report.len()
+        );
+        for (_, _, reason) in &stats.malformed_report {
+            println!("  {reason}");
+        }
+    }
+}
+
 pub fn read_trace(path: &str) -> Result<Vec<Block>, String> {
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let mut blocks = Vec::new();

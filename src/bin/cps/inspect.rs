@@ -33,10 +33,13 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         other => return Err(format!("bad --follow {other} (true|false)")),
     };
     let chrome_out = args.get("chrome-trace").map(str::to_string);
-    if follow && chrome_out.is_some() {
-        return Err("--chrome-trace needs the finished journal; it cannot \
-                    combine with --follow"
-            .into());
+    let canonical_out = args.get("canonical").map(str::to_string);
+    if follow && (chrome_out.is_some() || canonical_out.is_some()) {
+        return Err(
+            "--chrome-trace/--canonical need the finished journal; they \
+                    cannot combine with --follow"
+                .into(),
+        );
     }
     if follow {
         return follow_journal(path);
@@ -69,6 +72,21 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let journal = Journal::parse(&text).map_err(|e| format!("{label}: {e}"))?;
+    if let Some(out) = &canonical_out {
+        // The identity text the serve-path checks compare: the journal
+        // with every wall-clock field zeroed. Two runs of the same
+        // stream through the same engine — in process, over the wire,
+        // or replayed from a trace file in any format — must produce
+        // byte-identical canonical text.
+        write_text_out(out, &identity_of_journal(&journal))?;
+        if out != "-" {
+            println!(
+                "canonical journal: {} epochs -> {out}",
+                journal.epochs.len()
+            );
+        }
+        return Ok(());
+    }
     if let Some(out) = &chrome_out {
         write_text_out(out, &chrome_trace_json(&journal))?;
         if out != "-" {

@@ -36,6 +36,7 @@ mod show;
 mod stall;
 mod top;
 mod tournament;
+mod trace_cmd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +59,7 @@ fn main() -> ExitCode {
         "tournament" => tournament::run(rest),
         "inspect" => inspect::run(rest),
         "top" => top::run(rest),
+        "trace" => trace_cmd::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -93,6 +95,7 @@ USAGE:
                [--ingest buffered|queued] [--queue-cap N]
                [--objective OBJ] [--baseline none|equal|natural]
                [--journal FILE] [--metrics-out FILE]
+               | --trace-file FILE --tenants K --units U [TRACE FLAGS]
                (live epoch-driven repartitioning vs static-optimal and
                free-for-all sharing; --shards replays the same stream
                through the sharded engine and reports the speedup;
@@ -100,7 +103,10 @@ USAGE:
                queues and reports backpressure; --journal writes the
                epoch event journal for `cps inspect`; --metrics-out
                writes a metrics snapshot, Prometheus text by default or
-               JSONL if FILE ends in .jsonl)
+               JSONL if FILE ends in .jsonl; --trace-file streams an
+               external trace instead of synthesizing workloads —
+               constant memory however large the file, baselines that
+               need the whole stream skipped)
   cps serve    --tenants K --units U --port P|auto [--bpu B] [--epoch E]
                [--decay D] [--hysteresis H] [--shards N]
                [--ingest buffered|queued] [--queue-cap N]
@@ -125,6 +131,7 @@ USAGE:
                [--rates R,R,...] [--seed S] [--batch N] [--journal-out FILE]
                [--connections N] [--kill-resume true]
                [--observe true] [--scrape HOST:PORT]
+               | --trace-file FILE --port P [TRACE FLAGS]
                (replay an interleaved stream against a live `cps serve`
                and verify the served journal is report-identical to the
                same engine run in process; --connections N splits the
@@ -133,7 +140,8 @@ USAGE:
                --observe true rides a SUBSCRIBE observer along the run
                and --scrape hammers the daemon's /metrics endpoint —
                identity must hold with both attached; identity failure
-               exits nonzero)
+               exits nonzero; --trace-file streams an external trace
+               instead, tenant count taken from the server)
   cps cluster  --workloads SPEC,SPEC,... --units U [--bpu B]
                [--nodes N] [--node-capacity U] | [--connect H:P,H:P,...]
                [--placement greedy|roundrobin] [--migrate-threshold T|off]
@@ -152,13 +160,30 @@ USAGE:
   cps tournament [--objectives OBJ,OBJ,...] [--group-size K]
                [--programs N] [--units U] [--bpu B] [--len N]
                [--journal FILE]
+               | --trace-file FILE --tenants K [TRACE FLAGS]
                (sweep every K-program co-run group of the SPEC-like
                study set under each objective, evaluate all six
                allocation schemes, and print a Table-I-style comparison
                of Optimal's gap over every other scheme per objective;
                --journal writes the machine-readable tournament journal
-               that `cps inspect` renders back)
+               that `cps inspect` renders back; --trace-file evaluates
+               the schemes on the one real co-run group an external
+               trace records, per objective)
+  cps trace    stat FILE [TRACE FLAGS] [--tenants K]
+               (one bounded-memory pass: record/op counts, per-tenant
+               histogram, distinct-block footprint — exact up to a cap,
+               sketched beyond — block-id range, malformed report)
+  cps trace    convert IN --out OUT [--to binary|text|csv] [TRACE FLAGS]
+               (re-encode any readable trace, baking the tenancy policy
+               and block mapping in; binary output marks its addresses
+               pre-mapped so replays skip the mapping automatically)
+  cps trace    gen --workloads SPEC,SPEC,... --out FILE [--to FORMAT]
+               [--len N] [--rates R,R,...] [--seed S]
+               (write the exact interleaved stream `cps replay-online`
+               would synthesize from the same flags, so file-driven and
+               generator-driven runs are bit-for-bit comparable)
   cps inspect  JOURNAL [--follow true] [--chrome-trace OUT.json]
+               [--canonical OUT|-]
                (parse + validate an epoch or tournament journal; epoch
                journals print stage-time breakdowns, the
                allocation-churn timeline, per-tenant miss-ratio
@@ -176,6 +201,17 @@ USAGE:
                and server counters, refreshed in place every --refresh
                ms; --once true prints a single plain snapshot and
                exits, for scripts and smoke tests)
+
+TRACE FLAGS (for `--trace-file` and `cps trace`):
+  --trace-format text|csv|binary|auto   input format (default: sniff)
+  --tenancy explicit|map:TID=T,..|first-seen|rr:K
+                     how records are attributed to tenants (default:
+                     explicit — the record's own tenant/thread field)
+  --block-bytes B    bytes per cache block for address mapping
+                     (default 64; pre-mapped binary inputs override)
+  --set-hash true    splitmix64-hash block ids (set-index dispersal)
+  --lenient true     skip malformed lines/records instead of stopping
+                     (skips are counted and the first few reported)
 
 WORKLOAD SPECS (for `gen`):
   loop:WS            sequential loop over WS blocks

@@ -12,8 +12,12 @@
 //! describe the *observed* run: the sharded replay when `--shards` is
 //! given, otherwise the single-threaded engine.
 
-use crate::common::{parse_objective, parse_workload, validate_objective_for, Args};
+use crate::common::{
+    open_trace_source, parse_objective, parse_trace_opts, parse_workload, print_source_stats,
+    validate_objective_for, Args,
+};
 use cache_partition_sharing::prelude::*;
+use cache_partition_sharing::traceio::TraceIoMetrics;
 use std::time::Instant;
 
 /// Which front end feeds the sharded engine.
@@ -28,6 +32,9 @@ enum IngestMode {
 
 pub fn run(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
+    if args.get("trace-file").is_some() {
+        return run_trace_file(&args);
+    }
     let specs: Vec<WorkloadSpec> = args
         .require("workloads")?
         .split(',')
@@ -254,6 +261,278 @@ pub fn run(raw: &[String]) -> Result<(), String> {
     };
 
     // The journal and metrics snapshot describe the observed run.
+    let (engine_name, observed) = match (&sharded_report, ingest) {
+        (Some(r), IngestMode::Queued) => ("queued", r),
+        (Some(r), IngestMode::Buffered) => ("sharded", r),
+        (None, _) => ("single", &report),
+    };
+    if let Some(path) = &journal_path {
+        let header = RunHeader {
+            engine: engine_name.to_string(),
+            tenants: k,
+            units,
+            bpu,
+            epoch_length: epoch,
+            shards: shards.unwrap_or(1),
+            policy: args.get("baseline").unwrap_or("none").to_string(),
+            objective: objective_name.clone(),
+        };
+        write_journal(path, &header, observed)?;
+        println!(
+            "journal: {} epochs ({engine_name} engine) -> {path}",
+            observed.epochs.len()
+        );
+    }
+    if let Some(path) = &metrics_path {
+        let snapshot = registry.snapshot();
+        crate::common::write_text_out(
+            path,
+            &crate::common::render_metrics_snapshot(path, &snapshot),
+        )?;
+        if path != "-" {
+            println!("metrics: {} samples -> {path}", snapshot.samples.len());
+        }
+    }
+    Ok(())
+}
+
+/// `--trace-file` mode: stream an external trace straight into the
+/// engine — no materialization, so the input may be arbitrarily large.
+/// The static-optimal and free-for-all baselines need the whole stream
+/// in memory and are skipped; `--shards N` streams the file a second
+/// time through the sharded engine and checks the allocation
+/// trajectories are identical.
+fn run_trace_file(args: &Args) -> Result<(), String> {
+    let path = args.require("trace-file")?;
+    let k: usize = args
+        .require("tenants")
+        .map_err(|_| "external traces need --tenants K (the engine's tenant count)".to_string())?
+        .parse()
+        .map_err(|_| "bad --tenants".to_string())?;
+    if k == 0 {
+        return Err("--tenants must be at least 1".into());
+    }
+    let units: usize = args
+        .require("units")?
+        .parse()
+        .map_err(|_| "bad --units".to_string())?;
+    if units == 0 {
+        return Err("--units must be at least 1".into());
+    }
+    let bpu: usize = args.get_parse("bpu", 1)?;
+    if bpu == 0 {
+        return Err("--bpu must be at least 1".into());
+    }
+    let config = CacheConfig::new(units, bpu);
+    let epoch: usize = args.get_parse("epoch", 10_000)?;
+    if epoch == 0 {
+        return Err("--epoch must be at least 1 access".into());
+    }
+    let decay: f64 = args.get_parse("decay", 0.5)?;
+    if !(0.0..1.0).contains(&decay) {
+        return Err(format!("--decay must lie in [0, 1), got {decay}"));
+    }
+    let hysteresis: usize = args.get_parse("hysteresis", 1)?;
+    let shards: Option<usize> = match args.get("shards") {
+        None => None,
+        Some(_) => {
+            let n: usize = args.get_parse("shards", 0)?;
+            if n == 0 {
+                return Err("--shards must be at least 1 (omit the flag to \
+                            skip the sharded replay)"
+                    .into());
+            }
+            Some(n)
+        }
+    };
+    let ingest = match args.get("ingest").unwrap_or("buffered") {
+        "buffered" => IngestMode::Buffered,
+        "queued" => IngestMode::Queued,
+        other => return Err(format!("unknown --ingest {other} (buffered|queued)")),
+    };
+    let queue_cap: usize = args.get_parse("queue-cap", 1_024)?;
+    if queue_cap == 0 {
+        return Err("--queue-cap must hold at least 1 record".into());
+    }
+    if ingest == IngestMode::Queued && shards.is_none() {
+        return Err("--ingest queued needs --shards N".into());
+    }
+    let journal_path = args.get("journal").map(str::to_string);
+    let metrics_path = args.get("metrics-out").map(str::to_string);
+    let objective = parse_objective(args)?;
+    validate_objective_for(&objective, k)?;
+    let objective_name = objective.name();
+    let policy = match args.get("baseline").unwrap_or("none") {
+        "none" => Policy::Optimal,
+        "equal" => Policy::EqualBaseline,
+        "natural" => Policy::NaturalBaseline,
+        other => return Err(format!("unknown --baseline {other} (none|equal|natural)")),
+    };
+    let opts = parse_trace_opts(args, k)?;
+
+    let engine_cfg = EngineConfig::new(config, epoch)
+        .policy(policy)
+        .objective(objective.clone())
+        .decay(decay)
+        .hysteresis(hysteresis);
+    let registry = MetricsRegistry::new();
+    let io_metrics = metrics_path
+        .is_some()
+        .then(|| TraceIoMetrics::register(&registry));
+
+    // First pass: the single-threaded engine, streaming.
+    let (mut source, format) = open_trace_source(path, &opts)?;
+    if let Some(m) = &io_metrics {
+        source = source.with_metrics(m.clone());
+    }
+    let single_start = Instant::now();
+    let mut engine = if metrics_path.is_some() && shards.is_none() {
+        RepartitionEngine::with_metrics(engine_cfg.clone(), k, &registry)
+    } else {
+        RepartitionEngine::new(engine_cfg.clone(), k)
+    };
+    let mut records = source.records();
+    engine.run(records.by_ref());
+    if let Some(e) = records.take_error() {
+        return Err(format!("{path}: {e}"));
+    }
+    let report = engine.finish();
+    let single_elapsed = single_start.elapsed();
+    let stats = source.stats();
+
+    println!(
+        "online repartitioning: {k} tenants from {path} ({} format), {} accesses, \
+         {units} x {bpu}-block units, epoch {epoch}, decay {decay}, hysteresis {hysteresis}, \
+         objective {objective_name}, policy {policy:?}",
+        format.name(),
+        stats.records
+    );
+    print_source_stats(&stats);
+    println!("(static-optimal and free-for-all baselines need a materialized stream; skipped)");
+    println!(
+        "{:<7} {:>9}  {:>6} {:>10}  allocation (units)",
+        "epoch", "online", "moved", "solve"
+    );
+    for e in &report.epochs {
+        let solve = if e.solve_nanos() > 0 {
+            format!("{:.1}us", e.solve_nanos() as f64 / 1e3)
+        } else {
+            "-".to_string()
+        };
+        let mark = if e.repartitioned { "*" } else { " " };
+        let alloc: Vec<String> = e.allocation.iter().map(|u| u.to_string()).collect();
+        println!(
+            "{:<7} {:>9.4}  {:>5}{} {:>10}  {}",
+            e.epoch,
+            e.miss_ratio(),
+            e.units_moved,
+            mark,
+            solve,
+            alloc.join("/")
+        );
+    }
+    println!(
+        "\ncumulative miss ratio: online {:.4}; {} repartitions over {} epochs; mean DP solve {}",
+        report.cumulative_miss_ratio(),
+        report.repartition_count(),
+        report.epochs.len(),
+        match report.mean_solve_nanos() {
+            Some(ns) => format!("{:.1} us", ns as f64 / 1e3),
+            None => "n/a".to_string(),
+        }
+    );
+
+    // Second pass for --shards: stream the file again through the
+    // sharded engine and hold it to the single trajectory.
+    let sharded_report = match shards {
+        Some(shards) => {
+            let (mut source, _) = open_trace_source(path, &opts)?;
+            if let Some(m) = &io_metrics {
+                source = source.with_metrics(m.clone());
+            }
+            let sharded_start = Instant::now();
+            let sharded = {
+                let registry = metrics_path.is_some().then_some(&registry);
+                let mut records = source.records();
+                let sharded = match ingest {
+                    IngestMode::Buffered => {
+                        let mut engine = match registry {
+                            Some(r) => {
+                                ShardedEngine::with_metrics(engine_cfg.clone(), k, shards, r)
+                            }
+                            None => ShardedEngine::new(engine_cfg.clone(), k, shards),
+                        };
+                        engine.run(records.by_ref());
+                        engine.finish()
+                    }
+                    IngestMode::Queued => {
+                        let mut engine = match registry {
+                            Some(r) => QueuedShardedEngine::with_metrics(
+                                engine_cfg.clone(),
+                                k,
+                                shards,
+                                queue_cap,
+                                r,
+                            ),
+                            None => {
+                                QueuedShardedEngine::new(engine_cfg.clone(), k, shards, queue_cap)
+                            }
+                        };
+                        engine.run(records.by_ref());
+                        engine.finish()
+                    }
+                };
+                if let Some(e) = records.take_error() {
+                    return Err(format!("{path}: {e}"));
+                }
+                sharded
+            };
+            let sharded_elapsed = sharded_start.elapsed();
+            if sharded.epochs.len() != report.epochs.len() {
+                return Err(format!(
+                    "sharded engine produced {} epochs, single engine {}",
+                    sharded.epochs.len(),
+                    report.epochs.len()
+                ));
+            }
+            for (a, b) in report.epochs.iter().zip(&sharded.epochs) {
+                if a.allocation != b.allocation {
+                    return Err(format!(
+                        "sharded engine diverged at epoch {}: single {:?}, {shards} shards {:?}",
+                        a.epoch, a.allocation, b.allocation
+                    ));
+                }
+            }
+            let accesses = stats.records as f64;
+            let rate = |d: std::time::Duration| accesses / d.as_secs_f64().max(1e-12) / 1e6;
+            println!("\nsharded replay: same file, allocations identical across shard counts");
+            println!(
+                "{:<16} {:>12} {:>14} {:>9}",
+                "engine", "elapsed", "Maccesses/s", "speedup"
+            );
+            println!(
+                "{:<16} {:>10.1}ms {:>14.2} {:>8.2}x",
+                "single",
+                single_elapsed.as_secs_f64() * 1e3,
+                rate(single_elapsed),
+                1.0
+            );
+            let label = match ingest {
+                IngestMode::Buffered => format!("{shards}-shard"),
+                IngestMode::Queued => format!("{shards}-shard queued"),
+            };
+            println!(
+                "{:<16} {:>10.1}ms {:>14.2} {:>8.2}x",
+                label,
+                sharded_elapsed.as_secs_f64() * 1e3,
+                rate(sharded_elapsed),
+                single_elapsed.as_secs_f64() / sharded_elapsed.as_secs_f64().max(1e-12)
+            );
+            Some(sharded)
+        }
+        None => None,
+    };
+
     let (engine_name, observed) = match (&sharded_report, ingest) {
         (Some(r), IngestMode::Queued) => ("queued", r),
         (Some(r), IngestMode::Buffered) => ("sharded", r),

@@ -8,7 +8,9 @@
 //! printed to stdout and, with `--journal`, written as a tournament
 //! journal that `cps inspect` renders back.
 
-use super::common::{write_text_out, Args};
+use super::common::{
+    open_trace_source, parse_trace_opts, print_source_stats, write_text_out, Args,
+};
 use cache_partition_sharing::obs::{TournamentHeader, TournamentJournal, TournamentRow};
 use cache_partition_sharing::prelude::*;
 use cache_partition_sharing::trace::spec_like::study_programs_scaled;
@@ -24,6 +26,9 @@ const VERSUS: [Scheme; 5] = [
 
 pub fn run(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
+    if args.get("trace-file").is_some() {
+        return run_trace_file(&args);
+    }
     let group_size: usize = args.get_parse("group-size", 4)?;
     let programs: usize = args.get_parse("programs", 9)?;
     let units: usize = args.get_parse("units", 32)?;
@@ -50,55 +55,13 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         return Err("bad --units/--bpu: the cache needs at least one block".into());
     }
 
-    // Parse every objective spec up front so a typo in the last one
-    // fails before any sweeping starts.
-    let mut objectives: Vec<Objective> = Vec::new();
-    for spec in args
-        .get("objectives")
-        .unwrap_or("miss-ratio,maxmin")
-        .split(',')
-    {
-        // `value-weighted:w1,w2,..` carries commas inside one spec, so
-        // re-join a numeric continuation onto the previous objective.
-        let spec = spec.trim();
-        if spec.is_empty() {
-            return Err("bad --objectives: empty objective spec in the list".into());
-        }
-        if spec.parse::<f64>().is_ok() {
-            match objectives.last_mut() {
-                Some(Objective::ValueWeighted { weights: _ }) => {
-                    let prev = objectives.pop().expect("just matched");
-                    let name = prev.name();
-                    let sep = if name.contains(':') { ',' } else { ':' };
-                    let rejoined = format!("{name}{sep}{spec}");
-                    objectives.push(
-                        Objective::parse(&rejoined)
-                            .map_err(|e| format!("bad --objectives: {e}"))?,
-                    );
-                    continue;
-                }
-                _ => {
-                    return Err(format!(
-                        "bad --objectives: stray number `{spec}` (weights belong \
-                         after `value-weighted:`)"
-                    ))
-                }
-            }
-        }
-        let objective = Objective::parse(spec).map_err(|e| format!("bad --objectives: {e}"))?;
-        objectives.push(objective);
-    }
+    let objectives = parse_objectives(&args)?;
     for objective in &objectives {
         objective
             .validate_for(group_size)
             .map_err(|e| format!("bad --objectives: {e} (the group size is {group_size})"))?;
     }
     let names: Vec<String> = objectives.iter().map(|o| o.name()).collect();
-    for (i, n) in names.iter().enumerate() {
-        if names[..i].contains(n) {
-            return Err(format!("bad --objectives: `{n}` is listed twice"));
-        }
-    }
 
     let config = CacheConfig::new(units, bpu);
     eprintln!(
@@ -153,6 +116,147 @@ pub fn run(raw: &[String]) -> Result<(), String> {
         write_text_out(path, &text)?;
         if path != "-" {
             eprintln!("tournament journal written to {path}");
+        }
+    }
+    Ok(())
+}
+
+/// Parses `--objectives` up front so a typo in the last one fails
+/// before any sweeping starts; duplicate names are rejected. Tenant-
+/// count validation is the caller's (the count differs per mode).
+fn parse_objectives(args: &Args) -> Result<Vec<Objective>, String> {
+    let mut objectives: Vec<Objective> = Vec::new();
+    for spec in args
+        .get("objectives")
+        .unwrap_or("miss-ratio,maxmin")
+        .split(',')
+    {
+        // `value-weighted:w1,w2,..` carries commas inside one spec, so
+        // re-join a numeric continuation onto the previous objective.
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Err("bad --objectives: empty objective spec in the list".into());
+        }
+        if spec.parse::<f64>().is_ok() {
+            match objectives.last_mut() {
+                Some(Objective::ValueWeighted { weights: _ }) => {
+                    let prev = objectives.pop().expect("just matched");
+                    let name = prev.name();
+                    let sep = if name.contains(':') { ',' } else { ':' };
+                    let rejoined = format!("{name}{sep}{spec}");
+                    objectives.push(
+                        Objective::parse(&rejoined)
+                            .map_err(|e| format!("bad --objectives: {e}"))?,
+                    );
+                    continue;
+                }
+                _ => {
+                    return Err(format!(
+                        "bad --objectives: stray number `{spec}` (weights belong \
+                         after `value-weighted:`)"
+                    ))
+                }
+            }
+        }
+        let objective = Objective::parse(spec).map_err(|e| format!("bad --objectives: {e}"))?;
+        objectives.push(objective);
+    }
+    let names: Vec<String> = objectives.iter().map(|o| o.name()).collect();
+    for (i, n) in names.iter().enumerate() {
+        if names[..i].contains(n) {
+            return Err(format!("bad --objectives: `{n}` is listed twice"));
+        }
+    }
+    Ok(objectives)
+}
+
+/// `--trace-file` mode: instead of sweeping synthetic co-run groups,
+/// profile the one real group the trace records — split the canonical
+/// stream per tenant, build a [`SoloProfile`] for each, and evaluate
+/// all six allocation schemes under every requested objective. This
+/// mode materializes one block vector per tenant (profiling needs the
+/// whole sequence), so it is for traces that fit in memory; `cps
+/// replay-online --trace-file` is the constant-memory path.
+fn run_trace_file(args: &Args) -> Result<(), String> {
+    let path = args.require("trace-file")?;
+    let k: usize = args
+        .require("tenants")
+        .map_err(|_| "external traces need --tenants K".to_string())?
+        .parse()
+        .map_err(|_| "bad --tenants".to_string())?;
+    if k == 0 {
+        return Err("--tenants must be at least 1".into());
+    }
+    let units: usize = args.get_parse("units", 32)?;
+    let bpu: usize = args.get_parse("bpu", 32)?;
+    if units == 0 || bpu == 0 {
+        return Err("bad --units/--bpu: the cache needs at least one block".into());
+    }
+    let objectives = parse_objectives(args)?;
+    for objective in &objectives {
+        objective
+            .validate_for(k)
+            .map_err(|e| format!("bad --objectives: {e} (the trace has {k} tenants)"))?;
+    }
+    let opts = parse_trace_opts(args, k)?;
+
+    let (mut source, format) = open_trace_source(path, &opts)?;
+    let mut per_tenant: Vec<Vec<Block>> = vec![Vec::new(); k];
+    loop {
+        match source.next_record() {
+            Ok(Some((tenant, block))) => per_tenant[tenant].push(block),
+            Ok(None) => break,
+            Err(e) => return Err(format!("{path}: {e}")),
+        }
+    }
+    let stats = source.stats();
+    print_source_stats(&stats);
+    let total: u64 = stats.records.max(1);
+    let config = CacheConfig::new(units, bpu);
+    let profiles: Vec<SoloProfile> = per_tenant
+        .iter()
+        .enumerate()
+        .map(|(i, blocks)| {
+            if blocks.is_empty() {
+                return Err(format!(
+                    "tenant {i} has no accesses in {path}; a co-run profile needs \
+                     every tenant present (check --tenancy and --tenants)"
+                ));
+            }
+            Ok(SoloProfile::from_trace(
+                format!("t{i}"),
+                blocks,
+                blocks.len() as f64 / total as f64,
+                config.blocks(),
+            ))
+        })
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&SoloProfile> = profiles.iter().collect();
+
+    println!(
+        "tournament (real trace): {path} ({} format), {k} tenants, {} records, \
+         cache {units}x{bpu} = {} blocks",
+        format.name(),
+        stats.records,
+        config.blocks()
+    );
+    for objective in &objectives {
+        let eval = evaluate_group_with(&refs, &config, objective);
+        println!("\nobjective {}:", objective.name());
+        println!(
+            "  {:<17} {:>12} {:>9}  allocation (units)",
+            "scheme", "group cost", "gap%"
+        );
+        for result in &eval.results {
+            let gap = eval.gap_of_optimal_over(result.scheme);
+            let alloc: Vec<String> = result.allocation.iter().map(|u| u.to_string()).collect();
+            println!(
+                "  {:<17} {:>12.4} {:>9.2}  {}",
+                result.scheme.name(),
+                result.group_miss_ratio,
+                gap,
+                alloc.join("/")
+            );
         }
     }
     Ok(())

@@ -20,6 +20,7 @@
 //! | [`obs`] | `cps-obs` | metrics registry, stage spans, epoch event journal |
 //! | [`serve`] | `cps-serve` | TCP service layer: wire codec, daemon, client, report identity |
 //! | [`cluster`] | `cps-cluster` | multi-node coordinator: two-level DP, placement, migration |
+//! | [`traceio`] | `cps-traceio` | streaming readers for external memory traces (text/CSV/binary) |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use cps_hotl as hotl;
 pub use cps_obs as obs;
 pub use cps_serve as serve;
 pub use cps_trace as trace;
+pub use cps_traceio as traceio;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -85,5 +87,8 @@ pub mod prelude {
     pub use cps_trace::{
         interleave_proportional, study_programs, Block, InterleavedStream, ProgramSpec, Trace,
         WorkloadSpec,
+    };
+    pub use cps_traceio::{
+        BlockMap, Strictness, TenantPolicy, TraceFormat, TraceIoError, TraceSource,
     };
 }

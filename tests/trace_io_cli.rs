@@ -1,0 +1,259 @@
+//! End-to-end tests of the real-trace front door: `cps trace
+//! gen/convert/stat`, `--trace-file` replays through `cps
+//! replay-online` and `cps bench-net`, and the canonical-journal
+//! identity that ties them all together — a generator-driven run, a
+//! binary trace file, its text and CSV conversions, and a run served
+//! over a live daemon must all describe the identical engine run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn cps(args: &[&str], dir: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cps"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn cps")
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cps-trace-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "command failed: {}\n{}",
+        String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Kills the daemon if a test fails before it shuts down cleanly.
+struct ChildGuard(std::process::Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+const WORKLOADS: &str = "loop:24,zipf:150:0.8,uniform:300";
+const GEN_FLAGS: &[&str] = &["--len", "30000", "--seed", "9", "--rates", "1.0,2.0,1.0"];
+
+fn canonical(dir: &Path, journal: &str) -> String {
+    let out = format!("{journal}.canon");
+    let s = stdout(&cps(&["inspect", journal, "--canonical", &out], dir));
+    assert!(s.contains("canonical journal"), "{s}");
+    std::fs::read_to_string(dir.join(&out)).unwrap()
+}
+
+/// The tentpole identity chain, in process: the generator-driven
+/// `replay-online --workloads` run, the same stream written to a binary
+/// trace file by `cps trace gen` and replayed via `--trace-file`, and
+/// the text/CSV conversions of that file all produce canonically
+/// identical journals.
+#[test]
+fn generator_file_and_converted_replays_are_identical() {
+    let dir = tempdir("identity");
+    let engine = ["--units", "48", "--bpu", "2", "--epoch", "3000"];
+
+    let mut args = vec!["replay-online", "--workloads", WORKLOADS];
+    args.extend_from_slice(GEN_FLAGS);
+    args.extend_from_slice(&engine);
+    args.extend_from_slice(&["--journal", "gen.jsonl"]);
+    stdout(&cps(&args, &dir));
+
+    let mut args = vec!["trace", "gen", "--workloads", WORKLOADS, "--out", "t.bin"];
+    args.extend_from_slice(GEN_FLAGS);
+    let s = stdout(&cps(&args, &dir));
+    assert!(s.contains("30000"), "{s}");
+
+    for (file, to, extra) in [
+        ("t.bin", "", &[][..]),
+        ("t.txt", "text", &["--block-bytes", "1"][..]),
+        ("t.csv", "csv", &["--block-bytes", "1"][..]),
+    ] {
+        let tag = &file[2..];
+        if !to.is_empty() {
+            stdout(&cps(
+                &["trace", "convert", "t.bin", "--out", file, "--to", to],
+                &dir,
+            ));
+        }
+        let journal = format!("{tag}.jsonl");
+        let mut args = vec!["replay-online", "--trace-file", file, "--tenants", "3"];
+        args.extend_from_slice(&engine);
+        args.extend_from_slice(extra);
+        args.extend_from_slice(&["--journal", &journal]);
+        let s = stdout(&cps(&args, &dir));
+        assert!(s.contains("trace read: 30000 records"), "{tag}: {s}");
+        assert_eq!(
+            canonical(&dir, "gen.jsonl"),
+            canonical(&dir, &journal),
+            "{tag} replay diverged from the generator run"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The same trace file served over the wire: `cps bench-net
+/// --trace-file` streams it to a live `cps serve` daemon across
+/// sequenced connections and verifies report identity itself.
+#[test]
+fn trace_file_serves_identically_over_the_wire() {
+    let dir = tempdir("served");
+
+    let mut args = vec!["trace", "gen", "--workloads", WORKLOADS, "--out", "t.bin"];
+    args.extend_from_slice(GEN_FLAGS);
+    stdout(&cps(&args, &dir));
+
+    let mut child = ChildGuard(
+        Command::new(env!("CARGO_BIN_EXE_cps"))
+            .args([
+                "serve",
+                "--tenants",
+                "3",
+                "--units",
+                "48",
+                "--bpu",
+                "2",
+                "--epoch",
+                "3000",
+                "--port",
+                "auto",
+                "--port-file",
+                "port.txt",
+            ])
+            .current_dir(&dir)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn cps serve"),
+    );
+
+    let addr = {
+        let path = dir.join("port.txt");
+        let mut found = None;
+        for _ in 0..200 {
+            match std::fs::read_to_string(&path) {
+                Ok(text) if text.trim().contains(':') => {
+                    found = Some(text.trim().to_string());
+                    break;
+                }
+                _ => std::thread::sleep(std::time::Duration::from_millis(50)),
+            }
+        }
+        found.expect("cps serve never wrote --port-file")
+    };
+    let port = addr.rsplit(':').next().unwrap();
+
+    let s = stdout(&cps(
+        &[
+            "bench-net",
+            "--trace-file",
+            "t.bin",
+            "--port",
+            port,
+            "--connections",
+            "2",
+        ],
+        &dir,
+    ));
+    assert!(s.contains("trace read: 30000 records"), "{s}");
+    assert!(s.contains("report identity: OK"), "{s}");
+
+    // SHUTDOWN tears the daemon down; it must exit cleanly on its own.
+    let status = {
+        let mut status = None;
+        for _ in 0..200 {
+            if let Some(st) = child.0.try_wait().expect("try_wait") {
+                status = Some(st);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        status.expect("cps serve did not exit after SHUTDOWN")
+    };
+    assert!(status.success(), "cps serve exited nonzero");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `cps trace stat` reads any of the three formats and reports the
+/// stream's shape in one bounded pass.
+#[test]
+fn trace_stat_reports_the_stream_shape() {
+    let dir = tempdir("stat");
+    let mut args = vec!["trace", "gen", "--workloads", WORKLOADS, "--out", "t.bin"];
+    args.extend_from_slice(GEN_FLAGS);
+    stdout(&cps(&args, &dir));
+
+    let s = stdout(&cps(&["trace", "stat", "t.bin"], &dir));
+    assert!(s.contains("binary format"), "{s}");
+    assert!(s.contains("records: 30000"), "{s}");
+    assert!(s.contains("tenants: 3"), "{s}");
+    assert!(s.contains("distinct blocks:"), "{s}");
+    assert!(s.contains("block range:"), "{s}");
+
+    stdout(&cps(
+        &["trace", "convert", "t.bin", "--out", "t.csv", "--to", "csv"],
+        &dir,
+    ));
+    let s = stdout(&cps(
+        &["trace", "stat", "t.csv", "--block-bytes", "1"],
+        &dir,
+    ));
+    assert!(s.contains("csv format"), "{s}");
+    assert!(s.contains("records: 30000"), "{s}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Malformed input is a friendly, typed, nonzero-exit error — with the
+/// offending line and byte offset — never a panic; `--lenient true`
+/// skips past it and reports the skips.
+#[test]
+fn malformed_traces_fail_politely_and_leniently_skip() {
+    let dir = tempdir("malformed");
+    std::fs::write(
+        dir.join("bad.csv"),
+        "addr,tenant\n0x10,0\nbanana,0\n0x20,1\n",
+    )
+    .unwrap();
+
+    let out = cps(
+        &[
+            "replay-online",
+            "--trace-file",
+            "bad.csv",
+            "--tenants",
+            "2",
+            "--units",
+            "8",
+        ],
+        &dir,
+    );
+    assert!(!out.status.success(), "strict replay of bad input passed");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 3"), "{err}");
+    assert!(err.contains("banana"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+
+    let s = stdout(&cps(
+        &["trace", "stat", "bad.csv", "--lenient", "true"],
+        &dir,
+    ));
+    assert!(s.contains("records: 2"), "{s}");
+    assert!(s.contains("malformed"), "{s}");
+
+    // A missing file is an error message, not a panic or a zero exit.
+    let out = cps(&["trace", "stat", "no-such-file.bin"], &dir);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no-such-file.bin"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
